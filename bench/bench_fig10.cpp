@@ -1,0 +1,56 @@
+// Figure 10 (Appendix A):
+//  10a: rank-bin medians of d(non-cacheable objects) — about +24 around
+//       ranks 200-300, falling to about -8 at ranks 900-1000;
+//  10b: d(unique domains) — about +11 mid-rank to -2 at the bottom;
+//  10c: PLT-delta CDFs by Alexa category — Shopping sites follow the
+//       global trend (landing faster for ~77%), World sites reverse it
+//       (landing slower for ~70%) when measured from the U.S.
+#include "common.h"
+
+using namespace hispar;
+
+int main() {
+  bench::BenchWorld world;
+
+  bench::print_header(
+      "Figure 10a/10b — rank-bin medians (trend reversals)",
+      "d(non-cacheables): +24 @200-300 -> -8 @900-1000; "
+      "d(domains): +11 -> -2");
+  const auto noncacheable_bins =
+      core::delta_by_rank_bin(world.sites, core::metric::noncacheable);
+  const auto domain_bins =
+      core::delta_by_rank_bin(world.sites, core::metric::unique_domains);
+  util::TextTable table({"rank bin", "dNonCacheable", "dDomains"});
+  for (std::size_t bin = 0; bin < noncacheable_bins.size(); ++bin) {
+    const auto lo = bin * 100 + 1;
+    const auto hi = (bin + 1) * 100;
+    table.add_row({std::to_string(lo) + "-" + std::to_string(hi),
+                   util::TextTable::num(noncacheable_bins[bin], 1),
+                   util::TextTable::num(domain_bins[bin], 1)});
+  }
+  std::cout << table << "\n";
+
+  bench::print_header(
+      "Figure 10c — PLT delta by category (World vs Shopping)",
+      "World: landing slower for ~70% of sites; Shopping: landing faster "
+      "for ~77%");
+  const auto world_deltas =
+      core::plt_delta_for_category(world.sites, web::SiteCategory::kWorld);
+  const auto shopping_deltas =
+      core::plt_delta_for_category(world.sites, web::SiteCategory::kShopping);
+  const auto report = [](const char* label,
+                         const std::vector<double>& deltas) {
+    if (deltas.empty()) {
+      std::cout << label << ": no sites in category\n";
+      return;
+    }
+    std::cout << label << " (" << deltas.size() << " sites): landing slower "
+              << "for "
+              << util::TextTable::pct(1.0 -
+                                      util::fraction_below(deltas, 0.0))
+              << ";  CDF(s): " << bench::cdf_summary(deltas) << "\n";
+  };
+  report("World   ", world_deltas);
+  report("Shopping", shopping_deltas);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 2: overview of landing (L) vs internal (I) differences on H1K
+// and Ht30.
+//  2a: size deltas    — 65% (H1K) / 54% (Ht30) of sites have larger
+//      landing pages; geometric-mean size ratio 1.34.
+//  2b: object deltas  — 68% / 57%; geometric-mean ratio 1.24; for ~5% of
+//      sites the landing page has fewer objects yet is larger.
+//  2c: PLT deltas     — landing loads faster for 56% (H1K) / 77% (Ht30).
+#include "common.h"
+
+using namespace hispar;
+
+namespace {
+
+void figure_row(util::TextTable& table, const char* label,
+                const std::vector<core::SiteObservation>& sites,
+                const core::MetricFn& fn, double unit, bool lower_is_faster) {
+  const auto comparison = core::compare_metric(sites, fn);
+  const auto deltas = comparison.deltas();
+  std::vector<double> scaled;
+  scaled.reserve(deltas.size());
+  for (double d : deltas) scaled.push_back(d / unit);
+  const auto ks = core::ks_landing_vs_internal(sites, fn);
+  table.add_row(
+      {label,
+       util::TextTable::pct(lower_is_faster
+                                ? 1.0 - comparison.fraction_landing_greater()
+                                : comparison.fraction_landing_greater()),
+       util::TextTable::num(comparison.geomean_ratio(), 3),
+       util::TextTable::num(util::median(scaled), 3),
+       util::TextTable::num(util::quantile(scaled, 0.05), 2),
+       util::TextTable::num(util::quantile(scaled, 0.95), 2),
+       util::TextTable::num(ks.statistic, 3)});
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchWorld world;
+  const auto ht30 = world.top(30);
+
+  bench::print_header(
+      "Figure 2 — size, object-count and PLT deltas (L - median I)",
+      "2a: L larger for 65% (H1K) / 54% (Ht30), geo-mean ratio 1.34; "
+      "2b: L more objects for 68% / 57%, ratio 1.24; "
+      "2c: L faster for 56% / 77%");
+
+  util::TextTable table({"metric [list]", "headline %", "geo-mean L/I",
+                         "median delta", "p5", "p95", "KS D"});
+  figure_row(table, "2a size MB [H1K]", world.sites, core::metric::bytes,
+             1e6, false);
+  figure_row(table, "2a size MB [Ht30]", ht30, core::metric::bytes, 1e6,
+             false);
+  figure_row(table, "2b #objects [H1K]", world.sites, core::metric::objects,
+             1.0, false);
+  figure_row(table, "2b #objects [Ht30]", ht30, core::metric::objects, 1.0,
+             false);
+  figure_row(table, "2c PLT s [H1K] (% L faster)", world.sites,
+             core::metric::plt_ms, 1000.0, true);
+  figure_row(table, "2c PLT s [Ht30] (% L faster)", ht30,
+             core::metric::plt_ms, 1000.0, true);
+  std::cout << table << "\n";
+
+  // Fig. 2b inset: sites whose landing has fewer objects but more bytes.
+  const auto size_cmp = core::compare_metric(world.sites, core::metric::bytes);
+  const auto object_cmp =
+      core::compare_metric(world.sites, core::metric::objects);
+  std::size_t fewer_but_larger = 0;
+  for (std::size_t i = 0; i < size_cmp.landing.size(); ++i) {
+    if (object_cmp.landing[i] < object_cmp.internal_median[i] &&
+        size_cmp.landing[i] > size_cmp.internal_median[i])
+      ++fewer_but_larger;
+  }
+  std::cout << "sites with fewer landing objects yet larger landing pages: "
+            << util::TextTable::pct(static_cast<double>(fewer_but_larger) /
+                                    static_cast<double>(size_cmp.landing.size()))
+            << "  (paper: 5%)\n\n";
+
+  std::cout << "CDF of L.size - I.size (MB):   "
+            << bench::cdf_summary([&] {
+                 std::vector<double> mb;
+                 for (double d : size_cmp.deltas()) mb.push_back(d / 1e6);
+                 return mb;
+               }())
+            << "\n";
+  std::cout << "CDF of L.PLT - I.PLT (s):      "
+            << bench::cdf_summary([&] {
+                 const auto cmp =
+                     core::compare_metric(world.sites, core::metric::plt_ms);
+                 std::vector<double> seconds;
+                 for (double d : cmp.deltas()) seconds.push_back(d / 1000.0);
+                 return seconds;
+               }())
+            << "\n";
+  return 0;
+}

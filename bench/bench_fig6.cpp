@@ -1,0 +1,104 @@
+// Figure 6: dependency depth, resource hints, handshakes.
+//  6a: landing pages have more objects at every depth >= 2 (median +38%
+//      at depth 2) — measured on Ht100 + Hb100.
+//  6b: 69% of landing pages use >= 1 resource hint; 45% of internal
+//      pages have none (52% within Ht100).
+//  6c: landing pages perform 25% more handshakes (median) and spend 28%
+//      more time in them.
+#include "common.h"
+
+using namespace hispar;
+
+int main() {
+  bench::BenchWorld world;
+  auto edges = world.top(100);
+  {
+    const auto bottom = world.bottom(100);
+    edges.insert(edges.end(), bottom.begin(), bottom.end());
+  }
+
+  // --- 6a ---
+  bench::print_header(
+      "Figure 6a — objects per dependency depth (Ht100+Hb100)",
+      "landing > internal at depths 2/3 in the median (+38% at depth 2); "
+      "deeper levels differ in the tail (p90)");
+  const auto depths = core::depth_profile(edges);
+  util::TextTable table({"depth", "L median", "I median", "L p90", "I p90"});
+  const char* labels[] = {"0 (root)", "1", "2", "3", "4", "5+"};
+  for (std::size_t d = 0; d < 6; ++d) {
+    table.add_row({labels[d],
+                   util::TextTable::num(depths.landing_median[d], 1),
+                   util::TextTable::num(depths.internal_median[d], 1),
+                   util::TextTable::num(depths.landing_p90[d], 1),
+                   util::TextTable::num(depths.internal_p90[d], 1)});
+  }
+  std::cout << table;
+  std::cout << "depth-2 median excess: "
+            << util::TextTable::pct(depths.landing_median[2] /
+                                        std::max(1e-9,
+                                                 depths.internal_median[2]) -
+                                    1.0)
+            << "  (paper: +38%)\n\n";
+
+  // --- 6b ---
+  bench::print_header(
+      "Figure 6b — HTML5 resource hints (Ht100+Hb100)",
+      "69% of landing pages use >= 1 hint; 45% of internal pages have "
+      "none; 52% within Ht100");
+  const auto hints = core::hint_usage(edges);
+  const auto hints_top = core::hint_usage(world.top(100));
+  std::cout << "landing pages with >= 1 hint: "
+            << util::TextTable::pct(hints.landing_with_hints)
+            << "  (paper: 69%)\n";
+  std::cout << "internal pages with no hints: "
+            << util::TextTable::pct(hints.internal_without_hints)
+            << "  (paper: 45%)\n";
+  std::cout << "internal pages with no hints, Ht100 only: "
+            << util::TextTable::pct(hints_top.internal_without_hints)
+            << "  (paper: 52%)\n";
+  std::cout << "hint-count CDF, landing:  "
+            << bench::cdf_summary(hints.landing_counts) << "\n";
+  std::cout << "hint-count CDF, internal: "
+            << bench::cdf_summary(hints.internal_counts) << "\n\n";
+
+  // --- 6c ---
+  bench::print_header(
+      "Figure 6c — TCP/TLS handshakes per page (H1K)",
+      "landing performs 25% more handshakes and spends 28% more time in "
+      "them (median)");
+  const auto handshakes =
+      core::compare_metric(world.sites, core::metric::handshakes);
+  const auto handshake_time =
+      core::compare_metric(world.sites, core::metric::handshake_time_ms);
+  const auto ks =
+      core::ks_landing_vs_internal(world.sites, core::metric::handshakes);
+  std::cout << "handshake count medians: L "
+            << util::median(handshakes.landing) << " vs I "
+            << util::median(handshakes.internal_median) << "  (+"
+            << util::TextTable::pct(util::median(handshakes.landing) /
+                                        util::median(
+                                            handshakes.internal_median) -
+                                    1.0)
+            << ", paper +25%); KS D=" << util::TextTable::num(ks.statistic, 3)
+            << "\n";
+  std::cout << "handshake time medians:  L "
+            << util::TextTable::num(util::median(handshake_time.landing), 0)
+            << " ms vs I "
+            << util::TextTable::num(
+                   util::median(handshake_time.internal_median), 0)
+            << " ms  (+"
+            << util::TextTable::pct(
+                   util::median(handshake_time.landing) /
+                       util::median(handshake_time.internal_median) -
+                   1.0)
+            << ", paper +28%)\n";
+  std::cout << "handshake-count CDF, landing:  "
+            << bench::cdf_summary(
+                   core::landing_values(world.sites, core::metric::handshakes))
+            << "\n";
+  std::cout << "handshake-count CDF, internal: "
+            << bench::cdf_summary(core::internal_values(
+                   world.sites, core::metric::handshakes))
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 8: security & privacy (§6).
+//  8a: 36/1000 landing pages on HTTP; 170 sites with secure landing
+//      pages have >= 1 HTTP internal page (36 have >= 10); mixed content
+//      on 35 landing pages vs 194 sites with mixed internal pages.
+//  8b: internal pages collectively contact a median of 18 third parties
+//      never seen on the landing page; p90 >= 80.
+//  8c: tracking requests at p80: landing 28 vs internal 20; ~10% of
+//      sites track on the landing page only.
+//  §6.3 header bidding (Ht100+Hb100): 17/200 sites with HB on landing,
+//      +12 internal-only; ad slots p80: landing 9 vs internal 7.
+#include "common.h"
+
+using namespace hispar;
+
+int main() {
+  bench::BenchWorld world;
+
+  // --- 8a ---
+  bench::print_header(
+      "Figure 8a — HTTP and mixed content (H1K)",
+      "36 HTTP landing pages; 170 sites w/ >= 1 HTTP internal page, 36 w/ "
+      ">= 10; mixed content: 35 landing vs 194 sites w/ mixed internal");
+  const auto security = core::security_summary(world.sites);
+  util::TextTable table({"statistic", "measured", "paper (scaled)"});
+  const auto scale = static_cast<double>(world.sites.size()) / 1000.0;
+  const auto scaled = [&](double paper_value) {
+    return util::TextTable::num(paper_value * scale, 0);
+  };
+  table.add_row({"HTTP landing pages",
+                 std::to_string(security.http_landing_sites), scaled(36)});
+  table.add_row({"sites with >= 1 HTTP internal page",
+                 std::to_string(security.sites_with_http_internal),
+                 scaled(170)});
+  table.add_row({"sites with >= 10 HTTP internal pages",
+                 std::to_string(security.sites_with_10plus_http_internal),
+                 scaled(36)});
+  table.add_row({"mixed-content landing pages",
+                 std::to_string(security.mixed_landing_sites), scaled(35)});
+  table.add_row({"sites with >= 1 mixed internal page",
+                 std::to_string(security.sites_with_mixed_internal),
+                 scaled(194)});
+  std::cout << table << "\n";
+
+  // --- 8b ---
+  bench::print_header(
+      "Figure 8b — third parties unseen on the landing page",
+      "median 18 per site; 10% of sites reach 80+");
+  auto unseen = core::unseen_third_parties(world.sites);
+  std::cout << "CDF: " << bench::cdf_summary(unseen) << "\n";
+  std::cout << "median " << util::median(unseen) << " (paper: 18);  p90 "
+            << util::quantile(unseen, 0.9) << " (paper: ~80)\n\n";
+
+  // --- 8c ---
+  bench::print_header(
+      "Figure 8c — tracking requests per page",
+      "p80: landing 28 vs internal 20; ~10% of sites have trackers only "
+      "on the landing page");
+  const auto landing_trackers =
+      core::landing_values(world.sites, core::metric::tracking_requests);
+  const auto internal_trackers =
+      core::internal_values(world.sites, core::metric::tracking_requests);
+  std::cout << "p80 tracking requests: landing "
+            << util::quantile(landing_trackers, 0.8) << " vs internal "
+            << util::quantile(internal_trackers, 0.8) << "\n";
+  std::size_t landing_only = 0;
+  for (const auto& site : world.sites) {
+    const bool landing_tracks = site.landing.tracking_requests > 0;
+    bool internal_tracks = false;
+    for (const auto& metrics : site.internals)
+      internal_tracks = internal_tracks || metrics.tracking_requests > 0;
+    if (landing_tracks && !internal_tracks) ++landing_only;
+  }
+  std::cout << "sites with trackers on the landing page only: "
+            << util::TextTable::pct(static_cast<double>(landing_only) /
+                                    world.sites.size())
+            << "  (paper: ~10%)\n";
+  const auto ks =
+      core::ks_landing_vs_internal(world.sites, core::metric::tracking_requests);
+  std::cout << "KS D=" << util::TextTable::num(ks.statistic, 3)
+            << " p=" << util::TextTable::num(ks.p_value, 6) << "\n\n";
+
+  // --- §6.3 header bidding on Ht100 + Hb100 ---
+  bench::print_header(
+      "§6.3 — header bidding (Ht100+Hb100, 200 sites)",
+      "17 sites with HB ads on landing; 12 more on internal pages only; "
+      "ad slots p80: landing 9 vs internal 7");
+  auto edges = world.top(100);
+  {
+    const auto bottom = world.bottom(100);
+    edges.insert(edges.end(), bottom.begin(), bottom.end());
+  }
+  const auto hb = core::hb_summary(edges);
+  std::cout << "HB on landing: " << hb.sites_with_hb_landing
+            << " sites (paper: 17);  HB on internal only: "
+            << hb.sites_with_hb_internal_only << " (paper: 12)\n";
+  if (!hb.landing_slots.empty()) {
+    std::cout << "ad slots p80 among HB sites: landing "
+              << util::quantile(hb.landing_slots, 0.8) << " vs internal "
+              << util::quantile(hb.internal_slots, 0.8)
+              << "  (paper: 9 vs 7)\n";
+  }
+  return 0;
+}

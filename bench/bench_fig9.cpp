@@ -1,0 +1,47 @@
+// Figure 9 (Appendix A): per-rank-bin medians of the landing-internal
+// deltas for PLT, page size and object count. Key shape:
+//  9a: dPLT negative for most bins (landing faster), positive (up to
+//      ~+100 ms) around ranks 400-600;
+//  9b: dSize positive everywhere, peaking mid-rank;
+//  9c: dObjects positive everywhere, peaking mid-rank (~+25).
+#include "common.h"
+
+using namespace hispar;
+
+int main() {
+  bench::BenchWorld world;
+
+  bench::print_header(
+      "Figure 9 — rank-bin medians of L - I deltas",
+      "9a: dPLT < 0 for most bins, > 0 around ranks 400-600; "
+      "9b/9c: dSize and dObjects positive, peaking mid-rank");
+
+  const auto plt_bins =
+      core::delta_by_rank_bin(world.sites, core::metric::plt_ms);
+  const auto size_bins =
+      core::delta_by_rank_bin(world.sites, core::metric::bytes);
+  const auto object_bins =
+      core::delta_by_rank_bin(world.sites, core::metric::objects);
+
+  util::TextTable table({"rank bin", "dPLT (s)", "dSize (MB)", "dObjects"});
+  for (std::size_t bin = 0; bin < plt_bins.size(); ++bin) {
+    const auto lo = bin * 100 + 1;
+    const auto hi = (bin + 1) * 100;
+    table.add_row({std::to_string(lo) + "-" + std::to_string(hi),
+                   util::TextTable::num(plt_bins[bin] / 1000.0, 3),
+                   util::TextTable::num(size_bins[bin] / 1e6, 2),
+                   util::TextTable::num(object_bins[bin], 1)});
+  }
+  std::cout << table;
+
+  int negative_bins = 0;
+  int positive_mid = 0;
+  for (std::size_t bin = 0; bin < plt_bins.size(); ++bin) {
+    if (plt_bins[bin] < 0) ++negative_bins;
+    if (bin >= 3 && bin <= 5 && plt_bins[bin] > 0) ++positive_mid;
+  }
+  std::cout << "\ndPLT bins negative: " << negative_bins
+            << "/10 (paper: most);  positive among mid bins (400-600): "
+            << positive_mid << " (paper: reversal present)\n";
+  return 0;
+}

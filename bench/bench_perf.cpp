@@ -1,0 +1,87 @@
+// Component micro-benchmarks (google-benchmark): page generation, page
+// loading, crawling, list building, the ad-block matcher and KS test.
+// These guard the simulator's throughput — a full H1K campaign is ~29k
+// page loads and must stay in the tens of seconds.
+#include <benchmark/benchmark.h>
+
+#include "browser/adblock.h"
+#include "browser/loader.h"
+#include "core/hispar.h"
+#include "search/crawler.h"
+#include "search/engine.h"
+#include "util/ks_test.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+
+const web::SyntheticWeb& shared_web() {
+  static web::SyntheticWeb webx({3000, 42, 2000, true});
+  return webx;
+}
+
+void BM_PageGeneration(benchmark::State& state) {
+  const auto& site = shared_web().site_by_rank(
+      static_cast<std::size_t>(state.range(0)));
+  std::size_t index = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(site.page(index));
+    index = index % 500 + 1;
+  }
+}
+BENCHMARK(BM_PageGeneration)->Arg(10)->Arg(500);
+
+void BM_PageLoad(benchmark::State& state) {
+  const auto& webx = shared_web();
+  net::LatencyModel latency;
+  cdn::CdnHierarchy cdn(webx.cdn_registry(), latency);
+  net::CachingResolver resolver({}, latency);
+  browser::PageLoader loader(
+      {&latency, &webx.cdn_registry(), &cdn, &resolver,
+       net::Region::kNorthAmerica});
+  const auto page = webx.site_by_rank(50).page(3);
+  util::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(loader.load(page, rng.fork(rng.next())));
+}
+BENCHMARK(BM_PageLoad);
+
+void BM_CrawlSite(benchmark::State& state) {
+  const auto& site = shared_web().site_by_rank(100);
+  search::CrawlConfig config;
+  config.max_unique_pages = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(search::crawl_site(site, config));
+}
+BENCHMARK(BM_CrawlSite)->Arg(500)->Arg(5000);
+
+void BM_SiteQuery(benchmark::State& state) {
+  const auto& webx = shared_web();
+  search::SearchEngine engine(webx);
+  const std::string domain = webx.domains()[99];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.site_query(domain, 49, 0));
+}
+BENCHMARK(BM_SiteQuery);
+
+void BM_AdblockMatch(benchmark::State& state) {
+  const auto blocker = browser::AdBlocker::easylist_lite();
+  const std::string url =
+      "https://securepubads.g.doubleclick.net/track/123-4";
+  for (auto _ : state) benchmark::DoNotOptimize(blocker.matches(url));
+}
+BENCHMARK(BM_AdblockMatch);
+
+void BM_KsTest(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> a(10000), b(19000);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal(0.1, 1.1);
+  for (auto _ : state) benchmark::DoNotOptimize(util::ks_two_sample(a, b));
+}
+BENCHMARK(BM_KsTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

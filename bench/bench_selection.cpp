@@ -1,0 +1,93 @@
+// §7 extension: comparing internal-page selection strategies.
+//
+// The paper picks search-engine results and *discusses* the alternatives
+// (publisher-curated sets, browser telemetry, random pages, monkey
+// testing). This bench runs all of them over the same sites and scores:
+//  * representativeness — how closely the selection's medians track a
+//    visit-weighted reference sample ("the browsing experience of real
+//    users", §3);
+//  * stability — week-over-week churn of the selected URL sets (§3);
+//  * cost — search-API dollars (only the search strategy pays, §7).
+#include "common.h"
+#include "core/selection.h"
+
+using namespace hispar;
+
+int main() {
+  const std::size_t sites = bench::env_sites(150);
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+
+  bench::print_header(
+      "§7 — internal-page selection strategies",
+      "search results are the paper's choice; publisher/telemetry sets "
+      "are proposed alternatives; random is §4's baseline");
+
+  const std::vector<core::SelectionStrategy> strategies = {
+      core::SelectionStrategy::kSearchEngine,
+      core::SelectionStrategy::kBrowserTelemetry,
+      core::SelectionStrategy::kPublisherCurated,
+      core::SelectionStrategy::kUniformRandom,
+      core::SelectionStrategy::kMonkeyTesting,
+      core::SelectionStrategy::kFirstLinks,
+  };
+
+  util::TextTable table({"strategy", "mean repr. error", "median #pages",
+                         "weekly URL churn", "API cost/site"});
+  for (const auto strategy : strategies) {
+    double error_sum = 0.0;
+    int scored = 0;
+    std::vector<double> counts;
+    double churn_sum = 0.0;
+    int churn_sites = 0;
+
+    search::SearchEngine engine(*world.web);
+    const std::uint64_t queries_before = engine.queries_issued();
+
+    for (std::size_t position = 0; position < world.h1k.sets.size();
+         position += 4) {
+      const web::WebSite* site =
+          world.web->find_site(world.h1k.sets[position].domain);
+      core::SelectionConfig config;
+      config.pages = 19;
+      const auto selection =
+          core::select_internal_pages(*site, strategy, config, &engine);
+      if (selection.empty()) continue;
+      counts.push_back(static_cast<double>(selection.size()));
+      error_sum += core::selection_representativeness(*site, selection, 120)
+                       .mean_error();
+      ++scored;
+
+      // Week-over-week churn of the selection.
+      core::SelectionConfig next_week = config;
+      next_week.week = 1;
+      next_week.seed ^= 0x9e3779b9;  // a fresh measurement session
+      const auto second =
+          core::select_internal_pages(*site, strategy, next_week, &engine);
+      if (!second.empty()) {
+        std::set<std::size_t> now(second.begin(), second.end());
+        std::size_t gone = 0;
+        for (std::size_t index : selection) gone += now.count(index) == 0;
+        churn_sum +=
+            static_cast<double>(gone) / static_cast<double>(selection.size());
+        ++churn_sites;
+      }
+    }
+    if (scored == 0) continue;
+    const double queries =
+        static_cast<double>(engine.queries_issued() - queries_before);
+    table.add_row(
+        {std::string(core::to_string(strategy)),
+         util::TextTable::num(error_sum / scored, 3),
+         util::TextTable::num(util::median(counts), 0),
+         util::TextTable::pct(churn_sites ? churn_sum / churn_sites : 0.0),
+         "$" + util::TextTable::num(
+                   queries / (2.0 * scored) *
+                       search::query_price_usd(search::SearchProvider::kGoogle),
+                   4)});
+  }
+  std::cout << table;
+  std::cout << "\nTakeaways: visit-weighted selections (search, telemetry) "
+               "track real user experience;\nfirst-links and monkey walks "
+               "are biased toward what the landing page promotes (§7).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 1: the literature survey (§2).
+// 920 papers from IMC/PAM/NSDI/SIGCOMM/CoNEXT 2015-2019 -> term search
+// -> false-positive filter -> manual review -> revision scores.
+#include <iostream>
+
+#include "survey/classifier.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hispar;
+
+  const auto corpus = survey::survey_corpus();
+  const auto summary = survey::summarize(corpus);
+
+  std::cout << "==== Table 1 — revision scores of web-perf. studies "
+               "(2015-2019) ====\n";
+  std::cout << "paper: 920 papers, 119 use a top list; 30 major / 48 minor "
+               "/ 41 no revision;\n       15 of 119 use internal pages "
+               "(7 via traces, 8 via active crawling)\n\n";
+
+  std::cout << survey::render_table1(corpus) << "\n";
+
+  util::TextTable pipeline({"survey stage", "papers"});
+  pipeline.add_row({"collected (5 venues x 2015-2019)",
+                    std::to_string(summary.total_papers)});
+  pipeline.add_row({"matched a top-list term",
+                    std::to_string(summary.matched_terms)});
+  pipeline.add_row({"after false-positive filtering",
+                    std::to_string(summary.using_top_list)});
+  pipeline.add_row({"use internal pages",
+                    std::to_string(summary.using_internal_pages)});
+  pipeline.add_row({"  via user traces", std::to_string(summary.trace_based)});
+  pipeline.add_row({"  via active crawling/monkey testing",
+                    std::to_string(summary.active_crawling)});
+  pipeline.add_row({"major revision", std::to_string(summary.major)});
+  pipeline.add_row({"minor revision", std::to_string(summary.minor)});
+  pipeline.add_row({"no revision", std::to_string(summary.no_revision)});
+  std::cout << pipeline << "\n";
+
+  const double needing_revision =
+      static_cast<double>(summary.major + summary.minor) /
+      static_cast<double>(summary.using_top_list);
+  std::cout << "papers needing at least a minor revision: "
+            << util::TextTable::pct(needing_revision)
+            << "  (paper: ~two-thirds)\n\n";
+
+  // §3.1/§7 scale statistics over the major-revision studies.
+  util::TextTable scale({"major-revision studies", "measured", "paper"});
+  scale.add_row({"<= 500 sites",
+                 util::TextTable::pct(
+                     survey::major_fraction_sites_at_most(corpus, 500)),
+                 "~50%"});
+  scale.add_row({"<= 1000 sites",
+                 util::TextTable::pct(
+                     survey::major_fraction_sites_at_most(corpus, 1000)),
+                 "60%"});
+  scale.add_row({"<= 20,000 pages",
+                 util::TextTable::pct(
+                     survey::major_fraction_pages_at_most(corpus, 20000)),
+                 "77%"});
+  scale.add_row({"<= 100,000 pages",
+                 util::TextTable::pct(
+                     survey::major_fraction_pages_at_most(corpus, 100000)),
+                 "93%"});
+  std::cout << scale;
+  return 0;
+}

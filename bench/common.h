@@ -1,0 +1,94 @@
+// Shared context for the reproduction benches.
+//
+// Every bench binary regenerates one paper table/figure. They share the
+// same world: a synthetic web, the Alexa-like bootstrap, the H1K list
+// (1000 sites x [1 landing + <= 19 internal]) and one measurement
+// campaign over it (landing x10, internal x1), exactly per §3.1.
+//
+// Scale can be reduced for quick runs via the HISPAR_SITES environment
+// variable (default 1000; the paper's H1K).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/analyses.h"
+#include "core/hispar.h"
+#include "core/measurement.h"
+#include "util/table.h"
+
+namespace hispar::bench {
+
+inline std::size_t env_sites(std::size_t fallback = 1000) {
+  if (const char* env = std::getenv("HISPAR_SITES")) {
+    const long value = std::atol(env);
+    if (value >= 30) return static_cast<std::size_t>(value);
+  }
+  return fallback;
+}
+
+struct BenchWorld {
+  std::unique_ptr<web::SyntheticWeb> web;
+  std::unique_ptr<toplist::TopListFactory> toplists;
+  std::unique_ptr<search::SearchEngine> engine;
+  core::HisparList h1k;
+  std::vector<core::SiteObservation> sites;  // campaign over h1k
+
+  // `run_campaign` can be disabled for benches that only need the list.
+  explicit BenchWorld(bool run_campaign = true,
+                      std::size_t target_sites = env_sites(),
+                      core::CampaignConfig campaign_config = {}) {
+    web::SyntheticWebConfig web_config;
+    web_config.site_count =
+        std::max<std::size_t>(3000, target_sites * 3);
+    web = std::make_unique<web::SyntheticWeb>(web_config);
+    toplists = std::make_unique<toplist::TopListFactory>(*web);
+    engine = std::make_unique<search::SearchEngine>(*web);
+
+    core::HisparBuilder builder(*web, *toplists, *engine);
+    core::HisparConfig config;
+    config.name = "H1K";
+    config.target_sites = target_sites;
+    config.urls_per_site = 20;
+    config.min_internal_results = 5;
+    h1k = builder.build(config, /*week=*/0);
+
+    if (run_campaign) {
+      core::MeasurementCampaign campaign(*web, campaign_config);
+      sites = campaign.run(h1k);
+    }
+  }
+
+  // Positional slices (Ht30/Ht100/Hb100, §3.1).
+  std::vector<core::SiteObservation> top(std::size_t n) const {
+    return {sites.begin(),
+            sites.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(n, sites.size()))};
+  }
+  std::vector<core::SiteObservation> bottom(std::size_t n) const {
+    const std::size_t first = sites.size() > n ? sites.size() - n : 0;
+    return {sites.begin() + static_cast<std::ptrdiff_t>(first), sites.end()};
+  }
+};
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_claim) {
+  std::cout << "==== " << title << " ====\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+// Render a small CDF summary line for a sample.
+inline std::string cdf_summary(std::vector<double> values) {
+  if (values.empty()) return "(empty)";
+  util::EmpiricalCdf cdf(std::move(values));
+  std::string out;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    out += "p" + std::to_string(static_cast<int>(q * 100)) + "=" +
+           util::TextTable::num(cdf.quantile(q)) + "  ";
+  }
+  return out;
+}
+
+}  // namespace hispar::bench

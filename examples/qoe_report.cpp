@@ -1,0 +1,71 @@
+// QoE beyond PLT (§4's "well-known shortcomings in PLT"): compare
+// landing and internal pages on SpeedIndex, above-the-fold time (90%
+// visual completeness) and a Vesper-style time-to-interactive, plus the
+// critical path that produced them.
+//
+//   $ ./examples/qoe_report [sites]
+#include <cstdlib>
+#include <iostream>
+
+#include "browser/critical_path.h"
+#include "browser/qoe.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "web/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace hispar;
+
+  const std::size_t sites =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+  web::SyntheticWeb web({std::max<std::size_t>(600, sites * 2), 42, 2000,
+                         true});
+
+  net::LatencyModel latency;
+  cdn::CdnHierarchy cdn(web.cdn_registry(), latency);
+  net::CachingResolver resolver({}, latency);
+  browser::PageLoader loader({&latency, &web.cdn_registry(), &cdn, &resolver,
+                              net::Region::kNorthAmerica});
+
+  struct Sample {
+    std::vector<double> first_paint, atf90, tti, speed_index, hops;
+  } landing, internal;
+
+  for (std::size_t rank = 1; rank <= sites; ++rank) {
+    const web::WebSite& site = web.site_by_rank(rank);
+    const auto measure = [&](std::size_t page_index, Sample& sample) {
+      const auto page = site.page(page_index);
+      const auto result = loader.load(page, util::Rng(rank * 31 + page_index));
+      const auto qoe = browser::qoe_metrics(page, result);
+      sample.first_paint.push_back(qoe.first_paint_ms / 1000.0);
+      sample.atf90.push_back(qoe.visual_complete_90_ms / 1000.0);
+      sample.tti.push_back(qoe.time_to_interactive_ms / 1000.0);
+      sample.speed_index.push_back(result.speed_index_ms / 1000.0);
+      sample.hops.push_back(browser::critical_path(page, result).hops);
+    };
+    measure(0, landing);
+    measure(1 + rank % 7, internal);
+  }
+
+  util::TextTable table({"metric (median, s)", "landing", "internal",
+                         "internal / landing"});
+  const auto row = [&](const char* name, std::vector<double>& l,
+                       std::vector<double>& i) {
+    table.add_row({name, util::TextTable::num(util::median(l), 2),
+                   util::TextTable::num(util::median(i), 2),
+                   util::TextTable::num(util::median(i) / util::median(l), 2)});
+  };
+  row("first paint (= paper's PLT)", landing.first_paint,
+      internal.first_paint);
+  row("SpeedIndex", landing.speed_index, internal.speed_index);
+  row("above-the-fold (90% visual)", landing.atf90, internal.atf90);
+  row("time-to-interactive", landing.tti, internal.tti);
+  row("critical-path hops", landing.hops, internal.hops);
+  std::cout << table;
+
+  std::cout << "\nInternal pages trail on every QoE metric, and by *more* "
+               "on TTI than on PLT\n(they are JS-heavier, §5.2) — studies "
+               "optimizing QoE on landing pages only\nunderestimate how "
+               "much work the neglected part of the web needs.\n";
+  return 0;
+}

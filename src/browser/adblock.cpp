@@ -1,0 +1,58 @@
+#include "browser/adblock.h"
+
+#include "util/strings.h"
+
+namespace hispar::browser {
+
+AdBlocker AdBlocker::easylist_lite() {
+  // Pattern syntax: plain globs over the full URL. The list mirrors the
+  // structure of EasyList: well-known tracker/ad hosts plus generic
+  // path/subdomain rules.
+  return AdBlocker({
+      // Curated head services (see web/thirdparty.cpp).
+      "*google-analytics.com*",
+      "*googletagmanager.com*",
+      "*doubleclick.net*",
+      "*connect.facebook.net*",
+      "*platform.twitter.com*",
+      "*js-agent.newrelic.com*",
+      "*criteo.net*",
+      "*adnxs.com*",
+      "*casalemedia.com*",
+      "*pubmatic.com*",
+      "*rubiconproject.com*",
+      "*amazon-adsystem.com*",
+      "*bat.bing.com*",
+      "*analytics.tiktok.com*",
+      "*scorecardresearch.com*",
+      "*optimizely.com*",
+      "*snap.licdn.com*",
+      "*stats.wp.com*",
+      "*segment.com*",
+      "*hotjar.com*",
+      // Generic rules (synthetic tail naming conventions).
+      "*://pixel.*",
+      "*://ads.*",
+      "*://bid.*",
+      "*://metrics.*",
+      "*/track/*",
+  });
+}
+
+AdBlocker::AdBlocker(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns)) {}
+
+bool AdBlocker::matches(std::string_view url) const {
+  for (const auto& pattern : patterns_)
+    if (util::glob_match(pattern, url)) return true;
+  return false;
+}
+
+std::size_t AdBlocker::count_blocked(const HarLog& log) const {
+  std::size_t count = 0;
+  for (const auto& entry : log.entries)
+    if (matches(entry.url)) ++count;
+  return count;
+}
+
+}  // namespace hispar::browser

@@ -1,0 +1,42 @@
+// EasyList-style ad/tracker request matcher.
+//
+// §6.3: "To detect advertisement and tracking related requests, we used
+// the Brave Browser Adblock library coupled with Easylist... We counted
+// all HTTP requests on a web page that would have been blocked." This is
+// a filter-list matcher over request URLs: it knows nothing about the
+// generator's ground-truth flags, mirroring how a real ad-blocker
+// classifies purely from URL patterns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "browser/har.h"
+
+namespace hispar::browser {
+
+class AdBlocker {
+ public:
+  // The bundled filter list: domain-anchor and path patterns covering
+  // the curated third-party head plus the synthetic tail's naming
+  // conventions (pixel./ads./bid./metrics. hosts, /track/ paths).
+  static AdBlocker easylist_lite();
+
+  explicit AdBlocker(std::vector<std::string> patterns);
+
+  // True if a request to `url` would be blocked.
+  bool matches(std::string_view url) const;
+
+  // Number of entries in `log` that the filter list blocks (the paper's
+  // "tracking requests" count).
+  std::size_t count_blocked(const HarLog& log) const;
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+
+ private:
+  std::vector<std::string> patterns_;  // glob patterns over full URLs
+};
+
+}  // namespace hispar::browser

@@ -1,0 +1,62 @@
+#include "browser/critical_path.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hispar::browser {
+
+CriticalPath critical_path(const web::WebPage& page,
+                           const LoadResult& result) {
+  if (result.har.entries.size() != page.objects.size())
+    throw std::invalid_argument(
+        "critical_path: load result does not match page");
+
+  // HAR entries are in completion-processing order; map back to object
+  // indices by URL (object URLs are unique within a page).
+  std::unordered_map<std::string, const HarEntry*> by_url;
+  for (const auto& entry : result.har.entries) by_url[entry.url] = &entry;
+
+  int last_object = -1;
+  double last_finish = -1.0;
+  for (std::size_t i = 0; i < page.objects.size(); ++i) {
+    const auto it = by_url.find(page.objects[i].url);
+    if (it == by_url.end())
+      throw std::invalid_argument("critical_path: URL missing from HAR");
+    const double finish = it->second->finished_at_ms();
+    if (finish > last_finish) {
+      last_finish = finish;
+      last_object = static_cast<int>(i);
+    }
+  }
+
+  CriticalPath path;
+  path.length_ms = last_finish;
+  // Walk ancestors back to the root.
+  for (int index = last_object; index >= 0;
+       index = page.objects[static_cast<std::size_t>(index)].parent_index) {
+    path.object_indices.push_back(index);
+    const auto& entry = *by_url.at(page.objects[static_cast<std::size_t>(index)].url);
+    path.fetch_ms += entry.timings.total();
+  }
+  std::reverse(path.object_indices.begin(), path.object_indices.end());
+  path.hops = static_cast<int>(path.object_indices.size()) - 1;
+  return path;
+}
+
+web::WebPage push_all_objects(web::WebPage page) {
+  for (std::size_t i = 1; i < page.objects.size(); ++i) {
+    page.objects[i].depth = 1;
+    page.objects[i].parent_index = 0;
+  }
+  return page;
+}
+
+web::WebPage with_added_hints(web::WebPage page, int dns_prefetch,
+                              int preconnect) {
+  page.hints.dns_prefetch += dns_prefetch;
+  page.hints.preconnect += preconnect;
+  return page;
+}
+
+}  // namespace hispar::browser

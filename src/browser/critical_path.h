@@ -1,0 +1,47 @@
+// Dependency-graph analysis and what-if optimizations (§5.4).
+//
+// Prior work (WProf, Polaris, Shandian, Vroom, Klotski) builds dependency
+// graphs to find and shorten the critical path of a page load; §5.4 notes
+// these systems were designed AND evaluated on landing pages only, whose
+// dependency graphs are deeper — so their reported gains may not carry
+// over to internal pages. This module provides:
+//  * critical-path extraction from a load (the chain of fetches that
+//    determined onLoad),
+//  * a Polaris/Server-Push-style page transform that makes every object
+//    discoverable from the root (depth 1), eliminating discovery chains,
+// so the gains can be measured per page type (bench_optimizations).
+#pragma once
+
+#include <vector>
+
+#include "browser/loader.h"
+#include "web/page.h"
+
+namespace hispar::browser {
+
+struct CriticalPath {
+  // Object indices (into WebPage::objects) from the root to the object
+  // whose completion defined onLoad.
+  std::vector<int> object_indices;
+  double length_ms = 0.0;  // finish time of the last object on the path
+  int hops = 0;            // dependency edges on the path
+  // Share of the path spent discovering objects (parse gaps) vs.
+  // fetching them.
+  double fetch_ms = 0.0;
+};
+
+// Requires `result` to come from loading exactly `page`.
+CriticalPath critical_path(const web::WebPage& page, const LoadResult& result);
+
+// Fine-grained dependency resolution / HTTP2 server push: every object
+// becomes discoverable as soon as the root document is parsed (depth 1).
+// Returns the transformed page; sizes, hosts and cacheability are
+// untouched.
+web::WebPage push_all_objects(web::WebPage page);
+
+// §5.5's open question: "which hints could help internal pages, and to
+// what extent" — adds `count` dns-prefetch + preconnect hints to a page.
+web::WebPage with_added_hints(web::WebPage page, int dns_prefetch,
+                              int preconnect);
+
+}  // namespace hispar::browser

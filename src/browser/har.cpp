@@ -1,0 +1,82 @@
+#include "browser/har.h"
+
+#include <set>
+#include <sstream>
+
+namespace hispar::browser {
+
+double HarLog::total_bytes() const {
+  double sum = 0.0;
+  for (const auto& e : entries) sum += e.body_size;
+  return sum;
+}
+
+std::size_t HarLog::unique_domains() const {
+  std::set<std::string> hosts;
+  for (const auto& e : entries) hosts.insert(e.host);
+  return hosts.size();
+}
+
+bool HarLog::has_mixed_content() const {
+  if (entries.empty() || entries.front().scheme != util::Scheme::kHttps)
+    return false;
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    if (entries[i].scheme == util::Scheme::kHttp) return true;
+  return false;
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_har_json(const HarLog& log) {
+  std::ostringstream os;
+  os << "{\"log\":{\"version\":\"1.2\",\"creator\":{\"name\":\"hispar-sim\","
+        "\"version\":\"1.0\"},\"pages\":[{\"id\":\"page_1\",\"title\":\""
+     << json_escape(log.page_url) << "\",\"pageTimings\":{\"onLoad\":"
+     << log.nav.on_load_ms << ",\"_firstPaint\":" << log.nav.first_paint_ms
+     << "}}],\"entries\":[";
+  for (std::size_t i = 0; i < log.entries.size(); ++i) {
+    const HarEntry& e = log.entries[i];
+    if (i) os << ',';
+    os << "{\"pageref\":\"page_1\",\"startedDateTime\":\"" << e.started_at_ms
+       << "\",\"request\":{\"method\":\"" << e.request_method
+       << "\",\"url\":\"" << json_escape(e.url)
+       << "\"},\"response\":{\"status\":" << e.status
+       << ",\"content\":{\"size\":" << e.body_size << ",\"mimeType\":\""
+       << json_escape(e.mime_type) << "\"},\"headers\":[";
+    for (std::size_t h = 0; h < e.response_headers.size(); ++h) {
+      if (h) os << ',';
+      const auto& header = e.response_headers[h];
+      const auto colon = header.find(':');
+      const std::string name = header.substr(0, colon);
+      const std::string value =
+          colon == std::string::npos
+              ? ""
+              : header.substr(header.find_first_not_of(' ', colon + 1));
+      os << "{\"name\":\"" << json_escape(name) << "\",\"value\":\""
+         << json_escape(value) << "\"}";
+    }
+    os << "]},\"timings\":{\"blocked\":" << e.timings.blocked
+       << ",\"dns\":" << e.timings.dns << ",\"connect\":" << e.timings.connect
+       << ",\"ssl\":" << e.timings.ssl << ",\"send\":" << e.timings.send
+       << ",\"wait\":" << e.timings.wait
+       << ",\"receive\":" << e.timings.receive << "}}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace hispar::browser

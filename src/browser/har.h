@@ -1,0 +1,77 @@
+// HTTP Archive (HAR) model.
+//
+// §3.1: "After each web-page visit using the automated browser, we
+// collected the HTTP Archive (HAR) files from the browser and data from
+// the Navigation Timing (NT) API." All of the paper's per-object
+// analysis (sizes, MIME mixes, cacheability, CDN bytes, timing phases)
+// reads HAR entries, so the analysis pipeline in src/core consumes this
+// representation — not the ground-truth WebPage — exactly as a real
+// measurement toolchain would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/url.h"
+
+namespace hispar::browser {
+
+// Per-entry timing phases, in milliseconds (w3c HAR spec §4.2.16).
+struct HarTimings {
+  double blocked = 0.0;
+  double dns = 0.0;
+  double connect = 0.0;  // TCP portion
+  double ssl = 0.0;      // TLS portion
+  double send = 0.0;
+  double wait = 0.0;
+  double receive = 0.0;
+
+  double total() const {
+    return blocked + dns + connect + ssl + send + wait + receive;
+  }
+};
+
+struct HarEntry {
+  std::string url;
+  std::string host;
+  util::Scheme scheme = util::Scheme::kHttps;
+  std::string mime_type;              // concrete type, e.g. "image/jpeg"
+  std::string request_method = "GET";
+  int status = 200;
+  double body_size = 0.0;             // bytes
+  bool cacheable = false;             // from Cache-Control/response code
+  double started_at_ms = 0.0;         // relative to navigationStart
+  HarTimings timings;
+  std::vector<std::string> response_headers;  // "name: value"
+  std::optional<std::string> dns_cname;       // observed CNAME target
+  // X-Cache response header value ("HIT"/"MISS") when present.
+  std::optional<std::string> x_cache;
+
+  double finished_at_ms() const { return started_at_ms + timings.total(); }
+};
+
+// Navigation Timing essentials (§4: PLT = navigationStart..firstPaint).
+struct NavigationTiming {
+  double navigation_start_ms = 0.0;
+  double first_paint_ms = 0.0;
+  double on_load_ms = 0.0;
+};
+
+struct HarLog {
+  std::string page_url;
+  std::vector<HarEntry> entries;
+  NavigationTiming nav;
+
+  double total_bytes() const;
+  std::size_t object_count() const { return entries.size(); }
+  std::size_t unique_domains() const;
+  // Passive mixed content: an HTTPS page with >= 1 HTTP subresource.
+  bool has_mixed_content() const;
+};
+
+// Serialize to (a subset of) the HAR 1.2 JSON format — enough for
+// external tooling to ingest.
+std::string to_har_json(const HarLog& log);
+
+}  // namespace hispar::browser

@@ -1,0 +1,58 @@
+#include "browser/hb_detect.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace hispar::browser {
+
+HbDetector HbDetector::standard() {
+  return HbDetector(
+      {
+          // Known header-bidding exchanges (prebid adapters).
+          "*ib.adnxs.com*",
+          "*casalemedia.com*",
+          "*hbopenbid.pubmatic.com*",
+          "*fastlane.rubiconproject.com*",
+          "*c.amazon-adsystem.com*",
+          "*://bid.*",
+      },
+      {
+          "*doubleclick.net*",
+          "*criteo.net*",
+          "*://ads.*",
+      });
+}
+
+HbDetector::HbDetector(std::vector<std::string> exchange_patterns,
+                       std::vector<std::string> ad_network_patterns)
+    : exchange_patterns_(std::move(exchange_patterns)),
+      ad_network_patterns_(std::move(ad_network_patterns)) {}
+
+HbResult HbDetector::analyze(const HarLog& log) const {
+  std::set<std::string> exchanges;
+  std::set<std::string> creatives;
+  for (const auto& entry : log.entries) {
+    for (const auto& pattern : exchange_patterns_) {
+      if (util::glob_match(pattern, entry.url)) {
+        exchanges.insert(entry.host);
+        break;
+      }
+    }
+    for (const auto& pattern : ad_network_patterns_) {
+      if (util::glob_match(pattern, entry.url)) {
+        // One creative request per URL; distinct URLs ~ slots.
+        creatives.insert(entry.url);
+        break;
+      }
+    }
+  }
+  HbResult result;
+  result.exchanges_contacted = exchanges.size();
+  // Client-side auctions hit multiple exchanges from the page itself.
+  result.header_bidding = exchanges.size() >= 2;
+  result.ad_slots = creatives.size();  // one creative request per slot
+  return result;
+}
+
+}  // namespace hispar::browser

@@ -1,0 +1,39 @@
+// Header-bidding detection (§6.3).
+//
+// The paper uses the open-source tools from Aqeel et al., "Untangling
+// Header Bidding Lore" (PAM'20) to find pages running client-side ad
+// auctions. Detection works from the HAR alone: a page runs header
+// bidding if it issues bid requests to two or more known HB exchange
+// endpoints before the ad is served; ad slots are approximated by the
+// number of distinct ad-network creative requests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "browser/har.h"
+
+namespace hispar::browser {
+
+struct HbResult {
+  bool header_bidding = false;
+  std::size_t exchanges_contacted = 0;  // distinct HB endpoints
+  std::size_t ad_slots = 0;
+};
+
+class HbDetector {
+ public:
+  static HbDetector standard();
+
+  explicit HbDetector(std::vector<std::string> exchange_patterns,
+                      std::vector<std::string> ad_network_patterns);
+
+  HbResult analyze(const HarLog& log) const;
+
+ private:
+  std::vector<std::string> exchange_patterns_;
+  std::vector<std::string> ad_network_patterns_;
+};
+
+}  // namespace hispar::browser

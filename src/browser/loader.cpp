@@ -1,0 +1,303 @@
+#include "browser/loader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "browser/speedindex.h"
+#include "net/handshake.h"
+#include "web/mime.h"
+
+namespace hispar::browser {
+
+namespace {
+
+constexpr double kMssBytes = 1460.0;
+constexpr double kInitialCwndSegments = 10.0;
+constexpr double kWarmCwndSegments = 40.0;
+
+// State the browser keeps per remote host during one page load.
+struct HostState {
+  bool dns_done = false;
+  double rtt_ms = 0.0;
+  net::Region server_region = net::Region::kNorthAmerica;
+  bool resolved_region = false;
+  // Per-connection next-free time (HTTP/1.1); HTTP/2 keeps exactly one
+  // entry and multiplexes on it.
+  std::vector<double> connection_free;
+  bool session_seen = false;  // enables TLS session resumption
+};
+
+double transfer_rounds(double bytes, bool warm_connection) {
+  const double cwnd = warm_connection ? kWarmCwndSegments : kInitialCwndSegments;
+  const double segments = std::max(1.0, bytes / kMssBytes);
+  if (segments <= cwnd) return 0.0;
+  return std::ceil(std::log2(segments / cwnd + 1.0));
+}
+
+}  // namespace
+
+PageLoader::PageLoader(LoaderEnv env) : env_(env) {
+  if (env_.latency == nullptr || env_.registry == nullptr ||
+      env_.cdn == nullptr || env_.resolver == nullptr)
+    throw std::invalid_argument("PageLoader: incomplete environment");
+}
+
+LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
+                            const LoadOptions& options) {
+  if (page.objects.empty())
+    throw std::invalid_argument("PageLoader: page has no objects");
+
+  LoadResult result;
+  result.har.page_url = page.url.str();
+  result.har.entries.reserve(page.objects.size());
+
+  std::map<std::string, HostState> hosts;
+
+  const net::TransportProtocol base_transport =
+      options.transport_override.value_or(page.transport);
+
+  // Resolve the serving region and RTT for a host, lazily, from the
+  // first object fetched from it.
+  const auto host_state = [&](const web::WebObject& o) -> HostState& {
+    HostState& hs = hosts[o.host];
+    if (!hs.resolved_region) {
+      if (o.via_cdn) {
+        const auto& provider = env_.registry->provider(o.cdn_provider_id);
+        hs.server_region =
+            env_.registry->nearest_edge(provider, env_.vantage, *env_.latency);
+      } else {
+        hs.server_region = o.origin_region;
+      }
+      hs.rtt_ms = env_.latency->rtt(env_.vantage, hs.server_region, rng);
+      hs.resolved_region = true;
+    }
+    return hs;
+  };
+
+  const auto dns_record_for = [&](const web::WebObject& o) {
+    net::DnsRecord record;
+    record.domain = o.host;
+    record.cdn_request_routing = o.via_cdn;
+    // Deterministic per-host TTL in [300, 3600) s; CDN-routed names are
+    // capped by the resolver model.
+    record.ttl_s = 300.0 + static_cast<double>(util::fnv1a(o.host) % 3300u);
+    record.client_query_rate = std::max(1e-6, o.request_rate * 5.0);
+    record.authoritative_region = o.origin_region;
+    return record;
+  };
+
+  // --- resource hints (§5.5) ---
+  // dns-prefetch warms DNS for the first N distinct non-root hosts;
+  // preconnect additionally establishes a connection at t=0 (off the
+  // critical path, but the handshake still happens and is counted).
+  if (options.use_resource_hints) {
+    int dns_budget = page.hints.dns_prefetch + page.hints.preconnect;
+    int conn_budget = page.hints.preconnect;
+    std::set<std::string> seen;
+    for (std::size_t i = 1; i < page.objects.size() && dns_budget > 0; ++i) {
+      const auto& o = page.objects[i];
+      if (o.host == page.url.host) continue;
+      if (!seen.insert(o.host).second) continue;
+      HostState& hs = host_state(o);
+      hs.dns_done = true;  // completed before the object is needed
+      --dns_budget;
+      if (conn_budget > 0) {
+        --conn_budget;
+        // Preconnect only helps when the crossorigin mode matches the
+        // eventual request; mismatches make the browser open a second
+        // connection anyway (a well-documented footgun), so roughly
+        // half of the preconnects yield a usable connection.
+        if (rng.chance(0.5)) {
+          const auto cost = net::handshake_cost(
+              o.is_https() ? net::TransportProtocol::kTcpTls13
+                           : net::TransportProtocol::kCleartextHttp,
+              false);
+          const double t = cost.round_trips * hs.rtt_ms + cost.cpu_ms;
+          hs.connection_free.push_back(t);
+          hs.session_seen = true;
+          ++result.handshakes;
+          result.handshake_time_ms += t;
+        }
+      }
+    }
+  }
+
+  // --- dependency-driven schedule ---
+  const std::size_t n = page.objects.size();
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> ready(n, 0.0);
+  // Min-heap of (ready_time, index); an object becomes ready when its
+  // parent has been fetched and parsed.
+  using QueueItem = std::pair<double, std::size_t>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  std::vector<std::vector<std::size_t>> children(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const int parent = page.objects[i].parent_index;
+    if (parent < 0 || static_cast<std::size_t>(parent) >= i)
+      throw std::logic_error("PageLoader: malformed dependency graph");
+    children[static_cast<std::size_t>(parent)].push_back(i);
+  }
+  queue.emplace(0.0, 0);
+
+  double first_paint_gate = 0.0;  // last render-blocking completion
+  // Render-blocking resources also serialize on the browser main
+  // thread: stylesheets and synchronous scripts are parsed/executed
+  // before first paint, so their *count and bytes* delay rendering even
+  // when their downloads overlap perfectly.
+  double blocking_main_thread_ms = 0.0;
+  std::vector<PaintEvent> paint_events;
+
+  while (!queue.empty()) {
+    const auto [ready_at, index] = queue.top();
+    queue.pop();
+    const web::WebObject& o = page.objects[index];
+    HostState& hs = host_state(o);
+
+    HarEntry entry;
+    entry.url = o.url;
+    entry.host = o.host;
+    entry.scheme = o.scheme;
+    entry.mime_type = std::string(web::representative_mime_type(o.mime));
+    entry.body_size = o.size_bytes;
+    entry.cacheable = o.cacheable;
+    entry.started_at_ms = ready_at;
+    entry.dns_cname = o.dns_cname;
+
+    double t = ready_at;
+
+    // DNS.
+    if (!hs.dns_done) {
+      const auto lookup = env_.resolver->resolve(
+          dns_record_for(o), options.start_time_s + t / 1000.0, rng);
+      entry.timings.dns = lookup.latency_ms;
+      t += lookup.latency_ms;
+      hs.dns_done = true;
+      ++result.dns_lookups;
+      result.dns_time_ms += lookup.latency_ms;
+    }
+
+    // Connection.
+    const bool https = o.is_https();
+    net::TransportProtocol transport =
+        https ? base_transport : net::TransportProtocol::kCleartextHttp;
+    if (options.transport_override) transport = *options.transport_override;
+    const bool h2 = page.http2 && https;
+    const std::size_t cap = options.reuse_connections ? (h2 ? 1u : 6u) : ~0u;
+
+    bool warm_transfer = false;
+    std::size_t conn_index = 0;
+    if (!options.reuse_connections || hs.connection_free.empty() ||
+        (!h2 && hs.connection_free.size() < cap &&
+         *std::min_element(hs.connection_free.begin(),
+                           hs.connection_free.end()) > t)) {
+      // Open a fresh connection.
+      const auto cost = net::handshake_cost(transport, hs.session_seen);
+      const double hs_time = cost.round_trips * hs.rtt_ms + cost.cpu_ms;
+      // Split round trips into TCP (1) and TLS (rest) for the HAR.
+      const double per_rtt = hs.rtt_ms;
+      entry.timings.connect = std::min(1, cost.round_trips) * per_rtt;
+      entry.timings.ssl = hs_time - entry.timings.connect;
+      t += hs_time;
+      hs.connection_free.push_back(t);
+      conn_index = hs.connection_free.size() - 1;
+      hs.session_seen = true;
+      ++result.handshakes;
+      result.handshake_time_ms += hs_time;
+    } else {
+      // Reuse: pick the earliest-free connection; block if it is busy.
+      conn_index = static_cast<std::size_t>(
+          std::min_element(hs.connection_free.begin(),
+                           hs.connection_free.end()) -
+          hs.connection_free.begin());
+      if (!h2 && hs.connection_free[conn_index] > t) {
+        entry.timings.blocked = hs.connection_free[conn_index] - t;
+        t = hs.connection_free[conn_index];
+      }
+      warm_transfer = true;
+    }
+
+    // Send: the request travels to the server (half a round trip).
+    entry.timings.send = 0.5 * hs.rtt_ms;
+    t += entry.timings.send;
+
+    // Server wait (CDN hierarchy or origin) + response propagation.
+    cdn::CdnRequest request;
+    request.url = o.url;
+    request.size_bytes = o.size_bytes;
+    request.request_rate = options.model_cdn_warmth ? o.request_rate : 0.0;
+    request.cacheable = o.cacheable;
+    request.client = env_.vantage;
+    request.origin = o.origin_region;
+    cdn::CdnResponse response;
+    if (o.via_cdn) {
+      response =
+          env_.cdn->serve(env_.registry->provider(o.cdn_provider_id), request, rng);
+      const auto& provider = env_.registry->provider(o.cdn_provider_id);
+      if (!provider.header_signature.empty())
+        entry.response_headers.push_back(provider.header_signature +
+                                         ": present");
+      if (!response.x_cache.empty()) {
+        entry.x_cache = response.x_cache;
+        entry.response_headers.push_back("x-cache: " + response.x_cache);
+        if (response.x_cache == "HIT")
+          ++result.x_cache_hits;
+        else
+          ++result.x_cache_misses;
+      }
+    } else {
+      request.origin = o.origin_region;
+      response = env_.cdn->serve_from_origin(request, rng);
+      response.wait_ms = o.origin_think_ms +
+                         0.3 * env_.latency->rtt(o.origin_region,
+                                                 o.origin_region, rng);
+    }
+    // Wait: server think time plus the response's return leg.
+    entry.timings.wait = 0.5 * hs.rtt_ms + response.wait_ms;
+    t += entry.timings.wait;
+
+    // Receive: slow-start rounds + serialization.
+    const double rounds = transfer_rounds(o.size_bytes, warm_transfer);
+    entry.timings.receive =
+        rounds * hs.rtt_ms * 0.8 + env_.latency->transfer_ms(o.size_bytes);
+    t += entry.timings.receive;
+
+    finish[index] = t;
+    if (!h2) hs.connection_free[conn_index] = t;
+
+    if (o.render_blocking || index == 0) {
+      first_paint_gate = std::max(first_paint_gate, t);
+      blocking_main_thread_ms +=
+          o.mime == web::MimeCategory::kJavaScript
+              ? 4.0 + o.size_bytes * 3.0e-4   // parse + execute
+              : 2.0 + o.size_bytes * 1.0e-4;  // parse + style calc
+    }
+    if (web::is_visual(o.mime))
+      paint_events.push_back(PaintEvent{t + 16.0, o.size_bytes});
+
+    result.har.entries.push_back(std::move(entry));
+
+    // Children become ready after this object is parsed.
+    for (std::size_t child : children[index]) {
+      const double parse_delay = rng.uniform(3.0, 15.0);
+      ready[child] = t + parse_delay;
+      queue.emplace(ready[child], child);
+    }
+  }
+
+  result.on_load_ms = *std::max_element(finish.begin(), finish.end());
+  result.plt_ms =
+      first_paint_gate + blocking_main_thread_ms + rng.uniform(10.0, 40.0);
+  result.speed_index_ms =
+      speed_index_ms(std::move(paint_events), result.plt_ms);
+  result.har.nav.first_paint_ms = result.plt_ms;
+  result.har.nav.on_load_ms = result.on_load_ms;
+  return result;
+}
+
+}  // namespace hispar::browser

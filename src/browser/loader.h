@@ -1,0 +1,77 @@
+// The page-load simulator ("the browser").
+//
+// Replaces the paper's automated Firefox 74 (§3.1). Given a WebPage and
+// the network substrate, it schedules every object fetch through DNS,
+// the per-origin connection pool, the CDN hierarchy and a
+// slow-start-aware transfer model, and emits:
+//  * a HAR log with the seven per-entry phases the paper analyzes
+//    (blocked, dns, connect, ssl, send, wait, receive — §5.6),
+//  * Navigation Timing (navigationStart -> firstPaint = the paper's PLT
+//    definition, §4),
+//  * SpeedIndex (§4),
+//  * handshake counts/times (§5.6).
+//
+// Loads are cold-cache (§3.1: "fetched each page with an empty cache and
+// new user profile"); the shared DNS resolver and CDN state persist
+// across loads, as in the real world.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "browser/har.h"
+#include "cdn/hierarchy.h"
+#include "net/connection.h"
+#include "net/dns.h"
+#include "util/rng.h"
+#include "web/page.h"
+
+namespace hispar::browser {
+
+struct LoaderEnv {
+  const net::LatencyModel* latency = nullptr;
+  const cdn::CdnRegistry* registry = nullptr;
+  cdn::CdnHierarchy* cdn = nullptr;
+  net::CachingResolver* resolver = nullptr;
+  net::Region vantage = net::Region::kNorthAmerica;
+};
+
+struct LoadOptions {
+  // Simulated wall-clock start of this load (seconds); advances DNS TTL
+  // expiry across a measurement campaign.
+  double start_time_s = 0.0;
+  // Ablation switches (bench_ablation): each disables one mechanism the
+  // landing/internal PLT gap is built from.
+  bool use_resource_hints = true;
+  bool model_cdn_warmth = true;
+  bool reuse_connections = true;
+  std::optional<net::TransportProtocol> transport_override;
+};
+
+struct LoadResult {
+  HarLog har;
+  double plt_ms = 0.0;  // navigationStart -> firstPaint (paper's PLT)
+  double on_load_ms = 0.0;
+  double speed_index_ms = 0.0;
+  int handshakes = 0;
+  double handshake_time_ms = 0.0;
+  int dns_lookups = 0;
+  double dns_time_ms = 0.0;
+  int x_cache_hits = 0;
+  int x_cache_misses = 0;
+};
+
+class PageLoader {
+ public:
+  explicit PageLoader(LoaderEnv env);
+
+  // `rng` is taken by value: a load consumes randomness; repeat loads of
+  // the same page should pass freshly forked streams.
+  LoadResult load(const web::WebPage& page, util::Rng rng,
+                  const LoadOptions& options = {});
+
+ private:
+  LoaderEnv env_;
+};
+
+}  // namespace hispar::browser

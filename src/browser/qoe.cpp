@@ -1,0 +1,61 @@
+#include "browser/qoe.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "web/mime.h"
+
+namespace hispar::browser {
+
+QoeMetrics qoe_metrics(const web::WebPage& page, const LoadResult& result) {
+  if (result.har.entries.size() != page.objects.size())
+    throw std::invalid_argument("qoe_metrics: load result does not match page");
+
+  std::unordered_map<std::string, const HarEntry*> by_url;
+  for (const auto& entry : result.har.entries) by_url[entry.url] = &entry;
+
+  QoeMetrics metrics;
+  metrics.first_paint_ms = result.plt_ms;
+
+  // Visual completeness timeline: (paint time, visual weight).
+  std::vector<std::pair<double, double>> paints;
+  double total_weight = 0.0;
+  double js_cost_ms = 0.0;
+  for (const auto& object : page.objects) {
+    const HarEntry* entry = by_url.at(object.url);
+    if (web::is_visual(object.mime)) {
+      const double at = std::max(entry->finished_at_ms(), result.plt_ms);
+      paints.emplace_back(at, object.size_bytes);
+      total_weight += object.size_bytes;
+    }
+    if (object.mime == web::MimeCategory::kJavaScript) {
+      // Parse + compile + execute, serialized on the main thread; async
+      // scripts still occupy it, just later.
+      js_cost_ms += 3.0 + object.size_bytes * 2.5e-4;
+    }
+  }
+
+  if (total_weight <= 0.0) {
+    metrics.visual_complete_90_ms = result.plt_ms;
+    metrics.visual_complete_ms = result.plt_ms;
+  } else {
+    std::sort(paints.begin(), paints.end());
+    double cumulative = 0.0;
+    metrics.visual_complete_ms = paints.back().first;
+    metrics.visual_complete_90_ms = paints.back().first;
+    for (const auto& [at, weight] : paints) {
+      cumulative += weight;
+      if (cumulative >= 0.9 * total_weight) {
+        metrics.visual_complete_90_ms = at;
+        break;
+      }
+    }
+  }
+
+  metrics.time_to_interactive_ms = result.plt_ms + js_cost_ms;
+  return metrics;
+}
+
+}  // namespace hispar::browser

@@ -1,0 +1,28 @@
+// Quality-of-experience metrics beyond PLT.
+//
+// §4 and §8 note PLT's "well-known shortcomings" and cite the QoE line
+// of work (SpeedIndex, above-the-fold time, Vesper's time-to-
+// interactivity). This module derives those richer metrics from a load:
+//  * visual_complete_ms(q): when the byte-weighted visual completeness
+//    first reaches quantile q (ATF-time is q = 0.9 ..1.0);
+//  * time_to_interactive_ms: first paint plus the serialized cost of
+//    the page's JavaScript (parse/compile/execute), a Vesper-flavoured
+//    lower bound on when the page responds to input.
+#pragma once
+
+#include "browser/loader.h"
+#include "web/page.h"
+
+namespace hispar::browser {
+
+struct QoeMetrics {
+  double first_paint_ms = 0.0;
+  double visual_complete_90_ms = 0.0;
+  double visual_complete_ms = 0.0;   // 100%
+  double time_to_interactive_ms = 0.0;
+};
+
+// Requires `result` to come from loading exactly `page`.
+QoeMetrics qoe_metrics(const web::WebPage& page, const LoadResult& result);
+
+}  // namespace hispar::browser

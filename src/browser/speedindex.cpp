@@ -1,0 +1,26 @@
+#include "browser/speedindex.h"
+
+#include <algorithm>
+
+namespace hispar::browser {
+
+double speed_index_ms(std::vector<PaintEvent> events, double first_paint_ms) {
+  double total_weight = 0.0;
+  for (auto& e : events) {
+    if (e.visual_weight <= 0.0) continue;
+    e.time_ms = std::max(e.time_ms, first_paint_ms);
+    total_weight += e.visual_weight;
+  }
+  if (total_weight <= 0.0) return 0.0;
+
+  // Visual completeness is a step function that jumps by w_i/W at t_i;
+  // SI = integral of (1 - VC) dt = sum_i (w_i / W) * t_i.
+  double si = 0.0;
+  for (const auto& e : events) {
+    if (e.visual_weight <= 0.0) continue;
+    si += (e.visual_weight / total_weight) * e.time_ms;
+  }
+  return si;
+}
+
+}  // namespace hispar::browser

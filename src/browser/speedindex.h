@@ -1,0 +1,26 @@
+// SpeedIndex.
+//
+// §4: "The SI score measures how quickly the content on a web page is
+// visually populated. A low SI score indicates that the page loads
+// quickly." SpeedIndex is defined as the integral over time of
+// (1 - visual completeness). We model visual completeness as the
+// byte-weighted fraction of *visual* content (images, HTML/CSS, fonts,
+// video) painted by time t; an object paints shortly after its download
+// completes, and nothing paints before first paint.
+#pragma once
+
+#include <vector>
+
+namespace hispar::browser {
+
+struct PaintEvent {
+  double time_ms = 0.0;      // when this content became visible
+  double visual_weight = 0.0;  // its contribution to completeness
+};
+
+// Returns the SpeedIndex in milliseconds. `first_paint_ms` clamps every
+// event: content cannot appear before the first paint. Events with
+// non-positive weight are ignored. Returns 0 for no visual content.
+double speed_index_ms(std::vector<PaintEvent> events, double first_paint_ms);
+
+}  // namespace hispar::browser

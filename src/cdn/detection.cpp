@@ -1,0 +1,31 @@
+#include "cdn/detection.h"
+
+#include "util/strings.h"
+
+namespace hispar::cdn {
+
+CdnDetector::CdnDetector(const CdnRegistry& registry) : registry_(&registry) {}
+
+DetectionResult CdnDetector::classify(const ObservedFetch& fetch) const {
+  for (const CdnProvider& p : registry_->providers()) {
+    for (const std::string& pattern : p.host_patterns) {
+      if (!pattern.empty() && util::glob_match(pattern, fetch.host))
+        return {true, p.id, "host-pattern"};
+    }
+    if (fetch.dns_cname) {
+      for (const std::string& pattern : p.cname_patterns) {
+        if (!pattern.empty() && util::glob_match(pattern, *fetch.dns_cname))
+          return {true, p.id, "cname"};
+      }
+    }
+    if (!p.header_signature.empty()) {
+      for (const std::string& header : fetch.response_headers) {
+        if (util::contains_ci(header, p.header_signature))
+          return {true, p.id, "header"};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace hispar::cdn

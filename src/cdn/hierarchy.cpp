@@ -1,0 +1,127 @@
+#include "cdn/hierarchy.h"
+
+#include <cmath>
+
+namespace hispar::cdn {
+
+std::string_view to_string(CacheLevel level) {
+  switch (level) {
+    case CacheLevel::kEdge: return "edge";
+    case CacheLevel::kParent: return "parent";
+    case CacheLevel::kOrigin: return "origin";
+  }
+  return "unknown";
+}
+
+CdnHierarchy::CdnHierarchy(const CdnRegistry& registry,
+                           const net::LatencyModel& latency,
+                           CdnHierarchyConfig config)
+    : registry_(&registry), latency_(&latency), config_(config) {}
+
+namespace {
+double jittered(double median_ms, double sigma, hispar::util::Rng& rng) {
+  return rng.lognormal(std::log(median_ms), sigma);
+}
+
+double warmth(double request_rate, double tc, double exponent) {
+  const double s = std::max(0.0, request_rate) * tc;
+  if (s <= 0.0) return 0.0;
+  const double sg = std::pow(s, exponent);
+  return sg / (1.0 + sg);
+}
+}  // namespace
+
+double CdnHierarchy::edge_warm_probability(double request_rate) const {
+  return warmth(request_rate, config_.edge_tc_s, config_.warmth_exponent);
+}
+
+double CdnHierarchy::parent_warm_probability(double request_rate) const {
+  return warmth(request_rate, config_.parent_tc_s, config_.warmth_exponent);
+}
+
+CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
+                                const CdnRequest& request, util::Rng& rng) {
+  ++requests_;
+  const net::Region edge =
+      registry_->nearest_edge(provider, request.client, *latency_);
+
+  CdnResponse response;
+  response.edge_region = edge;
+
+  if (!request.cacheable) {
+    // Proxied straight through to the origin over persistent connections.
+    response.served_from = CacheLevel::kOrigin;
+    response.wait_ms =
+        jittered(config_.edge_processing_ms, config_.processing_sigma, rng) +
+        latency_->rtt(edge, request.origin, rng) +
+        jittered(config_.origin_processing_ms, config_.processing_sigma, rng);
+    if (provider.emits_x_cache) response.x_cache = "MISS";
+    return response;
+  }
+
+  const std::string lru_key = provider.name + "|" + to_string(edge).data();
+  auto [it, inserted] = edge_lrus_.try_emplace(lru_key, config_.edge_lru_bytes);
+  LruCache& lru = it->second;
+
+  const bool warm_from_own_traffic = lru.touch(request.url);
+  const bool warm_from_world = rng.chance(edge_warm_probability(
+      request.request_rate));
+
+  if (warm_from_own_traffic || warm_from_world) {
+    ++edge_hits_;
+    lru.insert(request.url, static_cast<std::size_t>(request.size_bytes));
+    response.served_from = CacheLevel::kEdge;
+    response.wait_ms =
+        jittered(config_.edge_processing_ms, config_.processing_sigma, rng);
+    if (provider.emits_x_cache) response.x_cache = "HIT";
+    return response;
+  }
+
+  // Edge miss: consult the parent tier. Parent caches are typically in
+  // the same region as the edge (or one hop away); we charge one
+  // intra-region RTT.
+  lru.insert(request.url, static_cast<std::size_t>(request.size_bytes));
+  const double edge_parent_rtt = latency_->rtt(edge, edge, rng);
+  if (rng.chance(parent_warm_probability(request.request_rate))) {
+    response.served_from = CacheLevel::kParent;
+    response.wait_ms =
+        jittered(config_.edge_processing_ms, config_.processing_sigma, rng) +
+        edge_parent_rtt +
+        jittered(config_.parent_processing_ms, config_.processing_sigma, rng);
+    if (provider.emits_x_cache) response.x_cache = "MISS";
+    return response;
+  }
+
+  // Parent miss: fetch from the origin over the backhaul.
+  response.served_from = CacheLevel::kOrigin;
+  response.wait_ms =
+      jittered(config_.edge_processing_ms, config_.processing_sigma, rng) +
+      edge_parent_rtt +
+      jittered(config_.parent_processing_ms, config_.processing_sigma, rng) +
+      latency_->rtt(edge, request.origin, rng) +
+      jittered(config_.origin_processing_ms, config_.processing_sigma, rng);
+  if (provider.emits_x_cache) response.x_cache = "MISS";
+  return response;
+}
+
+CdnResponse CdnHierarchy::serve_from_origin(const CdnRequest& request,
+                                            util::Rng& rng) {
+  ++requests_;
+  CdnResponse response;
+  response.served_from = CacheLevel::kOrigin;
+  response.edge_region = request.origin;
+  // The client talks to the origin directly; propagation is accounted by
+  // the page-load scheduler (client<->server path), so wait here is just
+  // server think time.
+  response.wait_ms =
+      jittered(config_.origin_processing_ms, config_.processing_sigma, rng) +
+      0.5 * latency_->rtt(request.origin, request.origin, rng);
+  return response;
+}
+
+void CdnHierarchy::reset_stats() {
+  requests_ = 0;
+  edge_hits_ = 0;
+}
+
+}  // namespace hispar::cdn

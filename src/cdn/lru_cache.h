@@ -1,0 +1,80 @@
+// Byte-capacity LRU cache.
+//
+// Used for the deterministic layer of the CDN cache hierarchy (objects we
+// fetched recently during a measurement run stay hot) and directly
+// unit-tested; the probabilistic layer on top is in hierarchy.h.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace hispar::cdn {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {
+    if (capacity_ == 0) throw std::invalid_argument("LruCache: capacity 0");
+  }
+
+  // Returns true (and refreshes recency) if `key` is cached.
+  bool touch(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  bool contains(const std::string& key) const { return index_.count(key); }
+
+  // Inserts `key` with `size` bytes, evicting LRU entries as needed.
+  // Objects larger than the capacity are not admitted.
+  void insert(const std::string& key, std::size_t size) {
+    if (size > capacity_) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_ -= it->second->size;
+      it->second->size = size;
+      used_ += size;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Entry{key, size});
+      index_[key] = order_.begin();
+      used_ += size;
+    }
+    while (used_ > capacity_) evict_one();
+  }
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t entries() const { return index_.size(); }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+    used_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::size_t size;
+  };
+
+  void evict_one() {
+    const Entry& victim = order_.back();
+    used_ -= victim.size;
+    index_.erase(victim.key);
+    order_.pop_back();
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::list<Entry> order_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hispar::cdn

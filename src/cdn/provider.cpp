@@ -1,0 +1,158 @@
+#include "cdn/provider.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace hispar::cdn {
+
+namespace {
+
+using net::Region;
+
+constexpr auto kNA = Region::kNorthAmerica;
+constexpr auto kEU = Region::kEurope;
+constexpr auto kAS = Region::kAsia;
+constexpr auto kSA = Region::kSouthAmerica;
+constexpr auto kOC = Region::kOceania;
+
+struct Spec {
+  const char* name;
+  const char* host_pattern;
+  const char* cname_pattern;
+  const char* header;
+  bool x_cache;
+  std::initializer_list<Region> regions;
+};
+
+// Patterns follow the cdnfinder data set in spirit: every provider is
+// detectable by host suffix or CNAME target. The two providers the paper
+// names as emitting X-Cache (Akamai, Fastly) are flagged, plus a few
+// others that do so in practice.
+const Spec kSpecs[] = {
+    {"akamai", "*.akamaiedge.net", "*.edgekey.net", "x-akamai-request-id",
+     true, {kNA, kEU, kAS, kSA, kOC}},
+    {"akamai-static", "*.akamaized.net", "*.akamaized.net", "", true,
+     {kNA, kEU, kAS, kSA, kOC}},
+    {"cloudflare", "*.cloudflare.com", "*.cdn.cloudflare.net",
+     "server: cloudflare", false, {kNA, kEU, kAS, kSA, kOC}},
+    {"fastly", "*.fastly.net", "*.fastly.net", "x-served-by", true,
+     {kNA, kEU, kAS, kOC}},
+    {"cloudfront", "*.cloudfront.net", "*.cloudfront.net", "x-amz-cf-pop",
+     true, {kNA, kEU, kAS, kSA, kOC}},
+    {"google-cloud-cdn", "*.googleusercontent.com", "*.googlehosted.com",
+     "via: 1.1 google", false, {kNA, kEU, kAS, kSA, kOC}},
+    {"gstatic", "*.gstatic.com", "*.gstatic.com", "", false,
+     {kNA, kEU, kAS, kSA, kOC}},
+    {"azure-cdn", "*.azureedge.net", "*.azureedge.net", "x-msedge-ref", false,
+     {kNA, kEU, kAS, kOC}},
+    {"level3", "*.footprint.net", "*.footprint.net", "", false,
+     {kNA, kEU}},
+    {"limelight", "*.llnwd.net", "*.llnwd.net", "", false,
+     {kNA, kEU, kAS, kOC}},
+    {"edgecast", "*.edgecastcdn.net", "*.edgecastcdn.net", "", true,
+     {kNA, kEU, kAS}},
+    {"stackpath", "*.stackpathdns.com", "*.stackpathdns.com", "x-hw", false,
+     {kNA, kEU}},
+    {"keycdn", "*.kxcdn.com", "*.kxcdn.com", "x-edge-location", true,
+     {kNA, kEU, kAS}},
+    {"bunnycdn", "*.b-cdn.net", "*.b-cdn.net", "cdn-cache", true,
+     {kNA, kEU, kAS, kOC}},
+    {"cachefly", "*.cachefly.net", "*.cachefly.net", "", true, {kNA, kEU}},
+    {"cdn77", "*.cdn77.org", "*.cdn77.org", "x-77-cache", true, {kNA, kEU}},
+    {"cdnetworks", "*.cdngc.net", "*.cdngc.net", "", false, {kAS, kNA, kEU}},
+    {"chinacache", "*.ccgslb.com.cn", "*.ccgslb.com.cn", "", false, {kAS}},
+    {"alibaba-cdn", "*.alicdn.com", "*.cdngslb.com", "eagleid", false,
+     {kAS, kNA, kEU}},
+    {"tencent-cdn", "*.qcloudcdn.com", "*.cdn.dnsv1.com", "", false, {kAS}},
+    {"baidu-cdn", "*.bdydns.com", "*.bdydns.com", "", false, {kAS}},
+    {"incapsula", "*.incapdns.net", "*.incapdns.net", "x-iinfo", false,
+     {kNA, kEU, kAS}},
+    {"sucuri", "*.sucuri.net", "*.sucuri.net", "x-sucuri-cache", true,
+     {kNA, kEU}},
+    {"quantil", "*.mwcloudcdn.com", "*.mwcloudcdn.com", "", false,
+     {kAS, kNA}},
+    {"onapp", "*.worldcdn.net", "*.worldcdn.net", "", false, {kEU}},
+    {"leaseweb", "*.lswcdn.net", "*.lswcdn.net", "", false, {kEU, kNA}},
+    {"ovh-cdn", "*.ovscdn.com", "*.ovscdn.com", "", false, {kEU}},
+    {"belugacdn", "*.belugacdn.com", "*.belugacdn.com", "", false, {kNA}},
+    {"jsdelivr", "*.jsdelivr.net", "*.jsdelivr.net", "x-cache", true,
+     {kNA, kEU, kAS}},
+    {"unpkg", "*.unpkg.com", "*.unpkg.com", "x-cache", true, {kNA, kEU}},
+    {"cdnjs", "*.cdnjs.cloudflare.com", "*.cdn.cloudflare.net", "", false,
+     {kNA, kEU, kAS, kSA, kOC}},
+    {"akamai-ds", "*.download.akamai.com", "*.edgesuite.net", "", true,
+     {kNA, kEU, kAS, kSA, kOC}},
+    {"netlify", "*.netlify.app", "*.netlify.app", "x-nf-request-id", false,
+     {kNA, kEU, kAS}},
+    {"vercel", "*.vercel-dns.com", "*.vercel-dns.com", "x-vercel-cache", true,
+     {kNA, kEU, kAS}},
+    {"github-pages", "*.github.io", "*.github.io", "x-github-request-id",
+     true, {kNA, kEU}},
+    {"wp-engine", "*.wpengine.com", "*.wpengine.com", "x-cacheable", true,
+     {kNA, kEU}},
+    {"shopify-cdn", "*.shopifycdn.com", "*.shopifycdn.com", "x-sorting-hat",
+     false, {kNA, kEU, kAS}},
+    {"wix-cdn", "*.wixstatic.com", "*.wixdns.net", "x-seen-by", false,
+     {kNA, kEU}},
+    {"squarespace-cdn", "*.squarespace-cdn.com", "*.squarespace-cdn.com", "",
+     false, {kNA, kEU}},
+    {"highwinds", "*.hwcdn.net", "*.hwcdn.net", "x-hw", false, {kNA, kEU}},
+    {"yottaa", "*.yottaa.net", "*.yottaa.net", "", false, {kNA}},
+    {"instart", "*.insnw.net", "*.insnw.net", "x-instart-cache", true, {kNA}},
+    {"section-io", "*.squixa.net", "*.squixa.net", "section-io-cache", true,
+     {kNA, kEU, kOC}},
+    {"swiftserve", "*.swiftserve.com", "*.swiftserve.com", "", false,
+     {kEU, kAS}},
+};
+
+}  // namespace
+
+CdnRegistry CdnRegistry::standard() {
+  CdnRegistry registry;
+  int id = 0;
+  for (const Spec& spec : kSpecs) {
+    CdnProvider p;
+    p.id = id++;
+    p.name = spec.name;
+    p.host_patterns = {spec.host_pattern};
+    p.cname_patterns = {spec.cname_pattern};
+    p.header_signature = spec.header;
+    p.emits_x_cache = spec.x_cache;
+    p.edge_regions.assign(spec.regions.begin(), spec.regions.end());
+    registry.providers_.push_back(std::move(p));
+  }
+  return registry;
+}
+
+const CdnProvider& CdnRegistry::provider(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= providers_.size())
+    throw std::out_of_range("CdnRegistry: bad provider id");
+  return providers_[static_cast<std::size_t>(id)];
+}
+
+const CdnProvider* CdnRegistry::find_by_name(std::string_view name) const {
+  for (const auto& p : providers_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+net::Region CdnRegistry::nearest_edge(const CdnProvider& provider,
+                                      net::Region client,
+                                      const net::LatencyModel& latency) const {
+  if (provider.edge_regions.empty())
+    throw std::logic_error("CdnRegistry: provider without edge regions");
+  net::Region best = provider.edge_regions.front();
+  double best_rtt = std::numeric_limits<double>::max();
+  for (net::Region r : provider.edge_regions) {
+    const double rtt = latency.base_rtt(client, r);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace hispar::cdn

@@ -1,0 +1,54 @@
+// CDN provider registry.
+//
+// §5.1 identifies "more than 40 different CDNs" via the cdnfinder
+// heuristics (domain-name patterns, HTTP headers, CNAMEs). We carry a
+// registry of providers with their detection patterns, whether they emit
+// an X-Cache header (the paper uses X-Cache, supported by at least Akamai
+// and Fastly, to classify hits), and their edge footprint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/latency.h"
+
+namespace hispar::cdn {
+
+struct CdnProvider {
+  int id = -1;
+  std::string name;
+  // Host glob patterns that identify the provider (e.g. "*.akamaiedge.net").
+  std::vector<std::string> host_patterns;
+  // CNAME target patterns.
+  std::vector<std::string> cname_patterns;
+  // Distinctive response header ("server: cloudflare", "x-served-by", ...).
+  std::string header_signature;
+  bool emits_x_cache = false;
+  // Regions where the provider has edge presence; requests from a region
+  // without presence are served from the nearest listed region.
+  std::vector<net::Region> edge_regions;
+};
+
+class CdnRegistry {
+ public:
+  // Builds the default registry of 40+ providers.
+  static CdnRegistry standard();
+
+  const CdnProvider& provider(int id) const;
+  const CdnProvider* find_by_name(std::string_view name) const;
+  std::span<const CdnProvider> providers() const { return providers_; }
+  std::size_t size() const { return providers_.size(); }
+
+  // Nearest edge region of `provider` to `client`, by base RTT.
+  net::Region nearest_edge(const CdnProvider& provider, net::Region client,
+                           const net::LatencyModel& latency) const;
+
+ private:
+  std::vector<CdnProvider> providers_;
+};
+
+}  // namespace hispar::cdn

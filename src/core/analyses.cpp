@@ -1,0 +1,235 @@
+#include "core/analyses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hispar::core {
+
+std::vector<double> PairedComparison::deltas() const {
+  std::vector<double> out(landing.size());
+  for (std::size_t i = 0; i < landing.size(); ++i)
+    out[i] = landing[i] - internal_median[i];
+  return out;
+}
+
+double PairedComparison::fraction_landing_greater() const {
+  if (landing.empty()) throw std::logic_error("PairedComparison: empty");
+  std::size_t greater = 0;
+  for (std::size_t i = 0; i < landing.size(); ++i)
+    if (landing[i] > internal_median[i]) ++greater;
+  return static_cast<double>(greater) / static_cast<double>(landing.size());
+}
+
+double PairedComparison::geomean_ratio() const {
+  std::vector<double> ratios;
+  ratios.reserve(landing.size());
+  for (std::size_t i = 0; i < landing.size(); ++i)
+    if (landing[i] > 0.0 && internal_median[i] > 0.0)
+      ratios.push_back(landing[i] / internal_median[i]);
+  if (ratios.empty()) throw std::logic_error("geomean_ratio: no valid pairs");
+  return util::geometric_mean(ratios);
+}
+
+PairedComparison compare_metric(const std::vector<SiteObservation>& sites,
+                                const MetricFn& fn) {
+  PairedComparison out;
+  out.landing.reserve(sites.size());
+  out.internal_median.reserve(sites.size());
+  for (const auto& site : sites) {
+    out.landing.push_back(fn(site.landing));
+    out.internal_median.push_back(site.internal_median(fn));
+  }
+  return out;
+}
+
+std::vector<double> internal_values(const std::vector<SiteObservation>& sites,
+                                    const MetricFn& fn) {
+  std::vector<double> out;
+  for (const auto& site : sites)
+    for (const auto& metrics : site.internals) out.push_back(fn(metrics));
+  return out;
+}
+
+std::vector<double> landing_values(const std::vector<SiteObservation>& sites,
+                                   const MetricFn& fn) {
+  std::vector<double> out;
+  out.reserve(sites.size());
+  for (const auto& site : sites) out.push_back(fn(site.landing));
+  return out;
+}
+
+util::KsResult ks_landing_vs_internal(
+    const std::vector<SiteObservation>& sites, const MetricFn& fn) {
+  return util::ks_two_sample(landing_values(sites, fn),
+                             internal_values(sites, fn));
+}
+
+std::vector<double> delta_by_rank_bin(
+    const std::vector<SiteObservation>& sites, const MetricFn& fn,
+    std::size_t bins) {
+  return util::rank_bin_medians(compare_metric(sites, fn).deltas(), bins);
+}
+
+ContentMix content_mix(const std::vector<SiteObservation>& sites) {
+  ContentMix mix;
+  for (std::size_t category = 0; category < 9; ++category) {
+    std::vector<double> landing;
+    std::vector<double> internal;
+    for (const auto& site : sites) {
+      landing.push_back(site.landing.mix_fractions[category]);
+      for (const auto& metrics : site.internals)
+        internal.push_back(metrics.mix_fractions[category]);
+    }
+    mix.landing_median[category] = util::median(landing);
+    mix.internal_median[category] = util::median(internal);
+  }
+  return mix;
+}
+
+DepthProfile depth_profile(const std::vector<SiteObservation>& sites) {
+  DepthProfile profile;
+  for (std::size_t depth = 0; depth < 6; ++depth) {
+    std::vector<double> landing;
+    std::vector<double> internal;
+    for (const auto& site : sites) {
+      landing.push_back(site.landing.depth_counts[depth]);
+      for (const auto& metrics : site.internals)
+        internal.push_back(metrics.depth_counts[depth]);
+    }
+    profile.landing_median[depth] = util::median(landing);
+    profile.internal_median[depth] = util::median(internal);
+    profile.landing_p90[depth] = util::quantile(landing, 0.9);
+    profile.internal_p90[depth] = util::quantile(internal, 0.9);
+  }
+  return profile;
+}
+
+HintUsage hint_usage(const std::vector<SiteObservation>& sites) {
+  HintUsage usage;
+  std::size_t landing_with = 0;
+  std::size_t internal_zero = 0;
+  std::size_t internal_total = 0;
+  for (const auto& site : sites) {
+    usage.landing_counts.push_back(site.landing.hints_total);
+    if (site.landing.hints_total >= 1.0) ++landing_with;
+    for (const auto& metrics : site.internals) {
+      usage.internal_counts.push_back(metrics.hints_total);
+      ++internal_total;
+      if (metrics.hints_total < 1.0) ++internal_zero;
+    }
+  }
+  if (sites.empty() || internal_total == 0)
+    throw std::logic_error("hint_usage: empty campaign");
+  usage.landing_with_hints =
+      static_cast<double>(landing_with) / static_cast<double>(sites.size());
+  usage.internal_without_hints =
+      static_cast<double>(internal_zero) / static_cast<double>(internal_total);
+  return usage;
+}
+
+XCacheSummary x_cache_summary(const std::vector<SiteObservation>& sites) {
+  XCacheSummary summary;
+  double landing_hits = 0.0, landing_total = 0.0;
+  double internal_hits = 0.0, internal_total = 0.0;
+  for (const auto& site : sites) {
+    landing_hits += site.landing.x_cache_hits;
+    landing_total += site.landing.x_cache_hits + site.landing.x_cache_misses;
+    for (const auto& metrics : site.internals) {
+      internal_hits += metrics.x_cache_hits;
+      internal_total += metrics.x_cache_hits + metrics.x_cache_misses;
+    }
+  }
+  if (landing_total > 0.0)
+    summary.landing_hit_ratio = landing_hits / landing_total;
+  if (internal_total > 0.0)
+    summary.internal_hit_ratio = internal_hits / internal_total;
+  return summary;
+}
+
+WaitTimes wait_times(const std::vector<SiteObservation>& sites) {
+  WaitTimes times;
+  for (const auto& site : sites) {
+    times.landing_ms.insert(times.landing_ms.end(),
+                            site.landing.wait_samples_ms.begin(),
+                            site.landing.wait_samples_ms.end());
+    for (const auto& metrics : site.internals)
+      times.internal_ms.insert(times.internal_ms.end(),
+                               metrics.wait_samples_ms.begin(),
+                               metrics.wait_samples_ms.end());
+  }
+  return times;
+}
+
+SecuritySummary security_summary(const std::vector<SiteObservation>& sites) {
+  SecuritySummary summary;
+  for (const auto& site : sites) {
+    if (site.landing.is_http) ++summary.http_landing_sites;
+    if (site.landing.mixed_content) ++summary.mixed_landing_sites;
+    int http_internal = 0;
+    bool mixed_internal = false;
+    for (const auto& metrics : site.internals) {
+      if (metrics.is_http) ++http_internal;
+      if (metrics.mixed_content) mixed_internal = true;
+    }
+    // The paper's Fig. 8a counts insecure internal pages among sites
+    // with *secure* landing pages.
+    if (!site.landing.is_http) {
+      if (http_internal >= 1) ++summary.sites_with_http_internal;
+      if (http_internal >= 10) ++summary.sites_with_10plus_http_internal;
+      summary.insecure_internal_counts.push_back(http_internal);
+    }
+    if (mixed_internal) ++summary.sites_with_mixed_internal;
+  }
+  return summary;
+}
+
+std::vector<double> unseen_third_parties(
+    const std::vector<SiteObservation>& sites) {
+  std::vector<double> out;
+  out.reserve(sites.size());
+  for (const auto& site : sites) {
+    const std::set<std::string> internal = site.internal_third_parties();
+    std::size_t unseen = 0;
+    for (const auto& domain : internal)
+      if (!site.landing.third_parties.count(domain)) ++unseen;
+    out.push_back(static_cast<double>(unseen));
+  }
+  return out;
+}
+
+HbSummary hb_summary(const std::vector<SiteObservation>& sites) {
+  HbSummary summary;
+  for (const auto& site : sites) {
+    bool internal_hb = false;
+    for (const auto& metrics : site.internals)
+      internal_hb = internal_hb || metrics.header_bidding;
+    if (site.landing.header_bidding) {
+      ++summary.sites_with_hb_landing;
+    } else if (internal_hb) {
+      ++summary.sites_with_hb_internal_only;
+    }
+    if (site.landing.header_bidding || internal_hb) {
+      summary.landing_slots.push_back(site.landing.hb_ad_slots);
+      summary.internal_slots.push_back(
+          site.internal_median([](const PageMetrics& m) {
+            return m.hb_ad_slots;
+          }));
+    }
+  }
+  return summary;
+}
+
+std::vector<double> plt_delta_for_category(
+    const std::vector<SiteObservation>& sites, web::SiteCategory category) {
+  std::vector<double> out;
+  for (const auto& site : sites) {
+    if (site.category != category) continue;
+    const double delta =
+        site.landing.plt_ms - site.internal_median(metric::plt_ms);
+    out.push_back(delta / 1000.0);  // seconds, as the paper plots
+  }
+  return out;
+}
+
+}  // namespace hispar::core

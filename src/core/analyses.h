@@ -1,0 +1,150 @@
+// Per-figure analyses over a measurement campaign.
+//
+// Each function computes exactly the statistic a paper figure/table
+// reports; benches render them, tests assert their shape against the
+// paper's numbers (EXPERIMENTS.md records the comparison).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/measurement.h"
+#include "util/ks_test.h"
+#include "util/stats.h"
+
+namespace hispar::core {
+
+using MetricFn = std::function<double(const PageMetrics&)>;
+
+// Paired landing-vs-internal comparison of one metric (the paper's
+// standard analysis: per site, landing value minus the median of the
+// internal values; Figs. 2, 4a, 4b, 5, 6c).
+struct PairedComparison {
+  std::vector<double> landing;          // per site (ordered as the list)
+  std::vector<double> internal_median;  // per site
+
+  std::vector<double> deltas() const;   // landing - internal_median
+  // Fraction of sites where the landing value exceeds the internal
+  // median (the paper's headline percentages).
+  double fraction_landing_greater() const;
+  // Geometric mean of landing/internal ratios over sites where both are
+  // positive ("landing pages are, on average, 34% larger").
+  double geomean_ratio() const;
+};
+
+PairedComparison compare_metric(const std::vector<SiteObservation>& sites,
+                                const MetricFn& fn);
+
+// Two-sample KS test between the landing population and the internal
+// population of a metric (the paper's D values).
+util::KsResult ks_landing_vs_internal(
+    const std::vector<SiteObservation>& sites, const MetricFn& fn);
+
+// All internal-page samples of a metric (for CDFs).
+std::vector<double> internal_values(const std::vector<SiteObservation>& sites,
+                                    const MetricFn& fn);
+std::vector<double> landing_values(const std::vector<SiteObservation>& sites,
+                                   const MetricFn& fn);
+
+// Fig. 9 / Fig. 10: per-rank-bin medians of the per-site delta; sites
+// must be ordered by bootstrap rank (they are, in a built list).
+std::vector<double> delta_by_rank_bin(
+    const std::vector<SiteObservation>& sites, const MetricFn& fn,
+    std::size_t bins = 10);
+
+// §5.2 content mix: median byte-share per MIME category and page type.
+struct ContentMix {
+  std::array<double, 9> landing_median{};
+  std::array<double, 9> internal_median{};
+};
+ContentMix content_mix(const std::vector<SiteObservation>& sites);
+
+// §5.4: median object count per depth (1..4, 5+) per page type.
+struct DepthProfile {
+  std::array<double, 6> landing_median{};   // depth 0..4, 5+
+  std::array<double, 6> internal_median{};
+  std::array<double, 6> landing_p90{};
+  std::array<double, 6> internal_p90{};
+};
+DepthProfile depth_profile(const std::vector<SiteObservation>& sites);
+
+// §5.5 resource hints: fraction of pages with zero hints, hint-count
+// samples for CDFs.
+struct HintUsage {
+  double landing_with_hints = 0.0;   // fraction of landing pages >= 1 hint
+  double internal_without_hints = 0.0;  // fraction of internal pages == 0
+  std::vector<double> landing_counts;
+  std::vector<double> internal_counts;
+};
+HintUsage hint_usage(const std::vector<SiteObservation>& sites);
+
+// §5.1 X-Cache: aggregate hit ratio per page type.
+struct XCacheSummary {
+  double landing_hit_ratio = 0.0;
+  double internal_hit_ratio = 0.0;
+};
+XCacheSummary x_cache_summary(const std::vector<SiteObservation>& sites);
+
+// Fig. 7: per-object wait-time samples per page type.
+struct WaitTimes {
+  std::vector<double> landing_ms;
+  std::vector<double> internal_ms;
+};
+WaitTimes wait_times(const std::vector<SiteObservation>& sites);
+
+// §6.1 security: counts per the paper's Fig. 8a discussion.
+struct SecuritySummary {
+  int http_landing_sites = 0;
+  int sites_with_http_internal = 0;       // >= 1 HTTP internal page
+  int sites_with_10plus_http_internal = 0;
+  int mixed_landing_sites = 0;
+  int sites_with_mixed_internal = 0;
+  std::vector<double> insecure_internal_counts;  // per site
+};
+SecuritySummary security_summary(const std::vector<SiteObservation>& sites);
+
+// §6.2 Fig. 8b: per-site count of third parties seen on internal pages
+// but never on the landing page.
+std::vector<double> unseen_third_parties(
+    const std::vector<SiteObservation>& sites);
+
+// §6.3 header bidding.
+struct HbSummary {
+  int sites_with_hb_landing = 0;
+  int sites_with_hb_internal_only = 0;
+  std::vector<double> landing_slots;   // sites with HB
+  std::vector<double> internal_slots;
+};
+HbSummary hb_summary(const std::vector<SiteObservation>& sites);
+
+// Fig. 10c: PLT delta (landing - internal median, seconds) restricted to
+// one category.
+std::vector<double> plt_delta_for_category(
+    const std::vector<SiteObservation>& sites, web::SiteCategory category);
+
+// Standard metric accessors.
+namespace metric {
+inline double bytes(const PageMetrics& m) { return m.bytes; }
+inline double objects(const PageMetrics& m) { return m.objects; }
+inline double plt_ms(const PageMetrics& m) { return m.plt_ms; }
+inline double speed_index_ms(const PageMetrics& m) { return m.speed_index_ms; }
+inline double noncacheable(const PageMetrics& m) {
+  return m.noncacheable_objects;
+}
+inline double cdn_bytes_fraction(const PageMetrics& m) {
+  return m.cdn_bytes_fraction;
+}
+inline double unique_domains(const PageMetrics& m) { return m.unique_domains; }
+inline double handshakes(const PageMetrics& m) { return m.handshakes; }
+inline double handshake_time_ms(const PageMetrics& m) {
+  return m.handshake_time_ms;
+}
+inline double tracking_requests(const PageMetrics& m) {
+  return m.tracking_requests;
+}
+inline double hints_total(const PageMetrics& m) { return m.hints_total; }
+}  // namespace metric
+
+}  // namespace hispar::core

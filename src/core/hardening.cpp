@@ -1,0 +1,85 @@
+#include "core/hardening.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace hispar::core {
+
+HisparList harden(std::span<const HisparList> weeks,
+                  const HardeningConfig& config) {
+  if (weeks.empty()) throw std::invalid_argument("harden: no input weeks");
+  if (config.min_site_appearances == 0 || config.min_url_appearances == 0)
+    throw std::invalid_argument("harden: appearance thresholds must be >= 1");
+
+  struct SiteAccumulator {
+    std::size_t appearances = 0;
+    std::size_t best_rank = ~std::size_t{0};
+    std::string landing_url;
+    std::size_t landing_index = 0;
+    // url -> (appearances, page index)
+    std::map<std::string, std::pair<std::size_t, std::size_t>> urls;
+  };
+  std::map<std::string, SiteAccumulator> sites;
+
+  for (const HisparList& week : weeks) {
+    for (const UrlSet& set : week.sets) {
+      SiteAccumulator& acc = sites[set.domain];
+      ++acc.appearances;
+      acc.best_rank = std::min(acc.best_rank, set.bootstrap_rank);
+      acc.landing_url = set.urls.front();
+      acc.landing_index = set.page_indices.front();
+      for (std::size_t i = 1; i < set.urls.size(); ++i) {
+        auto& [count, page_index] = acc.urls[set.urls[i]];
+        ++count;
+        page_index = set.page_indices[i];
+      }
+    }
+  }
+
+  // Order sites by best rank.
+  std::vector<std::pair<std::string, const SiteAccumulator*>> ordered;
+  for (const auto& [domain, acc] : sites) {
+    if (acc.appearances >= config.min_site_appearances)
+      ordered.emplace_back(domain, &acc);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->best_rank != b.second->best_rank)
+                return a.second->best_rank < b.second->best_rank;
+              return a.first < b.first;
+            });
+
+  HisparList hardened;
+  hardened.name = std::string(weeks.front().name) + "-hardened";
+  hardened.week = weeks.back().week;
+  for (const auto& [domain, acc] : ordered) {
+    UrlSet set;
+    set.domain = domain;
+    set.bootstrap_rank = acc->best_rank;
+    set.urls.push_back(acc->landing_url);
+    set.page_indices.push_back(acc->landing_index);
+
+    // Most-persistent URLs first; ties by URL for determinism.
+    std::vector<std::pair<std::string, std::pair<std::size_t, std::size_t>>>
+        candidates(acc->urls.begin(), acc->urls.end());
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second.first != b.second.first)
+                  return a.second.first > b.second.first;
+                return a.first < b.first;
+              });
+    for (const auto& [url, info] : candidates) {
+      if (info.first < config.min_url_appearances) break;
+      if (config.urls_per_site != 0 &&
+          set.urls.size() >= config.urls_per_site)
+        break;
+      set.urls.push_back(url);
+      set.page_indices.push_back(info.second);
+    }
+    hardened.sets.push_back(std::move(set));
+  }
+  return hardened;
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,33 @@
+// List hardening (§3 + Pochat et al.).
+//
+// The paper: "If the churn in internal pages in H2K is deemed too high,
+// we can improve the list's stability by using the same techniques that
+// are used to improve the stability of top lists — averaging the results
+// over longer periods of time as Pochat et al. suggest." This is that
+// technique: combine k weekly builds into a Tranco-style hardened list
+// keeping the sites/URLs that persist across weeks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/hispar.h"
+
+namespace hispar::core {
+
+struct HardeningConfig {
+  // A site/URL must appear in at least this many of the input weeks.
+  std::size_t min_site_appearances = 2;
+  std::size_t min_url_appearances = 2;
+  // Cap on internal URLs per site in the hardened list (most-persistent
+  // first); 0 = no cap.
+  std::size_t urls_per_site = 0;
+};
+
+// Input lists must be non-empty and should be consecutive weekly builds
+// of the same configuration. The hardened list orders sites by their
+// best (lowest) bootstrap rank across the weeks.
+HisparList harden(std::span<const HisparList> weeks,
+                  const HardeningConfig& config = {});
+
+}  // namespace hispar::core

@@ -1,0 +1,130 @@
+#include "core/hispar.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hispar::core {
+
+std::size_t HisparList::total_urls() const {
+  std::size_t total = 0;
+  for (const auto& set : sets) total += set.urls.size();
+  return total;
+}
+
+HisparList HisparList::slice(std::size_t first, std::size_t count,
+                             std::string slice_name) const {
+  if (first >= sets.size()) throw std::out_of_range("HisparList::slice");
+  HisparList out;
+  out.name = std::move(slice_name);
+  out.week = week;
+  const std::size_t end = std::min(sets.size(), first + count);
+  out.sets.assign(sets.begin() + static_cast<std::ptrdiff_t>(first),
+                  sets.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+HisparList HisparList::top(std::size_t count, std::string slice_name) const {
+  return slice(0, count, std::move(slice_name));
+}
+
+HisparList HisparList::bottom(std::size_t count,
+                              std::string slice_name) const {
+  const std::size_t first = sets.size() > count ? sets.size() - count : 0;
+  return slice(first, count, std::move(slice_name));
+}
+
+const UrlSet* HisparList::find(const std::string& domain) const {
+  for (const auto& set : sets)
+    if (set.domain == domain) return &set;
+  return nullptr;
+}
+
+HisparBuilder::HisparBuilder(const web::SyntheticWeb& web,
+                             const toplist::TopListFactory& toplists,
+                             search::SearchEngine& engine)
+    : web_(&web), toplists_(&toplists), engine_(&engine) {}
+
+HisparList HisparBuilder::build(const HisparConfig& config,
+                                std::uint64_t week) {
+  stats_ = BuildStats{};
+
+  const std::size_t scan_limit = config.max_bootstrap_scan == 0
+                                     ? web_->site_count()
+                                     : config.max_bootstrap_scan;
+  const toplist::TopList bootstrap =
+      toplists_->weekly_list(config.bootstrap, week, scan_limit);
+
+  // Narrow the engine's index crawl budget for list building.
+  search::SearchEngineConfig engine_config = engine_->config();
+  engine_config.index.crawl_budget = config.index_crawl_budget;
+  search::SearchEngine engine(*web_, engine_config);
+
+  HisparList list;
+  list.name = config.name;
+  list.week = week;
+
+  // "Starting with the most popular site listed in A1M, we examine the
+  // sites one-by-one until Hispar has enough pages." (§3)
+  for (std::size_t rank = 1;
+       rank <= bootstrap.size() && list.sets.size() < config.target_sites;
+       ++rank) {
+    const std::string& domain = bootstrap.domain_at(rank);
+    ++stats_.sites_examined;
+
+    const auto results =
+        engine.site_query(domain, config.urls_per_site - 1, week);
+    if (results.size() < config.min_internal_results) {
+      ++stats_.sites_dropped;  // mostly non-English sites (§3)
+      continue;
+    }
+
+    const web::WebSite* site = web_->find_site(domain);
+    UrlSet set;
+    set.domain = domain;
+    set.bootstrap_rank = rank;
+    set.urls.push_back(site->page_url(0).str());
+    set.page_indices.push_back(0);
+    for (const auto& result : results) {
+      if (result.page_index == 0) continue;  // landing already included
+      set.urls.push_back(result.url);
+      set.page_indices.push_back(result.page_index);
+    }
+    list.sets.push_back(std::move(set));
+  }
+
+  stats_.queries_issued = engine.queries_issued();
+  stats_.spend_usd = static_cast<double>(stats_.queries_issued) *
+                     search::query_price_usd(engine_config.provider);
+  return list;
+}
+
+double site_churn(const HisparList& before, const HisparList& after) {
+  if (before.sets.empty()) throw std::invalid_argument("site_churn: empty");
+  std::set<std::string> after_domains;
+  for (const auto& set : after.sets) after_domains.insert(set.domain);
+  std::size_t gone = 0;
+  for (const auto& set : before.sets)
+    if (!after_domains.count(set.domain)) ++gone;
+  return static_cast<double>(gone) / static_cast<double>(before.sets.size());
+}
+
+double internal_url_churn(const HisparList& before, const HisparList& after) {
+  std::size_t total = 0;
+  std::size_t gone = 0;
+  for (const auto& set : before.sets) {
+    const UrlSet* counterpart = after.find(set.domain);
+    if (counterpart == nullptr) continue;  // only sites on both weeks
+    std::set<std::string> after_urls(counterpart->urls.begin(),
+                                     counterpart->urls.end());
+    for (std::size_t i = 1; i < set.urls.size(); ++i) {
+      ++total;
+      if (!after_urls.count(set.urls[i])) ++gone;
+    }
+  }
+  if (total == 0)
+    throw std::invalid_argument("internal_url_churn: no common sites");
+  return static_cast<double>(gone) / static_cast<double>(total);
+}
+
+}  // namespace hispar::core

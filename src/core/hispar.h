@@ -1,0 +1,93 @@
+// Hispar: the top list of landing AND internal page URLs (§3).
+//
+// Unlike domain-only top lists, Hispar is a list of URL *sets*: for each
+// site, the landing page plus the at-most-(N-1) most frequently visited
+// internal pages, discovered via `site:` search-engine queries. H1K has
+// 1000 sites x 20 URLs; H2K has ~2000 sites x 50 URLs, refreshed weekly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/engine.h"
+#include "toplist/providers.h"
+#include "web/generator.h"
+
+namespace hispar::core {
+
+struct UrlSet {
+  std::string domain;
+  std::size_t bootstrap_rank = 0;  // rank in the bootstrap (Alexa) list
+  // urls[0] is the landing page; the rest are internal pages. Although
+  // search results are ranked, §3 advises against reading meaning into
+  // the ordering of a URL set.
+  std::vector<std::string> urls;
+  // Parallel page indices into the generating WebSite (0 = landing);
+  // lets the measurement pipeline regenerate the same pages.
+  std::vector<std::size_t> page_indices;
+
+  std::size_t internal_count() const {
+    return urls.empty() ? 0 : urls.size() - 1;
+  }
+};
+
+struct HisparList {
+  std::string name;
+  std::uint64_t week = 0;
+  std::vector<UrlSet> sets;
+
+  std::size_t total_urls() const;
+  // Contiguous slice by position in the list (for Ht30/Ht100/Hb100).
+  HisparList slice(std::size_t first, std::size_t count,
+                   std::string name) const;
+  HisparList top(std::size_t count, std::string name) const;
+  HisparList bottom(std::size_t count, std::string name) const;
+  const UrlSet* find(const std::string& domain) const;
+};
+
+struct HisparConfig {
+  std::string name = "H1K";
+  std::size_t target_sites = 1000;
+  std::size_t urls_per_site = 20;  // N: 1 landing + (N-1) internal
+  // Sites whose search yields fewer internal results are dropped (§3.1
+  // uses 5 for H1K; §3 drops sites with < 10 results for H2K).
+  std::size_t min_internal_results = 5;
+  toplist::Provider bootstrap = toplist::Provider::kAlexa;
+  // How deep in the bootstrap list to look before giving up.
+  std::size_t max_bootstrap_scan = 0;  // 0 = universe size
+  std::size_t index_crawl_budget = 800;
+};
+
+// Build statistics (cost accounting, §7).
+struct BuildStats {
+  std::size_t sites_examined = 0;
+  std::size_t sites_dropped = 0;
+  std::uint64_t queries_issued = 0;
+  double spend_usd = 0.0;
+};
+
+class HisparBuilder {
+ public:
+  HisparBuilder(const web::SyntheticWeb& web,
+                const toplist::TopListFactory& toplists,
+                search::SearchEngine& engine);
+
+  HisparList build(const HisparConfig& config, std::uint64_t week);
+  const BuildStats& last_build_stats() const { return stats_; }
+
+ private:
+  const web::SyntheticWeb* web_;
+  const toplist::TopListFactory* toplists_;
+  search::SearchEngine* engine_;
+  BuildStats stats_;
+};
+
+// §3 stability metrics.
+// Fraction of sites present in `before` but absent from `after`.
+double site_churn(const HisparList& before, const HisparList& after);
+// Fraction of internal URLs present on week i but not week i+1, over
+// sites present in both weeks (order-insensitive, as the paper computes).
+double internal_url_churn(const HisparList& before, const HisparList& after);
+
+}  // namespace hispar::core

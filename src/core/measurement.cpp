@@ -1,0 +1,244 @@
+#include "core/measurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "browser/adblock.h"
+#include "browser/hb_detect.h"
+#include "cdn/detection.h"
+#include "util/stats.h"
+#include "web/mime.h"
+
+namespace hispar::core {
+
+namespace {
+
+// Median over loads, field by field.
+double median_of(std::vector<double>& values) {
+  return util::median(values);
+}
+
+}  // namespace
+
+double SiteObservation::internal_median(
+    const std::function<double(const PageMetrics&)>& fn) const {
+  if (internals.empty())
+    throw std::logic_error("SiteObservation: no internal pages");
+  std::vector<double> values;
+  values.reserve(internals.size());
+  for (const auto& metrics : internals) values.push_back(fn(metrics));
+  return util::median(values);
+}
+
+std::set<std::string> SiteObservation::internal_third_parties() const {
+  std::set<std::string> all;
+  for (const auto& metrics : internals)
+    all.insert(metrics.third_parties.begin(), metrics.third_parties.end());
+  return all;
+}
+
+MeasurementCampaign::MeasurementCampaign(const web::SyntheticWeb& web,
+                                         CampaignConfig config)
+    : web_(&web),
+      config_(config),
+      latency_(),
+      cdn_(web.cdn_registry(), latency_),
+      resolver_(net::ResolverConfig{"local", 1, 6.0,
+                                    net::Region::kNorthAmerica, 1.0},
+                latency_),
+      loader_(browser::LoaderEnv{&latency_, &web.cdn_registry(), &cdn_,
+                                 &resolver_, config.vantage}),
+      rng_(config.seed) {}
+
+PageMetrics MeasurementCampaign::measure_page(const web::WebSite& site,
+                                              std::size_t page_index,
+                                              int load_ordinal) {
+  static const browser::AdBlocker adblock = browser::AdBlocker::easylist_lite();
+  static const browser::HbDetector hb = browser::HbDetector::standard();
+  const cdn::CdnDetector detector(web_->cdn_registry());
+
+  const web::WebPage page = site.page(page_index);
+
+  browser::LoadOptions options = config_.load_options;
+  options.start_time_s = clock_s_;
+  clock_s_ += config_.inter_fetch_gap_s;
+
+  util::Rng load_rng = rng_.fork(site.domain())
+                           .fork(page_index)
+                           .fork(static_cast<std::uint64_t>(load_ordinal));
+  const browser::LoadResult result = loader_.load(page, load_rng, options);
+  const browser::HarLog& har = result.har;
+
+  PageMetrics m;
+  m.bytes = har.total_bytes();
+  m.objects = static_cast<double>(har.object_count());
+  m.plt_ms = result.plt_ms;
+  m.on_load_ms = result.on_load_ms;
+  m.speed_index_ms = result.speed_index_ms;
+  m.unique_domains = static_cast<double>(har.unique_domains());
+  m.handshakes = result.handshakes;
+  m.handshake_time_ms = result.handshake_time_ms;
+  m.dns_lookups = result.dns_lookups;
+  m.dns_time_ms = result.dns_time_ms;
+  m.x_cache_hits = result.x_cache_hits;
+  m.x_cache_misses = result.x_cache_misses;
+  m.is_http = page.url.scheme == util::Scheme::kHttp;
+  m.mixed_content = har.has_mixed_content();
+  m.hints_total = page.hints.total();  // DOM inspection (§5.5)
+
+  double cacheable_bytes = 0.0;
+  double cdn_bytes = 0.0;
+  for (const auto& entry : har.entries) {
+    if (entry.cacheable)
+      cacheable_bytes += entry.body_size;
+    else
+      ++m.noncacheable_objects;
+    // Content mix from HAR MIME types (§5.2).
+    const auto category = web::categorize_mime_type(entry.mime_type);
+    m.mix_fractions[static_cast<std::size_t>(category)] += entry.body_size;
+    // CDN classification via cdnfinder heuristics (§5.1).
+    cdn::ObservedFetch fetch{entry.host, entry.dns_cname,
+                             entry.response_headers};
+    if (detector.classify(fetch).via_cdn) cdn_bytes += entry.body_size;
+    // Third parties by registrable domain (§6.2).
+    if (util::is_third_party(page.url.host, entry.host))
+      m.third_parties.insert(util::registrable_domain(entry.host));
+    // Per-object wait phase (§5.6, Fig. 7).
+    if (m.wait_samples_ms.size() < config_.wait_sample_cap)
+      m.wait_samples_ms.push_back(entry.timings.wait);
+  }
+  if (m.bytes > 0.0) {
+    m.cacheable_bytes_fraction = cacheable_bytes / m.bytes;
+    m.cdn_bytes_fraction = cdn_bytes / m.bytes;
+    for (auto& fraction : m.mix_fractions) fraction /= m.bytes;
+  }
+
+  // Dependency depths via DevTools-style initiator tracking (§5.4).
+  for (const auto& object : page.objects) {
+    const auto depth =
+        static_cast<std::size_t>(std::min(object.depth, 5));
+    ++m.depth_counts[depth];
+  }
+
+  m.tracking_requests = static_cast<double>(adblock.count_blocked(har));
+  const browser::HbResult hb_result = hb.analyze(har);
+  m.header_bidding = hb_result.header_bidding;
+  m.hb_ad_slots = static_cast<double>(hb_result.ad_slots);
+  return m;
+}
+
+PageMetrics MeasurementCampaign::median_metrics(
+    std::vector<PageMetrics> loads) {
+  if (loads.empty())
+    throw std::invalid_argument("median_metrics: no loads");
+  if (loads.size() == 1) return loads.front();
+
+  PageMetrics out = loads.front();  // bools & page identity from load 1
+  const auto median_field = [&](double PageMetrics::* field) {
+    std::vector<double> values;
+    values.reserve(loads.size());
+    for (const auto& load : loads) values.push_back(load.*field);
+    out.*field = median_of(values);
+  };
+  median_field(&PageMetrics::bytes);
+  median_field(&PageMetrics::objects);
+  median_field(&PageMetrics::plt_ms);
+  median_field(&PageMetrics::on_load_ms);
+  median_field(&PageMetrics::speed_index_ms);
+  median_field(&PageMetrics::noncacheable_objects);
+  median_field(&PageMetrics::cacheable_bytes_fraction);
+  median_field(&PageMetrics::cdn_bytes_fraction);
+  median_field(&PageMetrics::x_cache_hits);
+  median_field(&PageMetrics::x_cache_misses);
+  median_field(&PageMetrics::unique_domains);
+  median_field(&PageMetrics::hints_total);
+  median_field(&PageMetrics::handshakes);
+  median_field(&PageMetrics::handshake_time_ms);
+  median_field(&PageMetrics::dns_lookups);
+  median_field(&PageMetrics::dns_time_ms);
+  median_field(&PageMetrics::tracking_requests);
+  median_field(&PageMetrics::hb_ad_slots);
+  for (std::size_t i = 0; i < out.mix_fractions.size(); ++i) {
+    std::vector<double> values;
+    for (const auto& load : loads) values.push_back(load.mix_fractions[i]);
+    out.mix_fractions[i] = median_of(values);
+  }
+  for (std::size_t i = 0; i < out.depth_counts.size(); ++i) {
+    std::vector<double> values;
+    for (const auto& load : loads) values.push_back(load.depth_counts[i]);
+    out.depth_counts[i] = median_of(values);
+  }
+  out.third_parties.clear();
+  out.wait_samples_ms.clear();
+  for (const auto& load : loads) {
+    out.third_parties.insert(load.third_parties.begin(),
+                             load.third_parties.end());
+    out.wait_samples_ms.insert(out.wait_samples_ms.end(),
+                               load.wait_samples_ms.begin(),
+                               load.wait_samples_ms.end());
+  }
+  return out;
+}
+
+std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
+  std::vector<SiteObservation> observations(list.sets.size());
+  std::vector<std::vector<PageMetrics>> landing_loads(list.sets.size());
+
+  // Landing pages: `landing_loads` interleaved rounds over all sites
+  // (the paper shuffles and iterates the landing set 10 times, §3.1).
+  for (int round = 0; round < config_.landing_loads; ++round) {
+    for (std::size_t s = 0; s < list.sets.size(); ++s) {
+      const web::WebSite* site = web_->find_site(list.sets[s].domain);
+      if (site == nullptr)
+        throw std::logic_error("campaign: unknown domain " +
+                               list.sets[s].domain);
+      landing_loads[s].push_back(measure_page(*site, 0, round));
+    }
+  }
+
+  // Internal pages: position-interleaved single fetches.
+  std::size_t max_internal = 0;
+  for (const auto& set : list.sets)
+    max_internal = std::max(max_internal, set.page_indices.size());
+  for (std::size_t position = 1; position < max_internal; ++position) {
+    for (std::size_t s = 0; s < list.sets.size(); ++s) {
+      const UrlSet& set = list.sets[s];
+      if (position >= set.page_indices.size()) continue;
+      const web::WebSite* site = web_->find_site(set.domain);
+      observations[s].internals.push_back(
+          measure_page(*site, set.page_indices[position], 0));
+    }
+  }
+
+  for (std::size_t s = 0; s < list.sets.size(); ++s) {
+    const UrlSet& set = list.sets[s];
+    observations[s].domain = set.domain;
+    observations[s].bootstrap_rank = set.bootstrap_rank;
+    observations[s].category =
+        web_->find_site(set.domain)->profile().category;
+    observations[s].landing = median_metrics(std::move(landing_loads[s]));
+  }
+  return observations;
+}
+
+SiteObservation MeasurementCampaign::measure_site(
+    const web::WebSite& site, const std::vector<std::size_t>& internal_pages) {
+  SiteObservation observation;
+  observation.domain = site.domain();
+  observation.bootstrap_rank = site.profile().rank;
+  observation.category = site.profile().category;
+
+  std::vector<PageMetrics> loads;
+  loads.reserve(static_cast<std::size_t>(config_.landing_loads));
+  for (int round = 0; round < config_.landing_loads; ++round)
+    loads.push_back(measure_page(site, 0, round));
+  observation.landing = median_metrics(std::move(loads));
+
+  observation.internals.reserve(internal_pages.size());
+  for (std::size_t page : internal_pages)
+    observation.internals.push_back(measure_page(site, page, 0));
+  return observation;
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,107 @@
+// The measurement campaign (§3.1).
+//
+// Reproduces the paper's fetch protocol over a Hispar list:
+//  * shuffle the landing pages, load each 10 times with a cold browser
+//    cache (we take per-metric medians over the loads);
+//  * fetch each internal page once (the population of internal samples
+//    captures the variance, §3.1 fn. 2);
+//  * leave >= 5 s between consecutive fetches (ethics, §3.1);
+//  * derive every metric from the HAR + Navigation Timing data the
+//    browser emits — CDN classification, tracker counts and header
+//    bidding are *detected* from the HAR (cdnfinder heuristics, EasyList
+//    matching, HB endpoint patterns), not read from generator ground
+//    truth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "browser/loader.h"
+#include "core/hispar.h"
+#include "web/generator.h"
+
+namespace hispar::core {
+
+struct PageMetrics {
+  double bytes = 0.0;
+  double objects = 0.0;
+  double plt_ms = 0.0;
+  double on_load_ms = 0.0;
+  double speed_index_ms = 0.0;
+  double noncacheable_objects = 0.0;
+  double cacheable_bytes_fraction = 0.0;
+  double cdn_bytes_fraction = 0.0;  // detected via cdnfinder heuristics
+  double x_cache_hits = 0.0;
+  double x_cache_misses = 0.0;
+  std::array<double, 9> mix_fractions{};   // byte share per MimeCategory
+  std::array<double, 6> depth_counts{};    // objects at depth 0..4, 5+
+  double unique_domains = 0.0;
+  double hints_total = 0.0;
+  double handshakes = 0.0;
+  double handshake_time_ms = 0.0;
+  double dns_lookups = 0.0;
+  double dns_time_ms = 0.0;
+  bool is_http = false;
+  bool mixed_content = false;
+  double tracking_requests = 0.0;  // EasyList-style blocked requests
+  bool header_bidding = false;
+  double hb_ad_slots = 0.0;
+  std::set<std::string> third_parties;   // registrable domains
+  std::vector<double> wait_samples_ms;   // per-object wait phase (capped)
+};
+
+struct SiteObservation {
+  std::string domain;
+  std::size_t bootstrap_rank = 0;
+  web::SiteCategory category = web::SiteCategory::kNews;
+  PageMetrics landing;                  // per-metric median of the loads
+  std::vector<PageMetrics> internals;   // one per internal page
+
+  // Median of an internal-page metric.
+  double internal_median(
+      const std::function<double(const PageMetrics&)>& fn) const;
+  // Union of third parties across internal pages.
+  std::set<std::string> internal_third_parties() const;
+};
+
+struct CampaignConfig {
+  int landing_loads = 10;
+  std::uint64_t seed = 20200312;  // H1K bootstrap date (§3.1)
+  double inter_fetch_gap_s = 5.0;
+  net::Region vantage = net::Region::kNorthAmerica;
+  browser::LoadOptions load_options;  // ablation switches pass through
+  std::size_t wait_sample_cap = 60;
+};
+
+class MeasurementCampaign {
+ public:
+  MeasurementCampaign(const web::SyntheticWeb& web, CampaignConfig config = {});
+
+  // Fetch and measure every URL set in the list.
+  std::vector<SiteObservation> run(const HisparList& list);
+
+  // Measure one explicit set of pages of one site (used by the §4
+  // limited exhaustive crawl and the examples).
+  SiteObservation measure_site(const web::WebSite& site,
+                               const std::vector<std::size_t>& internal_pages);
+
+ private:
+  PageMetrics measure_page(const web::WebSite& site, std::size_t page_index,
+                           int load_ordinal);
+  static PageMetrics median_metrics(std::vector<PageMetrics> loads);
+
+  const web::SyntheticWeb* web_;
+  CampaignConfig config_;
+  net::LatencyModel latency_;
+  cdn::CdnHierarchy cdn_;
+  net::CachingResolver resolver_;
+  browser::PageLoader loader_;
+  util::Rng rng_;
+  double clock_s_ = 0.0;
+};
+
+}  // namespace hispar::core

@@ -1,0 +1,201 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace hispar::core {
+
+std::string_view to_string(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kSearchEngine: return "search-engine";
+    case SelectionStrategy::kUniformRandom: return "uniform-random";
+    case SelectionStrategy::kBrowserTelemetry: return "browser-telemetry";
+    case SelectionStrategy::kPublisherCurated: return "publisher-curated";
+    case SelectionStrategy::kMonkeyTesting: return "monkey-testing";
+    case SelectionStrategy::kFirstLinks: return "first-links";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<std::size_t> uniform_random(const web::WebSite& site,
+                                        std::size_t pages, util::Rng& rng) {
+  std::set<std::size_t> picked;
+  const auto universe = static_cast<std::int64_t>(site.internal_page_count());
+  for (int attempt = 0;
+       attempt < 4000 && picked.size() < pages &&
+       picked.size() < site.internal_page_count();
+       ++attempt)
+    picked.insert(static_cast<std::size_t>(rng.uniform_int(1, universe)));
+  return {picked.begin(), picked.end()};
+}
+
+// Visit-rate-proportional sampling via the site's Zipf popularity: the
+// CrUX-style telemetry sample. Inverse-CDF over the Zipf tail:
+// P[index <= k] ~ (k/n)^(1-s) for s close to 1; we sample by powering a
+// uniform draw, which matches the popularity ordering the telemetry
+// projects expose.
+std::vector<std::size_t> telemetry_sample(const web::WebSite& site,
+                                          std::size_t pages,
+                                          util::Rng& rng) {
+  std::set<std::size_t> picked;
+  const double n = static_cast<double>(site.internal_page_count());
+  for (int attempt = 0;
+       attempt < 4000 && picked.size() < pages &&
+       picked.size() < site.internal_page_count();
+       ++attempt) {
+    // Heavily head-biased: u^20 concentrates on popular indices the way
+    // per-page-view sampling does under a Zipf(~1) popularity law.
+    const double u = rng.uniform();
+    auto index = static_cast<std::size_t>(std::pow(u, 20.0) * n) + 1;
+    if (index > site.internal_page_count())
+      index = site.internal_page_count();
+    picked.insert(index);
+  }
+  return {picked.begin(), picked.end()};
+}
+
+// Publisher-curated: a stratified sample across popularity deciles, the
+// "representative internal pages at a Well-Known URI" proposal. The
+// publisher knows its traffic, so strata are exact.
+std::vector<std::size_t> publisher_curated(const web::WebSite& site,
+                                           std::size_t pages,
+                                           util::Rng& rng) {
+  std::vector<std::size_t> picked;
+  const std::size_t universe = site.internal_page_count();
+  const std::size_t strata = std::min<std::size_t>(pages, 10);
+  const std::size_t per_stratum = std::max<std::size_t>(1, pages / strata);
+  std::set<std::size_t> seen;
+  for (std::size_t stratum = 0; stratum < strata; ++stratum) {
+    // Popularity deciles are exponential in index space under Zipf.
+    const double lo_frac = std::pow(static_cast<double>(stratum) / strata, 3.0);
+    const double hi_frac =
+        std::pow(static_cast<double>(stratum + 1) / strata, 3.0);
+    const auto lo = std::max<std::size_t>(
+        1, static_cast<std::size_t>(lo_frac * static_cast<double>(universe)));
+    const auto hi = std::max<std::size_t>(
+        lo, static_cast<std::size_t>(hi_frac * static_cast<double>(universe)));
+    for (std::size_t i = 0; i < per_stratum && picked.size() < pages; ++i) {
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(lo),
+                          static_cast<std::int64_t>(hi)));
+      if (seen.insert(index).second) picked.push_back(index);
+    }
+  }
+  return picked;
+}
+
+// Monkey testing: random clicks starting at the landing page (§2's
+// active-measurement studies). Biased toward pages reachable by short
+// link paths — i.e. toward what the site promotes, not what users read.
+std::vector<std::size_t> monkey_walk(const web::WebSite& site,
+                                     std::size_t pages,
+                                     std::size_t click_budget,
+                                     util::Rng& rng) {
+  std::set<std::size_t> visited;
+  std::size_t current = 0;  // landing
+  for (std::size_t click = 0;
+       click < click_budget && visited.size() < pages; ++click) {
+    const auto links = site.page_internal_links(current);
+    if (links.empty() || rng.chance(0.15)) {
+      current = 0;  // "back to start" — monkey got stuck or bored
+      continue;
+    }
+    current = links[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(links.size()) - 1))];
+    visited.insert(current);
+  }
+  return {visited.begin(), visited.end()};
+}
+
+std::vector<std::size_t> first_links(const web::WebSite& site,
+                                     std::size_t pages) {
+  std::vector<std::size_t> picked;
+  std::set<std::size_t> seen;
+  for (std::size_t target : site.page_internal_links(0)) {
+    if (picked.size() >= pages) break;
+    if (seen.insert(target).second) picked.push_back(target);
+  }
+  return picked;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_internal_pages(
+    const web::WebSite& site, SelectionStrategy strategy,
+    const SelectionConfig& config, search::SearchEngine* engine) {
+  util::Rng rng(config.seed ^ util::fnv1a(site.domain()));
+  switch (strategy) {
+    case SelectionStrategy::kSearchEngine: {
+      if (engine == nullptr)
+        throw std::invalid_argument(
+            "select_internal_pages: search strategy needs an engine");
+      std::vector<std::size_t> picked;
+      for (const auto& result :
+           engine->site_query(site.domain(), config.pages, config.week)) {
+        if (result.page_index != 0) picked.push_back(result.page_index);
+      }
+      return picked;
+    }
+    case SelectionStrategy::kUniformRandom:
+      return uniform_random(site, config.pages, rng);
+    case SelectionStrategy::kBrowserTelemetry:
+      return telemetry_sample(site, config.pages, rng);
+    case SelectionStrategy::kPublisherCurated:
+      return publisher_curated(site, config.pages, rng);
+    case SelectionStrategy::kMonkeyTesting:
+      return monkey_walk(site, config.pages, config.monkey_clicks, rng);
+    case SelectionStrategy::kFirstLinks:
+      return first_links(site, config.pages);
+  }
+  return {};
+}
+
+Representativeness selection_representativeness(
+    const web::WebSite& site, const std::vector<std::size_t>& selection,
+    std::size_t reference_sample, std::uint64_t seed) {
+  if (selection.empty())
+    throw std::invalid_argument("selection_representativeness: empty");
+
+  // Reference: a visit-weighted sample — what a user session actually
+  // sees, the paper's notion of "the browsing experience of real users".
+  util::Rng rng(seed ^ util::fnv1a(site.domain()));
+  std::vector<double> ref_size, ref_objects, ref_domains;
+  const double n = static_cast<double>(site.internal_page_count());
+  for (std::size_t i = 0; i < reference_sample; ++i) {
+    const double u = rng.uniform();
+    auto index = static_cast<std::size_t>(std::pow(u, 20.0) * n) + 1;
+    if (index > site.internal_page_count())
+      index = site.internal_page_count();
+    const web::WebPage page = site.page(index);
+    ref_size.push_back(page.total_bytes());
+    ref_objects.push_back(static_cast<double>(page.object_count()));
+    ref_domains.push_back(static_cast<double>(page.unique_domains()));
+  }
+
+  std::vector<double> sel_size, sel_objects, sel_domains;
+  for (std::size_t index : selection) {
+    const web::WebPage page = site.page(index);
+    sel_size.push_back(page.total_bytes());
+    sel_objects.push_back(static_cast<double>(page.object_count()));
+    sel_domains.push_back(static_cast<double>(page.unique_domains()));
+  }
+
+  const auto error = [](std::vector<double>& sel, std::vector<double>& ref) {
+    const double reference = util::median(ref);
+    if (reference <= 0.0) return 0.0;
+    return std::abs(util::median(sel) - reference) / reference;
+  };
+  Representativeness result;
+  result.size_error = error(sel_size, ref_size);
+  result.objects_error = error(sel_objects, ref_objects);
+  result.domains_error = error(sel_domains, ref_domains);
+  return result;
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,76 @@
+// Internal-page selection strategies (§7 "On Selecting Internal Pages").
+//
+// The paper uses search-engine results but discusses the alternatives at
+// length; this module implements all of them so they can be compared
+// (bench_selection):
+//  * kSearchEngine  — the Hispar approach: `site:` queries (§3);
+//  * kUniformRandom — a uniform sample of the page universe (the §4
+//    baseline used to argue N=19 suffices);
+//  * kBrowserTelemetry — CrUX/Mozilla-Telemetry style: sample pages in
+//    proportion to real visit rates ("Nudge web-browser vendors");
+//  * kPublisherCurated — the publisher names a representative set at a
+//    Well-Known URI: stratified over the site's popularity deciles
+//    ("Involve publishers");
+//  * kMonkeyTesting — random-walk navigation from the landing page, as
+//    the active-measurement studies in §2 do;
+//  * kFirstLinks — the naive crawler shortcut: the first links on the
+//    landing page (a known-biased straw man).
+//
+// Each strategy yields page indices for one site. `representativeness`
+// scores a selection by how closely its median size/objects/PLT-proxy
+// track the site's full population medians — the property §7 actually
+// cares about ("whether a given optimization is representative").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "search/engine.h"
+#include "web/generator.h"
+
+namespace hispar::core {
+
+enum class SelectionStrategy {
+  kSearchEngine,
+  kUniformRandom,
+  kBrowserTelemetry,
+  kPublisherCurated,
+  kMonkeyTesting,
+  kFirstLinks,
+};
+
+std::string_view to_string(SelectionStrategy strategy);
+
+struct SelectionConfig {
+  std::size_t pages = 19;          // internal pages to select
+  std::uint64_t seed = 4242;
+  std::uint64_t week = 0;          // for the search-engine strategy
+  std::size_t monkey_clicks = 400; // random-walk budget
+};
+
+// Select internal pages of `site` under `strategy`. May return fewer
+// than requested if the site is too small/sparse. The search-engine
+// strategy needs an engine; pass nullptr otherwise.
+std::vector<std::size_t> select_internal_pages(
+    const web::WebSite& site, SelectionStrategy strategy,
+    const SelectionConfig& config, search::SearchEngine* engine = nullptr);
+
+// Ground-truth representativeness of a selection: for each listed
+// metric the relative error between the selection median and the median
+// of a large reference sample of the site's pages (visit-weighted, i.e.
+// what users actually experience). Lower is better.
+struct Representativeness {
+  double size_error = 0.0;     // |median_sel - median_ref| / median_ref
+  double objects_error = 0.0;
+  double domains_error = 0.0;
+  double mean_error() const {
+    return (size_error + objects_error + domains_error) / 3.0;
+  }
+};
+
+Representativeness selection_representativeness(
+    const web::WebSite& site, const std::vector<std::size_t>& selection,
+    std::size_t reference_sample = 200, std::uint64_t seed = 99);
+
+}  // namespace hispar::core

@@ -1,0 +1,133 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace hispar::core {
+
+namespace {
+constexpr const char* kCsvHeader = "domain,bootstrap_rank,kind,page_index,url";
+}
+
+void write_csv(const HisparList& list, std::ostream& out) {
+  out << kCsvHeader << '\n';
+  for (const auto& set : list.sets) {
+    for (std::size_t i = 0; i < set.urls.size(); ++i) {
+      out << set.domain << ',' << set.bootstrap_rank << ','
+          << (i == 0 ? "landing" : "internal") << ',' << set.page_indices[i]
+          << ',' << set.urls[i] << '\n';
+    }
+  }
+}
+
+std::string to_csv(const HisparList& list) {
+  std::ostringstream os;
+  write_csv(list, os);
+  return os.str();
+}
+
+HisparList read_csv(std::istream& in, std::string name) {
+  HisparList list;
+  list.name = std::move(name);
+
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvHeader)
+    throw std::runtime_error("hispar csv: missing or bad header");
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 5)
+      throw std::runtime_error("hispar csv: wrong field count at line " +
+                               std::to_string(line_number));
+    const std::string& domain = fields[0];
+    char* end = nullptr;
+    const unsigned long rank = std::strtoul(fields[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+      throw std::runtime_error("hispar csv: bad rank at line " +
+                               std::to_string(line_number));
+    const bool is_landing = fields[2] == "landing";
+    if (!is_landing && fields[2] != "internal")
+      throw std::runtime_error("hispar csv: bad kind at line " +
+                               std::to_string(line_number));
+    const unsigned long page_index = std::strtoul(fields[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+      throw std::runtime_error("hispar csv: bad page index at line " +
+                               std::to_string(line_number));
+    if (!util::parse_url(fields[4]).has_value())
+      throw std::runtime_error("hispar csv: unparsable url at line " +
+                               std::to_string(line_number));
+
+    if (is_landing) {
+      UrlSet set;
+      set.domain = domain;
+      set.bootstrap_rank = rank;
+      set.urls.push_back(fields[4]);
+      set.page_indices.push_back(page_index);
+      list.sets.push_back(std::move(set));
+    } else {
+      if (list.sets.empty() || list.sets.back().domain != domain)
+        throw std::runtime_error(
+            "hispar csv: internal URL before its landing page at line " +
+            std::to_string(line_number));
+      list.sets.back().urls.push_back(fields[4]);
+      list.sets.back().page_indices.push_back(page_index);
+    }
+  }
+  return list;
+}
+
+HisparList from_csv(const std::string& csv, std::string name) {
+  std::istringstream is(csv);
+  return read_csv(is, std::move(name));
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_json(const HisparList& list) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(list.name) << "\",\"week\":"
+     << list.week << ",\"sites\":[";
+  for (std::size_t s = 0; s < list.sets.size(); ++s) {
+    const auto& set = list.sets[s];
+    if (s) os << ',';
+    os << "{\"domain\":\"" << json_escape(set.domain)
+       << "\",\"rank\":" << set.bootstrap_rank << ",\"urls\":[";
+    for (std::size_t i = 0; i < set.urls.size(); ++i) {
+      if (i) os << ',';
+      os << '"' << json_escape(set.urls[i]) << '"';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void save_csv(const HisparList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("hispar csv: cannot open " + path);
+  write_csv(list, out);
+}
+
+HisparList load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("hispar csv: cannot open " + path);
+  return read_csv(in, path);
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,33 @@
+// Hispar list serialization.
+//
+// The paper publishes H2K weekly as a downloadable artifact [49]; this
+// module reads/writes that artifact. Two formats:
+//  * CSV — one row per URL: domain, bootstrap rank, kind, page index,
+//    url (the published format);
+//  * JSON — nested URL sets, convenient for web tooling.
+// Round-tripping is exact (tests/test_serialization.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/hispar.h"
+
+namespace hispar::core {
+
+// --- CSV ---
+void write_csv(const HisparList& list, std::ostream& out);
+std::string to_csv(const HisparList& list);
+// Throws std::runtime_error on malformed input (bad header, bad rank,
+// internal URL before its landing page, unparsable URL).
+HisparList read_csv(std::istream& in, std::string name = "from-csv");
+HisparList from_csv(const std::string& csv, std::string name = "from-csv");
+
+// --- JSON (subset used by the published artifact) ---
+std::string to_json(const HisparList& list);
+
+// Convenience file helpers.
+void save_csv(const HisparList& list, const std::string& path);
+HisparList load_csv(const std::string& path);
+
+}  // namespace hispar::core

@@ -1,0 +1,67 @@
+#include "net/connection.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hispar::net {
+
+ConnectionPool::ConnectionPool(ConnectionPoolConfig config) : config_(config) {
+  if (config_.max_per_origin_h1 < 1)
+    throw std::invalid_argument("ConnectionPool: max_per_origin_h1 < 1");
+}
+
+ConnectionLease ConnectionPool::acquire(const std::string& host,
+                                        HttpVersion version) {
+  Origin& origin = origins_[host];
+  const int cap =
+      version == HttpVersion::kHttp2 ? 1 : config_.max_per_origin_h1;
+
+  // Prefer an idle existing connection.
+  for (auto& [id, load] : origin.in_flight) {
+    if (load == 0) {
+      ++load;
+      return {false, id};
+    }
+  }
+  // Open a new one if below the cap.
+  if (origin.connections < cap) {
+    const int id = origin.next_id++;
+    origin.in_flight[id] = 1;
+    ++origin.connections;
+    ++handshakes_;
+    return {true, id};
+  }
+  // Multiplex/queue on the least-loaded connection.
+  int best_id = -1;
+  int best_load = std::numeric_limits<int>::max();
+  for (auto& [id, load] : origin.in_flight) {
+    if (load < best_load) {
+      best_load = load;
+      best_id = id;
+    }
+  }
+  ++origin.in_flight[best_id];
+  return {false, best_id};
+}
+
+void ConnectionPool::release(const std::string& host, int connection_id) {
+  auto it = origins_.find(host);
+  if (it == origins_.end())
+    throw std::logic_error("ConnectionPool: release for unknown host");
+  auto conn = it->second.in_flight.find(connection_id);
+  if (conn == it->second.in_flight.end() || conn->second <= 0)
+    throw std::logic_error("ConnectionPool: release without acquire");
+  --conn->second;
+}
+
+int ConnectionPool::open_connections(const std::string& host) const {
+  const auto it = origins_.find(host);
+  return it == origins_.end() ? 0 : it->second.connections;
+}
+
+void ConnectionPool::clear() {
+  origins_.clear();
+  handshakes_ = 0;
+}
+
+}  // namespace hispar::net

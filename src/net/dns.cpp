@@ -1,0 +1,84 @@
+#include "net/dns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hispar::net {
+
+namespace {
+constexpr double kCdnRoutingTtlCap = 20.0;  // seconds
+}
+
+double effective_ttl_s(const DnsRecord& record) {
+  const double ttl = std::max(1.0, record.ttl_s);
+  return record.cdn_request_routing ? std::min(ttl, kCdnRoutingTtlCap) : ttl;
+}
+
+CachingResolver::CachingResolver(ResolverConfig config,
+                                 const LatencyModel& latency)
+    : config_(std::move(config)), latency_(&latency) {
+  if (config_.cache_shards < 1)
+    throw std::invalid_argument("CachingResolver: cache_shards < 1");
+}
+
+double CachingResolver::warm_probability(const DnsRecord& record) const {
+  // Poisson arrivals at rate lambda split uniformly over S shards keep a
+  // given shard's entry warm with probability 1 - exp(-lambda/S * ttl).
+  const double per_shard_rate =
+      record.client_query_rate / static_cast<double>(config_.cache_shards);
+  return 1.0 - std::exp(-per_shard_rate * effective_ttl_s(record));
+}
+
+DnsLookupResult CachingResolver::resolve(const DnsRecord& record, double now_s,
+                                         util::Rng& rng) {
+  ++queries_;
+  const int shard =
+      config_.cache_shards == 1
+          ? 0
+          : static_cast<int>(rng.uniform_int(0, config_.cache_shards - 1));
+  const CacheKey key{record.domain, shard};
+
+  const double ttl = effective_ttl_s(record);
+  auto it = expiry_.find(key);
+  bool warm = it != expiry_.end() && it->second > now_s;
+  if (!warm) {
+    // Entries kept warm by other clients of this resolver: sample the
+    // steady-state warm probability once per (expired) observation. The
+    // remaining TTL of an entry found warm this way is uniform in (0,ttl].
+    if (rng.chance(warm_probability(record))) {
+      warm = true;
+      expiry_[key] = now_s + rng.uniform() * ttl;
+      it = expiry_.find(key);
+    }
+  }
+
+  DnsLookupResult result;
+  if (warm) {
+    ++hits_;
+    result.cache_hit = true;
+    result.latency_ms = config_.client_rtt_ms + config_.processing_ms;
+    return result;
+  }
+
+  // Miss: recurse to the authoritative server.
+  const double upstream =
+      latency_->rtt(config_.resolver_region, record.authoritative_region, rng);
+  result.cache_hit = false;
+  result.latency_ms = config_.client_rtt_ms + config_.processing_ms + upstream;
+  expiry_[key] = now_s + ttl;
+  return result;
+}
+
+double CachingResolver::hit_rate() const {
+  if (queries_ == 0) return 0.0;
+  return static_cast<double>(hits_) / static_cast<double>(queries_);
+}
+
+void CachingResolver::clear() {
+  expiry_.clear();
+  queries_ = 0;
+  hits_ = 0;
+}
+
+}  // namespace hispar::net

@@ -1,0 +1,108 @@
+// DNS: authoritative records and caching recursive resolvers.
+//
+// Two things in the paper depend on DNS behaviour:
+//  * §5.3 (multi-origin content): the number of unique domains on a page
+//    determines the number of resolver queries a cold-cache load issues,
+//    and whether those queries are masked by the resolver cache depends on
+//    the hit rate. The authors measured ~30% hit rate at their local
+//    (ISP) resolver and ~20% at Google's public resolver for the top-5K
+//    Umbrella domains, attributing the low rates to short request-routing
+//    TTLs and cache fragmentation at Google.
+//  * Page-load simulation: every unique domain on a cold load costs a DNS
+//    round trip unless the shared resolver cache is warm.
+//
+// We model a resolver cache entry for a domain as "warm" according to a
+// Poisson arrival process of queries from the resolver's other clients:
+// P[warm] = 1 - exp(-arrival_rate * ttl). Cache fragmentation (the Google
+// effect) divides the per-shard arrival rate by the shard count, and each
+// query lands on a uniformly random shard. Second queries within a TTL
+// from the same client always hit (we track per-client positive caches
+// explicitly), which is exactly the probe methodology of §5.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/latency.h"
+#include "util/rng.h"
+
+namespace hispar::net {
+
+struct DnsRecord {
+  std::string domain;
+  double ttl_s = 60.0;        // authoritative TTL in seconds
+  // Queries per second arriving at a (single-shard) resolver for this
+  // domain from its whole client population; derived from domain
+  // popularity by the caller.
+  double client_query_rate = 0.01;
+  Region authoritative_region = Region::kNorthAmerica;
+  bool cdn_request_routing = false;  // CDN-routed names use tiny TTLs
+};
+
+struct DnsLookupResult {
+  bool cache_hit = false;
+  double latency_ms = 0.0;
+};
+
+struct ResolverConfig {
+  std::string name = "local";
+  // Number of independent cache shards (frontends that do not share a
+  // cache). 1 models an ISP resolver; >1 models anycast public resolvers
+  // with fragmented caches (Google Public DNS).
+  int cache_shards = 1;
+  // RTT from the client to the resolver (ms).
+  double client_rtt_ms = 6.0;
+  Region resolver_region = Region::kNorthAmerica;
+  // Extra server-side processing per query (ms).
+  double processing_ms = 1.0;
+};
+
+// A caching recursive resolver. Stateless with respect to wall-clock
+// time: callers pass `now_s` (simulated seconds).
+class CachingResolver {
+ public:
+  CachingResolver(ResolverConfig config, const LatencyModel& latency);
+
+  // Resolve `record.domain` at time `now_s`. On a miss the resolver
+  // contacts the authoritative server (one inter-region RTT) and caches
+  // the answer for the record's TTL in the shard that served the query.
+  DnsLookupResult resolve(const DnsRecord& record, double now_s,
+                          util::Rng& rng);
+
+  // Probability that an arbitrary query for `record` finds a warm entry,
+  // under the Poisson-arrivals model (used to pre-warm shards and in
+  // tests/analysis).
+  double warm_probability(const DnsRecord& record) const;
+
+  const ResolverConfig& config() const { return config_; }
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t hits() const { return hits_; }
+  double hit_rate() const;
+  void clear();
+
+ private:
+  struct CacheKey {
+    std::string domain;
+    int shard;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return std::hash<std::string>()(k.domain) * 31 +
+             static_cast<std::size_t>(k.shard);
+    }
+  };
+
+  ResolverConfig config_;
+  const LatencyModel* latency_;
+  std::unordered_map<CacheKey, double, CacheKeyHash> expiry_;  // now_s based
+  std::uint64_t queries_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+// Effective TTL used by resolvers for a record; CDN request-routing names
+// are capped at a few seconds in practice (Moura et al., IMC'19).
+double effective_ttl_s(const DnsRecord& record);
+
+}  // namespace hispar::net

@@ -1,0 +1,22 @@
+#include "net/doh.h"
+
+namespace hispar::net {
+
+DohResolver::DohResolver(CachingResolver& inner, DohConfig config)
+    : inner_(&inner), config_(config) {}
+
+DnsLookupResult DohResolver::resolve(const DnsRecord& record, double now_s,
+                                     util::Rng& rng) {
+  ++queries_;
+  DnsLookupResult result = inner_->resolve(record, now_s, rng);
+  double overhead = config_.per_query_overhead_ms;
+  if (!connected_) {
+    overhead += config_.connection_setup_ms;
+    connected_ = true;
+  }
+  result.latency_ms += overhead;
+  overhead_ms_ += overhead;
+  return result;
+}
+
+}  // namespace hispar::net

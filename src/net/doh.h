@@ -1,0 +1,49 @@
+// DNS-over-HTTPS cost model (§5.3's implications).
+//
+// Boettger et al. measured the per-query overhead of DoH versus DNS over
+// UDP and translated it into a PLT cost via the number of DNS requests a
+// page issues. Because landing pages contact more origins (Fig. 5),
+// a landing-page-only study "would overestimate the count of DNS
+// requests per page, and consequently miscalculate the cost of switching
+// over to DoH". This wrapper adds DoH's costs on top of any caching
+// resolver:
+//  * a TLS/TCP connection to the resolver on first use (amortized over
+//    the session),
+//  * fixed per-query HTTPS framing overhead,
+// so bench_doh can price the switch per page type.
+#pragma once
+
+#include "net/dns.h"
+
+namespace hispar::net {
+
+struct DohConfig {
+  // One-time connection establishment to the DoH resolver (TCP+TLS1.3,
+  // ~2 RTTs to a nearby anycast endpoint).
+  double connection_setup_ms = 30.0;
+  // Per-query HTTP/2 framing + TLS record overhead.
+  double per_query_overhead_ms = 4.0;
+};
+
+class DohResolver {
+ public:
+  DohResolver(CachingResolver& inner, DohConfig config = {});
+
+  // Same contract as CachingResolver::resolve, with DoH costs added.
+  DnsLookupResult resolve(const DnsRecord& record, double now_s,
+                          util::Rng& rng);
+
+  // Reset the (per-browser-session) DoH connection.
+  void new_session() { connected_ = false; }
+  std::uint64_t queries() const { return queries_; }
+  double total_overhead_ms() const { return overhead_ms_; }
+
+ private:
+  CachingResolver* inner_;
+  DohConfig config_;
+  bool connected_ = false;
+  std::uint64_t queries_ = 0;
+  double overhead_ms_ = 0.0;
+};
+
+}  // namespace hispar::net

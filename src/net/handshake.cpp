@@ -1,0 +1,38 @@
+#include "net/handshake.h"
+
+namespace hispar::net {
+
+std::string_view to_string(TransportProtocol p) {
+  switch (p) {
+    case TransportProtocol::kTcpTls12: return "tcp+tls1.2";
+    case TransportProtocol::kTcpTls13: return "tcp+tls1.3";
+    case TransportProtocol::kTfoTls13: return "tfo+tls1.3";
+    case TransportProtocol::kQuic: return "quic";
+    case TransportProtocol::kQuic0Rtt: return "quic-0rtt";
+    case TransportProtocol::kCleartextHttp: return "http";
+  }
+  return "unknown";
+}
+
+HandshakeCost handshake_cost(TransportProtocol protocol,
+                             bool session_resumption) {
+  switch (protocol) {
+    case TransportProtocol::kTcpTls12:
+      // SYN/SYN-ACK + ClientHello..Finished (2 RTT full, 1 RTT resumed).
+      return {1 + (session_resumption ? 1 : 2), 2.5};
+    case TransportProtocol::kTcpTls13:
+      return {1 + 1, 1.8};
+    case TransportProtocol::kTfoTls13:
+      // Data rides on the SYN; with resumption the TLS flight overlaps.
+      return {session_resumption ? 1 : 2, 1.8};
+    case TransportProtocol::kQuic:
+      return {1, 1.5};
+    case TransportProtocol::kQuic0Rtt:
+      return {0, 1.5};
+    case TransportProtocol::kCleartextHttp:
+      return {1, 0.2};
+  }
+  return {1, 0.0};
+}
+
+}  // namespace hispar::net

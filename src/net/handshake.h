@@ -1,0 +1,37 @@
+// Transport/TLS handshake cost model.
+//
+// §5.6 counts TCP+TLS handshakes per page (the HAR `connect` + `ssl`
+// phases) and argues that round-trip-saving protocols (QUIC, TCP Fast
+// Open, TLS 1.3) benefit landing pages more than internal pages because
+// landing pages perform ~25% more handshakes. We model each protocol by
+// its round-trip count before the first request byte can be sent.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hispar::net {
+
+enum class TransportProtocol : std::uint8_t {
+  kTcpTls12,        // TCP (1 RTT) + TLS 1.2 (2 RTT)
+  kTcpTls13,        // TCP (1 RTT) + TLS 1.3 (1 RTT)
+  kTfoTls13,        // TCP Fast Open + TLS 1.3: 1 RTT combined
+  kQuic,            // QUIC 1-RTT handshake
+  kQuic0Rtt,        // QUIC with a cached token: 0 RTT
+  kCleartextHttp,   // TCP only, no TLS (HTTP pages, §6.1)
+};
+
+std::string_view to_string(TransportProtocol p);
+
+struct HandshakeCost {
+  int round_trips = 0;      // network round trips before first request
+  double cpu_ms = 0.0;      // crypto/processing overhead
+};
+
+// Cost of a fresh connection establishment under `protocol`.
+// `session_resumption` applies TLS session resumption (saves one RTT for
+// TLS 1.2, enables 0-RTT data for TLS 1.3 over TFO).
+HandshakeCost handshake_cost(TransportProtocol protocol,
+                             bool session_resumption = false);
+
+}  // namespace hispar::net

@@ -1,0 +1,43 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hispar::net {
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica: return "north-america";
+    case Region::kEurope: return "europe";
+    case Region::kAsia: return "asia";
+    case Region::kSouthAmerica: return "south-america";
+    case Region::kOceania: return "oceania";
+  }
+  return "unknown";
+}
+
+LatencyModel::LatencyModel(LatencyConfig config) : config_(config) {
+  for (int i = 0; i < kRegionCount; ++i)
+    for (int j = 0; j < kRegionCount; ++j)
+      if (config_.rtt_ms[i][j] <= 0.0)
+        throw std::invalid_argument("LatencyModel: non-positive RTT");
+  if (config_.bandwidth_bytes_per_ms <= 0.0)
+    throw std::invalid_argument("LatencyModel: non-positive bandwidth");
+}
+
+double LatencyModel::base_rtt(Region a, Region b) const {
+  return config_.rtt_ms[static_cast<int>(a)][static_cast<int>(b)] +
+         config_.access_ms;
+}
+
+double LatencyModel::rtt(Region a, Region b, util::Rng& rng) const {
+  const double jitter = std::exp(rng.normal(0.0, config_.jitter_sigma));
+  return std::max(1.0, base_rtt(a, b) * jitter);
+}
+
+double LatencyModel::transfer_ms(double bytes) const {
+  return std::max(0.0, bytes) / config_.bandwidth_bytes_per_ms;
+}
+
+}  // namespace hispar::net

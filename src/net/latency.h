@@ -1,0 +1,69 @@
+// Wide-area latency model.
+//
+// The paper measures from a single vantage point (a server in the US,
+// §3.1) and explains the Fig. 10c "World category" PLT reversal by origin
+// servers and CDN front-ends being far from that vantage point. We model
+// the world as coarse regions with typical inter-region RTTs plus
+// lognormal jitter; bandwidth is modelled as a per-connection bytes/ms
+// rate with a per-object serialization delay.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace hispar::net {
+
+enum class Region : std::uint8_t {
+  kNorthAmerica = 0,
+  kEurope,
+  kAsia,
+  kSouthAmerica,
+  kOceania,
+};
+inline constexpr int kRegionCount = 5;
+
+std::string_view to_string(Region r);
+
+struct LatencyConfig {
+  // Minimum RTTs in milliseconds between region pairs; the matrix is
+  // symmetric and the diagonal holds the intra-region RTT.
+  // Values are typical public-Internet medians (cf. Bozkurt et al.,
+  // "Why is the Internet so slow?!", PAM'17).
+  double rtt_ms[kRegionCount][kRegionCount] = {
+      //  NA     EU     AS     SA     OC
+      {  18.0,  90.0, 160.0, 120.0, 150.0},  // NA
+      {  90.0,  16.0, 170.0, 190.0, 250.0},  // EU
+      { 160.0, 170.0,  30.0, 280.0, 130.0},  // AS
+      { 120.0, 190.0, 280.0,  25.0, 240.0},  // SA
+      { 150.0, 250.0, 130.0, 240.0,  22.0},  // OC
+  };
+  // Multiplicative lognormal jitter applied to each RTT sample:
+  // rtt * exp(N(0, jitter_sigma)). Queueing and path variance.
+  double jitter_sigma = 0.15;
+  // Last-mile access latency added to every RTT (ms).
+  double access_ms = 4.0;
+  // Downlink bandwidth in bytes per millisecond (50 Mbit/s ~ 6250 B/ms).
+  double bandwidth_bytes_per_ms = 6250.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig config = {});
+
+  // One RTT sample between two regions (jittered, >= 1 ms).
+  double rtt(Region a, Region b, util::Rng& rng) const;
+  // Median (un-jittered) RTT, for deterministic reasoning/tests.
+  double base_rtt(Region a, Region b) const;
+  // Time to move `bytes` over an established connection, one direction,
+  // excluding propagation.
+  double transfer_ms(double bytes) const;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_;
+};
+
+}  // namespace hispar::net

@@ -1,0 +1,34 @@
+#include "search/crawler.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace hispar::search {
+
+CrawlResult crawl_site(const web::WebSite& site, const CrawlConfig& config) {
+  CrawlResult result;
+  std::unordered_set<std::size_t> seen;
+  std::deque<std::size_t> frontier;
+  frontier.push_back(0);  // landing page
+  seen.insert(0);
+
+  while (!frontier.empty() && result.pages.size() < config.max_unique_pages) {
+    const std::size_t current = frontier.front();
+    frontier.pop_front();
+    ++result.link_fetches;
+    for (std::size_t target : site.page_internal_links(current)) {
+      if (seen.size() >= config.max_frontier) break;
+      if (!seen.insert(target).second) continue;
+      if (config.respect_robots && !site.robots().allows(target)) {
+        ++result.robots_skipped;
+        continue;
+      }
+      result.pages.push_back(target);
+      if (result.pages.size() >= config.max_unique_pages) break;
+      frontier.push_back(target);
+    }
+  }
+  return result;
+}
+
+}  // namespace hispar::search

@@ -1,0 +1,39 @@
+// Web crawler.
+//
+// Used two ways in the paper:
+//  * search engines crawl sites exhaustively (except robots.txt-excluded
+//    pages) to build their index (§3);
+//  * the authors run a "limited exhaustive crawl" of five sites (§4):
+//    follow links from the landing page until >= 5000 unique URLs are
+//    discovered, then sample 500 for fetching.
+//
+// The crawler walks the link graph only (page_internal_links); it does
+// not build page objects, matching how URL discovery is far cheaper than
+// page fetching.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "web/site.h"
+
+namespace hispar::search {
+
+struct CrawlConfig {
+  std::size_t max_unique_pages = 5000;
+  bool respect_robots = true;
+  // Breadth-first frontier cap as a safety valve.
+  std::size_t max_frontier = 200000;
+};
+
+struct CrawlResult {
+  // Discovered internal page indices, in BFS discovery order. The
+  // landing page (index 0) is the seed and is not listed.
+  std::vector<std::size_t> pages;
+  std::size_t link_fetches = 0;  // pages whose links were expanded
+  std::size_t robots_skipped = 0;
+};
+
+CrawlResult crawl_site(const web::WebSite& site, const CrawlConfig& config);
+
+}  // namespace hispar::search

@@ -1,0 +1,60 @@
+#include "search/engine.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hispar::search {
+
+double query_price_usd(SearchProvider provider) {
+  switch (provider) {
+    case SearchProvider::kGoogle: return 5.0 / 1000.0;
+    case SearchProvider::kBing: return 3.0 / 1000.0;
+  }
+  return 0.0;
+}
+
+SearchEngine::SearchEngine(const web::SyntheticWeb& web,
+                           SearchEngineConfig config)
+    : web_(&web), config_(config) {}
+
+std::vector<SearchResult> SearchEngine::site_query(const std::string& domain,
+                                                   std::size_t max_results,
+                                                   std::uint64_t week) {
+  std::vector<SearchResult> results;
+  const web::WebSite* site = web_->find_site(domain);
+  if (site == nullptr) {
+    ++queries_;  // a query against an unknown domain is still billed
+    return results;
+  }
+
+  const std::vector<IndexedPage> index =
+      build_site_index(*site, week, config_.index);
+
+  // The API serves up to `results_per_query` post-filter results per
+  // billed query; a sparse site still bills the (short or empty) last
+  // result page, which is why real per-list costs exceed the
+  // 10-results-per-query lower bound (§7).
+  std::set<std::string> seen_urls;
+  std::size_t in_current_page = 0;
+  ++queries_;  // the first result page is always fetched
+  for (const IndexedPage& entry : index) {
+    if (results.size() >= max_results) break;
+    if (config_.english_only && !entry.english) continue;
+    const std::string url = site->page_url(entry.page_index).str();
+    if (!seen_urls.insert(url).second) continue;
+    if (in_current_page ==
+        static_cast<std::size_t>(config_.results_per_query)) {
+      ++queries_;  // fetch the next result page
+      in_current_page = 0;
+    }
+    results.push_back(SearchResult{url, entry.page_index});
+    ++in_current_page;
+  }
+  return results;
+}
+
+double SearchEngine::spend_usd() const {
+  return static_cast<double>(queries_) * query_price_usd(config_.provider);
+}
+
+}  // namespace hispar::search

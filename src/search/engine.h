@@ -1,0 +1,65 @@
+// Search-engine API ("site:" queries) with pricing.
+//
+// Models the Google Custom Search / Bing Web Search APIs the paper uses
+// to discover internal pages (§3, §7):
+//  * a `site:domain` query returns up to `results_per_query` ranked,
+//    English-filtered web-page URLs per result page;
+//  * Google charges $5 per 1000 queries, Bing $3 (§7: "Generating a list
+//    of 100,000 URLs using Google would require at least 10,000 queries
+//    and would cost $50... our cost has consistently been around $70");
+//  * many sites return fewer than 10 distinct results per query, so real
+//    costs exceed the lower bound;
+//  * results for non-English sites can be near-empty (Hispar drops
+//    sites with too few English results).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/index.h"
+#include "web/generator.h"
+
+namespace hispar::search {
+
+enum class SearchProvider { kGoogle, kBing };
+
+struct SearchEngineConfig {
+  SearchProvider provider = SearchProvider::kGoogle;
+  int results_per_query = 10;
+  bool english_only = true;  // the paper restricts results to English
+  SiteIndexConfig index;
+};
+
+struct SearchResult {
+  std::string url;
+  std::size_t page_index = 0;
+};
+
+// Cost of API usage (§7).
+double query_price_usd(SearchProvider provider);  // per query
+
+class SearchEngine {
+ public:
+  SearchEngine(const web::SyntheticWeb& web, SearchEngineConfig config = {});
+
+  // Issue `site:domain` queries until `max_results` unique result URLs
+  // are collected or results are exhausted. Every result page consumed
+  // counts as one billed query. `week` selects the index snapshot.
+  std::vector<SearchResult> site_query(const std::string& domain,
+                                       std::size_t max_results,
+                                       std::uint64_t week);
+
+  std::uint64_t queries_issued() const { return queries_; }
+  double spend_usd() const;
+  void reset_billing() { queries_ = 0; }
+
+  const SearchEngineConfig& config() const { return config_; }
+
+ private:
+  const web::SyntheticWeb* web_;
+  SearchEngineConfig config_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace hispar::search

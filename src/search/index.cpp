@@ -1,0 +1,68 @@
+#include "search/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "search/crawler.h"
+#include "util/rng.h"
+
+namespace hispar::search {
+
+namespace {
+
+double churn_sigma(const web::WebSite& site, const SiteIndexConfig& config) {
+  switch (site.profile().category) {
+    case web::SiteCategory::kNews:
+    case web::SiteCategory::kSports:
+      return config.news_churn_sigma;
+    case web::SiteCategory::kReference:
+    case web::SiteCategory::kScience:
+      return config.base_churn_sigma * 0.5;
+    default:
+      return config.base_churn_sigma;
+  }
+}
+
+}  // namespace
+
+std::vector<IndexedPage> build_site_index(const web::WebSite& site,
+                                          std::uint64_t week,
+                                          const SiteIndexConfig& config) {
+  CrawlConfig crawl_config;
+  crawl_config.max_unique_pages = config.crawl_budget;
+  const CrawlResult crawl = crawl_site(site, crawl_config);
+
+  // In-crawl link counts contribute a PageRank-ish bonus.
+  std::unordered_map<std::size_t, int> inlinks;
+  for (std::size_t page : crawl.pages)
+    for (std::size_t target : site.page_internal_links(page)) ++inlinks[target];
+
+  // Freshness jitter is keyed by (site, week, page): a different subset
+  // of pages is "hot" every week.
+  util::Rng week_rng(util::fnv1a(site.domain()) ^ (week * 0x9e3779b97f4a7c15ULL));
+  const double sigma = churn_sigma(site, config);
+
+  std::vector<IndexedPage> index;
+  index.reserve(crawl.pages.size());
+  for (std::size_t page : crawl.pages) {
+    util::Rng page_rng = week_rng.fork(page);
+    IndexedPage entry;
+    entry.page_index = page;
+    entry.english = site.page_is_english(page);
+    const double popularity = site.page_visit_rate(page);
+    const double link_bonus =
+        1.0 + 0.15 * std::log1p(static_cast<double>(inlinks[page]));
+    entry.score = popularity * link_bonus *
+                  std::exp(page_rng.normal(0.0, sigma));
+    index.push_back(entry);
+  }
+  std::sort(index.begin(), index.end(),
+            [](const IndexedPage& a, const IndexedPage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.page_index < b.page_index;
+            });
+  return index;
+}
+
+}  // namespace hispar::search

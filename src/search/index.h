@@ -1,0 +1,41 @@
+// Search index.
+//
+// §3 ("Why use search engine results?"): search results combine
+// exhaustive crawling, link-based ranking (PageRank) and user click/
+// visit signals. The per-site index entry scores each crawled page by a
+// blend of its visit rate (the dominant signal: "results are biased
+// towards what people search for and click on") and its in-crawl link
+// count, with week-dependent freshness jitter — news sites churn their
+// headlines, so their result sets change more week over week (§3's 30%
+// weekly bottom-level churn).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "web/site.h"
+
+namespace hispar::search {
+
+struct IndexedPage {
+  std::size_t page_index = 0;
+  double score = 0.0;
+  bool english = true;
+};
+
+struct SiteIndexConfig {
+  std::size_t crawl_budget = 3000;  // pages discovered per site
+  // Week-over-week score jitter: sigma of the lognormal freshness factor
+  // by category volatility (news headlines vs. reference articles).
+  double base_churn_sigma = 0.55;
+  double news_churn_sigma = 1.25;
+};
+
+// Index for one site at one point in time (`week` selects the freshness
+// draw). Results are sorted by descending score.
+std::vector<IndexedPage> build_site_index(const web::WebSite& site,
+                                          std::uint64_t week,
+                                          const SiteIndexConfig& config = {});
+
+}  // namespace hispar::search

@@ -1,0 +1,110 @@
+#include "survey/classifier.h"
+
+#include <array>
+
+namespace hispar::survey {
+
+std::vector<const PaperRecord*> term_search(
+    const std::vector<PaperRecord>& corpus) {
+  std::vector<const PaperRecord*> hits;
+  for (const auto& paper : corpus)
+    if (!paper.matched_terms.empty()) hits.push_back(&paper);
+  return hits;
+}
+
+std::vector<const PaperRecord*> filter_false_positives(
+    std::vector<const PaperRecord*> candidates) {
+  std::vector<const PaperRecord*> kept;
+  kept.reserve(candidates.size());
+  for (const auto* paper : candidates)
+    if (!paper->term_is_false_positive) kept.push_back(paper);
+  return kept;
+}
+
+SurveySummary summarize(const std::vector<PaperRecord>& corpus) {
+  SurveySummary s;
+  s.total_papers = static_cast<int>(corpus.size());
+  const auto hits = term_search(corpus);
+  s.matched_terms = static_cast<int>(hits.size());
+  const auto users = filter_false_positives(hits);
+  s.using_top_list = static_cast<int>(users.size());
+  for (const auto* paper : users) {
+    switch (paper->revision) {
+      case RevisionScore::kMajor: ++s.major; break;
+      case RevisionScore::kMinor: ++s.minor; break;
+      case RevisionScore::kNo: ++s.no_revision; break;
+    }
+    switch (paper->internal_pages) {
+      case InternalPageUse::kUserTraces:
+        ++s.trace_based;
+        ++s.using_internal_pages;
+        break;
+      case InternalPageUse::kActiveCrawling:
+        ++s.active_crawling;
+        ++s.using_internal_pages;
+        break;
+      case InternalPageUse::kNone:
+        break;
+    }
+  }
+  return s;
+}
+
+util::TextTable render_table1(const std::vector<PaperRecord>& corpus) {
+  struct Row {
+    int pubs = 0, use = 0, major = 0, minor = 0, no = 0;
+  };
+  std::array<Row, kVenueCount> rows;
+  for (const auto& paper : corpus)
+    ++rows[static_cast<std::size_t>(paper.venue)].pubs;
+  for (const auto* paper : filter_false_positives(term_search(corpus))) {
+    Row& row = rows[static_cast<std::size_t>(paper->venue)];
+    ++row.use;
+    switch (paper->revision) {
+      case RevisionScore::kMajor: ++row.major; break;
+      case RevisionScore::kMinor: ++row.minor; break;
+      case RevisionScore::kNo: ++row.no; break;
+    }
+  }
+
+  util::TextTable table(
+      {"Venue", "#Pubs", "#using top list", "Maj.", "Min.", "No"});
+  for (int v = 0; v < kVenueCount; ++v) {
+    const Row& row = rows[static_cast<std::size_t>(v)];
+    table.add_row({std::string(to_string(static_cast<Venue>(v))),
+                   std::to_string(row.pubs), std::to_string(row.use),
+                   std::to_string(row.major), std::to_string(row.minor),
+                   std::to_string(row.no)});
+  }
+  return table;
+}
+
+namespace {
+double major_fraction(const std::vector<PaperRecord>& corpus,
+                      long long threshold, bool pages) {
+  int majors = 0;
+  int within = 0;
+  for (const auto& paper : corpus) {
+    if (!paper.uses_top_list || paper.term_is_false_positive) continue;
+    if (paper.revision != RevisionScore::kMajor) continue;
+    ++majors;
+    const long long value =
+        pages ? paper.pages_measured : paper.sites_measured;
+    if (value <= threshold) ++within;
+  }
+  if (majors == 0) return 0.0;
+  return static_cast<double>(within) / static_cast<double>(majors);
+}
+}  // namespace
+
+double major_fraction_sites_at_most(const std::vector<PaperRecord>& corpus,
+                                    long long threshold) {
+  return major_fraction(corpus, threshold, /*pages=*/false);
+}
+
+double major_fraction_pages_at_most(const std::vector<PaperRecord>& corpus,
+                                    long long threshold) {
+  return major_fraction(corpus, threshold, /*pages=*/true);
+}
+
+}  // namespace hispar::survey

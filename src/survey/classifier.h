@@ -1,0 +1,49 @@
+// Survey pipeline: term search -> false-positive filter -> review ->
+// Table 1 aggregation (§2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "survey/corpus.h"
+#include "util/table.h"
+
+namespace hispar::survey {
+
+// Stage 1: programmatic search of the "PDFs" for top-list terms.
+// Returns the papers with >= 1 matched term.
+std::vector<const PaperRecord*> term_search(
+    const std::vector<PaperRecord>& corpus);
+
+// Stage 2: manual inspection drops false positives ("Alexa" Echo Dot,
+// lists mentioned only in related work).
+std::vector<const PaperRecord*> filter_false_positives(
+    std::vector<const PaperRecord*> candidates);
+
+// Stage 3 aggregates.
+struct SurveySummary {
+  int total_papers = 0;
+  int matched_terms = 0;
+  int using_top_list = 0;
+  int using_internal_pages = 0;  // traces + active
+  int trace_based = 0;
+  int active_crawling = 0;
+  int major = 0;
+  int minor = 0;
+  int no_revision = 0;
+};
+
+SurveySummary summarize(const std::vector<PaperRecord>& corpus);
+
+// Renders the paper's Table 1 (per-venue revision scores) from the
+// corpus via the full pipeline.
+util::TextTable render_table1(const std::vector<PaperRecord>& corpus);
+
+// §3.1/§7 scale statistics over the major-revision studies: fraction
+// with <= `threshold` sites/pages.
+double major_fraction_sites_at_most(const std::vector<PaperRecord>& corpus,
+                                    long long threshold);
+double major_fraction_pages_at_most(const std::vector<PaperRecord>& corpus,
+                                    long long threshold);
+
+}  // namespace hispar::survey

@@ -1,0 +1,179 @@
+#include "survey/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hispar::survey {
+
+std::string_view to_string(Venue v) {
+  switch (v) {
+    case Venue::kImc: return "IMC";
+    case Venue::kPam: return "PAM";
+    case Venue::kNsdi: return "NSDI";
+    case Venue::kSigcomm: return "SIGCOMM";
+    case Venue::kConext: return "CoNEXT";
+  }
+  return "?";
+}
+
+std::string_view to_string(RevisionScore r) {
+  switch (r) {
+    case RevisionScore::kNo: return "No";
+    case RevisionScore::kMinor: return "Minor";
+    case RevisionScore::kMajor: return "Major";
+  }
+  return "?";
+}
+
+namespace {
+
+// Table 1 of the paper, verbatim.
+constexpr std::array<VenueAggregate, kVenueCount> kTable1 = {{
+    {Venue::kImc, 214, 56, 9, 23, 24},
+    {Venue::kPam, 117, 27, 7, 10, 10},
+    {Venue::kNsdi, 222, 11, 6, 4, 1},
+    {Venue::kSigcomm, 187, 9, 1, 6, 2},
+    {Venue::kConext, 180, 16, 7, 5, 4},
+}};
+
+// §2 details: of the 119 top-list papers, 7 analyze user traces and 8
+// perform active measurements that reach internal pages; all 15 sit in
+// the "no revision" bucket. Distribute them across venues' no-revision
+// capacity (IMC 24, PAM 10, NSDI 1, SIGCOMM 2, CoNEXT 4).
+constexpr std::array<int, kVenueCount> kTraceUsers = {4, 2, 0, 0, 1};
+constexpr std::array<int, kVenueCount> kActiveUsers = {4, 2, 1, 1, 0};
+
+const std::array<std::string_view, 5> kTopListTerms = {
+    "Alexa", "Majestic", "Umbrella", "Quantcast", "Tranco"};
+
+// False-positive mentions the manual pass weeds out (§2): smart
+// speakers, prior-work discussion only.
+const std::array<std::string_view, 3> kFalsePositiveContexts = {
+    "Alexa Echo Dot", "Alexa voice assistant", "as discussed in prior work"};
+
+std::string synth_title(Venue v, int index, bool webperf, util::Rng& rng) {
+  static const std::array<std::string_view, 10> webperf_topics = {
+      "Page Load Times", "Web Complexity", "HTTPS Adoption",
+      "Third-Party Trackers", "QUIC Performance", "CDN Caching",
+      "Web QoE", "Ad Ecosystems", "DNS-over-HTTPS", "Resource Loading"};
+  static const std::array<std::string_view, 10> other_topics = {
+      "BGP Convergence", "Data-Center Transport", "IoT Fingerprinting",
+      "Congestion Control", "Interdomain Routing", "Spectrum Sharing",
+      "Packet Scheduling", "Network Verification", "Video Streaming",
+      "Censorship Measurement"};
+  const auto& topics = webperf ? webperf_topics : other_topics;
+  const auto topic = topics[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(topics.size()) - 1))];
+  return std::string("On ") + std::string(topic) + " (" +
+         std::string(to_string(v)) + " study #" + std::to_string(index) + ")";
+}
+
+// Study-scale draws for top-list papers, shaped to reproduce the
+// quantiles the paper quotes: ~50% of major-revision studies use <= 500
+// sites, 60% <= 1000 sites, 77% <= 20,000 pages, 93% <= 100,000 pages.
+void draw_scale(PaperRecord& record, util::Rng& rng) {
+  const double u = rng.uniform();
+  if (record.revision == RevisionScore::kMajor) {
+    if (u < 0.50) {
+      record.sites_measured = rng.uniform_int(50, 500);
+    } else if (u < 0.60) {
+      record.sites_measured = rng.uniform_int(501, 1000);
+    } else if (u < 0.90) {
+      record.sites_measured = rng.uniform_int(1001, 5000);
+    } else {
+      record.sites_measured = rng.uniform_int(5001, 200000);
+    }
+    // Landing-page studies measure ~1 page per site (with some loading
+    // each page several times).
+    const double v = rng.uniform();
+    if (v < 0.77) {
+      record.pages_measured =
+          std::min<long long>(record.sites_measured * 2, 20000);
+    } else if (v < 0.93) {
+      record.pages_measured = rng.uniform_int(20001, 100000);
+    } else {
+      record.pages_measured = rng.uniform_int(100001, 1000000);
+    }
+  } else {
+    record.sites_measured = rng.uniform_int(100, 100000);
+    record.pages_measured = record.sites_measured;
+  }
+}
+
+}  // namespace
+
+std::span<const VenueAggregate> table1_expected() { return kTable1; }
+
+std::vector<PaperRecord> survey_corpus() {
+  std::vector<PaperRecord> corpus;
+  util::Rng rng(0x5eed5eedULL);
+  int id = 0;
+
+  for (std::size_t vi = 0; vi < kTable1.size(); ++vi) {
+    const VenueAggregate& agg = kTable1[vi];
+    int remaining_major = agg.major;
+    int remaining_minor = agg.minor;
+    int remaining_no = agg.no_revision;
+    int remaining_traces = kTraceUsers[vi];
+    int remaining_active = kActiveUsers[vi];
+
+    for (int p = 0; p < agg.publications; ++p) {
+      PaperRecord record;
+      record.id = id++;
+      record.venue = agg.venue;
+      record.year = 2015 + static_cast<int>(rng.uniform_int(0, 4));
+
+      const bool uses = p < agg.using_top_list;
+      record.uses_top_list = uses;
+      record.title = synth_title(agg.venue, p, uses, rng);
+
+      if (uses) {
+        // §3: only 10 of 119 papers use a list other than Alexa.
+        record.matched_terms = {std::string(
+            rng.chance(10.0 / 119.0)
+                ? kTopListTerms[static_cast<std::size_t>(
+                      rng.uniform_int(1, 4))]
+                : kTopListTerms[0])};
+        if (remaining_major > 0) {
+          record.revision = RevisionScore::kMajor;
+          --remaining_major;
+        } else if (remaining_minor > 0) {
+          record.revision = RevisionScore::kMinor;
+          --remaining_minor;
+        } else {
+          record.revision = RevisionScore::kNo;
+          --remaining_no;
+          if (remaining_traces > 0) {
+            record.internal_pages = InternalPageUse::kUserTraces;
+            --remaining_traces;
+          } else if (remaining_active > 0) {
+            record.internal_pages = InternalPageUse::kActiveCrawling;
+            --remaining_active;
+          }
+        }
+        draw_scale(record, rng);
+      } else if (rng.chance(0.04)) {
+        // A non-using paper that nevertheless mentions a term: the
+        // false positives the manual pass removes.
+        record.matched_terms = {
+            std::string(kFalsePositiveContexts[static_cast<std::size_t>(
+                rng.uniform_int(0, 2))])};
+        record.term_is_false_positive = true;
+      }
+      corpus.push_back(std::move(record));
+    }
+  }
+  // Interleave the venues so corpus order doesn't encode the labels.
+  util::Rng shuffle_rng(0xabcdefULL);
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(corpus[i - 1], corpus[j]);
+  }
+  return corpus;
+}
+
+}  // namespace hispar::survey

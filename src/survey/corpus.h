@@ -1,0 +1,67 @@
+// The literature-survey corpus (§2).
+//
+// The paper reviews 920 papers published 2015-2019 at IMC, PAM, NSDI,
+// SIGCOMM and CoNEXT: a programmatic term search for the five top lists,
+// manual false-positive filtering (e.g. "Alexa" Echo Dot), and a manual
+// review assigning each top-list-using paper a revision score. We encode
+// that survey as a per-paper dataset whose aggregates equal the paper's
+// Table 1 exactly, and regenerate the table through the same pipeline
+// (term match -> FP filter -> review) rather than pasting totals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hispar::survey {
+
+enum class Venue : std::uint8_t { kImc, kPam, kNsdi, kSigcomm, kConext };
+inline constexpr int kVenueCount = 5;
+std::string_view to_string(Venue v);
+
+enum class RevisionScore : std::uint8_t { kNo, kMinor, kMajor };
+std::string_view to_string(RevisionScore r);
+
+// How a study touches internal pages (§2: 7 trace-based + 8 active-
+// measurement papers of the 119 include internal pages).
+enum class InternalPageUse : std::uint8_t {
+  kNone,
+  kUserTraces,     // browsing traces naturally include internal URLs
+  kActiveCrawling  // recursive crawls / monkey testing
+};
+
+struct PaperRecord {
+  int id = 0;
+  Venue venue = Venue::kImc;
+  int year = 2015;
+  std::string title;
+  // Full-text snippets a programmatic PDF search would hit.
+  std::vector<std::string> matched_terms;  // e.g. {"Alexa"}
+  // Ground truth from manual inspection:
+  bool term_is_false_positive = false;  // "Alexa Echo Dot" etc.
+  bool uses_top_list = false;
+  InternalPageUse internal_pages = InternalPageUse::kNone;
+  RevisionScore revision = RevisionScore::kNo;
+  // Study scale (only meaningful for top-list-using papers): §3.1/§7
+  // quote quantiles of these for the major-revision studies.
+  long long sites_measured = 0;
+  long long pages_measured = 0;
+};
+
+// The full 920-paper corpus. Deterministic; aggregates match Table 1.
+std::vector<PaperRecord> survey_corpus();
+
+// Venue-level expected aggregates (the paper's Table 1), for tests.
+struct VenueAggregate {
+  Venue venue;
+  int publications;
+  int using_top_list;
+  int major;
+  int minor;
+  int no_revision;
+};
+std::span<const VenueAggregate> table1_expected();
+
+}  // namespace hispar::survey

@@ -1,0 +1,56 @@
+// Top-list providers over the synthetic web.
+//
+// Each provider observes the sites' true traffic through its own lens:
+//  * Alexa/Quantcast: browsing panels — noisy samples of visit rates;
+//  * Umbrella: DNS query volume — inflated for domains with many
+//    subdomains and short TTLs, so its head is not end-user browsing
+//    (§3: "4 of the top 5 entries were Netflix domains");
+//  * Majestic: link subnets — a quality measure, very stable;
+//  * Tranco: a 30-day average of the others — stable by construction.
+//
+// Measurement noise follows an AR(1) random walk in log space per
+// (provider, domain), so day-over-day churn is smaller than
+// week-over-week churn, as the paper observes (~10%/day vs ~41%/week
+// for Alexa subsets).
+#pragma once
+
+#include <cstdint>
+
+#include "toplist/toplist.h"
+#include "web/generator.h"
+
+namespace hispar::toplist {
+
+enum class Provider { kAlexa, kUmbrella, kMajestic, kQuantcast, kTranco };
+
+std::string provider_name(Provider p);
+
+struct ProviderNoise {
+  // Stationary sigma of the log-score noise and its daily correlation.
+  double sigma = 0.5;
+  double daily_rho = 0.97;
+};
+
+ProviderNoise default_noise(Provider p);
+
+class TopListFactory {
+ public:
+  explicit TopListFactory(const web::SyntheticWeb& web,
+                          std::uint64_t seed = 1009);
+
+  // The provider's list on the given day (0-based), truncated to `size`.
+  TopList list_on_day(Provider p, std::uint64_t day, std::size_t size) const;
+
+  // Convenience: weekly snapshots (day = week * 7). The paper's
+  // bootstrap downloads A1M weekly, every Thursday (§3).
+  TopList weekly_list(Provider p, std::uint64_t week, std::size_t size) const;
+
+ private:
+  double domain_score(Provider p, std::size_t rank,
+                      const std::string& domain, std::uint64_t day) const;
+
+  const web::SyntheticWeb* web_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hispar::toplist

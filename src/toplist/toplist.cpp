@@ -1,0 +1,60 @@
+#include "toplist/toplist.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace hispar::toplist {
+
+TopList::TopList(std::string name, std::vector<std::string> domains)
+    : name_(std::move(name)), domains_(std::move(domains)) {
+  rank_.reserve(domains_.size());
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    if (!rank_.emplace(domains_[i], i + 1).second)
+      throw std::invalid_argument("TopList: duplicate domain " + domains_[i]);
+  }
+}
+
+const std::string& TopList::domain_at(std::size_t rank) const {
+  if (rank == 0 || rank > domains_.size())
+    throw std::out_of_range("TopList: rank out of range");
+  return domains_[rank - 1];
+}
+
+std::optional<std::size_t> TopList::rank_of(const std::string& domain) const {
+  const auto it = rank_.find(domain);
+  if (it == rank_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TopList::contains(const std::string& domain) const {
+  return rank_.count(domain) > 0;
+}
+
+TopList TopList::top(std::size_t n) const {
+  std::vector<std::string> head(domains_.begin(),
+                                domains_.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        std::min(n, domains_.size())));
+  return TopList(name_ + "-top" + std::to_string(head.size()),
+                 std::move(head));
+}
+
+double turnover(const TopList& before, const TopList& after) {
+  if (before.size() == 0) throw std::invalid_argument("turnover: empty list");
+  std::size_t gone = 0;
+  for (const auto& domain : before.domains())
+    if (!after.contains(domain)) ++gone;
+  return static_cast<double>(gone) / static_cast<double>(before.size());
+}
+
+double jaccard_overlap(const TopList& a, const TopList& b) {
+  std::set<std::string> all(a.domains().begin(), a.domains().end());
+  std::size_t common = 0;
+  for (const auto& domain : b.domains())
+    if (all.count(domain)) ++common;
+  all.insert(b.domains().begin(), b.domains().end());
+  if (all.empty()) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(all.size());
+}
+
+}  // namespace hispar::toplist

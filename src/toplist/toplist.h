@@ -1,0 +1,46 @@
+// Rank-ordered domain lists ("top lists").
+//
+// §3 discusses the five lists the literature uses (Alexa, Umbrella,
+// Majestic, Quantcast, Tranco), why Hispar bootstraps from Alexa, and
+// the lists' stability: Alexa Top 5K changes ~10%/day; a 100K-sized
+// Alexa subset changes ~41%/week; the sites of H2K inherit ~20%/week.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hispar::toplist {
+
+class TopList {
+ public:
+  TopList(std::string name, std::vector<std::string> domains);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return domains_.size(); }
+  const std::vector<std::string>& domains() const { return domains_; }
+  const std::string& domain_at(std::size_t rank) const;  // 1-based
+  std::optional<std::size_t> rank_of(const std::string& domain) const;
+  bool contains(const std::string& domain) const;
+
+  // New list restricted to the first n entries.
+  TopList top(std::size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> domains_;
+  std::unordered_map<std::string, std::size_t> rank_;
+};
+
+// Fraction of `before`'s domains that are absent from `after` — the
+// paper's weekly/daily "change" metric (§3: "We estimate the weekly
+// churn as the fraction of [entries] present in the list on week i, but
+// not on week i+1").
+double turnover(const TopList& before, const TopList& after);
+
+// Rank-agreement diagnostics used when comparing providers.
+double jaccard_overlap(const TopList& a, const TopList& b);
+
+}  // namespace hispar::toplist

@@ -1,0 +1,89 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hispar::util {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  if (argc < 1) throw std::invalid_argument("args: empty argv");
+  args.program_ = argv[0];
+
+  int index = 1;
+  if (index < argc && argv[index][0] != '-') {
+    args.subcommand_ = argv[index];
+    ++index;
+  }
+  while (index < argc) {
+    const std::string token = argv[index];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2)
+      throw std::invalid_argument("args: expected --flag, got '" + token +
+                                  "'");
+    const std::string name = token.substr(2);
+    if (index + 1 < argc && argv[index + 1][0] != '-') {
+      args.values_[name] = argv[index + 1];
+      index += 2;
+    } else {
+      args.values_[name] = "";
+      ++index;
+    }
+  }
+  return args;
+}
+
+bool Args::has(const std::string& flag) const {
+  read_[flag] = true;
+  return values_.count(flag) > 0;
+}
+
+std::string Args::get(const std::string& flag,
+                      const std::string& fallback) const {
+  read_[flag] = true;
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& flag,
+                           std::int64_t fallback) const {
+  read_[flag] = true;
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty())
+    throw std::invalid_argument("args: --" + flag + " expects an integer");
+  return value;
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  read_[flag] = true;
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty())
+    throw std::invalid_argument("args: --" + flag + " expects a number");
+  return value;
+}
+
+bool Args::get_bool(const std::string& flag) const {
+  read_[flag] = true;
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return false;
+  if (!it->second.empty() && it->second != "true" && it->second != "1" &&
+      it->second != "false" && it->second != "0")
+    throw std::invalid_argument("args: --" + flag + " is a switch");
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hispar::util

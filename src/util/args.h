@@ -1,0 +1,46 @@
+// Minimal command-line argument parsing for the hispar tools.
+//
+// Supports `tool <subcommand> [--flag value] [--switch]` with typed
+// accessors and error reporting. Deliberately tiny: no dependencies, no
+// abbreviations, no positional arguments beyond the subcommand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hispar::util {
+
+class Args {
+ public:
+  // argv[1] (when not a flag) becomes the subcommand; the rest must be
+  // `--name value` pairs or bare `--switch`es. Throws
+  // std::invalid_argument on malformed input (flag without name, value
+  // without flag).
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+  const std::string& subcommand() const { return subcommand_; }
+  bool has(const std::string& flag) const;
+
+  // Typed accessors; throw std::invalid_argument when present but
+  // malformed.
+  std::string get(const std::string& flag,
+                  const std::string& fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  bool get_bool(const std::string& flag) const;  // bare switch
+
+  // Flags seen but never read — typo detection for the tools.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::string subcommand_;
+  std::map<std::string, std::string> values_;  // "" for bare switches
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace hispar::util

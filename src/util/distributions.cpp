@@ -1,0 +1,114 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hispar::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(total);
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  return k == 1 ? cdf_[0] : cdf_[k - 1] - cdf_[k - 2];
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("DiscreteDistribution: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("DiscreteDistribution: zero total weight");
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::probability(std::size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+ClampedLogNormal::ClampedLogNormal(double mu, double sigma, double lo,
+                                   double hi)
+    : mu_(mu), sigma_(sigma), lo_(lo), hi_(hi) {
+  if (lo > hi) throw std::invalid_argument("ClampedLogNormal: lo > hi");
+}
+
+double ClampedLogNormal::sample(Rng& rng) const {
+  return std::clamp(rng.lognormal(mu_, sigma_), lo_, hi_);
+}
+
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("inverse_normal_cdf: p must be in (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace hispar::util

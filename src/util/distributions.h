@@ -1,0 +1,68 @@
+// Reusable, fixed-algorithm distribution objects.
+//
+// The standard-library distributions have unspecified algorithms, so their
+// output differs across toolchains; all sampling in this project goes
+// through these classes (or Rng's primitive samplers) instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hispar::util {
+
+// Zipf(s) over ranks {1..n}: P(k) proportional to 1/k^s.
+// Used for object popularity, third-party prevalence and site traffic.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  // Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+  // Probability mass of rank k (1-based).
+  double pmf(std::size_t k) const;
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
+};
+
+// Discrete distribution over {0..n-1} with arbitrary non-negative weights.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  double probability(std::size_t i) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Lognormal clamped to [lo, hi]; handy for sizes/latencies where a hard
+// floor (e.g. a minimum header size) and a sanity ceiling are needed.
+class ClampedLogNormal {
+ public:
+  ClampedLogNormal(double mu, double sigma, double lo, double hi);
+
+  double sample(Rng& rng) const;
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_, sigma_, lo_, hi_;
+};
+
+// Inverse CDF of the standard normal (Acklam's rational approximation,
+// |relative error| < 1.15e-9). Used to derive calibration constants of the
+// form "P[ratio > 1] = p and geometric-mean ratio = g".
+double inverse_normal_cdf(double p);
+
+// Standard normal CDF.
+double normal_cdf(double x);
+
+}  // namespace hispar::util

@@ -1,0 +1,61 @@
+#include "util/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hispar::util {
+
+namespace {
+
+// Kolmogorov survival function Q_KS(lambda) = 2 * sum (-1)^{j-1} e^{-2 j^2 l^2}
+// (Numerical Recipes formulation with the Stephens small-sample correction
+// applied by the caller).
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("ks_two_sample: empty sample");
+
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double xa = sa[ia];
+    const double xb = sb[ib];
+    if (xa <= xb) ++ia;
+    if (xb <= xa) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+
+  const double n_eff = na * nb / (na + nb);
+  const double sqrt_n = std::sqrt(n_eff);
+  // Stephens' correction improves the asymptotic approximation for
+  // moderate sample sizes.
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return KsResult{d, kolmogorov_q(lambda)};
+}
+
+}  // namespace hispar::util

@@ -1,0 +1,21 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// The paper reports, for each landing-vs-internal comparison, the p-value
+// of a two-sample KS test with the null hypothesis that the two samples
+// come from the same distribution (a low value means the page types differ
+// significantly). This mirrors that analysis.
+#pragma once
+
+#include <span>
+
+namespace hispar::util {
+
+struct KsResult {
+  double statistic;  // D = sup |F1(x) - F2(x)|
+  double p_value;    // asymptotic Q_KS(sqrt(n_eff) * D) approximation
+};
+
+// Both samples must be non-empty. Inputs need not be sorted.
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hispar::util

@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hispar::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need >= 2 values");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("geometric_mean: empty sample");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0)
+      throw std::invalid_argument("geometric_mean: non-positive value");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  return sorted[lo] + (h - std::floor(h)) * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  if (xs.empty()) throw std::invalid_argument("fraction_below: empty sample");
+  std::size_t n = 0;
+  for (double x : xs) n += (x < threshold) ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+double fraction_at_or_below(std::span<const double> xs, double threshold) {
+  if (xs.empty())
+    throw std::invalid_argument("fraction_at_or_below: empty sample");
+  std::size_t n = 0;
+  for (double x : xs) n += (x <= threshold) ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  return util::quantile(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  if (points < 2) points = 2;
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+void Accumulator::add(double x) { values_.push_back(x); }
+
+double Accumulator::mean() const { return util::mean(values_); }
+double Accumulator::median() const { return util::median(values_); }
+double Accumulator::quantile(double q) const {
+  return util::quantile(values_, q);
+}
+double Accumulator::min() const {
+  if (values_.empty()) throw std::logic_error("Accumulator: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+double Accumulator::max() const {
+  if (values_.empty()) throw std::logic_error("Accumulator: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+EmpiricalCdf Accumulator::cdf() const { return EmpiricalCdf(values_); }
+
+std::vector<double> rank_bin_medians(std::span<const double> per_site_delta,
+                                     std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("rank_bin_medians: bins == 0");
+  if (per_site_delta.size() < bins)
+    throw std::invalid_argument("rank_bin_medians: fewer sites than bins");
+  std::vector<double> medians;
+  medians.reserve(bins);
+  const std::size_t per_bin = per_site_delta.size() / bins;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t lo = b * per_bin;
+    const std::size_t hi =
+        (b + 1 == bins) ? per_site_delta.size() : lo + per_bin;
+    medians.push_back(median(per_site_delta.subspan(lo, hi - lo)));
+  }
+  return medians;
+}
+
+}  // namespace hispar::util

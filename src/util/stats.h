@@ -1,0 +1,76 @@
+// Summary statistics and empirical CDFs.
+//
+// The paper's analysis style is: compute a per-site statistic for landing
+// and internal pages, take differences or ratios, and report CDFs,
+// medians, percentiles and geometric means. This header provides those
+// primitives for the analysis pipeline and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hispar::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // sample variance (n-1)
+double stddev(std::span<const double> xs);
+
+// Geometric mean; all inputs must be > 0.
+double geometric_mean(std::span<const double> xs);
+
+// q-th quantile (q in [0,1]) with linear interpolation between order
+// statistics (type-7, the R/NumPy default). `xs` need not be sorted.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+// Fraction of values strictly below `threshold` / at-or-below.
+double fraction_below(std::span<const double> xs, double threshold);
+double fraction_at_or_below(std::span<const double> xs, double threshold);
+
+// Empirical cumulative distribution function over a sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  // F(x) = P[X <= x].
+  double operator()(double x) const;
+  double quantile(double q) const;
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  // Evaluation grid for plotting: `points` (x, F(x)) pairs spanning the
+  // sample range.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 100) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Streaming accumulator when samples are produced one at a time.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double median() const;
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  EmpiricalCdf cdf() const;
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Per-rank-bin medians, as used throughout Appendix A (Figs. 9 & 10):
+// split `per_site_delta` (ordered by site rank) into `bins` equal bins and
+// return the median delta in each bin.
+std::vector<double> rank_bin_medians(std::span<const double> per_site_delta,
+                                     std::size_t bins);
+
+}  // namespace hispar::util

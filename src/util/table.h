@@ -1,0 +1,36 @@
+// Lightweight text-table and CSV rendering for bench output.
+//
+// Every bench prints the rows/series of the corresponding paper table or
+// figure; this keeps the formatting consistent and testable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hispar::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  // 0.34 -> 34.0%
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Render as an aligned ASCII table / as CSV.
+  std::string to_string() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace hispar::util

@@ -1,0 +1,106 @@
+#include "util/url.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace hispar::util {
+
+namespace {
+
+// A miniature public suffix list: enough to make the third-party analysis
+// behave correctly for the multi-label suffixes that appear in the
+// synthetic web and in the paper's examples. The real PSL has ~9000
+// entries; the logic is identical.
+constexpr std::array<std::string_view, 12> kMultiLabelSuffixes = {
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au",
+    "co.jp", "or.jp",  "com.br", "com.cn", "co.in", "co.kr",
+};
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool ends_with_label(std::string_view host, std::string_view suffix) {
+  if (host.size() <= suffix.size()) return host == suffix;
+  return host.ends_with(suffix) &&
+         host[host.size() - suffix.size() - 1] == '.';
+}
+
+}  // namespace
+
+std::string_view to_string(Scheme s) {
+  return s == Scheme::kHttp ? "http" : "https";
+}
+
+std::string Url::str() const {
+  std::string out(to_string(scheme));
+  out += "://";
+  out += host;
+  out += path.empty() ? "/" : path;
+  return out;
+}
+
+std::optional<Url> parse_url(std::string_view raw) {
+  Url url;
+  std::string_view rest;
+  if (raw.starts_with("https://")) {
+    url.scheme = Scheme::kHttps;
+    rest = raw.substr(8);
+  } else if (raw.starts_with("http://")) {
+    url.scheme = Scheme::kHttp;
+    rest = raw.substr(7);
+  } else {
+    return std::nullopt;
+  }
+  const auto slash = rest.find('/');
+  const std::string_view host =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (host.empty()) return std::nullopt;
+  for (char c : host) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ':')
+      return std::nullopt;
+  }
+  url.host = to_lower(host);
+  url.path = slash == std::string_view::npos
+                 ? std::string("/")
+                 : std::string(rest.substr(slash));
+  if (url.path.find_first_of(" \t\n") != std::string::npos)
+    return std::nullopt;
+  return url;
+}
+
+std::string registrable_domain(std::string_view host_raw) {
+  const std::string host = to_lower(host_raw);
+  if (host.empty()) return host;
+
+  // Number of labels in the effective TLD: 2 for known multi-label
+  // suffixes, 1 otherwise.
+  std::size_t suffix_labels = 1;
+  for (std::string_view suffix : kMultiLabelSuffixes) {
+    if (ends_with_label(host, suffix) || host == suffix) {
+      suffix_labels = 2;
+      break;
+    }
+  }
+
+  // Keep suffix_labels + 1 labels from the right.
+  std::size_t labels_needed = suffix_labels + 1;
+  std::size_t pos = host.size();
+  while (labels_needed > 0) {
+    const auto dot = host.rfind('.', pos == 0 ? 0 : pos - 1);
+    if (dot == std::string::npos) return host;  // host is already minimal
+    pos = dot;
+    --labels_needed;
+  }
+  return host.substr(pos + 1);
+}
+
+bool is_third_party(std::string_view page_host, std::string_view object_host) {
+  return registrable_domain(page_host) != registrable_domain(object_host);
+}
+
+}  // namespace hispar::util

@@ -1,0 +1,46 @@
+// URL parsing and domain classification.
+//
+// The analysis pipeline needs: scheme (HTTP vs HTTPS detection for §6.1),
+// host / registrable ("second-level") domain extraction for the
+// third-party analysis of §6.2 (including multi-label public suffixes such
+// as co.uk, so tesco.co.uk is third-party to bbc.co.uk), and path handling
+// for landing-vs-internal classification.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hispar::util {
+
+enum class Scheme { kHttp, kHttps };
+
+std::string_view to_string(Scheme s);
+
+struct Url {
+  Scheme scheme = Scheme::kHttps;
+  std::string host;  // lower-case, no port
+  std::string path;  // always begins with '/'
+
+  std::string str() const;
+
+  // True for the root document "/" (optionally with empty query).
+  bool is_landing() const { return path == "/" || path.empty(); }
+
+  bool operator==(const Url&) const = default;
+};
+
+// Parses "scheme://host/path". Returns nullopt for anything malformed
+// (unknown scheme, empty host, embedded whitespace).
+std::optional<Url> parse_url(std::string_view raw);
+
+// Registrable domain: the public-suffix-aware "second-level domain",
+// e.g. www.bbc.co.uk -> bbc.co.uk, static01.nyt.com -> nyt.com.
+// A bare suffix (e.g. "co.uk") or empty host is returned unchanged.
+std::string registrable_domain(std::string_view host);
+
+// True if `object_host` belongs to a different registrable domain than
+// `page_host` (the paper's third-party definition, §6.2).
+bool is_third_party(std::string_view page_host, std::string_view object_host);
+
+}  // namespace hispar::util

@@ -1,0 +1,72 @@
+#include "web/categories.h"
+
+#include <array>
+
+namespace hispar::web {
+
+std::string_view to_string(SiteCategory c) {
+  switch (c) {
+    case SiteCategory::kNews: return "News";
+    case SiteCategory::kShopping: return "Shopping";
+    case SiteCategory::kBusiness: return "Business";
+    case SiteCategory::kArts: return "Arts";
+    case SiteCategory::kSports: return "Sports";
+    case SiteCategory::kComputers: return "Computers";
+    case SiteCategory::kScience: return "Science";
+    case SiteCategory::kHealth: return "Health";
+    case SiteCategory::kGames: return "Games";
+    case SiteCategory::kSociety: return "Society";
+    case SiteCategory::kReference: return "Reference";
+    case SiteCategory::kWorld: return "World";
+  }
+  return "Unknown";
+}
+
+SiteCategory sample_category(util::Rng& rng) {
+  // Weights sum to 1; World matches kNonEnglishSiteProb's order.
+  static constexpr std::array<double, kSiteCategoryCount> weights = {
+      0.13,  // News
+      0.12,  // Shopping
+      0.11,  // Business
+      0.09,  // Arts
+      0.07,  // Sports
+      0.10,  // Computers
+      0.05,  // Science
+      0.05,  // Health
+      0.07,  // Games
+      0.06,  // Society
+      0.01,  // Reference
+      0.14,  // World
+  };
+  double u = rng.uniform();
+  double acc = 0.0;
+  for (int i = 0; i < kSiteCategoryCount; ++i) {
+    acc += weights[static_cast<std::size_t>(i)];
+    if (u < acc) return static_cast<SiteCategory>(i);
+  }
+  return SiteCategory::kReference;
+}
+
+net::Region sample_origin_region(SiteCategory c, util::Rng& rng) {
+  using net::Region;
+  if (c == SiteCategory::kWorld) {
+    // Predominantly Asia/Europe/South America.
+    const double u = rng.uniform();
+    if (u < 0.45) return Region::kAsia;
+    if (u < 0.75) return Region::kEurope;
+    if (u < 0.92) return Region::kSouthAmerica;
+    return Region::kOceania;
+  }
+  // US-centric categories: mostly North America, some Europe.
+  const double u = rng.uniform();
+  if (u < 0.72) return Region::kNorthAmerica;
+  if (u < 0.90) return Region::kEurope;
+  return Region::kAsia;
+}
+
+double us_traffic_share(SiteCategory c, util::Rng& rng) {
+  if (c == SiteCategory::kWorld) return rng.uniform(0.005, 0.05);
+  return rng.uniform(0.25, 0.65);
+}
+
+}  // namespace hispar::web

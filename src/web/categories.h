@@ -1,0 +1,48 @@
+// Alexa-style top-level site categories.
+//
+// Appendix A (Fig. 10c) splits sites by Alexa top-level category and
+// finds a PLT reversal for the "World" category (sites popular outside
+// the U.S., e.g. baidu.com): their landing pages are *slower* than their
+// internal pages when measured from a U.S. vantage point, because their
+// objects do not get CDN cache hits there.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/latency.h"
+#include "util/rng.h"
+
+namespace hispar::web {
+
+enum class SiteCategory : std::uint8_t {
+  kNews = 0,
+  kShopping,
+  kBusiness,
+  kArts,
+  kSports,
+  kComputers,
+  kScience,
+  kHealth,
+  kGames,
+  kSociety,
+  kReference,
+  kWorld,
+};
+inline constexpr int kSiteCategoryCount = 12;
+
+std::string_view to_string(SiteCategory c);
+
+// Draw a category with realistic prevalence (World ~14%, matching the
+// non-English share; News/Shopping/Business each ~10-15%).
+SiteCategory sample_category(util::Rng& rng);
+
+// Home region of a site's origin infrastructure given its category:
+// World sites live outside North America with high probability.
+net::Region sample_origin_region(SiteCategory c, util::Rng& rng);
+
+// Share of the site's traffic that originates in the U.S. — drives CDN
+// edge warmth at the U.S. vantage point.
+double us_traffic_share(SiteCategory c, util::Rng& rng);
+
+}  // namespace hispar::web

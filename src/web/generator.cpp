@@ -1,0 +1,223 @@
+#include "web/generator.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "web/calibration.h"
+
+namespace hispar::web {
+
+namespace {
+
+struct CrawlPreset {
+  CrawlSite id;
+  const char* domain;
+  const char* label;
+  std::size_t rank;  // paper Alexa ranks; 0 = unranked (placed last)
+};
+
+constexpr std::array<CrawlPreset, 5> kCrawlPresets = {{
+    {CrawlSite::kWikipedia, "wikipedia.org", "WP", 13},
+    {CrawlSite::kTwitter, "twitter.com", "TW", 36},
+    {CrawlSite::kNyTimes, "nytimes.com", "NY", 67},
+    {CrawlSite::kHowStuffWorks, "howstuffworks.com", "HS", 2014},
+    {CrawlSite::kAcademic, "csail.mit.edu", "AC", 0},
+}};
+
+// Two-syllable name fragments for plausible synthetic domains.
+constexpr std::array<const char*, 24> kNameA = {
+    "alto", "brio", "cedar", "delta", "ember", "fjord", "gala", "halo",
+    "iris", "jade", "kite",  "lumen", "mango", "nova", "onyx", "pico",
+    "quill", "rivet", "sable", "tidal", "umber", "vela", "wren", "zephyr"};
+constexpr std::array<const char*, 16> kNameB = {
+    "press", "mart", "hub",  "works", "media", "base", "line", "forge",
+    "cast",  "desk", "lane", "field", "point", "port", "wire", "labs"};
+
+std::string synthesize_domain(std::size_t rank, util::Rng& rng) {
+  const auto a = kNameA[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(kNameA.size()) - 1))];
+  const auto b = kNameB[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(kNameB.size()) - 1))];
+  return std::string(a) + b + std::to_string(rank) + ".com";
+}
+
+// §4 crawl-site profiles: the paper's Fig. 3b/3c show WP/AC with small,
+// regular pages, TW JS-heavy, NY/HS heavy and highly variable.
+void apply_crawl_preset(CrawlSite id, SiteProfile& p) {
+  switch (id) {
+    case CrawlSite::kWikipedia:
+      p.category = SiteCategory::kReference;
+      p.internal_page_count = calib::kMaxInternalPages;
+      p.internal_objects_median = 22.0;
+      p.internal_domains_median = 4.0;  // self-hosted, almost no embeds
+      p.object_ratio_log = 0.45;  // landing portal is busier than articles
+      p.internal_bytes_median = 0.45e6;
+      p.size_ratio_log = 0.30;
+      p.within_site_objects_sigma = 0.18;
+      p.within_site_size_sigma = 0.35;
+      p.tracker_free = true;
+      p.landing_tracker_embeds = p.internal_tracker_embeds = 0.0;
+      p.landing_ad_slots = p.internal_ad_slots = 0.0;
+      p.hb_on_landing = p.hb_on_internal = false;
+      p.internal_cdn_fraction = 0.85;
+      p.english_site = true;
+      p.english_page_fraction = 0.95;
+      break;
+    case CrawlSite::kTwitter:
+      p.category = SiteCategory::kSociety;
+      p.internal_page_count = calib::kMaxInternalPages;
+      p.internal_objects_median = 95.0;
+      p.object_ratio_log = -0.15;  // app shell: landing is lighter
+      p.internal_bytes_median = 2.6e6;
+      p.size_ratio_log = -0.10;
+      p.within_site_objects_sigma = 0.30;
+      p.within_site_size_sigma = 0.55;
+      p.internal_mix[static_cast<std::size_t>(MimeCategory::kJavaScript)] = 0.62;
+      p.landing_mix[static_cast<std::size_t>(MimeCategory::kJavaScript)] = 0.60;
+      p.internal_cdn_fraction = 0.75;
+      break;
+    case CrawlSite::kNyTimes:
+      p.category = SiteCategory::kNews;
+      p.internal_page_count = 600000;
+      p.internal_objects_median = 180.0;
+      p.object_ratio_log = 0.35;
+      p.internal_bytes_median = 3.6e6;
+      p.size_ratio_log = 0.25;
+      p.within_site_objects_sigma = 0.45;
+      p.within_site_size_sigma = 0.60;
+      p.landing_tracker_embeds = 16.0;
+      p.internal_tracker_embeds = 12.0;
+      p.hb_on_landing = p.hb_on_internal = true;
+      p.landing_ad_slots = 8.0;
+      p.internal_ad_slots = 6.0;
+      p.internal_cdn_fraction = 0.70;
+      break;
+    case CrawlSite::kHowStuffWorks:
+      p.category = SiteCategory::kReference;
+      p.internal_page_count = 120000;
+      p.internal_objects_median = 150.0;
+      p.object_ratio_log = 0.20;
+      p.internal_bytes_median = 3.0e6;
+      p.size_ratio_log = 0.15;
+      p.within_site_objects_sigma = 0.50;
+      p.within_site_size_sigma = 0.65;
+      p.landing_tracker_embeds = 14.0;
+      p.internal_tracker_embeds = 12.0;
+      p.hb_on_landing = p.hb_on_internal = true;
+      p.landing_ad_slots = 7.0;
+      p.internal_ad_slots = 7.0;
+      break;
+    case CrawlSite::kAcademic:
+      p.category = SiteCategory::kScience;
+      p.internal_page_count = 9000;
+      p.internal_objects_median = 14.0;
+      p.internal_domains_median = 3.0;
+      p.object_ratio_log = 0.25;
+      p.internal_bytes_median = 0.28e6;
+      p.size_ratio_log = 0.35;
+      p.within_site_objects_sigma = 0.40;
+      p.within_site_size_sigma = 0.55;
+      p.tracker_free = true;
+      p.landing_tracker_embeds = p.internal_tracker_embeds = 0.0;
+      p.landing_ad_slots = p.internal_ad_slots = 0.0;
+      p.hb_on_landing = p.hb_on_internal = false;
+      p.internal_cdn_fraction = 0.10;
+      p.site_visit_rate = 0.02;  // unranked: negligible traffic
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view crawl_site_domain(CrawlSite s) {
+  for (const auto& preset : kCrawlPresets)
+    if (preset.id == s) return preset.domain;
+  return "";
+}
+
+std::string_view crawl_site_label(CrawlSite s) {
+  for (const auto& preset : kCrawlPresets)
+    if (preset.id == s) return preset.label;
+  return "";
+}
+
+SyntheticWeb::SyntheticWeb(SyntheticWebConfig config)
+    : config_(config),
+      third_parties_(
+          ThirdPartyPool::standard(config.third_party_tail, config.seed ^ 0x7)),
+      cdn_registry_(cdn::CdnRegistry::standard()) {
+  if (config_.site_count < 10)
+    throw std::invalid_argument("SyntheticWeb: need >= 10 sites");
+
+  util::Rng root(config_.seed);
+  const std::size_t total =
+      config_.site_count + (config_.include_crawl_sites ? 1 : 0);
+
+  // Assign domains, splicing the named crawl sites in at their ranks.
+  domains_.resize(total);
+  if (config_.include_crawl_sites) {
+    for (const auto& preset : kCrawlPresets) {
+      std::size_t rank = preset.rank == 0 ? total : preset.rank;
+      if (rank <= total && domains_[rank - 1].empty())
+        domains_[rank - 1] = preset.domain;
+    }
+  }
+  util::Rng name_rng = root.fork("names");
+  for (std::size_t rank = 1; rank <= total; ++rank) {
+    if (domains_[rank - 1].empty())
+      domains_[rank - 1] = synthesize_domain(rank, name_rng);
+  }
+  for (std::size_t rank = 1; rank <= total; ++rank)
+    domain_to_rank_[domains_[rank - 1]] = rank;
+
+  // Build sites. The external-link sampler draws a uniformly random
+  // other domain (crawlers only follow a site's internal links, but the
+  // link graph is there for ranking experiments).
+  const std::vector<std::string>* doms = &domains_;
+  auto external_sampler = [doms](util::Rng& rng) {
+    return (*doms)[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(doms->size()) - 1))];
+  };
+
+  sites_.reserve(total);
+  for (std::size_t rank = 1; rank <= total; ++rank) {
+    const std::string& domain = domains_[rank - 1];
+    util::Rng site_rng = root.fork(domain);
+    util::Rng profile_rng = site_rng.fork("profile");
+    SiteProfile profile = sample_site_profile(rank, profile_rng);
+    if (config_.include_crawl_sites) {
+      for (const auto& preset : kCrawlPresets) {
+        if (domain == preset.domain) {
+          apply_crawl_preset(preset.id, profile);
+          break;
+        }
+      }
+    }
+    sites_.push_back(std::make_unique<WebSite>(
+        domain, profile, third_parties_, cdn_registry_, site_rng,
+        external_sampler));
+  }
+}
+
+const WebSite& SyntheticWeb::site_by_rank(std::size_t rank) const {
+  if (rank == 0 || rank > sites_.size())
+    throw std::out_of_range("SyntheticWeb: rank out of range");
+  return *sites_[rank - 1];
+}
+
+const WebSite* SyntheticWeb::find_site(std::string_view domain) const {
+  const auto it = domain_to_rank_.find(std::string(domain));
+  if (it == domain_to_rank_.end()) return nullptr;
+  return sites_[it->second - 1].get();
+}
+
+const WebSite& SyntheticWeb::crawl_site(CrawlSite s) const {
+  const WebSite* site = find_site(crawl_site_domain(s));
+  if (site == nullptr)
+    throw std::logic_error(
+        "SyntheticWeb: crawl sites disabled or universe too small");
+  return *site;
+}
+
+}  // namespace hispar::web

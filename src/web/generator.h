@@ -1,0 +1,64 @@
+// The synthetic web.
+//
+// Builds a rank-ordered population of web sites (the measurement
+// substrate standing in for the live web), including the five
+// specially-profiled sites of the paper's §4 "limited exhaustive crawl"
+// — wikipedia.org (rank 13), twitter.com (36), nytimes.com (67),
+// howstuffworks.com (2014) and csail.mit.edu (unranked) — at their paper
+// ranks when the configured universe is large enough.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/provider.h"
+#include "web/site.h"
+#include "web/thirdparty.h"
+
+namespace hispar::web {
+
+struct SyntheticWebConfig {
+  std::size_t site_count = 3000;
+  std::uint64_t seed = 42;
+  std::size_t third_party_tail = 2000;
+  bool include_crawl_sites = true;  // the five §4 sites
+};
+
+// Identifiers for the §4 crawl sites.
+enum class CrawlSite { kWikipedia, kTwitter, kNyTimes, kHowStuffWorks,
+                       kAcademic };
+std::string_view crawl_site_domain(CrawlSite s);
+std::string_view crawl_site_label(CrawlSite s);  // WP/TW/NY/HS/AC
+
+class SyntheticWeb {
+ public:
+  explicit SyntheticWeb(SyntheticWebConfig config = {});
+
+  SyntheticWeb(const SyntheticWeb&) = delete;
+  SyntheticWeb& operator=(const SyntheticWeb&) = delete;
+
+  std::size_t site_count() const { return sites_.size(); }
+  // rank is 1-based; the unranked academic site lives at the last rank.
+  const WebSite& site_by_rank(std::size_t rank) const;
+  const WebSite* find_site(std::string_view domain) const;
+  const WebSite& crawl_site(CrawlSite s) const;
+
+  const std::vector<std::string>& domains() const { return domains_; }
+  const ThirdPartyPool& third_parties() const { return third_parties_; }
+  const cdn::CdnRegistry& cdn_registry() const { return cdn_registry_; }
+  const SyntheticWebConfig& config() const { return config_; }
+
+ private:
+  SyntheticWebConfig config_;
+  ThirdPartyPool third_parties_;
+  cdn::CdnRegistry cdn_registry_;
+  std::vector<std::string> domains_;  // domains_[rank-1]
+  std::vector<std::unique_ptr<WebSite>> sites_;
+  std::unordered_map<std::string, std::size_t> domain_to_rank_;
+};
+
+}  // namespace hispar::web

@@ -1,0 +1,94 @@
+#include "web/mime.h"
+
+#include "util/strings.h"
+
+namespace hispar::web {
+
+std::string_view to_string(MimeCategory c) {
+  switch (c) {
+    case MimeCategory::kAudio: return "audio";
+    case MimeCategory::kData: return "data";
+    case MimeCategory::kFont: return "font";
+    case MimeCategory::kHtmlCss: return "html/css";
+    case MimeCategory::kImage: return "image";
+    case MimeCategory::kJavaScript: return "javascript";
+    case MimeCategory::kJson: return "json";
+    case MimeCategory::kVideo: return "video";
+    case MimeCategory::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view representative_mime_type(MimeCategory c) {
+  switch (c) {
+    case MimeCategory::kAudio: return "audio/mpeg";
+    case MimeCategory::kData: return "application/octet-stream";
+    case MimeCategory::kFont: return "font/woff2";
+    case MimeCategory::kHtmlCss: return "text/html";
+    case MimeCategory::kImage: return "image/jpeg";
+    case MimeCategory::kJavaScript: return "application/javascript";
+    case MimeCategory::kJson: return "application/json";
+    case MimeCategory::kVideo: return "video/mp4";
+    case MimeCategory::kUnknown: return "application/x-unknown";
+  }
+  return "application/x-unknown";
+}
+
+MimeCategory categorize_mime_type(std::string_view mime_type) {
+  using util::contains_ci;
+  if (contains_ci(mime_type, "javascript") || contains_ci(mime_type, "ecmascript"))
+    return MimeCategory::kJavaScript;
+  if (contains_ci(mime_type, "json")) return MimeCategory::kJson;
+  if (contains_ci(mime_type, "html") || contains_ci(mime_type, "css") ||
+      contains_ci(mime_type, "xhtml"))
+    return MimeCategory::kHtmlCss;
+  if (mime_type.starts_with("image/")) return MimeCategory::kImage;
+  if (mime_type.starts_with("audio/")) return MimeCategory::kAudio;
+  if (mime_type.starts_with("video/")) return MimeCategory::kVideo;
+  if (mime_type.starts_with("font/") || contains_ci(mime_type, "woff") ||
+      contains_ci(mime_type, "opentype") || contains_ci(mime_type, "truetype"))
+    return MimeCategory::kFont;
+  if (contains_ci(mime_type, "octet-stream") || contains_ci(mime_type, "csv") ||
+      contains_ci(mime_type, "xml") || contains_ci(mime_type, "protobuf"))
+    return MimeCategory::kData;
+  return MimeCategory::kUnknown;
+}
+
+bool is_visual(MimeCategory c) {
+  switch (c) {
+    case MimeCategory::kImage:
+    case MimeCategory::kHtmlCss:
+    case MimeCategory::kVideo:
+    case MimeCategory::kFont:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool default_cacheable(MimeCategory c) {
+  switch (c) {
+    case MimeCategory::kImage:
+    case MimeCategory::kJavaScript:
+    case MimeCategory::kFont:
+    case MimeCategory::kAudio:
+    case MimeCategory::kVideo:
+      return true;
+    case MimeCategory::kHtmlCss:   // documents often carry no-store;
+    case MimeCategory::kJson:      // API responses are personalized
+    case MimeCategory::kData:
+    case MimeCategory::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+std::array<MimeCategory, kMimeCategoryCount> all_mime_categories() {
+  return {MimeCategory::kAudio,      MimeCategory::kData,
+          MimeCategory::kFont,       MimeCategory::kHtmlCss,
+          MimeCategory::kImage,      MimeCategory::kJavaScript,
+          MimeCategory::kJson,       MimeCategory::kVideo,
+          MimeCategory::kUnknown};
+}
+
+}  // namespace hispar::web

@@ -1,0 +1,47 @@
+// MIME taxonomy.
+//
+// §5.2: "We collapsed [MIME types] into nine categories (audio, data,
+// font, HTML/CSS, image, JavaScript, JSON, video, and unknown) to
+// simplify the analyses." All content-mix analysis uses these categories.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hispar::web {
+
+enum class MimeCategory : std::uint8_t {
+  kAudio = 0,
+  kData,
+  kFont,
+  kHtmlCss,
+  kImage,
+  kJavaScript,
+  kJson,
+  kVideo,
+  kUnknown,
+};
+inline constexpr int kMimeCategoryCount = 9;
+
+std::string_view to_string(MimeCategory c);
+
+// Representative concrete MIME type for HAR records.
+std::string_view representative_mime_type(MimeCategory c);
+
+// Collapse a concrete MIME type string into a category (the paper's
+// mapping direction when reading HAR files).
+MimeCategory categorize_mime_type(std::string_view mime_type);
+
+// Whether objects of this category contribute to the rendered viewport
+// (used by the SpeedIndex visual-completeness integral).
+bool is_visual(MimeCategory c);
+
+// Static asset types are cacheable by default; documents and API-ish
+// payloads usually are not.
+bool default_cacheable(MimeCategory c);
+
+// All categories, for iteration.
+std::array<MimeCategory, kMimeCategoryCount> all_mime_categories();
+
+}  // namespace hispar::web

@@ -1,0 +1,56 @@
+// A single fetchable object on a web page.
+//
+// Mirrors the information a HAR entry plus DevTools initiator-tracking
+// exposes: URL, MIME type, size, cacheability, the dependency parent
+// (which object's parse triggered this fetch, §5.4), and the delivery
+// facts (CDN, origin region, popularity) the network simulation needs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/latency.h"
+#include "util/url.h"
+#include "web/mime.h"
+
+namespace hispar::web {
+
+struct WebObject {
+  std::string url;
+  std::string host;
+  util::Scheme scheme = util::Scheme::kHttps;
+  MimeCategory mime = MimeCategory::kUnknown;
+  double size_bytes = 0.0;
+
+  // Dependency graph (§5.4): depth 0 is the root HTML; an object at
+  // depth d was discovered by parsing its parent at depth d-1.
+  int depth = 0;
+  int parent_index = -1;  // index into WebPage::objects; -1 for the root
+
+  bool cacheable = true;
+  bool via_cdn = false;
+  int cdn_provider_id = -1;  // valid iff via_cdn
+  std::optional<std::string> dns_cname;
+
+  // Third-party / tracking classification (ground truth; the analysis
+  // pipeline re-derives these from URL + filter lists, §6.2/§6.3).
+  int third_party_id = -1;  // -1: first-party
+  bool is_tracker_request = false;
+  bool is_ad_request = false;
+
+  // Delivery model inputs.
+  net::Region origin_region = net::Region::kNorthAmerica;
+  // Steady-state requests/second this object receives from clients near
+  // the measurement vantage point (drives CDN/DNS cache warmth).
+  double request_rate = 0.01;
+  // Server think time if served by the origin itself (ms).
+  double origin_think_ms = 20.0;
+  // Render-blocking objects gate firstPaint (stylesheets, sync scripts
+  // in the document head).
+  bool render_blocking = false;
+
+  bool is_first_party() const { return third_party_id < 0; }
+  bool is_https() const { return scheme == util::Scheme::kHttps; }
+};
+
+}  // namespace hispar::web

@@ -1,0 +1,77 @@
+#include "web/page.h"
+
+#include <algorithm>
+
+namespace hispar::web {
+
+double WebPage::total_bytes() const {
+  double sum = 0.0;
+  for (const auto& o : objects) sum += o.size_bytes;
+  return sum;
+}
+
+std::size_t WebPage::unique_domains() const {
+  std::set<std::string> hosts;
+  for (const auto& o : objects) hosts.insert(o.host);
+  return hosts.size();
+}
+
+std::size_t WebPage::non_cacheable_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(objects.begin(), objects.end(),
+                    [](const WebObject& o) { return !o.cacheable; }));
+}
+
+double WebPage::cacheable_bytes() const {
+  double sum = 0.0;
+  for (const auto& o : objects)
+    if (o.cacheable) sum += o.size_bytes;
+  return sum;
+}
+
+std::vector<double> WebPage::mix_fractions() const {
+  std::vector<double> by_cat(kMimeCategoryCount, 0.0);
+  double total = 0.0;
+  for (const auto& o : objects) {
+    by_cat[static_cast<std::size_t>(o.mime)] += o.size_bytes;
+    total += o.size_bytes;
+  }
+  if (total > 0.0)
+    for (auto& v : by_cat) v /= total;
+  return by_cat;
+}
+
+std::size_t WebPage::objects_at_depth(int depth) const {
+  return static_cast<std::size_t>(
+      std::count_if(objects.begin(), objects.end(),
+                    [depth](const WebObject& o) { return o.depth == depth; }));
+}
+
+int WebPage::max_depth() const {
+  int d = 0;
+  for (const auto& o : objects) d = std::max(d, o.depth);
+  return d;
+}
+
+bool WebPage::has_mixed_content() const {
+  if (!is_https()) return false;
+  return std::any_of(objects.begin() + 1, objects.end(),
+                     [](const WebObject& o) { return !o.is_https(); });
+}
+
+std::set<std::string> WebPage::third_party_domains() const {
+  std::set<std::string> out;
+  for (const auto& o : objects) {
+    if (util::is_third_party(url.host, o.host))
+      out.insert(util::registrable_domain(o.host));
+  }
+  return out;
+}
+
+std::size_t WebPage::tracking_requests() const {
+  return static_cast<std::size_t>(std::count_if(
+      objects.begin(), objects.end(),
+      [](const WebObject& o) { return o.is_tracker_request || o.is_ad_request; }));
+}
+
+}  // namespace hispar::web

@@ -1,0 +1,80 @@
+// A web page: the unit of measurement.
+//
+// Aggregation helpers implement exactly the per-page statistics the
+// paper computes from HAR files: total size (sum of all entries, §4),
+// object count, unique origins (§5.3), non-cacheable object count
+// (§5.1), content mix by MIME category (§5.2), per-depth object counts
+// (§5.4), third-party domains (§6.2) and mixed-content status (§6.1).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/handshake.h"
+#include "util/url.h"
+#include "web/categories.h"
+#include "web/object.h"
+
+namespace hispar::web {
+
+// HTML5 resource hints present in the document head (§5.5).
+struct ResourceHints {
+  int dns_prefetch = 0;
+  int preconnect = 0;
+  int prefetch = 0;
+  int prerender = 0;
+
+  int total() const { return dns_prefetch + preconnect + prefetch + prerender; }
+};
+
+struct WebPage {
+  util::Url url;
+  std::string site_domain;          // registrable domain of the site
+  bool is_landing = false;
+  std::size_t page_index = 0;       // 0 = landing; >=1 internal
+  SiteCategory category = SiteCategory::kNews;
+  bool english = true;
+  // Popularity of this page within its site (visits/second near the
+  // vantage point); used by search ranking and CDN warmth.
+  double visit_rate = 0.0;
+
+  std::vector<WebObject> objects;   // objects[0] is the root document
+  ResourceHints hints;
+
+  // Advertising (§6.3).
+  int ad_slots = 0;
+  bool header_bidding = false;
+
+  // Protocol support of the serving site (inherited from the profile).
+  bool http2 = true;
+  net::TransportProtocol transport = net::TransportProtocol::kTcpTls13;
+
+  // Link structure, used by the crawler (§4 "limited exhaustive crawl")
+  // and by the search engine's link-based ranking.
+  std::vector<std::size_t> internal_links;   // page indices on this site
+  std::vector<std::string> external_links;   // other sites' domains
+
+  // --- aggregates (paper metrics) ---
+  const WebObject& root() const { return objects.front(); }
+  double total_bytes() const;
+  std::size_t object_count() const { return objects.size(); }
+  std::size_t unique_domains() const;
+  std::size_t non_cacheable_count() const;
+  double cacheable_bytes() const;
+  // Fraction of total bytes per MIME category, indexed by MimeCategory.
+  std::vector<double> mix_fractions() const;
+  // #objects at exactly `depth`.
+  std::size_t objects_at_depth(int depth) const;
+  int max_depth() const;
+  // HTTPS page including >= 1 cleartext-HTTP object (§6.1).
+  bool has_mixed_content() const;
+  bool is_https() const { return url.scheme == util::Scheme::kHttps; }
+  // Registrable third-party domains referenced by this page (§6.2).
+  std::set<std::string> third_party_domains() const;
+  // Requests an EasyList-style blocker would flag (§6.3).
+  std::size_t tracking_requests() const;
+};
+
+}  // namespace hispar::web

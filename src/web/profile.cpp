@@ -1,0 +1,211 @@
+#include "web/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "web/calibration.h"
+
+namespace hispar::web {
+
+namespace {
+
+namespace cal = calib;
+
+std::array<double, kMimeCategoryCount> sample_mix(
+    const std::array<double, 9>& medians, util::Rng& rng) {
+  // medians order: {JS, IMG, HTML/CSS, JSON, FONT, DATA, AUDIO, VIDEO,
+  // UNKNOWN} (calibration.h); map into MimeCategory indexing and jitter.
+  std::array<double, kMimeCategoryCount> mix{};
+  const auto set = [&](MimeCategory c, double v) {
+    mix[static_cast<std::size_t>(c)] =
+        v * std::exp(rng.normal(0.0, cal::kMixJitterSigma));
+  };
+  set(MimeCategory::kJavaScript, medians[0]);
+  set(MimeCategory::kImage, medians[1]);
+  set(MimeCategory::kHtmlCss, medians[2]);
+  set(MimeCategory::kJson, medians[3]);
+  set(MimeCategory::kFont, medians[4]);
+  set(MimeCategory::kData, medians[5]);
+  set(MimeCategory::kAudio, medians[6]);
+  set(MimeCategory::kVideo, medians[7]);
+  set(MimeCategory::kUnknown, medians[8]);
+  double total = 0.0;
+  for (double v : mix) total += v;
+  for (double& v : mix) v /= total;
+  return mix;
+}
+
+std::array<double, 5> landing_depths(const std::array<double, 5>& internal,
+                                     double extra_boost) {
+  // Landing pages shift mass to depths >= 2 (Fig. 6a).
+  std::array<double, 5> out = internal;
+  for (std::size_t d = 1; d < out.size(); ++d)
+    out[d] *= cal::kLandingDepthTailBoost * extra_boost;
+  double total = 0.0;
+  for (double v : out) total += v;
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+SiteProfile sample_site_profile(std::size_t rank, util::Rng& rng) {
+  namespace c = calib;
+  SiteProfile p;
+  p.rank = std::max<std::size_t>(1, rank);
+  p.category = sample_category(rng);
+  p.origin_region = sample_origin_region(p.category, rng);
+  p.us_traffic_share = web::us_traffic_share(p.category, rng);
+
+  // Scale.
+  p.internal_page_count = static_cast<std::size_t>(std::clamp(
+      rng.lognormal(c::kInternalPageCountLogMedian, c::kInternalPageCountLogSigma),
+      static_cast<double>(c::kMinInternalPages),
+      static_cast<double>(c::kMaxInternalPages)));
+  p.site_visit_rate = c::kTopSiteRequestsPerSecond /
+                      std::pow(static_cast<double>(p.rank),
+                               c::kSiteRateZipfExponent);
+  const double rank_frac =
+      std::min(1.0, static_cast<double>(p.rank) / 1000.0);
+  p.landing_traffic_share =
+      c::kLandingShareTop +
+      (c::kLandingShareBottom - c::kLandingShareTop) * rank_frac;
+  p.english_site = p.category == SiteCategory::kWorld
+                       ? rng.chance(0.25)
+                       : !rng.chance(0.03);
+  p.english_page_fraction =
+      p.english_site ? rng.uniform(0.85, 1.0)
+                     : c::kNonEnglishPageEnglishFraction;
+
+  // Structure & size.
+  p.internal_objects_median =
+      c::kInternalObjectsMedian *
+      std::exp(rng.normal(0.0, c::kInternalObjectsSigma));
+  const double object_mu = c::by_rank_bin(c::kObjectRatioMuByBin, p.rank);
+  p.object_ratio_log = rng.normal(object_mu, c::kObjectRatioSigma);
+  p.internal_bytes_median =
+      c::kInternalBytesMedian * std::exp(rng.normal(0.0, c::kInternalBytesSigma));
+  // ln(size ratio) is drawn correlated with ln(object ratio): heavier
+  // landing pages are heavy mostly *because* they carry more objects
+  // (Fig. 2's inset: only ~5% of sites are fewer-objects-but-larger).
+  {
+    const double size_mu = c::by_rank_bin(c::kSizeRatioMuByBin, p.rank);
+    const double rho = c::kSizeObjectRatioCorrelation;
+    const double standardized_object =
+        (p.object_ratio_log - object_mu) / c::kObjectRatioSigma;
+    p.size_ratio_log =
+        size_mu + c::kSizeRatioSigma *
+                      (rho * standardized_object +
+                       std::sqrt(1.0 - rho * rho) * rng.normal());
+  }
+  p.within_site_objects_sigma = c::kWithinSiteObjectsSigma;
+  p.within_site_size_sigma = c::kWithinSiteSizeSigma;
+
+  // Content mix.
+  p.landing_mix = sample_mix(c::kLandingMixMedians, rng);
+  p.internal_mix = sample_mix(c::kInternalMixMedians, rng);
+
+  // Cacheability & CDN.
+  p.noncacheable_ratio_log =
+      rng.normal(c::by_rank_bin(c::kNonCacheableRatioMuByBin, p.rank),
+                 c::kNonCacheableRatioSigma);
+  p.internal_noncacheable_frac = std::clamp(
+      0.33 * std::exp(rng.normal(0.0, 0.35)), 0.05, 0.75);
+  p.internal_cdn_fraction = std::clamp(
+      c::kInternalCdnByteFractionMedian *
+          std::exp(rng.normal(0.0, c::kCdnFractionSiteSigma)),
+      0.02, 0.98);
+  p.landing_cdn_shift =
+      rng.normal(c::kCdnLandingShiftMu, c::kCdnLandingShiftSigma);
+
+  // Origins.
+  p.internal_domains_median =
+      c::kInternalDomainsMedian *
+      std::exp(rng.normal(0.0, c::kInternalDomainsSigma));
+  p.domains_ratio_log = rng.normal(
+      c::by_rank_bin(c::kDomainsRatioMuByBin, p.rank), c::kDomainsRatioSigma);
+
+  // Depths.
+  p.internal_depth_weights = c::kInternalDepthWeights;
+  p.landing_depth_weights = landing_depths(
+      c::kInternalDepthWeights,
+      p.category == SiteCategory::kWorld ? c::kWorldDepthTailBoost : 1.0);
+  if (p.category == SiteCategory::kWorld)
+    p.size_ratio_log += c::kWorldSizeRatioBoost;
+
+  // Landing craftsmanship (Fig. 2c's rank trend). All three levers
+  // (render-blocking discipline, root-document think time, root CDN
+  // delivery) scale together with the per-rank craftsmanship level.
+  const double us_rank_multiplier = std::clamp(
+      0.4 / std::max(1e-3, p.us_traffic_share), 1.0,
+      c::kCraftUsRankMultiplierCap);
+  const auto effective_rank = static_cast<std::size_t>(
+      static_cast<double>(p.rank) * us_rank_multiplier);
+  double craft =
+      c::by_rank_bin(c::kLandingBlockingFactorByBin, effective_rank);
+  if (p.category == SiteCategory::kWorld)
+    craft *= c::kWorldLandingBlockingBoost;
+  else if (p.category == SiteCategory::kShopping)
+    craft *= c::kShoppingLandingBlockingFactor;
+  p.landing_blocking_factor = craft * std::exp(rng.normal(0.0, 0.10));
+  const double polish = std::min(1.0, craft);
+  p.landing_root_think_factor = 0.5 + 0.5 * polish;
+  p.landing_root_cdn_boost = 2.0 - polish;
+
+  // Hints: top-100 sites have the larger landing/internal discrepancy
+  // (Fig. 6b: 52% of Ht100 internal pages have no hints).
+  p.landing_hint_zero_prob = c::kLandingHintZeroProb;
+  p.internal_hint_zero_prob = p.rank <= 100
+                                  ? c::kInternalHintZeroProbTop100
+                                  : c::kInternalHintZeroProb;
+
+  // Security.
+  p.landing_is_http = rng.chance(c::kHttpLandingProb);
+  {
+    const double u = rng.uniform();
+    if (u < c::kHttpInternalSiteNoneProb) {
+      p.internal_http_rate = 0.0;
+    } else if (u < c::kHttpInternalSiteNoneProb + c::kHttpInternalSiteLowProb) {
+      p.internal_http_rate = rng.uniform(0.03, 0.25);
+    } else {
+      p.internal_http_rate = rng.uniform(0.45, 0.95);
+    }
+  }
+  p.landing_has_mixed = !p.landing_is_http && rng.chance(c::kMixedLandingProb);
+  {
+    const double u = rng.uniform();
+    if (u < c::kMixedInternalSiteNoneProb) {
+      p.internal_mixed_rate = 0.0;
+    } else if (u < c::kMixedInternalSiteNoneProb + c::kMixedInternalSiteLowProb) {
+      p.internal_mixed_rate = rng.uniform(0.05, 0.3);
+    } else {
+      p.internal_mixed_rate = rng.uniform(0.4, 0.9);
+    }
+  }
+
+  // Trackers & ads.
+  p.tracker_free = rng.chance(c::kTrackerFreeSiteProb);
+  p.trackers_on_landing_only =
+      !p.tracker_free && rng.chance(c::kInternalTrackerFreeSiteProb);
+  p.landing_tracker_embeds =
+      c::kLandingTrackerMedian * std::exp(rng.normal(0.0, c::kLandingTrackerSigma));
+  p.internal_tracker_embeds =
+      p.landing_tracker_embeds *
+      c::by_rank_bin(c::kTrackerInternalFactorByBin, p.rank) *
+      std::exp(rng.normal(0.0, 0.3));
+  p.hb_on_landing = rng.chance(c::kHbLandingProb);
+  p.hb_on_internal =
+      p.hb_on_landing ? rng.chance(0.9) : rng.chance(c::kHbInternalOnlyProb);
+  p.landing_ad_slots =
+      c::kAdSlotsLandingMedian * std::exp(rng.normal(0.0, c::kAdSlotsSigma));
+  p.internal_ad_slots = p.landing_ad_slots * c::kAdSlotsInternalFactor *
+                        std::exp(rng.normal(0.0, 0.25));
+
+  // Protocol.
+  p.http2 = rng.chance(c::kHttp2SiteProb);
+  p.transport = rng.chance(c::kTls13Prob) ? net::TransportProtocol::kTcpTls13
+                                          : net::TransportProtocol::kTcpTls12;
+  return p;
+}
+
+}  // namespace hispar::web

@@ -1,0 +1,100 @@
+// Per-site latent profile.
+//
+// Each site draws, once, the parameters that determine how its landing
+// page differs from its internal pages. The paper's central observation
+// — that these differences are *systematic per site*, not random noise
+// across page loads — is embodied here: the landing/internal contrasts
+// are site-level random variables with rank-dependent means
+// (calibration.h), and all of a site's pages are then generated
+// deterministically from them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "net/handshake.h"
+#include "net/latency.h"
+#include "util/rng.h"
+#include "web/categories.h"
+#include "web/mime.h"
+
+namespace hispar::web {
+
+struct SiteProfile {
+  std::size_t rank = 1;  // Alexa-style global rank (1-based)
+  SiteCategory category = SiteCategory::kNews;
+  net::Region origin_region = net::Region::kNorthAmerica;
+  double us_traffic_share = 0.4;
+
+  // --- scale ---
+  std::size_t internal_page_count = 1000;
+  double site_visit_rate = 1.0;        // visits/s globally
+  double landing_traffic_share = 0.3;  // share of visits hitting "/"
+  bool english_site = true;
+  double english_page_fraction = 1.0;
+
+  // --- structure & size ---
+  double internal_objects_median = 75.0;   // median #objects, internal
+  double object_ratio_log = 0.2;           // ln(landing / internal median)
+  double internal_bytes_median = 1.9e6;
+  double size_ratio_log = 0.3;
+  double within_site_objects_sigma = 0.35;
+  double within_site_size_sigma = 0.45;
+
+  // --- content mix (normalized medians per page type) ---
+  std::array<double, kMimeCategoryCount> landing_mix{};
+  std::array<double, kMimeCategoryCount> internal_mix{};
+
+  // --- cacheability & CDN ---
+  double noncacheable_ratio_log = 0.3;  // ln(landing/internal noncacheable)
+  double internal_noncacheable_frac = 0.28;  // of objects
+  double internal_cdn_fraction = 0.55;       // per-object CDN probability
+  double landing_cdn_shift = 0.05;           // additive for landing
+  int primary_cdn_id = 0;                    // provider for first-party assets
+  int secondary_cdn_id = 1;
+
+  // --- origins ---
+  double internal_domains_median = 16.0;
+  double domains_ratio_log = 0.25;
+
+  // --- dependency depth ---
+  std::array<double, 5> internal_depth_weights{};
+  std::array<double, 5> landing_depth_weights{};
+
+  // --- resource hints ---
+  double landing_hint_zero_prob = 0.31;
+  double internal_hint_zero_prob = 0.45;
+
+  // --- landing-page craftsmanship (§4: developers optimize landing
+  // pages more meticulously; strongest at top ranks) ---
+  double landing_blocking_factor = 0.8;   // on render-blocking probability
+  double landing_root_think_factor = 0.75;
+  double landing_root_cdn_boost = 1.3;
+
+  // --- security ---
+  bool landing_is_http = false;
+  double internal_http_rate = 0.0;    // per-page probability
+  bool landing_has_mixed = false;
+  double internal_mixed_rate = 0.0;
+
+  // --- trackers & ads ---
+  double landing_tracker_embeds = 8.0;   // tracker services on landing
+  double internal_tracker_embeds = 6.0;
+  bool trackers_on_landing_only = false;
+  bool tracker_free = false;
+  bool hb_on_landing = false;
+  bool hb_on_internal = false;
+  double landing_ad_slots = 4.0;
+  double internal_ad_slots = 3.0;
+
+  // --- protocol ---
+  bool http2 = true;
+  net::TransportProtocol transport = net::TransportProtocol::kTcpTls13;
+};
+
+// Draws the profile for the site at `rank` (1-based). Deterministic
+// given `rng`'s state; callers fork a per-site stream first.
+SiteProfile sample_site_profile(std::size_t rank, util::Rng& rng);
+
+}  // namespace hispar::web

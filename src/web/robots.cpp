@@ -1,0 +1,38 @@
+#include "web/robots.h"
+
+#include "util/rng.h"
+
+namespace hispar::web {
+
+RobotsPolicy RobotsPolicy::sample(double disallowed_share, util::Rng& rng) {
+  RobotsPolicy policy;
+  policy.disallowed_share_ = disallowed_share;
+  policy.salt_ = rng.next();
+  if (disallowed_share > 0.0) {
+    policy.disallowed_prefixes_ = {"/admin/", "/search?", "/private/",
+                                   "/tmp/"};
+  }
+  return policy;
+}
+
+bool RobotsPolicy::allows(std::size_t page_index) const {
+  if (disallowed_share_ <= 0.0) return true;
+  // Stable hash-based assignment of pages to disallowed directories.
+  util::SplitMix64 sm(salt_ ^ (page_index * 0x9e3779b97f4a7c15ULL));
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u >= disallowed_share_;
+}
+
+std::string RobotsPolicy::render() const {
+  std::string out = "User-agent: *\n";
+  if (disallowed_share_ <= 0.0) {
+    out += "Disallow:\n";
+    return out;
+  }
+  for (const auto& prefix : disallowed_prefixes_)
+    out += "Disallow: " + prefix + "\n";
+  return out;
+}
+
+}  // namespace hispar::web

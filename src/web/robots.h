@@ -1,0 +1,38 @@
+// robots.txt modelling.
+//
+// §3: "Search engines routinely crawl web sites exhaustively (except
+// pages disallowed via robots.txt)". A site's robots policy hides a
+// slice of its internal pages from the crawler/search engine — those
+// pages exist and are reachable by a user, but never appear in Hispar.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hispar::web {
+
+class RobotsPolicy {
+ public:
+  // No restrictions.
+  RobotsPolicy() = default;
+  // Disallow a random share of the page-index space. Pages are assigned
+  // to disallowed "directories" by hashing their index, so the policy is
+  // stable for a given site.
+  static RobotsPolicy sample(double disallowed_share, util::Rng& rng);
+
+  bool allows(std::size_t page_index) const;
+  double disallowed_share() const { return disallowed_share_; }
+
+  // Rendered robots.txt body (for completeness / debugging).
+  std::string render() const;
+
+ private:
+  double disallowed_share_ = 0.0;
+  std::uint64_t salt_ = 0;
+  std::vector<std::string> disallowed_prefixes_;
+};
+
+}  // namespace hispar::web

@@ -1,0 +1,713 @@
+#include "web/site.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+#include "web/calibration.h"
+
+namespace hispar::web {
+
+namespace {
+
+namespace cal = calib;
+
+// Typical transfer sizes per MIME category (median bytes, lognormal
+// sigma). Indexed by MimeCategory.
+struct CategorySize {
+  double median;
+  double sigma;
+};
+constexpr std::array<CategorySize, kMimeCategoryCount> kCategorySizes = {{
+    {200e3, 0.7},  // audio
+    {8e3, 0.9},    // data
+    {35e3, 0.5},   // font
+    {18e3, 1.0},   // html/css
+    {25e3, 1.0},   // image
+    {30e3, 1.0},   // javascript
+    {3e3, 1.0},    // json
+    {500e3, 0.7},  // video
+    {5e3, 1.0},    // unknown
+}};
+
+constexpr std::array<const char*, 8> kSections = {
+    "articles", "news", "products", "posts",
+    "docs",     "media", "reviews",  "topics"};
+
+// Third-party service request rate (requests/second near the vantage
+// point): head services are globally hot; the tail cools quadratically
+// in popularity weight so low-prevalence trackers actually miss caches.
+double third_party_rate(const ThirdPartyService& s) {
+  return 300.0 * s.popularity_weight * s.popularity_weight;
+}
+
+MimeCategory tp_object_mime(ThirdPartyKind kind, int request_index,
+                            util::Rng& rng) {
+  switch (kind) {
+    case ThirdPartyKind::kAnalytics:
+    case ThirdPartyKind::kTracker:
+      return request_index == 0 ? MimeCategory::kJavaScript
+                                : MimeCategory::kImage;  // beacon pixels
+    case ThirdPartyKind::kAdNetwork:
+    case ThirdPartyKind::kHeaderBidding:
+      if (request_index == 0) return MimeCategory::kJavaScript;
+      return rng.chance(0.5) ? MimeCategory::kImage : MimeCategory::kJson;
+    case ThirdPartyKind::kSocial:
+      return request_index == 0 ? MimeCategory::kJavaScript
+                                : MimeCategory::kImage;
+    case ThirdPartyKind::kCdnLibrary:
+      return rng.chance(0.8) ? MimeCategory::kJavaScript
+                             : MimeCategory::kHtmlCss;
+    case ThirdPartyKind::kFonts:
+      return request_index == 0 && rng.chance(0.4) ? MimeCategory::kHtmlCss
+                                                   : MimeCategory::kFont;
+    case ThirdPartyKind::kVideo:
+      return request_index == 0 ? MimeCategory::kJavaScript
+                                : MimeCategory::kVideo;
+  }
+  return MimeCategory::kUnknown;
+}
+
+double tp_object_size(MimeCategory mime, util::Rng& rng) {
+  // Third-party payloads skew smaller than first-party ones (pixels,
+  // beacons, bid requests); embedded players stream on demand, so even
+  // video embeds transfer modest preview/manifest payloads at load time.
+  if (mime == MimeCategory::kVideo)
+    return std::max(10e3, rng.lognormal(std::log(80e3), 0.6));
+  const auto& cs = kCategorySizes[static_cast<std::size_t>(mime)];
+  double shrink = 0.8;  // fonts, data
+  if (mime == MimeCategory::kImage || mime == MimeCategory::kJson)
+    shrink = 0.15;  // beacon pixels, bid responses
+  else if (mime == MimeCategory::kJavaScript)
+    shrink = 0.45;  // tags and loaders, not app bundles
+  else if (mime == MimeCategory::kHtmlCss)
+    shrink = 0.5;
+  return std::max(200.0,
+                  rng.lognormal(std::log(cs.median * shrink),
+                                std::min(cs.sigma, 0.7)));
+}
+
+}  // namespace
+
+WebSite::WebSite(std::string domain, SiteProfile profile,
+                 const ThirdPartyPool& third_parties,
+                 const cdn::CdnRegistry& cdn_registry, util::Rng site_rng,
+                 std::function<std::string(util::Rng&)> external_domain_sampler)
+    : domain_(std::move(domain)),
+      profile_(profile),
+      third_parties_(&third_parties),
+      cdn_registry_(&cdn_registry),
+      site_rng_(site_rng),
+      external_domain_sampler_(std::move(external_domain_sampler)) {
+  if (cdn_registry_->size() == 0)
+    throw std::invalid_argument("WebSite: need at least one CDN provider");
+  util::Rng setup = site_rng_.fork("setup");
+  robots_ = setup.chance(cal::kRobotsDisallowSiteProb)
+                ? RobotsPolicy::sample(cal::kRobotsDisallowedPageShare, setup)
+                : RobotsPolicy();
+  primary_cdn_id_ = static_cast<int>(setup.uniform_int(
+      0, static_cast<std::int64_t>(cdn_registry_->size()) - 1));
+
+  // Approximate H(n, s) = sum_{i<=n} i^-s: exact head + integral tail.
+  const double s = cal::kPagePopularityZipf;
+  const std::size_t n = profile_.internal_page_count;
+  const std::size_t head = std::min<std::size_t>(n, 1000);
+  double h = 0.0;
+  for (std::size_t i = 1; i <= head; ++i)
+    h += std::pow(static_cast<double>(i), -s);
+  if (n > head) {
+    h += (std::pow(static_cast<double>(n), 1.0 - s) -
+          std::pow(static_cast<double>(head), 1.0 - s)) /
+         (1.0 - s);
+  }
+  zipf_norm_ = h;
+
+  // Stable per-site third-party roster (see header).
+  util::Rng service_rng = site_rng_.fork("services");
+  std::set<int> roster;
+  int guard = 0;
+  while (site_trackers_.size() < 12 && ++guard < 4000) {
+    const ThirdPartyService& svc = third_parties_->sample_tracker(service_rng);
+    if (svc.kind == ThirdPartyKind::kHeaderBidding) continue;
+    if (roster.insert(svc.id).second) site_trackers_.push_back(svc.id);
+  }
+  guard = 0;
+  while (site_benign_.size() < 34 && ++guard < 4000) {
+    const ThirdPartyService& svc = third_parties_->sample(service_rng);
+    if (svc.flagged_by_adblock) continue;
+    if (roster.insert(svc.id).second) site_benign_.push_back(svc.id);
+  }
+  guard = 0;
+  while (site_ad_networks_.size() < 5 && ++guard < 4000) {
+    const ThirdPartyService& svc = third_parties_->sample(
+        service_rng, static_cast<int>(ThirdPartyKind::kAdNetwork));
+    if (roster.insert(svc.id).second) site_ad_networks_.push_back(svc.id);
+  }
+}
+
+double WebSite::zipf_page_pmf(std::size_t index) const {
+  return std::pow(static_cast<double>(index), -cal::kPagePopularityZipf) /
+         zipf_norm_;
+}
+
+double WebSite::page_visit_rate(std::size_t page_index) const {
+  if (page_index == 0)
+    return profile_.site_visit_rate * profile_.landing_traffic_share;
+  return profile_.site_visit_rate * (1.0 - profile_.landing_traffic_share) *
+         zipf_page_pmf(page_index);
+}
+
+util::Url WebSite::page_url(std::size_t page_index) const {
+  util::Url url;
+  url.host = "www." + domain_;
+  if (page_index == 0) {
+    url.scheme =
+        profile_.landing_is_http ? util::Scheme::kHttp : util::Scheme::kHttps;
+    url.path = "/";
+    return url;
+  }
+  util::Rng rng = site_rng_.fork(page_index).fork("url");
+  url.scheme = rng.chance(profile_.internal_http_rate) ? util::Scheme::kHttp
+                                                       : util::Scheme::kHttps;
+  if (!robots_.allows(page_index)) {
+    url.path = "/private/item-" + std::to_string(page_index);
+  } else {
+    const auto section = kSections[page_index % kSections.size()];
+    url.path = std::string("/") + section + "/item-" +
+               std::to_string(page_index);
+  }
+  return url;
+}
+
+bool WebSite::page_is_english(std::size_t page_index) const {
+  if (page_index == 0) return profile_.english_site;
+  util::Rng rng = site_rng_.fork(page_index).fork("lang");
+  return rng.chance(profile_.english_page_fraction);
+}
+
+WebSite::PageTargets WebSite::targets_for(bool landing, util::Rng& rng) const {
+  PageTargets t{};
+  if (landing) {
+    // The landing page is a single concrete page: its contrast with the
+    // internal-page median is the site-level draw, with only light
+    // load-to-load jitter (the paper loads it 10x and takes medians).
+    t.objects = static_cast<std::size_t>(std::max(
+        8.0, profile_.internal_objects_median *
+                 std::exp(profile_.object_ratio_log + rng.normal(0.0, 0.05))));
+    t.total_bytes = std::max(
+        40e3, profile_.internal_bytes_median *
+                  std::exp(profile_.size_ratio_log + rng.normal(0.0, 0.05)));
+    t.noncacheable_frac = std::clamp(
+        profile_.internal_noncacheable_frac *
+            std::exp(profile_.noncacheable_ratio_log - profile_.object_ratio_log),
+        0.02, 0.9);
+    t.cdn_prob = std::clamp(
+        profile_.internal_cdn_fraction + profile_.landing_cdn_shift, 0.0, 1.0);
+    t.unique_domains = static_cast<std::size_t>(std::max(
+        2.0, profile_.internal_domains_median *
+                 std::exp(profile_.domains_ratio_log + rng.normal(0.0, 0.05))));
+    t.unique_domains = std::min(t.unique_domains, t.objects / 2);
+    t.tracker_embeds = profile_.landing_tracker_embeds;
+    t.ad_slots = profile_.landing_ad_slots;
+    t.header_bidding = profile_.hb_on_landing;
+    t.mix = &profile_.landing_mix;
+    t.depth_weights = &profile_.landing_depth_weights;
+  } else {
+    t.objects = static_cast<std::size_t>(std::max(
+        5.0, profile_.internal_objects_median *
+                 std::exp(rng.normal(0.0, profile_.within_site_objects_sigma))));
+    t.total_bytes = std::max(
+        25e3, profile_.internal_bytes_median *
+                  std::exp(rng.normal(0.0, profile_.within_site_size_sigma)));
+    t.noncacheable_frac =
+        std::clamp(profile_.internal_noncacheable_frac *
+                       std::exp(rng.normal(0.0, 0.2)),
+                   0.02, 0.9);
+    t.cdn_prob = std::clamp(profile_.internal_cdn_fraction, 0.0, 1.0);
+    t.unique_domains = static_cast<std::size_t>(std::max(
+        2.0, profile_.internal_domains_median *
+                 std::exp(rng.normal(0.0, 0.25))));
+    t.unique_domains = std::min(t.unique_domains, t.objects / 2);
+    t.tracker_embeds =
+        profile_.trackers_on_landing_only ? 0.0 : profile_.internal_tracker_embeds;
+    t.ad_slots =
+        profile_.trackers_on_landing_only ? 0.0 : profile_.internal_ad_slots;
+    t.header_bidding = !profile_.trackers_on_landing_only &&
+                       profile_.hb_on_internal && rng.chance(0.7);
+    t.mix = &profile_.internal_mix;
+    t.depth_weights = &profile_.internal_depth_weights;
+  }
+  if (profile_.tracker_free) t.tracker_embeds = 0.0;
+  return t;
+}
+
+WebPage WebSite::page(std::size_t page_index) const {
+  if (page_index > profile_.internal_page_count)
+    throw std::out_of_range("WebSite::page: index beyond site size");
+  const bool landing = page_index == 0;
+  util::Rng rng = site_rng_.fork(page_index).fork("page");
+
+  WebPage page;
+  page.url = page_url(page_index);
+  page.site_domain = domain_;
+  page.is_landing = landing;
+  page.page_index = page_index;
+  page.category = profile_.category;
+  page.english = page_is_english(page_index);
+  page.visit_rate = page_visit_rate(page_index);
+  page.http2 = profile_.http2;
+  page.transport = profile_.landing_is_http && landing
+                       ? net::TransportProtocol::kCleartextHttp
+                       : profile_.transport;
+  if (page.url.scheme == util::Scheme::kHttp)
+    page.transport = net::TransportProtocol::kCleartextHttp;
+
+  const PageTargets targets = targets_for(landing, rng);
+  page.ad_slots = static_cast<int>(
+      std::max(0.0, std::round(targets.ad_slots * std::exp(rng.normal(0.0, 0.2)))));
+  if (targets.tracker_embeds <= 0.0) page.ad_slots = 0;
+  page.header_bidding = targets.header_bidding && page.ad_slots > 0;
+
+  build_objects(page, targets, rng);
+  assign_links(page, rng);
+
+  // Resource hints (§5.5).
+  const double zero_prob =
+      landing ? profile_.landing_hint_zero_prob : profile_.internal_hint_zero_prob;
+  if (!rng.chance(zero_prob)) {
+    const int hints = static_cast<int>(std::clamp(
+        rng.lognormal(cal::kHintCountLogMedian, cal::kHintCountLogSigma), 1.0,
+        35.0));
+    for (int i = 0; i < hints; ++i) {
+      const double u = rng.uniform();
+      if (u < 0.45) ++page.hints.dns_prefetch;
+      else if (u < 0.80) ++page.hints.preconnect;
+      else if (u < 0.97) ++page.hints.prefetch;
+      else ++page.hints.prerender;
+    }
+  }
+  return page;
+}
+
+void WebSite::build_objects(WebPage& page, const PageTargets& targets,
+                            util::Rng& rng) const {
+  const bool landing = page.is_landing;
+  const bool page_http = page.url.scheme == util::Scheme::kHttp;
+  const bool mixed = !page_http &&
+                     (landing ? profile_.landing_has_mixed
+                              : rng.chance(profile_.internal_mixed_rate));
+
+  // Traffic rates as seen near the (U.S.) vantage point — this is what
+  // determines CDN edge warmth there (§5.1, Fig. 10c).
+  const double page_rate_us = page.visit_rate * profile_.us_traffic_share;
+  const double site_rate_us =
+      profile_.site_visit_rate * profile_.us_traffic_share;
+
+  // --- root document ---
+  WebObject root;
+  root.url = page.url.str();
+  root.host = page.url.host;
+  root.scheme = page.url.scheme;
+  root.mime = MimeCategory::kHtmlCss;
+  root.size_bytes = std::max(5e3, rng.lognormal(std::log(60e3), 0.6));
+  root.depth = 0;
+  root.parent_index = -1;
+  root.cacheable = false;  // documents are personalized/no-store
+  // Landing shells are more often pre-rendered and CDN-cached (§4).
+  root.via_cdn = rng.chance(std::min(
+      1.0, targets.cdn_prob * 0.5 *
+               (landing ? profile_.landing_root_cdn_boost : 1.0)));
+  if (root.via_cdn) root.cdn_provider_id = primary_cdn_id_;
+  root.origin_region = profile_.origin_region;
+  root.request_rate = page_rate_us;
+  root.origin_think_ms =
+      std::max(3.0, rng.lognormal(std::log(35.0), 0.5)) *
+      (landing ? profile_.landing_root_think_factor : 1.0);
+  root.render_blocking = true;
+  page.objects.push_back(std::move(root));
+
+  // Track objects by depth for parent assignment.
+  std::array<std::vector<int>, 8> by_depth;
+  by_depth[0].push_back(0);
+
+  const auto pick_parent = [&](int depth) -> int {
+    for (int d = depth - 1; d >= 0; --d) {
+      if (!by_depth[static_cast<std::size_t>(d)].empty()) {
+        const auto& cands = by_depth[static_cast<std::size_t>(d)];
+        return cands[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cands.size()) - 1))];
+      }
+    }
+    return 0;
+  };
+  std::array<double, kMimeCategoryCount>* tally = nullptr;
+  const auto append_object = [&](WebObject obj) {
+    if (tally != nullptr)
+      (*tally)[static_cast<std::size_t>(obj.mime)] += obj.size_bytes;
+    // Fix up depth so a parent exists, then register.
+    if (obj.depth > 1) {
+      int d = obj.depth;
+      while (d > 1 && by_depth[static_cast<std::size_t>(d - 1)].empty()) --d;
+      obj.depth = d;
+    }
+    obj.parent_index = obj.depth == 0 ? -1 : pick_parent(obj.depth);
+    const int index = static_cast<int>(page.objects.size());
+    by_depth[static_cast<std::size_t>(std::min(obj.depth, 7))].push_back(index);
+    page.objects.push_back(std::move(obj));
+  };
+  const auto sample_depth = [&](const std::array<double, 5>& weights) {
+    double u = rng.uniform();
+    for (std::size_t d = 0; d < weights.size(); ++d) {
+      if (u < weights[d]) return static_cast<int>(d) + 1;
+      u -= weights[d];
+    }
+    return static_cast<int>(weights.size());
+  };
+
+  // --- first-party objects ---
+  const std::size_t fp_hosts =
+      1 + (targets.objects > 40 ? 1u : 0u) + (targets.objects > 120 ? 1u : 0u) +
+      (targets.objects > 250 ? 1u : 0u);
+  const std::array<std::string, 4> fp_host_names = {
+      page.url.host, "static." + domain_, "img." + domain_, "api." + domain_};
+
+  // Residual-deficit category sampling: the page should end up with
+  // mix[cat] * total_bytes per category *including* whatever the
+  // third-party embeds contribute, so each first-party draw targets the
+  // category with the largest remaining byte deficit (scaled by typical
+  // object size to approximate counts).
+  std::array<double, kMimeCategoryCount> bytes_by_category{};
+  bytes_by_category[static_cast<std::size_t>(MimeCategory::kHtmlCss)] +=
+      page.objects[0].size_bytes;
+  tally = &bytes_by_category;
+  const auto sample_category_by_deficit = [&]() {
+    double weights[kMimeCategoryCount];
+    double total = 0.0;
+    for (int c = 0; c < kMimeCategoryCount; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      const double desired = (*targets.mix)[i] * targets.total_bytes;
+      // A category whose budget is already spent is not drawn again —
+      // crucial for heavy categories (one video blows a small budget).
+      const double deficit = std::max(0.0, desired - bytes_by_category[i]);
+      weights[i] = deficit / kCategorySizes[i].median;
+      total += weights[i];
+    }
+    if (total <= 0.0) return MimeCategory::kJavaScript;
+    double u = rng.uniform() * total;
+    for (int c = 0; c < kMimeCategoryCount; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      if (u < weights[i]) return static_cast<MimeCategory>(c);
+      u -= weights[i];
+    }
+    return MimeCategory::kJavaScript;
+  };
+
+  // Estimate third-party object count to size the first-party budget.
+  const int tracker_count =
+      targets.tracker_embeds <= 0.0
+          ? 0
+          : static_cast<int>(std::max(
+                0.0, std::round(targets.tracker_embeds *
+                                std::exp(rng.normal(0.0, 0.25)))));
+  const int hb_count = page.header_bidding
+                           ? static_cast<int>(rng.uniform_int(3, 5))
+                           : 0;
+  // Distinct domains the third-party fill pass will add beyond the
+  // tracker/ad embeds (to hit the unique-domain target).
+  const std::size_t named_embeds = static_cast<std::size_t>(
+      tracker_count + hb_count + page.ad_slots);
+  const std::size_t expected_fill =
+      targets.unique_domains > fp_hosts + named_embeds
+          ? targets.unique_domains - fp_hosts - named_embeds
+          : 0;
+  (void)expected_fill;
+
+  std::size_t mixed_budget =
+      mixed ? static_cast<std::size_t>(rng.uniform_int(1, 5)) : 0;
+
+  std::vector<std::size_t> fp_indices;
+  std::size_t fp_serial = 0;
+  const auto add_fp_object = [&] {
+    const std::size_t i = fp_serial++;
+    WebObject o;
+    o.mime = sample_category_by_deficit();
+    const auto& cs = kCategorySizes[static_cast<std::size_t>(o.mime)];
+    o.size_bytes = std::max(150.0, rng.lognormal(std::log(cs.median), cs.sigma));
+    const std::size_t host_pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(fp_hosts) - 1));
+    o.host = fp_host_names[host_pick];
+    o.scheme = page.url.scheme;
+    if (mixed_budget > 0 && o.mime == MimeCategory::kImage) {
+      o.scheme = util::Scheme::kHttp;  // passive mixed content (§6.1)
+      --mixed_budget;
+    }
+    o.depth = sample_depth(*targets.depth_weights);
+    o.cacheable = default_cacheable(o.mime);
+    if (rng.chance(cal::kCacheableFlip)) o.cacheable = !o.cacheable;
+    o.via_cdn = rng.chance(targets.cdn_prob);
+    if (o.via_cdn) {
+      o.cdn_provider_id = primary_cdn_id_;
+      // CNAME into the provider's namespace (what a cdnfinder-style
+      // classifier observes), e.g. static.site.com -> site.edgekey.net.
+      const auto& provider = cdn_registry_->provider(primary_cdn_id_);
+      if (!provider.cname_patterns.empty()) {
+        std::string suffix = provider.cname_patterns.front();
+        if (suffix.rfind("*.", 0) == 0) suffix = suffix.substr(2);
+        o.dns_cname = domain_ + "." + suffix;
+      }
+    }
+    o.origin_region = profile_.origin_region;
+    // Site-common assets (logos, stylesheets, app bundles) appear on
+    // many pages and inherit the site's aggregate rate; page-specific
+    // assets (article images) only see this page's traffic.
+    const bool site_common = rng.chance(0.45);
+    o.request_rate = site_common ? site_rate_us * rng.uniform(0.3, 0.8)
+                                 : page_rate_us * rng.uniform(0.6, 1.0);
+    o.origin_think_ms = std::max(2.0, rng.lognormal(std::log(18.0), 0.6));
+    // Landing pages defer/async more of their scripts and inline their
+    // critical CSS (§4: "developers optimize the landing-page design
+    // more meticulously").
+    const double blocking_factor =
+        landing ? profile_.landing_blocking_factor : 1.0;
+    // Depth-2 blockers (@import chains, nested synchronous scripts) are
+    // what make deep landing-page structures expensive on cold paths:
+    // each level adds a full fetch round trip before first paint.
+    if (o.mime == MimeCategory::kHtmlCss) {
+      o.render_blocking =
+          (o.depth == 1 && rng.chance(0.7 * blocking_factor)) ||
+          (o.depth == 2 && rng.chance(0.35 * blocking_factor)) ||
+          (o.depth == 3 && rng.chance(0.10 * blocking_factor));
+    } else if (o.mime == MimeCategory::kJavaScript) {
+      o.render_blocking =
+          (o.depth == 1 && rng.chance(0.25 * blocking_factor)) ||
+          (o.depth == 2 && rng.chance(0.10 * blocking_factor));
+    }
+    o.url = std::string(util::to_string(o.scheme)) + "://" + o.host + "/asset/" +
+            std::to_string(page.page_index) + "-" + std::to_string(i);
+    fp_indices.push_back(page.objects.size());
+    append_object(std::move(o));
+  };
+
+  // First-party skeleton: enough structure that third-party tags (which
+  // sit at depths 2-3, injected by tag managers) have parents to hang
+  // off; the exact object budget is settled after the embeds.
+  const std::size_t skeleton = std::min<std::size_t>(
+      24, std::max<std::size_t>(6, targets.objects / 5));
+  for (std::size_t i = 0; i < skeleton; ++i) add_fp_object();
+
+  // --- third-party embeds ---
+  std::set<int> embedded_services;
+  std::size_t embed_serial = 0;
+  const auto embed_service = [&](const ThirdPartyService& svc,
+                                 bool as_ad_slot, int request_cap = 99) {
+    if (!embedded_services.insert(svc.id).second && !as_ad_slot) return;
+    const std::size_t serial = embed_serial++;
+    const int requests =
+        as_ad_slot ? 1 : std::min(svc.requests_per_embed, request_cap);
+    for (int r = 0; r < requests; ++r) {
+      WebObject o;
+      o.mime = tp_object_mime(svc.kind, r, rng);
+      o.size_bytes = tp_object_size(o.mime, rng);
+      o.host = svc.domain;
+      o.scheme = page_http ? util::Scheme::kHttp : util::Scheme::kHttps;
+      o.third_party_id = svc.id;
+      o.is_tracker_request = svc.flagged_by_adblock &&
+                             (svc.kind == ThirdPartyKind::kTracker ||
+                              svc.kind == ThirdPartyKind::kAnalytics ||
+                              svc.kind == ThirdPartyKind::kSocial);
+      o.is_ad_request = svc.flagged_by_adblock && !o.is_tracker_request;
+      // Trackers are usually injected by tag-manager scripts: depth 2-3.
+      const bool deep_kind = svc.kind == ThirdPartyKind::kTracker ||
+                             svc.kind == ThirdPartyKind::kAdNetwork ||
+                             svc.kind == ThirdPartyKind::kHeaderBidding ||
+                             svc.kind == ThirdPartyKind::kAnalytics;
+      o.depth = deep_kind ? static_cast<int>(rng.uniform_int(2, 3))
+                          : static_cast<int>(rng.uniform_int(1, 2));
+      o.cacheable = (svc.kind == ThirdPartyKind::kCdnLibrary ||
+                     svc.kind == ThirdPartyKind::kFonts ||
+                     svc.kind == ThirdPartyKind::kVideo) &&
+                    r > 0;
+      const bool own_cdn = svc.kind == ThirdPartyKind::kCdnLibrary ||
+                           svc.kind == ThirdPartyKind::kFonts ||
+                           svc.kind == ThirdPartyKind::kVideo;
+      o.via_cdn = own_cdn || rng.chance(0.2);
+      if (o.via_cdn) {
+        o.cdn_provider_id = static_cast<int>(util::fnv1a(svc.domain) %
+                                             cdn_registry_->size());
+        const auto& provider = cdn_registry_->provider(o.cdn_provider_id);
+        if (!provider.cname_patterns.empty()) {
+          std::string suffix = provider.cname_patterns.front();
+          if (suffix.rfind("*.", 0) == 0) suffix = suffix.substr(2);
+          o.dns_cname = svc.domain + "." + suffix;
+        }
+      }
+      o.origin_region = net::Region::kNorthAmerica;  // TP infra is global
+      o.request_rate = third_party_rate(svc);
+      o.origin_think_ms = std::max(2.0, rng.lognormal(std::log(25.0), 0.5));
+      o.render_blocking = false;
+      o.url = std::string(util::to_string(o.scheme)) + "://" + o.host +
+              (svc.flagged_by_adblock ? "/track/" : "/lib/") +
+              std::to_string(page.page_index) + "-" + std::to_string(serial) +
+              "-" + std::to_string(r);
+      append_object(std::move(o));
+    }
+  };
+
+  for (int i = 0; i < tracker_count; ++i) {
+    const bool novel = rng.chance(0.05) ||
+                       static_cast<std::size_t>(i) >= site_trackers_.size();
+    if (!novel) {
+      embed_service(third_parties_->service(
+                        site_trackers_[static_cast<std::size_t>(i)]),
+                    false);
+      continue;
+    }
+    // Occasional fresh tracker (campaigns come and go). Never header
+    // bidding: HB only runs on pages with HB ad slots.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const ThirdPartyService& svc = third_parties_->sample_tracker(rng);
+      if (svc.kind == ThirdPartyKind::kHeaderBidding) continue;
+      embed_service(svc, false);
+      break;
+    }
+  }
+  for (int i = 0; i < hb_count; ++i)
+    embed_service(third_parties_->sample(
+                      rng, static_cast<int>(ThirdPartyKind::kHeaderBidding)),
+                  false);
+  for (int i = 0; i < page.ad_slots; ++i) {
+    // Sites have stable ad partners; slots cycle through them with a
+    // small churn of fresh campaign networks.
+    if (!rng.chance(0.08) && !site_ad_networks_.empty()) {
+      embed_service(third_parties_->service(site_ad_networks_[
+                        static_cast<std::size_t>(i) % site_ad_networks_.size()]),
+                    true);
+    } else {
+      embed_service(third_parties_->sample(
+                        rng, static_cast<int>(ThirdPartyKind::kAdNetwork)),
+                    true);
+    }
+  }
+
+  // Fill up to the unique-domain target with non-tracking services,
+  // staying within the page's object budget.
+  const std::size_t current_domains = page.unique_domains();
+  if (targets.unique_domains > current_domains) {
+    std::size_t wanted = targets.unique_domains - current_domains;
+    std::size_t roster_cursor = static_cast<std::size_t>(
+        rng.uniform_int(0, 7));  // rotate the roster per page
+    // Attempts are bounded separately from the wanted count: roster
+    // duplicates must not starve the unique-domain target.
+    for (std::size_t attempt = 0;
+         attempt < 40 + wanted * 8 && wanted > 0 &&
+         page.objects.size() + 1 < targets.objects;
+         ++attempt) {
+      const ThirdPartyService* svc = nullptr;
+      if (!rng.chance(0.08) && !site_benign_.empty()) {
+        svc = &third_parties_->service(
+            site_benign_[roster_cursor++ % site_benign_.size()]);
+      } else {
+        const ThirdPartyService& candidate = third_parties_->sample(rng);
+        if (candidate.flagged_by_adblock) continue;  // filler is benign
+        svc = &candidate;
+      }
+      if (embedded_services.count(svc->id)) continue;
+      // Filler embeds are lightweight — one script or stylesheet from
+      // the extra origin — so the unique-domain target is reachable
+      // within the page's object budget.
+      embed_service(*svc, false, 1);
+      --wanted;
+    }
+  }
+
+  // Remaining first-party objects: settle the object count exactly.
+  while (page.objects.size() < targets.objects) add_fp_object();
+
+  // Rescale first-party bytes so the page total hits the size target
+  // (third-party payloads are what they are; the publisher's own assets
+  // make up the difference).
+  double fp_bytes = 0.0;
+  double other_bytes = page.objects[0].size_bytes;
+  {
+    std::size_t fp_cursor = 0;
+    for (std::size_t i = 1; i < page.objects.size(); ++i) {
+      if (fp_cursor < fp_indices.size() && fp_indices[fp_cursor] == i) {
+        fp_bytes += page.objects[i].size_bytes;
+        ++fp_cursor;
+      } else {
+        other_bytes += page.objects[i].size_bytes;
+      }
+    }
+  }
+  const double remaining =
+      std::max(0.05 * targets.total_bytes, targets.total_bytes - other_bytes);
+  if (fp_bytes > 0.0) {
+    const double scale = std::clamp(remaining / fp_bytes, 0.05, 6.0);
+    for (std::size_t index : fp_indices)
+      page.objects[index].size_bytes *= scale;
+  }
+
+  // --- cacheability adjustment toward the non-cacheable target ---
+  const auto target_noncacheable = static_cast<std::size_t>(
+      std::round(targets.noncacheable_frac *
+                 static_cast<double>(page.objects.size())));
+  std::size_t current = page.non_cacheable_count();
+  if (current != target_noncacheable) {
+    // Flip the smallest eligible objects first: the extra non-cacheable
+    // objects on landing pages are beacons and documents, so the
+    // cacheable-BYTES fraction stays similar across page types (S5.1).
+    std::vector<std::size_t> candidates;
+    const bool need_more = current < target_noncacheable;
+    for (std::size_t i = 1; i < page.objects.size(); ++i) {
+      const WebObject& o = page.objects[i];
+      if (!o.is_first_party()) continue;
+      if (need_more ? o.cacheable
+                    : (!o.cacheable && o.mime != MimeCategory::kHtmlCss))
+        candidates.push_back(i);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                return page.objects[a].size_bytes < page.objects[b].size_bytes;
+              });
+    for (std::size_t index : candidates) {
+      if (current == target_noncacheable) break;
+      page.objects[index].cacheable = !need_more;
+      current += need_more ? 1 : -1;
+    }
+  }
+}
+
+std::vector<std::size_t> WebSite::page_internal_links(
+    std::size_t page_index) const {
+  util::Rng rng = site_rng_.fork(page_index).fork("links");
+  const std::size_t n = profile_.internal_page_count;
+  const bool landing = page_index == 0;
+  const std::size_t want = static_cast<std::size_t>(
+      landing ? rng.uniform_int(30, 80) : rng.uniform_int(8, 40));
+  std::vector<std::size_t> links;
+  links.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    // Popularity-biased link target: u^k over the index space favors
+    // low indices (popular pages get linked more).
+    const double u = rng.uniform();
+    auto idx = static_cast<std::size_t>(
+        std::pow(u, 2.5) * static_cast<double>(n)) + 1;
+    if (idx > n) idx = n;
+    if (idx != page_index) links.push_back(idx);
+  }
+  return links;
+}
+
+void WebSite::assign_links(WebPage& page, util::Rng& rng) const {
+  page.internal_links = page_internal_links(page.page_index);
+  if (external_domain_sampler_) {
+    const auto ext = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t i = 0; i < ext; ++i)
+      page.external_links.push_back(external_domain_sampler_(rng));
+  }
+}
+
+}  // namespace hispar::web

@@ -1,0 +1,90 @@
+// A web site: deterministic factory for its landing and internal pages.
+//
+// A site exposes an (effectively unbounded) universe of internal pages,
+// indexed 1..internal_page_count(); page 0 is the landing page. Any page
+// can be regenerated at any time from the site's seed — this is what
+// makes exhaustive crawls (§4), search indexing (§3) and repeated
+// measurements (§3.1's ten landing-page loads) all see the same web.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "web/page.h"
+#include "web/profile.h"
+#include "web/robots.h"
+#include "cdn/provider.h"
+#include "web/thirdparty.h"
+
+namespace hispar::web {
+
+class WebSite {
+ public:
+  // `external_domain_sampler` supplies domains of other sites for
+  // outbound links; defaults to a stub when the site stands alone.
+  WebSite(std::string domain, SiteProfile profile,
+          const ThirdPartyPool& third_parties,
+          const cdn::CdnRegistry& cdn_registry, util::Rng site_rng,
+          std::function<std::string(util::Rng&)> external_domain_sampler = {});
+
+  const std::string& domain() const { return domain_; }
+  const SiteProfile& profile() const { return profile_; }
+  const RobotsPolicy& robots() const { return robots_; }
+  std::size_t internal_page_count() const {
+    return profile_.internal_page_count;
+  }
+
+  // page_index 0 => landing page; 1..internal_page_count() => internal.
+  WebPage page(std::size_t page_index) const;
+  WebPage landing_page() const { return page(0); }
+
+  // Global visits/second this page receives (landing share for index 0,
+  // Zipf-decaying for internal pages).
+  double page_visit_rate(std::size_t page_index) const;
+
+  // URL of a page without generating it (cheap; used by crawler/index).
+  util::Url page_url(std::size_t page_index) const;
+  bool page_is_english(std::size_t page_index) const;
+  // Outbound internal links of a page without generating its objects
+  // (cheap; the crawler walks these). page() reports the same links.
+  std::vector<std::size_t> page_internal_links(std::size_t page_index) const;
+
+ private:
+  struct PageTargets {
+    std::size_t objects;
+    double total_bytes;
+    double noncacheable_frac;
+    double cdn_prob;
+    std::size_t unique_domains;
+    double tracker_embeds;
+    double ad_slots;
+    bool header_bidding;
+    const std::array<double, kMimeCategoryCount>* mix;
+    const std::array<double, 5>* depth_weights;
+  };
+
+  PageTargets targets_for(bool landing, util::Rng& rng) const;
+  void build_objects(WebPage& page, const PageTargets& targets,
+                     util::Rng& rng) const;
+  void assign_links(WebPage& page, util::Rng& rng) const;
+  double zipf_page_pmf(std::size_t index) const;
+
+  std::string domain_;
+  SiteProfile profile_;
+  const ThirdPartyPool* third_parties_;
+  const cdn::CdnRegistry* cdn_registry_;
+  util::Rng site_rng_;
+  RobotsPolicy robots_;
+  std::function<std::string(util::Rng&)> external_domain_sampler_;
+  double zipf_norm_ = 1.0;  // approximate H(n, s)
+  int primary_cdn_id_ = 0;
+  // Site-level third-party affinity: a site keeps a stable roster of
+  // trackers and benign embeds; pages draw mostly from it, with a small
+  // novelty rate. This is what bounds Fig. 8b's "third parties unseen
+  // on the landing page" to tens rather than hundreds.
+  std::vector<int> site_trackers_;
+  std::vector<int> site_benign_;
+  std::vector<int> site_ad_networks_;
+};
+
+}  // namespace hispar::web

@@ -1,0 +1,185 @@
+#include "web/thirdparty.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace hispar::web {
+
+std::string_view to_string(ThirdPartyKind k) {
+  switch (k) {
+    case ThirdPartyKind::kAnalytics: return "analytics";
+    case ThirdPartyKind::kAdNetwork: return "ad-network";
+    case ThirdPartyKind::kTracker: return "tracker";
+    case ThirdPartyKind::kSocial: return "social";
+    case ThirdPartyKind::kCdnLibrary: return "cdn-library";
+    case ThirdPartyKind::kFonts: return "fonts";
+    case ThirdPartyKind::kVideo: return "video";
+    case ThirdPartyKind::kHeaderBidding: return "header-bidding";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct HeadSpec {
+  const char* domain;
+  ThirdPartyKind kind;
+  bool flagged;
+  int requests;
+};
+
+// The curated head mirrors the services the paper names (§5.3 lists the
+// nytimes.com landing page's third parties) plus the usual suspects from
+// tracker studies.
+const HeadSpec kHead[] = {
+    {"www.google-analytics.com", ThirdPartyKind::kAnalytics, true, 2},
+    {"ad.doubleclick.net", ThirdPartyKind::kAdNetwork, true, 2},
+    {"connect.facebook.net", ThirdPartyKind::kSocial, true, 2},
+    {"fonts.gstatic.com", ThirdPartyKind::kFonts, false, 1},
+    {"use.typekit.net", ThirdPartyKind::kFonts, false, 1},
+    {"cdnjs.cloudflare.com", ThirdPartyKind::kCdnLibrary, false, 3},
+    {"ajax.googleapis.com", ThirdPartyKind::kCdnLibrary, false, 2},
+    {"www.googletagmanager.com", ThirdPartyKind::kAnalytics, true, 2},
+    {"securepubads.g.doubleclick.net", ThirdPartyKind::kAdNetwork, true, 3},
+    {"platform.twitter.com", ThirdPartyKind::kSocial, true, 2},
+    {"www.youtube.com", ThirdPartyKind::kVideo, false, 1},
+    {"player.vimeo.com", ThirdPartyKind::kVideo, false, 1},
+    {"js-agent.newrelic.com", ThirdPartyKind::kAnalytics, true, 1},
+    {"cdn.ampproject.org", ThirdPartyKind::kCdnLibrary, false, 2},
+    {"static.criteo.net", ThirdPartyKind::kAdNetwork, true, 2},
+    {"ib.adnxs.com", ThirdPartyKind::kHeaderBidding, true, 3},
+    {"as.casalemedia.com", ThirdPartyKind::kHeaderBidding, true, 2},
+    {"hbopenbid.pubmatic.com", ThirdPartyKind::kHeaderBidding, true, 2},
+    {"fastlane.rubiconproject.com", ThirdPartyKind::kHeaderBidding, true, 2},
+    {"c.amazon-adsystem.com", ThirdPartyKind::kHeaderBidding, true, 2},
+    {"bat.bing.com", ThirdPartyKind::kTracker, true, 1},
+    {"analytics.tiktok.com", ThirdPartyKind::kTracker, true, 2},
+    {"sb.scorecardresearch.com", ThirdPartyKind::kTracker, true, 2},
+    {"cdn.optimizely.com", ThirdPartyKind::kAnalytics, true, 1},
+    {"snap.licdn.com", ThirdPartyKind::kTracker, true, 1},
+    {"stats.wp.com", ThirdPartyKind::kAnalytics, true, 1},
+    {"cdn.segment.com", ThirdPartyKind::kAnalytics, true, 1},
+    {"script.hotjar.com", ThirdPartyKind::kTracker, true, 2},
+    {"widget.intercom.io", ThirdPartyKind::kSocial, false, 2},
+    {"maps.googleapis.com", ThirdPartyKind::kCdnLibrary, false, 3},
+};
+
+ThirdPartyKind sample_tail_kind(util::Rng& rng, bool& flagged) {
+  // Tail composition: trackers and ad networks dominate the long tail of
+  // the third-party ecosystem (EasyList has 73k+ patterns, §6.3).
+  const double u = rng.uniform();
+  if (u < 0.30) { flagged = true; return ThirdPartyKind::kTracker; }
+  if (u < 0.52) { flagged = true; return ThirdPartyKind::kAdNetwork; }
+  if (u < 0.62) { flagged = true; return ThirdPartyKind::kAnalytics; }
+  if (u < 0.70) { flagged = true; return ThirdPartyKind::kHeaderBidding; }
+  if (u < 0.82) { flagged = false; return ThirdPartyKind::kCdnLibrary; }
+  if (u < 0.91) { flagged = false; return ThirdPartyKind::kSocial; }
+  if (u < 0.98) { flagged = false; return ThirdPartyKind::kFonts; }
+  flagged = false;
+  return ThirdPartyKind::kVideo;
+}
+
+const char* tail_prefix(ThirdPartyKind k) {
+  switch (k) {
+    case ThirdPartyKind::kAnalytics: return "metrics";
+    case ThirdPartyKind::kAdNetwork: return "ads";
+    case ThirdPartyKind::kTracker: return "pixel";
+    case ThirdPartyKind::kSocial: return "social";
+    case ThirdPartyKind::kCdnLibrary: return "static";
+    case ThirdPartyKind::kFonts: return "fonts";
+    case ThirdPartyKind::kVideo: return "media";
+    case ThirdPartyKind::kHeaderBidding: return "bid";
+  }
+  return "svc";
+}
+
+}  // namespace
+
+ThirdPartyPool ThirdPartyPool::standard(std::size_t tail_size,
+                                        std::uint64_t seed) {
+  ThirdPartyPool pool;
+  util::Rng rng(seed);
+  int id = 0;
+  pool.by_kind_.resize(8);
+
+  for (const HeadSpec& spec : kHead) {
+    ThirdPartyService s;
+    s.id = id;
+    s.domain = spec.domain;
+    s.kind = spec.kind;
+    s.flagged_by_adblock = spec.flagged;
+    s.requests_per_embed = spec.requests;
+    s.prevalence_rank = static_cast<std::size_t>(id) + 1;
+    pool.services_.push_back(std::move(s));
+    ++id;
+  }
+  for (std::size_t i = 0; i < tail_size; ++i) {
+    ThirdPartyService s;
+    s.id = id;
+    bool flagged = false;
+    s.kind = sample_tail_kind(rng, flagged);
+    s.flagged_by_adblock = flagged;
+    s.domain = std::string(tail_prefix(s.kind)) + ".thirdparty" +
+               std::to_string(i) + ".com";
+    // Trackers fire a script plus at most one beacon; content embeds
+    // (libraries, fonts, players) pull more objects.
+    s.requests_per_embed =
+        static_cast<int>(flagged ? rng.uniform_int(1, 2) : rng.uniform_int(1, 4));
+    s.prevalence_rank = static_cast<std::size_t>(id) + 1;
+    pool.services_.push_back(std::move(s));
+    ++id;
+  }
+
+  for (const auto& s : pool.services_) {
+    // Zipf-ish popularity weight over prevalence rank.
+    const double w = 1.0 / std::pow(static_cast<double>(s.prevalence_rank), 0.9);
+    pool.services_[static_cast<std::size_t>(s.id)].popularity_weight = w;
+    if (s.flagged_by_adblock) pool.tracker_ids_.push_back(s.id);
+    pool.by_kind_[static_cast<std::size_t>(s.kind)].push_back(s.id);
+  }
+  return pool;
+}
+
+const ThirdPartyService& ThirdPartyPool::service(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= services_.size())
+    throw std::out_of_range("ThirdPartyPool: bad service id");
+  return services_[static_cast<std::size_t>(id)];
+}
+
+const ThirdPartyService& ThirdPartyPool::sample(util::Rng& rng,
+                                                int kind_filter) const {
+  // Zipf over prevalence rank via inverse-power sampling; rejection on
+  // kind keeps head services appropriately dominant.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const double u = rng.uniform();
+    // Inverse CDF of a continuous Zipf-like density ~ r^-0.9 over
+    // [1, N]: r = [1 + u*(N^0.1 - 1)]^10.
+    const double n = static_cast<double>(services_.size());
+    const double r = std::pow(1.0 + u * (std::pow(n, 0.1) - 1.0), 10.0);
+    auto idx = static_cast<std::size_t>(r) - 1;
+    if (idx >= services_.size()) idx = services_.size() - 1;
+    const ThirdPartyService& s = services_[idx];
+    if (kind_filter < 0 || static_cast<int>(s.kind) == kind_filter) return s;
+  }
+  // Fallback: uniform over the requested kind.
+  if (kind_filter >= 0 && !by_kind_[static_cast<std::size_t>(kind_filter)].empty()) {
+    const auto& ids = by_kind_[static_cast<std::size_t>(kind_filter)];
+    return service(ids[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))]);
+  }
+  return services_.front();
+}
+
+const ThirdPartyService& ThirdPartyPool::sample_tracker(util::Rng& rng) const {
+  if (tracker_ids_.empty()) throw std::logic_error("no trackers in pool");
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const ThirdPartyService& s = sample(rng);
+    if (s.flagged_by_adblock) return s;
+  }
+  return service(tracker_ids_[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(tracker_ids_.size()) - 1))]);
+}
+
+}  // namespace hispar::web

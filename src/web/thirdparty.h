@@ -1,0 +1,73 @@
+// The third-party ecosystem.
+//
+// §6.2/§6.3: pages embed content from analytics, ad networks, trackers,
+// social widgets, CDN-hosted libraries, fonts and video platforms. The
+// pool has a short popular head (google-analytics-like services that are
+// on a large share of all sites) and a long Zipf tail — which is what
+// lets the 19 internal pages of a site collectively accumulate a median
+// of 18 (p90: 80+) third-party domains never seen on the landing page.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hispar::web {
+
+enum class ThirdPartyKind : std::uint8_t {
+  kAnalytics = 0,
+  kAdNetwork,
+  kTracker,
+  kSocial,
+  kCdnLibrary,
+  kFonts,
+  kVideo,
+  kHeaderBidding,
+};
+
+std::string_view to_string(ThirdPartyKind k);
+
+struct ThirdPartyService {
+  int id = -1;
+  std::string domain;          // e.g. "www.google-analytics.com"
+  ThirdPartyKind kind = ThirdPartyKind::kAnalytics;
+  // True if requests to this service match ad-block filter lists
+  // (EasyList-style); §6.3 counts these as "tracking requests".
+  bool flagged_by_adblock = false;
+  // Typical requests a page makes to this service when embedded.
+  int requests_per_embed = 1;
+  // Prevalence rank in the pool (1 = most widely embedded).
+  std::size_t prevalence_rank = 1;
+  // Global request rate contribution (for CDN/DNS warmth), relative.
+  double popularity_weight = 1.0;
+};
+
+class ThirdPartyPool {
+ public:
+  // Builds the standard pool: a curated head of well-known services plus
+  // `tail_size` synthetic tail services.
+  static ThirdPartyPool standard(std::size_t tail_size = 2000,
+                                 std::uint64_t seed = 7);
+
+  std::span<const ThirdPartyService> services() const { return services_; }
+  const ThirdPartyService& service(int id) const;
+  std::size_t size() const { return services_.size(); }
+
+  // Sample a service by prevalence (Zipf over the pool). `kind_filter`
+  // of -1 means any kind.
+  const ThirdPartyService& sample(util::Rng& rng, int kind_filter = -1) const;
+
+  // Sample a tracker/ad service (flagged_by_adblock == true).
+  const ThirdPartyService& sample_tracker(util::Rng& rng) const;
+
+ private:
+  std::vector<ThirdPartyService> services_;
+  std::vector<int> tracker_ids_;
+  std::vector<std::vector<int>> by_kind_;
+};
+
+}  // namespace hispar::web

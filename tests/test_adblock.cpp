@@ -1,0 +1,60 @@
+#include "browser/adblock.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hispar::browser::AdBlocker;
+using hispar::browser::HarEntry;
+using hispar::browser::HarLog;
+
+TEST(AdBlockerTest, MatchesKnownTrackerHosts) {
+  const auto blocker = AdBlocker::easylist_lite();
+  EXPECT_TRUE(blocker.matches("https://www.google-analytics.com/collect"));
+  EXPECT_TRUE(blocker.matches("https://ad.doubleclick.net/ads?x=1"));
+  EXPECT_TRUE(blocker.matches("https://sb.scorecardresearch.com/b"));
+  EXPECT_TRUE(blocker.matches("https://ib.adnxs.com/ut/v3"));
+}
+
+TEST(AdBlockerTest, MatchesGenericRules) {
+  const auto blocker = AdBlocker::easylist_lite();
+  EXPECT_TRUE(blocker.matches("https://pixel.thirdparty42.com/lib/1-0"));
+  EXPECT_TRUE(blocker.matches("https://ads.thirdparty7.com/x"));
+  EXPECT_TRUE(blocker.matches("https://bid.thirdparty3.com/y"));
+  EXPECT_TRUE(blocker.matches("https://anything.example/track/55"));
+}
+
+TEST(AdBlockerTest, DoesNotBlockFirstPartyContent) {
+  const auto blocker = AdBlocker::easylist_lite();
+  EXPECT_FALSE(blocker.matches("https://www.example.com/asset/0-1"));
+  EXPECT_FALSE(blocker.matches("https://static.example.com/app.js"));
+  EXPECT_FALSE(blocker.matches("https://fonts.gstatic.com/font.woff2"));
+  EXPECT_FALSE(blocker.matches("https://cdnjs.cloudflare.com/lib/jquery.js"));
+}
+
+TEST(AdBlockerTest, CountsBlockedEntriesInHar) {
+  const auto blocker = AdBlocker::easylist_lite();
+  HarLog log;
+  HarEntry tracker;
+  tracker.url = "https://www.googletagmanager.com/gtm.js";
+  HarEntry asset;
+  asset.url = "https://img.example.com/hero.jpg";
+  HarEntry pixel;
+  pixel.url = "https://pixel.thirdparty1.com/track/0-1";
+  log.entries = {tracker, asset, pixel};
+  EXPECT_EQ(blocker.count_blocked(log), 2u);
+}
+
+TEST(AdBlockerTest, CustomPatterns) {
+  const AdBlocker blocker({"*evil*"});
+  EXPECT_EQ(blocker.pattern_count(), 1u);
+  EXPECT_TRUE(blocker.matches("https://www.evil.com/x"));
+  EXPECT_FALSE(blocker.matches("https://www.good.com/x"));
+}
+
+TEST(AdBlockerTest, EmptyLogCountsZero) {
+  const auto blocker = AdBlocker::easylist_lite();
+  EXPECT_EQ(blocker.count_blocked(HarLog{}), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+#include "core/analyses.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar;
+using core::MetricFn;
+using core::PageMetrics;
+using core::SiteObservation;
+
+PageMetrics metrics_with(double bytes, double plt = 1000.0) {
+  PageMetrics m;
+  m.bytes = bytes;
+  m.plt_ms = plt;
+  m.objects = bytes / 1000.0;
+  return m;
+}
+
+std::vector<SiteObservation> fixture() {
+  // Three sites with controlled landing/internal contrasts.
+  std::vector<SiteObservation> sites(3);
+  sites[0].domain = "big-landing.com";
+  sites[0].category = web::SiteCategory::kShopping;
+  sites[0].landing = metrics_with(3000.0, 900.0);
+  sites[0].internals = {metrics_with(1000.0, 1200.0),
+                        metrics_with(2000.0, 1000.0),
+                        metrics_with(1500.0, 1100.0)};
+  sites[1].domain = "equal.com";
+  sites[1].category = web::SiteCategory::kWorld;
+  sites[1].landing = metrics_with(1000.0, 2000.0);
+  sites[1].internals = {metrics_with(1000.0, 1500.0),
+                        metrics_with(1000.0, 1700.0)};
+  sites[2].domain = "small-landing.com";
+  sites[2].category = web::SiteCategory::kWorld;
+  sites[2].landing = metrics_with(500.0, 2500.0);
+  sites[2].internals = {metrics_with(900.0, 2000.0),
+                        metrics_with(1100.0, 1800.0)};
+  return sites;
+}
+
+TEST(CompareMetric, PairsLandingWithInternalMedian) {
+  const auto comparison =
+      core::compare_metric(fixture(), core::metric::bytes);
+  ASSERT_EQ(comparison.landing.size(), 3u);
+  EXPECT_DOUBLE_EQ(comparison.landing[0], 3000.0);
+  EXPECT_DOUBLE_EQ(comparison.internal_median[0], 1500.0);
+  EXPECT_DOUBLE_EQ(comparison.internal_median[2], 1000.0);
+  const auto deltas = comparison.deltas();
+  EXPECT_DOUBLE_EQ(deltas[0], 1500.0);
+  EXPECT_DOUBLE_EQ(deltas[1], 0.0);
+  EXPECT_DOUBLE_EQ(deltas[2], -500.0);
+}
+
+TEST(CompareMetric, FractionAndGeomean) {
+  const auto comparison =
+      core::compare_metric(fixture(), core::metric::bytes);
+  EXPECT_NEAR(comparison.fraction_landing_greater(), 1.0 / 3.0, 1e-12);
+  // Ratios: 2, 1, 0.5 -> geometric mean 1.
+  EXPECT_NEAR(comparison.geomean_ratio(), 1.0, 1e-12);
+}
+
+TEST(Values, CollectsPopulations) {
+  const auto sites = fixture();
+  EXPECT_EQ(core::landing_values(sites, core::metric::bytes).size(), 3u);
+  EXPECT_EQ(core::internal_values(sites, core::metric::bytes).size(), 7u);
+}
+
+TEST(Ks, LandingVsInternalRuns) {
+  const auto result =
+      core::ks_landing_vs_internal(fixture(), core::metric::plt_ms);
+  EXPECT_GE(result.statistic, 0.0);
+  EXPECT_LE(result.statistic, 1.0);
+}
+
+TEST(RankBins, SplitsDeltasByPosition) {
+  std::vector<SiteObservation> sites;
+  for (int i = 0; i < 10; ++i) {
+    SiteObservation site;
+    site.landing = metrics_with(i < 5 ? 2000.0 : 500.0);
+    site.internals = {metrics_with(1000.0)};
+    sites.push_back(site);
+  }
+  const auto bins = core::delta_by_rank_bin(sites, core::metric::bytes, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 1000.0);
+  EXPECT_DOUBLE_EQ(bins[1], -500.0);
+}
+
+TEST(HintUsageTest, CountsZeroHintPages) {
+  std::vector<SiteObservation> sites(2);
+  sites[0].landing.hints_total = 3;
+  sites[0].internals.resize(2);
+  sites[0].internals[0].hints_total = 0;
+  sites[0].internals[1].hints_total = 2;
+  sites[1].landing.hints_total = 0;
+  sites[1].internals.resize(2);
+  sites[1].internals[0].hints_total = 0;
+  sites[1].internals[1].hints_total = 0;
+  const auto usage = core::hint_usage(sites);
+  EXPECT_DOUBLE_EQ(usage.landing_with_hints, 0.5);
+  EXPECT_DOUBLE_EQ(usage.internal_without_hints, 0.75);
+  EXPECT_EQ(usage.landing_counts.size(), 2u);
+  EXPECT_EQ(usage.internal_counts.size(), 4u);
+}
+
+TEST(XCacheSummaryTest, AggregatesHitRatios) {
+  std::vector<SiteObservation> sites(1);
+  sites[0].landing.x_cache_hits = 8;
+  sites[0].landing.x_cache_misses = 2;
+  PageMetrics internal;
+  internal.x_cache_hits = 3;
+  internal.x_cache_misses = 7;
+  sites[0].internals = {internal};
+  const auto summary = core::x_cache_summary(sites);
+  EXPECT_DOUBLE_EQ(summary.landing_hit_ratio, 0.8);
+  EXPECT_DOUBLE_EQ(summary.internal_hit_ratio, 0.3);
+}
+
+TEST(SecuritySummaryTest, CountsPaperStatistics) {
+  std::vector<SiteObservation> sites(3);
+  // Site 0: secure landing, 12 HTTP internal pages.
+  sites[0].internals.resize(15);
+  for (int i = 0; i < 12; ++i) sites[0].internals[static_cast<std::size_t>(i)].is_http = true;
+  // Site 1: HTTP landing (excluded from the insecure-internal count).
+  sites[1].landing.is_http = true;
+  sites[1].internals.resize(3);
+  sites[1].internals[0].is_http = true;
+  // Site 2: clean but mixed content on one internal page.
+  sites[2].landing.mixed_content = true;
+  sites[2].internals.resize(2);
+  sites[2].internals[1].mixed_content = true;
+  const auto summary = core::security_summary(sites);
+  EXPECT_EQ(summary.http_landing_sites, 1);
+  EXPECT_EQ(summary.sites_with_http_internal, 1);
+  EXPECT_EQ(summary.sites_with_10plus_http_internal, 1);
+  EXPECT_EQ(summary.mixed_landing_sites, 1);
+  EXPECT_EQ(summary.sites_with_mixed_internal, 1);
+  EXPECT_EQ(summary.insecure_internal_counts.size(), 2u);  // secure-landing sites
+}
+
+TEST(UnseenThirdPartiesTest, CountsDomainsAbsentFromLanding) {
+  std::vector<SiteObservation> sites(1);
+  sites[0].landing.third_parties = {"a.com", "b.com"};
+  PageMetrics page1, page2;
+  page1.third_parties = {"a.com", "c.com"};
+  page2.third_parties = {"c.com", "d.com", "e.com"};
+  sites[0].internals = {page1, page2};
+  const auto unseen = core::unseen_third_parties(sites);
+  ASSERT_EQ(unseen.size(), 1u);
+  EXPECT_DOUBLE_EQ(unseen[0], 3.0);  // c, d, e
+}
+
+TEST(HbSummaryTest, ClassifiesLandingVsInternalOnly) {
+  std::vector<SiteObservation> sites(3);
+  sites[0].landing.header_bidding = true;
+  sites[0].landing.hb_ad_slots = 9;
+  PageMetrics hb_internal;
+  hb_internal.header_bidding = true;
+  hb_internal.hb_ad_slots = 7;
+  sites[0].internals = {hb_internal};
+  sites[1].internals = {hb_internal};  // internal only
+  sites[2].internals = {PageMetrics{}};  // no HB at all
+  const auto summary = core::hb_summary(sites);
+  EXPECT_EQ(summary.sites_with_hb_landing, 1);
+  EXPECT_EQ(summary.sites_with_hb_internal_only, 1);
+  EXPECT_EQ(summary.landing_slots.size(), 2u);
+}
+
+TEST(CategoryDeltas, FiltersByCategory) {
+  const auto world =
+      core::plt_delta_for_category(fixture(), web::SiteCategory::kWorld);
+  ASSERT_EQ(world.size(), 2u);
+  // equal.com: 2000 - 1600 = 400ms = 0.4s.
+  EXPECT_NEAR(world[0], 0.4, 1e-9);
+  const auto sports =
+      core::plt_delta_for_category(fixture(), web::SiteCategory::kSports);
+  EXPECT_TRUE(sports.empty());
+}
+
+TEST(ContentMixTest, MediansPerCategory) {
+  std::vector<SiteObservation> sites(1);
+  sites[0].landing.mix_fractions[0] = 0.5;
+  PageMetrics internal;
+  internal.mix_fractions[0] = 0.2;
+  sites[0].internals = {internal};
+  const auto mix = core::content_mix(sites);
+  EXPECT_DOUBLE_EQ(mix.landing_median[0], 0.5);
+  EXPECT_DOUBLE_EQ(mix.internal_median[0], 0.2);
+}
+
+TEST(DepthProfileTest, MediansAndTails) {
+  std::vector<SiteObservation> sites(1);
+  sites[0].landing.depth_counts = {1, 10, 5, 2, 0, 0};
+  PageMetrics internal;
+  internal.depth_counts = {1, 8, 3, 1, 0, 0};
+  sites[0].internals = {internal};
+  const auto profile = core::depth_profile(sites);
+  EXPECT_DOUBLE_EQ(profile.landing_median[2], 5.0);
+  EXPECT_DOUBLE_EQ(profile.internal_median[2], 3.0);
+}
+
+TEST(WaitTimesTest, ConcatenatesSamples) {
+  std::vector<SiteObservation> sites(1);
+  sites[0].landing.wait_samples_ms = {10.0, 20.0};
+  PageMetrics internal;
+  internal.wait_samples_ms = {30.0};
+  sites[0].internals = {internal};
+  const auto times = core::wait_times(sites);
+  EXPECT_EQ(times.landing_ms.size(), 2u);
+  EXPECT_EQ(times.internal_ms.size(), 1u);
+}
+
+}  // namespace

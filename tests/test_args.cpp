@@ -1,0 +1,72 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hispar::util::Args;
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args::parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgsTest, SubcommandAndFlags) {
+  const Args args =
+      parse({"hispar", "build", "--sites", "100", "--out", "x.csv"});
+  EXPECT_EQ(args.program(), "hispar");
+  EXPECT_EQ(args.subcommand(), "build");
+  EXPECT_EQ(args.get_int("sites", 0), 100);
+  EXPECT_EQ(args.get("out", ""), "x.csv");
+}
+
+TEST(ArgsTest, MissingFlagsFallBack) {
+  const Args args = parse({"hispar", "build"});
+  EXPECT_EQ(args.get_int("sites", 42), 42);
+  EXPECT_EQ(args.get("out", "default.csv"), "default.csv");
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 1.5), 1.5);
+  EXPECT_FALSE(args.has("sites"));
+}
+
+TEST(ArgsTest, BareSwitches) {
+  const Args args = parse({"hispar", "build", "--verbose", "--sites", "5"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("quiet"));
+  EXPECT_EQ(args.get_int("sites", 0), 5);
+}
+
+TEST(ArgsTest, NoSubcommand) {
+  const Args args = parse({"hispar", "--sites", "5"});
+  EXPECT_TRUE(args.subcommand().empty());
+  EXPECT_EQ(args.get_int("sites", 0), 5);
+}
+
+TEST(ArgsTest, MalformedInputThrows) {
+  EXPECT_THROW(parse({"hispar", "build", "value-without-flag"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"hispar", "build", "--"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, BadTypesThrow) {
+  const Args args = parse({"hispar", "build", "--sites", "abc"});
+  EXPECT_THROW(args.get_int("sites", 0), std::invalid_argument);
+  const Args args2 = parse({"hispar", "build", "--rate", "1.2.3"});
+  EXPECT_THROW(args2.get_double("rate", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, UnusedFlagsReported) {
+  const Args args = parse({"hispar", "build", "--sites", "5", "--typo", "x"});
+  (void)args.get_int("sites", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgsTest, NegativeNumbersAreValues) {
+  // A leading '-' on the token after a flag is treated as the next flag;
+  // numeric flags therefore reject negatives explicitly.
+  const Args args = parse({"hispar", "build", "--offset", "5"});
+  EXPECT_EQ(args.get_int("offset", 0), 5);
+}
+
+}  // namespace

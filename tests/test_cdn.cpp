@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "cdn/detection.h"
+#include "cdn/hierarchy.h"
+#include "cdn/provider.h"
+
+namespace {
+
+using namespace hispar::cdn;
+using hispar::net::LatencyModel;
+using hispar::net::Region;
+using hispar::util::Rng;
+
+TEST(Registry, HasAtLeastFortyProviders) {
+  // §5.1: "we identified more than 40 different CDNs".
+  EXPECT_GE(CdnRegistry::standard().size(), 40u);
+}
+
+TEST(Registry, LookupByNameAndId) {
+  const auto registry = CdnRegistry::standard();
+  const CdnProvider* akamai = registry.find_by_name("akamai");
+  ASSERT_NE(akamai, nullptr);
+  EXPECT_TRUE(akamai->emits_x_cache);
+  EXPECT_EQ(registry.provider(akamai->id).name, "akamai");
+  EXPECT_EQ(registry.find_by_name("not-a-cdn"), nullptr);
+  EXPECT_THROW(registry.provider(-1), std::out_of_range);
+  EXPECT_THROW(registry.provider(10000), std::out_of_range);
+}
+
+TEST(Registry, XCacheProvidersIncludeAkamaiAndFastly) {
+  // The paper names Akamai and Fastly as X-Cache emitters (§5.1).
+  const auto registry = CdnRegistry::standard();
+  EXPECT_TRUE(registry.find_by_name("akamai")->emits_x_cache);
+  EXPECT_TRUE(registry.find_by_name("fastly")->emits_x_cache);
+  EXPECT_FALSE(registry.find_by_name("cloudflare")->emits_x_cache);
+}
+
+TEST(Registry, NearestEdgePrefersClientRegion) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  const CdnProvider* global = registry.find_by_name("akamai");
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(registry.nearest_edge(*global, Region::kAsia, latency),
+            Region::kAsia);
+  // A provider without Asian presence serves Asia from elsewhere.
+  const CdnProvider* regional = registry.find_by_name("level3");
+  ASSERT_NE(regional, nullptr);
+  const Region edge = registry.nearest_edge(*regional, Region::kAsia, latency);
+  EXPECT_TRUE(edge == Region::kNorthAmerica || edge == Region::kEurope);
+}
+
+TEST(Detector, MatchesHostPattern) {
+  const auto registry = CdnRegistry::standard();
+  const CdnDetector detector(registry);
+  const auto result =
+      detector.classify({"e73.akamaiedge.net", std::nullopt, {}});
+  EXPECT_TRUE(result.via_cdn);
+  EXPECT_EQ(registry.provider(result.provider_id).name, "akamai");
+  EXPECT_EQ(result.matched_signal, "host-pattern");
+}
+
+TEST(Detector, MatchesCname) {
+  const auto registry = CdnRegistry::standard();
+  const CdnDetector detector(registry);
+  const auto result = detector.classify(
+      {"static.example.com", "example.com.edgekey.net", {}});
+  EXPECT_TRUE(result.via_cdn);
+  EXPECT_EQ(result.matched_signal, "cname");
+}
+
+TEST(Detector, MatchesHeaderSignature) {
+  const auto registry = CdnRegistry::standard();
+  const CdnDetector detector(registry);
+  const auto result = detector.classify(
+      {"www.example.com", std::nullopt, {"server: cloudflare"}});
+  EXPECT_TRUE(result.via_cdn);
+  EXPECT_EQ(registry.provider(result.provider_id).name, "cloudflare");
+  EXPECT_EQ(result.matched_signal, "header");
+}
+
+TEST(Detector, NoSignalsMeansNotCdn) {
+  const auto registry = CdnRegistry::standard();
+  const CdnDetector detector(registry);
+  const auto result = detector.classify(
+      {"www.example.com", "origin.example.com", {"server: nginx"}});
+  EXPECT_FALSE(result.via_cdn);
+  EXPECT_EQ(result.provider_id, -1);
+}
+
+CdnRequest make_request(double rate, bool cacheable = true) {
+  CdnRequest request;
+  request.url = "https://static.example.com/app.js";
+  request.size_bytes = 50e3;
+  request.request_rate = rate;
+  request.cacheable = cacheable;
+  return request;
+}
+
+TEST(Hierarchy, WarmthIsMonotoneInRate) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  EXPECT_DOUBLE_EQ(cdn.edge_warm_probability(0.0), 0.0);
+  double prev = 0.0;
+  for (double rate : {1e-5, 1e-3, 1e-1, 10.0, 1000.0}) {
+    const double p = cdn.edge_warm_probability(rate);
+    EXPECT_GT(p, prev);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(Hierarchy, ParentIsWarmerThanEdge) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  for (double rate : {1e-4, 1e-2, 1.0})
+    EXPECT_GT(cdn.parent_warm_probability(rate),
+              cdn.edge_warm_probability(rate));
+}
+
+TEST(Hierarchy, OwnTrafficHitsDeterministically) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto& provider = *registry.find_by_name("akamai");
+  const auto request = make_request(0.0);  // stone cold globally
+  (void)cdn.serve(provider, request, rng);
+  // The second fetch of the same URL must hit the edge LRU.
+  const auto response = cdn.serve(provider, request, rng);
+  EXPECT_EQ(response.served_from, CacheLevel::kEdge);
+  EXPECT_EQ(response.x_cache, "HIT");
+}
+
+TEST(Hierarchy, NonCacheableAlwaysReachesOrigin) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto& provider = *registry.find_by_name("akamai");
+  const auto request = make_request(1000.0, /*cacheable=*/false);
+  for (int i = 0; i < 10; ++i) {
+    const auto response = cdn.serve(provider, request, rng);
+    EXPECT_EQ(response.served_from, CacheLevel::kOrigin);
+  }
+}
+
+TEST(Hierarchy, ColdMissCostsMoreThanHit) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto& provider = *registry.find_by_name("akamai");
+  CdnRequest cold = make_request(0.0);
+  cold.url = "https://x/cold";
+  CdnRequest hot = make_request(1e6);
+  hot.url = "https://x/hot";
+  const auto cold_response = cdn.serve(provider, cold, rng);
+  const auto hot_response = cdn.serve(provider, hot, rng);
+  EXPECT_GT(cold_response.wait_ms, hot_response.wait_ms);
+}
+
+TEST(Hierarchy, XCacheOnlyFromEmittingProviders) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto& silent = *registry.find_by_name("cloudflare");
+  const auto response = cdn.serve(silent, make_request(100.0), rng);
+  EXPECT_TRUE(response.x_cache.empty());
+}
+
+TEST(Hierarchy, StatsAccumulateAndReset) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto& provider = *registry.find_by_name("fastly");
+  (void)cdn.serve(provider, make_request(1e6), rng);
+  EXPECT_EQ(cdn.requests(), 1u);
+  EXPECT_EQ(cdn.edge_hits(), 1u);
+  cdn.reset_stats();
+  EXPECT_EQ(cdn.requests(), 0u);
+}
+
+TEST(Hierarchy, OriginServiceSkipsCdn) {
+  const auto registry = CdnRegistry::standard();
+  const LatencyModel latency;
+  CdnHierarchy cdn(registry, latency);
+  Rng rng(3);
+  const auto response = cdn.serve_from_origin(make_request(100.0), rng);
+  EXPECT_EQ(response.served_from, CacheLevel::kOrigin);
+  EXPECT_GT(response.wait_ms, 0.0);
+  EXPECT_TRUE(response.x_cache.empty());
+}
+
+}  // namespace

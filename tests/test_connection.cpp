@@ -1,0 +1,87 @@
+#include "net/connection.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::net;
+
+TEST(ConnectionPoolTest, FirstAcquireOpensConnection) {
+  ConnectionPool pool;
+  const auto lease = pool.acquire("a.com", HttpVersion::kHttp11);
+  EXPECT_TRUE(lease.new_connection);
+  EXPECT_EQ(pool.handshakes_performed(), 1);
+  EXPECT_EQ(pool.open_connections("a.com"), 1);
+}
+
+TEST(ConnectionPoolTest, ReleasedConnectionIsReused) {
+  ConnectionPool pool;
+  const auto first = pool.acquire("a.com", HttpVersion::kHttp11);
+  pool.release("a.com", first.connection_id);
+  const auto second = pool.acquire("a.com", HttpVersion::kHttp11);
+  EXPECT_FALSE(second.new_connection);
+  EXPECT_EQ(second.connection_id, first.connection_id);
+  EXPECT_EQ(pool.handshakes_performed(), 1);
+}
+
+TEST(ConnectionPoolTest, Http11CapsAtSixParallelConnections) {
+  ConnectionPool pool;
+  for (int i = 0; i < 6; ++i)
+    EXPECT_TRUE(pool.acquire("a.com", HttpVersion::kHttp11).new_connection);
+  // Seventh in-flight request must queue, not open a connection.
+  EXPECT_FALSE(pool.acquire("a.com", HttpVersion::kHttp11).new_connection);
+  EXPECT_EQ(pool.open_connections("a.com"), 6);
+}
+
+TEST(ConnectionPoolTest, Http2MultiplexesOnOneConnection) {
+  ConnectionPool pool;
+  EXPECT_TRUE(pool.acquire("a.com", HttpVersion::kHttp2).new_connection);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_FALSE(pool.acquire("a.com", HttpVersion::kHttp2).new_connection);
+  EXPECT_EQ(pool.open_connections("a.com"), 1);
+}
+
+TEST(ConnectionPoolTest, HostsAreIndependent) {
+  ConnectionPool pool;
+  (void)pool.acquire("a.com", HttpVersion::kHttp11);
+  EXPECT_TRUE(pool.acquire("b.com", HttpVersion::kHttp11).new_connection);
+  EXPECT_EQ(pool.handshakes_performed(), 2);
+  EXPECT_EQ(pool.open_connections("a.com"), 1);
+  EXPECT_EQ(pool.open_connections("b.com"), 1);
+  EXPECT_EQ(pool.open_connections("c.com"), 0);
+}
+
+TEST(ConnectionPoolTest, QueuedRequestsBalanceAcrossConnections) {
+  ConnectionPool pool;
+  const auto c1 = pool.acquire("a.com", HttpVersion::kHttp2);
+  // Three queued requests multiplex over the single H2 connection.
+  for (int i = 0; i < 3; ++i) {
+    const auto lease = pool.acquire("a.com", HttpVersion::kHttp2);
+    EXPECT_EQ(lease.connection_id, c1.connection_id);
+  }
+}
+
+TEST(ConnectionPoolTest, ReleaseValidation) {
+  ConnectionPool pool;
+  EXPECT_THROW(pool.release("nope.com", 0), std::logic_error);
+  const auto lease = pool.acquire("a.com", HttpVersion::kHttp11);
+  pool.release("a.com", lease.connection_id);
+  EXPECT_THROW(pool.release("a.com", lease.connection_id), std::logic_error);
+  EXPECT_THROW(pool.release("a.com", 999), std::logic_error);
+}
+
+TEST(ConnectionPoolTest, ClearResets) {
+  ConnectionPool pool;
+  (void)pool.acquire("a.com", HttpVersion::kHttp11);
+  pool.clear();
+  EXPECT_EQ(pool.handshakes_performed(), 0);
+  EXPECT_EQ(pool.open_connections("a.com"), 0);
+}
+
+TEST(ConnectionPoolTest, RejectsBadConfig) {
+  ConnectionPoolConfig config;
+  config.max_per_origin_h1 = 0;
+  EXPECT_THROW(ConnectionPool{config}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include "search/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+using search::CrawlConfig;
+using search::crawl_site;
+
+class CrawlerTest : public ::testing::Test {
+ protected:
+  CrawlerTest() : web_({120, 13, 150, false}) {}
+  web::SyntheticWeb web_;
+};
+
+TEST_F(CrawlerTest, DiscoversUniquePages) {
+  const auto result = crawl_site(web_.site_by_rank(3), {500, true, 100000});
+  std::set<std::size_t> unique(result.pages.begin(), result.pages.end());
+  EXPECT_EQ(unique.size(), result.pages.size());
+  EXPECT_GT(result.pages.size(), 50u);
+  EXPECT_EQ(unique.count(0), 0u);  // the landing seed is not listed
+}
+
+TEST_F(CrawlerTest, RespectsMaxPages) {
+  const auto result = crawl_site(web_.site_by_rank(3), {100, true, 100000});
+  EXPECT_LE(result.pages.size(), 100u);
+}
+
+TEST_F(CrawlerTest, RobotsExclusionsAreHonored) {
+  // Find a site with a restrictive robots policy.
+  for (std::size_t rank = 1; rank <= 120; ++rank) {
+    const web::WebSite& site = web_.site_by_rank(rank);
+    if (site.robots().disallowed_share() == 0.0) continue;
+    const auto polite = crawl_site(site, {2000, true, 100000});
+    for (std::size_t page : polite.pages)
+      EXPECT_TRUE(site.robots().allows(page));
+    const auto rude = crawl_site(site, {2000, false, 100000});
+    EXPECT_GE(rude.pages.size() + 0u, polite.pages.size());
+    EXPECT_GT(polite.robots_skipped, 0u);
+    return;
+  }
+  FAIL() << "no robots-restricted site found";
+}
+
+TEST_F(CrawlerTest, DeterministicCrawls) {
+  const auto a = crawl_site(web_.site_by_rank(7), {300, true, 100000});
+  const auto b = crawl_site(web_.site_by_rank(7), {300, true, 100000});
+  EXPECT_EQ(a.pages, b.pages);
+  EXPECT_EQ(a.link_fetches, b.link_fetches);
+}
+
+TEST_F(CrawlerTest, ReachesFiveThousandOnLargeSites) {
+  // §4 crawls until >= 5000 unique URLs; big sites must support that.
+  for (std::size_t rank = 1; rank <= 120; ++rank) {
+    const web::WebSite& site = web_.site_by_rank(rank);
+    if (site.internal_page_count() < 50000) continue;
+    const auto result = crawl_site(site, {5000, true, 200000});
+    EXPECT_EQ(result.pages.size(), 5000u);
+    return;
+  }
+  GTEST_SKIP() << "no sufficiently large site in universe";
+}
+
+TEST_F(CrawlerTest, FrontierCapIsSafetyValve) {
+  const auto result = crawl_site(web_.site_by_rank(3), {100000, true, 50});
+  EXPECT_LE(result.pages.size(), 50u);
+}
+
+}  // namespace

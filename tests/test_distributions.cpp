@@ -1,0 +1,130 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace hispar::util;
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsMonotonicallyDecreasing) {
+  ZipfDistribution zipf(50, 1.2);
+  for (std::size_t k = 2; k <= 50; ++k)
+    EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+}
+
+TEST(Zipf, HeadProbabilityMatchesTheory) {
+  // s=1, n=3: H = 1 + 1/2 + 1/3 = 11/6; P(1) = 6/11.
+  ZipfDistribution zipf(3, 1.0);
+  EXPECT_NEAR(zipf.pmf(1), 6.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.pmf(2), 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.pmf(3), 2.0 / 11.0, 1e-12);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(11, 0);
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SampleAlwaysInRange) {
+  ZipfDistribution zipf(7, 0.8);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t k = zipf.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 7u);
+  }
+}
+
+TEST(Zipf, ZeroSizeThrows) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Discrete, RespectsWeights) {
+  DiscreteDistribution dist({1.0, 3.0, 0.0, 6.0});
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Discrete, ProbabilityAccessor) {
+  DiscreteDistribution dist({2.0, 2.0, 4.0});
+  EXPECT_NEAR(dist.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(dist.probability(1), 0.25, 1e-12);
+  EXPECT_NEAR(dist.probability(2), 0.50, 1e-12);
+}
+
+TEST(Discrete, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ClampedLogNormal, StaysWithinBounds) {
+  ClampedLogNormal dist(std::log(100.0), 2.0, 10.0, 1000.0);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(ClampedLogNormal, InvalidBoundsThrow) {
+  EXPECT_THROW(ClampedLogNormal(0.0, 1.0, 10.0, 1.0), std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, MedianIsZero) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.0228), -1.9991, 1e-3);
+}
+
+TEST(InverseNormalCdf, RejectsBoundaries) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(normal_cdf(-2.0), 0.0227501, 1e-6);
+}
+
+class CdfRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CdfRoundTrip, InverseComposesWithForward) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, CdfRoundTrip,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.25, 0.5, 0.68,
+                                           0.9, 0.99, 0.999));
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include "net/dns.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::net;
+using hispar::util::Rng;
+
+DnsRecord make_record(double rate = 0.0, double ttl = 600.0) {
+  DnsRecord record;
+  record.domain = "example.com";
+  record.ttl_s = ttl;
+  record.client_query_rate = rate;
+  return record;
+}
+
+TEST(EffectiveTtl, CapsCdnRoutedNames) {
+  DnsRecord record = make_record(0.0, 3600.0);
+  EXPECT_DOUBLE_EQ(effective_ttl_s(record), 3600.0);
+  record.cdn_request_routing = true;
+  EXPECT_LE(effective_ttl_s(record), 30.0);
+}
+
+TEST(EffectiveTtl, FloorsAtOneSecond) {
+  EXPECT_GE(effective_ttl_s(make_record(0.0, 0.0)), 1.0);
+}
+
+TEST(CachingResolverTest, SecondQueryHitsOwnCache) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  Rng rng(1);
+  const DnsRecord record = make_record(0.0);
+  const auto first = resolver.resolve(record, 0.0, rng);
+  const auto second = resolver.resolve(record, 1.0, rng);
+  EXPECT_FALSE(first.cache_hit);  // rate 0: nobody keeps it warm
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_LT(second.latency_ms, first.latency_ms);
+}
+
+TEST(CachingResolverTest, EntryExpiresAfterTtl) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  Rng rng(1);
+  const DnsRecord record = make_record(0.0, 100.0);
+  (void)resolver.resolve(record, 0.0, rng);
+  EXPECT_TRUE(resolver.resolve(record, 50.0, rng).cache_hit);
+  EXPECT_FALSE(resolver.resolve(record, 150.0, rng).cache_hit);
+}
+
+TEST(CachingResolverTest, WarmProbabilityFollowsPoissonModel) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  // 1 - exp(-rate * ttl) with rate=0.01, ttl=100 => 1 - e^-1.
+  const DnsRecord record = make_record(0.01, 100.0);
+  EXPECT_NEAR(resolver.warm_probability(record), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(CachingResolverTest, FragmentationLowersWarmProbability) {
+  LatencyModel latency;
+  CachingResolver sharded({"public", 8, 12.0, Region::kNorthAmerica, 1.0},
+                          latency);
+  CachingResolver unsharded({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                            latency);
+  const DnsRecord record = make_record(0.05, 60.0);
+  EXPECT_LT(sharded.warm_probability(record),
+            unsharded.warm_probability(record));
+}
+
+TEST(CachingResolverTest, PopularDomainsHitViaOtherClients) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  Rng rng(1);
+  // Extremely popular: warm probability ~ 1; first query should hit.
+  const DnsRecord record = make_record(1000.0, 600.0);
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    CachingResolver fresh({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                          latency);
+    hits += fresh.resolve(record, 0.0, rng).cache_hit;
+  }
+  EXPECT_GT(hits, 95);
+}
+
+TEST(CachingResolverTest, TracksHitRate) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  Rng rng(1);
+  const DnsRecord record = make_record(0.0);
+  EXPECT_DOUBLE_EQ(resolver.hit_rate(), 0.0);
+  (void)resolver.resolve(record, 0.0, rng);
+  (void)resolver.resolve(record, 1.0, rng);
+  EXPECT_EQ(resolver.queries(), 2u);
+  EXPECT_EQ(resolver.hits(), 1u);
+  EXPECT_DOUBLE_EQ(resolver.hit_rate(), 0.5);
+  resolver.clear();
+  EXPECT_EQ(resolver.queries(), 0u);
+}
+
+TEST(CachingResolverTest, MissLatencyIncludesUpstreamRtt) {
+  LatencyModel latency;
+  CachingResolver resolver({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                           latency);
+  Rng rng(1);
+  DnsRecord record = make_record(0.0);
+  record.authoritative_region = Region::kAsia;  // far authoritative
+  const auto miss = resolver.resolve(record, 0.0, rng);
+  EXPECT_GT(miss.latency_ms, 100.0);  // NA<->Asia RTT ~160 ms
+  const auto hit = resolver.resolve(record, 1.0, rng);
+  EXPECT_LT(hit.latency_ms, 20.0);
+}
+
+TEST(CachingResolverTest, RejectsInvalidShards) {
+  LatencyModel latency;
+  EXPECT_THROW(
+      CachingResolver({"bad", 0, 6.0, Region::kNorthAmerica, 1.0}, latency),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "net/doh.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::net;
+using hispar::util::Rng;
+
+DnsRecord record_with(double rate = 0.0) {
+  DnsRecord record;
+  record.domain = "example.com";
+  record.ttl_s = 600.0;
+  record.client_query_rate = rate;
+  return record;
+}
+
+TEST(DohTest, AddsSetupCostOnFirstQueryOnly) {
+  LatencyModel latency;
+  CachingResolver inner({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                        latency);
+  CachingResolver reference({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                            latency);
+  DohResolver doh(inner, {30.0, 4.0});
+  Rng rng(1), rng2(1);
+
+  const auto first = doh.resolve(record_with(), 0.0, rng);
+  const auto first_plain = reference.resolve(record_with(), 0.0, rng2);
+  EXPECT_NEAR(first.latency_ms - first_plain.latency_ms, 34.0, 1e-9);
+
+  const auto second = doh.resolve(record_with(), 1.0, rng);
+  const auto second_plain = reference.resolve(record_with(), 1.0, rng2);
+  EXPECT_NEAR(second.latency_ms - second_plain.latency_ms, 4.0, 1e-9);
+}
+
+TEST(DohTest, PreservesCacheSemantics) {
+  LatencyModel latency;
+  CachingResolver inner({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                        latency);
+  DohResolver doh(inner);
+  Rng rng(1);
+  EXPECT_FALSE(doh.resolve(record_with(), 0.0, rng).cache_hit);
+  EXPECT_TRUE(doh.resolve(record_with(), 1.0, rng).cache_hit);
+}
+
+TEST(DohTest, TracksOverhead) {
+  LatencyModel latency;
+  CachingResolver inner({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                        latency);
+  DohResolver doh(inner, {30.0, 4.0});
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) (void)doh.resolve(record_with(), i, rng);
+  EXPECT_EQ(doh.queries(), 5u);
+  EXPECT_NEAR(doh.total_overhead_ms(), 30.0 + 5 * 4.0, 1e-9);
+}
+
+TEST(DohTest, NewSessionPaysSetupAgain) {
+  LatencyModel latency;
+  CachingResolver inner({"local", 1, 6.0, Region::kNorthAmerica, 1.0},
+                        latency);
+  DohResolver doh(inner, {30.0, 4.0});
+  Rng rng(1);
+  (void)doh.resolve(record_with(), 0.0, rng);
+  doh.new_session();
+  const double before = doh.total_overhead_ms();
+  (void)doh.resolve(record_with(), 1.0, rng);
+  EXPECT_NEAR(doh.total_overhead_ms() - before, 34.0, 1e-9);
+}
+
+}  // namespace

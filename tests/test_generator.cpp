@@ -1,0 +1,113 @@
+#include "web/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace hispar::web;
+
+SyntheticWebConfig small_config() {
+  SyntheticWebConfig config;
+  config.site_count = 120;
+  config.seed = 5;
+  config.third_party_tail = 200;
+  return config;
+}
+
+TEST(SyntheticWebTest, DomainsAreUniqueAndIndexed) {
+  const SyntheticWeb web(small_config());
+  std::set<std::string> domains(web.domains().begin(), web.domains().end());
+  EXPECT_EQ(domains.size(), web.domains().size());
+  for (std::size_t rank = 1; rank <= web.site_count(); ++rank) {
+    EXPECT_EQ(web.site_by_rank(rank).domain(), web.domains()[rank - 1]);
+    EXPECT_EQ(web.site_by_rank(rank).profile().rank, rank);
+  }
+}
+
+TEST(SyntheticWebTest, FindSiteByDomain) {
+  const SyntheticWeb web(small_config());
+  const std::string& domain = web.domains()[10];
+  const WebSite* site = web.find_site(domain);
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->domain(), domain);
+  EXPECT_EQ(web.find_site("no-such-domain.example"), nullptr);
+}
+
+TEST(SyntheticWebTest, RankBoundsChecked) {
+  const SyntheticWeb web(small_config());
+  EXPECT_THROW(web.site_by_rank(0), std::out_of_range);
+  EXPECT_THROW(web.site_by_rank(web.site_count() + 1), std::out_of_range);
+}
+
+TEST(SyntheticWebTest, CrawlSitesPlacedAtPaperRanks) {
+  const SyntheticWeb web({3000, 42, 300, true});
+  EXPECT_EQ(web.site_by_rank(13).domain(), "wikipedia.org");
+  EXPECT_EQ(web.site_by_rank(36).domain(), "twitter.com");
+  EXPECT_EQ(web.site_by_rank(67).domain(), "nytimes.com");
+  EXPECT_EQ(web.site_by_rank(2014).domain(), "howstuffworks.com");
+  // The unranked academic site sits at the very end.
+  EXPECT_EQ(web.site_by_rank(web.site_count()).domain(), "csail.mit.edu");
+}
+
+TEST(SyntheticWebTest, CrawlSitePresetsApplied) {
+  const SyntheticWeb web({3000, 42, 300, true});
+  const WebSite& wikipedia = web.crawl_site(CrawlSite::kWikipedia);
+  EXPECT_TRUE(wikipedia.profile().tracker_free);
+  EXPECT_EQ(wikipedia.profile().landing_ad_slots, 0.0);
+  const WebSite& nytimes = web.crawl_site(CrawlSite::kNyTimes);
+  EXPECT_GT(nytimes.profile().internal_objects_median,
+            wikipedia.profile().internal_objects_median);
+  EXPECT_TRUE(nytimes.profile().hb_on_landing);
+  const WebSite& academic = web.crawl_site(CrawlSite::kAcademic);
+  EXPECT_LT(academic.profile().site_visit_rate, 0.1);
+}
+
+TEST(SyntheticWebTest, CrawlSitesCanBeDisabled) {
+  SyntheticWebConfig config = small_config();
+  config.include_crawl_sites = false;
+  const SyntheticWeb web(config);
+  EXPECT_EQ(web.find_site("wikipedia.org"), nullptr);
+  EXPECT_THROW(web.crawl_site(CrawlSite::kWikipedia), std::logic_error);
+}
+
+TEST(SyntheticWebTest, DeterministicAcrossConstructions) {
+  const SyntheticWeb a(small_config());
+  const SyntheticWeb b(small_config());
+  EXPECT_EQ(a.domains(), b.domains());
+  const WebPage page_a = a.site_by_rank(7).page(3);
+  const WebPage page_b = b.site_by_rank(7).page(3);
+  ASSERT_EQ(page_a.objects.size(), page_b.objects.size());
+  EXPECT_DOUBLE_EQ(page_a.total_bytes(), page_b.total_bytes());
+}
+
+TEST(SyntheticWebTest, SeedChangesTheWeb) {
+  SyntheticWebConfig other = small_config();
+  other.seed = 6;
+  const SyntheticWeb a(small_config());
+  const SyntheticWeb b(other);
+  EXPECT_NE(a.domains(), b.domains());
+}
+
+TEST(SyntheticWebTest, ExternalLinksPointToRealDomains) {
+  const SyntheticWeb web(small_config());
+  const WebPage page = web.site_by_rank(3).page(1);
+  EXPECT_FALSE(page.external_links.empty());
+  for (const auto& domain : page.external_links)
+    EXPECT_NE(web.find_site(domain), nullptr);
+}
+
+TEST(SyntheticWebTest, RejectsTinyUniverse) {
+  SyntheticWebConfig config = small_config();
+  config.site_count = 5;
+  EXPECT_THROW(SyntheticWeb{config}, std::invalid_argument);
+}
+
+TEST(SyntheticWebTest, CrawlSiteLabels) {
+  EXPECT_EQ(crawl_site_label(CrawlSite::kWikipedia), "WP");
+  EXPECT_EQ(crawl_site_label(CrawlSite::kAcademic), "AC");
+  EXPECT_EQ(crawl_site_domain(CrawlSite::kTwitter), "twitter.com");
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "browser/har.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::browser;
+using hispar::util::Scheme;
+
+HarLog make_log() {
+  HarLog log;
+  log.page_url = "https://www.example.com/";
+  HarEntry root;
+  root.url = log.page_url;
+  root.host = "www.example.com";
+  root.scheme = Scheme::kHttps;
+  root.body_size = 1000;
+  HarEntry asset;
+  asset.url = "https://static.example.com/a.js";
+  asset.host = "static.example.com";
+  asset.scheme = Scheme::kHttps;
+  asset.body_size = 2000;
+  log.entries = {root, asset};
+  return log;
+}
+
+TEST(HarTimingsTest, TotalSumsPhases) {
+  HarTimings timings{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_DOUBLE_EQ(timings.total(), 28.0);
+}
+
+TEST(HarEntryTest, FinishedAtIncludesAllPhases) {
+  HarEntry entry;
+  entry.started_at_ms = 100.0;
+  entry.timings.dns = 10.0;
+  entry.timings.wait = 20.0;
+  EXPECT_DOUBLE_EQ(entry.finished_at_ms(), 130.0);
+}
+
+TEST(HarLogTest, Aggregates) {
+  const HarLog log = make_log();
+  EXPECT_DOUBLE_EQ(log.total_bytes(), 3000.0);
+  EXPECT_EQ(log.object_count(), 2u);
+  EXPECT_EQ(log.unique_domains(), 2u);
+}
+
+TEST(HarLogTest, MixedContentDetection) {
+  HarLog log = make_log();
+  EXPECT_FALSE(log.has_mixed_content());
+  HarEntry insecure;
+  insecure.url = "http://img.example.com/x.jpg";
+  insecure.host = "img.example.com";
+  insecure.scheme = Scheme::kHttp;
+  log.entries.push_back(insecure);
+  EXPECT_TRUE(log.has_mixed_content());
+}
+
+TEST(HarLogTest, HttpPageIsNotMixed) {
+  HarLog log = make_log();
+  log.entries[0].scheme = Scheme::kHttp;  // page itself is HTTP
+  log.entries[1].scheme = Scheme::kHttp;
+  EXPECT_FALSE(log.has_mixed_content());
+}
+
+TEST(HarJson, ContainsSpecFields) {
+  HarLog log = make_log();
+  log.nav.on_load_ms = 1234.5;
+  log.entries[0].response_headers.push_back("x-cache: HIT");
+  const std::string json = to_har_json(log);
+  EXPECT_NE(json.find("\"version\":\"1.2\""), std::string::npos);
+  EXPECT_NE(json.find("\"onLoad\":1234.5"), std::string::npos);
+  EXPECT_NE(json.find("static.example.com"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"x-cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":\"HIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"timings\""), std::string::npos);
+}
+
+TEST(HarJson, EscapesStrings) {
+  HarLog log;
+  log.page_url = "https://x.com/\"quote\"";
+  HarEntry entry;
+  entry.url = "https://x.com/path\\back";
+  log.entries.push_back(entry);
+  const std::string json = to_har_json(log);
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("path\\\\back"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include "core/hardening.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::core;
+
+UrlSet make_set(const std::string& domain, std::size_t rank,
+                std::vector<std::string> internal_urls) {
+  UrlSet set;
+  set.domain = domain;
+  set.bootstrap_rank = rank;
+  set.urls.push_back("https://www." + domain + "/");
+  set.page_indices.push_back(0);
+  std::size_t index = 1;
+  for (auto& url : internal_urls) {
+    set.urls.push_back(std::move(url));
+    set.page_indices.push_back(index++);
+  }
+  return set;
+}
+
+HisparList week(std::uint64_t number, std::vector<UrlSet> sets) {
+  HisparList list;
+  list.name = "w";
+  list.week = number;
+  list.sets = std::move(sets);
+  return list;
+}
+
+TEST(HardeningTest, KeepsPersistentSitesAndUrls) {
+  const auto week0 =
+      week(0, {make_set("a.com", 1, {"https://a.com/1", "https://a.com/2"}),
+               make_set("b.com", 2, {"https://b.com/1"})});
+  const auto week1 =
+      week(1, {make_set("a.com", 1, {"https://a.com/1", "https://a.com/3"}),
+               make_set("c.com", 3, {"https://c.com/1"})});
+  const std::vector<HisparList> weeks = {week0, week1};
+  const auto hardened = harden(weeks, {2, 2, 0});
+  // Only a.com appears twice; of its URLs only /1 appears twice.
+  ASSERT_EQ(hardened.sets.size(), 1u);
+  EXPECT_EQ(hardened.sets[0].domain, "a.com");
+  ASSERT_EQ(hardened.sets[0].urls.size(), 2u);  // landing + /1
+  EXPECT_EQ(hardened.sets[0].urls[1], "https://a.com/1");
+}
+
+TEST(HardeningTest, ThresholdOneKeepsEverything) {
+  const auto week0 = week(0, {make_set("a.com", 1, {"https://a.com/1"})});
+  const auto week1 = week(1, {make_set("b.com", 2, {"https://b.com/1"})});
+  const std::vector<HisparList> weeks = {week0, week1};
+  const auto hardened = harden(weeks, {1, 1, 0});
+  EXPECT_EQ(hardened.sets.size(), 2u);
+}
+
+TEST(HardeningTest, OrdersByBestRank) {
+  const auto week0 = week(0, {make_set("late.com", 9, {"https://l/1"}),
+                              make_set("early.com", 2, {"https://e/1"})});
+  const std::vector<HisparList> weeks = {week0};
+  const auto hardened = harden(weeks, {1, 1, 0});
+  ASSERT_EQ(hardened.sets.size(), 2u);
+  EXPECT_EQ(hardened.sets[0].domain, "early.com");
+}
+
+TEST(HardeningTest, UrlCapKeepsMostPersistent) {
+  const auto week0 =
+      week(0, {make_set("a.com", 1,
+                        {"https://a/stable", "https://a/flaky1"})});
+  const auto week1 =
+      week(1, {make_set("a.com", 1,
+                        {"https://a/stable", "https://a/flaky2"})});
+  const std::vector<HisparList> weeks = {week0, week1};
+  const auto hardened = harden(weeks, {1, 1, 2});  // landing + 1 internal
+  ASSERT_EQ(hardened.sets.size(), 1u);
+  ASSERT_EQ(hardened.sets[0].urls.size(), 2u);
+  EXPECT_EQ(hardened.sets[0].urls[1], "https://a/stable");
+}
+
+TEST(HardeningTest, HardenedListIsMoreStableThanInputs) {
+  // Synthetic churny weeks: a stable core plus per-week noise URLs.
+  std::vector<HisparList> weeks;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    weeks.push_back(week(
+        w, {make_set("a.com", 1,
+                     {"https://a/core1", "https://a/core2",
+                      "https://a/noise" + std::to_string(w)})}));
+  }
+  const auto hardened_a = harden(std::span(weeks).subspan(0, 2), {1, 2, 0});
+  const auto hardened_b = harden(std::span(weeks).subspan(2, 2), {1, 2, 0});
+  const double raw_churn = internal_url_churn(weeks[0], weeks[1]);
+  const double hardened_churn = internal_url_churn(hardened_a, hardened_b);
+  EXPECT_LT(hardened_churn, raw_churn);
+  EXPECT_DOUBLE_EQ(hardened_churn, 0.0);  // only the stable core survives
+}
+
+TEST(HardeningTest, RejectsBadArguments) {
+  EXPECT_THROW(harden({}, {}), std::invalid_argument);
+  const auto week0 = week(0, {make_set("a.com", 1, {"https://a/1"})});
+  const std::vector<HisparList> weeks = {week0};
+  EXPECT_THROW(harden(weeks, {0, 1, 0}), std::invalid_argument);
+}
+
+}  // namespace

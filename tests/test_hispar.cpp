@@ -1,0 +1,143 @@
+#include "core/hispar.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/url.h"
+
+namespace {
+
+using namespace hispar;
+using core::HisparBuilder;
+using core::HisparConfig;
+using core::HisparList;
+using core::UrlSet;
+
+class HisparTest : public ::testing::Test {
+ protected:
+  HisparTest()
+      : web_({200, 31, 300, false}), toplists_(web_), engine_(web_) {}
+
+  HisparList build(std::size_t sites, std::size_t urls_per_site = 20,
+                   std::uint64_t week = 0) {
+    HisparBuilder builder(web_, toplists_, engine_);
+    HisparConfig config;
+    config.target_sites = sites;
+    config.urls_per_site = urls_per_site;
+    config.min_internal_results = 5;
+    last_stats_ = core::BuildStats{};
+    HisparList list = builder.build(config, week);
+    last_stats_ = builder.last_build_stats();
+    return list;
+  }
+
+  web::SyntheticWeb web_;
+  toplist::TopListFactory toplists_;
+  search::SearchEngine engine_;
+  core::BuildStats last_stats_;
+};
+
+TEST_F(HisparTest, BuildsRequestedNumberOfSites) {
+  const HisparList list = build(50);
+  EXPECT_EQ(list.sets.size(), 50u);
+  EXPECT_GT(list.total_urls(), 50u * 10);
+}
+
+TEST_F(HisparTest, UrlSetsStartWithTheLandingPage) {
+  const HisparList list = build(30);
+  for (const UrlSet& set : list.sets) {
+    ASSERT_FALSE(set.urls.empty());
+    const auto url = util::parse_url(set.urls.front());
+    ASSERT_TRUE(url.has_value()) << set.urls.front();
+    EXPECT_TRUE(url->is_landing());
+    EXPECT_EQ(set.page_indices.front(), 0u);
+    EXPECT_EQ(set.urls.size(), set.page_indices.size());
+  }
+}
+
+TEST_F(HisparTest, UrlSetsRespectTheSizeCap) {
+  const HisparList list = build(30, 20);
+  for (const UrlSet& set : list.sets) {
+    EXPECT_LE(set.urls.size(), 20u);
+    EXPECT_GE(set.internal_count(), 5u);  // min_internal_results
+  }
+}
+
+TEST_F(HisparTest, UrlsAreUniqueWithinASet) {
+  const HisparList list = build(40);
+  for (const UrlSet& set : list.sets) {
+    std::set<std::string> urls(set.urls.begin(), set.urls.end());
+    EXPECT_EQ(urls.size(), set.urls.size()) << set.domain;
+  }
+}
+
+TEST_F(HisparTest, SparseAndForeignSitesAreDropped) {
+  const HisparList list = build(150);
+  // Some sites must have been skipped: non-English sites return < 5
+  // results (§3). The builder records them.
+  EXPECT_GT(last_stats_.sites_dropped, 0u);
+  EXPECT_GT(last_stats_.sites_examined, list.sets.size());
+  EXPECT_GT(last_stats_.queries_issued, 0u);
+  EXPECT_GT(last_stats_.spend_usd, 0.0);
+}
+
+TEST_F(HisparTest, BootstrapRanksAreIncreasing) {
+  const HisparList list = build(60);
+  for (std::size_t i = 1; i < list.sets.size(); ++i)
+    EXPECT_LT(list.sets[i - 1].bootstrap_rank, list.sets[i].bootstrap_rank);
+}
+
+TEST_F(HisparTest, SlicesSelectPositionalSubsets) {
+  const HisparList list = build(60);
+  const HisparList top = list.top(10, "Ht10");
+  const HisparList bottom = list.bottom(10, "Hb10");
+  EXPECT_EQ(top.sets.size(), 10u);
+  EXPECT_EQ(bottom.sets.size(), 10u);
+  EXPECT_EQ(top.sets.front().domain, list.sets.front().domain);
+  EXPECT_EQ(bottom.sets.back().domain, list.sets.back().domain);
+  EXPECT_THROW(list.slice(100, 5, "bad"), std::out_of_range);
+}
+
+TEST_F(HisparTest, FindLocatesDomains) {
+  const HisparList list = build(20);
+  const UrlSet* found = list.find(list.sets[3].domain);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->domain, list.sets[3].domain);
+  EXPECT_EQ(list.find("missing.example"), nullptr);
+}
+
+TEST_F(HisparTest, WeeklyRebuildsDiffer) {
+  const HisparList week0 = build(40);
+  const HisparList week1 = build(40, 20, 1);
+  EXPECT_GT(core::internal_url_churn(week0, week1), 0.05);
+  EXPECT_LT(core::internal_url_churn(week0, week1), 0.95);
+}
+
+TEST_F(HisparTest, ChurnOfIdenticalListsIsZero) {
+  const HisparList list = build(25);
+  EXPECT_DOUBLE_EQ(core::site_churn(list, list), 0.0);
+  EXPECT_DOUBLE_EQ(core::internal_url_churn(list, list), 0.0);
+}
+
+TEST(HisparChurnTest, HandComputedChurn) {
+  core::HisparList before, after;
+  before.sets.push_back({"a.com", 1, {"L", "u1", "u2"}, {0, 1, 2}});
+  before.sets.push_back({"b.com", 2, {"L", "u3"}, {0, 3}});
+  after.sets.push_back({"a.com", 1, {"L", "u1", "u9"}, {0, 1, 9}});
+  // b.com vanished; of a.com's 2 internal URLs 1 survived.
+  EXPECT_DOUBLE_EQ(core::site_churn(before, after), 0.5);
+  EXPECT_DOUBLE_EQ(core::internal_url_churn(before, after), 0.5);
+}
+
+TEST(HisparChurnTest, NoCommonSitesThrows) {
+  core::HisparList before, after;
+  before.sets.push_back({"a.com", 1, {"L", "u1"}, {0, 1}});
+  after.sets.push_back({"b.com", 1, {"L", "u1"}, {0, 1}});
+  EXPECT_THROW(core::internal_url_churn(before, after),
+               std::invalid_argument);
+  core::HisparList empty;
+  EXPECT_THROW(core::site_churn(empty, after), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// End-to-end: synthetic web -> bootstrap list -> search engine ->
+// Hispar -> measurement campaign -> the paper's headline directions.
+// This is the tests' miniature of the full bench pipeline.
+#include <gtest/gtest.h>
+
+#include "core/analyses.h"
+#include "core/hispar.h"
+#include "core/measurement.h"
+
+namespace {
+
+using namespace hispar;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kSites = 120;
+
+  static const std::vector<core::SiteObservation>& sites() {
+    static const auto observations = [] {
+      web::SyntheticWebConfig web_config;
+      web_config.site_count = 600;
+      web_config.seed = 2020;
+      static web::SyntheticWeb web(web_config);
+      toplist::TopListFactory toplists(web);
+      search::SearchEngine engine(web);
+      core::HisparBuilder builder(web, toplists, engine);
+      core::HisparConfig config;
+      config.target_sites = kSites;
+      config.urls_per_site = 12;
+      const auto list = builder.build(config, 0);
+      core::CampaignConfig campaign_config;
+      campaign_config.landing_loads = 4;
+      core::MeasurementCampaign campaign(web, campaign_config);
+      return campaign.run(list);
+    }();
+    return observations;
+  }
+};
+
+TEST_F(IntegrationTest, ProducesOneObservationPerSite) {
+  EXPECT_EQ(sites().size(), kSites);
+}
+
+TEST_F(IntegrationTest, LandingPagesAreLargerForMostSites) {
+  const auto comparison = core::compare_metric(sites(), core::metric::bytes);
+  EXPECT_GT(comparison.fraction_landing_greater(), 0.5);
+}
+
+TEST_F(IntegrationTest, LandingPagesHaveMoreObjectsForMostSites) {
+  const auto comparison =
+      core::compare_metric(sites(), core::metric::objects);
+  EXPECT_GT(comparison.fraction_landing_greater(), 0.5);
+}
+
+TEST_F(IntegrationTest, LandingPagesLoadFasterForMostTopSites) {
+  // Fig. 2c: despite being heavier, landing pages win on PLT,
+  // especially at top ranks.
+  const auto comparison = core::compare_metric(sites(), core::metric::plt_ms);
+  EXPECT_LT(comparison.fraction_landing_greater(), 0.5);
+}
+
+TEST_F(IntegrationTest, LandingPagesContactMoreOrigins) {
+  const auto comparison =
+      core::compare_metric(sites(), core::metric::unique_domains);
+  EXPECT_GT(comparison.fraction_landing_greater(), 0.55);
+  const auto ks =
+      core::ks_landing_vs_internal(sites(), core::metric::unique_domains);
+  EXPECT_LT(ks.p_value, 0.01);  // the page types differ significantly
+}
+
+TEST_F(IntegrationTest, LandingPagesPerformMoreHandshakes) {
+  const auto comparison =
+      core::compare_metric(sites(), core::metric::handshakes);
+  EXPECT_GT(comparison.geomean_ratio(), 1.05);
+}
+
+TEST_F(IntegrationTest, InternalObjectsWaitLonger) {
+  const auto waits = core::wait_times(sites());
+  ASSERT_FALSE(waits.landing_ms.empty());
+  ASSERT_FALSE(waits.internal_ms.empty());
+  EXPECT_GT(util::mean(waits.internal_ms), util::mean(waits.landing_ms));
+}
+
+TEST_F(IntegrationTest, LandingXCacheHitRatioIsHigher) {
+  const auto summary = core::x_cache_summary(sites());
+  EXPECT_GT(summary.landing_hit_ratio, summary.internal_hit_ratio);
+}
+
+TEST_F(IntegrationTest, InternalPagesBringUnseenThirdParties) {
+  const auto unseen = core::unseen_third_parties(sites());
+  EXPECT_GT(util::median(unseen), 3.0);
+}
+
+TEST_F(IntegrationTest, TrackingSkewsTowardLandingPages) {
+  const auto landing =
+      core::landing_values(sites(), core::metric::tracking_requests);
+  const auto internal =
+      core::internal_values(sites(), core::metric::tracking_requests);
+  EXPECT_GT(util::quantile(landing, 0.8), util::quantile(internal, 0.8));
+}
+
+TEST_F(IntegrationTest, HintsAreMoreCommonOnLandingPages) {
+  const auto usage = core::hint_usage(sites());
+  EXPECT_GT(usage.landing_with_hints, 1.0 - usage.internal_without_hints);
+}
+
+}  // namespace

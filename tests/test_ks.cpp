@@ -1,0 +1,89 @@
+#include "util/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace hispar::util;
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto result = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(KsTest, DisjointSamplesHaveStatisticOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const auto result = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  const std::vector<double> a = {1, 5, 3, 8, 2};
+  const std::vector<double> b = {2, 6, 7, 1};
+  const auto ab = ks_two_sample(a, b);
+  const auto ba = ks_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+}
+
+TEST(KsTest, HandComputedStatistic) {
+  // a = {1,2}, b = {1.5}: F_a jumps 0.5 at 1 and 1 at 2; F_b jumps 1 at
+  // 1.5. Max gap: after 1.5, F_b=1 vs F_a=0.5 -> D=0.5.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b).statistic, 0.5);
+}
+
+TEST(KsTest, DetectsShiftedDistributions) {
+  Rng rng(11);
+  std::vector<double> a(2000), b(2000);
+  for (auto& x : a) x = rng.normal(0.0, 1.0);
+  for (auto& x : b) x = rng.normal(0.5, 1.0);
+  const auto result = ks_two_sample(a, b);
+  EXPECT_GT(result.statistic, 0.15);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, AcceptsSameDistribution) {
+  Rng rng(11);
+  std::vector<double> a(500), b(700);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  const auto result = ks_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsTest, PValueDecreasesWithSampleSize) {
+  Rng rng(11);
+  const auto make = [&](int n, double shift) {
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (auto& x : xs) x = rng.normal(shift, 1.0);
+    return xs;
+  };
+  const auto small = ks_two_sample(make(50, 0.0), make(50, 0.3));
+  const auto large = ks_two_sample(make(5000, 0.0), make(5000, 0.3));
+  EXPECT_LT(large.p_value, small.p_value);
+}
+
+TEST(KsTest, EmptySampleThrows) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW(ks_two_sample(a, {}), std::invalid_argument);
+  EXPECT_THROW(ks_two_sample({}, a), std::invalid_argument);
+}
+
+TEST(KsTest, PValueWithinUnitInterval) {
+  Rng rng(2);
+  std::vector<double> a(100), b(100);
+  for (auto& x : a) x = rng.uniform();
+  for (auto& x : b) x = rng.uniform() * 1.3;
+  const auto result = ks_two_sample(a, b);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace hispar::net;
+
+TEST(LatencyModel, BaseRttIsSymmetric) {
+  LatencyModel model;
+  for (int a = 0; a < kRegionCount; ++a)
+    for (int b = 0; b < kRegionCount; ++b)
+      EXPECT_DOUBLE_EQ(model.base_rtt(static_cast<Region>(a),
+                                      static_cast<Region>(b)),
+                       model.base_rtt(static_cast<Region>(b),
+                                      static_cast<Region>(a)));
+}
+
+TEST(LatencyModel, IntraRegionFasterThanInterRegion) {
+  LatencyModel model;
+  EXPECT_LT(model.base_rtt(Region::kNorthAmerica, Region::kNorthAmerica),
+            model.base_rtt(Region::kNorthAmerica, Region::kAsia));
+  EXPECT_LT(model.base_rtt(Region::kEurope, Region::kEurope),
+            model.base_rtt(Region::kEurope, Region::kSouthAmerica));
+}
+
+TEST(LatencyModel, JitteredRttStaysPositiveAndNearBase) {
+  LatencyModel model;
+  hispar::util::Rng rng(1);
+  const double base = model.base_rtt(Region::kNorthAmerica, Region::kEurope);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double rtt = model.rtt(Region::kNorthAmerica, Region::kEurope, rng);
+    EXPECT_GE(rtt, 1.0);
+    sum += rtt;
+  }
+  // Lognormal jitter with sigma 0.15 inflates the mean ~1.1%.
+  EXPECT_NEAR(sum / 10000.0, base, base * 0.05);
+}
+
+TEST(LatencyModel, TransferScalesLinearly) {
+  LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.transfer_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.transfer_ms(-5.0), 0.0);
+  const double one_mb = model.transfer_ms(1e6);
+  EXPECT_NEAR(model.transfer_ms(2e6), 2.0 * one_mb, 1e-9);
+  // 50 Mbit/s default: 1 MB in ~160 ms.
+  EXPECT_NEAR(one_mb, 160.0, 1.0);
+}
+
+TEST(LatencyModel, RejectsBadConfig) {
+  LatencyConfig config;
+  config.bandwidth_bytes_per_ms = 0.0;
+  EXPECT_THROW(LatencyModel{config}, std::invalid_argument);
+  LatencyConfig config2;
+  config2.rtt_ms[0][0] = -1.0;
+  EXPECT_THROW(LatencyModel{config2}, std::invalid_argument);
+}
+
+TEST(Region, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int r = 0; r < kRegionCount; ++r)
+    names.insert(to_string(static_cast<Region>(r)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kRegionCount));
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Parameterized loader sweep: HAR/timing invariants must hold across
+// transports and page kinds.
+#include <gtest/gtest.h>
+
+#include "browser/loader.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+
+struct LoadCase {
+  std::size_t rank;
+  std::size_t page_index;
+  std::optional<net::TransportProtocol> transport;
+  const char* name;
+};
+
+class LoaderSweep : public ::testing::TestWithParam<LoadCase> {
+ protected:
+  static const web::SyntheticWeb& web() {
+    static web::SyntheticWeb instance({300, 55, 300, false});
+    return instance;
+  }
+
+  browser::LoadResult run(const web::WebPage& page,
+                          std::optional<net::TransportProtocol> transport) {
+    net::LatencyModel latency;
+    cdn::CdnHierarchy cdn(web().cdn_registry(), latency);
+    net::CachingResolver resolver({}, latency);
+    browser::PageLoader loader({&latency, &web().cdn_registry(), &cdn,
+                                &resolver, net::Region::kNorthAmerica});
+    browser::LoadOptions options;
+    options.transport_override = transport;
+    return loader.load(page, util::Rng(17), options);
+  }
+};
+
+TEST_P(LoaderSweep, EntryTimingsConsistent) {
+  const auto& param = GetParam();
+  const auto page = web().site_by_rank(param.rank).page(param.page_index);
+  const auto result = run(page, param.transport);
+  ASSERT_EQ(result.har.entries.size(), page.objects.size());
+  for (const auto& entry : result.har.entries) {
+    EXPECT_GE(entry.timings.total(), 0.0);
+    EXPECT_NEAR(entry.finished_at_ms(),
+                entry.started_at_ms + entry.timings.total(), 1e-6);
+    EXPECT_GT(entry.timings.wait, 0.0);
+  }
+}
+
+TEST_P(LoaderSweep, OnLoadIsTheLastFinish) {
+  const auto& param = GetParam();
+  const auto page = web().site_by_rank(param.rank).page(param.page_index);
+  const auto result = run(page, param.transport);
+  double last = 0.0;
+  for (const auto& entry : result.har.entries)
+    last = std::max(last, entry.finished_at_ms());
+  EXPECT_NEAR(result.on_load_ms, last, 1e-6);
+  EXPECT_GT(result.plt_ms, result.har.entries.front().finished_at_ms());
+}
+
+TEST_P(LoaderSweep, HandshakeAccountingConsistent) {
+  const auto& param = GetParam();
+  const auto page = web().site_by_rank(param.rank).page(param.page_index);
+  const auto result = run(page, param.transport);
+  EXPECT_GE(result.handshakes, 1);
+  EXPECT_GE(result.handshake_time_ms, 0.0);
+  EXPECT_LE(static_cast<std::size_t>(result.handshakes),
+            page.objects.size() + static_cast<std::size_t>(
+                                      page.hints.preconnect));
+  if (param.transport == net::TransportProtocol::kQuic0Rtt) {
+    // 0-RTT handshakes have no network round trips, only crypto CPU.
+    EXPECT_LT(result.handshake_time_ms, 3.0 * result.handshakes);
+  }
+}
+
+TEST_P(LoaderSweep, DnsAccountingConsistent) {
+  const auto& param = GetParam();
+  const auto page = web().site_by_rank(param.rank).page(param.page_index);
+  const auto result = run(page, param.transport);
+  std::set<std::string> hosts;
+  for (const auto& o : page.objects) hosts.insert(o.host);
+  EXPECT_LE(static_cast<std::size_t>(result.dns_lookups), hosts.size());
+  EXPECT_GE(result.dns_time_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsAndPages, LoaderSweep,
+    ::testing::Values(
+        LoadCase{3, 0, std::nullopt, "default_landing"},
+        LoadCase{3, 4, std::nullopt, "default_internal"},
+        LoadCase{40, 0, net::TransportProtocol::kTcpTls12, "tls12"},
+        LoadCase{40, 2, net::TransportProtocol::kTcpTls13, "tls13"},
+        LoadCase{90, 0, net::TransportProtocol::kTfoTls13, "tfo"},
+        LoadCase{90, 1, net::TransportProtocol::kQuic, "quic"},
+        LoadCase{150, 0, net::TransportProtocol::kQuic0Rtt, "quic0rtt"},
+        LoadCase{290, 5, std::nullopt, "deep_rank"}),
+    [](const ::testing::TestParamInfo<LoadCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace

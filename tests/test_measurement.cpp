@@ -1,0 +1,188 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace hispar;
+using core::CampaignConfig;
+using core::MeasurementCampaign;
+using core::PageMetrics;
+using core::SiteObservation;
+
+class MeasurementTest : public ::testing::Test {
+ protected:
+  MeasurementTest()
+      : web_({150, 37, 300, false}), toplists_(web_), engine_(web_) {}
+
+  core::HisparList build_list(std::size_t sites) {
+    core::HisparBuilder builder(web_, toplists_, engine_);
+    core::HisparConfig config;
+    config.target_sites = sites;
+    config.urls_per_site = 8;  // small sets keep the test fast
+    config.min_internal_results = 4;
+    return builder.build(config, 0);
+  }
+
+  web::SyntheticWeb web_;
+  toplist::TopListFactory toplists_;
+  search::SearchEngine engine_;
+};
+
+TEST_F(MeasurementTest, CampaignCoversEverySite) {
+  const auto list = build_list(12);
+  CampaignConfig config;
+  config.landing_loads = 3;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  ASSERT_EQ(sites.size(), list.sets.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(sites[i].domain, list.sets[i].domain);
+    EXPECT_EQ(sites[i].bootstrap_rank, list.sets[i].bootstrap_rank);
+    EXPECT_EQ(sites[i].internals.size(), list.sets[i].internal_count());
+  }
+}
+
+TEST_F(MeasurementTest, MetricsAreSane) {
+  const auto list = build_list(8);
+  CampaignConfig config;
+  config.landing_loads = 3;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  for (const SiteObservation& site : sites) {
+    const auto check = [](const PageMetrics& m) {
+      EXPECT_GT(m.bytes, 0.0);
+      EXPECT_GT(m.objects, 0.0);
+      EXPECT_GT(m.plt_ms, 0.0);
+      EXPECT_GE(m.on_load_ms, 0.0);
+      EXPECT_GT(m.speed_index_ms, 0.0);
+      EXPECT_GE(m.unique_domains, 1.0);
+      EXPECT_GE(m.handshakes, 1.0);
+      EXPECT_GE(m.noncacheable_objects, 0.0);
+      EXPECT_LE(m.noncacheable_objects, m.objects);
+      EXPECT_GE(m.cdn_bytes_fraction, 0.0);
+      EXPECT_LE(m.cdn_bytes_fraction, 1.0);
+      EXPECT_GE(m.cacheable_bytes_fraction, 0.0);
+      EXPECT_LE(m.cacheable_bytes_fraction, 1.0);
+      double mix_total = 0.0;
+      for (double f : m.mix_fractions) mix_total += f;
+      EXPECT_NEAR(mix_total, 1.0, 1e-6);
+      double depth_total = 0.0;
+      for (double c : m.depth_counts) depth_total += c;
+      EXPECT_NEAR(depth_total, m.objects, 0.5);
+      EXPECT_FALSE(m.wait_samples_ms.empty());
+    };
+    check(site.landing);
+    for (const auto& metrics : site.internals) check(metrics);
+  }
+}
+
+TEST_F(MeasurementTest, WaitSamplesAreCapped) {
+  const auto list = build_list(4);
+  CampaignConfig config;
+  config.landing_loads = 1;
+  config.wait_sample_cap = 10;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  for (const auto& site : sites)
+    for (const auto& metrics : site.internals)
+      EXPECT_LE(metrics.wait_samples_ms.size(), 10u);
+}
+
+TEST_F(MeasurementTest, InternalMedianMatchesManualComputation) {
+  SiteObservation site;
+  for (double value : {10.0, 30.0, 20.0}) {
+    PageMetrics m;
+    m.bytes = value;
+    site.internals.push_back(m);
+  }
+  EXPECT_DOUBLE_EQ(
+      site.internal_median([](const PageMetrics& m) { return m.bytes; }),
+      20.0);
+}
+
+TEST_F(MeasurementTest, InternalMedianThrowsWithoutPages) {
+  SiteObservation site;
+  EXPECT_THROW(
+      site.internal_median([](const PageMetrics& m) { return m.bytes; }),
+      std::logic_error);
+}
+
+TEST_F(MeasurementTest, ThirdPartyUnionAcrossInternals) {
+  SiteObservation site;
+  PageMetrics a, b;
+  a.third_parties = {"x.com", "y.com"};
+  b.third_parties = {"y.com", "z.com"};
+  site.internals = {a, b};
+  const auto all = site.internal_third_parties();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all.count("z.com"));
+}
+
+TEST_F(MeasurementTest, MeasureSiteHonorsExplicitPages) {
+  CampaignConfig config;
+  config.landing_loads = 2;
+  MeasurementCampaign campaign(web_, config);
+  const auto& site = web_.site_by_rank(5);
+  const auto observation = campaign.measure_site(site, {1, 2, 3, 4});
+  EXPECT_EQ(observation.internals.size(), 4u);
+  EXPECT_EQ(observation.domain, site.domain());
+}
+
+TEST_F(MeasurementTest, CampaignIsDeterministicForSameSeed) {
+  const auto list = build_list(5);
+  CampaignConfig config;
+  config.landing_loads = 2;
+  config.seed = 99;
+  MeasurementCampaign a(web_, config);
+  MeasurementCampaign b(web_, config);
+  const auto sa = a.run(list);
+  const auto sb = b.run(list);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i].landing.plt_ms, sb[i].landing.plt_ms);
+    EXPECT_DOUBLE_EQ(sa[i].landing.bytes, sb[i].landing.bytes);
+  }
+}
+
+TEST_F(MeasurementTest, AblationSwitchesChangeBehavior) {
+  const auto list = build_list(5);
+  CampaignConfig base;
+  base.landing_loads = 2;
+  CampaignConfig no_reuse = base;
+  no_reuse.load_options.reuse_connections = false;
+  MeasurementCampaign campaign_a(web_, base);
+  MeasurementCampaign campaign_b(web_, no_reuse);
+  const auto with = campaign_a.run(list);
+  const auto without = campaign_b.run(list);
+  double handshakes_with = 0.0, handshakes_without = 0.0;
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    handshakes_with += with[i].landing.handshakes;
+    handshakes_without += without[i].landing.handshakes;
+  }
+  EXPECT_GT(handshakes_without, handshakes_with);
+}
+
+TEST_F(MeasurementTest, TrackerDetectionAgreesWithGroundTruthDirection) {
+  // The EasyList-style matcher must broadly find the tracking objects
+  // the generator planted (detection is URL-pattern-based, so exact
+  // equality is not expected).
+  const auto list = build_list(10);
+  CampaignConfig config;
+  config.landing_loads = 1;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  double detected = 0.0, truth = 0.0;
+  for (const auto& observation : sites) {
+    const auto* site = web_.find_site(observation.domain);
+    detected += observation.landing.tracking_requests;
+    truth += static_cast<double>(site->page(0).tracking_requests());
+  }
+  if (truth == 0.0) GTEST_SKIP() << "no trackers in sample";
+  EXPECT_GT(detected, truth * 0.6);
+  EXPECT_LT(detected, truth * 1.7);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Property-based checks of the calibrated population: the paper's §4-§6
+// first-order statistics must hold over the generated ground truth
+// (loose bands; exact reproduction is checked end-to-end by the benches
+// and recorded in EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar::web;
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static const SyntheticWeb& web() {
+    static SyntheticWeb instance({3000, 42, 2000, true});
+    return instance;
+  }
+
+  // Landing vs median-internal comparison over a rank stripe.
+  template <typename Fn>
+  static void collect(std::size_t from, std::size_t to, std::size_t step,
+                      Fn metric, std::vector<double>& landing,
+                      std::vector<double>& internal_median) {
+    for (std::size_t rank = from; rank <= to; rank += step) {
+      const WebSite& site = web().site_by_rank(rank);
+      landing.push_back(metric(site.page(0)));
+      std::vector<double> internals;
+      for (std::size_t page = 1; page <= 9; ++page)
+        internals.push_back(metric(site.page(page)));
+      internal_median.push_back(hispar::util::median(internals));
+    }
+  }
+
+  template <typename Fn>
+  static double fraction_landing_greater(Fn metric) {
+    std::vector<double> landing, internal;
+    collect(1, 991, 10, metric, landing, internal);
+    std::size_t greater = 0;
+    for (std::size_t i = 0; i < landing.size(); ++i)
+      greater += landing[i] > internal[i];
+    return static_cast<double>(greater) / static_cast<double>(landing.size());
+  }
+};
+
+TEST_F(PopulationTest, LandingPagesAreLargerForMostSites) {
+  // Fig. 2a: 65% of sites.
+  const double fraction = fraction_landing_greater(
+      [](const WebPage& page) { return page.total_bytes(); });
+  EXPECT_GT(fraction, 0.52);
+  EXPECT_LT(fraction, 0.82);
+}
+
+TEST_F(PopulationTest, LandingPagesHaveMoreObjectsForMostSites) {
+  // Fig. 2b: 68% of sites.
+  const double fraction = fraction_landing_greater(
+      [](const WebPage& page) { return static_cast<double>(page.object_count()); });
+  EXPECT_GT(fraction, 0.55);
+  EXPECT_LT(fraction, 0.85);
+}
+
+TEST_F(PopulationTest, LandingPagesContactMoreOrigins) {
+  // Fig. 5: 67% of sites.
+  const double fraction = fraction_landing_greater(
+      [](const WebPage& page) { return static_cast<double>(page.unique_domains()); });
+  EXPECT_GT(fraction, 0.52);
+  EXPECT_LT(fraction, 0.88);
+}
+
+TEST_F(PopulationTest, LandingPagesHaveMoreNonCacheables) {
+  // Fig. 4a: 66% of sites.
+  const double fraction = fraction_landing_greater(
+      [](const WebPage& page) {
+        return static_cast<double>(page.non_cacheable_count());
+      });
+  EXPECT_GT(fraction, 0.52);
+  EXPECT_LT(fraction, 0.88);
+}
+
+TEST_F(PopulationTest, InternalPagesAreMoreJsHeavy) {
+  // Fig. 4c: internal JS share exceeds landing JS share in the median.
+  std::vector<double> landing_js, internal_js;
+  for (std::size_t rank = 1; rank <= 600; rank += 9) {
+    const WebSite& site = web().site_by_rank(rank);
+    landing_js.push_back(site.page(0).mix_fractions()[
+        static_cast<std::size_t>(MimeCategory::kJavaScript)]);
+    internal_js.push_back(site.page(1).mix_fractions()[
+        static_cast<std::size_t>(MimeCategory::kJavaScript)]);
+  }
+  EXPECT_GT(hispar::util::median(internal_js),
+            hispar::util::median(landing_js));
+}
+
+TEST_F(PopulationTest, LandingPagesAreMoreImageHeavy) {
+  std::vector<double> landing_img, internal_img;
+  for (std::size_t rank = 1; rank <= 600; rank += 9) {
+    const WebSite& site = web().site_by_rank(rank);
+    landing_img.push_back(site.page(0).mix_fractions()[
+        static_cast<std::size_t>(MimeCategory::kImage)]);
+    internal_img.push_back(site.page(1).mix_fractions()[
+        static_cast<std::size_t>(MimeCategory::kImage)]);
+  }
+  EXPECT_GT(hispar::util::median(landing_img),
+            hispar::util::median(internal_img));
+}
+
+TEST_F(PopulationTest, LandingPagesHaveMoreDeepObjects) {
+  // Fig. 6a: more objects at depth 2 on landing pages.
+  std::vector<double> landing_d2, internal_d2;
+  for (std::size_t rank = 1; rank <= 500; rank += 7) {
+    const WebSite& site = web().site_by_rank(rank);
+    landing_d2.push_back(static_cast<double>(site.page(0).objects_at_depth(2)));
+    internal_d2.push_back(static_cast<double>(site.page(1).objects_at_depth(2)));
+  }
+  EXPECT_GT(hispar::util::median(landing_d2),
+            hispar::util::median(internal_d2) * 1.1);
+}
+
+TEST_F(PopulationTest, SecurityRatesMatchPaperOrder) {
+  // §6.1: ~3.6% HTTP landing pages; ~17% of sites have HTTP internal
+  // pages despite secure landing pages.
+  int http_landing = 0;
+  int sites_with_http_internal = 0;
+  int sites = 0;
+  for (std::size_t rank = 1; rank <= 991; rank += 5) {
+    const WebSite& site = web().site_by_rank(rank);
+    ++sites;
+    if (site.profile().landing_is_http) ++http_landing;
+    if (!site.profile().landing_is_http &&
+        site.profile().internal_http_rate > 0.0)
+      ++sites_with_http_internal;
+  }
+  const double http_landing_rate = static_cast<double>(http_landing) / sites;
+  EXPECT_GT(http_landing_rate, 0.01);
+  EXPECT_LT(http_landing_rate, 0.08);
+  const double internal_rate =
+      static_cast<double>(sites_with_http_internal) / sites;
+  EXPECT_GT(internal_rate, 0.10);
+  EXPECT_LT(internal_rate, 0.30);
+}
+
+TEST_F(PopulationTest, WorldSitesLiveAbroadWithLowUsTraffic) {
+  int world = 0;
+  int world_abroad = 0;
+  double world_us_share = 0.0;
+  for (std::size_t rank = 1; rank <= 2000; ++rank) {
+    const SiteProfile& profile = web().site_by_rank(rank).profile();
+    if (profile.category != SiteCategory::kWorld) continue;
+    ++world;
+    world_abroad += profile.origin_region != hispar::net::Region::kNorthAmerica;
+    world_us_share += profile.us_traffic_share;
+  }
+  ASSERT_GT(world, 100);  // ~14% of 2000
+  EXPECT_GT(static_cast<double>(world_abroad) / world, 0.9);
+  EXPECT_LT(world_us_share / world, 0.08);
+}
+
+TEST_F(PopulationTest, HintsFavorLandingPages) {
+  // Fig. 6b: 69% of landing pages use hints; 45% of internal pages
+  // have none.
+  int landing_with = 0, internal_without = 0, sites = 0;
+  for (std::size_t rank = 1; rank <= 991; rank += 10) {
+    const WebSite& site = web().site_by_rank(rank);
+    ++sites;
+    landing_with += site.page(0).hints.total() >= 1;
+    internal_without += site.page(1).hints.total() == 0;
+  }
+  EXPECT_NEAR(static_cast<double>(landing_with) / sites, 0.69, 0.10);
+  EXPECT_NEAR(static_cast<double>(internal_without) / sites, 0.45, 0.10);
+}
+
+TEST_F(PopulationTest, ObjectCountRatioGeometricMeanNearPaper) {
+  // Fig. 2b: geometric-mean ratio ~1.24.
+  std::vector<double> landing, internal;
+  collect(1, 991, 10,
+          [](const WebPage& page) {
+            return static_cast<double>(page.object_count());
+          },
+          landing, internal);
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < landing.size(); ++i)
+    ratios.push_back(landing[i] / internal[i]);
+  const double geo = hispar::util::geometric_mean(ratios);
+  EXPECT_GT(geo, 1.08);
+  EXPECT_LT(geo, 1.45);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include "browser/qoe.h"
+
+#include <gtest/gtest.h>
+
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+
+class QoeTest : public ::testing::Test {
+ protected:
+  QoeTest()
+      : web_({120, 29, 150, false}),
+        latency_(),
+        cdn_(web_.cdn_registry(), latency_),
+        resolver_({}, latency_),
+        loader_({&latency_, &web_.cdn_registry(), &cdn_, &resolver_,
+                 net::Region::kNorthAmerica}) {}
+
+  web::SyntheticWeb web_;
+  net::LatencyModel latency_;
+  cdn::CdnHierarchy cdn_;
+  net::CachingResolver resolver_;
+  browser::PageLoader loader_;
+};
+
+TEST_F(QoeTest, MetricsAreOrdered) {
+  const auto page = web_.site_by_rank(3).page(0);
+  const auto result = loader_.load(page, util::Rng(1));
+  const auto qoe = browser::qoe_metrics(page, result);
+  EXPECT_DOUBLE_EQ(qoe.first_paint_ms, result.plt_ms);
+  EXPECT_GE(qoe.visual_complete_90_ms, qoe.first_paint_ms);
+  EXPECT_GE(qoe.visual_complete_ms, qoe.visual_complete_90_ms);
+  EXPECT_GT(qoe.time_to_interactive_ms, qoe.first_paint_ms);
+}
+
+TEST_F(QoeTest, VisualCompleteWithinOnLoadNeighborhood) {
+  const auto page = web_.site_by_rank(7).page(1);
+  const auto result = loader_.load(page, util::Rng(2));
+  const auto qoe = browser::qoe_metrics(page, result);
+  EXPECT_LE(qoe.visual_complete_ms, result.on_load_ms + 1.0);
+}
+
+TEST_F(QoeTest, JsHeavyPagesInteractLater) {
+  // TTI grows with JavaScript bytes beyond first paint.
+  const auto page = web_.site_by_rank(5).page(1);
+  const auto result = loader_.load(page, util::Rng(3));
+  const auto qoe = browser::qoe_metrics(page, result);
+  double js_bytes = 0.0;
+  for (const auto& o : page.objects)
+    if (o.mime == web::MimeCategory::kJavaScript) js_bytes += o.size_bytes;
+  EXPECT_NEAR(qoe.time_to_interactive_ms - qoe.first_paint_ms,
+              js_bytes * 2.5e-4 +
+                  3.0 * static_cast<double>(std::count_if(
+                            page.objects.begin(), page.objects.end(),
+                            [](const web::WebObject& o) {
+                              return o.mime ==
+                                     web::MimeCategory::kJavaScript;
+                            })),
+              1.0);
+}
+
+TEST_F(QoeTest, MismatchedInputsRejected) {
+  const auto page_a = web_.site_by_rank(3).page(1);
+  const auto page_b = web_.site_by_rank(3).page(2);
+  const auto result = loader_.load(page_a, util::Rng(1));
+  EXPECT_THROW(browser::qoe_metrics(page_b, result), std::invalid_argument);
+}
+
+}  // namespace

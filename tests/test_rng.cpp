@@ -1,0 +1,199 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using hispar::util::Rng;
+using hispar::util::SplitMix64;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(3);
+  Rng c1 = parent.fork(11);
+  Rng c2 = parent.fork(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(3), b(3);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SiblingForksDiffer) {
+  Rng parent(3);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += c1.next() == c2.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringForkStable) {
+  Rng parent(3);
+  Rng c1 = parent.fork("example.com");
+  Rng c2 = parent.fork("example.com");
+  EXPECT_EQ(c1.next(), c2.next());
+  Rng c3 = parent.fork("other.com");
+  EXPECT_NE(parent.fork("example.com").next(), c3.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(5);
+  std::vector<double> xs(100001);
+  for (auto& x : xs) x = rng.lognormal(std::log(50.0), 1.0);
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], 50.0, 2.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Fnv1a, KnownValues) {
+  // FNV-1a 64-bit reference: hash of empty string is the offset basis.
+  EXPECT_EQ(hispar::util::fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(hispar::util::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, DistinctInputsDistinctHashes) {
+  EXPECT_NE(hispar::util::fnv1a("example.com"),
+            hispar::util::fnv1a("example.org"));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysUnbiasedAcrossSeeds) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, NormalStaysUnbiasedAcrossSeeds) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal();
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           ~0ULL));
+
+}  // namespace

@@ -1,0 +1,57 @@
+#include "web/robots.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using hispar::web::RobotsPolicy;
+using hispar::util::Rng;
+
+TEST(Robots, DefaultAllowsEverything) {
+  RobotsPolicy policy;
+  for (std::size_t page = 1; page < 1000; ++page)
+    EXPECT_TRUE(policy.allows(page));
+  EXPECT_DOUBLE_EQ(policy.disallowed_share(), 0.0);
+}
+
+TEST(Robots, DisallowedShareIsApproximate) {
+  Rng rng(4);
+  const auto policy = RobotsPolicy::sample(0.2, rng);
+  std::size_t blocked = 0;
+  constexpr std::size_t n = 20000;
+  for (std::size_t page = 1; page <= n; ++page)
+    blocked += policy.allows(page) ? 0 : 1;
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 0.2, 0.02);
+}
+
+TEST(Robots, DecisionsAreStable) {
+  Rng rng(4);
+  const auto policy = RobotsPolicy::sample(0.3, rng);
+  for (std::size_t page = 1; page < 500; ++page)
+    EXPECT_EQ(policy.allows(page), policy.allows(page));
+}
+
+TEST(Robots, RenderedFileListsDisallows) {
+  Rng rng(4);
+  const auto policy = RobotsPolicy::sample(0.1, rng);
+  const std::string body = policy.render();
+  EXPECT_NE(body.find("User-agent: *"), std::string::npos);
+  EXPECT_NE(body.find("Disallow: /"), std::string::npos);
+
+  RobotsPolicy open;
+  EXPECT_NE(open.render().find("Disallow:\n"), std::string::npos);
+}
+
+TEST(Robots, DifferentSitesDifferentPolicies) {
+  Rng rng1(4), rng2(99);
+  const auto a = RobotsPolicy::sample(0.3, rng1);
+  const auto b = RobotsPolicy::sample(0.3, rng2);
+  int differences = 0;
+  for (std::size_t page = 1; page < 2000; ++page)
+    differences += a.allows(page) != b.allows(page);
+  EXPECT_GT(differences, 100);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/engine.h"
+#include "search/index.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+using search::SearchEngine;
+using search::SearchEngineConfig;
+using search::SearchProvider;
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest() : web_({150, 17, 200, false}) {}
+  web::SyntheticWeb web_;
+};
+
+TEST_F(SearchTest, IndexIsSortedByScore) {
+  const auto index = search::build_site_index(web_.site_by_rank(4), 0, {});
+  ASSERT_GT(index.size(), 10u);
+  for (std::size_t i = 1; i < index.size(); ++i)
+    EXPECT_GE(index[i - 1].score, index[i].score);
+}
+
+TEST_F(SearchTest, IndexIsDeterministicPerWeek) {
+  const auto a = search::build_site_index(web_.site_by_rank(4), 2, {});
+  const auto b = search::build_site_index(web_.site_by_rank(4), 2, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].page_index, b[i].page_index);
+}
+
+TEST_F(SearchTest, WeeklyFreshnessReordersResults) {
+  SearchEngine engine(web_);
+  const std::string domain = web_.domains()[3];
+  const auto week0 = engine.site_query(domain, 30, 0);
+  const auto week1 = engine.site_query(domain, 30, 1);
+  ASSERT_FALSE(week0.empty());
+  std::set<std::string> urls0, urls1;
+  for (const auto& result : week0) urls0.insert(result.url);
+  for (const auto& result : week1) urls1.insert(result.url);
+  EXPECT_NE(urls0, urls1);  // some churn week over week (§3)
+}
+
+TEST_F(SearchTest, ResultsAreUniqueUrls) {
+  SearchEngine engine(web_);
+  const auto results = engine.site_query(web_.domains()[5], 49, 0);
+  std::set<std::string> urls;
+  for (const auto& result : results) urls.insert(result.url);
+  EXPECT_EQ(urls.size(), results.size());
+  EXPECT_LE(results.size(), 49u);
+}
+
+TEST_F(SearchTest, EnglishFilterSuppressesForeignPages) {
+  SearchEngineConfig all;
+  all.english_only = false;
+  SearchEngineConfig english;
+  english.english_only = true;
+  // Find a mostly non-English site.
+  for (std::size_t rank = 1; rank <= 150; ++rank) {
+    const auto& site = web_.site_by_rank(rank);
+    if (site.profile().english_site) continue;
+    SearchEngine unfiltered(web_, all);
+    SearchEngine filtered(web_, english);
+    const auto everything = unfiltered.site_query(site.domain(), 49, 0);
+    const auto english_only = filtered.site_query(site.domain(), 49, 0);
+    EXPECT_LT(english_only.size(), everything.size());
+    // §3: such sites return fewer than 10 results and get dropped.
+    EXPECT_LT(english_only.size(), 10u);
+    return;
+  }
+  FAIL() << "no non-English site in universe";
+}
+
+TEST_F(SearchTest, BillingCountsResultPages) {
+  SearchEngine engine(web_);
+  EXPECT_EQ(engine.queries_issued(), 0u);
+  const auto results = engine.site_query(web_.domains()[2], 49, 0);
+  // ceil(results/10) result pages at minimum, at least 1.
+  const std::uint64_t minimum = (results.size() + 9) / 10;
+  EXPECT_GE(engine.queries_issued(), std::max<std::uint64_t>(1, minimum));
+  EXPECT_GT(engine.spend_usd(), 0.0);
+}
+
+TEST_F(SearchTest, UnknownDomainBillsOneQuery) {
+  SearchEngine engine(web_);
+  const auto results = engine.site_query("nonexistent.example", 10, 0);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.queries_issued(), 1u);
+}
+
+TEST_F(SearchTest, PricingMatchesProviders) {
+  // §7: Google $5 per 1000 queries; Bing $3.
+  EXPECT_DOUBLE_EQ(search::query_price_usd(SearchProvider::kGoogle), 0.005);
+  EXPECT_DOUBLE_EQ(search::query_price_usd(SearchProvider::kBing), 0.003);
+}
+
+TEST_F(SearchTest, ResetBillingZeroes) {
+  SearchEngine engine(web_);
+  (void)engine.site_query(web_.domains()[2], 10, 0);
+  engine.reset_billing();
+  EXPECT_EQ(engine.queries_issued(), 0u);
+  EXPECT_DOUBLE_EQ(engine.spend_usd(), 0.0);
+}
+
+TEST_F(SearchTest, PopularPagesRankHigh) {
+  // The top search result should be a popular (low-index) page far more
+  // often than not — the engine is biased to what users visit (§3).
+  SearchEngine engine(web_);
+  int low_index_top = 0;
+  int checked = 0;
+  for (std::size_t rank = 1; rank <= 40; ++rank) {
+    const auto results = engine.site_query(web_.domains()[rank - 1], 5, 0);
+    if (results.empty()) continue;
+    ++checked;
+    low_index_top += results.front().page_index <= 50;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(static_cast<double>(low_index_top) / checked, 0.6);
+}
+
+TEST_F(SearchTest, RobotsExcludedPagesNeverAppear) {
+  SearchEngine engine(web_);
+  for (std::size_t rank = 1; rank <= 150; ++rank) {
+    const auto& site = web_.site_by_rank(rank);
+    if (site.robots().disallowed_share() == 0.0) continue;
+    const auto results = engine.site_query(site.domain(), 49, 0);
+    for (const auto& result : results)
+      EXPECT_TRUE(site.robots().allows(result.page_index)) << result.url;
+    return;
+  }
+  FAIL() << "no robots-restricted site";
+}
+
+}  // namespace

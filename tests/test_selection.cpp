@@ -1,0 +1,149 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace hispar;
+using core::SelectionConfig;
+using core::SelectionStrategy;
+using core::select_internal_pages;
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  SelectionTest() : web_({150, 41, 200, false}), engine_(web_) {}
+  web::SyntheticWeb web_;
+  search::SearchEngine engine_;
+};
+
+TEST_F(SelectionTest, AllStrategiesProducePages) {
+  const auto& site = web_.site_by_rank(5);
+  SelectionConfig config;
+  for (auto strategy :
+       {SelectionStrategy::kSearchEngine, SelectionStrategy::kUniformRandom,
+        SelectionStrategy::kBrowserTelemetry,
+        SelectionStrategy::kPublisherCurated,
+        SelectionStrategy::kMonkeyTesting, SelectionStrategy::kFirstLinks}) {
+    const auto pages =
+        select_internal_pages(site, strategy, config, &engine_);
+    EXPECT_GE(pages.size(), 5u) << core::to_string(strategy);
+    EXPECT_LE(pages.size(), config.pages + 1) << core::to_string(strategy);
+    for (std::size_t index : pages) {
+      EXPECT_GE(index, 1u);
+      EXPECT_LE(index, site.internal_page_count());
+    }
+  }
+}
+
+TEST_F(SelectionTest, SelectionsAreUnique) {
+  const auto& site = web_.site_by_rank(5);
+  for (auto strategy :
+       {SelectionStrategy::kUniformRandom, SelectionStrategy::kMonkeyTesting,
+        SelectionStrategy::kFirstLinks}) {
+    const auto pages = select_internal_pages(site, strategy, {}, nullptr);
+    std::set<std::size_t> unique(pages.begin(), pages.end());
+    EXPECT_EQ(unique.size(), pages.size()) << core::to_string(strategy);
+  }
+}
+
+TEST_F(SelectionTest, SearchStrategyRequiresEngine) {
+  const auto& site = web_.site_by_rank(5);
+  EXPECT_THROW(select_internal_pages(site, SelectionStrategy::kSearchEngine,
+                                     {}, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(SelectionTest, TelemetrySampleSkewsPopular) {
+  const auto& site = web_.site_by_rank(3);
+  SelectionConfig config;
+  config.pages = 19;
+  const auto telemetry = select_internal_pages(
+      site, SelectionStrategy::kBrowserTelemetry, config, nullptr);
+  const auto random = select_internal_pages(
+      site, SelectionStrategy::kUniformRandom, config, nullptr);
+  const auto mean_index = [](const std::vector<std::size_t>& pages) {
+    double sum = 0.0;
+    for (std::size_t index : pages) sum += static_cast<double>(index);
+    return sum / static_cast<double>(pages.size());
+  };
+  EXPECT_LT(mean_index(telemetry), mean_index(random));
+}
+
+TEST_F(SelectionTest, FirstLinksComeFromTheLandingPage) {
+  const auto& site = web_.site_by_rank(8);
+  const auto pages =
+      select_internal_pages(site, SelectionStrategy::kFirstLinks, {}, nullptr);
+  const auto links = site.page_internal_links(0);
+  const std::set<std::size_t> link_set(links.begin(), links.end());
+  for (std::size_t index : pages) EXPECT_TRUE(link_set.count(index));
+}
+
+TEST_F(SelectionTest, MonkeyWalkVisitsReachablePages) {
+  const auto& site = web_.site_by_rank(8);
+  SelectionConfig config;
+  config.pages = 10;
+  config.monkey_clicks = 200;
+  const auto pages = select_internal_pages(
+      site, SelectionStrategy::kMonkeyTesting, config, nullptr);
+  EXPECT_FALSE(pages.empty());
+}
+
+TEST_F(SelectionTest, DeterministicGivenSeed) {
+  const auto& site = web_.site_by_rank(5);
+  SelectionConfig config;
+  config.seed = 123;
+  const auto a = select_internal_pages(
+      site, SelectionStrategy::kUniformRandom, config, nullptr);
+  const auto b = select_internal_pages(
+      site, SelectionStrategy::kUniformRandom, config, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SelectionTest, RepresentativenessIsComputable) {
+  const auto& site = web_.site_by_rank(5);
+  const auto pages = select_internal_pages(
+      site, SelectionStrategy::kBrowserTelemetry, {}, nullptr);
+  const auto score = core::selection_representativeness(site, pages, 80);
+  EXPECT_GE(score.size_error, 0.0);
+  EXPECT_GE(score.mean_error(), 0.0);
+  EXPECT_LT(score.mean_error(), 3.0);
+  EXPECT_THROW(core::selection_representativeness(site, {}, 10),
+               std::invalid_argument);
+}
+
+TEST_F(SelectionTest, TelemetryBeatsFirstLinksOnRepresentativeness) {
+  // Averaged over sites, sampling what users visit should track the
+  // visit-weighted reference better than grabbing homepage links.
+  double telemetry_error = 0.0, first_links_error = 0.0;
+  int sites = 0;
+  for (std::size_t rank = 2; rank <= 60; rank += 4) {
+    const auto& site = web_.site_by_rank(rank);
+    const auto telemetry = select_internal_pages(
+        site, SelectionStrategy::kBrowserTelemetry, {}, nullptr);
+    const auto naive = select_internal_pages(
+        site, SelectionStrategy::kFirstLinks, {}, nullptr);
+    if (telemetry.empty() || naive.empty()) continue;
+    telemetry_error +=
+        core::selection_representativeness(site, telemetry, 60).mean_error();
+    first_links_error +=
+        core::selection_representativeness(site, naive, 60).mean_error();
+    ++sites;
+  }
+  ASSERT_GT(sites, 5);
+  EXPECT_LT(telemetry_error, first_links_error * 1.35);
+}
+
+TEST(SelectionNames, AreDistinct) {
+  std::set<std::string_view> names;
+  for (auto strategy :
+       {SelectionStrategy::kSearchEngine, SelectionStrategy::kUniformRandom,
+        SelectionStrategy::kBrowserTelemetry,
+        SelectionStrategy::kPublisherCurated,
+        SelectionStrategy::kMonkeyTesting, SelectionStrategy::kFirstLinks})
+    names.insert(core::to_string(strategy));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace

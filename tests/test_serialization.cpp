@@ -1,0 +1,102 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace hispar::core;
+
+HisparList sample_list() {
+  HisparList list;
+  list.name = "sample";
+  list.week = 3;
+  list.sets.push_back({"alpha.com",
+                       1,
+                       {"https://www.alpha.com/", "https://www.alpha.com/news/item-4",
+                        "https://www.alpha.com/docs/item-9"},
+                       {0, 4, 9}});
+  list.sets.push_back({"beta.org",
+                       5,
+                       {"http://www.beta.org/", "https://www.beta.org/posts/item-2"},
+                       {0, 2}});
+  return list;
+}
+
+TEST(SerializationTest, CsvRoundTripIsExact) {
+  const HisparList original = sample_list();
+  const HisparList loaded = from_csv(to_csv(original), "sample");
+  ASSERT_EQ(loaded.sets.size(), original.sets.size());
+  for (std::size_t s = 0; s < original.sets.size(); ++s) {
+    EXPECT_EQ(loaded.sets[s].domain, original.sets[s].domain);
+    EXPECT_EQ(loaded.sets[s].bootstrap_rank, original.sets[s].bootstrap_rank);
+    EXPECT_EQ(loaded.sets[s].urls, original.sets[s].urls);
+    EXPECT_EQ(loaded.sets[s].page_indices, original.sets[s].page_indices);
+  }
+}
+
+TEST(SerializationTest, CsvHasOneRowPerUrl) {
+  const std::string csv = to_csv(sample_list());
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1u + sample_list().total_urls());
+  EXPECT_NE(csv.find("alpha.com,1,landing,0,https://www.alpha.com/"),
+            std::string::npos);
+  EXPECT_NE(csv.find("beta.org,5,internal,2,"), std::string::npos);
+}
+
+TEST(SerializationTest, RejectsBadHeader) {
+  std::istringstream in("nope\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsWrongFieldCount) {
+  EXPECT_THROW(
+      from_csv("domain,bootstrap_rank,kind,page_index,url\na,b,c\n"),
+      std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsOrphanInternalUrl) {
+  EXPECT_THROW(
+      from_csv("domain,bootstrap_rank,kind,page_index,url\n"
+               "a.com,1,internal,3,https://a.com/x\n"),
+      std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsBadRankOrKindOrUrl) {
+  const std::string header = "domain,bootstrap_rank,kind,page_index,url\n";
+  EXPECT_THROW(from_csv(header + "a.com,xx,landing,0,https://a.com/\n"),
+               std::runtime_error);
+  EXPECT_THROW(from_csv(header + "a.com,1,weird,0,https://a.com/\n"),
+               std::runtime_error);
+  EXPECT_THROW(from_csv(header + "a.com,1,landing,0,not-a-url\n"),
+               std::runtime_error);
+}
+
+TEST(SerializationTest, SkipsEmptyLines) {
+  const HisparList loaded =
+      from_csv("domain,bootstrap_rank,kind,page_index,url\n\n"
+               "a.com,1,landing,0,https://a.com/\n\n");
+  EXPECT_EQ(loaded.sets.size(), 1u);
+}
+
+TEST(SerializationTest, JsonContainsStructure) {
+  const std::string json = to_json(sample_list());
+  EXPECT_NE(json.find("\"name\":\"sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"week\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"domain\":\"alpha.com\""), std::string::npos);
+  EXPECT_NE(json.find("https://www.alpha.com/news/item-4"),
+            std::string::npos);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = "/tmp/hispar_serialization_test.csv";
+  save_csv(sample_list(), path);
+  const HisparList loaded = load_csv(path);
+  EXPECT_EQ(loaded.sets.size(), 2u);
+  EXPECT_EQ(loaded.total_urls(), sample_list().total_urls());
+  EXPECT_THROW(load_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace

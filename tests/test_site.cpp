@@ -1,0 +1,205 @@
+#include "web/site.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cdn/provider.h"
+#include "web/calibration.h"
+
+namespace {
+
+using namespace hispar::web;
+using hispar::util::Rng;
+
+class SiteTest : public ::testing::Test {
+ protected:
+  SiteTest()
+      : pool_(ThirdPartyPool::standard(500, 7)),
+        registry_(hispar::cdn::CdnRegistry::standard()) {}
+
+  WebSite make_site(std::size_t rank, std::uint64_t seed = 77) {
+    Rng rng(seed);
+    Rng profile_rng = rng.fork("profile");
+    SiteProfile profile = sample_site_profile(rank, profile_rng);
+    return WebSite("site" + std::to_string(rank) + ".com", profile, pool_,
+                   registry_, rng);
+  }
+
+  ThirdPartyPool pool_;
+  hispar::cdn::CdnRegistry registry_;
+};
+
+TEST_F(SiteTest, PageGenerationIsDeterministic) {
+  const WebSite site = make_site(50);
+  const WebPage a = site.page(3);
+  const WebPage b = site.page(3);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  EXPECT_EQ(a.url.str(), b.url.str());
+  EXPECT_DOUBLE_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.hints.total(), b.hints.total());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].url, b.objects[i].url);
+    EXPECT_DOUBLE_EQ(a.objects[i].size_bytes, b.objects[i].size_bytes);
+    EXPECT_EQ(a.objects[i].depth, b.objects[i].depth);
+  }
+}
+
+TEST_F(SiteTest, LandingPageIsRootDocument) {
+  const WebSite site = make_site(10);
+  const WebPage landing = site.landing_page();
+  EXPECT_TRUE(landing.is_landing);
+  EXPECT_EQ(landing.page_index, 0u);
+  EXPECT_EQ(landing.url.path, "/");
+  EXPECT_EQ(landing.root().depth, 0);
+  EXPECT_EQ(landing.root().parent_index, -1);
+}
+
+TEST_F(SiteTest, InternalPagesHaveDistinctPaths) {
+  const WebSite site = make_site(10);
+  std::set<std::string> paths;
+  for (std::size_t page = 1; page <= 50; ++page)
+    paths.insert(site.page_url(page).path);
+  EXPECT_EQ(paths.size(), 50u);
+}
+
+TEST_F(SiteTest, DependencyGraphIsWellFormed) {
+  const WebSite site = make_site(25);
+  for (std::size_t index : {std::size_t{0}, std::size_t{5}}) {
+    const WebPage page = site.page(index);
+    for (std::size_t i = 1; i < page.objects.size(); ++i) {
+      const WebObject& o = page.objects[i];
+      ASSERT_GE(o.parent_index, 0);
+      ASSERT_LT(static_cast<std::size_t>(o.parent_index), i);
+      EXPECT_EQ(page.objects[static_cast<std::size_t>(o.parent_index)].depth,
+                o.depth - 1)
+          << "object " << i;
+      EXPECT_GT(o.depth, 0);
+    }
+  }
+}
+
+TEST_F(SiteTest, ObjectInvariants) {
+  const WebSite site = make_site(40);
+  const WebPage page = site.page(2);
+  EXPECT_GE(page.objects.size(), 5u);
+  for (const WebObject& o : page.objects) {
+    EXPECT_GT(o.size_bytes, 0.0);
+    EXPECT_FALSE(o.host.empty());
+    EXPECT_FALSE(o.url.empty());
+    EXPECT_GE(o.request_rate, 0.0);
+    if (o.via_cdn) EXPECT_GE(o.cdn_provider_id, 0);
+  }
+}
+
+TEST_F(SiteTest, VisitRatesFollowZipfOverPages) {
+  const WebSite site = make_site(5);
+  EXPECT_GT(site.page_visit_rate(1), site.page_visit_rate(2));
+  EXPECT_GT(site.page_visit_rate(2), site.page_visit_rate(20));
+  EXPECT_GT(site.page_visit_rate(20), site.page_visit_rate(200));
+  // The landing page out-draws any single internal page.
+  EXPECT_GT(site.page_visit_rate(0), site.page_visit_rate(1));
+}
+
+TEST_F(SiteTest, VisitRatesSumToRoughlySiteRate) {
+  const WebSite site = make_site(5);
+  double total = site.page_visit_rate(0);
+  const std::size_t n = std::min<std::size_t>(site.internal_page_count(),
+                                              20000);
+  for (std::size_t page = 1; page <= n; ++page)
+    total += site.page_visit_rate(page);
+  // The Zipf tail beyond the sampled pages holds the remainder.
+  EXPECT_LE(total, site.profile().site_visit_rate * 1.05);
+  EXPECT_GE(total, site.profile().site_visit_rate * 0.4);
+}
+
+TEST_F(SiteTest, RobotsDisallowedPagesGetPrivatePaths) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const WebSite site = make_site(100, seed);
+    if (site.robots().disallowed_share() == 0.0) continue;
+    for (std::size_t page = 1; page <= 200; ++page) {
+      const bool allowed = site.robots().allows(page);
+      const std::string path = site.page_url(page).path;
+      EXPECT_EQ(path.rfind("/private/", 0) == 0, !allowed);
+    }
+    return;  // found one site with a restrictive policy
+  }
+  FAIL() << "no site with robots restrictions in 30 seeds";
+}
+
+TEST_F(SiteTest, LinksAreReproducibleAndInRange) {
+  const WebSite site = make_site(15);
+  const auto links1 = site.page_internal_links(4);
+  const auto links2 = site.page_internal_links(4);
+  EXPECT_EQ(links1, links2);
+  const WebPage page = site.page(4);
+  EXPECT_EQ(page.internal_links, links1);
+  for (std::size_t target : links1) {
+    EXPECT_GE(target, 1u);
+    EXPECT_LE(target, site.internal_page_count());
+    EXPECT_NE(target, 4u);
+  }
+}
+
+TEST_F(SiteTest, TrackerFreeSitesHaveNoTrackingObjects) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const WebSite site = make_site(200, seed);
+    if (!site.profile().tracker_free) continue;
+    const WebPage landing = site.landing_page();
+    EXPECT_EQ(landing.tracking_requests(), 0u);
+    EXPECT_EQ(landing.ad_slots, 0);
+    return;
+  }
+  FAIL() << "no tracker-free site in 40 seeds";
+}
+
+TEST_F(SiteTest, HttpLandingPageMakesAllObjectsCleartext) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const WebSite site = make_site(300, seed);
+    if (!site.profile().landing_is_http) continue;
+    const WebPage landing = site.landing_page();
+    EXPECT_EQ(landing.url.scheme, hispar::util::Scheme::kHttp);
+    EXPECT_FALSE(landing.has_mixed_content());  // HTTP pages can't be mixed
+    return;
+  }
+  FAIL() << "no HTTP landing page in 200 seeds";
+}
+
+TEST_F(SiteTest, PageBeyondUniverseThrows) {
+  const WebSite site = make_site(10);
+  EXPECT_THROW(site.page(site.internal_page_count() + 1), std::out_of_range);
+}
+
+TEST_F(SiteTest, MixFractionsSumToOne) {
+  const WebSite site = make_site(33);
+  for (std::size_t index : {std::size_t{0}, std::size_t{7}}) {
+    const auto mix = site.page(index).mix_fractions();
+    double total = 0.0;
+    for (double f : mix) total += f;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(SiteTest, EnglishClassificationIsStable) {
+  const WebSite site = make_site(60);
+  for (std::size_t page = 1; page <= 30; ++page) {
+    EXPECT_EQ(site.page_is_english(page), site.page_is_english(page));
+    EXPECT_EQ(site.page(page).english, site.page_is_english(page));
+  }
+}
+
+TEST(SiteProfileTest, RankDependentDraws) {
+  Rng rng(1);
+  const SiteProfile top = sample_site_profile(1, rng);
+  EXPECT_GT(top.site_visit_rate, 0.0);
+  Rng rng2(1);
+  const SiteProfile same = sample_site_profile(1, rng2);
+  EXPECT_DOUBLE_EQ(top.internal_bytes_median, same.internal_bytes_median);
+  // Site traffic decays with rank.
+  Rng rng3(1);
+  const SiteProfile deep = sample_site_profile(900, rng3);
+  EXPECT_GT(top.site_visit_rate, deep.site_visit_rate);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Parameterized invariant sweep over the page factory: every invariant
+// must hold for every rank stripe and page kind, not just the spots the
+// unit tests poke.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/url.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+
+struct SweepCase {
+  std::size_t rank;
+  std::size_t page_index;  // 0 = landing
+};
+
+class SiteSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static const web::SyntheticWeb& web() {
+    static web::SyntheticWeb instance({1200, 77, 600, false});
+    return instance;
+  }
+};
+
+TEST_P(SiteSweep, DependencyGraphWellFormed) {
+  const auto page = web().site_by_rank(GetParam().rank)
+                        .page(GetParam().page_index);
+  ASSERT_GE(page.objects.size(), 2u);
+  EXPECT_EQ(page.objects[0].depth, 0);
+  EXPECT_EQ(page.objects[0].parent_index, -1);
+  for (std::size_t i = 1; i < page.objects.size(); ++i) {
+    const auto& o = page.objects[i];
+    ASSERT_GE(o.parent_index, 0) << i;
+    ASSERT_LT(static_cast<std::size_t>(o.parent_index), i);
+    EXPECT_EQ(o.depth,
+              page.objects[static_cast<std::size_t>(o.parent_index)].depth + 1);
+  }
+}
+
+TEST_P(SiteSweep, UrlsParseAndAreUnique) {
+  const auto page = web().site_by_rank(GetParam().rank)
+                        .page(GetParam().page_index);
+  std::set<std::string> urls;
+  for (const auto& o : page.objects) {
+    const auto parsed = util::parse_url(o.url);
+    ASSERT_TRUE(parsed.has_value()) << o.url;
+    EXPECT_EQ(parsed->host, o.host);
+    EXPECT_EQ(parsed->scheme, o.scheme);
+    EXPECT_TRUE(urls.insert(o.url).second) << "duplicate " << o.url;
+  }
+}
+
+TEST_P(SiteSweep, AggregateConsistency) {
+  const auto page = web().site_by_rank(GetParam().rank)
+                        .page(GetParam().page_index);
+  EXPECT_LE(page.non_cacheable_count(), page.object_count());
+  EXPECT_LE(page.cacheable_bytes(), page.total_bytes() + 1e-6);
+  std::size_t depth_total = 0;
+  for (int depth = 0; depth <= page.max_depth(); ++depth)
+    depth_total += page.objects_at_depth(depth);
+  EXPECT_EQ(depth_total, page.object_count());
+  double mix_total = 0.0;
+  for (double share : page.mix_fractions()) mix_total += share;
+  EXPECT_NEAR(mix_total, 1.0, 1e-9);
+}
+
+TEST_P(SiteSweep, ThirdPartyClassificationConsistent) {
+  const auto page = web().site_by_rank(GetParam().rank)
+                        .page(GetParam().page_index);
+  for (const auto& o : page.objects) {
+    if (o.is_first_party()) {
+      // First-party objects live under the site's registrable domain.
+      EXPECT_FALSE(util::is_third_party(page.url.host, o.host)) << o.host;
+      EXPECT_FALSE(o.is_tracker_request);
+      EXPECT_FALSE(o.is_ad_request);
+    } else {
+      EXPECT_TRUE(util::is_third_party(page.url.host, o.host)) << o.host;
+      EXPECT_GE(o.third_party_id, 0);
+    }
+    if (o.via_cdn) EXPECT_GE(o.cdn_provider_id, 0);
+    EXPECT_GT(o.size_bytes, 0.0);
+    EXPECT_GE(o.request_rate, 0.0);
+    EXPECT_GT(o.origin_think_ms, 0.0);
+  }
+}
+
+TEST_P(SiteSweep, SchemeConsistency) {
+  const auto page = web().site_by_rank(GetParam().rank)
+                        .page(GetParam().page_index);
+  if (page.url.scheme == util::Scheme::kHttp) {
+    // Cleartext pages fetch everything over HTTP (no "mixed" notion).
+    for (const auto& o : page.objects)
+      EXPECT_EQ(o.scheme, util::Scheme::kHttp);
+  } else {
+    EXPECT_EQ(page.root().scheme, util::Scheme::kHttps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndPages, SiteSweep,
+    ::testing::Values(SweepCase{1, 0}, SweepCase{1, 1}, SweepCase{25, 0},
+                      SweepCase{25, 7}, SweepCase{120, 0}, SweepCase{120, 3},
+                      SweepCase{380, 0}, SweepCase{380, 11},
+                      SweepCase{700, 0}, SweepCase{700, 2},
+                      SweepCase{1190, 0}, SweepCase{1190, 19}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "rank" + std::to_string(info.param.rank) + "_page" +
+             std::to_string(info.param.page_index);
+    });
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "browser/speedindex.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hispar::browser::PaintEvent;
+using hispar::browser::speed_index_ms;
+
+TEST(SpeedIndexTest, NoVisualContentIsZero) {
+  EXPECT_DOUBLE_EQ(speed_index_ms({}, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(speed_index_ms({{50.0, 0.0}}, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(speed_index_ms({{50.0, -3.0}}, 100.0), 0.0);
+}
+
+TEST(SpeedIndexTest, SingleEventEqualsItsPaintTime) {
+  EXPECT_DOUBLE_EQ(speed_index_ms({{200.0, 10.0}}, 0.0), 200.0);
+}
+
+TEST(SpeedIndexTest, FirstPaintClampsEarlyEvents) {
+  // Content cannot appear before first paint.
+  EXPECT_DOUBLE_EQ(speed_index_ms({{50.0, 10.0}}, 300.0), 300.0);
+}
+
+TEST(SpeedIndexTest, WeightedAverageOfPaintTimes) {
+  // SI = sum w_i/W * t_i: (1*100 + 3*500)/4 = 400.
+  EXPECT_DOUBLE_EQ(
+      speed_index_ms({{100.0, 1.0}, {500.0, 3.0}}, 0.0), 400.0);
+}
+
+TEST(SpeedIndexTest, EarlyHeavyContentLowersTheIndex) {
+  const double front_loaded =
+      speed_index_ms({{100.0, 9.0}, {1000.0, 1.0}}, 0.0);
+  const double back_loaded =
+      speed_index_ms({{100.0, 1.0}, {1000.0, 9.0}}, 0.0);
+  EXPECT_LT(front_loaded, back_loaded);
+}
+
+TEST(SpeedIndexTest, ScaleInvariantInWeights) {
+  const std::vector<PaintEvent> small = {{100.0, 1.0}, {300.0, 2.0}};
+  const std::vector<PaintEvent> big = {{100.0, 100.0}, {300.0, 200.0}};
+  EXPECT_DOUBLE_EQ(speed_index_ms(small, 0.0), speed_index_ms(big, 0.0));
+}
+
+TEST(SpeedIndexTest, LowerBoundIsFirstPaint) {
+  const double si =
+      speed_index_ms({{100.0, 1.0}, {900.0, 1.0}}, 250.0);
+  EXPECT_GE(si, 250.0);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace hispar::util;
+
+const std::vector<double> kSample = {5.0, 1.0, 4.0, 2.0, 3.0};
+
+TEST(Mean, Basic) { EXPECT_DOUBLE_EQ(mean(kSample), 3.0); }
+
+TEST(Mean, EmptyThrows) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Variance, SampleVariance) {
+  // variance of {1..5} with n-1 denominator = 2.5
+  EXPECT_DOUBLE_EQ(variance(kSample), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(kSample), std::sqrt(2.5));
+}
+
+TEST(Variance, NeedsTwoValues) {
+  EXPECT_THROW(variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(GeometricMean, Basic) {
+  const std::vector<double> xs = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(geometric_mean(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Quantile, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(kSample), 3.0);
+  const std::vector<double> even = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 5.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.9), 9.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(FractionBelow, StrictAndInclusive) {
+  EXPECT_DOUBLE_EQ(fraction_below(kSample, 3.0), 0.4);
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(kSample, 3.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_below(kSample, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below(kSample, -1.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, EvaluatesStepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileMatchesSample) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  EmpiricalCdf cdf({1.0, 5.0, 2.0, 8.0, 4.0});
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyThrowsOnUse) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_THROW(cdf(1.0), std::logic_error);
+}
+
+TEST(AccumulatorTest, TracksStatistics) {
+  Accumulator acc;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.median(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_EQ(acc.cdf().size(), 4u);
+}
+
+TEST(AccumulatorTest, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.min(), std::logic_error);
+  EXPECT_THROW(acc.max(), std::logic_error);
+}
+
+TEST(RankBinMedians, SplitsEvenly) {
+  std::vector<double> deltas;
+  for (int i = 0; i < 40; ++i) deltas.push_back(i < 20 ? 1.0 : 5.0);
+  const auto bins = rank_bin_medians(deltas, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[1], 5.0);
+}
+
+TEST(RankBinMedians, LastBinAbsorbsRemainder) {
+  std::vector<double> deltas = {1, 1, 1, 9, 9, 9, 9};
+  const auto bins = rank_bin_medians(deltas, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[1], 9.0);
+}
+
+TEST(RankBinMedians, RejectsBadArguments) {
+  EXPECT_THROW(rank_bin_medians(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(rank_bin_medians(std::vector<double>{1.0}, 2),
+               std::invalid_argument);
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MonotoneInQ) {
+  const double q = GetParam();
+  const std::vector<double> xs = {3.0, 9.0, 1.0, 7.0, 5.0, 2.0};
+  if (q <= 0.95) EXPECT_LE(quantile(xs, q), quantile(xs, q + 0.05));
+  EXPECT_GE(quantile(xs, q), 1.0);
+  EXPECT_LE(quantile(xs, q), 9.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95, 1.0));
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace hispar::util;
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptySegmentsPreserved) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "::"), "x::y::z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Lower, MixedCase) { EXPECT_EQ(lower("AbC1!"), "abc1!"); }
+
+TEST(ContainsCi, CaseInsensitive) {
+  EXPECT_TRUE(contains_ci("X-Cache: HIT", "x-cache"));
+  EXPECT_TRUE(contains_ci("anything", ""));
+  EXPECT_FALSE(contains_ci("abc", "abd"));
+}
+
+TEST(WithThousands, FormatsGroups) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-9876), "-9,876");
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.5 MB");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool expected;
+};
+
+class GlobMatch : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatch, MatchesExpected) {
+  const auto& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.expected)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobMatch,
+    ::testing::Values(
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+        GlobCase{"a*c", "abbbc", true}, GlobCase{"a*c", "ac", true},
+        GlobCase{"a*c", "ab", false}, GlobCase{"?x", "ax", true},
+        GlobCase{"?x", "x", false},
+        GlobCase{"*.akamaiedge.net", "e123.akamaiedge.net", true},
+        GlobCase{"*.akamaiedge.net", "akamaiedge.net.evil.com", false},
+        GlobCase{"*google-analytics.com*",
+                 "https://www.google-analytics.com/collect", true},
+        GlobCase{"*/track/*", "https://pixel.thirdparty9.com/track/1-0",
+                 true},
+        GlobCase{"*://ads.*", "https://ads.thirdparty4.com/lib/2", true},
+        GlobCase{"*://ads.*", "https://www.ads-site.com/", false},
+        GlobCase{"a*b*c", "aXbYc", true}, GlobCase{"a*b*c", "acb", false}));
+
+}  // namespace

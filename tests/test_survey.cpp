@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "survey/classifier.h"
+#include "survey/corpus.h"
+
+namespace {
+
+using namespace hispar::survey;
+
+TEST(Corpus, HasNineHundredTwentyPapers) {
+  EXPECT_EQ(survey_corpus().size(), 920u);
+}
+
+TEST(Corpus, VenueTotalsMatchTable1) {
+  const auto corpus = survey_corpus();
+  int per_venue[kVenueCount] = {};
+  for (const auto& paper : corpus)
+    ++per_venue[static_cast<int>(paper.venue)];
+  for (const auto& expected : table1_expected())
+    EXPECT_EQ(per_venue[static_cast<int>(expected.venue)],
+              expected.publications)
+        << to_string(expected.venue);
+}
+
+TEST(Corpus, EveryTopListUserHasMatchedTerms) {
+  for (const auto& paper : survey_corpus()) {
+    if (paper.uses_top_list) {
+      EXPECT_FALSE(paper.matched_terms.empty()) << paper.title;
+      EXPECT_FALSE(paper.term_is_false_positive);
+    }
+  }
+}
+
+TEST(Corpus, ContainsFalsePositives) {
+  // §2: "Alexa" Echo Dot papers etc. must exist for the filter stage to
+  // have work to do.
+  int false_positives = 0;
+  for (const auto& paper : survey_corpus())
+    false_positives += paper.term_is_false_positive;
+  EXPECT_GT(false_positives, 10);
+}
+
+TEST(Pipeline, TermSearchFindsUsersAndFalsePositives) {
+  const auto corpus = survey_corpus();
+  const auto hits = term_search(corpus);
+  const auto users = filter_false_positives(hits);
+  EXPECT_GT(hits.size(), users.size());
+  EXPECT_EQ(users.size(), 119u);
+}
+
+TEST(Pipeline, SummaryMatchesPaperHeadlineNumbers) {
+  const auto summary = summarize(survey_corpus());
+  EXPECT_EQ(summary.total_papers, 920);
+  EXPECT_EQ(summary.using_top_list, 119);
+  EXPECT_EQ(summary.major, 30);
+  EXPECT_EQ(summary.minor, 48);
+  EXPECT_EQ(summary.no_revision, 41);
+  EXPECT_EQ(summary.using_internal_pages, 15);
+  EXPECT_EQ(summary.trace_based, 7);
+  EXPECT_EQ(summary.active_crawling, 8);
+}
+
+TEST(Pipeline, TwoThirdsNeedRevision) {
+  const auto summary = summarize(survey_corpus());
+  const double fraction =
+      static_cast<double>(summary.major + summary.minor) /
+      summary.using_top_list;
+  EXPECT_NEAR(fraction, 2.0 / 3.0, 0.03);
+}
+
+TEST(Pipeline, Table1RowsMatchExactly) {
+  const auto table = render_table1(survey_corpus());
+  const std::string rendered = table.to_csv();
+  // Spot-check the exact Table 1 rows.
+  EXPECT_NE(rendered.find("IMC,214,56,9,23,24"), std::string::npos);
+  EXPECT_NE(rendered.find("PAM,117,27,7,10,10"), std::string::npos);
+  EXPECT_NE(rendered.find("NSDI,222,11,6,4,1"), std::string::npos);
+  EXPECT_NE(rendered.find("SIGCOMM,187,9,1,6,2"), std::string::npos);
+  EXPECT_NE(rendered.find("CoNEXT,180,16,7,5,4"), std::string::npos);
+}
+
+TEST(Pipeline, InternalPageUsersSitInNoRevisionBucket) {
+  for (const auto& paper : survey_corpus()) {
+    if (paper.internal_pages != InternalPageUse::kNone)
+      EXPECT_EQ(paper.revision, RevisionScore::kNo) << paper.title;
+  }
+}
+
+TEST(ScaleStats, MajorStudyQuantilesMatchPaper) {
+  const auto corpus = survey_corpus();
+  // §7: ~half of major studies use <= 500 sites; §3.1: 60% use <= 1000
+  // sites and 77% measure <= 20,000 pages; §3: 93% <= 100,000 pages.
+  EXPECT_NEAR(major_fraction_sites_at_most(corpus, 500), 0.50, 0.12);
+  EXPECT_NEAR(major_fraction_sites_at_most(corpus, 1000), 0.60, 0.10);
+  EXPECT_NEAR(major_fraction_pages_at_most(corpus, 20000), 0.77, 0.10);
+  EXPECT_NEAR(major_fraction_pages_at_most(corpus, 100000), 0.93, 0.07);
+}
+
+TEST(Corpus, MostPapersUseAlexa) {
+  // §3: only 10 of 119 use a list other than Alexa.
+  int non_alexa = 0;
+  for (const auto& paper : survey_corpus()) {
+    if (!paper.uses_top_list) continue;
+    bool alexa = false;
+    for (const auto& term : paper.matched_terms) alexa |= term == "Alexa";
+    non_alexa += !alexa;
+  }
+  EXPECT_LT(non_alexa, 25);
+  EXPECT_GT(non_alexa, 2);
+}
+
+TEST(Corpus, Deterministic) {
+  const auto a = survey_corpus();
+  const auto b = survey_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].title, b[i].title);
+    EXPECT_EQ(a[i].revision, b[i].revision);
+  }
+}
+
+}  // namespace

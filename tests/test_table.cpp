@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hispar::util::TextTable;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "b"});
+  table.add_row({"longer-cell", "x"});
+  const std::string out = table.to_string();
+  // Every rendered line has the same width.
+  std::size_t first_line_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    EXPECT_EQ(eol - pos, first_line_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"name", "note"});
+  table.add_row({"with,comma", "with\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainValuesUnquoted) {
+  TextTable table({"a"});
+  table.add_row({"plain"});
+  EXPECT_EQ(table.to_csv(), "a\nplain\n");
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatsFractions) {
+  EXPECT_EQ(TextTable::pct(0.345), "34.5%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+}  // namespace

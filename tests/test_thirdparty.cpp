@@ -1,0 +1,108 @@
+#include "web/thirdparty.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace {
+
+using namespace hispar::web;
+using hispar::util::Rng;
+
+TEST(ThirdPartyPoolTest, StandardPoolHasHeadAndTail) {
+  const auto pool = ThirdPartyPool::standard(500, 7);
+  EXPECT_GT(pool.size(), 500u);  // tail + curated head
+  // The paper's nytimes example services are present (§5.3).
+  bool has_ga = false, has_doubleclick = false, has_typekit = false;
+  for (const auto& svc : pool.services()) {
+    has_ga |= svc.domain == "www.google-analytics.com";
+    has_doubleclick |= svc.domain == "ad.doubleclick.net";
+    has_typekit |= svc.domain == "use.typekit.net";
+  }
+  EXPECT_TRUE(has_ga);
+  EXPECT_TRUE(has_doubleclick);
+  EXPECT_TRUE(has_typekit);
+}
+
+TEST(ThirdPartyPoolTest, DomainsAreUnique) {
+  const auto pool = ThirdPartyPool::standard(1000, 7);
+  std::set<std::string> domains;
+  for (const auto& svc : pool.services()) domains.insert(svc.domain);
+  EXPECT_EQ(domains.size(), pool.size());
+}
+
+TEST(ThirdPartyPoolTest, ServiceLookupValidatesId) {
+  const auto pool = ThirdPartyPool::standard(100, 7);
+  EXPECT_EQ(pool.service(0).id, 0);
+  EXPECT_THROW(pool.service(-1), std::out_of_range);
+  EXPECT_THROW(pool.service(static_cast<int>(pool.size())),
+               std::out_of_range);
+}
+
+TEST(ThirdPartyPoolTest, SamplingFavorsTheHead) {
+  const auto pool = ThirdPartyPool::standard(2000, 7);
+  Rng rng(5);
+  std::map<int, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[pool.sample(rng).id];
+  int head_draws = 0;
+  for (const auto& [id, count] : counts)
+    if (id < 30) head_draws += count;
+  // The 30 head services out of 2030 should absorb a large share.
+  EXPECT_GT(head_draws, 20000 / 4);
+}
+
+TEST(ThirdPartyPoolTest, SampleTrackerIsAlwaysFlagged) {
+  const auto pool = ThirdPartyPool::standard(500, 7);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(pool.sample_tracker(rng).flagged_by_adblock);
+}
+
+TEST(ThirdPartyPoolTest, KindFilterIsRespected) {
+  const auto pool = ThirdPartyPool::standard(500, 7);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto& svc =
+        pool.sample(rng, static_cast<int>(ThirdPartyKind::kFonts));
+    EXPECT_EQ(svc.kind, ThirdPartyKind::kFonts);
+  }
+}
+
+TEST(ThirdPartyPoolTest, RequestsPerEmbedWithinBounds) {
+  const auto pool = ThirdPartyPool::standard(2000, 7);
+  for (const auto& svc : pool.services()) {
+    EXPECT_GE(svc.requests_per_embed, 1);
+    EXPECT_LE(svc.requests_per_embed, 5);
+    // Flagged tail services fire at most a script + beacon.
+    if (svc.id >= 40 && svc.flagged_by_adblock)
+      EXPECT_LE(svc.requests_per_embed, 2);
+  }
+}
+
+TEST(ThirdPartyPoolTest, PopularityWeightDecaysWithRank) {
+  const auto pool = ThirdPartyPool::standard(500, 7);
+  EXPECT_GT(pool.service(0).popularity_weight,
+            pool.service(100).popularity_weight);
+  EXPECT_GT(pool.service(100).popularity_weight,
+            pool.service(400).popularity_weight);
+}
+
+TEST(ThirdPartyPoolTest, DeterministicForSameSeed) {
+  const auto a = ThirdPartyPool::standard(300, 9);
+  const auto b = ThirdPartyPool::standard(300, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.services()[i].domain, b.services()[i].domain);
+    EXPECT_EQ(a.services()[i].kind, b.services()[i].kind);
+  }
+}
+
+TEST(ThirdPartyPoolTest, KindNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int k = 0; k < 8; ++k)
+    names.insert(to_string(static_cast<ThirdPartyKind>(k)));
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace

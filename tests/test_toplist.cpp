@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "toplist/providers.h"
+#include "toplist/toplist.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+using toplist::Provider;
+using toplist::TopList;
+using toplist::TopListFactory;
+
+TEST(TopListTest, RankLookup) {
+  const TopList list("test", {"a.com", "b.com", "c.com"});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.domain_at(1), "a.com");
+  EXPECT_EQ(list.rank_of("c.com").value(), 3u);
+  EXPECT_FALSE(list.rank_of("x.com").has_value());
+  EXPECT_TRUE(list.contains("b.com"));
+  EXPECT_THROW(list.domain_at(0), std::out_of_range);
+  EXPECT_THROW(list.domain_at(4), std::out_of_range);
+}
+
+TEST(TopListTest, DuplicateDomainsRejected) {
+  EXPECT_THROW(TopList("bad", {"a.com", "a.com"}), std::invalid_argument);
+}
+
+TEST(TopListTest, TopSlices) {
+  const TopList list("test", {"a.com", "b.com", "c.com"});
+  const TopList head = list.top(2);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_EQ(head.domain_at(2), "b.com");
+  EXPECT_EQ(list.top(10).size(), 3u);  // clamps
+}
+
+TEST(TopListTest, TurnoverMath) {
+  const TopList before("a", {"1", "2", "3", "4"});
+  const TopList after("b", {"1", "2", "9", "8"});
+  EXPECT_DOUBLE_EQ(toplist::turnover(before, after), 0.5);
+  EXPECT_DOUBLE_EQ(toplist::turnover(before, before), 0.0);
+}
+
+TEST(TopListTest, JaccardOverlap) {
+  const TopList a("a", {"1", "2", "3"});
+  const TopList b("b", {"2", "3", "4"});
+  EXPECT_DOUBLE_EQ(toplist::jaccard_overlap(a, b), 0.5);  // 2 of 4
+  EXPECT_DOUBLE_EQ(toplist::jaccard_overlap(a, a), 1.0);
+}
+
+class ProvidersTest : public ::testing::Test {
+ protected:
+  ProvidersTest() : web_({200, 23, 100, false}), factory_(web_) {}
+  web::SyntheticWeb web_;
+  TopListFactory factory_;
+};
+
+TEST_F(ProvidersTest, ListsHaveRequestedSize) {
+  for (Provider p : {Provider::kAlexa, Provider::kUmbrella,
+                     Provider::kMajestic, Provider::kQuantcast}) {
+    const TopList list = factory_.weekly_list(p, 0, 50);
+    EXPECT_EQ(list.size(), 50u) << toplist::provider_name(p);
+  }
+}
+
+TEST_F(ProvidersTest, SizeClampsToUniverse) {
+  EXPECT_EQ(factory_.weekly_list(Provider::kAlexa, 0, 10000).size(),
+            web_.site_count());
+}
+
+TEST_F(ProvidersTest, SameDayListsAreIdentical) {
+  const TopList a = factory_.list_on_day(Provider::kAlexa, 3, 100);
+  const TopList b = factory_.list_on_day(Provider::kAlexa, 3, 100);
+  EXPECT_EQ(a.domains(), b.domains());
+}
+
+TEST_F(ProvidersTest, ListsEvolveOverTime) {
+  const TopList day0 = factory_.list_on_day(Provider::kAlexa, 0, 100);
+  const TopList day30 = factory_.list_on_day(Provider::kAlexa, 30, 100);
+  EXPECT_GT(toplist::turnover(day0, day30), 0.0);
+}
+
+TEST_F(ProvidersTest, ChurnGrowsWithTimeGap) {
+  const TopList day0 = factory_.list_on_day(Provider::kAlexa, 0, 120);
+  const double one_day =
+      toplist::turnover(day0, factory_.list_on_day(Provider::kAlexa, 1, 120));
+  const double month =
+      toplist::turnover(day0, factory_.list_on_day(Provider::kAlexa, 30, 120));
+  EXPECT_LE(one_day, month + 1e-12);
+}
+
+TEST_F(ProvidersTest, MajesticIsMoreStableThanAlexa) {
+  // §3: Majestic measures link structure, "more a measure of quality
+  // than traffic" — it barely moves.
+  const double alexa = toplist::turnover(
+      factory_.weekly_list(Provider::kAlexa, 0, 120),
+      factory_.weekly_list(Provider::kAlexa, 1, 120));
+  const double majestic = toplist::turnover(
+      factory_.weekly_list(Provider::kMajestic, 0, 120),
+      factory_.weekly_list(Provider::kMajestic, 1, 120));
+  EXPECT_LT(majestic, alexa);
+}
+
+TEST_F(ProvidersTest, TrancoIsMoreStableThanAlexa) {
+  // Tranco averages 30 days of component lists (Pochat et al.).
+  const double alexa = toplist::turnover(
+      factory_.weekly_list(Provider::kAlexa, 5, 100),
+      factory_.weekly_list(Provider::kAlexa, 6, 100));
+  const double tranco = toplist::turnover(
+      factory_.weekly_list(Provider::kTranco, 5, 100),
+      factory_.weekly_list(Provider::kTranco, 6, 100));
+  EXPECT_LT(tranco, alexa);
+}
+
+TEST_F(ProvidersTest, ProvidersDisagreeOnRanking) {
+  // §3/Scheitle et al.: the lists overlap only partially.
+  const TopList alexa = factory_.weekly_list(Provider::kAlexa, 0, 80);
+  const TopList umbrella = factory_.weekly_list(Provider::kUmbrella, 0, 80);
+  const TopList majestic = factory_.weekly_list(Provider::kMajestic, 0, 80);
+  EXPECT_LT(toplist::jaccard_overlap(alexa, umbrella), 1.0);
+  EXPECT_LT(toplist::jaccard_overlap(alexa, majestic), 1.0);
+  EXPECT_GT(toplist::jaccard_overlap(alexa, umbrella), 0.2);
+}
+
+TEST_F(ProvidersTest, HeadIsRoughlyTrueRanking) {
+  // Measurement noise should not hide the true top sites entirely.
+  const TopList alexa = factory_.weekly_list(Provider::kAlexa, 0, 30);
+  int true_head = 0;
+  for (const auto& domain : alexa.domains()) {
+    const auto* site = web_.find_site(domain);
+    ASSERT_NE(site, nullptr);
+    true_head += site->profile().rank <= 60;
+  }
+  EXPECT_GT(true_head, 20);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// hispar — the command-line tool for recreating and customizing Hispar
+// lists (the paper releases exactly such tooling as its artifact [49]).
+//
+// Subcommands:
+//   build    build a weekly list and write it as CSV
+//            --sites N --urls M --week W --min-results K --out FILE
+//            --provider alexa|umbrella|majestic|quantcast|tranco
+//   churn    weekly stability of the list (§3)
+//            --sites N --urls M --weeks K
+//   harden   Tranco-style multi-week hardening (§3 / Pochat et al.)
+//            --sites N --urls M --weeks K --min-weeks A --out FILE
+//   crawl    §4-style limited exhaustive crawl of one site
+//            --domain D | --rank R, --pages N
+//   measure  run the §3.1 measurement campaign over a list CSV
+//            --list FILE --loads L --out FILE
+//   survey   print Table 1 from the embedded §2 corpus
+//
+// Global: --seed S --universe N control the synthetic web.
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/analyses.h"
+#include "core/hardening.h"
+#include "core/hispar.h"
+#include "core/measurement.h"
+#include "core/serialization.h"
+#include "search/crawler.h"
+#include "survey/classifier.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hispar;
+
+toplist::Provider provider_from(const std::string& name) {
+  if (name == "alexa") return toplist::Provider::kAlexa;
+  if (name == "umbrella") return toplist::Provider::kUmbrella;
+  if (name == "majestic") return toplist::Provider::kMajestic;
+  if (name == "quantcast") return toplist::Provider::kQuantcast;
+  if (name == "tranco") return toplist::Provider::kTranco;
+  throw std::invalid_argument("unknown provider: " + name);
+}
+
+struct World {
+  std::unique_ptr<web::SyntheticWeb> web;
+  std::unique_ptr<toplist::TopListFactory> toplists;
+  std::unique_ptr<search::SearchEngine> engine;
+
+  World(std::size_t universe, std::uint64_t seed) {
+    web::SyntheticWebConfig config;
+    config.site_count = universe;
+    config.seed = seed;
+    web = std::make_unique<web::SyntheticWeb>(config);
+    toplists = std::make_unique<toplist::TopListFactory>(*web);
+    engine = std::make_unique<search::SearchEngine>(*web);
+  }
+
+  core::HisparList build(const util::Args& args, std::uint64_t week) {
+    core::HisparBuilder builder(*web, *toplists, *engine);
+    core::HisparConfig config;
+    config.name = "H" + std::to_string(args.get_int("sites", 200));
+    config.target_sites = static_cast<std::size_t>(args.get_int("sites", 200));
+    config.urls_per_site =
+        static_cast<std::size_t>(args.get_int("urls", 20));
+    config.min_internal_results =
+        static_cast<std::size_t>(args.get_int("min-results", 5));
+    config.bootstrap = provider_from(args.get("provider", "alexa"));
+    const auto list = builder.build(config, week);
+    last_stats = builder.last_build_stats();
+    return list;
+  }
+
+  core::BuildStats last_stats;
+};
+
+int cmd_build(World& world, const util::Args& args) {
+  const auto list =
+      world.build(args, static_cast<std::uint64_t>(args.get_int("week", 0)));
+  const std::string out = args.get("out", "hispar.csv");
+  core::save_csv(list, out);
+  std::cout << "wrote " << list.total_urls() << " URLs / "
+            << list.sets.size() << " sites to " << out << "  ("
+            << world.last_stats.queries_issued << " queries, $"
+            << util::TextTable::num(world.last_stats.spend_usd, 2)
+            << " at Google pricing)\n";
+  return 0;
+}
+
+int cmd_churn(World& world, const util::Args& args) {
+  const auto weeks = static_cast<std::uint64_t>(args.get_int("weeks", 4));
+  if (weeks < 2) throw std::invalid_argument("churn: need --weeks >= 2");
+  std::vector<core::HisparList> lists;
+  for (std::uint64_t week = 0; week < weeks; ++week)
+    lists.push_back(world.build(args, week));
+  util::TextTable table({"week pair", "site churn", "internal URL churn"});
+  for (std::uint64_t week = 0; week + 1 < weeks; ++week) {
+    table.add_row(
+        {std::to_string(week) + " -> " + std::to_string(week + 1),
+         util::TextTable::pct(core::site_churn(lists[week], lists[week + 1])),
+         util::TextTable::pct(
+             core::internal_url_churn(lists[week], lists[week + 1]))});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_harden(World& world, const util::Args& args) {
+  const auto weeks = static_cast<std::uint64_t>(args.get_int("weeks", 4));
+  std::vector<core::HisparList> lists;
+  for (std::uint64_t week = 0; week < weeks; ++week)
+    lists.push_back(world.build(args, week));
+  core::HardeningConfig config;
+  config.min_site_appearances =
+      static_cast<std::size_t>(args.get_int("min-weeks", 2));
+  config.min_url_appearances = config.min_site_appearances;
+  config.urls_per_site = static_cast<std::size_t>(args.get_int("urls", 20));
+  const auto hardened = core::harden(lists, config);
+  const std::string out = args.get("out", "hispar_hardened.csv");
+  core::save_csv(hardened, out);
+  std::cout << "hardened list: " << hardened.sets.size() << " sites, "
+            << hardened.total_urls() << " URLs -> " << out << "\n";
+  return 0;
+}
+
+int cmd_crawl(World& world, const util::Args& args) {
+  const web::WebSite* site = nullptr;
+  if (args.has("domain")) site = world.web->find_site(args.get("domain", ""));
+  if (site == nullptr && args.has("rank"))
+    site = &world.web->site_by_rank(
+        static_cast<std::size_t>(args.get_int("rank", 1)));
+  if (site == nullptr)
+    throw std::invalid_argument("crawl: need --domain or --rank");
+  search::CrawlConfig config;
+  config.max_unique_pages =
+      static_cast<std::size_t>(args.get_int("pages", 5000));
+  const auto result = search::crawl_site(*site, config);
+  std::cout << site->domain() << ": discovered " << result.pages.size()
+            << " unique pages (" << result.link_fetches
+            << " pages expanded, " << result.robots_skipped
+            << " blocked by robots.txt)\n";
+  return 0;
+}
+
+int cmd_measure(World& world, const util::Args& args) {
+  const std::string list_path = args.get("list", "");
+  core::HisparList list;
+  if (list_path.empty()) {
+    list = world.build(args, 0);
+  } else {
+    list = core::load_csv(list_path);
+  }
+  core::CampaignConfig config;
+  config.landing_loads = static_cast<int>(args.get_int("loads", 10));
+  core::MeasurementCampaign campaign(*world.web, config);
+  const auto sites = campaign.run(list);
+
+  const std::string out = args.get("out", "metrics.csv");
+  std::ofstream os(out);
+  os << "domain,rank,page,bytes,objects,plt_ms,speed_index_ms,domains,"
+        "noncacheable,cdn_fraction,handshakes,trackers\n";
+  const auto emit = [&os](const std::string& domain, std::size_t rank,
+                          const std::string& kind,
+                          const core::PageMetrics& m) {
+    os << domain << ',' << rank << ',' << kind << ',' << m.bytes << ','
+       << m.objects << ',' << m.plt_ms << ',' << m.speed_index_ms << ','
+       << m.unique_domains << ',' << m.noncacheable_objects << ','
+       << m.cdn_bytes_fraction << ',' << m.handshakes << ','
+       << m.tracking_requests << '\n';
+  };
+  for (const auto& site : sites) {
+    emit(site.domain, site.bootstrap_rank, "landing", site.landing);
+    for (std::size_t i = 0; i < site.internals.size(); ++i)
+      emit(site.domain, site.bootstrap_rank,
+           "internal-" + std::to_string(i + 1), site.internals[i]);
+  }
+  std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
+
+  const auto size = core::compare_metric(sites, core::metric::bytes);
+  const auto plt = core::compare_metric(sites, core::metric::plt_ms);
+  std::cout << "landing larger for "
+            << util::TextTable::pct(size.fraction_landing_greater())
+            << " of sites; landing faster for "
+            << util::TextTable::pct(1.0 - plt.fraction_landing_greater())
+            << "\n";
+  return 0;
+}
+
+int cmd_survey(const util::Args&) {
+  const auto corpus = survey::survey_corpus();
+  std::cout << survey::render_table1(corpus);
+  const auto summary = survey::summarize(corpus);
+  std::cout << summary.using_top_list << " papers use a top list; "
+            << summary.major + summary.minor
+            << " need at least a minor revision\n";
+  return 0;
+}
+
+int usage(const std::string& program) {
+  std::cerr << "usage: " << program
+            << " build|churn|harden|crawl|measure|survey [--flags]\n"
+               "see the header of tools/hispar_cli.cpp for flags\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args = util::Args::parse(argc, argv);
+    if (args.subcommand().empty()) return usage(args.program());
+    if (args.subcommand() == "survey") return cmd_survey(args);
+
+    World world(static_cast<std::size_t>(args.get_int("universe", 3000)),
+                static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    if (args.subcommand() == "build") return cmd_build(world, args);
+    if (args.subcommand() == "churn") return cmd_churn(world, args);
+    if (args.subcommand() == "harden") return cmd_harden(world, args);
+    if (args.subcommand() == "crawl") return cmd_crawl(world, args);
+    if (args.subcommand() == "measure") return cmd_measure(world, args);
+    return usage(args.program());
+  } catch (const std::exception& error) {
+    std::cerr << "hispar: " << error.what() << "\n";
+    return 1;
+  }
+}
