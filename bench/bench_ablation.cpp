@@ -20,6 +20,7 @@ GapResult plt_gap(const web::SyntheticWeb& webx, const core::HisparList& list,
   core::CampaignConfig config;
   config.landing_loads = 5;
   config.load_options = options;
+  config.jobs = hispar::bench::env_jobs();
   core::MeasurementCampaign campaign(webx, config);
   const auto sites = campaign.run(list);
   const auto comparison = core::compare_metric(sites, core::metric::plt_ms);
@@ -87,6 +88,7 @@ int main() {
   const auto measure = [&](const core::HisparList& list) {
     core::CampaignConfig config;
     config.landing_loads = 3;
+    config.jobs = hispar::bench::env_jobs();
     core::MeasurementCampaign campaign(*world.web, config);
     return campaign.run(list);
   };

@@ -53,6 +53,7 @@ int main() {
 
     core::CampaignConfig campaign_config;
     campaign_config.landing_loads = 4;
+    campaign_config.jobs = hispar::bench::env_jobs();
     core::MeasurementCampaign campaign(*world.web, campaign_config);
     const auto observations = campaign.run(list);
 

@@ -1,0 +1,88 @@
+// Scaling curve of the sharded parallel campaign runner.
+//
+// Runs the same H-list campaign at 1, 2, 4 and 8 worker threads and
+// reports wall-clock time, speedup and parallel efficiency. The runner
+// guarantees bit-identical observations for every worker count (shard
+// membership depends only on the domain hash and the shard count), which
+// this bench re-verifies with a metrics digest per run.
+//
+// HISPAR_SITES scales the list (default 240 here; use 1000 for H1K) and
+// HISPAR_SHARDS the cache-warmth shard count (default 16, so 8 workers
+// still have 2 shards each to steal).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common.h"
+#include "core/parallel.h"
+
+namespace {
+
+using namespace hispar;
+
+double digest(const std::vector<core::SiteObservation>& sites) {
+  double sum = 0.0;
+  for (const auto& site : sites) {
+    sum += site.landing.plt_ms + site.landing.bytes +
+           site.landing.dns_time_ms + site.landing.x_cache_hits;
+    for (const auto& metrics : site.internals)
+      sum += metrics.plt_ms + metrics.bytes + metrics.dns_time_ms;
+  }
+  return sum;
+}
+
+std::size_t env_shards() {
+  if (const char* env = std::getenv("HISPAR_SHARDS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 16;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "parallel campaign scaling",
+      "sharded runner: identical observations at any worker count; "
+      "campaign time drops with cores (like multi-probe platforms)");
+
+  const std::size_t sites = bench::env_sites(240);
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+
+  core::CampaignConfig config;
+  config.landing_loads = 5;
+  config.shards = env_shards();
+
+  std::printf("hardware threads: %u, shards: %zu, sites: %zu\n\n",
+              std::thread::hardware_concurrency(), config.shards,
+              world.h1k.sets.size());
+
+  util::TextTable table({"jobs", "seconds", "speedup", "efficiency",
+                         "digest match"});
+  double serial_s = 0.0;
+  double reference_digest = 0.0;
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    config.jobs = jobs;
+    core::MeasurementCampaign campaign(*world.web, config);
+    const auto start = std::chrono::steady_clock::now();
+    const auto observations = campaign.run(world.h1k);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double sum = digest(observations);
+    if (jobs == 1) {
+      serial_s = elapsed_s;
+      reference_digest = sum;
+    }
+    table.add_row({std::to_string(jobs), util::TextTable::num(elapsed_s, 3),
+                   util::TextTable::num(serial_s / elapsed_s, 2) + "x",
+                   util::TextTable::pct(serial_s / elapsed_s /
+                                        static_cast<double>(jobs)),
+                   sum == reference_digest ? "yes" : "NO (BUG)"});
+  }
+  std::cout << table;
+  std::cout << "\n(speedup saturates at min(hardware threads, shards); on a "
+               "single-core host every row runs serially)\n";
+  return 0;
+}

@@ -6,7 +6,10 @@
 // campaign over it (landing x10, internal x1), exactly per §3.1.
 //
 // Scale can be reduced for quick runs via the HISPAR_SITES environment
-// variable (default 1000; the paper's H1K).
+// variable (default 1000; the paper's H1K). HISPAR_JOBS sets the number
+// of campaign worker threads (0 = all cores); campaign results are
+// bit-identical for every HISPAR_JOBS value, so threading a bench only
+// changes its wall-clock time.
 #pragma once
 
 #include <cstdlib>
@@ -25,6 +28,15 @@ inline std::size_t env_sites(std::size_t fallback = 1000) {
   if (const char* env = std::getenv("HISPAR_SITES")) {
     const long value = std::atol(env);
     if (value >= 30) return static_cast<std::size_t>(value);
+  }
+  return fallback;
+}
+
+// Campaign worker threads; HISPAR_JOBS=0 means one per hardware thread.
+inline std::size_t env_jobs(std::size_t fallback = 1) {
+  if (const char* env = std::getenv("HISPAR_JOBS")) {
+    const long value = std::atol(env);
+    if (value >= 0) return static_cast<std::size_t>(value);
   }
   return fallback;
 }
@@ -56,6 +68,7 @@ struct BenchWorld {
     h1k = builder.build(config, /*week=*/0);
 
     if (run_campaign) {
+      campaign_config.jobs = env_jobs(campaign_config.jobs);
       core::MeasurementCampaign campaign(*web, campaign_config);
       sites = campaign.run(h1k);
     }

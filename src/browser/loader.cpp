@@ -49,7 +49,7 @@ PageLoader::PageLoader(LoaderEnv env) : env_(env) {
 }
 
 LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
-                            const LoadOptions& options) {
+                            const LoadOptions& options) const {
   if (page.objects.empty())
     throw std::invalid_argument("PageLoader: page has no objects");
 

@@ -66,9 +66,12 @@ class PageLoader {
   explicit PageLoader(LoaderEnv env);
 
   // `rng` is taken by value: a load consumes randomness; repeat loads of
-  // the same page should pass freshly forked streams.
+  // the same page should pass freshly forked streams. The loader itself
+  // is stateless across loads (const); all mutable simulation state
+  // lives behind the env's cdn/resolver pointers, which the owner keeps
+  // per worker when loads run concurrently.
   LoadResult load(const web::WebPage& page, util::Rng rng,
-                  const LoadOptions& options = {});
+                  const LoadOptions& options = {}) const;
 
  private:
   LoaderEnv env_;

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "browser/adblock.h"
-#include "browser/hb_detect.h"
-#include "cdn/detection.h"
+#include "core/parallel.h"
 #include "util/stats.h"
 #include "web/mime.h"
 
@@ -38,36 +36,49 @@ std::set<std::string> SiteObservation::internal_third_parties() const {
   return all;
 }
 
+MeasurementCampaign::ShardState::ShardState(const web::SyntheticWeb& web,
+                                            const CampaignConfig& config,
+                                            std::size_t shard_id)
+    : latency(),
+      cdn(web.cdn_registry(), latency),
+      resolver(net::ResolverConfig{"local", 1, 6.0,
+                                   net::Region::kNorthAmerica, 1.0},
+               latency),
+      loader(browser::LoaderEnv{&latency, &web.cdn_registry(), &cdn,
+                                &resolver, config.vantage}),
+      rng(util::Rng(config.seed).fork(static_cast<std::uint64_t>(shard_id))) {}
+
 MeasurementCampaign::MeasurementCampaign(const web::SyntheticWeb& web,
                                          CampaignConfig config)
     : web_(&web),
       config_(config),
-      latency_(),
-      cdn_(web.cdn_registry(), latency_),
-      resolver_(net::ResolverConfig{"local", 1, 6.0,
-                                    net::Region::kNorthAmerica, 1.0},
-                latency_),
-      loader_(browser::LoaderEnv{&latency_, &web.cdn_registry(), &cdn_,
-                                 &resolver_, config.vantage}),
-      rng_(config.seed) {}
+      adblock_(browser::AdBlocker::easylist_lite()),
+      hb_(browser::HbDetector::standard()),
+      detector_(web.cdn_registry()),
+      local_(web, config_, 0) {}
 
-PageMetrics MeasurementCampaign::measure_page(const web::WebSite& site,
+const web::WebSite& MeasurementCampaign::require_site(
+    const std::string& domain) const {
+  const web::WebSite* site = web_->find_site(domain);
+  if (site == nullptr)
+    throw std::logic_error("campaign: unknown domain " + domain);
+  return *site;
+}
+
+PageMetrics MeasurementCampaign::measure_page(ShardState& state,
+                                              const web::WebSite& site,
                                               std::size_t page_index,
                                               int load_ordinal) {
-  static const browser::AdBlocker adblock = browser::AdBlocker::easylist_lite();
-  static const browser::HbDetector hb = browser::HbDetector::standard();
-  const cdn::CdnDetector detector(web_->cdn_registry());
-
   const web::WebPage page = site.page(page_index);
 
   browser::LoadOptions options = config_.load_options;
-  options.start_time_s = clock_s_;
-  clock_s_ += config_.inter_fetch_gap_s;
+  options.start_time_s = state.clock_s;
+  state.clock_s += config_.inter_fetch_gap_s;
 
-  util::Rng load_rng = rng_.fork(site.domain())
+  util::Rng load_rng = state.rng.fork(site.domain())
                            .fork(page_index)
                            .fork(static_cast<std::uint64_t>(load_ordinal));
-  const browser::LoadResult result = loader_.load(page, load_rng, options);
+  const browser::LoadResult result = state.loader.load(page, load_rng, options);
   const browser::HarLog& har = result.har;
 
   PageMetrics m;
@@ -100,7 +111,7 @@ PageMetrics MeasurementCampaign::measure_page(const web::WebSite& site,
     // CDN classification via cdnfinder heuristics (§5.1).
     cdn::ObservedFetch fetch{entry.host, entry.dns_cname,
                              entry.response_headers};
-    if (detector.classify(fetch).via_cdn) cdn_bytes += entry.body_size;
+    if (detector_.classify(fetch).via_cdn) cdn_bytes += entry.body_size;
     // Third parties by registrable domain (§6.2).
     if (util::is_third_party(page.url.host, entry.host))
       m.third_parties.insert(util::registrable_domain(entry.host));
@@ -121,8 +132,8 @@ PageMetrics MeasurementCampaign::measure_page(const web::WebSite& site,
     ++m.depth_counts[depth];
   }
 
-  m.tracking_requests = static_cast<double>(adblock.count_blocked(har));
-  const browser::HbResult hb_result = hb.analyze(har);
+  m.tracking_requests = static_cast<double>(adblock_.count_blocked(har));
+  const browser::HbResult hb_result = hb_.analyze(har);
   m.header_bidding = hb_result.header_bidding;
   m.hb_ad_slots = static_cast<double>(hb_result.ad_slots);
   return m;
@@ -134,7 +145,23 @@ PageMetrics MeasurementCampaign::median_metrics(
     throw std::invalid_argument("median_metrics: no loads");
   if (loads.size() == 1) return loads.front();
 
-  PageMetrics out = loads.front();  // bools & page identity from load 1
+  PageMetrics out = loads.front();  // page identity from load 1
+  // Bools are per-load detections, not page identity: header bidding is
+  // a stochastic auction and HTTPS redirects can differ between loads,
+  // so the median observation takes a strict majority vote; mixed
+  // content is sticky — one tainted load flags the page (§6.1).
+  std::size_t http_votes = 0;
+  std::size_t hb_votes = 0;
+  bool any_mixed = false;
+  for (const auto& load : loads) {
+    http_votes += load.is_http ? 1u : 0u;
+    hb_votes += load.header_bidding ? 1u : 0u;
+    any_mixed = any_mixed || load.mixed_content;
+  }
+  out.is_http = 2 * http_votes > loads.size();
+  out.header_bidding = 2 * hb_votes > loads.size();
+  out.mixed_content = any_mixed;
+
   const auto median_field = [&](double PageMetrics::* field) {
     std::vector<double> values;
     values.reserve(loads.size());
@@ -181,44 +208,60 @@ PageMetrics MeasurementCampaign::median_metrics(
   return out;
 }
 
-std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
-  std::vector<SiteObservation> observations(list.sets.size());
-  std::vector<std::vector<PageMetrics>> landing_loads(list.sets.size());
+void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
+                                    const std::vector<std::size_t>& positions,
+                                    std::vector<SiteObservation>& observations) {
+  std::vector<std::vector<PageMetrics>> landing_loads(positions.size());
 
-  // Landing pages: `landing_loads` interleaved rounds over all sites
-  // (the paper shuffles and iterates the landing set 10 times, §3.1).
+  // Landing pages: `landing_loads` interleaved rounds over the shard's
+  // sites (the paper shuffles and iterates the landing set 10 times,
+  // §3.1; here each shard is one vantage point running that protocol).
   for (int round = 0; round < config_.landing_loads; ++round) {
-    for (std::size_t s = 0; s < list.sets.size(); ++s) {
-      const web::WebSite* site = web_->find_site(list.sets[s].domain);
-      if (site == nullptr)
-        throw std::logic_error("campaign: unknown domain " +
-                               list.sets[s].domain);
-      landing_loads[s].push_back(measure_page(*site, 0, round));
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const UrlSet& set = list.sets[positions[i]];
+      const web::WebSite& site = require_site(set.domain);
+      landing_loads[i].push_back(measure_page(state, site, 0, round));
     }
   }
 
   // Internal pages: position-interleaved single fetches.
   std::size_t max_internal = 0;
-  for (const auto& set : list.sets)
-    max_internal = std::max(max_internal, set.page_indices.size());
-  for (std::size_t position = 1; position < max_internal; ++position) {
-    for (std::size_t s = 0; s < list.sets.size(); ++s) {
-      const UrlSet& set = list.sets[s];
-      if (position >= set.page_indices.size()) continue;
-      const web::WebSite* site = web_->find_site(set.domain);
-      observations[s].internals.push_back(
-          measure_page(*site, set.page_indices[position], 0));
+  for (std::size_t position : positions)
+    max_internal =
+        std::max(max_internal, list.sets[position].page_indices.size());
+  for (std::size_t page_pos = 1; page_pos < max_internal; ++page_pos) {
+    for (std::size_t position : positions) {
+      const UrlSet& set = list.sets[position];
+      if (page_pos >= set.page_indices.size()) continue;
+      const web::WebSite& site = require_site(set.domain);
+      observations[position].internals.push_back(
+          measure_page(state, site, set.page_indices[page_pos], 0));
     }
   }
 
-  for (std::size_t s = 0; s < list.sets.size(); ++s) {
-    const UrlSet& set = list.sets[s];
-    observations[s].domain = set.domain;
-    observations[s].bootstrap_rank = set.bootstrap_rank;
-    observations[s].category =
-        web_->find_site(set.domain)->profile().category;
-    observations[s].landing = median_metrics(std::move(landing_loads[s]));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const UrlSet& set = list.sets[positions[i]];
+    SiteObservation& observation = observations[positions[i]];
+    observation.domain = set.domain;
+    observation.bootstrap_rank = set.bootstrap_rank;
+    observation.category = require_site(set.domain).profile().category;
+    observation.landing = median_metrics(std::move(landing_loads[i]));
   }
+}
+
+std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
+  const std::size_t shard_count = std::max<std::size_t>(1, config_.shards);
+  const auto shards = shard_indices(list, shard_count);
+  std::vector<SiteObservation> observations(list.sets.size());
+
+  // Each worker builds its shard's state on its own thread and writes
+  // only to that shard's list positions, so no synchronization is needed
+  // beyond the joins in for_each_shard.
+  for_each_shard(shard_count, config_.jobs, [&](std::size_t shard) {
+    if (shards[shard].empty()) return;
+    ShardState state(*web_, config_, shard);
+    run_shard(state, list, shards[shard], observations);
+  });
   return observations;
 }
 
@@ -232,12 +275,12 @@ SiteObservation MeasurementCampaign::measure_site(
   std::vector<PageMetrics> loads;
   loads.reserve(static_cast<std::size_t>(config_.landing_loads));
   for (int round = 0; round < config_.landing_loads; ++round)
-    loads.push_back(measure_page(site, 0, round));
+    loads.push_back(measure_page(local_, site, 0, round));
   observation.landing = median_metrics(std::move(loads));
 
   observation.internals.reserve(internal_pages.size());
   for (std::size_t page : internal_pages)
-    observation.internals.push_back(measure_page(site, page, 0));
+    observation.internals.push_back(measure_page(local_, site, page, 0));
   return observation;
 }
 

@@ -20,7 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "browser/adblock.h"
+#include "browser/hb_detect.h"
 #include "browser/loader.h"
+#include "cdn/detection.h"
 #include "core/hispar.h"
 #include "web/generator.h"
 
@@ -75,33 +78,76 @@ struct CampaignConfig {
   net::Region vantage = net::Region::kNorthAmerica;
   browser::LoadOptions load_options;  // ablation switches pass through
   std::size_t wait_sample_cap = 60;
+  // Worker threads for run(). 0 = one per hardware thread. Results are
+  // bit-identical for every value of `jobs` — only `shards` affects them.
+  std::size_t jobs = 1;
+  // Cache-warmth domains ("vantage points"): each site is assigned to a
+  // shard by a stable hash of its domain, and each shard owns isolated
+  // DNS/CDN/clock state plus an RNG forked from the campaign seed by
+  // shard id. Changing `shards` changes cache-warmth coupling between
+  // sites (and therefore metrics); changing `jobs` never does.
+  std::size_t shards = 8;
 };
 
 class MeasurementCampaign {
  public:
   MeasurementCampaign(const web::SyntheticWeb& web, CampaignConfig config = {});
 
-  // Fetch and measure every URL set in the list.
+  // Fetch and measure every URL set in the list. Sites are partitioned
+  // into `config.shards` shards by domain hash; shards run concurrently
+  // on up to `config.jobs` threads and the observations are merged back
+  // into list order. Output is identical for any `jobs`.
   std::vector<SiteObservation> run(const HisparList& list);
 
   // Measure one explicit set of pages of one site (used by the §4
-  // limited exhaustive crawl and the examples).
+  // limited exhaustive crawl and the examples). Runs on a persistent
+  // single-vantage-point state (shard id 0) so repeated calls share
+  // DNS/CDN warmth, like the serial campaign did.
   SiteObservation measure_site(const web::WebSite& site,
                                const std::vector<std::size_t>& internal_pages);
 
- private:
-  PageMetrics measure_page(const web::WebSite& site, std::size_t page_index,
-                           int load_ordinal);
+  // Per-metric median over repeat loads of one page. Doubles take the
+  // field-wise median; `is_http`/`header_bidding` take a strict majority
+  // vote and `mixed_content` is true if any load saw it (the paper flags
+  // a site if any load shows mixed content). Exposed for tests.
   static PageMetrics median_metrics(std::vector<PageMetrics> loads);
+
+ private:
+  // Everything one worker mutates while measuring its shard: the full
+  // network/CDN simulation substrate, a virtual clock, and an RNG forked
+  // from the campaign seed by shard id. One shard models one vantage
+  // point; cache warmth never crosses shards.
+  struct ShardState {
+    ShardState(const web::SyntheticWeb& web, const CampaignConfig& config,
+               std::size_t shard_id);
+    ShardState(const ShardState&) = delete;
+    ShardState& operator=(const ShardState&) = delete;
+
+    net::LatencyModel latency;
+    cdn::CdnHierarchy cdn;
+    net::CachingResolver resolver;
+    browser::PageLoader loader;
+    util::Rng rng;
+    double clock_s = 0.0;
+  };
+
+  PageMetrics measure_page(ShardState& state, const web::WebSite& site,
+                           std::size_t page_index, int load_ordinal);
+  // Serial §3.1 fetch protocol over the sites of one shard (positions
+  // into list.sets); writes each result to observations[position].
+  void run_shard(ShardState& state, const HisparList& list,
+                 const std::vector<std::size_t>& positions,
+                 std::vector<SiteObservation>& observations);
+  const web::WebSite& require_site(const std::string& domain) const;
 
   const web::SyntheticWeb* web_;
   CampaignConfig config_;
-  net::LatencyModel latency_;
-  cdn::CdnHierarchy cdn_;
-  net::CachingResolver resolver_;
-  browser::PageLoader loader_;
-  util::Rng rng_;
-  double clock_s_ = 0.0;
+  // Detectors are built once per campaign and shared read-only by all
+  // workers (their classify/analyze paths are const and stateless).
+  browser::AdBlocker adblock_;
+  browser::HbDetector hb_;
+  cdn::CdnDetector detector_;
+  ShardState local_;  // measure_site() state
 };
 
 }  // namespace hispar::core

@@ -1,0 +1,64 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace hispar::core {
+
+std::size_t shard_of(std::string_view domain, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(util::fnv1a(domain) % shard_count);
+}
+
+std::vector<std::vector<std::size_t>> shard_indices(const HisparList& list,
+                                                    std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  std::vector<std::vector<std::size_t>> shards(shard_count);
+  for (std::size_t s = 0; s < list.sets.size(); ++s)
+    shards[shard_of(list.sets[s].domain, shard_count)].push_back(s);
+  return shards;
+}
+
+void for_each_shard(std::size_t shard_count, std::size_t jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  if (shard_count == 0) return;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw > 0 ? hw : 1;
+  }
+  jobs = std::min(jobs, shard_count);
+
+  if (jobs <= 1) {
+    for (std::size_t shard = 0; shard < shard_count; ++shard) fn(shard);
+    return;
+  }
+
+  // Work stealing over shard ids: shards can be wildly unbalanced (a
+  // domain hash puts whole sites, not loads, into a shard), so threads
+  // pull the next unclaimed shard instead of owning a fixed range.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(shard_count);
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= shard_count) return;
+        try {
+          fn(shard);
+        } catch (...) {
+          errors[shard] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (auto& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,44 @@
+// Sharded parallel execution of measurement campaigns.
+//
+// A campaign over a Hispar list is embarrassingly parallel across sites
+// *if* the simulation state that loads share (DNS resolver cache, CDN
+// edge LRUs, the virtual clock) is partitioned deterministically. We
+// partition by *shard*: a stable hash of the site's domain assigns it to
+// one of a fixed number of shards, each shard owns a fully isolated
+// simulation state (one "vantage point", mirroring how real
+// multi-probe platforms fan out whole crawls), and worker threads pick
+// up shards. Because shard membership depends only on the domain and the
+// shard count — never on the number of workers — the merged result is
+// bit-identical for any `jobs` value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/hispar.h"
+
+namespace hispar::core {
+
+// Stable shard assignment: fnv1a(domain) % shard_count. Independent of
+// worker count, list order and platform, so results are reproducible.
+std::size_t shard_of(std::string_view domain, std::size_t shard_count);
+
+// Partition the positions [0, list.sets.size()) of a Hispar list into
+// `shard_count` index lists by domain hash. Relative list order is
+// preserved within each shard (the per-shard fetch protocol iterates
+// sites in list order, like the serial campaign does globally).
+std::vector<std::vector<std::size_t>> shard_indices(const HisparList& list,
+                                                    std::size_t shard_count);
+
+// Run `fn(shard)` for every shard in [0, shard_count) on up to `jobs`
+// threads (jobs == 0 means one per hardware thread; jobs is capped at
+// shard_count). fn must only touch shard-local state or write to
+// disjoint output slots. Exceptions thrown by fn are collected and the
+// one from the lowest shard id is rethrown after all workers join, so
+// error reporting is deterministic too.
+void for_each_shard(std::size_t shard_count, std::size_t jobs,
+                    const std::function<void(std::size_t)>& fn);
+
+}  // namespace hispar::core

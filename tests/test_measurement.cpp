@@ -131,6 +131,75 @@ TEST_F(MeasurementTest, MeasureSiteHonorsExplicitPages) {
   EXPECT_EQ(observation.domain, site.domain());
 }
 
+// The campaign must refuse a list whose domain churned out of the web
+// with the same descriptive std::logic_error in *every* phase; the
+// internal-page and aggregation loops used to dereference a null site.
+void expect_unknown_domain_throw(web::SyntheticWeb& web,
+                                 const core::HisparList& list,
+                                 int landing_loads) {
+  CampaignConfig config;
+  config.landing_loads = landing_loads;
+  MeasurementCampaign campaign(web, config);
+  try {
+    campaign.run(list);
+    FAIL() << "expected campaign: unknown domain";
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown domain"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(MeasurementTest, UnknownDomainThrowsInLandingPath) {
+  auto list = build_list(6);
+  list.sets[2].domain = "churned-away.example";
+  expect_unknown_domain_throw(web_, list, /*landing_loads=*/1);
+}
+
+TEST_F(MeasurementTest, UnknownDomainThrowsInInternalPath) {
+  // Zero landing loads: the landing loop never touches the domain, so
+  // the internal-page loop is the first to see it. A single-set list
+  // keeps the other phases (and other sites) out of the picture.
+  auto list = build_list(6);
+  core::HisparList one;
+  one.sets.push_back(list.sets[2]);
+  one.sets[0].domain = "churned-away.example";
+  ASSERT_GT(one.sets[0].page_indices.size(), 1u);
+  expect_unknown_domain_throw(web_, one, /*landing_loads=*/0);
+}
+
+TEST_F(MeasurementTest, UnknownDomainThrowsInAggregationPath) {
+  // Zero landing loads *and* no internal pages: only the final
+  // aggregation loop sees the domain.
+  auto list = build_list(6);
+  core::HisparList one;
+  one.sets.push_back(list.sets[2]);
+  one.sets[0].domain = "churned-away.example";
+  one.sets[0].urls.resize(1);
+  one.sets[0].page_indices.resize(1);
+  expect_unknown_domain_throw(web_, one, /*landing_loads=*/0);
+}
+
+TEST_F(MeasurementTest, MedianMetricsTakesMajorityVoteOnBools) {
+  std::vector<PageMetrics> loads(3);
+  loads[0].header_bidding = true;
+  loads[1].header_bidding = true;
+  loads[2].header_bidding = false;  // stochastic auction missed once
+  loads[0].is_http = true;          // e.g. one load before the redirect
+  const PageMetrics median = MeasurementCampaign::median_metrics(loads);
+  EXPECT_TRUE(median.header_bidding);  // 2 of 3 loads saw bidding
+  EXPECT_FALSE(median.is_http);        // 1 of 3 is not a majority
+}
+
+TEST_F(MeasurementTest, MedianMetricsFlagsMixedContentOnAnyLoad) {
+  std::vector<PageMetrics> loads(4);
+  loads[3].mixed_content = true;
+  const PageMetrics median = MeasurementCampaign::median_metrics(loads);
+  EXPECT_TRUE(median.mixed_content);
+  EXPECT_FALSE(median.header_bidding);
+  EXPECT_FALSE(median.is_http);
+}
+
 TEST_F(MeasurementTest, CampaignIsDeterministicForSameSeed) {
   const auto list = build_list(5);
   CampaignConfig config;

@@ -13,6 +13,9 @@
 //            --domain D | --rank R, --pages N
 //   measure  run the §3.1 measurement campaign over a list CSV
 //            --list FILE --loads L --out FILE
+//            --jobs N (worker threads; 0 = all cores; results are
+//            identical for every N) --shards S (cache-warmth domains;
+//            S *does* affect results — see DESIGN.md "Concurrency model")
 //   survey   print Table 1 from the embedded §2 corpus
 //
 // Global: --seed S --universe N control the synthetic web.
@@ -153,6 +156,11 @@ int cmd_measure(World& world, const util::Args& args) {
   }
   core::CampaignConfig config;
   config.landing_loads = static_cast<int>(args.get_int("loads", 10));
+  config.jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
+  config.shards = static_cast<std::size_t>(
+      args.get_int("shards", static_cast<long>(config.shards)));
+  if (config.shards == 0)
+    throw std::invalid_argument("measure: --shards must be >= 1");
   core::MeasurementCampaign campaign(*world.web, config);
   const auto sites = campaign.run(list);
 
