@@ -54,8 +54,9 @@ std::string to_har_json(const HarLog& log) {
     os << "{\"pageref\":\"page_1\",\"startedDateTime\":\"" << e.started_at_ms
        << "\",\"request\":{\"method\":\"" << e.request_method
        << "\",\"url\":\"" << json_escape(e.url)
-       << "\"},\"response\":{\"status\":" << e.status
-       << ",\"content\":{\"size\":" << e.body_size << ",\"mimeType\":\""
+       << "\"},\"response\":{\"status\":" << e.status;
+    if (!e.error.empty()) os << ",\"_error\":\"" << json_escape(e.error) << '"';
+    os << ",\"content\":{\"size\":" << e.body_size << ",\"mimeType\":\""
        << json_escape(e.mime_type) << "\"},\"headers\":[";
     for (std::size_t h = 0; h < e.response_headers.size(); ++h) {
       if (h) os << ',';

@@ -38,7 +38,13 @@ struct HarEntry {
   util::Scheme scheme = util::Scheme::kHttps;
   std::string mime_type;              // concrete type, e.g. "image/jpeg"
   std::string request_method = "GET";
+  // 200 for successful fetches, 5xx for server errors, 0 when the fetch
+  // never produced a response (DNS/connect failures, watchdog aborts).
   int status = 200;
+  // Failure description for entries that did not complete cleanly
+  // (empty = no error). Mirrors the HAR `_error` custom field real
+  // browsers emit for failed requests.
+  std::string error;
   double body_size = 0.0;             // bytes
   bool cacheable = false;             // from Cache-Control/response code
   double started_at_ms = 0.0;         // relative to navigationStart

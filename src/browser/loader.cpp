@@ -21,6 +21,13 @@ constexpr double kMssBytes = 1460.0;
 constexpr double kInitialCwndSegments = 10.0;
 constexpr double kWarmCwndSegments = 40.0;
 
+// Failure timing model: a SERVFAIL is a fast negative answer from the
+// resolver; a resolver timeout is the classic ~5 s client give-up; a
+// failed object attempt is retried after an exponentially growing pause.
+constexpr double kDnsServfailMs = 80.0;
+constexpr double kDnsTimeoutMs = 5000.0;
+constexpr double kObjectRetryBackoffMs = 250.0;
+
 // State the browser keeps per remote host during one page load.
 struct HostState {
   bool dns_done = false;
@@ -42,6 +49,15 @@ double transfer_rounds(double bytes, bool warm_connection) {
 
 }  // namespace
 
+std::string_view to_string(LoadStatus status) {
+  switch (status) {
+    case LoadStatus::kOk: return "ok";
+    case LoadStatus::kDegraded: return "degraded";
+    case LoadStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 PageLoader::PageLoader(LoaderEnv env) : env_(env) {
   if (env_.latency == nullptr || env_.registry == nullptr ||
       env_.cdn == nullptr || env_.resolver == nullptr)
@@ -61,6 +77,10 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
 
   const net::TransportProtocol base_transport =
       options.transport_override.value_or(page.transport);
+  // Faults disabled => all failure paths below are dead code and every
+  // operation (RNG draws, resolver/CDN calls) matches a fault-free
+  // loader exactly.
+  const bool faulty = options.faults != nullptr;
 
   // Resolve the serving region and RTT for a host, lazily, from the
   // first object fetched from it.
@@ -169,106 +189,235 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     entry.started_at_ms = ready_at;
     entry.dns_cname = o.dns_cname;
 
+    // Page-level watchdog: fetches that would start after the abort
+    // deadline never happen (Firefox kills hung loads at ~60 s).
+    if (faulty && ready_at > options.page_timeout_ms) {
+      entry.status = 0;
+      entry.error = "page-watchdog-abort";
+      entry.body_size = 0.0;
+      result.watchdog_abort = true;
+      ++result.failed_objects;
+      result.har.entries.push_back(std::move(entry));
+      continue;  // children were never discovered
+    }
+
     double t = ready_at;
-
-    // DNS.
-    if (!hs.dns_done) {
-      const auto lookup = env_.resolver->resolve(
-          dns_record_for(o), options.start_time_s + t / 1000.0, rng);
-      entry.timings.dns = lookup.latency_ms;
-      t += lookup.latency_ms;
-      hs.dns_done = true;
-      ++result.dns_lookups;
-      result.dns_time_ms += lookup.latency_ms;
-    }
-
-    // Connection.
-    const bool https = o.is_https();
-    net::TransportProtocol transport =
-        https ? base_transport : net::TransportProtocol::kCleartextHttp;
-    if (options.transport_override) transport = *options.transport_override;
-    const bool h2 = page.http2 && https;
-    const std::size_t cap = options.reuse_connections ? (h2 ? 1u : 6u) : ~0u;
-
+    net::FaultKind fate = net::FaultKind::kNone;
     bool warm_transfer = false;
-    std::size_t conn_index = 0;
-    if (!options.reuse_connections || hs.connection_free.empty() ||
-        (!h2 && hs.connection_free.size() < cap &&
-         *std::min_element(hs.connection_free.begin(),
-                           hs.connection_free.end()) > t)) {
-      // Open a fresh connection.
-      const auto cost = net::handshake_cost(transport, hs.session_seen);
-      const double hs_time = cost.round_trips * hs.rtt_ms + cost.cpu_ms;
-      // Split round trips into TCP (1) and TLS (rest) for the HAR.
-      const double per_rtt = hs.rtt_ms;
-      entry.timings.connect = std::min(1, cost.round_trips) * per_rtt;
-      entry.timings.ssl = hs_time - entry.timings.connect;
-      t += hs_time;
-      hs.connection_free.push_back(t);
-      conn_index = hs.connection_free.size() - 1;
-      hs.session_seen = true;
-      ++result.handshakes;
-      result.handshake_time_ms += hs_time;
-    } else {
-      // Reuse: pick the earliest-free connection; block if it is busy.
-      conn_index = static_cast<std::size_t>(
-          std::min_element(hs.connection_free.begin(),
-                           hs.connection_free.end()) -
-          hs.connection_free.begin());
-      if (!h2 && hs.connection_free[conn_index] > t) {
-        entry.timings.blocked = hs.connection_free[conn_index] - t;
-        t = hs.connection_free[conn_index];
+    const int max_attempts =
+        faulty ? 1 + std::max(0, options.max_object_retries) : 1;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      fate = net::FaultKind::kNone;
+      bool used_connection = false;
+      std::size_t conn_index = 0;
+      warm_transfer = false;
+
+      // DNS.
+      if (!hs.dns_done) {
+        if (faulty) {
+          const net::FaultKind dns_fate = options.faults->dns_fault();
+          if (dns_fate == net::FaultKind::kDnsServfail) {
+            entry.timings.dns += kDnsServfailMs;
+            t += kDnsServfailMs;
+            fate = dns_fate;
+          } else if (dns_fate == net::FaultKind::kDnsTimeout) {
+            entry.timings.dns += kDnsTimeoutMs;
+            t += kDnsTimeoutMs;
+            fate = dns_fate;
+          }
+        }
+        if (fate == net::FaultKind::kNone) {
+          const auto lookup = env_.resolver->resolve(
+              dns_record_for(o), options.start_time_s + t / 1000.0, rng);
+          entry.timings.dns += lookup.latency_ms;
+          t += lookup.latency_ms;
+          hs.dns_done = true;
+          ++result.dns_lookups;
+          result.dns_time_ms += lookup.latency_ms;
+        }
       }
-      warm_transfer = true;
-    }
 
-    // Send: the request travels to the server (half a round trip).
-    entry.timings.send = 0.5 * hs.rtt_ms;
-    t += entry.timings.send;
+      // Connection.
+      const bool https = o.is_https();
+      net::TransportProtocol transport =
+          https ? base_transport : net::TransportProtocol::kCleartextHttp;
+      if (options.transport_override) transport = *options.transport_override;
+      const bool h2 = page.http2 && https;
+      const std::size_t cap = options.reuse_connections ? (h2 ? 1u : 6u) : ~0u;
 
-    // Server wait (CDN hierarchy or origin) + response propagation.
-    cdn::CdnRequest request;
-    request.url = o.url;
-    request.size_bytes = o.size_bytes;
-    request.request_rate = options.model_cdn_warmth ? o.request_rate : 0.0;
-    request.cacheable = o.cacheable;
-    request.client = env_.vantage;
-    request.origin = o.origin_region;
-    cdn::CdnResponse response;
-    if (o.via_cdn) {
-      response =
-          env_.cdn->serve(env_.registry->provider(o.cdn_provider_id), request, rng);
-      const auto& provider = env_.registry->provider(o.cdn_provider_id);
-      if (!provider.header_signature.empty())
-        entry.response_headers.push_back(provider.header_signature +
-                                         ": present");
-      if (!response.x_cache.empty()) {
-        entry.x_cache = response.x_cache;
-        entry.response_headers.push_back("x-cache: " + response.x_cache);
-        if (response.x_cache == "HIT")
-          ++result.x_cache_hits;
-        else
-          ++result.x_cache_misses;
+      if (fate == net::FaultKind::kNone) {
+        if (!options.reuse_connections || hs.connection_free.empty() ||
+            (!h2 && hs.connection_free.size() < cap &&
+             *std::min_element(hs.connection_free.begin(),
+                               hs.connection_free.end()) > t)) {
+          // Open a fresh connection.
+          if (faulty) {
+            const net::FaultKind connect_fate = options.faults->connect_fault(
+                transport != net::TransportProtocol::kCleartextHttp);
+            if (connect_fate == net::FaultKind::kConnectionReset) {
+              // SYN out, RST back: one round trip burned, no connection.
+              entry.timings.connect += hs.rtt_ms;
+              t += hs.rtt_ms;
+              fate = connect_fate;
+            } else if (connect_fate == net::FaultKind::kTlsFailure) {
+              // TCP connects, the TLS handshake dies one round trip in.
+              entry.timings.connect += hs.rtt_ms;
+              entry.timings.ssl += hs.rtt_ms;
+              t += 2.0 * hs.rtt_ms;
+              fate = connect_fate;
+            }
+          }
+          if (fate == net::FaultKind::kNone) {
+            const auto cost = net::handshake_cost(transport, hs.session_seen);
+            const double hs_time = cost.round_trips * hs.rtt_ms + cost.cpu_ms;
+            // Split round trips into TCP (1) and TLS (rest) for the HAR.
+            const double connect_ms = std::min(1, cost.round_trips) * hs.rtt_ms;
+            entry.timings.connect += connect_ms;
+            entry.timings.ssl += hs_time - connect_ms;
+            t += hs_time;
+            hs.connection_free.push_back(t);
+            conn_index = hs.connection_free.size() - 1;
+            hs.session_seen = true;
+            ++result.handshakes;
+            result.handshake_time_ms += hs_time;
+            used_connection = true;
+          }
+        } else {
+          // Reuse: pick the earliest-free connection; block if it is busy.
+          conn_index = static_cast<std::size_t>(
+              std::min_element(hs.connection_free.begin(),
+                               hs.connection_free.end()) -
+              hs.connection_free.begin());
+          if (!h2 && hs.connection_free[conn_index] > t) {
+            entry.timings.blocked += hs.connection_free[conn_index] - t;
+            t = hs.connection_free[conn_index];
+          }
+          warm_transfer = true;
+          used_connection = true;
+        }
       }
-    } else {
-      request.origin = o.origin_region;
-      response = env_.cdn->serve_from_origin(request, rng);
-      response.wait_ms = o.origin_think_ms +
-                         0.3 * env_.latency->rtt(o.origin_region,
-                                                 o.origin_region, rng);
-    }
-    // Wait: server think time plus the response's return leg.
-    entry.timings.wait = 0.5 * hs.rtt_ms + response.wait_ms;
-    t += entry.timings.wait;
 
-    // Receive: slow-start rounds + serialization.
-    const double rounds = transfer_rounds(o.size_bytes, warm_transfer);
-    entry.timings.receive =
-        rounds * hs.rtt_ms * 0.8 + env_.latency->transfer_ms(o.size_bytes);
-    t += entry.timings.receive;
+      if (fate == net::FaultKind::kNone) {
+        // Send: the request travels to the server (half a round trip).
+        entry.timings.send += 0.5 * hs.rtt_ms;
+        t += 0.5 * hs.rtt_ms;
+
+        if (faulty) fate = options.faults->response_fault();
+        if (fate == net::FaultKind::kHttp5xx) {
+          // The request reached the server; an error page came straight
+          // back after origin think time, with no usable body. The
+          // cache hierarchy never admits it.
+          const double error_wait = 0.5 * hs.rtt_ms + o.origin_think_ms;
+          entry.timings.wait += error_wait;
+          t += error_wait;
+          if (!h2 && used_connection) hs.connection_free[conn_index] = t;
+        } else {
+          // Server wait (CDN hierarchy or origin) + response propagation.
+          cdn::CdnRequest request;
+          request.url = o.url;
+          request.size_bytes = o.size_bytes;
+          request.request_rate = options.model_cdn_warmth ? o.request_rate : 0.0;
+          request.cacheable = o.cacheable;
+          request.client = env_.vantage;
+          request.origin = o.origin_region;
+          cdn::CdnResponse response;
+          if (o.via_cdn) {
+            response = env_.cdn->serve(env_.registry->provider(o.cdn_provider_id),
+                                       request, rng);
+            const auto& provider = env_.registry->provider(o.cdn_provider_id);
+            if (!provider.header_signature.empty())
+              entry.response_headers.push_back(provider.header_signature +
+                                               ": present");
+            if (!response.x_cache.empty()) {
+              entry.x_cache = response.x_cache;
+              entry.response_headers.push_back("x-cache: " + response.x_cache);
+              if (response.x_cache == "HIT")
+                ++result.x_cache_hits;
+              else
+                ++result.x_cache_misses;
+            }
+          } else {
+            request.origin = o.origin_region;
+            response = env_.cdn->serve_from_origin(request, rng);
+            response.wait_ms = o.origin_think_ms +
+                               0.3 * env_.latency->rtt(o.origin_region,
+                                                       o.origin_region, rng);
+          }
+          // Wait: server think time plus the response's return leg.
+          entry.timings.wait += 0.5 * hs.rtt_ms + response.wait_ms;
+          t += 0.5 * hs.rtt_ms + response.wait_ms;
+
+          // Receive: slow-start rounds + serialization — unless the
+          // transfer stalls out or the connection dies mid-body.
+          const net::FaultKind transfer_fate =
+              faulty ? options.faults->transfer_fault() : net::FaultKind::kNone;
+          if (transfer_fate == net::FaultKind::kStalledTransfer) {
+            // The body hangs; the browser abandons the object once its
+            // fetch budget is burned.
+            const double give_up =
+                std::max(0.0, options.object_timeout_ms - (t - ready_at));
+            entry.timings.receive += give_up;
+            entry.body_size = 0.0;
+            t += give_up;
+            fate = transfer_fate;
+          } else if (transfer_fate == net::FaultKind::kTruncatedTransfer) {
+            const double fraction = options.faults->truncated_fraction();
+            const double bytes = o.size_bytes * fraction;
+            const double rounds = transfer_rounds(bytes, warm_transfer);
+            const double receive_ms =
+                rounds * hs.rtt_ms * 0.8 + env_.latency->transfer_ms(bytes);
+            entry.timings.receive += receive_ms;
+            entry.body_size = bytes;  // the partial body did arrive
+            t += receive_ms;
+            fate = transfer_fate;
+          } else {
+            const double rounds = transfer_rounds(o.size_bytes, warm_transfer);
+            const double receive_ms = rounds * hs.rtt_ms * 0.8 +
+                                      env_.latency->transfer_ms(o.size_bytes);
+            entry.timings.receive += receive_ms;
+            t += receive_ms;
+          }
+          if (!h2 && used_connection) hs.connection_free[conn_index] = t;
+        }
+      }
+
+      if (fate == net::FaultKind::kNone) break;  // attempt succeeded
+
+      // Failed attempt: bounded retry with exponential backoff, unless
+      // the object's fetch budget is already burned.
+      if (attempt + 1 < max_attempts &&
+          (t - ready_at) < options.object_timeout_ms) {
+        const double backoff =
+            kObjectRetryBackoffMs * static_cast<double>(1 << attempt);
+        entry.timings.blocked += backoff;
+        t += backoff;
+        ++result.object_retries;
+        continue;
+      }
+      break;  // out of retries or budget: the object failed for good
+    }
 
     finish[index] = t;
-    if (!h2) hs.connection_free[conn_index] = t;
+
+    if (fate != net::FaultKind::kNone) {
+      entry.status = fate == net::FaultKind::kHttp5xx ? 503 : 0;
+      entry.error = std::string(net::to_string(fate));
+      if (fate != net::FaultKind::kTruncatedTransfer) entry.body_size = 0.0;
+      ++result.failed_objects;
+      if (index == 0) {
+        // The root document never arrived: the navigation failed and
+        // nothing below it exists. Return the partial (one-entry) HAR.
+        result.status = LoadStatus::kFailed;
+        result.root_failure = fate;
+        result.har.entries.push_back(std::move(entry));
+        result.on_load_ms = t;
+        result.har.nav.on_load_ms = t;
+        return result;
+      }
+      result.har.entries.push_back(std::move(entry));
+      continue;  // children were never discovered
+    }
 
     if (o.render_blocking || index == 0) {
       first_paint_gate = std::max(first_paint_gate, t);
@@ -289,6 +438,9 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       queue.emplace(ready[child], child);
     }
   }
+
+  if (result.failed_objects > 0 || result.watchdog_abort)
+    result.status = LoadStatus::kDegraded;
 
   result.on_load_ms = *std::max_element(finish.begin(), finish.end());
   result.plt_ms =

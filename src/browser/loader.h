@@ -23,6 +23,7 @@
 #include "cdn/hierarchy.h"
 #include "net/connection.h"
 #include "net/dns.h"
+#include "net/faults.h"
 #include "util/rng.h"
 #include "web/page.h"
 
@@ -46,7 +47,31 @@ struct LoadOptions {
   bool model_cdn_warmth = true;
   bool reuse_connections = true;
   std::optional<net::TransportProtocol> transport_override;
+  // Fault injection. Null models the perfectly reliable substrate: all
+  // retry/timeout/watchdog machinery below is inert, so fault-free loads
+  // are bit-identical to loads on a loader without this feature. The
+  // injector is mutated (its stream advances per decision); the caller
+  // provides one per load attempt, keyed as net/faults.h documents.
+  net::FaultInjector* faults = nullptr;
+  // Per-object bounded retry with exponential backoff (browsers retry
+  // transient network errors a couple of times before surfacing them).
+  int max_object_retries = 2;
+  // Per-object fetch budget: once an object has burned this long across
+  // attempts, the browser gives up on it.
+  double object_timeout_ms = 15000.0;
+  // Page-level watchdog (Firefox-style load abort): object fetches that
+  // would start after this deadline never happen.
+  double page_timeout_ms = 60000.0;
 };
+
+// How a page load ended.
+//  kOk       — every object fetched cleanly;
+//  kDegraded — the page painted but some objects failed or the watchdog
+//              cut the load short (the HAR is partial);
+//  kFailed   — the root document never arrived; nothing was measured.
+enum class LoadStatus : std::uint8_t { kOk, kDegraded, kFailed };
+
+std::string_view to_string(LoadStatus status);
 
 struct LoadResult {
   HarLog har;
@@ -59,6 +84,13 @@ struct LoadResult {
   double dns_time_ms = 0.0;
   int x_cache_hits = 0;
   int x_cache_misses = 0;
+  // Failure accounting (all defaults describe a clean load on a
+  // reliable substrate).
+  LoadStatus status = LoadStatus::kOk;
+  net::FaultKind root_failure = net::FaultKind::kNone;  // cause when kFailed
+  int failed_objects = 0;   // entries that never completed
+  int object_retries = 0;   // in-load re-attempts that were needed
+  bool watchdog_abort = false;
 };
 
 class PageLoader {

@@ -31,12 +31,21 @@ double PairedComparison::geomean_ratio() const {
   return util::geometric_mean(ratios);
 }
 
+bool usable_site(const SiteObservation& site) {
+  return !site.quarantined && !site.internals.empty();
+}
+
 PairedComparison compare_metric(const std::vector<SiteObservation>& sites,
                                 const MetricFn& fn) {
   PairedComparison out;
   out.landing.reserve(sites.size());
   out.internal_median.reserve(sites.size());
   for (const auto& site : sites) {
+    if (!usable_site(site)) {
+      ++out.excluded_sites;
+      continue;
+    }
+    if (site.degraded()) ++out.partial_sites;
     out.landing.push_back(fn(site.landing));
     out.internal_median.push_back(site.internal_median(fn));
   }
@@ -46,8 +55,10 @@ PairedComparison compare_metric(const std::vector<SiteObservation>& sites,
 std::vector<double> internal_values(const std::vector<SiteObservation>& sites,
                                     const MetricFn& fn) {
   std::vector<double> out;
-  for (const auto& site : sites)
+  for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     for (const auto& metrics : site.internals) out.push_back(fn(metrics));
+  }
   return out;
 }
 
@@ -55,7 +66,8 @@ std::vector<double> landing_values(const std::vector<SiteObservation>& sites,
                                    const MetricFn& fn) {
   std::vector<double> out;
   out.reserve(sites.size());
-  for (const auto& site : sites) out.push_back(fn(site.landing));
+  for (const auto& site : sites)
+    if (usable_site(site)) out.push_back(fn(site.landing));
   return out;
 }
 
@@ -77,6 +89,7 @@ ContentMix content_mix(const std::vector<SiteObservation>& sites) {
     std::vector<double> landing;
     std::vector<double> internal;
     for (const auto& site : sites) {
+      if (!usable_site(site)) continue;
       landing.push_back(site.landing.mix_fractions[category]);
       for (const auto& metrics : site.internals)
         internal.push_back(metrics.mix_fractions[category]);
@@ -93,6 +106,7 @@ DepthProfile depth_profile(const std::vector<SiteObservation>& sites) {
     std::vector<double> landing;
     std::vector<double> internal;
     for (const auto& site : sites) {
+      if (!usable_site(site)) continue;
       landing.push_back(site.landing.depth_counts[depth]);
       for (const auto& metrics : site.internals)
         internal.push_back(metrics.depth_counts[depth]);
@@ -110,7 +124,10 @@ HintUsage hint_usage(const std::vector<SiteObservation>& sites) {
   std::size_t landing_with = 0;
   std::size_t internal_zero = 0;
   std::size_t internal_total = 0;
+  std::size_t usable = 0;
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
+    ++usable;
     usage.landing_counts.push_back(site.landing.hints_total);
     if (site.landing.hints_total >= 1.0) ++landing_with;
     for (const auto& metrics : site.internals) {
@@ -119,10 +136,10 @@ HintUsage hint_usage(const std::vector<SiteObservation>& sites) {
       if (metrics.hints_total < 1.0) ++internal_zero;
     }
   }
-  if (sites.empty() || internal_total == 0)
+  if (usable == 0 || internal_total == 0)
     throw std::logic_error("hint_usage: empty campaign");
   usage.landing_with_hints =
-      static_cast<double>(landing_with) / static_cast<double>(sites.size());
+      static_cast<double>(landing_with) / static_cast<double>(usable);
   usage.internal_without_hints =
       static_cast<double>(internal_zero) / static_cast<double>(internal_total);
   return usage;
@@ -133,6 +150,7 @@ XCacheSummary x_cache_summary(const std::vector<SiteObservation>& sites) {
   double landing_hits = 0.0, landing_total = 0.0;
   double internal_hits = 0.0, internal_total = 0.0;
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     landing_hits += site.landing.x_cache_hits;
     landing_total += site.landing.x_cache_hits + site.landing.x_cache_misses;
     for (const auto& metrics : site.internals) {
@@ -150,6 +168,7 @@ XCacheSummary x_cache_summary(const std::vector<SiteObservation>& sites) {
 WaitTimes wait_times(const std::vector<SiteObservation>& sites) {
   WaitTimes times;
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     times.landing_ms.insert(times.landing_ms.end(),
                             site.landing.wait_samples_ms.begin(),
                             site.landing.wait_samples_ms.end());
@@ -164,6 +183,7 @@ WaitTimes wait_times(const std::vector<SiteObservation>& sites) {
 SecuritySummary security_summary(const std::vector<SiteObservation>& sites) {
   SecuritySummary summary;
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     if (site.landing.is_http) ++summary.http_landing_sites;
     if (site.landing.mixed_content) ++summary.mixed_landing_sites;
     int http_internal = 0;
@@ -189,6 +209,7 @@ std::vector<double> unseen_third_parties(
   std::vector<double> out;
   out.reserve(sites.size());
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     const std::set<std::string> internal = site.internal_third_parties();
     std::size_t unseen = 0;
     for (const auto& domain : internal)
@@ -201,6 +222,7 @@ std::vector<double> unseen_third_parties(
 HbSummary hb_summary(const std::vector<SiteObservation>& sites) {
   HbSummary summary;
   for (const auto& site : sites) {
+    if (!usable_site(site)) continue;
     bool internal_hb = false;
     for (const auto& metrics : site.internals)
       internal_hb = internal_hb || metrics.header_bidding;
@@ -224,7 +246,7 @@ std::vector<double> plt_delta_for_category(
     const std::vector<SiteObservation>& sites, web::SiteCategory category) {
   std::vector<double> out;
   for (const auto& site : sites) {
-    if (site.category != category) continue;
+    if (!usable_site(site) || site.category != category) continue;
     const double delta =
         site.landing.plt_ms - site.internal_median(metric::plt_ms);
     out.push_back(delta / 1000.0);  // seconds, as the paper plots

@@ -18,12 +18,25 @@ namespace hispar::core {
 
 using MetricFn = std::function<double(const PageMetrics&)>;
 
+// A site contributes to an analysis only if it has a usable landing
+// observation and at least one usable internal page. Quarantined sites
+// (every landing load failed) and sites whose internal fetches all
+// failed carry no measurable pair — the paper likewise dropped sites it
+// could not crawl. On a fault-free substrate every site is usable, so
+// the filters below are exact no-ops.
+bool usable_site(const SiteObservation& site);
+
 // Paired landing-vs-internal comparison of one metric (the paper's
 // standard analysis: per site, landing value minus the median of the
 // internal values; Figs. 2, 4a, 4b, 5, 6c).
 struct PairedComparison {
-  std::vector<double> landing;          // per site (ordered as the list)
-  std::vector<double> internal_median;  // per site
+  std::vector<double> landing;          // per usable site (list order)
+  std::vector<double> internal_median;  // per usable site
+  // Failure accounting: sites dropped entirely (quarantined or no
+  // internals), and kept sites with some failed/partial loads behind
+  // their medians.
+  std::size_t excluded_sites = 0;
+  std::size_t partial_sites = 0;
 
   std::vector<double> deltas() const;   // landing - internal_median
   // Fraction of sites where the landing value exceeds the internal

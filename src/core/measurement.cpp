@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/serialization.h"
 #include "util/stats.h"
+#include "util/url.h"
 #include "web/mime.h"
 
 namespace hispar::core {
@@ -18,6 +24,21 @@ double median_of(std::vector<double>& values) {
 }
 
 }  // namespace
+
+double SiteObservation::success_rate() const {
+  if (outcomes.empty()) return 1.0;
+  std::size_t ok = 0;
+  for (const auto& outcome : outcomes)
+    if (outcome.status != browser::LoadStatus::kFailed) ++ok;
+  return static_cast<double>(ok) / static_cast<double>(outcomes.size());
+}
+
+bool SiteObservation::degraded() const {
+  if (quarantined) return true;
+  for (const auto& outcome : outcomes)
+    if (outcome.status != browser::LoadStatus::kOk) return true;
+  return false;
+}
 
 double SiteObservation::internal_median(
     const std::function<double(const PageMetrics&)>& fn) const {
@@ -34,6 +55,26 @@ std::set<std::string> SiteObservation::internal_third_parties() const {
   for (const auto& metrics : internals)
     all.insert(metrics.third_parties.begin(), metrics.third_parties.end());
   return all;
+}
+
+CampaignSummary summarize_campaign(const std::vector<SiteObservation>& sites) {
+  CampaignSummary summary;
+  for (const auto& site : sites) {
+    if (site.quarantined)
+      ++summary.sites_quarantined;
+    else if (site.degraded())
+      ++summary.sites_degraded;
+    else
+      ++summary.sites_ok;
+    summary.total_retries += static_cast<std::uint64_t>(site.total_retries);
+    for (const auto& outcome : site.outcomes) {
+      if (outcome.status == browser::LoadStatus::kFailed)
+        ++summary.failed_fetches;
+      else if (outcome.status == browser::LoadStatus::kDegraded)
+        ++summary.degraded_fetches;
+    }
+  }
+  return summary;
 }
 
 MeasurementCampaign::ShardState::ShardState(const web::SyntheticWeb& web,
@@ -65,20 +106,67 @@ const web::WebSite& MeasurementCampaign::require_site(
   return *site;
 }
 
-PageMetrics MeasurementCampaign::measure_page(ShardState& state,
-                                              const web::WebSite& site,
-                                              std::size_t page_index,
-                                              int load_ordinal) {
+MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
+    ShardState& state, const web::WebSite& site, std::size_t page_index,
+    int load_ordinal) {
   const web::WebPage page = site.page(page_index);
+  const bool faulty = config_.fault_profile.enabled();
+  const int max_attempts = faulty ? 1 + std::max(0, config_.max_page_retries) : 1;
 
-  browser::LoadOptions options = config_.load_options;
-  options.start_time_s = state.clock_s;
-  state.clock_s += config_.inter_fetch_gap_s;
+  PageFetch fetch;
+  fetch.outcome.page_index = page_index;
+  fetch.outcome.load_ordinal = load_ordinal;
 
-  util::Rng load_rng = state.rng.fork(site.domain())
-                           .fork(page_index)
-                           .fork(static_cast<std::uint64_t>(load_ordinal));
-  const browser::LoadResult result = state.loader.load(page, load_rng, options);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    browser::LoadOptions options = config_.load_options;
+    options.start_time_s = state.clock_s;
+    state.clock_s += config_.inter_fetch_gap_s;
+
+    // Attempt 0 uses exactly the pre-fault RNG keying, so a fault-free
+    // campaign replays the historical streams bit for bit; retries get
+    // fresh forks of the same key.
+    util::Rng load_rng = state.rng.fork(site.domain())
+                             .fork(page_index)
+                             .fork(static_cast<std::uint64_t>(load_ordinal));
+    if (attempt > 0)
+      load_rng = load_rng.fork("retry").fork(static_cast<std::uint64_t>(attempt));
+
+    // Fault decisions come from their own stream, keyed by everything
+    // that identifies this attempt and nothing that depends on thread
+    // scheduling — the --jobs determinism guarantee holds under faults.
+    std::optional<net::FaultInjector> injector;
+    if (faulty) {
+      injector.emplace(
+          config_.fault_profile,
+          state.rng.fork("faults")
+              .fork(site.domain())
+              .fork(page_index)
+              .fork(static_cast<std::uint64_t>(load_ordinal))
+              .fork(static_cast<std::uint64_t>(attempt)));
+      options.faults = &*injector;
+      options.page_timeout_ms = config_.page_timeout_s * 1000.0;
+    }
+
+    const browser::LoadResult result = state.loader.load(page, load_rng, options);
+    fetch.outcome.attempts = attempt + 1;
+    fetch.outcome.status = result.status;
+    fetch.outcome.failure = result.root_failure;
+    fetch.outcome.failed_objects = result.failed_objects;
+    if (result.status != browser::LoadStatus::kFailed) {
+      fetch.metrics = extract_metrics(page, result);
+      fetch.usable = true;
+      return fetch;
+    }
+    // Failed load: back off on the shard clock before re-fetching.
+    if (attempt + 1 < max_attempts)
+      state.clock_s +=
+          config_.retry_backoff_s * static_cast<double>(1 << attempt);
+  }
+  return fetch;  // permanently failed (usable == false)
+}
+
+PageMetrics MeasurementCampaign::extract_metrics(
+    const web::WebPage& page, const browser::LoadResult& result) const {
   const browser::HarLog& har = result.har;
 
   PageMetrics m;
@@ -220,11 +308,18 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     for (std::size_t i = 0; i < positions.size(); ++i) {
       const UrlSet& set = list.sets[positions[i]];
       const web::WebSite& site = require_site(set.domain);
-      landing_loads[i].push_back(measure_page(state, site, 0, round));
+      PageFetch fetch = fetch_page(state, site, 0, round);
+      SiteObservation& observation = observations[positions[i]];
+      observation.total_retries += fetch.outcome.attempts - 1;
+      observation.outcomes.push_back(fetch.outcome);
+      if (fetch.usable) landing_loads[i].push_back(std::move(fetch.metrics));
     }
   }
 
-  // Internal pages: position-interleaved single fetches.
+  // Internal pages: position-interleaved single fetches. A fetch that
+  // fails even after retries drops that internal page from the
+  // observation — the paper discarded failed loads the same way — but
+  // the outcome still records it.
   std::size_t max_internal = 0;
   for (std::size_t position : positions)
     max_internal =
@@ -234,8 +329,13 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
       const UrlSet& set = list.sets[position];
       if (page_pos >= set.page_indices.size()) continue;
       const web::WebSite& site = require_site(set.domain);
-      observations[position].internals.push_back(
-          measure_page(state, site, set.page_indices[page_pos], 0));
+      PageFetch fetch =
+          fetch_page(state, site, set.page_indices[page_pos], 0);
+      SiteObservation& observation = observations[position];
+      observation.total_retries += fetch.outcome.attempts - 1;
+      observation.outcomes.push_back(fetch.outcome);
+      if (fetch.usable)
+        observation.internals.push_back(std::move(fetch.metrics));
     }
   }
 
@@ -245,8 +345,32 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     observation.domain = set.domain;
     observation.bootstrap_rank = set.bootstrap_rank;
     observation.category = require_site(set.domain).profile().category;
-    observation.landing = median_metrics(std::move(landing_loads[i]));
+    if (landing_loads[i].empty()) {
+      // Every landing load failed: quarantine the site (the paper drops
+      // sites that never complete); the default-constructed landing
+      // metrics are never fed to analyses.
+      observation.quarantined = true;
+    } else {
+      observation.landing = median_metrics(std::move(landing_loads[i]));
+    }
   }
+}
+
+std::uint64_t MeasurementCampaign::checkpoint_digest(
+    const HisparList& list) const {
+  std::ostringstream os;
+  os.precision(17);
+  const auto& lo = config_.load_options;
+  os << "v1|" << config_.seed << '|' << config_.shards << '|'
+     << config_.landing_loads << '|' << config_.inter_fetch_gap_s << '|'
+     << static_cast<int>(config_.vantage) << '|' << config_.wait_sample_cap
+     << '|' << lo.use_resource_hints << lo.model_cdn_warmth
+     << lo.reuse_connections << '|'
+     << (lo.transport_override ? static_cast<int>(*lo.transport_override) : -1)
+     << '|' << config_.fault_profile.str() << '|' << config_.max_page_retries
+     << '|' << config_.retry_backoff_s << '|' << config_.page_timeout_s
+     << '|' << util::fnv1a(to_csv(list));
+  return util::fnv1a(os.str());
 }
 
 std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
@@ -254,13 +378,60 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
   const auto shards = shard_indices(list, shard_count);
   std::vector<SiteObservation> observations(list.sets.size());
 
+  // Checkpointing: a shard is the unit of isolated simulation state, so
+  // it is also the unit of resume — a shard either completed (its
+  // observations are on disk and are spliced back in) or re-runs from
+  // scratch, which makes a resumed campaign bit-identical to an
+  // uninterrupted one.
+  std::vector<char> shard_done(shard_count, 0);
+  std::ofstream checkpoint_out;
+  std::mutex checkpoint_mutex;
+  if (!config_.checkpoint_path.empty()) {
+    const std::uint64_t digest = checkpoint_digest(list);
+    std::ifstream existing(config_.checkpoint_path);
+    if (existing) {
+      const CampaignCheckpoint checkpoint = read_checkpoint(existing);
+      if (checkpoint.config_digest != digest)
+        throw std::runtime_error(
+            "campaign: checkpoint was written by a different campaign "
+            "(seed/shards/profile/list changed)");
+      for (std::size_t shard : checkpoint.completed_shards)
+        if (shard < shard_count) shard_done[shard] = 1;
+      for (const auto& [position, observation] : checkpoint.observations)
+        if (position < observations.size())
+          observations[position] = observation;
+      existing.close();
+    }
+    // (Re)write the file from the parsed state: a resume drops the torn
+    // tail a kill may have left, so the file stays cleanly resumable no
+    // matter how many times the campaign is interrupted.
+    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
+    if (!checkpoint_out)
+      throw std::runtime_error("campaign: cannot open checkpoint " +
+                               config_.checkpoint_path);
+    write_checkpoint_header(checkpoint_out, digest);
+    for (std::size_t shard = 0; shard < shard_count; ++shard)
+      if (shard_done[shard])
+        append_checkpoint_shard(checkpoint_out, shard, shards[shard],
+                                observations);
+    checkpoint_out.flush();
+  }
+
   // Each worker builds its shard's state on its own thread and writes
   // only to that shard's list positions, so no synchronization is needed
-  // beyond the joins in for_each_shard.
+  // beyond the joins in for_each_shard (and the checkpoint file mutex).
   for_each_shard(shard_count, config_.jobs, [&](std::size_t shard) {
-    if (shards[shard].empty()) return;
-    ShardState state(*web_, config_, shard);
-    run_shard(state, list, shards[shard], observations);
+    if (shard_done[shard]) return;
+    if (!shards[shard].empty()) {
+      ShardState state(*web_, config_, shard);
+      run_shard(state, list, shards[shard], observations);
+    }
+    if (checkpoint_out.is_open()) {
+      const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      append_checkpoint_shard(checkpoint_out, shard, shards[shard],
+                              observations);
+      checkpoint_out.flush();
+    }
   });
   return observations;
 }
@@ -274,13 +445,25 @@ SiteObservation MeasurementCampaign::measure_site(
 
   std::vector<PageMetrics> loads;
   loads.reserve(static_cast<std::size_t>(config_.landing_loads));
-  for (int round = 0; round < config_.landing_loads; ++round)
-    loads.push_back(measure_page(local_, site, 0, round));
-  observation.landing = median_metrics(std::move(loads));
+  for (int round = 0; round < config_.landing_loads; ++round) {
+    PageFetch fetch = fetch_page(local_, site, 0, round);
+    observation.total_retries += fetch.outcome.attempts - 1;
+    observation.outcomes.push_back(fetch.outcome);
+    if (fetch.usable) loads.push_back(std::move(fetch.metrics));
+  }
+  if (loads.empty())
+    observation.quarantined = true;
+  else
+    observation.landing = median_metrics(std::move(loads));
 
   observation.internals.reserve(internal_pages.size());
-  for (std::size_t page : internal_pages)
-    observation.internals.push_back(measure_page(local_, site, page, 0));
+  for (std::size_t page : internal_pages) {
+    PageFetch fetch = fetch_page(local_, site, page, 0);
+    observation.total_retries += fetch.outcome.attempts - 1;
+    observation.outcomes.push_back(fetch.outcome);
+    if (fetch.usable)
+      observation.internals.push_back(std::move(fetch.metrics));
+  }
   return observation;
 }
 

@@ -25,6 +25,7 @@
 #include "browser/loader.h"
 #include "cdn/detection.h"
 #include "core/hispar.h"
+#include "net/faults.h"
 #include "web/generator.h"
 
 namespace hispar::core {
@@ -57,6 +58,21 @@ struct PageMetrics {
   std::vector<double> wait_samples_ms;   // per-object wait phase (capped)
 };
 
+// One attempted page fetch (landing round or internal page) and how it
+// ended. The paper's crawl logged exactly this — which loads failed and
+// were discarded — so campaigns record it alongside the metrics
+// ("Web Execution Bundles": reproducibility needs the failures too).
+struct FetchOutcome {
+  std::size_t page_index = 0;
+  int load_ordinal = 0;   // landing round; 0 for internal pages
+  int attempts = 1;       // campaign-level attempts consumed (1 = no retry)
+  browser::LoadStatus status = browser::LoadStatus::kOk;  // final attempt
+  net::FaultKind failure = net::FaultKind::kNone;  // root cause when failed
+  int failed_objects = 0;  // in the load that was kept
+
+  bool operator==(const FetchOutcome&) const = default;
+};
+
 struct SiteObservation {
   std::string domain;
   std::size_t bootstrap_rank = 0;
@@ -64,12 +80,38 @@ struct SiteObservation {
   PageMetrics landing;                  // per-metric median of the loads
   std::vector<PageMetrics> internals;   // one per internal page
 
+  // Failure accounting (empty/false on a reliable substrate).
+  std::vector<FetchOutcome> outcomes;   // one per attempted page fetch
+  int total_retries = 0;                // campaign-level re-fetches
+  // No landing load ever succeeded: the site is dropped from analyses
+  // and reported, mirroring the paper discarding such sites.
+  bool quarantined = false;
+
+  // Fraction of page fetches that produced a usable (non-failed) load.
+  double success_rate() const;
+  // Some load failed or came back partial: analyses flag the site
+  // instead of letting its thinner data skew medians silently.
+  bool degraded() const;
+
   // Median of an internal-page metric.
   double internal_median(
       const std::function<double(const PageMetrics&)>& fn) const;
   // Union of third parties across internal pages.
   std::set<std::string> internal_third_parties() const;
 };
+
+// Aggregate failure accounting for a campaign (`hispar measure` prints
+// this as its summary line).
+struct CampaignSummary {
+  std::size_t sites_ok = 0;
+  std::size_t sites_degraded = 0;
+  std::size_t sites_quarantined = 0;
+  std::uint64_t total_retries = 0;
+  std::uint64_t failed_fetches = 0;    // page fetches with no usable load
+  std::uint64_t degraded_fetches = 0;  // usable but partial loads
+};
+
+CampaignSummary summarize_campaign(const std::vector<SiteObservation>& sites);
 
 struct CampaignConfig {
   int landing_loads = 10;
@@ -87,6 +129,24 @@ struct CampaignConfig {
   // shard id. Changing `shards` changes cache-warmth coupling between
   // sites (and therefore metrics); changing `jobs` never does.
   std::size_t shards = 8;
+  // Fault injection over the substrate (default: all rates zero, which
+  // is a true no-op — outputs are bit-identical to a campaign without
+  // fault support). Fault decisions are keyed by (seed, shard, domain,
+  // page, ordinal, attempt), so the determinism guarantee above holds
+  // under faults too.
+  net::FaultProfile fault_profile;
+  // Failed page loads are re-fetched up to this many times, with an
+  // exponential backoff gap on the shard clock between attempts.
+  int max_page_retries = 2;
+  double retry_backoff_s = 15.0;  // base gap; doubles per retry
+  // Page-level watchdog handed to the loader when faults are enabled.
+  double page_timeout_s = 60.0;
+  // When non-empty, run() appends each completed shard's observations
+  // to this file and, if the file already exists, resumes from it:
+  // completed shards are spliced in and only the rest re-run. Because a
+  // shard is the unit of isolated state, a resumed campaign's output is
+  // bit-identical to an uninterrupted run.
+  std::string checkpoint_path;
 };
 
 class MeasurementCampaign {
@@ -112,6 +172,12 @@ class MeasurementCampaign {
   // a site if any load shows mixed content). Exposed for tests.
   static PageMetrics median_metrics(std::vector<PageMetrics> loads);
 
+  // Fingerprint of everything that determines run() output for a given
+  // list (seed, shards, loads, fault profile, retries, ablations, and
+  // the list itself — but never `jobs`). Guards checkpoint resume
+  // against a mismatched campaign.
+  std::uint64_t checkpoint_digest(const HisparList& list) const;
+
  private:
   // Everything one worker mutates while measuring its shard: the full
   // network/CDN simulation substrate, a virtual clock, and an RNG forked
@@ -131,8 +197,18 @@ class MeasurementCampaign {
     double clock_s = 0.0;
   };
 
-  PageMetrics measure_page(ShardState& state, const web::WebSite& site,
-                           std::size_t page_index, int load_ordinal);
+  // One campaign-level page fetch: up to 1 + max_page_retries load
+  // attempts with backoff gaps on the shard clock.
+  struct PageFetch {
+    PageMetrics metrics;
+    FetchOutcome outcome;
+    bool usable = false;  // metrics are meaningful (load did not fail)
+  };
+
+  PageFetch fetch_page(ShardState& state, const web::WebSite& site,
+                       std::size_t page_index, int load_ordinal);
+  PageMetrics extract_metrics(const web::WebPage& page,
+                              const browser::LoadResult& result) const;
   // Serial §3.1 fetch protocol over the sites of one shard (positions
   // into list.sets); writes each result to observations[position].
   void run_shard(ShardState& state, const HisparList& list,

@@ -1,8 +1,10 @@
 #include "core/serialization.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/strings.h"
 #include "util/url.h"
@@ -49,7 +51,7 @@ HisparList read_csv(std::istream& in, std::string name) {
     const std::string& domain = fields[0];
     char* end = nullptr;
     const unsigned long rank = std::strtoul(fields[1].c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    if (fields[1].empty() || end == nullptr || *end != '\0')
       throw std::runtime_error("hispar csv: bad rank at line " +
                                std::to_string(line_number));
     const bool is_landing = fields[2] == "landing";
@@ -57,7 +59,7 @@ HisparList read_csv(std::istream& in, std::string name) {
       throw std::runtime_error("hispar csv: bad kind at line " +
                                std::to_string(line_number));
     const unsigned long page_index = std::strtoul(fields[3].c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    if (fields[3].empty() || end == nullptr || *end != '\0')
       throw std::runtime_error("hispar csv: bad page index at line " +
                                std::to_string(line_number));
     if (!util::parse_url(fields[4]).has_value())
@@ -128,6 +130,236 @@ HisparList load_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("hispar csv: cannot open " + path);
   return read_csv(in, path);
+}
+
+// --- Campaign checkpoints ---
+
+namespace {
+
+[[noreturn]] void checkpoint_fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what);
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end == nullptr || *end != '\0')
+    checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+int parse_int(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || end == nullptr || *end != '\0')
+    checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end == nullptr || *end != '\0')
+    checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
+  return v;
+}
+
+void write_metrics(std::ostream& out, const PageMetrics& m) {
+  out << "metrics," << m.bytes << ',' << m.objects << ',' << m.plt_ms << ','
+      << m.on_load_ms << ',' << m.speed_index_ms << ','
+      << m.noncacheable_objects << ',' << m.cacheable_bytes_fraction << ','
+      << m.cdn_bytes_fraction << ',' << m.x_cache_hits << ','
+      << m.x_cache_misses;
+  for (double fraction : m.mix_fractions) out << ',' << fraction;
+  for (double count : m.depth_counts) out << ',' << count;
+  out << ',' << m.unique_domains << ',' << m.hints_total << ','
+      << m.handshakes << ',' << m.handshake_time_ms << ',' << m.dns_lookups
+      << ',' << m.dns_time_ms << ',' << (m.is_http ? 1 : 0) << ','
+      << (m.mixed_content ? 1 : 0) << ',' << m.tracking_requests << ','
+      << (m.header_bidding ? 1 : 0) << ',' << m.hb_ad_slots;
+  out << ",tp:";
+  bool first = true;
+  for (const auto& domain : m.third_parties) {
+    if (!first) out << ';';
+    first = false;
+    out << domain;
+  }
+  out << ",wait:";
+  first = true;
+  for (double sample : m.wait_samples_ms) {
+    if (!first) out << ';';
+    first = false;
+    out << sample;
+  }
+  out << '\n';
+}
+
+// Field layout of a metrics line; keep in sync with write_metrics.
+constexpr std::size_t kMetricsFields = 39;
+
+bool parse_flag(const std::string& s, const char* what) {
+  if (s == "0") return false;
+  if (s == "1") return true;
+  checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
+}
+
+PageMetrics parse_metrics(const std::string& line) {
+  const auto f = util::split(line, ',');
+  if (f.size() != kMetricsFields || f[0] != "metrics")
+    checkpoint_fail("bad metrics record '" + line + "'");
+  PageMetrics m;
+  std::size_t i = 1;
+  const auto next = [&](const char* what) { return parse_double(f[i++], what); };
+  m.bytes = next("bytes");
+  m.objects = next("objects");
+  m.plt_ms = next("plt");
+  m.on_load_ms = next("on_load");
+  m.speed_index_ms = next("speed_index");
+  m.noncacheable_objects = next("noncacheable");
+  m.cacheable_bytes_fraction = next("cacheable_fraction");
+  m.cdn_bytes_fraction = next("cdn_fraction");
+  m.x_cache_hits = next("x_cache_hits");
+  m.x_cache_misses = next("x_cache_misses");
+  for (auto& fraction : m.mix_fractions) fraction = next("mix_fraction");
+  for (auto& count : m.depth_counts) count = next("depth_count");
+  m.unique_domains = next("unique_domains");
+  m.hints_total = next("hints_total");
+  m.handshakes = next("handshakes");
+  m.handshake_time_ms = next("handshake_time");
+  m.dns_lookups = next("dns_lookups");
+  m.dns_time_ms = next("dns_time");
+  m.is_http = parse_flag(f[i++], "is_http");
+  m.mixed_content = parse_flag(f[i++], "mixed_content");
+  m.tracking_requests = next("tracking_requests");
+  m.header_bidding = parse_flag(f[i++], "header_bidding");
+  m.hb_ad_slots = next("hb_ad_slots");
+  if (f[i].rfind("tp:", 0) != 0) checkpoint_fail("bad third-party field");
+  for (const auto& domain : util::split(f[i].substr(3), ';'))
+    if (!domain.empty()) m.third_parties.insert(domain);
+  ++i;
+  if (f[i].rfind("wait:", 0) != 0) checkpoint_fail("bad wait-sample field");
+  for (const auto& sample : util::split(f[i].substr(5), ';'))
+    if (!sample.empty())
+      m.wait_samples_ms.push_back(parse_double(sample, "wait sample"));
+  return m;
+}
+
+}  // namespace
+
+void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest) {
+  out << "hispar-checkpoint,v1," << config_digest << '\n';
+}
+
+void append_checkpoint_shard(std::ostream& out, std::size_t shard,
+                             const std::vector<std::size_t>& positions,
+                             const std::vector<SiteObservation>& observations) {
+  const auto precision = out.precision(17);
+  out << "shard," << shard << ',' << positions.size() << '\n';
+  for (std::size_t position : positions) {
+    const SiteObservation& o = observations[position];
+    const bool has_landing = !o.quarantined;
+    out << "site," << position << ',' << o.domain << ',' << o.bootstrap_rank
+        << ',' << static_cast<unsigned>(o.category) << ','
+        << (o.quarantined ? 1 : 0) << ',' << o.total_retries << ','
+        << o.internals.size() << ',' << o.outcomes.size() << ','
+        << (has_landing ? 1 : 0) << '\n';
+    if (has_landing) write_metrics(out, o.landing);
+    for (const auto& m : o.internals) write_metrics(out, m);
+    for (const auto& outcome : o.outcomes)
+      out << "outcome," << outcome.page_index << ',' << outcome.load_ordinal
+          << ',' << outcome.attempts << ','
+          << static_cast<unsigned>(outcome.status) << ','
+          << static_cast<unsigned>(outcome.failure) << ','
+          << outcome.failed_objects << '\n';
+  }
+  out << "endshard," << shard << '\n';
+  out.precision(precision);
+}
+
+CampaignCheckpoint read_checkpoint(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) checkpoint_fail("missing header");
+  const auto header = util::split(lines[0], ',');
+  if (header.size() != 3 || header[0] != "hispar-checkpoint" ||
+      header[1] != "v1")
+    checkpoint_fail("bad header '" + lines[0] + "'");
+
+  CampaignCheckpoint checkpoint;
+  checkpoint.config_digest = parse_u64(header[2], "config digest");
+
+  // Everything after the last endshard terminator is a block torn by a
+  // killed campaign: drop it. What remains must parse cleanly.
+  std::size_t end = 1;
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    if (lines[i].rfind("endshard,", 0) == 0) end = i + 1;
+
+  const auto need = [&](std::size_t i) -> const std::string& {
+    if (i >= end) checkpoint_fail("truncated shard record");
+    return lines[i];
+  };
+
+  std::size_t i = 1;
+  while (i < end) {
+    const auto shard_fields = util::split(need(i++), ',');
+    if (shard_fields.size() != 3 || shard_fields[0] != "shard")
+      checkpoint_fail("expected shard record, got '" + lines[i - 1] + "'");
+    const std::size_t shard_id = parse_u64(shard_fields[1], "shard id");
+    const std::size_t n_sites = parse_u64(shard_fields[2], "site count");
+
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const auto site = util::split(need(i++), ',');
+      if (site.size() != 10 || site[0] != "site")
+        checkpoint_fail("expected site record, got '" + lines[i - 1] + "'");
+      const std::size_t position = parse_u64(site[1], "site position");
+      SiteObservation o;
+      o.domain = site[2];
+      o.bootstrap_rank = parse_u64(site[3], "rank");
+      const std::uint64_t category = parse_u64(site[4], "category");
+      if (category >= web::kSiteCategoryCount)
+        checkpoint_fail("bad category '" + site[4] + "'");
+      o.category = static_cast<web::SiteCategory>(category);
+      o.quarantined = parse_flag(site[5], "quarantined");
+      o.total_retries = parse_int(site[6], "total retries");
+      const std::size_t n_internals = parse_u64(site[7], "internal count");
+      const std::size_t n_outcomes = parse_u64(site[8], "outcome count");
+      const bool has_landing = parse_flag(site[9], "landing flag");
+      if (has_landing) o.landing = parse_metrics(need(i++));
+      o.internals.reserve(n_internals);
+      for (std::size_t k = 0; k < n_internals; ++k)
+        o.internals.push_back(parse_metrics(need(i++)));
+      o.outcomes.reserve(n_outcomes);
+      for (std::size_t k = 0; k < n_outcomes; ++k) {
+        const auto f = util::split(need(i++), ',');
+        if (f.size() != 7 || f[0] != "outcome")
+          checkpoint_fail("bad outcome record '" + lines[i - 1] + "'");
+        FetchOutcome outcome;
+        outcome.page_index = parse_u64(f[1], "page index");
+        outcome.load_ordinal = parse_int(f[2], "load ordinal");
+        outcome.attempts = parse_int(f[3], "attempts");
+        const int status = parse_int(f[4], "status");
+        if (status < 0 || status > 2)
+          checkpoint_fail("bad status '" + f[4] + "'");
+        outcome.status = static_cast<browser::LoadStatus>(status);
+        const int failure = parse_int(f[5], "failure kind");
+        if (failure < 0 ||
+            failure >= static_cast<int>(net::kFaultKindCount))
+          checkpoint_fail("bad failure kind '" + f[5] + "'");
+        outcome.failure = static_cast<net::FaultKind>(failure);
+        outcome.failed_objects = parse_int(f[6], "failed objects");
+        o.outcomes.push_back(outcome);
+      }
+      checkpoint.observations.emplace_back(position, std::move(o));
+    }
+
+    const auto end_fields = util::split(need(i++), ',');
+    if (end_fields.size() != 2 || end_fields[0] != "endshard" ||
+        parse_u64(end_fields[1], "endshard id") != shard_id)
+      checkpoint_fail("unterminated shard " + std::to_string(shard_id));
+    checkpoint.completed_shards.push_back(shard_id);
+  }
+  return checkpoint;
 }
 
 }  // namespace hispar::core

@@ -8,10 +8,14 @@
 // Round-tripping is exact (tests/test_serialization.cpp).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/hispar.h"
+#include "core/measurement.h"
 
 namespace hispar::core {
 
@@ -29,5 +33,36 @@ std::string to_json(const HisparList& list);
 // Convenience file helpers.
 void save_csv(const HisparList& list, const std::string& path);
 HisparList load_csv(const std::string& path);
+
+// --- Campaign checkpoints ---
+//
+// Append-only, line-oriented resume file for MeasurementCampaign::run().
+// Layout:
+//   hispar-checkpoint,v1,<config digest>
+//   shard,<id>,<n sites>
+//     site,<position>,<domain>,<rank>,<category>,<quarantined>,
+//          <total retries>,<n internals>,<n outcomes>,<has landing>
+//     metrics,...            (landing if present, then the internals)
+//     outcome,...            (one per attempted page fetch)
+//   endshard,<id>
+// Doubles are written at precision 17 so every value round-trips exactly
+// — a resumed campaign must be bit-identical to an uninterrupted one. A
+// shard block is appended atomically under a lock and flushed, so a
+// killed campaign can tear at most the trailing block; read_checkpoint
+// silently discards an unterminated tail but throws std::runtime_error
+// on malformed complete records.
+struct CampaignCheckpoint {
+  std::uint64_t config_digest = 0;
+  std::vector<std::size_t> completed_shards;
+  // (position in list.sets, observation) for every site of every
+  // completed shard.
+  std::vector<std::pair<std::size_t, SiteObservation>> observations;
+};
+
+void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest);
+void append_checkpoint_shard(std::ostream& out, std::size_t shard,
+                             const std::vector<std::size_t>& positions,
+                             const std::vector<SiteObservation>& observations);
+CampaignCheckpoint read_checkpoint(std::istream& in);
 
 }  // namespace hispar::core

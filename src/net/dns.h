@@ -88,9 +88,14 @@ class CachingResolver {
     bool operator==(const CacheKey&) const = default;
   };
   struct CacheKeyHash {
+    // FNV-1a over the domain, then the shard folded in with an FNV
+    // multiply: `hash*31 + shard` clustered (domain, shard) keys into
+    // adjacent buckets on large campaigns.
     std::size_t operator()(const CacheKey& k) const {
-      return std::hash<std::string>()(k.domain) * 31 +
-             static_cast<std::size_t>(k.shard);
+      std::uint64_t h = util::fnv1a(k.domain);
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned>(k.shard));
+      h *= 0x100000001b3ULL;
+      return static_cast<std::size_t>(h);
     }
   };
 

@@ -1,0 +1,147 @@
+#include "net/faults.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace hispar::net {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDnsServfail: return "dns-servfail";
+    case FaultKind::kDnsTimeout: return "dns-timeout";
+    case FaultKind::kConnectionReset: return "connection-reset";
+    case FaultKind::kTlsFailure: return "tls-failure";
+    case FaultKind::kHttp5xx: return "http-5xx";
+    case FaultKind::kStalledTransfer: return "stalled-transfer";
+    case FaultKind::kTruncatedTransfer: return "truncated-transfer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Field = double FaultProfile::*;
+constexpr std::array<std::pair<std::string_view, Field>, 7> kFields{{
+    {"dns_servfail", &FaultProfile::dns_servfail},
+    {"dns_timeout", &FaultProfile::dns_timeout},
+    {"connection_reset", &FaultProfile::connection_reset},
+    {"tls_failure", &FaultProfile::tls_failure},
+    {"http_5xx", &FaultProfile::http_5xx},
+    {"stall", &FaultProfile::stall},
+    {"truncation", &FaultProfile::truncation},
+}};
+
+double parse_rate(const std::string& text, const std::string& where) {
+  char* end = nullptr;
+  const double rate = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || rate < 0.0 ||
+      rate > 1.0)
+    throw std::invalid_argument("fault profile: bad rate '" + text + "' in " +
+                                where);
+  return rate;
+}
+
+}  // namespace
+
+bool FaultProfile::enabled() const { return total_rate() > 0.0; }
+
+double FaultProfile::total_rate() const {
+  double total = 0.0;
+  for (const auto& [name, field] : kFields) total += this->*field;
+  return total;
+}
+
+FaultProfile FaultProfile::uniform(double rate) {
+  if (rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("fault profile: uniform rate out of [0,1]");
+  FaultProfile profile;
+  for (const auto& [name, field] : kFields) profile.*field = rate;
+  return profile;
+}
+
+FaultProfile FaultProfile::parse(const std::string& spec) {
+  if (spec == "none") return FaultProfile{};
+  if (spec.empty())
+    throw std::invalid_argument(
+        "fault profile: empty spec (use \"none\" for no faults)");
+  if (spec.rfind("uniform:", 0) == 0)
+    return uniform(parse_rate(spec.substr(8), spec));
+  FaultProfile profile;
+  for (const std::string& part : util::split(spec, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault profile: expected key=rate, got '" +
+                                  part + "'");
+    const std::string key = part.substr(0, eq);
+    bool known = false;
+    for (const auto& [name, field] : kFields) {
+      if (key == name) {
+        profile.*field = parse_rate(part.substr(eq + 1), spec);
+        known = true;
+        break;
+      }
+    }
+    if (!known)
+      throw std::invalid_argument("fault profile: unknown fault class '" +
+                                  key + "'");
+  }
+  return profile;
+}
+
+std::string FaultProfile::str() const {
+  std::ostringstream os;
+  os.precision(17);
+  bool first = true;
+  for (const auto& [name, field] : kFields) {
+    if (this->*field == 0.0) continue;
+    if (!first) os << ',';
+    os << name << '=' << this->*field;
+    first = false;
+  }
+  return first ? "none" : os.str();
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile, util::Rng stream)
+    : profile_(profile), stream_(stream) {}
+
+FaultKind FaultInjector::dns_fault() {
+  // One draw per stage keeps the decision sequence aligned with fetch
+  // order regardless of which classes are enabled.
+  const double roll = stream_.uniform();
+  if (roll < profile_.dns_servfail) return FaultKind::kDnsServfail;
+  if (roll < profile_.dns_servfail + profile_.dns_timeout)
+    return FaultKind::kDnsTimeout;
+  return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::connect_fault(bool tls) {
+  const double roll = stream_.uniform();
+  if (roll < profile_.connection_reset) return FaultKind::kConnectionReset;
+  if (tls && roll < profile_.connection_reset + profile_.tls_failure)
+    return FaultKind::kTlsFailure;
+  return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::response_fault() {
+  return stream_.uniform() < profile_.http_5xx ? FaultKind::kHttp5xx
+                                               : FaultKind::kNone;
+}
+
+FaultKind FaultInjector::transfer_fault() {
+  const double roll = stream_.uniform();
+  if (roll < profile_.stall) return FaultKind::kStalledTransfer;
+  if (roll < profile_.stall + profile_.truncation)
+    return FaultKind::kTruncatedTransfer;
+  return FaultKind::kNone;
+}
+
+double FaultInjector::truncated_fraction() {
+  return stream_.uniform(0.05, 0.95);
+}
+
+}  // namespace hispar::net

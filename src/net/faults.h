@@ -1,0 +1,92 @@
+// Deterministic fault injection for the simulation substrate.
+//
+// The paper's crawl (§3.1) ran against the real web, where DNS failures,
+// connection resets, origin 5xxs and stalled transfers are routine; the
+// authors discarded failed loads and dropped sites that never completed.
+// This module models that unreliable substrate: a FaultProfile gives the
+// per-fetch probability of each failure class, and a FaultInjector turns
+// the profile into concrete per-stage decisions for one page-load
+// attempt.
+//
+// Determinism contract: every decision is drawn from an RNG stream the
+// campaign keys by (seed, shard, domain, page_index, ordinal, attempt) —
+// never from the load's own RNG and never from thread scheduling — so
+//  * an all-zero profile leaves every simulated quantity bit-identical
+//    to a run without fault injection, and
+//  * under a nonzero profile, results are bit-identical for any --jobs
+//    value (the PR-1 guarantee holds under faults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace hispar::net {
+
+// Failure taxonomy, ordered by the fetch stage it strikes.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDnsServfail,        // resolver answers SERVFAIL quickly
+  kDnsTimeout,         // resolver query times out (~5 s)
+  kConnectionReset,    // TCP SYN answered with RST
+  kTlsFailure,         // TCP connects, TLS handshake fails
+  kHttp5xx,            // request completes, origin/CDN returns 5xx
+  kStalledTransfer,    // response body stalls until the browser gives up
+  kTruncatedTransfer,  // connection dies mid-body; partial bytes arrive
+};
+inline constexpr int kFaultKindCount = 8;
+
+std::string_view to_string(FaultKind kind);
+
+// Per-fetch fault probabilities. The default (all zero) models the
+// perfectly reliable substrate the pre-fault simulator assumed.
+struct FaultProfile {
+  double dns_servfail = 0.0;
+  double dns_timeout = 0.0;
+  double connection_reset = 0.0;
+  double tls_failure = 0.0;
+  double http_5xx = 0.0;
+  double stall = 0.0;
+  double truncation = 0.0;
+
+  bool enabled() const;
+  double total_rate() const;
+
+  // Every class at the same rate (the bench sweeps this).
+  static FaultProfile uniform(double rate);
+  // "none" | "uniform:R" | "dns_servfail=R,http_5xx=R,..." with keys
+  // matching the field names. Throws std::invalid_argument on unknown
+  // keys or unparsable/out-of-range rates.
+  static FaultProfile parse(const std::string& spec);
+  // Canonical spec string; parse(str()) round-trips. Used in checkpoint
+  // fingerprints.
+  std::string str() const;
+};
+
+// Fault oracle for one page-load attempt. The loader asks it, in fetch
+// order, whether each stage of each object fetch fails; answers consume
+// randomness only from the injector's own keyed stream.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, util::Rng stream);
+
+  const FaultProfile& profile() const { return profile_; }
+
+  // Stage decisions for the next object fetch attempt.
+  FaultKind dns_fault();               // servfail/timeout/none
+  FaultKind connect_fault(bool tls);   // reset/tls-failure/none
+  FaultKind response_fault();          // 5xx/none
+  FaultKind transfer_fault();          // stall/truncation/none
+
+  // Fraction of the body delivered before a truncated transfer dies,
+  // in [0.05, 0.95).
+  double truncated_fraction();
+
+ private:
+  FaultProfile profile_;
+  util::Rng stream_;
+};
+
+}  // namespace hispar::net

@@ -1,0 +1,288 @@
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+
+#include "browser/loader.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+using browser::LoadOptions;
+using browser::LoadResult;
+using browser::LoadStatus;
+using browser::PageLoader;
+using net::FaultInjector;
+using net::FaultKind;
+using net::FaultProfile;
+
+// --- FaultProfile ---
+
+TEST(FaultProfile, DefaultIsDisabled) {
+  const FaultProfile profile;
+  EXPECT_FALSE(profile.enabled());
+  EXPECT_DOUBLE_EQ(profile.total_rate(), 0.0);
+  EXPECT_EQ(profile.str(), "none");
+}
+
+TEST(FaultProfile, UniformSetsEveryRate) {
+  const FaultProfile profile = FaultProfile::uniform(0.03);
+  EXPECT_TRUE(profile.enabled());
+  EXPECT_DOUBLE_EQ(profile.dns_servfail, 0.03);
+  EXPECT_DOUBLE_EQ(profile.dns_timeout, 0.03);
+  EXPECT_DOUBLE_EQ(profile.connection_reset, 0.03);
+  EXPECT_DOUBLE_EQ(profile.tls_failure, 0.03);
+  EXPECT_DOUBLE_EQ(profile.http_5xx, 0.03);
+  EXPECT_DOUBLE_EQ(profile.stall, 0.03);
+  EXPECT_DOUBLE_EQ(profile.truncation, 0.03);
+  EXPECT_DOUBLE_EQ(profile.total_rate(), 7 * 0.03);
+}
+
+TEST(FaultProfile, ParseForms) {
+  EXPECT_FALSE(FaultProfile::parse("none").enabled());
+  EXPECT_DOUBLE_EQ(FaultProfile::parse("uniform:0.05").stall, 0.05);
+  const FaultProfile profile =
+      FaultProfile::parse("dns_servfail=0.1,http_5xx=0.02");
+  EXPECT_DOUBLE_EQ(profile.dns_servfail, 0.1);
+  EXPECT_DOUBLE_EQ(profile.http_5xx, 0.02);
+  EXPECT_DOUBLE_EQ(profile.connection_reset, 0.0);
+}
+
+TEST(FaultProfile, StrRoundTrips) {
+  const FaultProfile profile =
+      FaultProfile::parse("dns_timeout=0.015,truncation=0.3");
+  const FaultProfile reparsed = FaultProfile::parse(profile.str());
+  EXPECT_DOUBLE_EQ(reparsed.dns_timeout, profile.dns_timeout);
+  EXPECT_DOUBLE_EQ(reparsed.truncation, profile.truncation);
+  EXPECT_EQ(reparsed.str(), profile.str());
+  EXPECT_EQ(FaultProfile::uniform(0.0).str(), "none");
+}
+
+TEST(FaultProfile, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultProfile::parse("bogus_key=0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultProfile::parse("dns_servfail=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultProfile::parse("dns_servfail=-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultProfile::parse("dns_servfail=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultProfile::parse("uniform:2"), std::invalid_argument);
+  EXPECT_THROW(FaultProfile::parse(""), std::invalid_argument);
+}
+
+// --- FaultInjector ---
+
+TEST(FaultInjector, ZeroProfileNeverFaults) {
+  FaultInjector injector(FaultProfile{}, util::Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(injector.dns_fault(), FaultKind::kNone);
+    EXPECT_EQ(injector.connect_fault(i % 2 == 0), FaultKind::kNone);
+    EXPECT_EQ(injector.response_fault(), FaultKind::kNone);
+    EXPECT_EQ(injector.transfer_fault(), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjector, SameStreamSameDecisions) {
+  const FaultProfile profile = FaultProfile::uniform(0.2);
+  FaultInjector a(profile, util::Rng(99).fork("faults"));
+  FaultInjector b(profile, util::Rng(99).fork("faults"));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.dns_fault(), b.dns_fault());
+    EXPECT_EQ(a.connect_fault(true), b.connect_fault(true));
+    EXPECT_EQ(a.response_fault(), b.response_fault());
+    EXPECT_EQ(a.transfer_fault(), b.transfer_fault());
+  }
+}
+
+TEST(FaultInjector, EmpiricalRatesMatchProfile) {
+  FaultProfile profile;
+  profile.dns_servfail = 0.25;
+  profile.http_5xx = 0.1;
+  FaultInjector injector(profile, util::Rng(5));
+  int servfails = 0, fivexx = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    servfails += injector.dns_fault() == FaultKind::kDnsServfail;
+    fivexx += injector.response_fault() == FaultKind::kHttp5xx;
+  }
+  EXPECT_NEAR(servfails / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_NEAR(fivexx / static_cast<double>(trials), 0.1, 0.02);
+}
+
+TEST(FaultInjector, TruncatedFractionInRange) {
+  FaultInjector injector(FaultProfile::uniform(0.5), util::Rng(11));
+  for (int i = 0; i < 1000; ++i) {
+    const double fraction = injector.truncated_fraction();
+    EXPECT_GE(fraction, 0.05);
+    EXPECT_LT(fraction, 0.95);
+  }
+}
+
+// --- Loader under faults ---
+
+class FaultLoaderTest : public ::testing::Test {
+ protected:
+  FaultLoaderTest()
+      : web_({120, 11, 200, false}),
+        latency_(),
+        cdn_(web_.cdn_registry(), latency_),
+        resolver_({"local", 1, 6.0, net::Region::kNorthAmerica, 1.0},
+                  latency_),
+        loader_({&latency_, &web_.cdn_registry(), &cdn_, &resolver_,
+                 net::Region::kNorthAmerica}) {}
+
+  // Fresh substrate per load so comparisons are state-for-state.
+  LoadResult load_fresh(const web::WebPage& page, std::uint64_t seed,
+                        const FaultProfile* profile = nullptr,
+                        LoadOptions options = {}) {
+    cdn::CdnHierarchy cdn(web_.cdn_registry(), latency_);
+    net::CachingResolver resolver(
+        {"local", 1, 6.0, net::Region::kNorthAmerica, 1.0}, latency_);
+    PageLoader loader({&latency_, &web_.cdn_registry(), &cdn, &resolver,
+                       net::Region::kNorthAmerica});
+    std::optional<FaultInjector> injector;
+    if (profile != nullptr) {
+      injector.emplace(*profile, util::Rng(seed).fork("faults"));
+      options.faults = &*injector;
+    }
+    return loader.load(page, util::Rng(seed), options);
+  }
+
+  web::SyntheticWeb web_;
+  net::LatencyModel latency_;
+  cdn::CdnHierarchy cdn_;
+  net::CachingResolver resolver_;
+  PageLoader loader_;
+};
+
+TEST_F(FaultLoaderTest, ZeroProfileInjectorIsANoOp) {
+  // Wiring an injector whose rates are all zero must not perturb a
+  // single simulated quantity: the fault machinery may only consume
+  // randomness from its own stream.
+  const auto page = web_.site_by_rank(5).page(1);
+  const FaultProfile zero;
+  const auto plain = load_fresh(page, 42);
+  const auto injected = load_fresh(page, 42, &zero);
+  EXPECT_EQ(injected.status, LoadStatus::kOk);
+  EXPECT_EQ(injected.failed_objects, 0);
+  EXPECT_EQ(injected.object_retries, 0);
+  EXPECT_DOUBLE_EQ(plain.plt_ms, injected.plt_ms);
+  EXPECT_DOUBLE_EQ(plain.on_load_ms, injected.on_load_ms);
+  EXPECT_DOUBLE_EQ(plain.speed_index_ms, injected.speed_index_ms);
+  EXPECT_EQ(plain.handshakes, injected.handshakes);
+  EXPECT_DOUBLE_EQ(plain.handshake_time_ms, injected.handshake_time_ms);
+  EXPECT_DOUBLE_EQ(plain.dns_time_ms, injected.dns_time_ms);
+  ASSERT_EQ(plain.har.entries.size(), injected.har.entries.size());
+  for (std::size_t i = 0; i < plain.har.entries.size(); ++i) {
+    EXPECT_EQ(plain.har.entries[i].body_size,
+              injected.har.entries[i].body_size);
+    EXPECT_EQ(plain.har.entries[i].timings.wait,
+              injected.har.entries[i].timings.wait);
+    EXPECT_TRUE(injected.har.entries[i].error.empty());
+  }
+}
+
+TEST_F(FaultLoaderTest, CertainDnsFailureFailsTheRoot) {
+  FaultProfile profile;
+  profile.dns_servfail = 1.0;
+  const auto page = web_.site_by_rank(3).page(0);
+  const auto result = load_fresh(page, 1, &profile);
+  EXPECT_EQ(result.status, LoadStatus::kFailed);
+  EXPECT_EQ(result.root_failure, FaultKind::kDnsServfail);
+  ASSERT_EQ(result.har.entries.size(), 1u);  // partial HAR: root only
+  EXPECT_EQ(result.har.entries[0].status, 0);
+  EXPECT_EQ(result.har.entries[0].error, to_string(FaultKind::kDnsServfail));
+  EXPECT_EQ(result.har.entries[0].body_size, 0.0);
+  EXPECT_GE(result.failed_objects, 1);
+  // All allowed attempts were burned before giving up.
+  LoadOptions options;
+  EXPECT_EQ(result.object_retries, options.max_object_retries);
+}
+
+TEST_F(FaultLoaderTest, CertainHttp5xxMarksEntry503) {
+  FaultProfile profile;
+  profile.http_5xx = 1.0;
+  const auto page = web_.site_by_rank(3).page(0);
+  const auto result = load_fresh(page, 1, &profile);
+  EXPECT_EQ(result.status, LoadStatus::kFailed);
+  EXPECT_EQ(result.root_failure, FaultKind::kHttp5xx);
+  ASSERT_EQ(result.har.entries.size(), 1u);
+  EXPECT_EQ(result.har.entries[0].status, 503);
+}
+
+TEST_F(FaultLoaderTest, TruncationKeepsPartialBytes) {
+  FaultProfile profile;
+  profile.truncation = 1.0;
+  const auto page = web_.site_by_rank(3).page(0);
+  const auto result = load_fresh(page, 1, &profile);
+  EXPECT_EQ(result.status, LoadStatus::kFailed);
+  EXPECT_EQ(result.root_failure, FaultKind::kTruncatedTransfer);
+  ASSERT_EQ(result.har.entries.size(), 1u);
+  EXPECT_GT(result.har.entries[0].body_size, 0.0);
+  EXPECT_LT(result.har.entries[0].body_size,
+            static_cast<double>(page.objects[0].size_bytes));
+}
+
+TEST_F(FaultLoaderTest, TinyWatchdogDegradesButKeepsRoot) {
+  // A zero-rate injector with a tiny page budget: the root (ready at
+  // t=0) loads, every later object is cut off by the watchdog.
+  const auto page = web_.site_by_rank(5).page(1);
+  ASSERT_GT(page.objects.size(), 1u);
+  const FaultProfile zero;
+  LoadOptions options;
+  options.page_timeout_ms = 1.0;
+  const auto result = load_fresh(page, 1, &zero, options);
+  EXPECT_EQ(result.status, LoadStatus::kDegraded);
+  EXPECT_TRUE(result.watchdog_abort);
+  EXPECT_GE(result.failed_objects, 1);
+  bool saw_abort_entry = false;
+  for (const auto& entry : result.har.entries)
+    saw_abort_entry = saw_abort_entry || entry.error == "page-watchdog-abort";
+  EXPECT_TRUE(saw_abort_entry);
+}
+
+TEST_F(FaultLoaderTest, ModerateFaultsDegradeSomeLoadDeterministically) {
+  const FaultProfile profile = FaultProfile::uniform(0.05);
+  for (std::size_t rank = 1; rank <= 40; ++rank) {
+    const auto page = web_.site_by_rank(rank).page(1);
+    const auto result = load_fresh(page, rank, &profile);
+    if (result.status != LoadStatus::kDegraded) continue;
+    EXPECT_GE(result.failed_objects, 1);
+    int error_entries = 0;
+    for (const auto& entry : result.har.entries)
+      error_entries += !entry.error.empty();
+    EXPECT_EQ(error_entries, result.failed_objects);
+    // Identical key, identical outcome.
+    const auto replay = load_fresh(page, rank, &profile);
+    EXPECT_EQ(replay.status, result.status);
+    EXPECT_EQ(replay.failed_objects, result.failed_objects);
+    EXPECT_EQ(replay.object_retries, result.object_retries);
+    EXPECT_DOUBLE_EQ(replay.plt_ms, result.plt_ms);
+    return;
+  }
+  FAIL() << "no degraded load found across 40 pages at 5% fault rate";
+}
+
+TEST_F(FaultLoaderTest, RetriesRecoverTransientFaults) {
+  // With generous retries and mid-range rates, some load must record
+  // object_retries > 0 while still ending kOk.
+  const FaultProfile profile = FaultProfile::uniform(0.04);
+  LoadOptions options;
+  options.max_object_retries = 6;
+  for (std::size_t rank = 1; rank <= 60; ++rank) {
+    const auto page = web_.site_by_rank(rank).page(0);
+    const auto result = load_fresh(page, rank * 7, &profile, options);
+    if (result.status == LoadStatus::kOk && result.object_retries > 0) {
+      EXPECT_EQ(result.failed_objects, 0);
+      for (const auto& entry : result.har.entries)
+        EXPECT_TRUE(entry.error.empty());
+      return;
+    }
+  }
+  FAIL() << "no retried-yet-clean load found across 60 pages";
+}
+
+}  // namespace

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -232,6 +237,224 @@ TEST_F(MeasurementTest, AblationSwitchesChangeBehavior) {
     handshakes_without += without[i].landing.handshakes;
   }
   EXPECT_GT(handshakes_without, handshakes_with);
+}
+
+// Exhaustive equality over two observation vectors — checkpoint resume
+// promises bit-identical results, so every double compares with ==.
+void expect_observations_identical(const std::vector<SiteObservation>& a,
+                                   const std::vector<SiteObservation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].domain, b[i].domain);
+    EXPECT_EQ(a[i].bootstrap_rank, b[i].bootstrap_rank);
+    EXPECT_EQ(a[i].category, b[i].category);
+    EXPECT_EQ(a[i].quarantined, b[i].quarantined);
+    EXPECT_EQ(a[i].total_retries, b[i].total_retries);
+    EXPECT_EQ(a[i].outcomes, b[i].outcomes);
+    const auto metrics_equal = [](const PageMetrics& x, const PageMetrics& y) {
+      EXPECT_EQ(x.bytes, y.bytes);
+      EXPECT_EQ(x.objects, y.objects);
+      EXPECT_EQ(x.plt_ms, y.plt_ms);
+      EXPECT_EQ(x.on_load_ms, y.on_load_ms);
+      EXPECT_EQ(x.speed_index_ms, y.speed_index_ms);
+      EXPECT_EQ(x.cacheable_bytes_fraction, y.cacheable_bytes_fraction);
+      EXPECT_EQ(x.cdn_bytes_fraction, y.cdn_bytes_fraction);
+      EXPECT_EQ(x.mix_fractions, y.mix_fractions);
+      EXPECT_EQ(x.depth_counts, y.depth_counts);
+      EXPECT_EQ(x.handshake_time_ms, y.handshake_time_ms);
+      EXPECT_EQ(x.dns_time_ms, y.dns_time_ms);
+      EXPECT_EQ(x.is_http, y.is_http);
+      EXPECT_EQ(x.mixed_content, y.mixed_content);
+      EXPECT_EQ(x.tracking_requests, y.tracking_requests);
+      EXPECT_EQ(x.header_bidding, y.header_bidding);
+      EXPECT_EQ(x.hb_ad_slots, y.hb_ad_slots);
+      EXPECT_EQ(x.third_parties, y.third_parties);
+      EXPECT_EQ(x.wait_samples_ms, y.wait_samples_ms);
+    };
+    metrics_equal(a[i].landing, b[i].landing);
+    ASSERT_EQ(a[i].internals.size(), b[i].internals.size());
+    for (std::size_t j = 0; j < a[i].internals.size(); ++j)
+      metrics_equal(a[i].internals[j], b[i].internals[j]);
+  }
+}
+
+class CheckpointTest : public MeasurementTest {
+ protected:
+  // A campaign config with faults on, so checkpoints carry quarantines,
+  // retries and partial observations — the hard cases.
+  CampaignConfig faulty_config() {
+    CampaignConfig config;
+    config.landing_loads = 2;
+    config.shards = 4;
+    config.fault_profile = net::FaultProfile::uniform(0.05);
+    return config;
+  }
+
+  std::string temp_path(const char* name) {
+    return std::string("/tmp/hispar_ckpt_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + name;
+  }
+};
+
+TEST_F(MeasurementTest, CleanSubstrateRecordsCleanOutcomes) {
+  const auto list = build_list(8);
+  CampaignConfig config;
+  config.landing_loads = 3;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  for (const auto& site : sites) {
+    EXPECT_FALSE(site.quarantined);
+    EXPECT_FALSE(site.degraded());
+    EXPECT_DOUBLE_EQ(site.success_rate(), 1.0);
+    EXPECT_EQ(site.total_retries, 0);
+    // One outcome per landing round plus one per internal page.
+    EXPECT_EQ(site.outcomes.size(), 3u + site.internals.size());
+    for (const auto& outcome : site.outcomes) {
+      EXPECT_EQ(outcome.status, browser::LoadStatus::kOk);
+      EXPECT_EQ(outcome.failure, net::FaultKind::kNone);
+      EXPECT_EQ(outcome.attempts, 1);
+      EXPECT_EQ(outcome.failed_objects, 0);
+    }
+  }
+  const auto summary = core::summarize_campaign(sites);
+  EXPECT_EQ(summary.sites_ok, sites.size());
+  EXPECT_EQ(summary.sites_degraded, 0u);
+  EXPECT_EQ(summary.sites_quarantined, 0u);
+  EXPECT_EQ(summary.total_retries, 0u);
+  EXPECT_EQ(summary.failed_fetches, 0u);
+  EXPECT_EQ(summary.degraded_fetches, 0u);
+}
+
+TEST_F(MeasurementTest, CertainFailureQuarantinesEverySite) {
+  const auto list = build_list(5);
+  CampaignConfig config;
+  config.landing_loads = 2;
+  config.max_page_retries = 1;
+  config.fault_profile.dns_timeout = 1.0;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  for (const auto& site : sites) {
+    EXPECT_TRUE(site.quarantined);
+    EXPECT_TRUE(site.degraded());
+    EXPECT_DOUBLE_EQ(site.success_rate(), 0.0);
+    EXPECT_TRUE(site.internals.empty());
+    for (const auto& outcome : site.outcomes) {
+      EXPECT_EQ(outcome.status, browser::LoadStatus::kFailed);
+      EXPECT_EQ(outcome.failure, net::FaultKind::kDnsTimeout);
+      EXPECT_EQ(outcome.attempts, 2);  // 1 + max_page_retries
+    }
+  }
+  const auto summary = core::summarize_campaign(sites);
+  EXPECT_EQ(summary.sites_quarantined, sites.size());
+  EXPECT_EQ(summary.sites_ok, 0u);
+}
+
+TEST_F(MeasurementTest, RetriesRecoverSomeFailedLoads) {
+  const auto list = build_list(12);
+  CampaignConfig config;
+  config.landing_loads = 2;
+  config.max_page_retries = 4;
+  config.fault_profile = net::FaultProfile::uniform(0.06);
+  // A whole-load failure needs every loader attempt to fail, so only a
+  // heavy root-striking rate makes campaign-level retries observable.
+  config.fault_profile.dns_timeout = 0.7;
+  MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  int recovered = 0;
+  for (const auto& site : sites)
+    for (const auto& outcome : site.outcomes)
+      recovered += outcome.attempts > 1 &&
+                   outcome.status != browser::LoadStatus::kFailed;
+  EXPECT_GT(recovered, 0) << "no load recovered via campaign-level retry";
+}
+
+TEST_F(CheckpointTest, ResumeFromCompleteCheckpointIsIdentical) {
+  const auto list = build_list(10);
+  CampaignConfig config = faulty_config();
+
+  MeasurementCampaign reference(web_, config);
+  const auto uninterrupted = reference.run(list);
+
+  const std::string path = temp_path("complete");
+  std::remove(path.c_str());
+  config.checkpoint_path = path;
+  MeasurementCampaign first(web_, config);
+  const auto initial = first.run(list);
+  expect_observations_identical(uninterrupted, initial);
+
+  // Every shard is on disk now: the rerun splices them all back in.
+  MeasurementCampaign second(web_, config);
+  const auto resumed = second.run(list);
+  expect_observations_identical(uninterrupted, resumed);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ResumeFromKilledCampaignIsIdentical) {
+  const auto list = build_list(10);
+  CampaignConfig config = faulty_config();
+
+  MeasurementCampaign reference(web_, config);
+  const auto uninterrupted = reference.run(list);
+
+  // Simulate a kill: keep the header, the first complete shard block,
+  // and a torn fragment of the second.
+  const std::string full_path = temp_path("full");
+  std::remove(full_path.c_str());
+  config.checkpoint_path = full_path;
+  MeasurementCampaign writer(web_, config);
+  writer.run(list);
+
+  std::ifstream full(full_path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(full, line);) lines.push_back(line);
+  full.close();
+  std::size_t first_end = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (lines[i].rfind("endshard,", 0) == 0) {
+      first_end = i;
+      break;
+    }
+  ASSERT_GT(first_end, 0u) << "campaign wrote no complete shard";
+  ASSERT_GT(lines.size(), first_end + 2) << "need a second block to tear";
+
+  const std::string torn_path = temp_path("torn");
+  {
+    std::ofstream torn(torn_path);
+    for (std::size_t i = 0; i <= first_end + 1; ++i) torn << lines[i] << '\n';
+    torn << lines[first_end + 2].substr(0, lines[first_end + 2].size() / 2);
+  }
+
+  config.checkpoint_path = torn_path;
+  MeasurementCampaign resumer(web_, config);
+  const auto resumed = resumer.run(list);
+  expect_observations_identical(uninterrupted, resumed);
+
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
+}
+
+TEST_F(CheckpointTest, MismatchedConfigIsRejected) {
+  const auto list = build_list(6);
+  CampaignConfig config = faulty_config();
+  const std::string path = temp_path("digest");
+  std::remove(path.c_str());
+  config.checkpoint_path = path;
+  MeasurementCampaign first(web_, config);
+  first.run(list);
+
+  CampaignConfig changed = config;
+  changed.seed = config.seed + 1;
+  MeasurementCampaign second(web_, changed);
+  EXPECT_THROW(second.run(list), std::runtime_error);
+
+  // `jobs` is explicitly not part of the experiment fingerprint.
+  CampaignConfig more_jobs = config;
+  more_jobs.jobs = 8;
+  MeasurementCampaign third(web_, more_jobs);
+  const auto resumed = third.run(list);
+  EXPECT_EQ(resumed.size(), list.sets.size());
+  std::remove(path.c_str());
 }
 
 TEST_F(MeasurementTest, TrackerDetectionAgreesWithGroundTruthDirection) {

@@ -57,6 +57,11 @@ void expect_observations_equal(const std::vector<SiteObservation>& a,
     ASSERT_EQ(a[i].internals.size(), b[i].internals.size());
     for (std::size_t j = 0; j < a[i].internals.size(); ++j)
       expect_metrics_equal(a[i].internals[j], b[i].internals[j]);
+    // Failure accounting is part of the determinism contract too: the
+    // same fetch must fail the same way at any job count.
+    EXPECT_EQ(a[i].outcomes, b[i].outcomes);
+    EXPECT_EQ(a[i].total_retries, b[i].total_retries);
+    EXPECT_EQ(a[i].quarantined, b[i].quarantined);
   }
 }
 
@@ -150,6 +155,34 @@ TEST_F(ParallelCampaignTest, JobsDoNotChangeObservations) {
   const auto serial = run_with_jobs(list, 1);
   for (std::size_t jobs : {2u, 4u, 8u})
     expect_observations_equal(serial, run_with_jobs(list, jobs));
+}
+
+TEST_F(ParallelCampaignTest, JobsDoNotChangeObservationsUnderFaults) {
+  // Fault decisions are keyed by (seed, shard, domain, page, ordinal,
+  // attempt), never by thread scheduling, so the bit-identical-for-any
+  // --jobs guarantee must survive a lossy substrate — including which
+  // loads failed, how often they were retried, and who got quarantined.
+  const auto list = build_list(60);
+  const auto run_faulty = [&](std::size_t jobs) {
+    CampaignConfig config;
+    config.landing_loads = 3;
+    config.jobs = jobs;
+    config.fault_profile = net::FaultProfile::uniform(0.04);
+    // Retries shrug off low uniform rates (a root load only fails after
+    // every loader AND campaign attempt fails), so strike DNS hard
+    // enough that some sites genuinely fail and get quarantined.
+    config.fault_profile.dns_timeout = 0.7;
+    MeasurementCampaign campaign(web_, config);
+    return campaign.run(list);
+  };
+  const auto serial = run_faulty(1);
+  std::uint64_t failed = 0;
+  for (const auto& site : serial)
+    for (const auto& outcome : site.outcomes)
+      failed += outcome.status == browser::LoadStatus::kFailed;
+  EXPECT_GT(failed, 0u) << "fault rate too low to exercise the machinery";
+  for (std::size_t jobs : {4u, 8u})
+    expect_observations_equal(serial, run_faulty(jobs));
 }
 
 TEST_F(ParallelCampaignTest, HardwareJobsMatchSerial) {

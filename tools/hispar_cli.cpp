@@ -16,9 +16,16 @@
 //            --jobs N (worker threads; 0 = all cores; results are
 //            identical for every N) --shards S (cache-warmth domains;
 //            S *does* affect results — see DESIGN.md "Concurrency model")
+//            --fault-profile none|uniform:R|dns_servfail=R,... (inject
+//            substrate faults; see DESIGN.md "Failure model")
+//            --max-retries N --page-timeout-s T (failure handling)
+//            --checkpoint FILE (append per-shard progress; resumes
+//            automatically when FILE exists) --resume FILE (like
+//            --checkpoint but FILE must already exist)
 //   survey   print Table 1 from the embedded §2 corpus
 //
 // Global: --seed S --universe N control the synthetic web.
+// Unrecognized flags are an error (typo protection).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -161,6 +168,23 @@ int cmd_measure(World& world, const util::Args& args) {
       args.get_int("shards", static_cast<long>(config.shards)));
   if (config.shards == 0)
     throw std::invalid_argument("measure: --shards must be >= 1");
+  config.fault_profile =
+      net::FaultProfile::parse(args.get("fault-profile", "none"));
+  config.max_page_retries =
+      static_cast<int>(args.get_int("max-retries", config.max_page_retries));
+  config.page_timeout_s =
+      args.get_double("page-timeout-s", config.page_timeout_s);
+  config.checkpoint_path = args.get("checkpoint", "");
+  if (args.has("resume")) {
+    const std::string resume = args.get("resume", "");
+    if (!std::ifstream(resume))
+      throw std::invalid_argument("measure: --resume file not found: " +
+                                  resume);
+    if (!config.checkpoint_path.empty() && config.checkpoint_path != resume)
+      throw std::invalid_argument(
+          "measure: --resume and --checkpoint disagree");
+    config.checkpoint_path = resume;
+  }
   core::MeasurementCampaign campaign(*world.web, config);
   const auto sites = campaign.run(list);
 
@@ -178,6 +202,9 @@ int cmd_measure(World& world, const util::Args& args) {
        << m.tracking_requests << '\n';
   };
   for (const auto& site : sites) {
+    // Quarantined sites have no usable landing observation: they are
+    // reported in the summary line, not emitted as data rows.
+    if (site.quarantined) continue;
     emit(site.domain, site.bootstrap_rank, "landing", site.landing);
     for (std::size_t i = 0; i < site.internals.size(); ++i)
       emit(site.domain, site.bootstrap_rank,
@@ -185,8 +212,20 @@ int cmd_measure(World& world, const util::Args& args) {
   }
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
 
+  const auto summary = core::summarize_campaign(sites);
+  std::cout << "campaign: " << summary.sites_ok << " ok, "
+            << summary.sites_degraded << " degraded, "
+            << summary.sites_quarantined << " quarantined; "
+            << summary.total_retries << " retries, " << summary.failed_fetches
+            << " failed fetches, " << summary.degraded_fetches
+            << " partial loads\n";
+
   const auto size = core::compare_metric(sites, core::metric::bytes);
   const auto plt = core::compare_metric(sites, core::metric::plt_ms);
+  if (size.landing.empty()) {
+    std::cout << "no usable sites; skipping landing-vs-internal contrast\n";
+    return 0;
+  }
   std::cout << "landing larger for "
             << util::TextTable::pct(size.fraction_landing_greater())
             << " of sites; landing faster for "
@@ -214,20 +253,42 @@ int usage(const std::string& program) {
 
 }  // namespace
 
+namespace {
+
+// A typo'd flag silently falling back to its default is the worst
+// failure mode for a measurement tool: the campaign runs, the numbers
+// look plausible, and they are wrong. Args tracks which flags were
+// read; anything left over is an error.
+int reject_unused_flags(const util::Args& args, int status) {
+  const auto unused = args.unused();
+  if (unused.empty()) return status;
+  std::cerr << "hispar: unrecognized flag";
+  if (unused.size() > 1) std::cerr << 's';
+  for (const auto& flag : unused) std::cerr << " --" << flag;
+  std::cerr << " (see the header of tools/hispar_cli.cpp)\n";
+  return 2;
+}
+
+int dispatch(const util::Args& args) {
+  if (args.subcommand().empty()) return usage(args.program());
+  if (args.subcommand() == "survey") return cmd_survey(args);
+
+  World world(static_cast<std::size_t>(args.get_int("universe", 3000)),
+              static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  if (args.subcommand() == "build") return cmd_build(world, args);
+  if (args.subcommand() == "churn") return cmd_churn(world, args);
+  if (args.subcommand() == "harden") return cmd_harden(world, args);
+  if (args.subcommand() == "crawl") return cmd_crawl(world, args);
+  if (args.subcommand() == "measure") return cmd_measure(world, args);
+  return usage(args.program());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const util::Args args = util::Args::parse(argc, argv);
-    if (args.subcommand().empty()) return usage(args.program());
-    if (args.subcommand() == "survey") return cmd_survey(args);
-
-    World world(static_cast<std::size_t>(args.get_int("universe", 3000)),
-                static_cast<std::uint64_t>(args.get_int("seed", 42)));
-    if (args.subcommand() == "build") return cmd_build(world, args);
-    if (args.subcommand() == "churn") return cmd_churn(world, args);
-    if (args.subcommand() == "harden") return cmd_harden(world, args);
-    if (args.subcommand() == "crawl") return cmd_crawl(world, args);
-    if (args.subcommand() == "measure") return cmd_measure(world, args);
-    return usage(args.program());
+    return reject_unused_flags(args, dispatch(args));
   } catch (const std::exception& error) {
     std::cerr << "hispar: " << error.what() << "\n";
     return 1;
