@@ -9,6 +9,8 @@
 // campaign falls apart. Deterministic: the fault streams are keyed by
 // (seed, shard, domain, page, ordinal, attempt), so any HISPAR_JOBS
 // value prints the same table.
+#include <chrono>
+
 #include "common.h"
 
 #include "net/faults.h"
@@ -33,9 +35,20 @@ int main() {
     config.jobs = bench::env_jobs();
     config.fault_profile = net::FaultProfile::uniform(rate);
     core::MeasurementCampaign campaign(*world.web, config);
+    const auto start = std::chrono::steady_clock::now();
     const auto observations = campaign.run(world.h1k);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string key =
+        "bench.rate_" + std::to_string(static_cast<int>(rate * 100));
+    world.metrics.gauge(key + "_s") = elapsed_s;
 
     const auto summary = core::summarize_campaign(observations);
+    world.metrics.gauge(key + "_retries") =
+        static_cast<double>(summary.total_retries);
+    world.metrics.gauge(key + "_quarantined") =
+        static_cast<double>(summary.sites_quarantined);
     const auto size = core::compare_metric(observations, core::metric::bytes);
     const auto plt = core::compare_metric(observations, core::metric::plt_ms);
     const bool usable = !size.landing.empty();
@@ -51,5 +64,6 @@ int main() {
          usable ? util::TextTable::num(size.geomean_ratio(), 3) : "n/a"});
   }
   std::cout << table;
+  world.write_bench_json("faults");
   return 0;
 }

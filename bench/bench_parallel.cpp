@@ -80,9 +80,14 @@ int main() {
                    util::TextTable::pct(serial_s / elapsed_s /
                                         static_cast<double>(jobs)),
                    sum == reference_digest ? "yes" : "NO (BUG)"});
+    world.metrics.gauge("bench.jobs_" + std::to_string(jobs) + "_s") =
+        elapsed_s;
+    if (jobs > 1 && sum != reference_digest)
+      ++world.metrics.counter("bench.digest_mismatches");
   }
   std::cout << table;
   std::cout << "\n(speedup saturates at min(hardware threads, shards); on a "
                "single-core host every row runs serially)\n";
+  world.write_bench_json("parallel");
   return 0;
 }

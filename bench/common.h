@@ -10,9 +10,15 @@
 // of campaign worker threads (0 = all cores); campaign results are
 // bit-identical for every HISPAR_JOBS value, so threading a bench only
 // changes its wall-clock time.
+// Setting HISPAR_BENCH_JSON=<dir> makes write_bench_json() drop a
+// machine-readable BENCH_<name>.json (phase timings + the campaign's
+// telemetry counters) into that directory, through the same metrics
+// registry the campaign itself uses — one export path for all timings.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -20,6 +26,7 @@
 #include "core/analyses.h"
 #include "core/hispar.h"
 #include "core/measurement.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 
 namespace hispar::bench {
@@ -47,18 +54,31 @@ struct BenchWorld {
   std::unique_ptr<search::SearchEngine> engine;
   core::HisparList h1k;
   std::vector<core::SiteObservation> sites;  // campaign over h1k
+  // Wall-clock phase timings (gauges, ms) plus the campaign's merged
+  // telemetry counters when observability is on; exported by
+  // write_bench_json().
+  obs::MetricsRegistry metrics;
 
   // `run_campaign` can be disabled for benches that only need the list.
   explicit BenchWorld(bool run_campaign = true,
                       std::size_t target_sites = env_sites(),
                       core::CampaignConfig campaign_config = {}) {
+    using Clock = std::chrono::steady_clock;
+    const auto elapsed_ms = [](Clock::time_point since) {
+      return std::chrono::duration<double, std::milli>(Clock::now() - since)
+          .count();
+    };
+
+    auto started = Clock::now();
     web::SyntheticWebConfig web_config;
     web_config.site_count =
         std::max<std::size_t>(3000, target_sites * 3);
     web = std::make_unique<web::SyntheticWeb>(web_config);
     toplists = std::make_unique<toplist::TopListFactory>(*web);
     engine = std::make_unique<search::SearchEngine>(*web);
+    metrics.gauge("bench.web_build_ms") = elapsed_ms(started);
 
+    started = Clock::now();
     core::HisparBuilder builder(*web, *toplists, *engine);
     core::HisparConfig config;
     config.name = "H1K";
@@ -66,12 +86,33 @@ struct BenchWorld {
     config.urls_per_site = 20;
     config.min_internal_results = 5;
     h1k = builder.build(config, /*week=*/0);
+    metrics.gauge("bench.list_build_ms") = elapsed_ms(started);
+    metrics.gauge("bench.sites") = static_cast<double>(h1k.sets.size());
 
     if (run_campaign) {
       campaign_config.jobs = env_jobs(campaign_config.jobs);
+      started = Clock::now();
       core::MeasurementCampaign campaign(*web, campaign_config);
       sites = campaign.run(h1k);
+      metrics.gauge("bench.campaign_ms") = elapsed_ms(started);
+      if (campaign.telemetry().enabled)
+        metrics.merge_from(campaign.telemetry().metrics);
     }
+  }
+
+  // Writes BENCH_<name>.json into $HISPAR_BENCH_JSON (no-op when the
+  // variable is unset, so benches stay silent by default).
+  void write_bench_json(const std::string& name) const {
+    const char* dir = std::getenv("HISPAR_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return;
+    }
+    metrics.write_json(out);
+    std::cout << "bench telemetry -> " << path << "\n";
   }
 
   // Positional slices (Ht30/Ht100/Hb100, §3.1).

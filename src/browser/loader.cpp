@@ -62,6 +62,9 @@ PageLoader::PageLoader(LoaderEnv env) : env_(env) {
   if (env_.latency == nullptr || env_.registry == nullptr ||
       env_.cdn == nullptr || env_.resolver == nullptr)
     throw std::invalid_argument("PageLoader: incomplete environment");
+  if (env_.obs.metrics != nullptr)
+    wait_hist_ = &env_.obs.metrics->histogram("loader.object_wait_ms",
+                                              obs::time_ms_buckets());
 }
 
 LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
@@ -81,6 +84,23 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   // operation (RNG draws, resolver/CDN calls) matches a fault-free
   // loader exactly.
   const bool faulty = options.faults != nullptr;
+
+  // Object-fetch trace spans ride the virtual clock: the load's start
+  // offset plus the object's in-load window, in microseconds.
+  const bool tracing = env_.obs.trace != nullptr && env_.obs.trace_objects;
+  const auto record_span = [&](const HarEntry& entry, double ready_at,
+                               double end_ms) {
+    if (!tracing) return;
+    obs::TraceSpan span;
+    span.name = entry.host;
+    span.cat = "object";
+    span.ts_us = obs::to_trace_us(options.start_time_s + ready_at / 1000.0);
+    span.dur_us = obs::to_trace_us((end_ms - ready_at) / 1000.0);
+    span.tid = env_.obs.tid;
+    span.args.emplace_back("url", entry.url);
+    if (!entry.error.empty()) span.args.emplace_back("error", entry.error);
+    env_.obs.trace->record(std::move(span));
+  };
 
   // Resolve the serving region and RTT for a host, lazily, from the
   // first object fetched from it.
@@ -197,6 +217,7 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       entry.body_size = 0.0;
       result.watchdog_abort = true;
       ++result.failed_objects;
+      record_span(entry, ready_at, ready_at);
       result.har.entries.push_back(std::move(entry));
       continue;  // children were never discovered
     }
@@ -410,11 +431,13 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
         // nothing below it exists. Return the partial (one-entry) HAR.
         result.status = LoadStatus::kFailed;
         result.root_failure = fate;
+        record_span(entry, ready_at, t);
         result.har.entries.push_back(std::move(entry));
         result.on_load_ms = t;
         result.har.nav.on_load_ms = t;
         return result;
       }
+      record_span(entry, ready_at, t);
       result.har.entries.push_back(std::move(entry));
       continue;  // children were never discovered
     }
@@ -429,6 +452,8 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     if (web::is_visual(o.mime))
       paint_events.push_back(PaintEvent{t + 16.0, o.size_bytes});
 
+    if (wait_hist_ != nullptr) wait_hist_->observe(entry.timings.wait);
+    record_span(entry, ready_at, t);
     result.har.entries.push_back(std::move(entry));
 
     // Children become ready after this object is parsed.

@@ -24,6 +24,7 @@
 #include "net/connection.h"
 #include "net/dns.h"
 #include "net/faults.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 #include "web/page.h"
 
@@ -35,6 +36,11 @@ struct LoaderEnv {
   cdn::CdnHierarchy* cdn = nullptr;
   net::CachingResolver* resolver = nullptr;
   net::Region vantage = net::Region::kNorthAmerica;
+  // Shard-local telemetry sinks; default (all-null) disables
+  // instrumentation at the cost of one pointer test per site.
+  // Observability never draws from `rng` and never moves `t`, so a
+  // load's simulated results are identical with or without it.
+  obs::ShardObs obs{};
 };
 
 struct LoadOptions {
@@ -107,6 +113,8 @@ class PageLoader {
 
  private:
   LoaderEnv env_;
+  // Resolved once at construction; null when observability is off.
+  obs::Histogram* wait_hist_ = nullptr;
 };
 
 }  // namespace hispar::browser

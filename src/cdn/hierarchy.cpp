@@ -56,6 +56,7 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
         latency_->rtt(edge, request.origin, rng) +
         jittered(config_.origin_processing_ms, config_.processing_sigma, rng);
     if (provider.emits_x_cache) response.x_cache = "MISS";
+    count(CacheLevel::kOrigin, false, response.wait_ms);
     return response;
   }
 
@@ -74,6 +75,7 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
     response.wait_ms =
         jittered(config_.edge_processing_ms, config_.processing_sigma, rng);
     if (provider.emits_x_cache) response.x_cache = "HIT";
+    count(CacheLevel::kEdge, warm_from_own_traffic, response.wait_ms);
     return response;
   }
 
@@ -89,6 +91,7 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
         edge_parent_rtt +
         jittered(config_.parent_processing_ms, config_.processing_sigma, rng);
     if (provider.emits_x_cache) response.x_cache = "MISS";
+    count(CacheLevel::kParent, false, response.wait_ms);
     return response;
   }
 
@@ -101,6 +104,7 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
       latency_->rtt(edge, request.origin, rng) +
       jittered(config_.origin_processing_ms, config_.processing_sigma, rng);
   if (provider.emits_x_cache) response.x_cache = "MISS";
+  count(CacheLevel::kOrigin, false, response.wait_ms);
   return response;
 }
 
@@ -116,12 +120,69 @@ CdnResponse CdnHierarchy::serve_from_origin(const CdnRequest& request,
   response.wait_ms =
       jittered(config_.origin_processing_ms, config_.processing_sigma, rng) +
       0.5 * latency_->rtt(request.origin, request.origin, rng);
+  count(CacheLevel::kOrigin, false, response.wait_ms);
   return response;
+}
+
+void CdnHierarchy::count(CacheLevel level, bool lru_hit, double wait_ms) {
+  switch (level) {
+    case CacheLevel::kEdge:
+      if (lru_hit) ++edge_lru_hits_;
+      break;
+    case CacheLevel::kParent:
+      ++parent_hits_;
+      break;
+    case CacheLevel::kOrigin:
+      ++origin_fetches_;
+      break;
+  }
+  if (metric_requests_ == nullptr) return;
+  ++*metric_requests_;
+  switch (level) {
+    case CacheLevel::kEdge:
+      ++*metric_edge_hits_;
+      if (lru_hit) ++*metric_edge_lru_hits_;
+      break;
+    case CacheLevel::kParent:
+      ++*metric_parent_hits_;
+      break;
+    case CacheLevel::kOrigin:
+      ++*metric_origin_fetches_;
+      break;
+  }
+  metric_wait_ms_->observe(wait_ms);
+}
+
+std::uint64_t CdnHierarchy::lru_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, lru] : edge_lrus_) total += lru.evictions();
+  return total;
+}
+
+void CdnHierarchy::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_requests_ = nullptr;
+    metric_edge_hits_ = nullptr;
+    metric_edge_lru_hits_ = nullptr;
+    metric_parent_hits_ = nullptr;
+    metric_origin_fetches_ = nullptr;
+    metric_wait_ms_ = nullptr;
+    return;
+  }
+  metric_requests_ = &metrics->counter("cdn.requests");
+  metric_edge_hits_ = &metrics->counter("cdn.edge_hits");
+  metric_edge_lru_hits_ = &metrics->counter("cdn.edge_lru_hits");
+  metric_parent_hits_ = &metrics->counter("cdn.parent_hits");
+  metric_origin_fetches_ = &metrics->counter("cdn.origin_fetches");
+  metric_wait_ms_ = &metrics->histogram("cdn.wait_ms", obs::time_ms_buckets());
 }
 
 void CdnHierarchy::reset_stats() {
   requests_ = 0;
   edge_hits_ = 0;
+  edge_lru_hits_ = 0;
+  parent_hits_ = 0;
+  origin_fetches_ = 0;
 }
 
 }  // namespace hispar::cdn

@@ -31,6 +31,7 @@
 #include "cdn/lru_cache.h"
 #include "cdn/provider.h"
 #include "net/latency.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace hispar::cdn {
@@ -97,11 +98,27 @@ class CdnHierarchy {
 
   std::uint64_t requests() const { return requests_; }
   std::uint64_t edge_hits() const { return edge_hits_; }
+  // Where the back-office traffic went (§5.6): edge hits served by this
+  // run's own deterministic LRU layer vs. the rest of the hierarchy.
+  std::uint64_t edge_lru_hits() const { return edge_lru_hits_; }
+  std::uint64_t parent_hits() const { return parent_hits_; }
+  std::uint64_t origin_fetches() const { return origin_fetches_; }
+  // Total LRU evictions across every (provider, region) edge — summed
+  // on demand; cache-pressure evidence for the run report.
+  std::uint64_t lru_evictions() const;
   void reset_stats();
+
+  // Observability hook: pre-resolves counter/histogram handles into
+  // `metrics` (`cdn.requests`, per-level hit counters, `cdn.wait_ms`);
+  // serve paths update them behind one null check. Pass nullptr to
+  // detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   const CdnHierarchyConfig& config() const { return config_; }
 
  private:
+  void count(CacheLevel level, bool lru_hit, double wait_ms);
+
   const CdnRegistry* registry_;
   const net::LatencyModel* latency_;
   CdnHierarchyConfig config_;
@@ -109,6 +126,16 @@ class CdnHierarchy {
   std::unordered_map<std::string, LruCache> edge_lrus_;
   std::uint64_t requests_ = 0;
   std::uint64_t edge_hits_ = 0;
+  std::uint64_t edge_lru_hits_ = 0;
+  std::uint64_t parent_hits_ = 0;
+  std::uint64_t origin_fetches_ = 0;
+  // Pre-resolved metric handles (see set_metrics); null when detached.
+  std::uint64_t* metric_requests_ = nullptr;
+  std::uint64_t* metric_edge_hits_ = nullptr;
+  std::uint64_t* metric_edge_lru_hits_ = nullptr;
+  std::uint64_t* metric_parent_hits_ = nullptr;
+  std::uint64_t* metric_origin_fetches_ = nullptr;
+  obs::Histogram* metric_wait_ms_ = nullptr;
 };
 
 }  // namespace hispar::cdn

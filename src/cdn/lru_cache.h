@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <stdexcept>
 #include <string>
@@ -51,6 +52,9 @@ class LruCache {
   std::size_t used_bytes() const { return used_; }
   std::size_t capacity_bytes() const { return capacity_; }
   std::size_t entries() const { return index_.size(); }
+  // Entries evicted over the cache's lifetime (not reset by clear());
+  // the observability layer reports this as cache-pressure evidence.
+  std::uint64_t evictions() const { return evictions_; }
 
   void clear() {
     order_.clear();
@@ -69,10 +73,12 @@ class LruCache {
     used_ -= victim.size;
     index_.erase(victim.key);
     order_.pop_back();
+    ++evictions_;
   }
 
   std::size_t capacity_;
   std::size_t used_ = 0;
+  std::uint64_t evictions_ = 0;
   std::list<Entry> order_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };

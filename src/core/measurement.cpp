@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -85,9 +86,40 @@ MeasurementCampaign::ShardState::ShardState(const web::SyntheticWeb& web,
       resolver(net::ResolverConfig{"local", 1, 6.0,
                                    net::Region::kNorthAmerica, 1.0},
                latency),
+      metrics(config.observability.enabled
+                  ? std::make_unique<obs::MetricsRegistry>()
+                  : nullptr),
+      tracer(config.observability.enabled
+                 ? std::make_unique<obs::Tracer>(config.observability.span_cap)
+                 : nullptr),
+      shard_id(shard_id),
       loader(browser::LoaderEnv{&latency, &web.cdn_registry(), &cdn,
-                                &resolver, config.vantage}),
-      rng(util::Rng(config.seed).fork(static_cast<std::uint64_t>(shard_id))) {}
+                                &resolver, config.vantage,
+                                obs_handle(config)}),
+      rng(util::Rng(config.seed).fork(static_cast<std::uint64_t>(shard_id))) {
+  resolver.set_metrics(metrics.get());
+  cdn.set_metrics(metrics.get());
+}
+
+obs::ShardObs MeasurementCampaign::ShardState::obs_handle(
+    const CampaignConfig& config) const {
+  obs::ShardObs handle;
+  handle.metrics = metrics.get();
+  handle.trace = tracer.get();
+  handle.tid = static_cast<std::uint32_t>(shard_id) + 1;
+  handle.trace_objects = config.observability.trace_objects;
+  return handle;
+}
+
+obs::ShardTelemetry MeasurementCampaign::ShardState::take_telemetry() {
+  obs::ShardTelemetry telemetry;
+  if (metrics != nullptr) telemetry.metrics = std::move(*metrics);
+  if (tracer != nullptr) {
+    telemetry.spans = tracer->ordered_spans();
+    telemetry.spans_dropped = tracer->dropped();
+  }
+  return telemetry;
+}
 
 MeasurementCampaign::MeasurementCampaign(const web::SyntheticWeb& web,
                                          CampaignConfig config)
@@ -152,8 +184,51 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
     fetch.outcome.status = result.status;
     fetch.outcome.failure = result.root_failure;
     fetch.outcome.failed_objects = result.failed_objects;
+
+    if (state.metrics != nullptr) {
+      obs::MetricsRegistry& reg = *state.metrics;
+      ++reg.counter("loader.loads");
+      reg.counter("loader.objects") += result.har.entries.size();
+      reg.counter("loader.bytes") +=
+          static_cast<std::uint64_t>(std::llround(result.har.total_bytes()));
+      reg.counter("loader.handshakes") +=
+          static_cast<std::uint64_t>(result.handshakes);
+      reg.counter("loader.x_cache_hits") +=
+          static_cast<std::uint64_t>(result.x_cache_hits);
+      reg.counter("loader.x_cache_misses") +=
+          static_cast<std::uint64_t>(result.x_cache_misses);
+      reg.counter("loader.object_retries") +=
+          static_cast<std::uint64_t>(result.object_retries);
+      reg.counter("loader.failed_objects") +=
+          static_cast<std::uint64_t>(result.failed_objects);
+      if (result.watchdog_abort) ++reg.counter("loader.watchdog_aborts");
+      if (injector) {
+        const auto& injected = injector->injected();
+        for (int kind = 1; kind < net::kFaultKindCount; ++kind)
+          if (injected[static_cast<std::size_t>(kind)] > 0)
+            reg.counter("faults.injected." +
+                        std::string(net::to_string(
+                            static_cast<net::FaultKind>(kind)))) +=
+                injected[static_cast<std::size_t>(kind)];
+      }
+    }
+    if (state.tracer != nullptr) {
+      obs::TraceSpan span;
+      span.name = site.domain();
+      span.cat = "load";
+      span.ts_us = obs::to_trace_us(options.start_time_s);
+      span.dur_us = obs::to_trace_us(result.on_load_ms / 1000.0);
+      span.tid = static_cast<std::uint32_t>(state.shard_id) + 1;
+      span.args.emplace_back("page", std::to_string(page_index));
+      span.args.emplace_back("ordinal", std::to_string(load_ordinal));
+      span.args.emplace_back("attempt", std::to_string(attempt));
+      span.args.emplace_back("status",
+                             std::string(browser::to_string(result.status)));
+      state.tracer->record(std::move(span));
+    }
+
     if (result.status != browser::LoadStatus::kFailed) {
-      fetch.metrics = extract_metrics(page, result);
+      fetch.metrics = extract_metrics(page, result, state.metrics.get());
       fetch.usable = true;
       return fetch;
     }
@@ -166,7 +241,8 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
 }
 
 PageMetrics MeasurementCampaign::extract_metrics(
-    const web::WebPage& page, const browser::LoadResult& result) const {
+    const web::WebPage& page, const browser::LoadResult& result,
+    obs::MetricsRegistry* metrics) const {
   const browser::HarLog& har = result.har;
 
   PageMetrics m;
@@ -203,10 +279,14 @@ PageMetrics MeasurementCampaign::extract_metrics(
     // Third parties by registrable domain (§6.2).
     if (util::is_third_party(page.url.host, entry.host))
       m.third_parties.insert(util::registrable_domain(entry.host));
-    // Per-object wait phase (§5.6, Fig. 7).
+    // Per-object wait phase (§5.6, Fig. 7); memory-capped, see
+    // PageMetrics::wait_samples_ms.
     if (m.wait_samples_ms.size() < config_.wait_sample_cap)
       m.wait_samples_ms.push_back(entry.timings.wait);
   }
+  if (metrics != nullptr && har.entries.size() > m.wait_samples_ms.size())
+    metrics->counter("loader.wait_samples_dropped") +=
+        har.entries.size() - m.wait_samples_ms.size();
   if (m.bytes > 0.0) {
     m.cacheable_bytes_fraction = cacheable_bytes / m.bytes;
     m.cdn_bytes_fraction = cdn_bytes / m.bytes;
@@ -300,6 +380,15 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
                                     const std::vector<std::size_t>& positions,
                                     std::vector<SiteObservation>& observations) {
   std::vector<std::vector<PageMetrics>> landing_loads(positions.size());
+  // Per-site virtual-clock activity window [first fetch start, clock
+  // after last fetch] for the "site" trace spans.
+  std::vector<std::pair<double, double>> windows(
+      positions.size(), {-1.0, 0.0});
+  const auto note_window = [&](std::size_t i, double start) {
+    if (windows[i].first < 0.0) windows[i].first = start;
+    windows[i].second = state.clock_s;
+  };
+  std::uint64_t fetches = 0;
 
   // Landing pages: `landing_loads` interleaved rounds over the shard's
   // sites (the paper shuffles and iterates the landing set 10 times,
@@ -308,7 +397,10 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     for (std::size_t i = 0; i < positions.size(); ++i) {
       const UrlSet& set = list.sets[positions[i]];
       const web::WebSite& site = require_site(set.domain);
+      const double fetch_start_s = state.clock_s;
       PageFetch fetch = fetch_page(state, site, 0, round);
+      note_window(i, fetch_start_s);
+      ++fetches;
       SiteObservation& observation = observations[positions[i]];
       observation.total_retries += fetch.outcome.attempts - 1;
       observation.outcomes.push_back(fetch.outcome);
@@ -325,13 +417,16 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     max_internal =
         std::max(max_internal, list.sets[position].page_indices.size());
   for (std::size_t page_pos = 1; page_pos < max_internal; ++page_pos) {
-    for (std::size_t position : positions) {
-      const UrlSet& set = list.sets[position];
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const UrlSet& set = list.sets[positions[i]];
       if (page_pos >= set.page_indices.size()) continue;
       const web::WebSite& site = require_site(set.domain);
+      const double fetch_start_s = state.clock_s;
       PageFetch fetch =
           fetch_page(state, site, set.page_indices[page_pos], 0);
-      SiteObservation& observation = observations[position];
+      note_window(i, fetch_start_s);
+      ++fetches;
+      SiteObservation& observation = observations[positions[i]];
       observation.total_retries += fetch.outcome.attempts - 1;
       observation.outcomes.push_back(fetch.outcome);
       if (fetch.usable)
@@ -353,6 +448,34 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     } else {
       observation.landing = median_metrics(std::move(landing_loads[i]));
     }
+  }
+
+  if (state.tracer != nullptr) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (windows[i].first < 0.0) continue;  // site never fetched
+      obs::TraceSpan span;
+      span.name = list.sets[positions[i]].domain;
+      span.cat = "site";
+      span.ts_us = obs::to_trace_us(windows[i].first);
+      span.dur_us = obs::to_trace_us(windows[i].second - windows[i].first);
+      span.tid = static_cast<std::uint32_t>(state.shard_id) + 1;
+      state.tracer->record(std::move(span));
+    }
+    obs::TraceSpan span;
+    span.name = "shard " + std::to_string(state.shard_id);
+    span.cat = "shard";
+    span.ts_us = 0;
+    span.dur_us = obs::to_trace_us(state.clock_s);
+    span.tid = static_cast<std::uint32_t>(state.shard_id) + 1;
+    state.tracer->record(std::move(span));
+  }
+  if (state.metrics != nullptr) {
+    // Shard-scoped values live in gauges; the campaign merge prefixes
+    // them "shard.<id>." so they stay distinguishable.
+    state.metrics->gauge("clock_end_s") = state.clock_s;
+    state.metrics->gauge("sites") = static_cast<double>(positions.size());
+    state.metrics->gauge("fetches") = static_cast<double>(fetches);
+    state.metrics->counter("cdn.lru_evictions") = state.cdn.lru_evictions();
   }
 }
 
@@ -377,6 +500,12 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
   const std::size_t shard_count = std::max<std::size_t>(1, config_.shards);
   const auto shards = shard_indices(list, shard_count);
   std::vector<SiteObservation> observations(list.sets.size());
+  // Per-shard telemetry lands in disjoint slots (no synchronization
+  // needed beyond the for_each_shard joins) and is merged in shard-id
+  // order below, so the merged artifacts are --jobs independent.
+  std::vector<obs::ShardTelemetry> shard_telemetry(shard_count);
+  telemetry_ = obs::RunTelemetry{};
+  telemetry_.enabled = config_.observability.enabled;
 
   // Checkpointing: a shard is the unit of isolated simulation state, so
   // it is also the unit of resume — a shard either completed (its
@@ -390,7 +519,7 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
     const std::uint64_t digest = checkpoint_digest(list);
     std::ifstream existing(config_.checkpoint_path);
     if (existing) {
-      const CampaignCheckpoint checkpoint = read_checkpoint(existing);
+      CampaignCheckpoint checkpoint = read_checkpoint(existing);
       if (checkpoint.config_digest != digest)
         throw std::runtime_error(
             "campaign: checkpoint was written by a different campaign "
@@ -400,6 +529,12 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
       for (const auto& [position, observation] : checkpoint.observations)
         if (position < observations.size())
           observations[position] = observation;
+      // Completed shards' telemetry was checkpointed too; restoring it
+      // keeps the merged telemetry artifacts bit-identical across
+      // kill + resume.
+      for (auto& [shard, telemetry] : checkpoint.telemetry)
+        if (shard < shard_count)
+          shard_telemetry[shard] = std::move(telemetry);
       existing.close();
     }
     // (Re)write the file from the parsed state: a resume drops the torn
@@ -413,7 +548,10 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
     for (std::size_t shard = 0; shard < shard_count; ++shard)
       if (shard_done[shard])
         append_checkpoint_shard(checkpoint_out, shard, shards[shard],
-                                observations);
+                                observations,
+                                shard_telemetry[shard].empty()
+                                    ? nullptr
+                                    : &shard_telemetry[shard]);
     checkpoint_out.flush();
   }
 
@@ -425,14 +563,47 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
     if (!shards[shard].empty()) {
       ShardState state(*web_, config_, shard);
       run_shard(state, list, shards[shard], observations);
+      if (config_.observability.enabled)
+        shard_telemetry[shard] = state.take_telemetry();
     }
     if (checkpoint_out.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mutex);
       append_checkpoint_shard(checkpoint_out, shard, shards[shard],
-                              observations);
+                              observations,
+                              shard_telemetry[shard].empty()
+                                  ? nullptr
+                                  : &shard_telemetry[shard]);
       checkpoint_out.flush();
     }
   });
+
+  if (config_.observability.enabled) {
+    // Merge in shard-id order: counters/histograms sum, gauges become
+    // "shard.<id>.<name>", spans concatenate behind one campaign-level
+    // span whose duration is the slowest shard's virtual clock.
+    double campaign_end_s = 0.0;
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      const obs::ShardTelemetry& telemetry = shard_telemetry[shard];
+      if (telemetry.empty()) continue;
+      telemetry_.metrics.merge_from(
+          telemetry.metrics, "shard." + std::to_string(shard) + ".");
+      telemetry_.spans.insert(telemetry_.spans.end(),
+                              telemetry.spans.begin(), telemetry.spans.end());
+      telemetry_.spans_dropped += telemetry.spans_dropped;
+      campaign_end_s = std::max(campaign_end_s,
+                                telemetry.metrics.gauge_or("clock_end_s"));
+    }
+    obs::TraceSpan campaign_span;
+    campaign_span.name = "campaign";
+    campaign_span.cat = "campaign";
+    campaign_span.ts_us = 0;
+    campaign_span.dur_us = obs::to_trace_us(campaign_end_s);
+    campaign_span.tid = 0;
+    telemetry_.spans.insert(telemetry_.spans.begin(),
+                            std::move(campaign_span));
+    telemetry_.metrics.counter("trace.spans_dropped") =
+        telemetry_.spans_dropped;
+  }
   return observations;
 }
 
@@ -465,6 +636,78 @@ SiteObservation MeasurementCampaign::measure_site(
       observation.internals.push_back(std::move(fetch.metrics));
   }
   return observation;
+}
+
+obs::RunReport build_run_report(const std::vector<SiteObservation>& sites,
+                                const obs::RunTelemetry& telemetry) {
+  obs::RunReport report;
+  const CampaignSummary summary = summarize_campaign(sites);
+  report.sites_total = sites.size();
+  report.sites_ok = summary.sites_ok;
+  report.sites_degraded = summary.sites_degraded;
+  report.sites_quarantined = summary.sites_quarantined;
+  report.failed_fetches = summary.failed_fetches;
+  report.degraded_fetches = summary.degraded_fetches;
+  report.total_retries = summary.total_retries;
+  for (const auto& site : sites) {
+    report.page_fetches += site.outcomes.size();
+    report.internal_pages_measured += site.internals.size();
+  }
+
+  // Failures by root cause, in FaultKind order (kNone excluded); the
+  // injected column comes from telemetry and stays 0 without it.
+  std::array<std::uint64_t, net::kFaultKindCount> failures{};
+  for (const auto& site : sites)
+    for (const auto& outcome : site.outcomes)
+      if (outcome.status == browser::LoadStatus::kFailed)
+        ++failures[static_cast<std::size_t>(outcome.failure)];
+  for (int kind = 1; kind < net::kFaultKindCount; ++kind) {
+    obs::RunReport::FaultLine line;
+    line.kind = std::string(net::to_string(static_cast<net::FaultKind>(kind)));
+    line.failed_fetches = failures[static_cast<std::size_t>(kind)];
+    line.injected =
+        telemetry.metrics.counter_or("faults.injected." + line.kind);
+    report.faults.push_back(std::move(line));
+  }
+
+  report.telemetry = telemetry.enabled;
+  if (telemetry.enabled) {
+    const obs::MetricsRegistry& m = telemetry.metrics;
+    report.dns_queries = m.counter_or("dns.queries");
+    report.dns_cache_hits = m.counter_or("dns.cache_hits");
+    report.cdn_requests = m.counter_or("cdn.requests");
+    report.cdn_edge_hits = m.counter_or("cdn.edge_hits");
+    report.cdn_edge_lru_hits = m.counter_or("cdn.edge_lru_hits");
+    report.cdn_parent_hits = m.counter_or("cdn.parent_hits");
+    report.cdn_origin_fetches = m.counter_or("cdn.origin_fetches");
+    report.cdn_lru_evictions = m.counter_or("cdn.lru_evictions");
+    report.wait_samples_dropped = m.counter_or("loader.wait_samples_dropped");
+    report.trace_spans = telemetry.spans.size();
+    report.trace_spans_dropped = telemetry.spans_dropped;
+
+    // One line per shard that ran, reassembled from the prefixed gauges.
+    for (const auto& [name, value] : m.gauges()) {
+      if (name.rfind("shard.", 0) != 0) continue;
+      const auto dot = name.find('.', 6);
+      if (dot == std::string::npos || name.substr(dot + 1) != "clock_end_s")
+        continue;
+      const std::string id = name.substr(6, dot - 6);
+      obs::RunReport::ShardLine line;
+      line.shard = std::strtoull(id.c_str(), nullptr, 10);
+      line.clock_end_s = value;
+      line.sites = static_cast<std::uint64_t>(
+          std::llround(m.gauge_or("shard." + id + ".sites")));
+      line.fetches = static_cast<std::uint64_t>(
+          std::llround(m.gauge_or("shard." + id + ".fetches")));
+      report.shards.push_back(std::move(line));
+    }
+    std::sort(report.shards.begin(), report.shards.end(),
+              [](const obs::RunReport::ShardLine& a,
+                 const obs::RunReport::ShardLine& b) {
+                return a.shard < b.shard;
+              });
+  }
+  return report;
 }
 
 }  // namespace hispar::core

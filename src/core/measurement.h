@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "cdn/detection.h"
 #include "core/hispar.h"
 #include "net/faults.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "web/generator.h"
 
 namespace hispar::core {
@@ -55,7 +58,14 @@ struct PageMetrics {
   bool header_bidding = false;
   double hb_ad_slots = 0.0;
   std::set<std::string> third_parties;   // registrable domains
-  std::vector<double> wait_samples_ms;   // per-object wait phase (capped)
+  // Per-object wait phase (§5.6, Fig. 7), in HAR fetch order. Capped at
+  // CampaignConfig::wait_sample_cap samples per load (default 60): the
+  // first cap entries are kept, the rest dropped — a memory bound, not
+  // a statistical choice, so pages with more objects than the cap
+  // under-sample their tail. median_metrics() concatenates the samples
+  // of every usable load. The number of dropped samples is exported as
+  // the `loader.wait_samples_dropped` counter when observability is on.
+  std::vector<double> wait_samples_ms;
 };
 
 // One attempted page fetch (landing round or internal page) and how it
@@ -147,6 +157,12 @@ struct CampaignConfig {
   // shard is the unit of isolated state, a resumed campaign's output is
   // bit-identical to an uninterrupted run.
   std::string checkpoint_path;
+  // Observability (metrics/tracing). Never affects measurements — the
+  // instrumentation draws no randomness and never touches a clock — so
+  // it is excluded from the checkpoint digest, and per-shard telemetry
+  // is checkpointed alongside observations so resumed campaigns export
+  // bit-identical telemetry too.
+  obs::ObsOptions observability;
 };
 
 class MeasurementCampaign {
@@ -174,9 +190,15 @@ class MeasurementCampaign {
 
   // Fingerprint of everything that determines run() output for a given
   // list (seed, shards, loads, fault profile, retries, ablations, and
-  // the list itself — but never `jobs`). Guards checkpoint resume
+  // the list itself — but never `jobs`, and never the observability
+  // options, which cannot change results). Guards checkpoint resume
   // against a mismatched campaign.
   std::uint64_t checkpoint_digest(const HisparList& list) const;
+
+  // Merged telemetry of the last run() (empty/disabled unless
+  // config.observability.enabled). Deterministic: per-shard registries
+  // and span lists are folded in shard-id order.
+  const obs::RunTelemetry& telemetry() const { return telemetry_; }
 
  private:
   // Everything one worker mutates while measuring its shard: the full
@@ -192,9 +214,20 @@ class MeasurementCampaign {
     net::LatencyModel latency;
     cdn::CdnHierarchy cdn;
     net::CachingResolver resolver;
+    // Shard-private telemetry (null when observability is off); declared
+    // before `loader` so the loader env can point into them. The
+    // registry/tracer are heap-held so instrumentation pointers stay
+    // stable for the shard's lifetime.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::size_t shard_id = 0;
     browser::PageLoader loader;
     util::Rng rng;
     double clock_s = 0.0;
+
+    obs::ShardObs obs_handle(const CampaignConfig& config) const;
+    // Drains the shard's telemetry (moves the registry out).
+    obs::ShardTelemetry take_telemetry();
   };
 
   // One campaign-level page fetch: up to 1 + max_page_retries load
@@ -208,7 +241,8 @@ class MeasurementCampaign {
   PageFetch fetch_page(ShardState& state, const web::WebSite& site,
                        std::size_t page_index, int load_ordinal);
   PageMetrics extract_metrics(const web::WebPage& page,
-                              const browser::LoadResult& result) const;
+                              const browser::LoadResult& result,
+                              obs::MetricsRegistry* metrics) const;
   // Serial §3.1 fetch protocol over the sites of one shard (positions
   // into list.sets); writes each result to observations[position].
   void run_shard(ShardState& state, const HisparList& list,
@@ -223,7 +257,14 @@ class MeasurementCampaign {
   browser::AdBlocker adblock_;
   browser::HbDetector hb_;
   cdn::CdnDetector detector_;
+  obs::RunTelemetry telemetry_;  // merged by the last run()
   ShardState local_;  // measure_site() state
 };
+
+// Assembles the structured run report from a campaign's observations
+// and (possibly disabled/empty) merged telemetry. Lives here rather
+// than in obs/ because it reads SiteObservation and FaultKind.
+obs::RunReport build_run_report(const std::vector<SiteObservation>& sites,
+                                const obs::RunTelemetry& telemetry);
 
 }  // namespace hispar::core

@@ -164,6 +164,22 @@ double parse_double(const std::string& s, const char* what) {
   return v;
 }
 
+std::int64_t parse_i64(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (s.empty() || end == nullptr || *end != '\0')
+    checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+// Telemetry strings (span names, arg values) go into a comma/semicolon
+// separated format; the separators themselves are sanitized away.
+std::string obs_sanitize(std::string s) {
+  for (char& c : s)
+    if (c == ',' || c == ';' || c == '\n' || c == '\r') c = '_';
+  return s;
+}
+
 void write_metrics(std::ostream& out, const PageMetrics& m) {
   out << "metrics," << m.bytes << ',' << m.objects << ',' << m.plt_ms << ','
       << m.on_load_ms << ',' << m.speed_index_ms << ','
@@ -252,7 +268,8 @@ void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest) {
 
 void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const std::vector<std::size_t>& positions,
-                             const std::vector<SiteObservation>& observations) {
+                             const std::vector<SiteObservation>& observations,
+                             const obs::ShardTelemetry* telemetry) {
   const auto precision = out.precision(17);
   out << "shard," << shard << ',' << positions.size() << '\n';
   for (std::size_t position : positions) {
@@ -271,6 +288,30 @@ void append_checkpoint_shard(std::ostream& out, std::size_t shard,
           << static_cast<unsigned>(outcome.status) << ','
           << static_cast<unsigned>(outcome.failure) << ','
           << outcome.failed_objects << '\n';
+  }
+  if (telemetry != nullptr) {
+    for (const auto& [name, value] : telemetry->metrics.counters())
+      out << "obscounter," << obs_sanitize(name) << ',' << value << '\n';
+    for (const auto& [name, value] : telemetry->metrics.gauges())
+      out << "obsgauge," << obs_sanitize(name) << ',' << value << '\n';
+    for (const auto& [name, h] : telemetry->metrics.histograms()) {
+      out << "obshist," << obs_sanitize(name) << ',';
+      for (std::size_t k = 0; k < h.bounds.size(); ++k)
+        out << (k ? ";" : "") << h.bounds[k];
+      out << ',';
+      for (std::size_t k = 0; k < h.counts.size(); ++k)
+        out << (k ? ";" : "") << h.counts[k];
+      out << ',' << h.count << ',' << h.sum << ',' << h.min << ',' << h.max
+          << '\n';
+    }
+    for (const auto& span : telemetry->spans) {
+      out << "obsspan," << span.tid << ',' << span.ts_us << ',' << span.dur_us
+          << ',' << obs_sanitize(span.cat) << ',' << obs_sanitize(span.name);
+      for (const auto& [key, value] : span.args)
+        out << ',' << obs_sanitize(key) << '=' << obs_sanitize(value);
+      out << '\n';
+    }
+    out << "obsdropped," << telemetry->spans_dropped << '\n';
   }
   out << "endshard," << shard << '\n';
   out.precision(precision);
@@ -352,6 +393,54 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
       }
       checkpoint.observations.emplace_back(position, std::move(o));
     }
+
+    // Optional telemetry block (shards run with observability enabled).
+    obs::ShardTelemetry telemetry;
+    bool has_telemetry = false;
+    while (i < end && lines[i].rfind("obs", 0) == 0) {
+      has_telemetry = true;
+      const auto f = util::split(need(i++), ',');
+      if (f[0] == "obscounter" && f.size() == 3) {
+        telemetry.metrics.counter(f[1]) = parse_u64(f[2], "obs counter");
+      } else if (f[0] == "obsgauge" && f.size() == 3) {
+        telemetry.metrics.gauge(f[1]) = parse_double(f[2], "obs gauge");
+      } else if (f[0] == "obshist" && f.size() == 8) {
+        std::vector<double> bounds;
+        for (const auto& b : util::split(f[2], ';'))
+          if (!b.empty()) bounds.push_back(parse_double(b, "obs bound"));
+        obs::Histogram& h = telemetry.metrics.histogram(f[1], bounds);
+        std::vector<std::uint64_t> counts;
+        for (const auto& c : util::split(f[3], ';'))
+          if (!c.empty()) counts.push_back(parse_u64(c, "obs bucket"));
+        if (counts.size() != bounds.size() + 1)
+          checkpoint_fail("bad obs histogram '" + lines[i - 1] + "'");
+        h.counts = std::move(counts);
+        h.count = parse_u64(f[4], "obs hist count");
+        h.sum = parse_double(f[5], "obs hist sum");
+        h.min = parse_double(f[6], "obs hist min");
+        h.max = parse_double(f[7], "obs hist max");
+      } else if (f[0] == "obsspan" && f.size() >= 6) {
+        obs::TraceSpan span;
+        span.tid = static_cast<std::uint32_t>(parse_u64(f[1], "obs span tid"));
+        span.ts_us = parse_i64(f[2], "obs span ts");
+        span.dur_us = parse_i64(f[3], "obs span dur");
+        span.cat = f[4];
+        span.name = f[5];
+        for (std::size_t k = 6; k < f.size(); ++k) {
+          const auto eq = f[k].find('=');
+          if (eq == std::string::npos)
+            checkpoint_fail("bad obs span arg '" + f[k] + "'");
+          span.args.emplace_back(f[k].substr(0, eq), f[k].substr(eq + 1));
+        }
+        telemetry.spans.push_back(std::move(span));
+      } else if (f[0] == "obsdropped" && f.size() == 2) {
+        telemetry.spans_dropped = parse_u64(f[1], "obs dropped");
+      } else {
+        checkpoint_fail("bad obs record '" + lines[i - 1] + "'");
+      }
+    }
+    if (has_telemetry)
+      checkpoint.telemetry.emplace(shard_id, std::move(telemetry));
 
     const auto end_fields = util::split(need(i++), ',');
     if (end_fields.size() != 2 || end_fields[0] != "endshard" ||

@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/hispar.h"
 #include "core/measurement.h"
+#include "obs/obs.h"
 
 namespace hispar::core {
 
@@ -44,6 +46,9 @@ HisparList load_csv(const std::string& path);
 //          <total retries>,<n internals>,<n outcomes>,<has landing>
 //     metrics,...            (landing if present, then the internals)
 //     outcome,...            (one per attempted page fetch)
+//   obscounter/obsgauge/obshist/obsspan/obsdropped,...   (optional:
+//        the shard's telemetry, so a resumed campaign's metrics/trace
+//        exports stay bit-identical to an uninterrupted run)
 //   endshard,<id>
 // Doubles are written at precision 17 so every value round-trips exactly
 // — a resumed campaign must be bit-identical to an uninterrupted one. A
@@ -57,12 +62,16 @@ struct CampaignCheckpoint {
   // (position in list.sets, observation) for every site of every
   // completed shard.
   std::vector<std::pair<std::size_t, SiteObservation>> observations;
+  // Telemetry of completed shards, present only for shards that ran
+  // with observability enabled.
+  std::map<std::size_t, obs::ShardTelemetry> telemetry;
 };
 
 void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest);
 void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const std::vector<std::size_t>& positions,
-                             const std::vector<SiteObservation>& observations);
+                             const std::vector<SiteObservation>& observations,
+                             const obs::ShardTelemetry* telemetry = nullptr);
 CampaignCheckpoint read_checkpoint(std::istream& in);
 
 }  // namespace hispar::core

@@ -30,9 +30,22 @@ double CachingResolver::warm_probability(const DnsRecord& record) const {
   return 1.0 - std::exp(-per_shard_rate * effective_ttl_s(record));
 }
 
+void CachingResolver::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_queries_ = nullptr;
+    metric_hits_ = nullptr;
+    metric_lookup_ms_ = nullptr;
+    return;
+  }
+  metric_queries_ = &metrics->counter("dns.queries");
+  metric_hits_ = &metrics->counter("dns.cache_hits");
+  metric_lookup_ms_ = &metrics->histogram("dns.lookup_ms", obs::time_ms_buckets());
+}
+
 DnsLookupResult CachingResolver::resolve(const DnsRecord& record, double now_s,
                                          util::Rng& rng) {
   ++queries_;
+  if (metric_queries_ != nullptr) ++*metric_queries_;
   const int shard =
       config_.cache_shards == 1
           ? 0
@@ -56,8 +69,11 @@ DnsLookupResult CachingResolver::resolve(const DnsRecord& record, double now_s,
   DnsLookupResult result;
   if (warm) {
     ++hits_;
+    if (metric_hits_ != nullptr) ++*metric_hits_;
     result.cache_hit = true;
     result.latency_ms = config_.client_rtt_ms + config_.processing_ms;
+    if (metric_lookup_ms_ != nullptr)
+      metric_lookup_ms_->observe(result.latency_ms);
     return result;
   }
 
@@ -67,6 +83,8 @@ DnsLookupResult CachingResolver::resolve(const DnsRecord& record, double now_s,
   result.cache_hit = false;
   result.latency_ms = config_.client_rtt_ms + config_.processing_ms + upstream;
   expiry_[key] = now_s + ttl;
+  if (metric_lookup_ms_ != nullptr)
+    metric_lookup_ms_->observe(result.latency_ms);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "net/latency.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace hispar::net {
@@ -81,6 +82,13 @@ class CachingResolver {
   double hit_rate() const;
   void clear();
 
+  // Observability hook. Resolves address-stable handles into `metrics`
+  // once (`dns.queries` / `dns.cache_hits` counters, `dns.lookup_ms`
+  // histogram); resolve() then updates them behind a single null check,
+  // so a detached resolver pays one predictable branch. Pass nullptr to
+  // detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct CacheKey {
     std::string domain;
@@ -104,6 +112,10 @@ class CachingResolver {
   std::unordered_map<CacheKey, double, CacheKeyHash> expiry_;  // now_s based
   std::uint64_t queries_ = 0;
   std::uint64_t hits_ = 0;
+  // Pre-resolved metric handles (see set_metrics); null when detached.
+  std::uint64_t* metric_queries_ = nullptr;
+  std::uint64_t* metric_hits_ = nullptr;
+  obs::Histogram* metric_lookup_ms_ = nullptr;
 };
 
 // Effective TTL used by resolvers for a record; CDN request-routing names

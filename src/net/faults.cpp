@@ -109,34 +109,41 @@ std::string FaultProfile::str() const {
 FaultInjector::FaultInjector(const FaultProfile& profile, util::Rng stream)
     : profile_(profile), stream_(stream) {}
 
+FaultKind FaultInjector::dealt(FaultKind kind) {
+  if (kind != FaultKind::kNone)
+    ++injected_[static_cast<std::size_t>(kind)];
+  return kind;
+}
+
 FaultKind FaultInjector::dns_fault() {
   // One draw per stage keeps the decision sequence aligned with fetch
   // order regardless of which classes are enabled.
   const double roll = stream_.uniform();
-  if (roll < profile_.dns_servfail) return FaultKind::kDnsServfail;
+  if (roll < profile_.dns_servfail) return dealt(FaultKind::kDnsServfail);
   if (roll < profile_.dns_servfail + profile_.dns_timeout)
-    return FaultKind::kDnsTimeout;
+    return dealt(FaultKind::kDnsTimeout);
   return FaultKind::kNone;
 }
 
 FaultKind FaultInjector::connect_fault(bool tls) {
   const double roll = stream_.uniform();
-  if (roll < profile_.connection_reset) return FaultKind::kConnectionReset;
+  if (roll < profile_.connection_reset)
+    return dealt(FaultKind::kConnectionReset);
   if (tls && roll < profile_.connection_reset + profile_.tls_failure)
-    return FaultKind::kTlsFailure;
+    return dealt(FaultKind::kTlsFailure);
   return FaultKind::kNone;
 }
 
 FaultKind FaultInjector::response_fault() {
-  return stream_.uniform() < profile_.http_5xx ? FaultKind::kHttp5xx
+  return stream_.uniform() < profile_.http_5xx ? dealt(FaultKind::kHttp5xx)
                                                : FaultKind::kNone;
 }
 
 FaultKind FaultInjector::transfer_fault() {
   const double roll = stream_.uniform();
-  if (roll < profile_.stall) return FaultKind::kStalledTransfer;
+  if (roll < profile_.stall) return dealt(FaultKind::kStalledTransfer);
   if (roll < profile_.stall + profile_.truncation)
-    return FaultKind::kTruncatedTransfer;
+    return dealt(FaultKind::kTruncatedTransfer);
   return FaultKind::kNone;
 }
 

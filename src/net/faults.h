@@ -17,6 +17,7 @@
 //    value (the PR-1 guarantee holds under faults).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -84,9 +85,20 @@ class FaultInjector {
   // in [0.05, 0.95).
   double truncated_fraction();
 
+  // Faults dealt so far, indexed by FaultKind (slot 0, kNone, stays 0).
+  // Bookkeeping only — reading it never advances the stream — so the
+  // observability layer can report injected-vs-survived per class
+  // without touching the decision sequence.
+  const std::array<std::uint64_t, kFaultKindCount>& injected() const {
+    return injected_;
+  }
+
  private:
+  FaultKind dealt(FaultKind kind);
+
   FaultProfile profile_;
   util::Rng stream_;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
 };
 
 }  // namespace hispar::net

@@ -1,0 +1,54 @@
+// Deterministic JSON for the observability layer.
+//
+// The metrics, trace and report artifacts carry a bit-identity
+// guarantee (same output for any --jobs and across checkpoint resume),
+// so their serialization must be deterministic down to the byte:
+//  * objects are written in a caller-controlled (sorted) key order,
+//  * doubles are printed with "%.17g" so every finite value round-trips
+//    exactly through parse_json,
+//  * no locale, no pointer-order iteration, no timestamps.
+// The parser is a minimal recursive-descent reader used by
+// tools/obs_validate and the tests to check the artifacts are
+// well-formed; it accepts exactly the JSON subset the writers emit
+// (plus standard escapes) and throws std::runtime_error on anything
+// malformed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hispar::obs {
+
+// "%.17g" rendering of a finite double; non-finite values (which JSON
+// cannot represent) are clamped to 0 — the observability layer never
+// produces them on purpose.
+std::string json_number(double value);
+
+// Backslash-escapes '"', '\\' and control characters.
+std::string json_escape(std::string_view text);
+
+// Parsed JSON document. Object member order is preserved as written so
+// byte-level expectations can be checked structurally too.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Type t) const { return type == t; }
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Throws std::runtime_error (with a byte offset) on malformed input or
+// trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace hispar::obs

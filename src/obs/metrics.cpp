@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace hispar::obs {
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds != other.bounds)
+    throw std::logic_error("Histogram::merge_from: bucket boundaries differ");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+const std::vector<double>& time_ms_buckets() {
+  static const std::vector<double> buckets = {
+      1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000};
+  return buckets;
+}
+
+const std::vector<double>& bytes_buckets() {
+  static const std::vector<double> buckets = {
+      1024.0,        4096.0,        16384.0,        65536.0,
+      262144.0,      1048576.0,     4194304.0,      16777216.0,
+      67108864.0};
+  return buckets;
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.bounds != bounds)
+      throw std::logic_error("MetricsRegistry: histogram '" + name +
+                             "' re-registered with different boundaries");
+    return it->second;
+  }
+  Histogram h;
+  h.bounds = bounds;
+  h.counts.assign(bounds.size() + 1, 0);
+  return histograms_.emplace(name, std::move(h)).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+double MetricsRegistry::gauge_or(const std::string& name,
+                                 double fallback) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second;
+}
+
+bool MetricsRegistry::empty() const {
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other,
+                                 const std::string& gauge_prefix) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_)
+    gauges_[gauge_prefix + name] = value;
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      histograms_.emplace(name, h);
+    else
+      it->second.merge_from(h);
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"hispar-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out << ',';
+      out << json_number(h.bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out << ',';
+      out << h.counts[i];
+    }
+    out << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+        << ",\"min\":" << json_number(h.count ? h.min : 0.0)
+        << ",\"max\":" << json_number(h.count ? h.max : 0.0) << '}';
+  }
+  out << "}}";
+}
+
+}  // namespace hispar::obs

@@ -1,0 +1,94 @@
+// Deterministic metrics registry.
+//
+// The observability layer ("Web View"-style per-fetch telemetry) must
+// not weaken the campaign's core invariant: output is a pure function
+// of (list, seed, shards) and bit-identical for any --jobs value. So
+// metrics follow the same discipline as the measurements themselves:
+//  * each shard owns a private MetricsRegistry, mutated only by the
+//    worker running that shard (no atomics, no contention — and no
+//    cross-shard ordering to get wrong);
+//  * at campaign end the per-shard registries are merged in shard-id
+//    order: counters and histograms sum (order-independent for
+//    integers, order-fixed for the double sums), gauges are
+//    shard-scoped and merged under a "shard.<id>." prefix;
+//  * histogram bucket boundaries are fixed at registration and must
+//    match exactly across shards — a mismatch throws rather than
+//    silently merging incompatible distributions;
+//  * JSON export iterates std::map (sorted names), so the artifact is
+//    byte-stable.
+//
+// Hot-path cost: instrumented code holds plain pointers into the
+// registry (std::map nodes are address-stable) and guards every update
+// with a null check, so the disabled path is one predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hispar::obs {
+
+// Fixed-bucket histogram: counts[i] holds observations <= bounds[i],
+// the last slot holds the overflow. Tracks count/sum/min/max for
+// summary lines.
+struct Histogram {
+  std::vector<double> bounds;          // ascending upper bounds
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void observe(double value);
+  // Sums counts and statistics; throws std::logic_error when bucket
+  // boundaries differ.
+  void merge_from(const Histogram& other);
+  bool operator==(const Histogram&) const = default;
+};
+
+// Canonical bucket sets, shared by every instrumentation site so merged
+// histograms always agree.
+const std::vector<double>& time_ms_buckets();    // 1 ms .. 60 s, log-ish
+const std::vector<double>& bytes_buckets();      // 1 KiB .. 64 MiB
+
+class MetricsRegistry {
+ public:
+  // Accessors create the metric on first use and return an
+  // address-stable reference (std::map node).
+  std::uint64_t& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  // Registers with the given boundaries on first use; re-registration
+  // with different boundaries throws std::logic_error.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+
+  // Read-only lookups (0 / empty when absent).
+  std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
+  double gauge_or(const std::string& name, double fallback = 0.0) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  bool empty() const;
+
+  // Deterministic merge: counters and histograms sum; the other
+  // registry's gauges are copied under `gauge_prefix` + name (gauges
+  // carry shard-scoped values like the final virtual clock, which must
+  // stay distinguishable after the merge).
+  void merge_from(const MetricsRegistry& other, const std::string& gauge_prefix = "");
+
+  // {"schema":"hispar-metrics-v1","counters":{...},"gauges":{...},
+  //  "histograms":{...}} with sorted keys; byte-stable.
+  void write_json(std::ostream& out) const;
+
+  bool operator==(const MetricsRegistry&) const = default;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hispar::obs

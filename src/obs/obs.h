@@ -1,0 +1,61 @@
+// Observability wiring types shared by the instrumented subsystems.
+//
+// A ShardObs is the handle instrumentation sites receive: two nullable
+// pointers into the shard's private registry and tracer plus the
+// shard's trace thread id. Disabled observability is ShardObs{} — every
+// instrumentation site guards with a null check, which is the whole
+// cost of the feature when it is off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hispar::obs {
+
+struct ObsOptions {
+  bool enabled = false;
+  // Per-shard trace ring capacity (spans). The newest spans win; the
+  // overwritten count is exported as `trace.spans_dropped`.
+  std::size_t span_cap = 8192;
+  // Object-fetch spans are the bulk of a trace; campaigns that only
+  // need page/site granularity can switch them off.
+  bool trace_objects = true;
+};
+
+// Nullable view into one shard's telemetry. Copyable, cheap, and safe
+// to pass by value down the hot paths.
+struct ShardObs {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* trace = nullptr;
+  std::uint32_t tid = 0;  // Chrome trace thread id (shard id + 1)
+  bool trace_objects = true;
+
+  bool enabled() const { return metrics != nullptr; }
+};
+
+// One shard's finished telemetry: what gets checkpointed with the
+// shard's observations and merged at campaign end.
+struct ShardTelemetry {
+  MetricsRegistry metrics;
+  std::vector<TraceSpan> spans;  // oldest -> newest
+  std::uint64_t spans_dropped = 0;
+
+  bool empty() const { return metrics.empty() && spans.empty(); }
+  bool operator==(const ShardTelemetry&) const = default;
+};
+
+// The campaign-level merge: per-shard registries folded in shard-id
+// order (gauges prefixed "shard.<id>."), spans concatenated in shard-id
+// order behind one campaign-level span.
+struct RunTelemetry {
+  bool enabled = false;
+  MetricsRegistry metrics;
+  std::vector<TraceSpan> spans;
+  std::uint64_t spans_dropped = 0;
+};
+
+}  // namespace hispar::obs

@@ -1,0 +1,139 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hispar::obs {
+
+namespace {
+
+double ratio(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 0.0;
+  return static_cast<double>(part) / static_cast<double>(whole);
+}
+
+std::string pct(double fraction) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace
+
+double RunReport::dns_hit_rate() const {
+  return ratio(dns_cache_hits, dns_queries);
+}
+
+double RunReport::cdn_edge_hit_rate() const {
+  return ratio(cdn_edge_hits, cdn_requests);
+}
+
+double RunReport::shard_skew_s() const {
+  if (shards.empty()) return 0.0;
+  double lo = shards.front().clock_end_s;
+  double hi = lo;
+  for (const auto& shard : shards) {
+    lo = std::min(lo, shard.clock_end_s);
+    hi = std::max(hi, shard.clock_end_s);
+  }
+  return hi - lo;
+}
+
+std::string summary_line(const RunReport& report) {
+  std::ostringstream os;
+  os << "campaign: " << report.sites_ok << " ok, " << report.sites_degraded
+     << " degraded, " << report.sites_quarantined << " quarantined; "
+     << report.total_retries << " retries, " << report.failed_fetches
+     << " failed fetches, " << report.degraded_fetches << " partial loads";
+  return os.str();
+}
+
+std::string render_report_text(const RunReport& report) {
+  std::ostringstream os;
+  os << "run report:\n";
+  os << "  coverage: " << report.sites_total << " sites ("
+     << report.sites_ok << " ok, " << report.sites_degraded << " degraded, "
+     << report.sites_quarantined << " quarantined), "
+     << report.page_fetches << " page fetches ("
+     << report.failed_fetches << " failed, " << report.degraded_fetches
+     << " partial), " << report.internal_pages_measured
+     << " internal pages measured\n";
+  bool any_fault = false;
+  for (const auto& fault : report.faults)
+    any_fault = any_fault || fault.failed_fetches > 0 || fault.injected > 0;
+  if (any_fault) {
+    os << "  faults (injected / fetches lost):\n";
+    for (const auto& fault : report.faults) {
+      if (fault.failed_fetches == 0 && fault.injected == 0) continue;
+      os << "    " << fault.kind << ": " << fault.injected << " / "
+         << fault.failed_fetches << '\n';
+    }
+  }
+  if (report.telemetry) {
+    os << "  dns: " << report.dns_queries << " queries, "
+       << pct(report.dns_hit_rate()) << " cache hits\n";
+    os << "  cdn: " << report.cdn_requests << " requests, "
+       << pct(report.cdn_edge_hit_rate()) << " edge hits ("
+       << report.cdn_edge_lru_hits << " own-traffic), "
+       << report.cdn_parent_hits << " parent hits, "
+       << report.cdn_origin_fetches << " origin fetches, "
+       << report.cdn_lru_evictions << " LRU evictions\n";
+    os << "  shards: " << report.shards.size() << " active, virtual-clock skew "
+       << json_number(report.shard_skew_s()) << " s\n";
+    os << "  trace: " << report.trace_spans << " spans kept, "
+       << report.trace_spans_dropped << " dropped; "
+       << report.wait_samples_dropped << " wait samples dropped\n";
+  }
+  return os.str();
+}
+
+void write_report_json(std::ostream& out, const RunReport& report) {
+  out << "{\"schema\":\"hispar-report-v1\",\"coverage\":{"
+      << "\"sites_total\":" << report.sites_total
+      << ",\"sites_ok\":" << report.sites_ok
+      << ",\"sites_degraded\":" << report.sites_degraded
+      << ",\"sites_quarantined\":" << report.sites_quarantined
+      << ",\"page_fetches\":" << report.page_fetches
+      << ",\"failed_fetches\":" << report.failed_fetches
+      << ",\"degraded_fetches\":" << report.degraded_fetches
+      << ",\"total_retries\":" << report.total_retries
+      << ",\"internal_pages_measured\":" << report.internal_pages_measured
+      << "},\"faults\":[";
+  for (std::size_t i = 0; i < report.faults.size(); ++i) {
+    const auto& fault = report.faults[i];
+    if (i) out << ',';
+    out << "{\"kind\":\"" << json_escape(fault.kind)
+        << "\",\"failed_fetches\":" << fault.failed_fetches
+        << ",\"injected\":" << fault.injected << '}';
+  }
+  out << "],\"caches\":{\"dns_queries\":" << report.dns_queries
+      << ",\"dns_cache_hits\":" << report.dns_cache_hits
+      << ",\"dns_hit_rate\":" << json_number(report.dns_hit_rate())
+      << ",\"cdn_requests\":" << report.cdn_requests
+      << ",\"cdn_edge_hits\":" << report.cdn_edge_hits
+      << ",\"cdn_edge_hit_rate\":" << json_number(report.cdn_edge_hit_rate())
+      << ",\"cdn_edge_lru_hits\":" << report.cdn_edge_lru_hits
+      << ",\"cdn_parent_hits\":" << report.cdn_parent_hits
+      << ",\"cdn_origin_fetches\":" << report.cdn_origin_fetches
+      << ",\"cdn_lru_evictions\":" << report.cdn_lru_evictions
+      << "},\"loader\":{\"wait_samples_dropped\":"
+      << report.wait_samples_dropped
+      << "},\"trace\":{\"spans\":" << report.trace_spans
+      << ",\"spans_dropped\":" << report.trace_spans_dropped
+      << "},\"shards\":[";
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    const auto& shard = report.shards[i];
+    if (i) out << ',';
+    out << "{\"shard\":" << shard.shard << ",\"sites\":" << shard.sites
+        << ",\"fetches\":" << shard.fetches << ",\"clock_end_s\":"
+        << json_number(shard.clock_end_s) << '}';
+  }
+  out << "],\"shard_skew_s\":" << json_number(report.shard_skew_s())
+      << ",\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
+}
+
+}  // namespace hispar::obs

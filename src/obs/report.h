@@ -1,0 +1,91 @@
+// Structured campaign run reports.
+//
+// Replaces the ad-hoc summary line `hispar measure` used to assemble by
+// hand: the campaign fills a RunReport (coverage, quarantines, retries
+// by fault kind, DNS/CDN cache hit rates, per-shard virtual-clock skew)
+// and this module renders it as
+//  * the byte-stable one-line summary existing scripts parse
+//    (summary_line), and
+//  * a multi-line human report (render_report_text), and
+//  * machine-readable JSON (--report-out, write_report_json) — the
+//    archivable run artifact ("Web Execution Bundles": a measurement is
+//    only reproducible if its failures and cache behaviour ship with
+//    it).
+// A RunReport is built from observations and merged telemetry only, so
+// it inherits their determinism: bit-identical for any --jobs value and
+// across checkpoint resume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hispar::obs {
+
+struct RunReport {
+  // --- coverage (always available) ---
+  std::uint64_t sites_total = 0;
+  std::uint64_t sites_ok = 0;
+  std::uint64_t sites_degraded = 0;
+  std::uint64_t sites_quarantined = 0;
+  std::uint64_t page_fetches = 0;      // attempted page fetches (outcomes)
+  std::uint64_t failed_fetches = 0;    // no usable load
+  std::uint64_t degraded_fetches = 0;  // usable but partial
+  std::uint64_t total_retries = 0;     // campaign-level re-fetches
+  std::uint64_t internal_pages_measured = 0;
+
+  // --- failures by root cause ---
+  struct FaultLine {
+    std::string kind;                  // net::to_string(FaultKind)
+    std::uint64_t failed_fetches = 0;  // outcomes whose root cause this was
+    std::uint64_t injected = 0;        // injector decisions (telemetry only)
+    bool operator==(const FaultLine&) const = default;
+  };
+  std::vector<FaultLine> faults;  // fixed FaultKind order, kNone excluded
+
+  // --- telemetry-backed sections (zero when telemetry is off) ---
+  bool telemetry = false;
+  std::uint64_t dns_queries = 0;
+  std::uint64_t dns_cache_hits = 0;
+  std::uint64_t cdn_requests = 0;
+  std::uint64_t cdn_edge_hits = 0;
+  std::uint64_t cdn_edge_lru_hits = 0;
+  std::uint64_t cdn_parent_hits = 0;
+  std::uint64_t cdn_origin_fetches = 0;
+  std::uint64_t cdn_lru_evictions = 0;
+  std::uint64_t wait_samples_dropped = 0;
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_spans_dropped = 0;
+
+  struct ShardLine {
+    std::uint64_t shard = 0;
+    std::uint64_t sites = 0;
+    std::uint64_t fetches = 0;
+    double clock_end_s = 0.0;  // shard's final virtual clock
+    bool operator==(const ShardLine&) const = default;
+  };
+  std::vector<ShardLine> shards;  // ascending shard id, empty shards omitted
+
+  double dns_hit_rate() const;
+  double cdn_edge_hit_rate() const;
+  // Virtual-clock imbalance between the slowest and fastest shard —
+  // the sharding-quality signal (a skewed partition starves workers).
+  double shard_skew_s() const;
+
+  bool operator==(const RunReport&) const = default;
+};
+
+// Exactly the historical summary line, byte for byte:
+// "campaign: X ok, Y degraded, Z quarantined; R retries, F failed
+//  fetches, D partial loads"
+std::string summary_line(const RunReport& report);
+
+// Multi-line human-readable report (coverage, faults, cache hit rates,
+// shard skew). Ends with '\n'.
+std::string render_report_text(const RunReport& report);
+
+// {"schema":"hispar-report-v1",...}; byte-stable.
+void write_report_json(std::ostream& out, const RunReport& report);
+
+}  // namespace hispar::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace hispar::obs {
+
+std::int64_t to_trace_us(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+Tracer::Tracer(std::size_t span_cap) : cap_(span_cap) {
+  if (cap_ == 0) throw std::invalid_argument("Tracer: span cap must be >= 1");
+}
+
+void Tracer::record(TraceSpan span) {
+  ++recorded_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % cap_;
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+std::uint64_t Tracer::dropped() const {
+  return recorded_ <= cap_ ? 0 : recorded_ - cap_;
+}
+
+std::vector<TraceSpan> Tracer::ordered_spans() const {
+  if (ring_.size() < cap_) return ring_;
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceSpan>& spans) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Name the rows so Perfetto shows "campaign" and "shard N" tracks.
+  std::set<std::uint32_t> tids;
+  for (const auto& span : spans) tids.insert(span.tid);
+  for (std::uint32_t tid : tids) {
+    if (!first) out << ',';
+    first = false;
+    const std::string name =
+        tid == 0 ? "campaign" : "shard " + std::to_string(tid - 1);
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+        << "\"}}";
+  }
+  for (const auto& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+        << ",\"ts\":" << span.ts_us << ",\"dur\":" << span.dur_us
+        << ",\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+        << json_escape(span.cat) << '"';
+    if (!span.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < span.args.size(); ++i) {
+        if (i) out << ',';
+        out << '"' << json_escape(span.args[i].first) << "\":\""
+            << json_escape(span.args[i].second) << '"';
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace hispar::obs

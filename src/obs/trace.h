@@ -1,0 +1,70 @@
+// Virtual-clock tracing.
+//
+// Spans record what the simulated campaign did *on the simulated
+// timeline*: campaign -> shard -> site -> page-load attempt -> object
+// fetch, with timestamps taken from the shard's virtual clock (never
+// the wall clock, so a trace is as reproducible as the measurements).
+// The export is Chrome trace_event JSON ("X" complete events), loadable
+// in Perfetto / chrome://tracing: each shard appears as one named
+// thread, and the spans nest by timestamp.
+//
+// Memory discipline: a Tracer is a fixed-capacity ring buffer. A
+// campaign can emit one span per object fetch (~30 spans/page x 29k
+// pages for H1K), so an unbounded trace would dwarf the measurements;
+// instead the newest `cap` spans win, the overwritten count is
+// reported, and — crucially — recording a span never allocates beyond
+// the ring, never draws randomness and never touches the clock, so
+// tracing cannot change results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hispar::obs {
+
+struct TraceSpan {
+  std::string name;
+  std::string cat;
+  std::int64_t ts_us = 0;   // virtual-clock start, microseconds
+  std::int64_t dur_us = 0;  // virtual duration, microseconds
+  // Chrome thread id: 0 is the campaign row, shard s renders as s + 1.
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+// Virtual seconds -> trace microseconds, rounded deterministically.
+std::int64_t to_trace_us(double seconds);
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t span_cap = 8192);
+
+  // Records into the ring; once full, the oldest span is overwritten.
+  void record(TraceSpan span);
+
+  std::size_t cap() const { return cap_; }
+  std::size_t size() const;
+  // Spans overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  // Oldest -> newest, in recording order.
+  std::vector<TraceSpan> ordered_spans() const;
+
+ private:
+  std::size_t cap_;
+  std::vector<TraceSpan> ring_;
+  std::size_t next_ = 0;        // overwrite cursor once the ring is full
+  std::uint64_t recorded_ = 0;  // total record() calls
+};
+
+// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}
+// with one thread_name metadata event per distinct tid (emitted in
+// ascending tid order) followed by the spans in the given order.
+// Byte-stable for a given span vector.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceSpan>& spans);
+
+}  // namespace hispar::obs

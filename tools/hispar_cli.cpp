@@ -22,6 +22,10 @@
 //            --checkpoint FILE (append per-shard progress; resumes
 //            automatically when FILE exists) --resume FILE (like
 //            --checkpoint but FILE must already exist)
+//            --metrics-out FILE --trace-out FILE --report-out FILE
+//            (observability artifacts; any of them enables telemetry)
+//            --quiet (suppress the multi-line run report)
+//   help     print the full flag reference (also: --help anywhere)
 //   survey   print Table 1 from the embedded §2 corpus
 //
 // Global: --seed S --universe N control the synthetic web.
@@ -35,6 +39,8 @@
 #include "core/hispar.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "search/crawler.h"
 #include "survey/classifier.h"
 #include "util/args.h"
@@ -185,6 +191,30 @@ int cmd_measure(World& world, const util::Args& args) {
           "measure: --resume and --checkpoint disagree");
     config.checkpoint_path = resume;
   }
+
+  // Observability: any artifact flag enables telemetry. The artifact
+  // files are opened before the campaign runs so an unwritable path
+  // fails in milliseconds, not after the measurement.
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string report_out = args.get("report-out", "");
+  const bool quiet = args.get_bool("quiet");
+  config.observability.enabled =
+      !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
+  const auto open_artifact = [](const std::string& path, const char* flag) {
+    auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+    if (!*out)
+      throw std::invalid_argument(std::string("measure: cannot write --") +
+                                  flag + " file: " + path);
+    return out;
+  };
+  std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os;
+  if (!metrics_out.empty())
+    metrics_os = open_artifact(metrics_out, "metrics-out");
+  if (!trace_out.empty()) trace_os = open_artifact(trace_out, "trace-out");
+  if (!report_out.empty())
+    report_os = open_artifact(report_out, "report-out");
+
   core::MeasurementCampaign campaign(*world.web, config);
   const auto sites = campaign.run(list);
 
@@ -212,13 +242,25 @@ int cmd_measure(World& world, const util::Args& args) {
   }
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
 
-  const auto summary = core::summarize_campaign(sites);
-  std::cout << "campaign: " << summary.sites_ok << " ok, "
-            << summary.sites_degraded << " degraded, "
-            << summary.sites_quarantined << " quarantined; "
-            << summary.total_retries << " retries, " << summary.failed_fetches
-            << " failed fetches, " << summary.degraded_fetches
-            << " partial loads\n";
+  // All run accounting flows through the structured report; the summary
+  // line it renders is byte-identical to the historical one.
+  const obs::RunReport report =
+      core::build_run_report(sites, campaign.telemetry());
+  std::cout << obs::summary_line(report) << "\n";
+  if (campaign.telemetry().enabled && !quiet)
+    std::cout << obs::render_report_text(report);
+  if (metrics_os != nullptr) {
+    campaign.telemetry().metrics.write_json(*metrics_os);
+    std::cout << "metrics -> " << metrics_out << "\n";
+  }
+  if (trace_os != nullptr) {
+    obs::write_chrome_trace(*trace_os, campaign.telemetry().spans);
+    std::cout << "trace -> " << trace_out << "\n";
+  }
+  if (report_os != nullptr) {
+    obs::write_report_json(*report_os, report);
+    std::cout << "report -> " << report_out << "\n";
+  }
 
   const auto size = core::compare_metric(sites, core::metric::bytes);
   const auto plt = core::compare_metric(sites, core::metric::plt_ms);
@@ -244,10 +286,54 @@ int cmd_survey(const util::Args&) {
   return 0;
 }
 
+void print_help(std::ostream& out, const std::string& program) {
+  out << "usage: " << program
+      << " build|churn|harden|crawl|measure|survey|help [--flags]\n"
+         "\n"
+         "global flags:\n"
+         "  --seed S            synthetic-web seed (default 42)\n"
+         "  --universe N        synthetic-web site count (default 3000)\n"
+         "  --help              print this reference and exit\n"
+         "\n"
+         "build: build a weekly list and write it as CSV\n"
+         "  --sites N --urls M --week W --min-results K --out FILE\n"
+         "  --provider alexa|umbrella|majestic|quantcast|tranco\n"
+         "\n"
+         "churn: weekly stability of the list\n"
+         "  --sites N --urls M --weeks K\n"
+         "\n"
+         "harden: Tranco-style multi-week hardening\n"
+         "  --sites N --urls M --weeks K --min-weeks A --out FILE\n"
+         "\n"
+         "crawl: limited exhaustive crawl of one site\n"
+         "  --domain D | --rank R, --pages N\n"
+         "\n"
+         "measure: run the measurement campaign over a list CSV\n"
+         "  --list FILE         list to measure (default: build one)\n"
+         "  --loads L           landing-page loads per site (default 10)\n"
+         "  --out FILE          metrics CSV (default metrics.csv)\n"
+         "  --jobs N            worker threads; 0 = all cores; results\n"
+         "                      are identical for every N (default 1)\n"
+         "  --shards S          cache-warmth domains; S *does* affect\n"
+         "                      results (default 8)\n"
+         "  --fault-profile P   none|uniform:R|dns_servfail=R,...\n"
+         "  --max-retries N --page-timeout-s T\n"
+         "  --checkpoint FILE   append per-shard progress; resumes\n"
+         "                      automatically when FILE exists\n"
+         "  --resume FILE       like --checkpoint, FILE must exist\n"
+         "  --metrics-out FILE  merged metrics registry as JSON\n"
+         "  --trace-out FILE    virtual-clock Chrome trace JSON\n"
+         "                      (open in ui.perfetto.dev)\n"
+         "  --report-out FILE   structured run report as JSON\n"
+         "                      (any of the three enables telemetry;\n"
+         "                      measurements are unaffected)\n"
+         "  --quiet             suppress the multi-line run report\n"
+         "\n"
+         "survey: print Table 1 from the embedded corpus\n";
+}
+
 int usage(const std::string& program) {
-  std::cerr << "usage: " << program
-            << " build|churn|harden|crawl|measure|survey [--flags]\n"
-               "see the header of tools/hispar_cli.cpp for flags\n";
+  print_help(std::cerr, program);
   return 2;
 }
 
@@ -270,6 +356,10 @@ int reject_unused_flags(const util::Args& args, int status) {
 }
 
 int dispatch(const util::Args& args) {
+  if (args.get_bool("help") || args.subcommand() == "help") {
+    print_help(std::cout, args.program());
+    return 0;
+  }
   if (args.subcommand().empty()) return usage(args.program());
   if (args.subcommand() == "survey") return cmd_survey(args);
 

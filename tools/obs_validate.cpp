@@ -1,0 +1,156 @@
+// obs_validate — structural validator for the observability artifacts
+// `hispar measure` writes (--metrics-out / --trace-out / --report-out).
+//
+// CI runs a small campaign, then this tool, so a malformed or
+// schema-drifted artifact fails the build instead of surfacing when
+// someone loads the trace in Perfetto weeks later.
+//
+// Usage: obs_validate --metrics FILE --trace FILE --report FILE
+// (each flag optional; at least one required). Exit 0 when every given
+// artifact parses and matches its schema, 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "util/args.h"
+
+namespace {
+
+using hispar::obs::JsonValue;
+using hispar::obs::parse_json;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+const JsonValue& member(const JsonValue& value, const std::string& key,
+                        JsonValue::Type type, const std::string& where) {
+  const JsonValue* found = value.find(key);
+  require(found != nullptr, where + ": missing \"" + key + "\"");
+  require(found->is(type), where + ": \"" + key + "\" has wrong type");
+  return *found;
+}
+
+void check_metrics(const std::string& path) {
+  const JsonValue doc = load(path);
+  require(doc.is(JsonValue::Type::kObject), "metrics: not an object");
+  require(member(doc, "schema", JsonValue::Type::kString, "metrics").string ==
+              "hispar-metrics-v1",
+          "metrics: wrong schema");
+  member(doc, "counters", JsonValue::Type::kObject, "metrics");
+  member(doc, "gauges", JsonValue::Type::kObject, "metrics");
+  const JsonValue& histograms =
+      member(doc, "histograms", JsonValue::Type::kObject, "metrics");
+  for (const auto& [name, histogram] : histograms.object) {
+    const std::string where = "metrics histogram " + name;
+    const auto& bounds =
+        member(histogram, "bounds", JsonValue::Type::kArray, where);
+    const auto& buckets =
+        member(histogram, "buckets", JsonValue::Type::kArray, where);
+    require(buckets.array.size() == bounds.array.size() + 1,
+            where + ": bucket/bound count mismatch");
+    member(histogram, "count", JsonValue::Type::kNumber, where);
+    member(histogram, "sum", JsonValue::Type::kNumber, where);
+  }
+}
+
+void check_trace(const std::string& path) {
+  const JsonValue doc = load(path);
+  require(doc.is(JsonValue::Type::kObject), "trace: not an object");
+  const JsonValue& events =
+      member(doc, "traceEvents", JsonValue::Type::kArray, "trace");
+  for (const JsonValue& event : events.array) {
+    require(event.is(JsonValue::Type::kObject), "trace: event not an object");
+    const std::string phase =
+        member(event, "ph", JsonValue::Type::kString, "trace event").string;
+    require(phase == "M" || phase == "X",
+            "trace: unexpected event phase '" + phase + "'");
+    member(event, "pid", JsonValue::Type::kNumber, "trace event");
+    member(event, "tid", JsonValue::Type::kNumber, "trace event");
+    if (phase == "X") {
+      member(event, "name", JsonValue::Type::kString, "trace event");
+      member(event, "ts", JsonValue::Type::kNumber, "trace event");
+      const double duration =
+          member(event, "dur", JsonValue::Type::kNumber, "trace event").number;
+      require(duration >= 0.0, "trace: negative span duration");
+    }
+  }
+}
+
+void check_report(const std::string& path) {
+  const JsonValue doc = load(path);
+  require(doc.is(JsonValue::Type::kObject), "report: not an object");
+  require(member(doc, "schema", JsonValue::Type::kString, "report").string ==
+              "hispar-report-v1",
+          "report: wrong schema");
+  const JsonValue& coverage =
+      member(doc, "coverage", JsonValue::Type::kObject, "report");
+  const double total =
+      member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage")
+          .number;
+  const double accounted =
+      member(coverage, "sites_ok", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sites_degraded", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sites_quarantined", JsonValue::Type::kNumber,
+             "coverage")
+          .number;
+  require(total == accounted, "report: coverage counts do not add up");
+  const JsonValue& faults =
+      member(doc, "faults", JsonValue::Type::kArray, "report");
+  for (const JsonValue& fault : faults.array) {
+    member(fault, "kind", JsonValue::Type::kString, "report fault");
+    member(fault, "failed_fetches", JsonValue::Type::kNumber, "report fault");
+    member(fault, "injected", JsonValue::Type::kNumber, "report fault");
+  }
+  member(doc, "caches", JsonValue::Type::kObject, "report");
+  member(doc, "loader", JsonValue::Type::kObject, "report");
+  member(doc, "trace", JsonValue::Type::kObject, "report");
+  const JsonValue& shards =
+      member(doc, "shards", JsonValue::Type::kArray, "report");
+  for (const JsonValue& shard : shards.array) {
+    member(shard, "shard", JsonValue::Type::kNumber, "report shard");
+    member(shard, "clock_end_s", JsonValue::Type::kNumber, "report shard");
+  }
+  member(doc, "shard_skew_s", JsonValue::Type::kNumber, "report");
+  member(doc, "telemetry", JsonValue::Type::kBool, "report");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = hispar::util::Args::parse(argc, argv);
+    const std::string metrics = args.get("metrics", "");
+    const std::string trace = args.get("trace", "");
+    const std::string report = args.get("report", "");
+    if (metrics.empty() && trace.empty() && report.empty()) {
+      std::cerr << "usage: obs_validate [--metrics FILE] [--trace FILE] "
+                   "[--report FILE]\n";
+      return 2;
+    }
+    if (!metrics.empty()) check_metrics(metrics);
+    if (!trace.empty()) check_trace(trace);
+    if (!report.empty()) check_report(report);
+    std::cout << "obs_validate: ok\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "obs_validate: " << error.what() << "\n";
+    return 1;
+  }
+}
