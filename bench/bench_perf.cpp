@@ -2,7 +2,17 @@
 // loading, crawling, list building, the ad-block matcher and KS test.
 // These guard the simulator's throughput — a full H1K campaign is ~29k
 // page loads and must stay in the tens of seconds.
+//
+// After the micro-benches, main() runs a hot-path wall-clock pass (page
+// materialization, repeated loads, and a campaign slice sized by
+// HISPAR_SITES) and exports its timings as BENCH_perf.json when
+// HISPAR_BENCH_JSON is set; diff two of those with tools/bench_diff to
+// quantify a performance change (see README "Benchmarking").
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "common.h"
 
 #include "browser/adblock.h"
 #include "browser/loader.h"
@@ -82,6 +92,71 @@ void BM_KsTest(benchmark::State& state) {
 }
 BENCHMARK(BM_KsTest);
 
+// Wall-clock hot-path pass. Unlike the micro-benches above (per-call
+// latency under a fresh state), this times the shapes a campaign
+// actually runs — many pages of many sites, repeated loads through one
+// loader, and a full campaign slice — so pooled/cached paths show their
+// real effect.
+void run_hotpath_pass() {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ms = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  };
+  obs::MetricsRegistry metrics;
+  const auto& webx = shared_web();
+
+  // Page materialization across sites.
+  auto started = Clock::now();
+  constexpr std::size_t kGenSites = 400;
+  constexpr std::size_t kGenPagesPerSite = 4;
+  for (std::size_t rank = 1; rank <= kGenSites; ++rank) {
+    const auto& site = webx.site_by_rank(rank);
+    for (std::size_t index = 1; index <= kGenPagesPerSite; ++index)
+      benchmark::DoNotOptimize(site.page(index));
+  }
+  metrics.gauge("perf.page_generation_ms") = elapsed_ms(started);
+  metrics.gauge("perf.pages_generated") =
+      static_cast<double>(kGenSites * kGenPagesPerSite);
+
+  // Repeated loads through one loader (scratch reuse path).
+  net::LatencyModel latency;
+  cdn::CdnHierarchy cdn(webx.cdn_registry(), latency);
+  net::CachingResolver resolver({}, latency);
+  browser::PageLoader loader({&latency, &webx.cdn_registry(), &cdn, &resolver,
+                              net::Region::kNorthAmerica});
+  const auto page = webx.site_by_rank(50).page(3);
+  util::Rng rng(7);
+  started = Clock::now();
+  constexpr std::size_t kLoads = 3000;
+  for (std::size_t i = 0; i < kLoads; ++i)
+    benchmark::DoNotOptimize(loader.load(page, rng.fork(rng.next())));
+  metrics.gauge("perf.page_load_ms") = elapsed_ms(started);
+  metrics.gauge("perf.page_loads") = static_cast<double>(kLoads);
+
+  // Campaign slice (sized by HISPAR_SITES, default 240 to mirror
+  // bench_parallel; HISPAR_JOBS sets workers). BenchWorld times its own
+  // phases — fold them in under the perf.* names bench_diff tabulates.
+  hispar::bench::BenchWorld world(/*run_campaign=*/true,
+                                  hispar::bench::env_sites(240));
+  metrics.gauge("perf.web_build_ms") =
+      world.metrics.gauge_or("bench.web_build_ms");
+  metrics.gauge("perf.list_build_ms") =
+      world.metrics.gauge_or("bench.list_build_ms");
+  metrics.gauge("perf.campaign_ms") =
+      world.metrics.gauge_or("bench.campaign_ms");
+  metrics.gauge("perf.campaign_sites") = world.metrics.gauge_or("bench.sites");
+
+  hispar::bench::write_bench_json(metrics, "perf");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_hotpath_pass();
+  return 0;
+}

@@ -48,6 +48,24 @@ inline std::size_t env_jobs(std::size_t fallback = 1) {
   return fallback;
 }
 
+// Writes `metrics` as BENCH_<name>.json into $HISPAR_BENCH_JSON (no-op
+// when the variable is unset, so benches stay silent by default). The
+// file is the same metrics-JSON schema the campaign exports; compare
+// two of them with tools/bench_diff.
+inline void write_bench_json(const obs::MetricsRegistry& metrics,
+                             const std::string& name) {
+  const char* dir = std::getenv("HISPAR_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return;
+  }
+  metrics.write_json(out);
+  std::cout << "bench telemetry -> " << path << "\n";
+}
+
 struct BenchWorld {
   std::unique_ptr<web::SyntheticWeb> web;
   std::unique_ptr<toplist::TopListFactory> toplists;
@@ -100,19 +118,9 @@ struct BenchWorld {
     }
   }
 
-  // Writes BENCH_<name>.json into $HISPAR_BENCH_JSON (no-op when the
-  // variable is unset, so benches stay silent by default).
+  // Writes this world's BENCH_<name>.json (see the free function).
   void write_bench_json(const std::string& name) const {
-    const char* dir = std::getenv("HISPAR_BENCH_JSON");
-    if (dir == nullptr || *dir == '\0') return;
-    const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-      std::cerr << "bench: cannot write " << path << "\n";
-      return;
-    }
-    metrics.write_json(out);
-    std::cout << "bench telemetry -> " << path << "\n";
+    bench::write_bench_json(metrics, name);
   }
 
   // Positional slices (Ht30/Ht100/Hb100, §3.1).

@@ -29,23 +29,32 @@ HbDetector::HbDetector(std::vector<std::string> exchange_patterns,
     : exchange_patterns_(std::move(exchange_patterns)),
       ad_network_patterns_(std::move(ad_network_patterns)) {}
 
+std::pair<bool, bool> HbDetector::classify_url(std::string_view url) const {
+  bool exchange = false;
+  for (const auto& pattern : exchange_patterns_) {
+    if (util::glob_match(pattern, url)) {
+      exchange = true;
+      break;
+    }
+  }
+  bool creative = false;
+  for (const auto& pattern : ad_network_patterns_) {
+    if (util::glob_match(pattern, url)) {
+      creative = true;
+      break;
+    }
+  }
+  return {exchange, creative};
+}
+
 HbResult HbDetector::analyze(const HarLog& log) const {
   std::set<std::string> exchanges;
   std::set<std::string> creatives;
   for (const auto& entry : log.entries) {
-    for (const auto& pattern : exchange_patterns_) {
-      if (util::glob_match(pattern, entry.url)) {
-        exchanges.insert(entry.host);
-        break;
-      }
-    }
-    for (const auto& pattern : ad_network_patterns_) {
-      if (util::glob_match(pattern, entry.url)) {
-        // One creative request per URL; distinct URLs ~ slots.
-        creatives.insert(entry.url);
-        break;
-      }
-    }
+    const auto [exchange, creative] = classify_url(entry.url);
+    if (exchange) exchanges.insert(entry.host);
+    // One creative request per URL; distinct URLs ~ slots.
+    if (creative) creatives.insert(entry.url);
   }
   HbResult result;
   result.exchanges_contacted = exchanges.size();

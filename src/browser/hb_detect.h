@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "browser/har.h"
@@ -30,6 +32,13 @@ class HbDetector {
                       std::vector<std::string> ad_network_patterns);
 
   HbResult analyze(const HarLog& log) const;
+
+  // Per-URL classification analyze() is built from: {matches an
+  // exchange pattern, matches an ad-network pattern}. Exposed so
+  // callers that see the same URL many times can memoize the pattern
+  // scan (the globs dominate campaign CPU) and replicate analyze()'s
+  // distinct-host / distinct-URL aggregation themselves.
+  std::pair<bool, bool> classify_url(std::string_view url) const;
 
  private:
   std::vector<std::string> exchange_patterns_;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <queue>
-#include <set>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "browser/speedindex.h"
@@ -58,7 +58,28 @@ std::string_view to_string(LoadStatus status) {
   return "unknown";
 }
 
-PageLoader::PageLoader(LoaderEnv env) : env_(env) {
+// Pooled per-load buffers. Per-host state is a vector indexed by the
+// page's dense host ids (WebPage::hosts) instead of a string-keyed map;
+// the dependency schedule lives in flat reusable arrays (children in
+// CSR layout, the ready queue as an explicit binary heap — the same
+// push_heap/pop_heap algorithm std::priority_queue uses, so extraction
+// order is identical).
+struct PageLoader::Scratch {
+  std::vector<HostState> hosts;
+  std::vector<char> hint_seen;
+  std::vector<double> finish;
+  std::vector<double> ready;
+  std::vector<std::pair<double, std::size_t>> heap;
+  std::vector<std::uint32_t> child_offsets;
+  std::vector<std::uint32_t> child_cursor;
+  std::vector<std::uint32_t> child_items;
+  // Fallback host index for pages without a prebuilt one.
+  std::vector<int> local_ids;
+  std::unordered_map<std::string_view, int> local_index;
+};
+
+PageLoader::PageLoader(LoaderEnv env)
+    : env_(env), scratch_(std::make_unique<Scratch>()) {
   if (env_.latency == nullptr || env_.registry == nullptr ||
       env_.cdn == nullptr || env_.resolver == nullptr)
     throw std::invalid_argument("PageLoader: incomplete environment");
@@ -66,6 +87,8 @@ PageLoader::PageLoader(LoaderEnv env) : env_(env) {
     wait_hist_ = &env_.obs.metrics->histogram("loader.object_wait_ms",
                                               obs::time_ms_buckets());
 }
+
+PageLoader::~PageLoader() = default;
 
 LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
                             const LoadOptions& options) const {
@@ -76,7 +99,45 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   result.har.page_url = page.url.str();
   result.har.entries.reserve(page.objects.size());
 
-  std::map<std::string, HostState> hosts;
+  Scratch& scratch = *scratch_;
+  const std::size_t n = page.objects.size();
+
+  // Host ids: generated pages carry a prebuilt index; hand-built pages
+  // get a local one (one hash per object, once per load).
+  std::size_t host_count = 0;
+  const bool indexed = !page.hosts.empty();
+  if (indexed) {
+    host_count = page.hosts.size();
+    for (const auto& o : page.objects)
+      if (o.host_id < 0 || static_cast<std::size_t>(o.host_id) >= host_count)
+        throw std::logic_error(
+            "PageLoader: stale host index (call WebPage::rebuild_host_index)");
+  } else {
+    scratch.local_index.clear();
+    scratch.local_ids.assign(n, 0);
+    int next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] = scratch.local_index.try_emplace(
+          std::string_view(page.objects[i].host), next);
+      if (inserted) ++next;
+      scratch.local_ids[i] = it->second;
+    }
+    host_count = static_cast<std::size_t>(next);
+  }
+  const auto id_of = [&](std::size_t index) {
+    return indexed ? static_cast<std::size_t>(page.objects[index].host_id)
+                   : static_cast<std::size_t>(scratch.local_ids[index]);
+  };
+  if (scratch.hosts.size() < host_count) scratch.hosts.resize(host_count);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    HostState& hs = scratch.hosts[i];
+    hs.dns_done = false;
+    hs.rtt_ms = 0.0;
+    hs.server_region = net::Region::kNorthAmerica;
+    hs.resolved_region = false;
+    hs.connection_free.clear();  // keeps capacity for the next load
+    hs.session_seen = false;
+  }
 
   const net::TransportProtocol base_transport =
       options.transport_override.value_or(page.transport);
@@ -104,8 +165,9 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
 
   // Resolve the serving region and RTT for a host, lazily, from the
   // first object fetched from it.
-  const auto host_state = [&](const web::WebObject& o) -> HostState& {
-    HostState& hs = hosts[o.host];
+  const auto host_state = [&](std::size_t index) -> HostState& {
+    const web::WebObject& o = page.objects[index];
+    HostState& hs = scratch.hosts[id_of(index)];
     if (!hs.resolved_region) {
       if (o.via_cdn) {
         const auto& provider = env_.registry->provider(o.cdn_provider_id);
@@ -139,12 +201,14 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   if (options.use_resource_hints) {
     int dns_budget = page.hints.dns_prefetch + page.hints.preconnect;
     int conn_budget = page.hints.preconnect;
-    std::set<std::string> seen;
+    scratch.hint_seen.assign(host_count, 0);
     for (std::size_t i = 1; i < page.objects.size() && dns_budget > 0; ++i) {
       const auto& o = page.objects[i];
       if (o.host == page.url.host) continue;
-      if (!seen.insert(o.host).second) continue;
-      HostState& hs = host_state(o);
+      const std::size_t id = id_of(i);
+      if (scratch.hint_seen[id]) continue;
+      scratch.hint_seen[id] = 1;
+      HostState& hs = host_state(i);
       hs.dns_done = true;  // completed before the object is needed
       --dns_budget;
       if (conn_budget > 0) {
@@ -169,21 +233,38 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   }
 
   // --- dependency-driven schedule ---
-  const std::size_t n = page.objects.size();
-  std::vector<double> finish(n, 0.0);
-  std::vector<double> ready(n, 0.0);
+  scratch.finish.assign(n, 0.0);
+  scratch.ready.assign(n, 0.0);
+  std::vector<double>& finish = scratch.finish;
+  std::vector<double>& ready = scratch.ready;
   // Min-heap of (ready_time, index); an object becomes ready when its
   // parent has been fetched and parsed.
-  using QueueItem = std::pair<double, std::size_t>;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
-  std::vector<std::vector<std::size_t>> children(n);
+  auto& heap = scratch.heap;
+  heap.clear();
+  const auto heap_push = [&](double at, std::size_t index) {
+    heap.emplace_back(at, index);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
+  // Children in CSR layout: child_items[child_offsets[p] ..
+  // child_offsets[p+1]) are p's children in ascending index order.
+  scratch.child_offsets.assign(n + 1, 0);
   for (std::size_t i = 1; i < n; ++i) {
     const int parent = page.objects[i].parent_index;
     if (parent < 0 || static_cast<std::size_t>(parent) >= i)
       throw std::logic_error("PageLoader: malformed dependency graph");
-    children[static_cast<std::size_t>(parent)].push_back(i);
+    ++scratch.child_offsets[static_cast<std::size_t>(parent) + 1];
   }
-  queue.emplace(0.0, 0);
+  for (std::size_t i = 1; i <= n; ++i)
+    scratch.child_offsets[i] += scratch.child_offsets[i - 1];
+  scratch.child_cursor.assign(scratch.child_offsets.begin(),
+                              scratch.child_offsets.end());
+  scratch.child_items.assign(n - 1, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<std::size_t>(page.objects[i].parent_index);
+    scratch.child_items[scratch.child_cursor[parent]++] =
+        static_cast<std::uint32_t>(i);
+  }
+  heap_push(0.0, 0);
 
   double first_paint_gate = 0.0;  // last render-blocking completion
   // Render-blocking resources also serialize on the browser main
@@ -193,11 +274,12 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   double blocking_main_thread_ms = 0.0;
   std::vector<PaintEvent> paint_events;
 
-  while (!queue.empty()) {
-    const auto [ready_at, index] = queue.top();
-    queue.pop();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [ready_at, index] = heap.back();
+    heap.pop_back();
     const web::WebObject& o = page.objects[index];
-    HostState& hs = host_state(o);
+    HostState& hs = host_state(index);
 
     HarEntry entry;
     entry.url = o.url;
@@ -457,10 +539,12 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     result.har.entries.push_back(std::move(entry));
 
     // Children become ready after this object is parsed.
-    for (std::size_t child : children[index]) {
+    for (std::size_t c = scratch.child_offsets[index];
+         c < scratch.child_offsets[index + 1]; ++c) {
+      const std::size_t child = scratch.child_items[c];
       const double parse_delay = rng.uniform(3.0, 15.0);
       ready[child] = t + parse_delay;
-      queue.emplace(ready[child], child);
+      heap_push(ready[child], child);
     }
   }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "browser/har.h"
@@ -102,12 +103,17 @@ struct LoadResult {
 class PageLoader {
  public:
   explicit PageLoader(LoaderEnv env);
+  ~PageLoader();
+  PageLoader(const PageLoader&) = delete;
+  PageLoader& operator=(const PageLoader&) = delete;
 
   // `rng` is taken by value: a load consumes randomness; repeat loads of
-  // the same page should pass freshly forked streams. The loader itself
-  // is stateless across loads (const); all mutable simulation state
-  // lives behind the env's cdn/resolver pointers, which the owner keeps
-  // per worker when loads run concurrently.
+  // the same page should pass freshly forked streams. A load's simulated
+  // result never depends on previous loads through this object — all
+  // simulation state lives behind the env's cdn/resolver pointers — but
+  // load() reuses internal scratch buffers across calls, so one
+  // PageLoader must not run two loads concurrently. Owners already keep
+  // one loader per worker (see LoaderEnv).
   LoadResult load(const web::WebPage& page, util::Rng rng,
                   const LoadOptions& options = {}) const;
 
@@ -115,6 +121,11 @@ class PageLoader {
   LoaderEnv env_;
   // Resolved once at construction; null when observability is off.
   obs::Histogram* wait_hist_ = nullptr;
+  // Per-load schedule/host buffers, pooled across loads (a campaign is
+  // tens of thousands of loads; reallocating them per load showed up in
+  // profiles). Mutable because reuse is invisible in load()'s results.
+  struct Scratch;
+  mutable std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace hispar::browser

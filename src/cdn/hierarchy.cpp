@@ -60,7 +60,10 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
     return response;
   }
 
-  const std::string lru_key = provider.name + "|" + to_string(edge).data();
+  const std::uint32_t lru_key =
+      static_cast<std::uint32_t>(provider.id) *
+          static_cast<std::uint32_t>(net::kRegionCount) +
+      static_cast<std::uint32_t>(edge);
   auto [it, inserted] = edge_lrus_.try_emplace(lru_key, config_.edge_lru_bytes);
   LruCache& lru = it->second;
 

@@ -122,8 +122,12 @@ class CdnHierarchy {
   const CdnRegistry* registry_;
   const net::LatencyModel* latency_;
   CdnHierarchyConfig config_;
-  // LRU per (provider, edge region).
-  std::unordered_map<std::string, LruCache> edge_lrus_;
+  // LRU per (provider, edge region), keyed by the provider's dense id
+  // times the region count plus the edge region — an integer key on a
+  // hot path that used to build a `name + "|" + region` string per
+  // cacheable request. Stats over this map (lru_evictions) are sums,
+  // so iteration order is irrelevant.
+  std::unordered_map<std::uint32_t, LruCache> edge_lrus_;
   std::uint64_t requests_ = 0;
   std::uint64_t edge_hits_ = 0;
   std::uint64_t edge_lru_hits_ = 0;

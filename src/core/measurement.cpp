@@ -17,15 +17,6 @@
 
 namespace hispar::core {
 
-namespace {
-
-// Median over loads, field by field.
-double median_of(std::vector<double>& values) {
-  return util::median(values);
-}
-
-}  // namespace
-
 double SiteObservation::success_rate() const {
   if (outcomes.empty()) return 1.0;
   std::size_t ok = 0;
@@ -141,7 +132,11 @@ const web::WebSite& MeasurementCampaign::require_site(
 MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
     ShardState& state, const web::WebSite& site, std::size_t page_index,
     int load_ordinal) {
-  const web::WebPage page = site.page(page_index);
+  // Materialize through the shard's page cache: the 10 landing rounds
+  // (and page-level retries below) reuse one generated WebPage. The
+  // reference stays valid across this fetch — only another page of
+  // another (site, index) can evict it.
+  const web::WebPage& page = state.pages.get(site, page_index);
   const bool faulty = config_.fault_profile.enabled();
   const int max_attempts = faulty ? 1 + std::max(0, config_.max_page_retries) : 1;
 
@@ -228,7 +223,7 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
     }
 
     if (result.status != browser::LoadStatus::kFailed) {
-      fetch.metrics = extract_metrics(page, result, state.metrics.get());
+      fetch.metrics = extract_metrics(state, page, result);
       fetch.usable = true;
       return fetch;
     }
@@ -241,9 +236,11 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
 }
 
 PageMetrics MeasurementCampaign::extract_metrics(
-    const web::WebPage& page, const browser::LoadResult& result,
-    obs::MetricsRegistry* metrics) const {
+    ShardState& state, const web::WebPage& page,
+    const browser::LoadResult& result) const {
   const browser::HarLog& har = result.har;
+  DetectionScratch& d = state.detect;
+  obs::MetricsRegistry* metrics = state.metrics.get();
 
   PageMetrics m;
   m.bytes = har.total_bytes();
@@ -262,6 +259,13 @@ PageMetrics MeasurementCampaign::extract_metrics(
   m.mixed_content = har.has_mixed_content();
   m.hints_total = page.hints.total();  // DOM inspection (§5.5)
 
+  // The page's own registrable domain, computed once per load instead
+  // of once per entry (is_third_party recomputes both sides).
+  const std::string page_rd = util::registrable_domain(page.url.host);
+  d.hb_hosts.clear();
+  d.hb_urls.clear();
+  std::size_t tracking_requests = 0;
+
   double cacheable_bytes = 0.0;
   double cdn_bytes = 0.0;
   for (const auto& entry : har.entries) {
@@ -272,13 +276,45 @@ PageMetrics MeasurementCampaign::extract_metrics(
     // Content mix from HAR MIME types (§5.2).
     const auto category = web::categorize_mime_type(entry.mime_type);
     m.mix_fractions[static_cast<std::size_t>(category)] += entry.body_size;
-    // CDN classification via cdnfinder heuristics (§5.1).
-    cdn::ObservedFetch fetch{entry.host, entry.dns_cname,
-                             entry.response_headers};
-    if (detector_.classify(fetch).via_cdn) cdn_bytes += entry.body_size;
-    // Third parties by registrable domain (§6.2).
-    if (util::is_third_party(page.url.host, entry.host))
-      m.third_parties.insert(util::registrable_domain(entry.host));
+    // CDN classification via cdnfinder heuristics (§5.1), memoized on
+    // the full (host, CNAME, headers) tuple classify() reads.
+    d.key_buf.assign(entry.host);
+    d.key_buf.push_back('\n');
+    if (entry.dns_cname) {
+      d.key_buf.push_back('@');
+      d.key_buf.append(*entry.dns_cname);
+    }
+    for (const auto& header : entry.response_headers) {
+      d.key_buf.push_back('\n');
+      d.key_buf.append(header);
+    }
+    const std::uint32_t fetch_id = d.fetch_keys.intern(d.key_buf);
+    if (fetch_id == d.via_cdn.size()) {
+      const cdn::ObservedFetch fetch{entry.host, entry.dns_cname,
+                                     entry.response_headers};
+      d.via_cdn.push_back(detector_.classify(fetch).via_cdn ? 1 : 0);
+    }
+    if (d.via_cdn[fetch_id] != 0) cdn_bytes += entry.body_size;
+    // Third parties by registrable domain (§6.2), host memoized.
+    const std::uint32_t host_id = d.hosts.intern(entry.host);
+    if (host_id == d.registrable.size())
+      d.registrable.push_back(util::registrable_domain(entry.host));
+    if (d.registrable[host_id] != page_rd)
+      m.third_parties.insert(d.registrable[host_id]);
+    // Tracker / header-bidding pattern scans (§6.3), URL memoized.
+    const std::uint32_t url_id = d.urls.intern(entry.url);
+    if (url_id == d.url_flags.size()) {
+      std::uint8_t flags = 0;
+      if (adblock_.matches(entry.url)) flags |= 1;
+      const auto [exchange, creative] = hb_.classify_url(entry.url);
+      if (exchange) flags |= 2;
+      if (creative) flags |= 4;
+      d.url_flags.push_back(flags);
+    }
+    const std::uint8_t flags = d.url_flags[url_id];
+    if ((flags & 1) != 0) ++tracking_requests;
+    if ((flags & 2) != 0) d.hb_hosts.push_back(entry.host);
+    if ((flags & 4) != 0) d.hb_urls.push_back(entry.url);
     // Per-object wait phase (§5.6, Fig. 7); memory-capped, see
     // PageMetrics::wait_samples_ms.
     if (m.wait_samples_ms.size() < config_.wait_sample_cap)
@@ -300,15 +336,24 @@ PageMetrics MeasurementCampaign::extract_metrics(
     ++m.depth_counts[depth];
   }
 
-  m.tracking_requests = static_cast<double>(adblock_.count_blocked(har));
-  const browser::HbResult hb_result = hb_.analyze(har);
-  m.header_bidding = hb_result.header_bidding;
-  m.hb_ad_slots = static_cast<double>(hb_result.ad_slots);
+  // §6.3 aggregation, replicating AdBlocker::count_blocked and
+  // HbDetector::analyze over the memoized per-URL verdicts: blocked
+  // entries count one each; header bidding needs >= 2 distinct exchange
+  // hosts; ad slots are distinct creative URLs.
+  m.tracking_requests = static_cast<double>(tracking_requests);
+  std::sort(d.hb_hosts.begin(), d.hb_hosts.end());
+  d.hb_hosts.erase(std::unique(d.hb_hosts.begin(), d.hb_hosts.end()),
+                   d.hb_hosts.end());
+  std::sort(d.hb_urls.begin(), d.hb_urls.end());
+  d.hb_urls.erase(std::unique(d.hb_urls.begin(), d.hb_urls.end()),
+                  d.hb_urls.end());
+  m.header_bidding = d.hb_hosts.size() >= 2;
+  m.hb_ad_slots = static_cast<double>(d.hb_urls.size());
   return m;
 }
 
 PageMetrics MeasurementCampaign::median_metrics(
-    std::vector<PageMetrics> loads) {
+    const std::vector<PageMetrics>& loads) {
   if (loads.empty())
     throw std::invalid_argument("median_metrics: no loads");
   if (loads.size() == 1) return loads.front();
@@ -330,11 +375,14 @@ PageMetrics MeasurementCampaign::median_metrics(
   out.header_bidding = 2 * hb_votes > loads.size();
   out.mixed_content = any_mixed;
 
+  // One scratch buffer for every field: gather, sort in place, read the
+  // type-7 median (util::median on a copy computes the same value).
+  std::vector<double> scratch;
+  scratch.reserve(loads.size());
   const auto median_field = [&](double PageMetrics::* field) {
-    std::vector<double> values;
-    values.reserve(loads.size());
-    for (const auto& load : loads) values.push_back(load.*field);
-    out.*field = median_of(values);
+    scratch.clear();
+    for (const auto& load : loads) scratch.push_back(load.*field);
+    out.*field = util::median_inplace(scratch);
   };
   median_field(&PageMetrics::bytes);
   median_field(&PageMetrics::objects);
@@ -355,14 +403,14 @@ PageMetrics MeasurementCampaign::median_metrics(
   median_field(&PageMetrics::tracking_requests);
   median_field(&PageMetrics::hb_ad_slots);
   for (std::size_t i = 0; i < out.mix_fractions.size(); ++i) {
-    std::vector<double> values;
-    for (const auto& load : loads) values.push_back(load.mix_fractions[i]);
-    out.mix_fractions[i] = median_of(values);
+    scratch.clear();
+    for (const auto& load : loads) scratch.push_back(load.mix_fractions[i]);
+    out.mix_fractions[i] = util::median_inplace(scratch);
   }
   for (std::size_t i = 0; i < out.depth_counts.size(); ++i) {
-    std::vector<double> values;
-    for (const auto& load : loads) values.push_back(load.depth_counts[i]);
-    out.depth_counts[i] = median_of(values);
+    scratch.clear();
+    for (const auto& load : loads) scratch.push_back(load.depth_counts[i]);
+    out.depth_counts[i] = util::median_inplace(scratch);
   }
   out.third_parties.clear();
   out.wait_samples_ms.clear();

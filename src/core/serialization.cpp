@@ -132,6 +132,29 @@ HisparList load_csv(const std::string& path) {
   return read_csv(in, path);
 }
 
+// --- Campaign results CSV ---
+
+void write_measure_csv(std::ostream& out,
+                       const std::vector<SiteObservation>& sites) {
+  out << "domain,rank,page,bytes,objects,plt_ms,speed_index_ms,domains,"
+         "noncacheable,cdn_fraction,handshakes,trackers\n";
+  const auto emit = [&out](const std::string& domain, std::size_t rank,
+                           const std::string& kind, const PageMetrics& m) {
+    out << domain << ',' << rank << ',' << kind << ',' << m.bytes << ','
+        << m.objects << ',' << m.plt_ms << ',' << m.speed_index_ms << ','
+        << m.unique_domains << ',' << m.noncacheable_objects << ','
+        << m.cdn_bytes_fraction << ',' << m.handshakes << ','
+        << m.tracking_requests << '\n';
+  };
+  for (const auto& site : sites) {
+    if (site.quarantined) continue;
+    emit(site.domain, site.bootstrap_rank, "landing", site.landing);
+    for (std::size_t i = 0; i < site.internals.size(); ++i)
+      emit(site.domain, site.bootstrap_rank,
+           "internal-" + std::to_string(i + 1), site.internals[i]);
+  }
+}
+
 // --- Campaign checkpoints ---
 
 namespace {

@@ -36,6 +36,16 @@ std::string to_json(const HisparList& list);
 void save_csv(const HisparList& list, const std::string& path);
 HisparList load_csv(const std::string& path);
 
+// --- Campaign results CSV ---
+//
+// One row per measured page: the landing median first, then the
+// internals as "internal-<i>". Quarantined sites (no usable landing
+// load) are skipped — they carry no data rows, only failure accounting.
+// Doubles use default ostream formatting; `hispar measure` has always
+// written exactly these bytes (tests/test_golden.cpp pins the format).
+void write_measure_csv(std::ostream& out,
+                       const std::vector<SiteObservation>& sites);
+
 // --- Campaign checkpoints ---
 //
 // Append-only, line-oriented resume file for MeasurementCampaign::run().

@@ -50,7 +50,9 @@ DnsLookupResult CachingResolver::resolve(const DnsRecord& record, double now_s,
       config_.cache_shards == 1
           ? 0
           : static_cast<int>(rng.uniform_int(0, config_.cache_shards - 1));
-  const CacheKey key{record.domain, shard};
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(domains_.intern(record.domain)) << 32) |
+      static_cast<std::uint32_t>(shard);
 
   const double ttl = effective_ttl_s(record);
   auto it = expiry_.find(key);
@@ -95,6 +97,7 @@ double CachingResolver::hit_rate() const {
 
 void CachingResolver::clear() {
   expiry_.clear();
+  domains_.clear();
   queries_ = 0;
   hits_ = 0;
 }

@@ -26,6 +26,7 @@
 
 #include "net/latency.h"
 #include "obs/metrics.h"
+#include "util/intern.h"
 #include "util/rng.h"
 
 namespace hispar::net {
@@ -90,26 +91,29 @@ class CachingResolver {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  struct CacheKey {
-    std::string domain;
-    int shard;
-    bool operator==(const CacheKey&) const = default;
-  };
+  // Cache keys are (interned domain id << 32) | shard. Interning turns
+  // the per-resolve cost from hash-of-string + string compares into one
+  // string hash on the symbol table plus integer map ops; a campaign
+  // resolves the same few thousand domains millions of times. The
+  // packed id is an implementation detail — it never leaves this class
+  // and nothing observable depends on id assignment order.
   struct CacheKeyHash {
-    // FNV-1a over the domain, then the shard folded in with an FNV
-    // multiply: `hash*31 + shard` clustered (domain, shard) keys into
-    // adjacent buckets on large campaigns.
-    std::size_t operator()(const CacheKey& k) const {
-      std::uint64_t h = util::fnv1a(k.domain);
-      h ^= static_cast<std::uint64_t>(static_cast<unsigned>(k.shard));
-      h *= 0x100000001b3ULL;
-      return static_cast<std::size_t>(h);
+    // splitmix64 finalizer: packed keys are near-sequential, so they
+    // need real mixing to spread across buckets.
+    std::size_t operator()(std::uint64_t k) const {
+      k ^= k >> 30;
+      k *= 0xbf58476d1ce4e5b9ULL;
+      k ^= k >> 27;
+      k *= 0x94d049bb133111ebULL;
+      k ^= k >> 31;
+      return static_cast<std::size_t>(k);
     }
   };
 
   ResolverConfig config_;
   const LatencyModel* latency_;
-  std::unordered_map<CacheKey, double, CacheKeyHash> expiry_;  // now_s based
+  util::SymbolTable domains_;
+  std::unordered_map<std::uint64_t, double, CacheKeyHash> expiry_;  // now_s based
   std::uint64_t queries_ = 0;
   std::uint64_t hits_ = 0;
   // Pre-resolved metric handles (see set_metrics); null when detached.

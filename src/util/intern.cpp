@@ -1,0 +1,73 @@
+#include "util/intern.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hispar::util {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}
+
+std::uint32_t SymbolTable::intern(std::string_view s) {
+  if (slots_.empty()) slots_.resize(kInitialSlots);
+  const std::uint64_t hash = fnv1a(s);
+  const Slot* slot = locate(s, hash);
+  if (slot->id != kNpos) return slot->id;
+
+  // Keep the load factor under 0.7 so probe chains stay short.
+  if ((strings_.size() + 1) * 10 >= slots_.size() * 7) {
+    grow();
+    slot = locate(s, hash);
+  }
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  const_cast<Slot*>(slot)->hash = hash;
+  const_cast<Slot*>(slot)->id = id;
+  return id;
+}
+
+std::uint32_t SymbolTable::find(std::string_view s) const {
+  if (slots_.empty()) return kNpos;
+  return locate(s, fnv1a(s))->id;
+}
+
+std::string_view SymbolTable::view(std::uint32_t id) const {
+  if (id >= strings_.size())
+    throw std::out_of_range("SymbolTable::view: unknown id");
+  return strings_[id];
+}
+
+void SymbolTable::clear() {
+  slots_.clear();
+  strings_.clear();
+}
+
+const SymbolTable::Slot* SymbolTable::locate(std::string_view s,
+                                             std::uint64_t hash) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t index = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const Slot& slot = slots_[index];
+    // Equal hashes are not enough: distinct strings can collide, so the
+    // stored string is always compared before a hit is declared.
+    if (slot.id == kNpos || (slot.hash == hash && strings_[slot.id] == s))
+      return &slot;
+    index = (index + 1) & mask;
+  }
+}
+
+void SymbolTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.id == kNpos) continue;
+    std::size_t index = static_cast<std::size_t>(slot.hash) & mask;
+    while (slots_[index].id != kNpos) index = (index + 1) & mask;
+    slots_[index] = slot;
+  }
+}
+
+}  // namespace hispar::util

@@ -1,0 +1,61 @@
+// String interning: a symbol table mapping strings to dense ids.
+//
+// The measurement hot path keys several per-shard maps (DNS cache
+// entries, CDN edge LRUs, per-host browser state) by domain/URL
+// strings; every lookup re-hashes and often re-allocates the same few
+// hundred strings tens of thousands of times per campaign. A
+// SymbolTable assigns each distinct string a stable uint32 id in
+// insertion order, so hot maps can key on integers instead.
+//
+// Determinism: ids depend only on the sequence of intern() calls, which
+// on the measurement path is a pure function of (list, seed, shards) —
+// never of --jobs — because each shard owns its own table. Nothing ever
+// iterates the internal hash table, so bucket order is unobservable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hispar::util {
+
+class SymbolTable {
+ public:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id of `s`, inserting it on first sight. Ids are dense:
+  // the first distinct string gets 0, the next 1, and so on.
+  std::uint32_t intern(std::string_view s);
+
+  // Id of `s` if already interned, kNpos otherwise.
+  std::uint32_t find(std::string_view s) const;
+
+  // The string behind an id; valid for the table's lifetime (storage is
+  // address-stable, so views survive later intern() calls).
+  std::string_view view(std::uint32_t id) const;
+
+  std::size_t size() const { return strings_.size(); }
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t id = kNpos;  // kNpos marks an empty slot
+  };
+
+  void grow();
+  const Slot* locate(std::string_view s, std::uint64_t hash) const;
+
+  // Open-addressing table over FNV-1a hashes; strings live in a deque so
+  // views handed out by view() never move.
+  std::vector<Slot> slots_;
+  std::deque<std::string> strings_;
+};
+
+}  // namespace hispar::util

@@ -35,15 +35,24 @@ double geometric_mean(std::span<const double> xs) {
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   const double h = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(h));
   const auto hi = static_cast<std::size_t>(std::ceil(h));
   return sorted[lo] + (h - std::floor(h)) * (sorted[hi] - sorted[lo]);
+}
+
+double median_inplace(std::span<double> values) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, 0.5);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }

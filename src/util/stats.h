@@ -25,6 +25,13 @@ double geometric_mean(std::span<const double> xs);
 double quantile(std::span<const double> xs, double q);
 double median(std::span<const double> xs);
 
+// Allocation-free variants for hot paths. `quantile_sorted` requires
+// `sorted` ascending (it is the single home of the type-7 math; the
+// copying overloads above delegate to it). `median_inplace` sorts
+// `values` in place — callers own a scratch buffer they refill anyway.
+double quantile_sorted(std::span<const double> sorted, double q);
+double median_inplace(std::span<double> values);
+
 // Fraction of values strictly below `threshold` / at-or-below.
 double fraction_below(std::span<const double> xs, double threshold);
 double fraction_at_or_below(std::span<const double> xs, double threshold);

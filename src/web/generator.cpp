@@ -220,4 +220,50 @@ const WebSite& SyntheticWeb::crawl_site(CrawlSite s) const {
   return *site;
 }
 
+const WebPage& PageCache::get(const WebSite& site, std::size_t page_index) {
+  if (page_index == 0 && landing_.size() < kMaxPinned) {
+    const auto it = landing_.find(&site);
+    if (it != landing_.end()) {
+      ++hits_;
+      if (metric_hits_ != nullptr) ++*metric_hits_;
+      return it->second;
+    }
+    ++misses_;
+    if (metric_misses_ != nullptr) ++*metric_misses_;
+    return landing_.emplace(&site, site.page(0)).first->second;
+  }
+  if (last_valid_ && last_site_ == &site && last_index_ == page_index) {
+    ++hits_;
+    if (metric_hits_ != nullptr) ++*metric_hits_;
+    return last_;
+  }
+  ++misses_;
+  if (metric_misses_ != nullptr) ++*metric_misses_;
+  last_ = site.page(page_index);
+  last_site_ = &site;
+  last_index_ = page_index;
+  last_valid_ = true;
+  return last_;
+}
+
+void PageCache::clear() {
+  landing_.clear();
+  last_site_ = nullptr;
+  last_index_ = 0;
+  last_valid_ = false;
+  last_ = WebPage{};
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PageCache::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_hits_ = nullptr;
+    metric_misses_ = nullptr;
+    return;
+  }
+  metric_hits_ = &metrics->counter("web.page_cache.hit");
+  metric_misses_ = &metrics->counter("web.page_cache.miss");
+}
+
 }  // namespace hispar::web

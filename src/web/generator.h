@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cdn/provider.h"
+#include "obs/metrics.h"
 #include "web/site.h"
 #include "web/thirdparty.h"
 
@@ -59,6 +60,57 @@ class SyntheticWeb {
   std::vector<std::string> domains_;  // domains_[rank-1]
   std::vector<std::unique_ptr<WebSite>> sites_;
   std::unordered_map<std::string, std::size_t> domain_to_rank_;
+};
+
+// Per-shard page materialization cache.
+//
+// WebSite::page(index) is a pure function of (site, index): it forks a
+// private RNG stream and touches no shared state, so a materialized
+// WebPage can be reused freely — the campaign's 10 repeated landing
+// loads and page-level retries otherwise regenerate the identical
+// object graph every time. Landing pages (index 0) are pinned per site
+// (they are re-fetched across interleaved rounds); the most recent
+// internal page is kept in a single slot (it is re-fetched only by
+// page-level retries and crawl-style repeat access).
+//
+// Not thread-safe: one cache per shard, like the resolver and the CDN
+// state. Reusing a cached page is output-identical to regenerating it,
+// so campaigns with and without the cache produce the same bytes.
+class PageCache {
+ public:
+  PageCache() = default;
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // The returned reference stays valid until the next get() for the
+  // same slot (pinned landing pages: until clear()).
+  const WebPage& get(const WebSite& site, std::size_t page_index);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clear();
+
+  // Observability hook (same shape as CachingResolver::set_metrics):
+  // resolves `web.page_cache.hit` / `web.page_cache.miss` counter
+  // handles once; get() updates them behind a null check. Pass nullptr
+  // to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  // Pinned landing pages, one per site seen. Bounded by the number of
+  // sites a shard measures; the cap below is a memory backstop for
+  // pathological callers (beyond it, landing pages fall back to the
+  // single-slot path).
+  static constexpr std::size_t kMaxPinned = 4096;
+  std::unordered_map<const WebSite*, WebPage> landing_;
+  const WebSite* last_site_ = nullptr;
+  std::size_t last_index_ = 0;
+  bool last_valid_ = false;
+  WebPage last_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t* metric_hits_ = nullptr;
+  std::uint64_t* metric_misses_ = nullptr;
 };
 
 }  // namespace hispar::web

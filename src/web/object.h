@@ -27,6 +27,12 @@ struct WebObject {
   int depth = 0;
   int parent_index = -1;  // index into WebPage::objects; -1 for the root
 
+  // Dense per-page host index: position of `host` in WebPage::hosts,
+  // filled by WebPage::rebuild_host_index() (generated pages always
+  // carry it). -1 when the page never built its host index; hot-path
+  // consumers fall back to hashing `host` in that case.
+  int host_id = -1;
+
   bool cacheable = true;
   bool via_cdn = false;
   int cdn_provider_id = -1;  // valid iff via_cdn

@@ -1,6 +1,8 @@
 #include "web/page.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 namespace hispar::web {
 
@@ -66,6 +68,18 @@ std::set<std::string> WebPage::third_party_domains() const {
       out.insert(util::registrable_domain(o.host));
   }
   return out;
+}
+
+void WebPage::rebuild_host_index() {
+  hosts.clear();
+  std::unordered_map<std::string_view, int> ids;
+  ids.reserve(objects.size());
+  for (auto& o : objects) {
+    const auto [it, inserted] =
+        ids.try_emplace(std::string_view(o.host), static_cast<int>(hosts.size()));
+    if (inserted) hosts.push_back(o.host);
+    o.host_id = it->second;
+  }
 }
 
 std::size_t WebPage::tracking_requests() const {

@@ -41,6 +41,12 @@ struct WebPage {
   double visit_rate = 0.0;
 
   std::vector<WebObject> objects;   // objects[0] is the root document
+  // Distinct object hosts in first-appearance order; every object's
+  // host_id indexes into it. Generated pages carry the index (see
+  // WebSite::page); hand-built pages may call rebuild_host_index() or
+  // leave it empty — consumers treat it as an optimization, never a
+  // requirement. Stale after objects are edited without a rebuild.
+  std::vector<std::string> hosts;
   ResourceHints hints;
 
   // Advertising (§6.3).
@@ -75,6 +81,10 @@ struct WebPage {
   std::set<std::string> third_party_domains() const;
   // Requests an EasyList-style blocker would flag (§6.3).
   std::size_t tracking_requests() const;
+
+  // Rebuilds `hosts` and every object's host_id from `objects`. Pure
+  // bookkeeping: draws no randomness, changes no measured property.
+  void rebuild_host_index();
 };
 
 }  // namespace hispar::web

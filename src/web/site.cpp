@@ -289,6 +289,9 @@ WebPage WebSite::page(std::size_t page_index) const {
       else ++page.hints.prerender;
     }
   }
+  // Deterministic post-pass (no RNG): the loader keys per-host state by
+  // these dense ids instead of hashing host strings per object.
+  page.rebuild_host_index();
   return page;
 }
 

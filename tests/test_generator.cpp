@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace {
 
 using namespace hispar::web;
@@ -108,6 +110,87 @@ TEST(SyntheticWebTest, CrawlSiteLabels) {
   EXPECT_EQ(crawl_site_label(CrawlSite::kWikipedia), "WP");
   EXPECT_EQ(crawl_site_label(CrawlSite::kAcademic), "AC");
   EXPECT_EQ(crawl_site_domain(CrawlSite::kTwitter), "twitter.com");
+}
+
+bool pages_equal(const WebPage& a, const WebPage& b) {
+  if (a.url.host != b.url.host || a.url.path != b.url.path) return false;
+  if (a.objects.size() != b.objects.size()) return false;
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    if (a.objects[i].url != b.objects[i].url) return false;
+    if (a.objects[i].size_bytes != b.objects[i].size_bytes) return false;
+    if (a.objects[i].parent_index != b.objects[i].parent_index) return false;
+    if (a.objects[i].host_id != b.objects[i].host_id) return false;
+  }
+  return a.external_links == b.external_links;
+}
+
+TEST(PageCacheTest, CachedPageEqualsFreshMaterialization) {
+  const SyntheticWeb web(small_config());
+  const WebSite& site = web.site_by_rank(7);
+  PageCache cache;
+  const WebPage& cached = cache.get(site, 3);
+  const WebPage fresh = site.page(3);
+  EXPECT_TRUE(pages_equal(cached, fresh));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PageCacheTest, RepeatLandingLoadsHitTheCache) {
+  const SyntheticWeb web(small_config());
+  const WebSite& site = web.site_by_rank(7);
+  PageCache cache;
+  const WebPage& first = cache.get(site, 0);
+  const WebPage* pinned = &first;
+  for (int load = 0; load < 9; ++load) {
+    const WebPage& again = cache.get(site, 0);
+    // Pinned landing pages are reference-stable across other gets.
+    EXPECT_EQ(&again, pinned);
+    cache.get(site, 1 + static_cast<std::size_t>(load % 3));
+  }
+  EXPECT_EQ(cache.hits(), 9u);
+}
+
+TEST(PageCacheTest, SingleSlotCoversImmediateRetryOnly) {
+  const SyntheticWeb web(small_config());
+  const WebSite& site = web.site_by_rank(7);
+  PageCache cache;
+  cache.get(site, 2);
+  cache.get(site, 2);  // retry of the same internal page: hit
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.get(site, 3);  // different page evicts the slot
+  cache.get(site, 2);  // miss again
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PageCacheTest, HitCounterReportsToMetricsRegistry) {
+  const SyntheticWeb web(small_config());
+  const WebSite& site = web.site_by_rank(12);
+  PageCache cache;
+  hispar::obs::MetricsRegistry metrics;
+  cache.set_metrics(&metrics);
+  cache.get(site, 0);
+  cache.get(site, 0);
+  cache.get(site, 0);
+  EXPECT_EQ(metrics.counter_or("web.page_cache.hit"), 2u);
+  EXPECT_EQ(metrics.counter_or("web.page_cache.miss"), 1u);
+  cache.set_metrics(nullptr);  // detached: counters stop moving
+  cache.get(site, 0);
+  EXPECT_EQ(metrics.counter_or("web.page_cache.hit"), 2u);
+  EXPECT_EQ(cache.hits(), 3u);  // internal tally still counts
+}
+
+TEST(PageCacheTest, ClearResetsEverything) {
+  const SyntheticWeb web(small_config());
+  const WebSite& site = web.site_by_rank(7);
+  PageCache cache;
+  cache.get(site, 0);
+  cache.get(site, 0);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  cache.get(site, 0);
+  EXPECT_EQ(cache.misses(), 1u);  // landing pin was dropped
 }
 
 }  // namespace

@@ -205,6 +205,59 @@ TEST_F(MeasurementTest, MedianMetricsFlagsMixedContentOnAnyLoad) {
   EXPECT_FALSE(median.is_http);
 }
 
+// Pins the numeric semantics of median_metrics (type-7 / R default
+// quantile, the same rule util::median implements) against hand-worked
+// values, so the sort-in-place rewrite — and any future one — cannot
+// silently change the aggregate a site reports.
+TEST_F(MeasurementTest, MedianMetricsMatchesHandComputedType7Median) {
+  // Odd count: plain middle element, regardless of input order.
+  std::vector<PageMetrics> odd(3);
+  odd[0].plt_ms = 300.0;
+  odd[1].plt_ms = 100.0;
+  odd[2].plt_ms = 200.0;
+  odd[0].bytes = 5.0;
+  odd[1].bytes = 1.0;
+  odd[2].bytes = 9.0;
+  const PageMetrics odd_median = MeasurementCampaign::median_metrics(odd);
+  EXPECT_DOUBLE_EQ(odd_median.plt_ms, 200.0);
+  EXPECT_DOUBLE_EQ(odd_median.bytes, 5.0);
+
+  // Even count: type-7 interpolates halfway between the two middle
+  // order statistics — h = 0.5 * (4 - 1) = 1.5, so the median of
+  // {10, 20, 40, 80} is 20 + 0.5 * (40 - 20) = 30.
+  std::vector<PageMetrics> even(4);
+  even[0].speed_index_ms = 80.0;
+  even[1].speed_index_ms = 10.0;
+  even[2].speed_index_ms = 40.0;
+  even[3].speed_index_ms = 20.0;
+  for (std::size_t i = 0; i < even.size(); ++i) {
+    even[i].mix_fractions[1] = static_cast<double>(i + 1);  // {1,2,3,4}
+    even[i].depth_counts[0] = static_cast<double>(10 * (i + 1));
+  }
+  const PageMetrics even_median = MeasurementCampaign::median_metrics(even);
+  EXPECT_DOUBLE_EQ(even_median.speed_index_ms, 30.0);
+  // Array-valued fields take elementwise medians over the loads.
+  EXPECT_DOUBLE_EQ(even_median.mix_fractions[1], 2.5);
+  EXPECT_DOUBLE_EQ(even_median.depth_counts[0], 25.0);
+
+  // Non-median aggregations ride along: third parties union, wait
+  // samples concatenate in load order.
+  std::vector<PageMetrics> pooled(2);
+  pooled[0].third_parties = {"a.com"};
+  pooled[1].third_parties = {"a.com", "b.com"};
+  pooled[0].wait_samples_ms = {1.0, 2.0};
+  pooled[1].wait_samples_ms = {3.0};
+  const PageMetrics merged = MeasurementCampaign::median_metrics(pooled);
+  EXPECT_EQ(merged.third_parties.size(), 2u);
+  const std::vector<double> expected_waits = {1.0, 2.0, 3.0};
+  EXPECT_EQ(merged.wait_samples_ms, expected_waits);
+
+  // A single load is returned untouched (no interpolation artifacts).
+  std::vector<PageMetrics> one(1);
+  one[0].plt_ms = 123.25;
+  EXPECT_DOUBLE_EQ(MeasurementCampaign::median_metrics(one).plt_ms, 123.25);
+}
+
 TEST_F(MeasurementTest, CampaignIsDeterministicForSameSeed) {
   const auto list = build_list(5);
   CampaignConfig config;

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/intern.h"
+
 namespace {
 
 using namespace hispar::util;
@@ -80,5 +87,78 @@ INSTANTIATE_TEST_SUITE_P(
         GlobCase{"*://ads.*", "https://ads.thirdparty4.com/lib/2", true},
         GlobCase{"*://ads.*", "https://www.ads-site.com/", false},
         GlobCase{"a*b*c", "aXbYc", true}, GlobCase{"a*b*c", "acb", false}));
+
+TEST(SymbolTable, IdsAreDenseInInsertionOrder) {
+  hispar::util::SymbolTable table;
+  EXPECT_EQ(table.intern("alpha"), 0u);
+  EXPECT_EQ(table.intern("beta"), 1u);
+  EXPECT_EQ(table.intern("alpha"), 0u);  // re-intern is a lookup
+  EXPECT_EQ(table.intern("gamma"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTable, FindDoesNotInsert) {
+  hispar::util::SymbolTable table;
+  EXPECT_EQ(table.find("missing"), hispar::util::SymbolTable::kNpos);
+  EXPECT_EQ(table.size(), 0u);
+  table.intern("present");
+  EXPECT_EQ(table.find("present"), 0u);
+  EXPECT_EQ(table.find("missing"), hispar::util::SymbolTable::kNpos);
+}
+
+TEST(SymbolTable, EmptyStringIsAValidSymbol) {
+  hispar::util::SymbolTable table;
+  EXPECT_EQ(table.intern(""), 0u);
+  EXPECT_EQ(table.intern(""), 0u);
+  EXPECT_EQ(table.view(0), "");
+}
+
+TEST(SymbolTable, RoundTripsThroughGrowthAndKeepsViewsStable) {
+  // Push far past the initial slot count so the open-addressing table
+  // rehashes several times; every id and view must survive, and views
+  // taken before growth must stay valid (storage is address-stable).
+  hispar::util::SymbolTable table;
+  const std::string_view early = table.view(table.intern("domain0.com"));
+  std::vector<std::string> names;
+  for (int i = 0; i < 2000; ++i)
+    names.push_back("domain" + std::to_string(i) + ".com");
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(table.intern(names[i]), static_cast<std::uint32_t>(i));
+  EXPECT_EQ(table.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(table.find(names[i]), static_cast<std::uint32_t>(i));
+    EXPECT_EQ(table.view(static_cast<std::uint32_t>(i)), names[i]);
+  }
+  EXPECT_EQ(early, "domain0.com");
+}
+
+TEST(SymbolTable, HashCollisionsAreResolvedByStringCompare) {
+  // The table compares stored bytes before declaring a hit, so strings
+  // that collide in the hash (or land in each other's probe chains)
+  // still get distinct ids. Exercise with many near-identical keys of
+  // the shapes the campaign interns (URLs differing in one character).
+  hispar::util::SymbolTable table;
+  std::vector<std::string> urls;
+  for (int site = 0; site < 40; ++site)
+    for (int object = 0; object < 40; ++object)
+      urls.push_back("https://cdn" + std::to_string(site) +
+                     ".example.com/asset/" + std::to_string(object));
+  for (std::size_t i = 0; i < urls.size(); ++i)
+    ASSERT_EQ(table.intern(urls[i]), static_cast<std::uint32_t>(i));
+  // Second pass: every key resolves to its original id, none inserted.
+  for (std::size_t i = 0; i < urls.size(); ++i)
+    ASSERT_EQ(table.intern(urls[i]), static_cast<std::uint32_t>(i));
+  EXPECT_EQ(table.size(), urls.size());
+}
+
+TEST(SymbolTable, ClearResetsToEmpty) {
+  hispar::util::SymbolTable table;
+  table.intern("a");
+  table.intern("b");
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.find("a"), hispar::util::SymbolTable::kNpos);
+  EXPECT_EQ(table.intern("b"), 0u);  // ids restart from zero
+}
 
 }  // namespace

@@ -1,0 +1,111 @@
+// bench_diff: compare two bench telemetry files (BENCH_*.json, the
+// deterministic metrics-JSON schema obs::MetricsRegistry exports).
+//
+//   bench_diff BASELINE.json AFTER.json
+//
+// Prints one table row per gauge and counter present in either file.
+// Gauges named *_ms or *_s are timings: the table adds a speedup
+// column (baseline / after, so > 1.0 is faster). The tool is report-only — it
+// exits 0 whatever the numbers say (CI uses it to annotate perf-smoke
+// runs, not to gate them) and non-zero only for usage or parse errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using hispar::obs::JsonValue;
+
+JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench_diff: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return hispar::obs::parse_json(buffer.str());
+}
+
+// Flattens a metrics-JSON section ("gauges" or "counters") into
+// name -> value; missing or non-object sections yield an empty map.
+std::map<std::string, double> section(const JsonValue& document,
+                                      const char* name) {
+  std::map<std::string, double> values;
+  const JsonValue* object = document.find(name);
+  if (object == nullptr || !object->is(JsonValue::Type::kObject))
+    return values;
+  for (const auto& [key, value] : object->object)
+    if (value.is(JsonValue::Type::kNumber)) values[key] = value.number;
+  return values;
+}
+
+bool ends_with(const std::string& name, const char* suffix) {
+  const std::string s(suffix);
+  return name.size() >= s.size() &&
+         name.compare(name.size() - s.size(), s.size(), s) == 0;
+}
+
+void print_row(const std::string& name, bool base_has, double base,
+               bool after_has, double after, bool timing) {
+  char base_buf[32], after_buf[32], speed_buf[32];
+  if (base_has)
+    std::snprintf(base_buf, sizeof base_buf, "%14.3f", base);
+  else
+    std::snprintf(base_buf, sizeof base_buf, "%14s", "-");
+  if (after_has)
+    std::snprintf(after_buf, sizeof after_buf, "%14.3f", after);
+  else
+    std::snprintf(after_buf, sizeof after_buf, "%14s", "-");
+  if (timing && base_has && after_has && after > 0.0)
+    std::snprintf(speed_buf, sizeof speed_buf, "%8.2fx", base / after);
+  else
+    std::snprintf(speed_buf, sizeof speed_buf, "%9s", "");
+  std::printf("  %-36s %s %s %s\n", name.c_str(), base_buf, after_buf,
+              speed_buf);
+}
+
+void diff_section(const JsonValue& base_doc, const JsonValue& after_doc,
+                  const char* name, bool timings) {
+  const auto base = section(base_doc, name);
+  const auto after = section(after_doc, name);
+  if (base.empty() && after.empty()) return;
+  std::set<std::string> names;
+  for (const auto& [key, value] : base) names.insert(key);
+  for (const auto& [key, value] : after) names.insert(key);
+  std::printf("%s\n  %-36s %14s %14s %9s\n", name, "name", "baseline",
+              "after", "speedup");
+  for (const auto& key : names) {
+    const auto b = base.find(key);
+    const auto a = after.find(key);
+    print_row(key, b != base.end(), b != base.end() ? b->second : 0.0,
+              a != after.end(), a != after.end() ? a->second : 0.0,
+              timings && (ends_with(key, "_ms") || ends_with(key, "_s")));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: bench_diff BASELINE.json AFTER.json\n";
+    return 2;
+  }
+  try {
+    const JsonValue base = load(argv[1]);
+    const JsonValue after = load(argv[2]);
+    std::printf("bench_diff: %s -> %s  (speedup = baseline/after, "
+                ">1 is faster)\n",
+                argv[1], argv[2]);
+    diff_section(base, after, "gauges", /*timings=*/true);
+    diff_section(base, after, "counters", /*timings=*/false);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

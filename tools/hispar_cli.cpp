@@ -220,26 +220,7 @@ int cmd_measure(World& world, const util::Args& args) {
 
   const std::string out = args.get("out", "metrics.csv");
   std::ofstream os(out);
-  os << "domain,rank,page,bytes,objects,plt_ms,speed_index_ms,domains,"
-        "noncacheable,cdn_fraction,handshakes,trackers\n";
-  const auto emit = [&os](const std::string& domain, std::size_t rank,
-                          const std::string& kind,
-                          const core::PageMetrics& m) {
-    os << domain << ',' << rank << ',' << kind << ',' << m.bytes << ','
-       << m.objects << ',' << m.plt_ms << ',' << m.speed_index_ms << ','
-       << m.unique_domains << ',' << m.noncacheable_objects << ','
-       << m.cdn_bytes_fraction << ',' << m.handshakes << ','
-       << m.tracking_requests << '\n';
-  };
-  for (const auto& site : sites) {
-    // Quarantined sites have no usable landing observation: they are
-    // reported in the summary line, not emitted as data rows.
-    if (site.quarantined) continue;
-    emit(site.domain, site.bootstrap_rank, "landing", site.landing);
-    for (std::size_t i = 0; i < site.internals.size(); ++i)
-      emit(site.domain, site.bootstrap_rank,
-           "internal-" + std::to_string(i + 1), site.internals[i]);
-  }
+  core::write_measure_csv(os, sites);
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
 
   // All run accounting flows through the structured report; the summary
