@@ -1,0 +1,125 @@
+// Scaling curve of the sharded list-build campaign (§3, §7).
+//
+// Runs the same weekly list refresh as the serial HisparBuilder, then
+// as a ListBuildCampaign at 1, 2, 4 and 8 worker threads, and reports
+// wall-clock time, speedup over the campaign's own single-worker run,
+// and whether every run produced byte-identical lists (the campaign's
+// contract). A final row exercises the search-API fault path
+// (uniform:0.05) to show the retry/quarantine overhead.
+//
+// HISPAR_SITES scales the per-week target (default 240); each run
+// builds 2 refresh weeks so the churn path is exercised too.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common.h"
+#include "core/list_build.h"
+#include "core/serialization.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hispar;
+
+std::uint64_t lists_digest(const core::ListBuildResult& result) {
+  std::string bytes;
+  for (const auto& list : result.lists) bytes += core::to_csv(list);
+  return util::fnv1a(bytes);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "list-build campaign scaling",
+      "weekly Hispar refresh against a metered search API (§3, §7): "
+      "sharded scan, identical lists at any worker count");
+
+  const std::size_t sites = bench::env_sites(240);
+  const std::uint64_t weeks = 2;
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+
+  core::ListBuildConfig config;
+  config.list.name = "H1K";
+  config.list.target_sites = sites;
+  config.list.urls_per_site = 20;
+  config.list.min_internal_results = 5;
+  config.weeks = weeks;
+
+  std::printf("hardware threads: %u, shards: %zu, sites/week: %zu, "
+              "weeks: %llu\n\n",
+              std::thread::hardware_concurrency(), config.shards, sites,
+              static_cast<unsigned long long>(weeks));
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_s = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+
+  // Serial reference: the one-rank-at-a-time HisparBuilder. (BenchWorld
+  // already billed its own list build on this engine; count the delta.)
+  const std::uint64_t billed_before = world.engine->queries_issued();
+  auto started = Clock::now();
+  core::HisparBuilder builder(*world.web, *world.toplists, *world.engine);
+  std::string serial_bytes;
+  for (std::uint64_t week = 0; week < weeks; ++week)
+    serial_bytes += core::to_csv(builder.build(config.list, week));
+  const double serial_s = time_s(started);
+  const std::uint64_t serial_digest = util::fnv1a(serial_bytes);
+  world.metrics.gauge("bench.listbuild.serial_s") = serial_s;
+
+  util::TextTable table(
+      {"runner", "seconds", "speedup", "queries", "lists match"});
+  table.add_row({"serial builder", util::TextTable::num(serial_s, 3), "-",
+                 std::to_string(world.engine->queries_issued() -
+                                billed_before),
+                 "reference"});
+
+  double campaign_1job_s = 0.0;
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    config.jobs = jobs;
+    core::ListBuildCampaign campaign(*world.web, *world.toplists, config);
+    started = Clock::now();
+    const core::ListBuildResult result = campaign.run();
+    const double elapsed_s = time_s(started);
+    if (jobs == 1) campaign_1job_s = elapsed_s;
+    const std::uint64_t digest = lists_digest(result);
+    std::uint64_t queries = 0;
+    for (const auto& stats : result.weeks)
+      queries += stats.queries_billed + stats.speculative_queries;
+    table.add_row({"campaign, jobs " + std::to_string(jobs),
+                   util::TextTable::num(elapsed_s, 3),
+                   util::TextTable::num(campaign_1job_s / elapsed_s, 2) + "x",
+                   std::to_string(queries),
+                   digest == serial_digest ? "yes" : "NO (BUG)"});
+    world.metrics.gauge("bench.listbuild.jobs_" + std::to_string(jobs) +
+                        "_s") = elapsed_s;
+    if (digest != serial_digest)
+      ++world.metrics.counter("bench.listbuild.digest_mismatches");
+  }
+
+  // Fault path: retries, quarantines and the billing they leave behind.
+  config.jobs = 8;
+  config.fault_profile = net::SearchFaultProfile::parse("uniform:0.05");
+  core::ListBuildCampaign faulty(*world.web, *world.toplists, config);
+  started = Clock::now();
+  const core::ListBuildResult result = faulty.run();
+  const double faulty_s = time_s(started);
+  std::uint64_t retries = 0, quarantined = 0;
+  for (const auto& stats : result.weeks) {
+    retries += stats.retries;
+    quarantined += stats.sites_quarantined;
+  }
+  table.add_row({"faulty 5%, jobs 8", util::TextTable::num(faulty_s, 3), "-",
+                 std::to_string(retries) + " retries",
+                 std::to_string(quarantined) + " quarantined"});
+  world.metrics.gauge("bench.listbuild.faulty_s") = faulty_s;
+
+  std::cout << table;
+  std::cout << "\n(speedup saturates at min(hardware threads, shards); the "
+               "serial row includes no wave overshoot, so its query count "
+               "is the §7 lower bound)\n";
+  world.write_bench_json("listbuild");
+  return 0;
+}

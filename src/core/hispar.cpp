@@ -14,7 +14,10 @@ std::size_t HisparList::total_urls() const {
 
 HisparList HisparList::slice(std::size_t first, std::size_t count,
                              std::string slice_name) const {
-  if (first >= sets.size()) throw std::out_of_range("HisparList::slice");
+  // first == sets.size() (the empty-list top(n) case included) yields an
+  // empty named slice, matching TopList::top truncation semantics; only
+  // a start past the end is a caller error.
+  if (first > sets.size()) throw std::out_of_range("HisparList::slice");
   HisparList out;
   out.name = std::move(slice_name);
   out.week = week;
@@ -74,12 +77,22 @@ HisparList HisparBuilder::build(const HisparConfig& config,
 
     const auto results =
         engine.site_query(domain, config.urls_per_site - 1, week);
-    if (results.size() < config.min_internal_results) {
+    // Only *internal* results count toward the §3 threshold: a result
+    // for the landing page (page_index 0) is later deduplicated against
+    // urls[0], so counting it would admit sites one internal URL short.
+    std::size_t internal_results = 0;
+    for (const auto& result : results)
+      if (result.page_index != 0) ++internal_results;
+    if (internal_results < config.min_internal_results) {
       ++stats_.sites_dropped;  // mostly non-English sites (§3)
       continue;
     }
 
     const web::WebSite* site = web_->find_site(domain);
+    if (site == nullptr) {
+      ++stats_.sites_missing;  // bootstrap names a domain the web lacks
+      continue;
+    }
     UrlSet set;
     set.domain = domain;
     set.bootstrap_rank = rank;
@@ -96,6 +109,9 @@ HisparList HisparBuilder::build(const HisparConfig& config,
   stats_.queries_issued = engine.queries_issued();
   stats_.spend_usd = static_cast<double>(stats_.queries_issued) *
                      search::query_price_usd(engine_config.provider);
+  // The internal engine (narrowed crawl budget) did the billing; fold it
+  // into the injected engine so the caller's meter reflects real spend.
+  engine_->add_billed_queries(engine.queries_issued());
   return list;
 }
 

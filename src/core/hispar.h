@@ -63,6 +63,10 @@ struct HisparConfig {
 struct BuildStats {
   std::size_t sites_examined = 0;
   std::size_t sites_dropped = 0;
+  // Domains the bootstrap list names but the web has no site for:
+  // skipped (and still billed for the query that discovered it) rather
+  // than crashing the build.
+  std::size_t sites_missing = 0;
   std::uint64_t queries_issued = 0;
   double spend_usd = 0.0;
 };

@@ -283,6 +283,85 @@ PageMetrics parse_metrics(const std::string& line) {
   return m;
 }
 
+// One shard's telemetry as obscounter/obsgauge/obshist/obsspan/
+// obsdropped lines — shared by the measurement and list-build
+// checkpoint formats so both resume with bit-identical telemetry.
+void write_obs_telemetry(std::ostream& out,
+                         const obs::ShardTelemetry& telemetry) {
+  for (const auto& [name, value] : telemetry.metrics.counters())
+    out << "obscounter," << obs_sanitize(name) << ',' << value << '\n';
+  for (const auto& [name, value] : telemetry.metrics.gauges())
+    out << "obsgauge," << obs_sanitize(name) << ',' << value << '\n';
+  for (const auto& [name, h] : telemetry.metrics.histograms()) {
+    out << "obshist," << obs_sanitize(name) << ',';
+    for (std::size_t k = 0; k < h.bounds.size(); ++k)
+      out << (k ? ";" : "") << h.bounds[k];
+    out << ',';
+    for (std::size_t k = 0; k < h.counts.size(); ++k)
+      out << (k ? ";" : "") << h.counts[k];
+    out << ',' << h.count << ',' << h.sum << ',' << h.min << ',' << h.max
+        << '\n';
+  }
+  for (const auto& span : telemetry.spans) {
+    out << "obsspan," << span.tid << ',' << span.ts_us << ',' << span.dur_us
+        << ',' << obs_sanitize(span.cat) << ',' << obs_sanitize(span.name);
+    for (const auto& [key, value] : span.args)
+      out << ',' << obs_sanitize(key) << '=' << obs_sanitize(value);
+    out << '\n';
+  }
+  out << "obsdropped," << telemetry.spans_dropped << '\n';
+}
+
+// Consumes consecutive obs* lines starting at lines[i] (bounded by
+// `end`), advancing i; returns whether any were present.
+bool read_obs_lines(const std::vector<std::string>& lines, std::size_t& i,
+                    std::size_t end, obs::ShardTelemetry& telemetry) {
+  bool has_telemetry = false;
+  while (i < end && lines[i].rfind("obs", 0) == 0) {
+    has_telemetry = true;
+    const auto f = util::split(lines[i++], ',');
+    if (f[0] == "obscounter" && f.size() == 3) {
+      telemetry.metrics.counter(f[1]) = parse_u64(f[2], "obs counter");
+    } else if (f[0] == "obsgauge" && f.size() == 3) {
+      telemetry.metrics.gauge(f[1]) = parse_double(f[2], "obs gauge");
+    } else if (f[0] == "obshist" && f.size() == 8) {
+      std::vector<double> bounds;
+      for (const auto& b : util::split(f[2], ';'))
+        if (!b.empty()) bounds.push_back(parse_double(b, "obs bound"));
+      obs::Histogram& h = telemetry.metrics.histogram(f[1], bounds);
+      std::vector<std::uint64_t> counts;
+      for (const auto& c : util::split(f[3], ';'))
+        if (!c.empty()) counts.push_back(parse_u64(c, "obs bucket"));
+      if (counts.size() != bounds.size() + 1)
+        checkpoint_fail("bad obs histogram '" + lines[i - 1] + "'");
+      h.counts = std::move(counts);
+      h.count = parse_u64(f[4], "obs hist count");
+      h.sum = parse_double(f[5], "obs hist sum");
+      h.min = parse_double(f[6], "obs hist min");
+      h.max = parse_double(f[7], "obs hist max");
+    } else if (f[0] == "obsspan" && f.size() >= 6) {
+      obs::TraceSpan span;
+      span.tid = static_cast<std::uint32_t>(parse_u64(f[1], "obs span tid"));
+      span.ts_us = parse_i64(f[2], "obs span ts");
+      span.dur_us = parse_i64(f[3], "obs span dur");
+      span.cat = f[4];
+      span.name = f[5];
+      for (std::size_t k = 6; k < f.size(); ++k) {
+        const auto eq = f[k].find('=');
+        if (eq == std::string::npos)
+          checkpoint_fail("bad obs span arg '" + f[k] + "'");
+        span.args.emplace_back(f[k].substr(0, eq), f[k].substr(eq + 1));
+      }
+      telemetry.spans.push_back(std::move(span));
+    } else if (f[0] == "obsdropped" && f.size() == 2) {
+      telemetry.spans_dropped = parse_u64(f[1], "obs dropped");
+    } else {
+      checkpoint_fail("bad obs record '" + lines[i - 1] + "'");
+    }
+  }
+  return has_telemetry;
+}
+
 }  // namespace
 
 void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest) {
@@ -312,30 +391,7 @@ void append_checkpoint_shard(std::ostream& out, std::size_t shard,
           << static_cast<unsigned>(outcome.failure) << ','
           << outcome.failed_objects << '\n';
   }
-  if (telemetry != nullptr) {
-    for (const auto& [name, value] : telemetry->metrics.counters())
-      out << "obscounter," << obs_sanitize(name) << ',' << value << '\n';
-    for (const auto& [name, value] : telemetry->metrics.gauges())
-      out << "obsgauge," << obs_sanitize(name) << ',' << value << '\n';
-    for (const auto& [name, h] : telemetry->metrics.histograms()) {
-      out << "obshist," << obs_sanitize(name) << ',';
-      for (std::size_t k = 0; k < h.bounds.size(); ++k)
-        out << (k ? ";" : "") << h.bounds[k];
-      out << ',';
-      for (std::size_t k = 0; k < h.counts.size(); ++k)
-        out << (k ? ";" : "") << h.counts[k];
-      out << ',' << h.count << ',' << h.sum << ',' << h.min << ',' << h.max
-          << '\n';
-    }
-    for (const auto& span : telemetry->spans) {
-      out << "obsspan," << span.tid << ',' << span.ts_us << ',' << span.dur_us
-          << ',' << obs_sanitize(span.cat) << ',' << obs_sanitize(span.name);
-      for (const auto& [key, value] : span.args)
-        out << ',' << obs_sanitize(key) << '=' << obs_sanitize(value);
-      out << '\n';
-    }
-    out << "obsdropped," << telemetry->spans_dropped << '\n';
-  }
+  if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
   out << "endshard," << shard << '\n';
   out.precision(precision);
 }
@@ -419,50 +475,7 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
 
     // Optional telemetry block (shards run with observability enabled).
     obs::ShardTelemetry telemetry;
-    bool has_telemetry = false;
-    while (i < end && lines[i].rfind("obs", 0) == 0) {
-      has_telemetry = true;
-      const auto f = util::split(need(i++), ',');
-      if (f[0] == "obscounter" && f.size() == 3) {
-        telemetry.metrics.counter(f[1]) = parse_u64(f[2], "obs counter");
-      } else if (f[0] == "obsgauge" && f.size() == 3) {
-        telemetry.metrics.gauge(f[1]) = parse_double(f[2], "obs gauge");
-      } else if (f[0] == "obshist" && f.size() == 8) {
-        std::vector<double> bounds;
-        for (const auto& b : util::split(f[2], ';'))
-          if (!b.empty()) bounds.push_back(parse_double(b, "obs bound"));
-        obs::Histogram& h = telemetry.metrics.histogram(f[1], bounds);
-        std::vector<std::uint64_t> counts;
-        for (const auto& c : util::split(f[3], ';'))
-          if (!c.empty()) counts.push_back(parse_u64(c, "obs bucket"));
-        if (counts.size() != bounds.size() + 1)
-          checkpoint_fail("bad obs histogram '" + lines[i - 1] + "'");
-        h.counts = std::move(counts);
-        h.count = parse_u64(f[4], "obs hist count");
-        h.sum = parse_double(f[5], "obs hist sum");
-        h.min = parse_double(f[6], "obs hist min");
-        h.max = parse_double(f[7], "obs hist max");
-      } else if (f[0] == "obsspan" && f.size() >= 6) {
-        obs::TraceSpan span;
-        span.tid = static_cast<std::uint32_t>(parse_u64(f[1], "obs span tid"));
-        span.ts_us = parse_i64(f[2], "obs span ts");
-        span.dur_us = parse_i64(f[3], "obs span dur");
-        span.cat = f[4];
-        span.name = f[5];
-        for (std::size_t k = 6; k < f.size(); ++k) {
-          const auto eq = f[k].find('=');
-          if (eq == std::string::npos)
-            checkpoint_fail("bad obs span arg '" + f[k] + "'");
-          span.args.emplace_back(f[k].substr(0, eq), f[k].substr(eq + 1));
-        }
-        telemetry.spans.push_back(std::move(span));
-      } else if (f[0] == "obsdropped" && f.size() == 2) {
-        telemetry.spans_dropped = parse_u64(f[1], "obs dropped");
-      } else {
-        checkpoint_fail("bad obs record '" + lines[i - 1] + "'");
-      }
-    }
-    if (has_telemetry)
+    if (read_obs_lines(lines, i, end, telemetry))
       checkpoint.telemetry.emplace(shard_id, std::move(telemetry));
 
     const auto end_fields = util::split(need(i++), ',');
@@ -470,6 +483,136 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
         parse_u64(end_fields[1], "endshard id") != shard_id)
       checkpoint_fail("unterminated shard " + std::to_string(shard_id));
     checkpoint.completed_shards.push_back(shard_id);
+  }
+  return checkpoint;
+}
+
+// --- List-build checkpoints ---
+
+void write_listbuild_checkpoint_header(std::ostream& out,
+                                       std::uint64_t config_digest) {
+  out << "hispar-listbuild,v1," << config_digest << '\n';
+}
+
+void append_listbuild_week(std::ostream& out,
+                           const ListBuildWeekRecord& record) {
+  const auto precision = out.precision(17);
+  out << "week," << record.week << ',' << record.list.sets.size() << '\n';
+  for (const auto& set : record.list.sets) {
+    out << "set," << set.domain << ',' << set.bootstrap_rank << ','
+        << set.urls.size() << '\n';
+    for (std::size_t i = 0; i < set.urls.size(); ++i)
+      out << "url," << set.page_indices[i] << ',' << set.urls[i] << '\n';
+  }
+  const WeekBuildStats& s = record.stats;
+  out << "weekstats," << s.sites_examined << ',' << s.sites_accepted << ','
+      << s.sites_dropped << ',' << s.sites_missing << ','
+      << s.sites_quarantined << ',' << s.queries_billed << ','
+      << s.speculative_queries << ',' << s.retries;
+  for (const auto quarantined : s.quarantined_by) out << ',' << quarantined;
+  out << '\n';
+  for (const auto& [shard, telemetry] : record.telemetry) {
+    out << "shardtel," << shard << '\n';
+    write_obs_telemetry(out, telemetry);
+    out << "endshardtel," << shard << '\n';
+  }
+  out << "endweek," << record.week << '\n';
+  out.precision(precision);
+}
+
+ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) checkpoint_fail("missing header");
+  const auto header = util::split(lines[0], ',');
+  if (header.size() != 3 || header[0] != "hispar-listbuild" ||
+      header[1] != "v1")
+    checkpoint_fail("bad header '" + lines[0] + "'");
+
+  ListBuildCheckpoint checkpoint;
+  checkpoint.config_digest = parse_u64(header[2], "config digest");
+
+  // Everything after the last endweek terminator is a block torn by a
+  // killed build: drop it. What remains must parse cleanly.
+  std::size_t end = 1;
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    if (lines[i].rfind("endweek,", 0) == 0) end = i + 1;
+
+  const auto need = [&](std::size_t i) -> const std::string& {
+    if (i >= end) checkpoint_fail("truncated week record");
+    return lines[i];
+  };
+
+  std::size_t i = 1;
+  while (i < end) {
+    const auto week_fields = util::split(need(i++), ',');
+    if (week_fields.size() != 3 || week_fields[0] != "week")
+      checkpoint_fail("expected week record, got '" + lines[i - 1] + "'");
+    ListBuildWeekRecord record;
+    record.week = parse_u64(week_fields[1], "week");
+    record.list.week = record.week;
+    record.stats.week = record.week;
+    const std::size_t n_sets = parse_u64(week_fields[2], "set count");
+
+    record.list.sets.reserve(n_sets);
+    for (std::size_t s = 0; s < n_sets; ++s) {
+      const auto set_fields = util::split(need(i++), ',');
+      if (set_fields.size() != 4 || set_fields[0] != "set")
+        checkpoint_fail("expected set record, got '" + lines[i - 1] + "'");
+      UrlSet set;
+      set.domain = set_fields[1];
+      set.bootstrap_rank = parse_u64(set_fields[2], "rank");
+      const std::size_t n_urls = parse_u64(set_fields[3], "url count");
+      set.urls.reserve(n_urls);
+      set.page_indices.reserve(n_urls);
+      for (std::size_t u = 0; u < n_urls; ++u) {
+        const auto url_fields = util::split(need(i++), ',');
+        if (url_fields.size() != 3 || url_fields[0] != "url")
+          checkpoint_fail("bad url record '" + lines[i - 1] + "'");
+        set.page_indices.push_back(parse_u64(url_fields[1], "page index"));
+        set.urls.push_back(url_fields[2]);
+      }
+      record.list.sets.push_back(std::move(set));
+    }
+
+    const auto stat_fields = util::split(need(i++), ',');
+    if (stat_fields.size() != 9 + net::kSearchFaultKindCount ||
+        stat_fields[0] != "weekstats")
+      checkpoint_fail("bad weekstats record '" + lines[i - 1] + "'");
+    WeekBuildStats& stats = record.stats;
+    stats.sites_examined = parse_u64(stat_fields[1], "sites examined");
+    stats.sites_accepted = parse_u64(stat_fields[2], "sites accepted");
+    stats.sites_dropped = parse_u64(stat_fields[3], "sites dropped");
+    stats.sites_missing = parse_u64(stat_fields[4], "sites missing");
+    stats.sites_quarantined = parse_u64(stat_fields[5], "sites quarantined");
+    stats.queries_billed = parse_u64(stat_fields[6], "queries billed");
+    stats.speculative_queries =
+        parse_u64(stat_fields[7], "speculative queries");
+    stats.retries = parse_u64(stat_fields[8], "retries");
+    for (int kind = 0; kind < net::kSearchFaultKindCount; ++kind)
+      stats.quarantined_by[static_cast<std::size_t>(kind)] = parse_u64(
+          stat_fields[9 + static_cast<std::size_t>(kind)], "quarantined by");
+
+    while (i < end && lines[i].rfind("shardtel,", 0) == 0) {
+      const auto tel_fields = util::split(need(i++), ',');
+      if (tel_fields.size() != 2)
+        checkpoint_fail("bad shardtel record '" + lines[i - 1] + "'");
+      const std::size_t shard_id = parse_u64(tel_fields[1], "shardtel id");
+      obs::ShardTelemetry telemetry;
+      read_obs_lines(lines, i, end, telemetry);
+      const auto tel_end = util::split(need(i++), ',');
+      if (tel_end.size() != 2 || tel_end[0] != "endshardtel" ||
+          parse_u64(tel_end[1], "endshardtel id") != shard_id)
+        checkpoint_fail("unterminated shardtel " + std::to_string(shard_id));
+      record.telemetry.emplace(shard_id, std::move(telemetry));
+    }
+
+    const auto end_fields = util::split(need(i++), ',');
+    if (end_fields.size() != 2 || end_fields[0] != "endweek" ||
+        parse_u64(end_fields[1], "endweek week") != record.week)
+      checkpoint_fail("unterminated week " + std::to_string(record.week));
+    checkpoint.weeks.push_back(std::move(record));
   }
   return checkpoint;
 }

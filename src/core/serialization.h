@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/hispar.h"
+#include "core/list_build.h"
 #include "core/measurement.h"
 #include "obs/obs.h"
 
@@ -83,5 +84,33 @@ void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const std::vector<SiteObservation>& observations,
                              const obs::ShardTelemetry* telemetry = nullptr);
 CampaignCheckpoint read_checkpoint(std::istream& in);
+
+// --- List-build checkpoints ---
+//
+// The same discipline for ListBuildCampaign::run(), at week granularity
+// (weeks are the unit of completion — a week has a global wave barrier,
+// so partial weeks are never worth checkpointing). Layout:
+//   hispar-listbuild,v1,<config digest>
+//   week,<week>,<n sets>
+//     set,<domain>,<bootstrap rank>,<n urls>
+//       url,<page index>,<url>
+//     weekstats,<examined>,...,<retries>,<quarantined-by kind...>
+//     shardtel,<id>
+//       obscounter/obsgauge/obshist/obsspan/obsdropped,...
+//     endshardtel,<id>        (one block per shard, ascending)
+//   endweek,<week>
+// The list name is not serialized; the resuming campaign restores it
+// from its own config. Torn trailing blocks (killed build) are silently
+// discarded; malformed complete records throw std::runtime_error.
+struct ListBuildCheckpoint {
+  std::uint64_t config_digest = 0;
+  std::vector<ListBuildWeekRecord> weeks;  // file order
+};
+
+void write_listbuild_checkpoint_header(std::ostream& out,
+                                       std::uint64_t config_digest);
+void append_listbuild_week(std::ostream& out,
+                           const ListBuildWeekRecord& record);
+ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in);
 
 }  // namespace hispar::core

@@ -23,6 +23,17 @@ std::string_view to_string(FaultKind kind) {
   return "unknown";
 }
 
+std::string_view to_string(SearchFaultKind kind) {
+  switch (kind) {
+    case SearchFaultKind::kNone: return "none";
+    case SearchFaultKind::kQueryTimeout: return "query-timeout";
+    case SearchFaultKind::kEmptyPage: return "empty-page";
+    case SearchFaultKind::kQuotaExceeded: return "quota-exceeded";
+    case SearchFaultKind::kRateLimited: return "rate-limited";
+  }
+  return "unknown";
+}
+
 namespace {
 
 using Field = double FaultProfile::*;
@@ -36,6 +47,15 @@ constexpr std::array<std::pair<std::string_view, Field>, 7> kFields{{
     {"truncation", &FaultProfile::truncation},
 }};
 
+using SearchField = double SearchFaultProfile::*;
+constexpr std::array<std::pair<std::string_view, SearchField>, 4>
+    kSearchFields{{
+        {"query_timeout", &SearchFaultProfile::query_timeout},
+        {"empty_page", &SearchFaultProfile::empty_page},
+        {"quota_exceeded", &SearchFaultProfile::quota_exceeded},
+        {"rate_limited", &SearchFaultProfile::rate_limited},
+    }};
+
 double parse_rate(const std::string& text, const std::string& where) {
   char* end = nullptr;
   const double rate = std::strtod(text.c_str(), &end);
@@ -44,6 +64,53 @@ double parse_rate(const std::string& text, const std::string& where) {
     throw std::invalid_argument("fault profile: bad rate '" + text + "' in " +
                                 where);
   return rate;
+}
+
+// Shared parse/str machinery for both profile types: the spec grammar
+// ("none" | "uniform:R" | "key=R,...") is identical, only the key table
+// differs.
+template <typename Profile, typename Fields>
+Profile parse_profile(const std::string& spec, const Fields& fields) {
+  if (spec == "none") return Profile{};
+  if (spec.empty())
+    throw std::invalid_argument(
+        "fault profile: empty spec (use \"none\" for no faults)");
+  if (spec.rfind("uniform:", 0) == 0) return Profile::uniform(
+      parse_rate(spec.substr(8), spec));
+  Profile profile;
+  for (const std::string& part : util::split(spec, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault profile: expected key=rate, got '" +
+                                  part + "'");
+    const std::string key = part.substr(0, eq);
+    bool known = false;
+    for (const auto& [name, field] : fields) {
+      if (key == name) {
+        profile.*field = parse_rate(part.substr(eq + 1), spec);
+        known = true;
+        break;
+      }
+    }
+    if (!known)
+      throw std::invalid_argument("fault profile: unknown fault class '" +
+                                  key + "'");
+  }
+  return profile;
+}
+
+template <typename Profile, typename Fields>
+std::string profile_str(const Profile& profile, const Fields& fields) {
+  std::ostringstream os;
+  os.precision(17);
+  bool first = true;
+  for (const auto& [name, field] : fields) {
+    if (profile.*field == 0.0) continue;
+    if (!first) os << ',';
+    os << name << '=' << profile.*field;
+    first = false;
+  }
+  return first ? "none" : os.str();
 }
 
 }  // namespace
@@ -65,45 +132,56 @@ FaultProfile FaultProfile::uniform(double rate) {
 }
 
 FaultProfile FaultProfile::parse(const std::string& spec) {
-  if (spec == "none") return FaultProfile{};
-  if (spec.empty())
-    throw std::invalid_argument(
-        "fault profile: empty spec (use \"none\" for no faults)");
-  if (spec.rfind("uniform:", 0) == 0)
-    return uniform(parse_rate(spec.substr(8), spec));
-  FaultProfile profile;
-  for (const std::string& part : util::split(spec, ',')) {
-    const auto eq = part.find('=');
-    if (eq == std::string::npos)
-      throw std::invalid_argument("fault profile: expected key=rate, got '" +
-                                  part + "'");
-    const std::string key = part.substr(0, eq);
-    bool known = false;
-    for (const auto& [name, field] : kFields) {
-      if (key == name) {
-        profile.*field = parse_rate(part.substr(eq + 1), spec);
-        known = true;
-        break;
-      }
-    }
-    if (!known)
-      throw std::invalid_argument("fault profile: unknown fault class '" +
-                                  key + "'");
-  }
+  return parse_profile<FaultProfile>(spec, kFields);
+}
+
+std::string FaultProfile::str() const { return profile_str(*this, kFields); }
+
+bool SearchFaultProfile::enabled() const { return total_rate() > 0.0; }
+
+double SearchFaultProfile::total_rate() const {
+  double total = 0.0;
+  for (const auto& [name, field] : kSearchFields) total += this->*field;
+  return total;
+}
+
+SearchFaultProfile SearchFaultProfile::uniform(double rate) {
+  if (rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("fault profile: uniform rate out of [0,1]");
+  SearchFaultProfile profile;
+  for (const auto& [name, field] : kSearchFields) profile.*field = rate;
   return profile;
 }
 
-std::string FaultProfile::str() const {
-  std::ostringstream os;
-  os.precision(17);
-  bool first = true;
-  for (const auto& [name, field] : kFields) {
-    if (this->*field == 0.0) continue;
-    if (!first) os << ',';
-    os << name << '=' << this->*field;
-    first = false;
-  }
-  return first ? "none" : os.str();
+SearchFaultProfile SearchFaultProfile::parse(const std::string& spec) {
+  return parse_profile<SearchFaultProfile>(spec, kSearchFields);
+}
+
+std::string SearchFaultProfile::str() const {
+  return profile_str(*this, kSearchFields);
+}
+
+SearchFaultInjector::SearchFaultInjector(const SearchFaultProfile& profile,
+                                         util::Rng stream)
+    : profile_(profile), stream_(stream) {}
+
+SearchFaultKind SearchFaultInjector::dealt(SearchFaultKind kind) {
+  ++injected_[static_cast<std::size_t>(kind)];
+  return kind;
+}
+
+SearchFaultKind SearchFaultInjector::page_fault() {
+  const double roll = stream_.uniform();
+  double edge = 0.0;
+  if (roll < (edge += profile_.query_timeout))
+    return dealt(SearchFaultKind::kQueryTimeout);
+  if (roll < (edge += profile_.empty_page))
+    return dealt(SearchFaultKind::kEmptyPage);
+  if (roll < (edge += profile_.quota_exceeded))
+    return dealt(SearchFaultKind::kQuotaExceeded);
+  if (roll < (edge += profile_.rate_limited))
+    return dealt(SearchFaultKind::kRateLimited);
+  return SearchFaultKind::kNone;
 }
 
 FaultInjector::FaultInjector(const FaultProfile& profile, util::Rng stream)

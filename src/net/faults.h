@@ -66,6 +66,77 @@ struct FaultProfile {
   std::string str() const;
 };
 
+// ---------------------------------------------------------------------
+// Search-API faults (§3 list construction, §7 cost model).
+//
+// The list builder talks to a metered search API rather than to origin
+// servers, so its failure classes differ from page-fetch faults: calls
+// time out, quota runs dry, the provider rate-limits a busy client, or a
+// query "succeeds" with an empty result page (the near-empty answers §3
+// reports for non-English sites). The same determinism contract applies:
+// the campaign keys each injector stream by (seed, week, shard, domain,
+// attempt), so decisions never depend on thread scheduling and a
+// zero-rate profile is a true no-op.
+
+enum class SearchFaultKind : std::uint8_t {
+  kNone = 0,
+  kQueryTimeout,    // the API call times out; the page is not billed
+  kEmptyPage,       // the call is answered (and billed) with no results
+  kQuotaExceeded,   // daily quota exhausted; call rejected, not billed
+  kRateLimited,     // HTTP 429; call rejected, not billed
+};
+inline constexpr int kSearchFaultKindCount = 5;
+
+std::string_view to_string(SearchFaultKind kind);
+
+// Per-result-page fault probabilities for `site:` queries. Defaults to
+// the perfectly reliable API the pre-fault builder assumed.
+struct SearchFaultProfile {
+  double query_timeout = 0.0;
+  double empty_page = 0.0;
+  double quota_exceeded = 0.0;
+  double rate_limited = 0.0;
+
+  bool enabled() const;
+  double total_rate() const;
+
+  static SearchFaultProfile uniform(double rate);
+  // "none" | "uniform:R" | "query_timeout=R,empty_page=R,..." with keys
+  // matching the field names. Throws std::invalid_argument on unknown
+  // keys or unparsable/out-of-range rates.
+  static SearchFaultProfile parse(const std::string& spec);
+  // Canonical spec string; parse(str()) round-trips. Used in checkpoint
+  // fingerprints.
+  std::string str() const;
+};
+
+// Fault oracle for one `site:` query attempt: the engine asks it once
+// per result page it is about to fetch. One uniform draw per page keeps
+// the decision sequence aligned with pagination order regardless of
+// which classes are enabled.
+class SearchFaultInjector {
+ public:
+  SearchFaultInjector(const SearchFaultProfile& profile, util::Rng stream);
+
+  const SearchFaultProfile& profile() const { return profile_; }
+
+  // Decision for the next result-page fetch.
+  SearchFaultKind page_fault();
+
+  // Faults dealt so far, indexed by SearchFaultKind (slot 0 stays 0).
+  // Bookkeeping only — reading never advances the stream.
+  const std::array<std::uint64_t, kSearchFaultKindCount>& injected() const {
+    return injected_;
+  }
+
+ private:
+  SearchFaultKind dealt(SearchFaultKind kind);
+
+  SearchFaultProfile profile_;
+  util::Rng stream_;
+  std::array<std::uint64_t, kSearchFaultKindCount> injected_{};
+};
+
 // Fault oracle for one page-load attempt. The loader asks it, in fetch
 // order, whether each stage of each object fetch fails; answers consume
 // randomness only from the injector's own keyed stream.

@@ -136,4 +136,118 @@ void write_report_json(std::ostream& out, const RunReport& report) {
       << ",\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
 }
 
+namespace {
+
+std::string usd(double amount) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << amount;
+  return os.str();
+}
+
+}  // namespace
+
+std::string listbuild_summary_line(const ListBuildReport& report) {
+  std::ostringstream os;
+  os << "list build: " << report.weeks << " weeks, " << report.sites_accepted
+     << " sites accepted, " << report.queries_billed << " queries (+"
+     << report.speculative_queries << " speculative); " << report.retries
+     << " retries, " << report.sites_quarantined << " quarantined";
+  return os.str();
+}
+
+std::string render_listbuild_report_text(const ListBuildReport& report) {
+  std::ostringstream os;
+  os << "list-build report:\n";
+  os << "  scan: " << report.sites_examined << " sites examined ("
+     << report.sites_accepted << " accepted, " << report.sites_dropped
+     << " dropped, " << report.sites_missing << " missing, "
+     << report.sites_quarantined << " quarantined) over " << report.weeks
+     << " weeks from week " << report.start_week << '\n';
+  os << "  billing: " << report.queries_billed << " queries (+"
+     << report.speculative_queries << " speculative), " << report.retries
+     << " retries";
+  for (const auto& provider : report.providers)
+    os << "; $" << usd(provider.spend_usd) << " at " << provider.provider
+       << " pricing";
+  os << '\n';
+  for (const auto& week : report.week_lines) {
+    os << "  week " << week.week << ": " << week.sites_accepted
+       << " accepted / " << week.sites_examined << " examined, "
+       << week.queries_billed << " queries (+" << week.speculative_queries
+       << " speculative)";
+    if (week.has_site_churn)
+      os << "; site churn " << pct(week.site_churn);
+    if (week.has_url_churn)
+      os << ", internal-url churn " << pct(week.internal_url_churn);
+    os << '\n';
+  }
+  bool any_fault = false;
+  for (const auto& fault : report.faults)
+    any_fault =
+        any_fault || fault.injected > 0 || fault.sites_quarantined > 0;
+  if (any_fault) {
+    os << "  faults (injected / sites quarantined):\n";
+    for (const auto& fault : report.faults) {
+      if (fault.injected == 0 && fault.sites_quarantined == 0) continue;
+      os << "    " << fault.kind << ": " << fault.injected << " / "
+         << fault.sites_quarantined << '\n';
+    }
+  }
+  if (report.telemetry)
+    os << "  trace: " << report.trace_spans << " spans kept, "
+       << report.trace_spans_dropped << " dropped\n";
+  return os.str();
+}
+
+void write_listbuild_report_json(std::ostream& out,
+                                 const ListBuildReport& report) {
+  out << "{\"schema\":\"hispar-listbuild-report-v1\",\"coverage\":{"
+      << "\"weeks\":" << report.weeks
+      << ",\"start_week\":" << report.start_week
+      << ",\"sites_examined\":" << report.sites_examined
+      << ",\"sites_accepted\":" << report.sites_accepted
+      << ",\"sites_dropped\":" << report.sites_dropped
+      << ",\"sites_missing\":" << report.sites_missing
+      << ",\"sites_quarantined\":" << report.sites_quarantined
+      << "},\"billing\":{\"queries_billed\":" << report.queries_billed
+      << ",\"speculative_queries\":" << report.speculative_queries
+      << ",\"retries\":" << report.retries << ",\"providers\":[";
+  for (std::size_t i = 0; i < report.providers.size(); ++i) {
+    const auto& provider = report.providers[i];
+    if (i) out << ',';
+    out << "{\"provider\":\"" << json_escape(provider.provider)
+        << "\",\"query_price_usd\":" << json_number(provider.query_price_usd)
+        << ",\"spend_usd\":" << json_number(provider.spend_usd) << '}';
+  }
+  out << "]},\"weeks\":[";
+  for (std::size_t i = 0; i < report.week_lines.size(); ++i) {
+    const auto& week = report.week_lines[i];
+    if (i) out << ',';
+    out << "{\"week\":" << week.week
+        << ",\"sites_accepted\":" << week.sites_accepted
+        << ",\"sites_examined\":" << week.sites_examined
+        << ",\"queries_billed\":" << week.queries_billed
+        << ",\"speculative_queries\":" << week.speculative_queries
+        << ",\"site_churn\":";
+    if (week.has_site_churn) out << json_number(week.site_churn);
+    else out << "null";
+    out << ",\"internal_url_churn\":";
+    if (week.has_url_churn) out << json_number(week.internal_url_churn);
+    else out << "null";
+    out << '}';
+  }
+  out << "],\"faults\":[";
+  for (std::size_t i = 0; i < report.faults.size(); ++i) {
+    const auto& fault = report.faults[i];
+    if (i) out << ',';
+    out << "{\"kind\":\"" << json_escape(fault.kind)
+        << "\",\"injected\":" << fault.injected
+        << ",\"sites_quarantined\":" << fault.sites_quarantined << '}';
+  }
+  out << "],\"trace\":{\"spans\":" << report.trace_spans
+      << ",\"spans_dropped\":" << report.trace_spans_dropped
+      << "},\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
+}
+
 }  // namespace hispar::obs

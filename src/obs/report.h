@@ -88,4 +88,78 @@ std::string render_report_text(const RunReport& report);
 // {"schema":"hispar-report-v1",...}; byte-stable.
 void write_report_json(std::ostream& out, const RunReport& report);
 
+// --- List-build reports ---
+//
+// The same idea for `hispar build`: the list-build campaign fills a
+// ListBuildReport (coverage of the bootstrap scan, §7 billing per
+// provider, per-week churn, search-API faults) from its week stats and
+// merged telemetry only, so the report inherits their determinism.
+struct ListBuildReport {
+  // --- coverage (consumed bootstrap prefix; always available) ---
+  std::uint64_t weeks = 0;
+  std::uint64_t start_week = 0;
+  std::uint64_t sites_examined = 0;
+  std::uint64_t sites_accepted = 0;
+  std::uint64_t sites_dropped = 0;
+  std::uint64_t sites_missing = 0;
+  std::uint64_t sites_quarantined = 0;
+
+  // --- billing (§7) ---
+  std::uint64_t queries_billed = 0;       // consumed, serial-equivalent
+  std::uint64_t speculative_queries = 0;  // scan-wave overshoot
+  std::uint64_t retries = 0;
+  struct ProviderLine {
+    std::string provider;          // search::provider_name
+    double query_price_usd = 0.0;
+    double spend_usd = 0.0;        // (billed + speculative) * price
+    bool operator==(const ProviderLine&) const = default;
+  };
+  std::vector<ProviderLine> providers;
+
+  // --- per-week lines, ascending week ---
+  struct WeekLine {
+    std::uint64_t week = 0;
+    std::uint64_t sites_accepted = 0;
+    std::uint64_t sites_examined = 0;
+    std::uint64_t queries_billed = 0;
+    std::uint64_t speculative_queries = 0;
+    // Churn vs the previous week (§3); undefined on the first week or
+    // for degenerate list pairs.
+    bool has_site_churn = false;
+    double site_churn = 0.0;
+    bool has_url_churn = false;
+    double internal_url_churn = 0.0;
+    bool operator==(const WeekLine&) const = default;
+  };
+  std::vector<WeekLine> week_lines;
+
+  // --- search-API failures ---
+  struct FaultLine {
+    std::string kind;                      // net::to_string(SearchFaultKind)
+    std::uint64_t injected = 0;            // injector decisions (telemetry)
+    std::uint64_t sites_quarantined = 0;   // root cause, consumed prefix
+    bool operator==(const FaultLine&) const = default;
+  };
+  std::vector<FaultLine> faults;  // fixed kind order, kNone excluded
+
+  // --- telemetry-backed (zero when telemetry is off) ---
+  bool telemetry = false;
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_spans_dropped = 0;
+
+  bool operator==(const ListBuildReport&) const = default;
+};
+
+// One-line summary `hispar build` prints:
+// "list build: W weeks, A sites accepted, Q queries (+S speculative);
+//  R retries, X quarantined"
+std::string listbuild_summary_line(const ListBuildReport& report);
+
+// Multi-line human-readable report. Ends with '\n'.
+std::string render_listbuild_report_text(const ListBuildReport& report);
+
+// {"schema":"hispar-listbuild-report-v1",...}; byte-stable.
+void write_listbuild_report_json(std::ostream& out,
+                                 const ListBuildReport& report);
+
 }  // namespace hispar::obs

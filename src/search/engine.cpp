@@ -13,6 +13,14 @@ double query_price_usd(SearchProvider provider) {
   return 0.0;
 }
 
+const char* provider_name(SearchProvider provider) {
+  switch (provider) {
+    case SearchProvider::kGoogle: return "google";
+    case SearchProvider::kBing: return "bing";
+  }
+  return "unknown";
+}
+
 SearchEngine::SearchEngine(const web::SyntheticWeb& web,
                            SearchEngineConfig config)
     : web_(&web), config_(config) {}
@@ -20,12 +28,39 @@ SearchEngine::SearchEngine(const web::SyntheticWeb& web,
 std::vector<SearchResult> SearchEngine::site_query(const std::string& domain,
                                                    std::size_t max_results,
                                                    std::uint64_t week) {
-  std::vector<SearchResult> results;
+  return site_query_outcome(domain, max_results, week, nullptr).results;
+}
+
+SiteQueryOutcome SearchEngine::site_query_outcome(
+    const std::string& domain, std::size_t max_results, std::uint64_t week,
+    net::SearchFaultInjector* faults) {
+  SiteQueryOutcome out;
+  // Fetch one result page through the fault oracle. Returns false when
+  // the attempt must stop: a hard failure (timeout/quota/429, not
+  // billed) or an empty page (billed — the API answered).
+  const auto next_page = [&]() -> bool {
+    const net::SearchFaultKind fault = faults == nullptr
+                                           ? net::SearchFaultKind::kNone
+                                           : faults->page_fault();
+    if (fault == net::SearchFaultKind::kQueryTimeout ||
+        fault == net::SearchFaultKind::kQuotaExceeded ||
+        fault == net::SearchFaultKind::kRateLimited) {
+      out.ok = false;
+      out.failure = fault;
+      return false;
+    }
+    ++queries_;
+    ++out.queries_billed;
+    if (fault == net::SearchFaultKind::kEmptyPage) {
+      out.truncated = true;
+      return false;
+    }
+    return true;
+  };
+
+  if (!next_page()) return out;  // the first result page is always fetched
   const web::WebSite* site = web_->find_site(domain);
-  if (site == nullptr) {
-    ++queries_;  // a query against an unknown domain is still billed
-    return results;
-  }
+  if (site == nullptr) return out;  // unknown domain: billed, no results
 
   const std::vector<IndexedPage> index =
       build_site_index(*site, week, config_.index);
@@ -36,21 +71,20 @@ std::vector<SearchResult> SearchEngine::site_query(const std::string& domain,
   // 10-results-per-query lower bound (§7).
   std::set<std::string> seen_urls;
   std::size_t in_current_page = 0;
-  ++queries_;  // the first result page is always fetched
   for (const IndexedPage& entry : index) {
-    if (results.size() >= max_results) break;
+    if (out.results.size() >= max_results) break;
     if (config_.english_only && !entry.english) continue;
     const std::string url = site->page_url(entry.page_index).str();
     if (!seen_urls.insert(url).second) continue;
     if (in_current_page ==
         static_cast<std::size_t>(config_.results_per_query)) {
-      ++queries_;  // fetch the next result page
+      if (!next_page()) return out;  // fetch the next result page
       in_current_page = 0;
     }
-    results.push_back(SearchResult{url, entry.page_index});
+    out.results.push_back(SearchResult{url, entry.page_index});
     ++in_current_page;
   }
-  return results;
+  return out;
 }
 
 double SearchEngine::spend_usd() const {

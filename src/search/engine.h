@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faults.h"
 #include "search/index.h"
 #include "web/generator.h"
 
@@ -39,6 +40,20 @@ struct SearchResult {
 // Cost of API usage (§7).
 double query_price_usd(SearchProvider provider);  // per query
 
+const char* provider_name(SearchProvider provider);  // "google" / "bing"
+
+// One `site:` query attempt's outcome under fault injection. Billing is
+// per result page actually answered by the API: timed-out / quota /
+// rate-limited calls are not billed, an empty result page is (the API
+// did the work).
+struct SiteQueryOutcome {
+  std::vector<SearchResult> results;
+  bool ok = true;  // false: the attempt aborted on a hard API failure
+  net::SearchFaultKind failure = net::SearchFaultKind::kNone;
+  std::uint64_t queries_billed = 0;
+  bool truncated = false;  // an empty result page ended pagination early
+};
+
 class SearchEngine {
  public:
   SearchEngine(const web::SyntheticWeb& web, SearchEngineConfig config = {});
@@ -50,9 +65,21 @@ class SearchEngine {
                                        std::size_t max_results,
                                        std::uint64_t week);
 
+  // Same query, with an optional fault oracle consulted once per result
+  // page. With `faults == nullptr` this is exactly site_query (same
+  // results, same billing) plus per-attempt accounting.
+  SiteQueryOutcome site_query_outcome(const std::string& domain,
+                                      std::size_t max_results,
+                                      std::uint64_t week,
+                                      net::SearchFaultInjector* faults);
+
   std::uint64_t queries_issued() const { return queries_; }
   double spend_usd() const;
   void reset_billing() { queries_ = 0; }
+  // Fold queries billed elsewhere (e.g. by a builder's internal engine
+  // with a narrowed crawl budget) into this engine's meter, so the
+  // owner of the injected engine sees real spend.
+  void add_billed_queries(std::uint64_t queries) { queries_ += queries; }
 
   const SearchEngineConfig& config() const { return config_; }
 

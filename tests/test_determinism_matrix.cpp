@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/hispar.h"
+#include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
 #include "obs/trace.h"
@@ -100,6 +101,64 @@ TEST_F(DeterminismMatrixTest, JobsNeverChangeAnyArtifactByte) {
                                  profile + ", jobs " +
                                  std::to_string(jobs[i]) + " vs 1";
         EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
+        EXPECT_EQ(reference.metrics, other.metrics)
+            << "metrics JSON differs: " << cell;
+        EXPECT_EQ(reference.trace, other.trace)
+            << "trace JSON differs: " << cell;
+      }
+    }
+  }
+}
+
+// The same contract for the list-build campaign: `jobs` never changes
+// a byte of the weekly lists or the merged telemetry, fault-free or
+// faulty, for several seeds.
+TEST_F(DeterminismMatrixTest, ListBuildJobsNeverChangeAnyArtifactByte) {
+  const std::uint64_t seeds[] = {20200312u, 7u, 99u};
+  const std::size_t jobs[] = {1, 2, 8};
+  const std::string profiles[] = {"none", "uniform:0.08"};
+
+  const auto run_build = [&](std::uint64_t seed, std::size_t jobs_n,
+                             const std::string& profile) {
+    core::ListBuildConfig config;
+    config.list.target_sites = 12;
+    config.list.urls_per_site = 6;
+    config.list.min_internal_results = 4;
+    config.weeks = 2;
+    config.seed = seed;
+    config.jobs = jobs_n;
+    config.fault_profile = net::SearchFaultProfile::parse(profile);
+    config.observability.enabled = true;
+    core::ListBuildCampaign campaign(web_, toplists_, config);
+    const core::ListBuildResult result = campaign.run();
+
+    RunBytes bytes;
+    for (const auto& list : result.lists) bytes.csv += core::to_csv(list);
+    std::ostringstream metrics;
+    campaign.telemetry().metrics.write_json(metrics);
+    bytes.metrics = metrics.str();
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace, campaign.telemetry().spans);
+    bytes.trace = trace.str();
+    return bytes;
+  };
+
+  for (const std::uint64_t seed : seeds) {
+    for (const std::string& profile : profiles) {
+      const RunBytes reference = run_build(seed, jobs[0], profile);
+      if (profile == "none")
+        EXPECT_EQ(reference.metrics.find("search.faults.injected"),
+                  std::string::npos);
+      else
+        EXPECT_NE(reference.metrics.find("search.faults.injected"),
+                  std::string::npos)
+            << "seed " << seed << ": fault profile injected nothing";
+      for (std::size_t i = 1; i < std::size(jobs); ++i) {
+        const RunBytes other = run_build(seed, jobs[i], profile);
+        const std::string cell = "seed " + std::to_string(seed) + ", " +
+                                 profile + ", jobs " +
+                                 std::to_string(jobs[i]) + " vs 1";
+        EXPECT_EQ(reference.csv, other.csv) << "lists differ: " << cell;
         EXPECT_EQ(reference.metrics, other.metrics)
             << "metrics JSON differs: " << cell;
         EXPECT_EQ(reference.trace, other.trace)

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "core/hispar.h"
+#include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
 #include "obs/report.h"
@@ -148,6 +149,141 @@ TEST(GoldenArtifacts, CampaignOutputsMatchPreOptimizationBuild) {
   EXPECT_EQ(artifacts.csv.rfind("domain,rank,page,", 0), 0u);
   EXPECT_NE(artifacts.csv.find("landing"), std::string::npos);
   EXPECT_NE(artifacts.metrics.find("\"hispar-metrics-v1\""),
+            std::string::npos);
+}
+
+// --- List-build pipeline goldens ---
+//
+// Same discipline for `hispar build`: digests of every artifact of the
+// pipeline `hispar build --universe 600 --seed 42 --sites 60 --weeks 3
+// --jobs 1 --checkpoint ... --churn-out ... --ledger-out ...
+// --metrics-out ... --trace-out ... --report-out ...`. The week-0 list
+// is additionally compared byte-for-byte against the serial
+// HisparBuilder, pinning the sharded campaign's serial-equivalence
+// contract at golden scale.
+constexpr std::uint64_t kGoldenListCsv = 0x6237b18025c54a97ull;
+constexpr std::uint64_t kGoldenListChurn = 0xfedc045d65405467ull;
+constexpr std::uint64_t kGoldenListLedger = 0x3232ea73cbc5485dull;
+constexpr std::uint64_t kGoldenListMetrics = 0xdf0ba0e932547330ull;
+constexpr std::uint64_t kGoldenListTrace = 0x7e5b3c67646d4b2bull;
+constexpr std::uint64_t kGoldenListReport = 0xa7edd8e229c96968ull;
+constexpr std::uint64_t kGoldenListCheckpoint = 0xb24e303197a98573ull;
+
+struct ListBuildArtifacts {
+  std::string lists_csv;  // all weeks, concatenated in week order
+  std::string churn;
+  std::string ledger;
+  std::string metrics;
+  std::string trace;
+  std::string report;
+  std::string checkpoint;
+  std::string serial_week0_csv;  // serial HisparBuilder, same config
+};
+
+ListBuildArtifacts run_listbuild_pipeline() {
+  web::SyntheticWebConfig web_config;
+  web_config.site_count = 600;
+  web_config.seed = 42;
+  web::SyntheticWeb web(web_config);
+  toplist::TopListFactory toplists(web);
+
+  core::ListBuildConfig config;
+  config.list.name = "H60";
+  config.list.target_sites = 60;
+  config.list.urls_per_site = 20;
+  config.list.min_internal_results = 5;
+  config.weeks = 3;
+  config.jobs = 1;
+  config.observability.enabled = true;
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "hispar_golden_listbuild_ckpt.txt";
+  std::remove(checkpoint_path.c_str());
+  config.checkpoint_path = checkpoint_path;
+
+  core::ListBuildCampaign campaign(web, toplists, config);
+  const core::ListBuildResult result = campaign.run();
+
+  ListBuildArtifacts artifacts;
+  for (const auto& list : result.lists)
+    artifacts.lists_csv += core::to_csv(list);
+  std::ostringstream churn;
+  core::write_churn_csv(churn, result.lists);
+  artifacts.churn = churn.str();
+  std::ostringstream ledger;
+  core::write_cost_ledger_csv(ledger, result.weeks);
+  artifacts.ledger = ledger.str();
+  std::ostringstream metrics;
+  campaign.telemetry().metrics.write_json(metrics);
+  artifacts.metrics = metrics.str();
+  std::ostringstream trace;
+  obs::write_chrome_trace(trace, campaign.telemetry().spans);
+  artifacts.trace = trace.str();
+  std::ostringstream report;
+  obs::write_listbuild_report_json(
+      report, core::build_listbuild_report(result, campaign.telemetry()));
+  artifacts.report = report.str();
+  std::ifstream checkpoint(checkpoint_path);
+  std::ostringstream checkpoint_bytes;
+  checkpoint_bytes << checkpoint.rdbuf();
+  artifacts.checkpoint = checkpoint_bytes.str();
+  std::remove(checkpoint_path.c_str());
+
+  search::SearchEngine engine(web);
+  core::HisparBuilder builder(web, toplists, engine);
+  artifacts.serial_week0_csv =
+      core::to_csv(builder.build(config.list, /*week=*/0));
+  return artifacts;
+}
+
+TEST(GoldenArtifacts, ListBuildOutputsArePinned) {
+  const ListBuildArtifacts artifacts = run_listbuild_pipeline();
+  const std::uint64_t csv = util::fnv1a(artifacts.lists_csv);
+  const std::uint64_t churn = util::fnv1a(artifacts.churn);
+  const std::uint64_t ledger = util::fnv1a(artifacts.ledger);
+  const std::uint64_t metrics = util::fnv1a(artifacts.metrics);
+  const std::uint64_t trace = util::fnv1a(artifacts.trace);
+  const std::uint64_t report = util::fnv1a(artifacts.report);
+  const std::uint64_t checkpoint = util::fnv1a(artifacts.checkpoint);
+
+  if (std::getenv("HISPAR_UPDATE_GOLDENS") != nullptr) {
+    std::printf(
+        "constexpr std::uint64_t kGoldenListCsv = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListChurn = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListLedger = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListMetrics = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListTrace = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListReport = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenListCheckpoint = 0x%llxull;\n",
+        static_cast<unsigned long long>(csv),
+        static_cast<unsigned long long>(churn),
+        static_cast<unsigned long long>(ledger),
+        static_cast<unsigned long long>(metrics),
+        static_cast<unsigned long long>(trace),
+        static_cast<unsigned long long>(report),
+        static_cast<unsigned long long>(checkpoint));
+    GTEST_SKIP() << "HISPAR_UPDATE_GOLDENS set: printed digests, not "
+                    "comparing";
+  }
+
+  // The serial-equivalence contract is structural, not a golden: it
+  // must hold whatever the digests say.
+  const std::size_t week0_len = artifacts.serial_week0_csv.size();
+  ASSERT_GE(artifacts.lists_csv.size(), week0_len);
+  EXPECT_EQ(artifacts.lists_csv.substr(0, week0_len),
+            artifacts.serial_week0_csv)
+      << "sharded week-0 list differs from the serial builder";
+
+  EXPECT_EQ(csv, kGoldenListCsv) << "weekly list CSV bytes changed";
+  EXPECT_EQ(churn, kGoldenListChurn) << "churn CSV bytes changed";
+  EXPECT_EQ(ledger, kGoldenListLedger) << "cost ledger bytes changed";
+  EXPECT_EQ(metrics, kGoldenListMetrics) << "metrics JSON bytes changed";
+  EXPECT_EQ(trace, kGoldenListTrace) << "trace JSON bytes changed";
+  EXPECT_EQ(report, kGoldenListReport) << "report JSON bytes changed";
+  EXPECT_EQ(checkpoint, kGoldenListCheckpoint) << "checkpoint bytes changed";
+
+  EXPECT_EQ(artifacts.lists_csv.rfind("domain,bootstrap_rank,", 0), 0u);
+  EXPECT_EQ(artifacts.churn.rfind("week_from,week_to,", 0), 0u);
+  EXPECT_NE(artifacts.report.find("\"hispar-listbuild-report-v1\""),
             std::string::npos);
 }
 

@@ -99,6 +99,51 @@ TEST_F(HisparTest, SlicesSelectPositionalSubsets) {
   EXPECT_THROW(list.slice(100, 5, "bad"), std::out_of_range);
 }
 
+TEST_F(HisparTest, EmptyListSlicesAreEmptyNotFatal) {
+  const HisparList empty;
+  const HisparList top = empty.top(5, "Ht5");
+  EXPECT_EQ(top.name, "Ht5");
+  EXPECT_TRUE(top.sets.empty());
+  EXPECT_TRUE(empty.bottom(5, "Hb5").sets.empty());
+  EXPECT_TRUE(empty.slice(0, 3, "s").sets.empty());
+  // Only a start strictly past the end is a caller error.
+  EXPECT_THROW(empty.slice(1, 1, "bad"), std::out_of_range);
+  const HisparList list = build(10);
+  EXPECT_TRUE(list.slice(10, 5, "tail").sets.empty());
+}
+
+TEST_F(HisparTest, BuildBillingFlowsToTheInjectedEngine) {
+  // The builder queries through an internal engine with a narrowed
+  // crawl budget; its billing must land on the caller's meter.
+  ASSERT_EQ(engine_.queries_issued(), 0u);
+  build(20);
+  EXPECT_EQ(engine_.queries_issued(), last_stats_.queries_issued);
+  const std::uint64_t first = engine_.queries_issued();
+  build(20);
+  EXPECT_EQ(engine_.queries_issued(), first + last_stats_.queries_issued);
+}
+
+TEST(HisparMissingSiteTest, UnknownBootstrapDomainsAreSkippedAndCounted) {
+  // A bootstrap list from a larger universe names domains this web has
+  // no site for. The builder must skip and count them — not crash on a
+  // null find_site — and the query that discovered each stays billed.
+  web::SyntheticWeb web({200, 31, 300, false});
+  web::SyntheticWeb big_web({260, 31, 300, false});
+  toplist::TopListFactory big_toplists(big_web);
+  search::SearchEngine engine(web);
+  HisparBuilder builder(web, big_toplists, engine);
+  HisparConfig config;
+  config.target_sites = 260;
+  config.urls_per_site = 8;
+  config.min_internal_results = 0;  // unknown domains reach find_site
+  const HisparList list = builder.build(config, 0);
+  const core::BuildStats& stats = builder.last_build_stats();
+  EXPECT_GT(stats.sites_missing, 0u);
+  EXPECT_GT(stats.queries_issued, 0u);
+  for (const UrlSet& set : list.sets)
+    EXPECT_NE(web.find_site(set.domain), nullptr) << set.domain;
+}
+
 TEST_F(HisparTest, FindLocatesDomains) {
   const HisparList list = build(20);
   const UrlSet* found = list.find(list.sets[3].domain);

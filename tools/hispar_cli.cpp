@@ -2,9 +2,17 @@
 // lists (the paper releases exactly such tooling as its artifact [49]).
 //
 // Subcommands:
-//   build    build a weekly list and write it as CSV
-//            --sites N --urls M --week W --min-results K --out FILE
-//            --provider alexa|umbrella|majestic|quantcast|tranco
+//   build    run the weekly list-refresh campaign and write the lists
+//            as CSV (one file per week)
+//            --sites N --urls M --week W --weeks K --min-results K
+//            --out FILE --provider alexa|umbrella|majestic|quantcast|tranco
+//            --jobs N --shards S (sharded bootstrap scan; results are
+//            identical for every --jobs value)
+//            --fault-profile none|uniform:R|query_timeout=R,... (inject
+//            search-API faults) --max-retries N
+//            --checkpoint FILE --resume FILE (week-granular resume)
+//            --churn-out FILE --ledger-out FILE (§3 churn CSV, §7 cost
+//            ledger) --metrics-out/--trace-out/--report-out FILE --quiet
 //   churn    weekly stability of the list (§3)
 //            --sites N --urls M --weeks K
 //   harden   Tranco-style multi-week hardening (§3 / Pochat et al.)
@@ -37,6 +45,7 @@
 #include "core/analyses.h"
 #include "core/hardening.h"
 #include "core/hispar.h"
+#include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
 #include "obs/report.h"
@@ -91,16 +100,142 @@ struct World {
   core::BuildStats last_stats;
 };
 
+// Artifact files are opened before a campaign runs so an unwritable
+// path fails in milliseconds, not after the work.
+std::unique_ptr<std::ofstream> open_artifact(const char* cmd,
+                                             const char* flag,
+                                             const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*out)
+    throw std::invalid_argument(std::string(cmd) + ": cannot write --" +
+                                flag + " file: " + path);
+  return out;
+}
+
+// Resolve the shared --checkpoint / --resume pair (resume additionally
+// requires the file to exist already).
+std::string checkpoint_path_from(const char* cmd, const util::Args& args) {
+  std::string path = args.get("checkpoint", "");
+  if (args.has("resume")) {
+    const std::string resume = args.get("resume", "");
+    if (!std::ifstream(resume))
+      throw std::invalid_argument(std::string(cmd) +
+                                  ": --resume file not found: " + resume);
+    if (!path.empty() && path != resume)
+      throw std::invalid_argument(std::string(cmd) +
+                                  ": --resume and --checkpoint disagree");
+    path = resume;
+  }
+  return path;
+}
+
+// Per-week output path: "hispar.csv" -> "hispar-w3.csv". Single-week
+// builds keep the path untouched (legacy behaviour).
+std::string week_csv_path(const std::string& base, std::uint64_t week) {
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.rfind('.');
+  const std::string suffix = "-w" + std::to_string(week);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 int cmd_build(World& world, const util::Args& args) {
-  const auto list =
-      world.build(args, static_cast<std::uint64_t>(args.get_int("week", 0)));
+  core::ListBuildConfig config;
+  config.list.name = "H" + std::to_string(args.get_int("sites", 200));
+  config.list.target_sites =
+      static_cast<std::size_t>(args.get_int("sites", 200));
+  config.list.urls_per_site =
+      static_cast<std::size_t>(args.get_int("urls", 20));
+  config.list.min_internal_results =
+      static_cast<std::size_t>(args.get_int("min-results", 5));
+  config.list.bootstrap = provider_from(args.get("provider", "alexa"));
+  config.engine = world.engine->config();
+  config.start_week = static_cast<std::uint64_t>(args.get_int("week", 0));
+  config.weeks = static_cast<std::uint64_t>(args.get_int("weeks", 1));
+  if (config.weeks == 0)
+    throw std::invalid_argument("build: --weeks must be >= 1");
+  config.jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
+  config.shards = static_cast<std::size_t>(
+      args.get_int("shards", static_cast<long>(config.shards)));
+  if (config.shards == 0)
+    throw std::invalid_argument("build: --shards must be >= 1");
+  config.fault_profile =
+      net::SearchFaultProfile::parse(args.get("fault-profile", "none"));
+  config.max_query_retries = static_cast<int>(
+      args.get_int("max-retries", config.max_query_retries));
+  config.checkpoint_path = checkpoint_path_from("build", args);
+
+  const std::string churn_out = args.get("churn-out", "");
+  const std::string ledger_out = args.get("ledger-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string report_out = args.get("report-out", "");
+  const bool quiet = args.get_bool("quiet");
+  config.observability.enabled =
+      !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
+  std::unique_ptr<std::ofstream> churn_os, ledger_os, metrics_os, trace_os,
+      report_os;
+  if (!churn_out.empty())
+    churn_os = open_artifact("build", "churn-out", churn_out);
+  if (!ledger_out.empty())
+    ledger_os = open_artifact("build", "ledger-out", ledger_out);
+  if (!metrics_out.empty())
+    metrics_os = open_artifact("build", "metrics-out", metrics_out);
+  if (!trace_out.empty())
+    trace_os = open_artifact("build", "trace-out", trace_out);
+  if (!report_out.empty())
+    report_os = open_artifact("build", "report-out", report_out);
+
+  core::ListBuildCampaign campaign(*world.web, *world.toplists, config);
+  const auto result = campaign.run();
+
+  // One CSV per week; a single-week build writes exactly the legacy
+  // artifact (path and summary line unchanged).
   const std::string out = args.get("out", "hispar.csv");
-  core::save_csv(list, out);
-  std::cout << "wrote " << list.total_urls() << " URLs / "
-            << list.sets.size() << " sites to " << out << "  ("
-            << world.last_stats.queries_issued << " queries, $"
-            << util::TextTable::num(world.last_stats.spend_usd, 2)
-            << " at Google pricing)\n";
+  const double price = search::query_price_usd(config.engine.provider);
+  for (std::size_t i = 0; i < result.lists.size(); ++i) {
+    const core::HisparList& list = result.lists[i];
+    const std::string path =
+        config.weeks == 1 ? out : week_csv_path(out, list.week);
+    core::save_csv(list, path);
+    std::cout << "wrote " << list.total_urls() << " URLs / "
+              << list.sets.size() << " sites to " << path << "  ("
+              << result.weeks[i].queries_billed << " queries, $"
+              << util::TextTable::num(
+                     static_cast<double>(result.weeks[i].queries_billed) *
+                         price,
+                     2)
+              << " at Google pricing)\n";
+  }
+
+  const obs::ListBuildReport report =
+      core::build_listbuild_report(result, campaign.telemetry());
+  if (config.weeks > 1 || campaign.telemetry().enabled)
+    std::cout << obs::listbuild_summary_line(report) << "\n";
+  if (campaign.telemetry().enabled && !quiet)
+    std::cout << obs::render_listbuild_report_text(report);
+  if (churn_os != nullptr) {
+    core::write_churn_csv(*churn_os, result.lists);
+    std::cout << "churn -> " << churn_out << "\n";
+  }
+  if (ledger_os != nullptr) {
+    core::write_cost_ledger_csv(*ledger_os, result.weeks);
+    std::cout << "cost ledger -> " << ledger_out << "\n";
+  }
+  if (metrics_os != nullptr) {
+    campaign.telemetry().metrics.write_json(*metrics_os);
+    std::cout << "metrics -> " << metrics_out << "\n";
+  }
+  if (trace_os != nullptr) {
+    obs::write_chrome_trace(*trace_os, campaign.telemetry().spans);
+    std::cout << "trace -> " << trace_out << "\n";
+  }
+  if (report_os != nullptr) {
+    obs::write_listbuild_report_json(*report_os, report);
+    std::cout << "report -> " << report_out << "\n";
+  }
   return 0;
 }
 
@@ -180,40 +315,22 @@ int cmd_measure(World& world, const util::Args& args) {
       static_cast<int>(args.get_int("max-retries", config.max_page_retries));
   config.page_timeout_s =
       args.get_double("page-timeout-s", config.page_timeout_s);
-  config.checkpoint_path = args.get("checkpoint", "");
-  if (args.has("resume")) {
-    const std::string resume = args.get("resume", "");
-    if (!std::ifstream(resume))
-      throw std::invalid_argument("measure: --resume file not found: " +
-                                  resume);
-    if (!config.checkpoint_path.empty() && config.checkpoint_path != resume)
-      throw std::invalid_argument(
-          "measure: --resume and --checkpoint disagree");
-    config.checkpoint_path = resume;
-  }
+  config.checkpoint_path = checkpoint_path_from("measure", args);
 
-  // Observability: any artifact flag enables telemetry. The artifact
-  // files are opened before the campaign runs so an unwritable path
-  // fails in milliseconds, not after the measurement.
+  // Observability: any artifact flag enables telemetry.
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string trace_out = args.get("trace-out", "");
   const std::string report_out = args.get("report-out", "");
   const bool quiet = args.get_bool("quiet");
   config.observability.enabled =
       !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
-  const auto open_artifact = [](const std::string& path, const char* flag) {
-    auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
-    if (!*out)
-      throw std::invalid_argument(std::string("measure: cannot write --") +
-                                  flag + " file: " + path);
-    return out;
-  };
   std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os;
   if (!metrics_out.empty())
-    metrics_os = open_artifact(metrics_out, "metrics-out");
-  if (!trace_out.empty()) trace_os = open_artifact(trace_out, "trace-out");
+    metrics_os = open_artifact("measure", "metrics-out", metrics_out);
+  if (!trace_out.empty())
+    trace_os = open_artifact("measure", "trace-out", trace_out);
   if (!report_out.empty())
-    report_os = open_artifact(report_out, "report-out");
+    report_os = open_artifact("measure", "report-out", report_out);
 
   core::MeasurementCampaign campaign(*world.web, config);
   const auto sites = campaign.run(list);
@@ -276,9 +393,27 @@ void print_help(std::ostream& out, const std::string& program) {
          "  --universe N        synthetic-web site count (default 3000)\n"
          "  --help              print this reference and exit\n"
          "\n"
-         "build: build a weekly list and write it as CSV\n"
-         "  --sites N --urls M --week W --min-results K --out FILE\n"
+         "build: run the weekly list-refresh campaign, one CSV per week\n"
+         "  --sites N --urls M --min-results K --out FILE\n"
          "  --provider alexa|umbrella|majestic|quantcast|tranco\n"
+         "  --week W            first week to build (default 0)\n"
+         "  --weeks K           refresh-loop length (default 1; multi-week\n"
+         "                      runs write FILE-w<week>.csv per week)\n"
+         "  --jobs N            worker threads; 0 = all cores; lists are\n"
+         "                      identical for every N (default 1)\n"
+         "  --shards S          scan shards; fault streams are keyed by\n"
+         "                      shard, so S affects faulty runs (default 8)\n"
+         "  --fault-profile P   none|uniform:R|query_timeout=R,\n"
+         "                      empty_page=R,quota_exceeded=R,rate_limited=R\n"
+         "  --max-retries N     query attempts beyond the first (default 2)\n"
+         "  --checkpoint FILE   append completed weeks; resumes\n"
+         "                      automatically when FILE exists\n"
+         "  --resume FILE       like --checkpoint, FILE must exist\n"
+         "  --churn-out FILE    week-over-week churn CSV\n"
+         "  --ledger-out FILE   per-week, per-provider cost ledger CSV\n"
+         "  --metrics-out FILE --trace-out FILE --report-out FILE\n"
+         "                      observability artifacts (enable telemetry)\n"
+         "  --quiet             suppress the multi-line build report\n"
          "\n"
          "churn: weekly stability of the list\n"
          "  --sites N --urls M --weeks K\n"

@@ -1,5 +1,7 @@
 // obs_validate — structural validator for the observability artifacts
-// `hispar measure` writes (--metrics-out / --trace-out / --report-out).
+// `hispar measure` and `hispar build` write (--metrics-out /
+// --trace-out / --report-out). --report dispatches on the document's
+// "schema" member, so both report flavours share one flag.
 //
 // CI runs a small campaign, then this tool, so a malformed or
 // schema-drifted artifact fails the build instead of surfacing when
@@ -91,12 +93,7 @@ void check_trace(const std::string& path) {
   }
 }
 
-void check_report(const std::string& path) {
-  const JsonValue doc = load(path);
-  require(doc.is(JsonValue::Type::kObject), "report: not an object");
-  require(member(doc, "schema", JsonValue::Type::kString, "report").string ==
-              "hispar-report-v1",
-          "report: wrong schema");
+void check_measure_report(const JsonValue& doc) {
   const JsonValue& coverage =
       member(doc, "coverage", JsonValue::Type::kObject, "report");
   const double total =
@@ -129,6 +126,90 @@ void check_report(const std::string& path) {
   }
   member(doc, "shard_skew_s", JsonValue::Type::kNumber, "report");
   member(doc, "telemetry", JsonValue::Type::kBool, "report");
+}
+
+// The weekly list-refresh report (`hispar build --report-out`): the
+// scan coverage identity, §7 billing per provider, per-week churn
+// cells (null when undefined) and the fault taxonomy.
+void check_listbuild_report(const JsonValue& doc) {
+  const JsonValue& coverage =
+      member(doc, "coverage", JsonValue::Type::kObject, "report");
+  const double examined =
+      member(coverage, "sites_examined", JsonValue::Type::kNumber, "coverage")
+          .number;
+  const double accounted =
+      member(coverage, "sites_accepted", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sites_dropped", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sites_missing", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sites_quarantined", JsonValue::Type::kNumber,
+             "coverage")
+          .number;
+  require(examined == accounted, "report: coverage counts do not add up");
+  member(coverage, "weeks", JsonValue::Type::kNumber, "coverage");
+
+  const JsonValue& billing =
+      member(doc, "billing", JsonValue::Type::kObject, "report");
+  member(billing, "queries_billed", JsonValue::Type::kNumber, "billing");
+  member(billing, "speculative_queries", JsonValue::Type::kNumber, "billing");
+  member(billing, "retries", JsonValue::Type::kNumber, "billing");
+  const JsonValue& providers =
+      member(billing, "providers", JsonValue::Type::kArray, "billing");
+  require(!providers.array.empty(), "report: no billing providers");
+  for (const JsonValue& provider : providers.array) {
+    member(provider, "provider", JsonValue::Type::kString, "report provider");
+    member(provider, "query_price_usd", JsonValue::Type::kNumber,
+           "report provider");
+    member(provider, "spend_usd", JsonValue::Type::kNumber,
+           "report provider");
+  }
+
+  const JsonValue& weeks =
+      member(doc, "weeks", JsonValue::Type::kArray, "report");
+  for (const JsonValue& week : weeks.array) {
+    member(week, "week", JsonValue::Type::kNumber, "report week");
+    member(week, "sites_accepted", JsonValue::Type::kNumber, "report week");
+    member(week, "queries_billed", JsonValue::Type::kNumber, "report week");
+    for (const char* churn : {"site_churn", "internal_url_churn"}) {
+      const JsonValue* cell = week.find(churn);
+      require(cell != nullptr,
+              std::string("report week: missing \"") + churn + "\"");
+      require(cell->is(JsonValue::Type::kNumber) ||
+                  cell->is(JsonValue::Type::kNull),
+              std::string("report week: \"") + churn +
+                  "\" is neither number nor null");
+    }
+  }
+
+  const JsonValue& faults =
+      member(doc, "faults", JsonValue::Type::kArray, "report");
+  for (const JsonValue& fault : faults.array) {
+    member(fault, "kind", JsonValue::Type::kString, "report fault");
+    member(fault, "injected", JsonValue::Type::kNumber, "report fault");
+    member(fault, "sites_quarantined", JsonValue::Type::kNumber,
+           "report fault");
+  }
+
+  const JsonValue& trace =
+      member(doc, "trace", JsonValue::Type::kObject, "report");
+  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
+  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
+  member(doc, "telemetry", JsonValue::Type::kBool, "report");
+}
+
+void check_report(const std::string& path) {
+  const JsonValue doc = load(path);
+  require(doc.is(JsonValue::Type::kObject), "report: not an object");
+  const std::string& schema =
+      member(doc, "schema", JsonValue::Type::kString, "report").string;
+  if (schema == "hispar-report-v1")
+    check_measure_report(doc);
+  else if (schema == "hispar-listbuild-report-v1")
+    check_listbuild_report(doc);
+  else
+    fail("report: unknown schema \"" + schema + "\"");
 }
 
 }  // namespace
