@@ -1,0 +1,106 @@
+// Cost and payoff of multi-vantage campaigns (§3.1, §5.3).
+//
+// Runs the same campaign as the historical single-vantage engine, then
+// as a VantageCampaign at 1, 3 and 5 vantage points, and reports
+// wall-clock time, the per-vantage slowdown (the engine is a
+// sequential outer loop, so N vantages should cost about N campaigns),
+// and whether the 1-vantage run and every vantage-0 slice stay
+// byte-identical to the plain campaign (the engine's contract). The
+// payoff column is what a single vantage cannot see: the fraction of
+// landing-vs-internal metric deltas whose *sign* flips somewhere
+// across vantages — the paper's Fig. 10c World-category reversal,
+// reproduced on purpose.
+//
+// HISPAR_SITES scales the list (default 120); HISPAR_JOBS the worker
+// threads of each inner campaign.
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "core/serialization.h"
+#include "core/vantage.h"
+#include "net/vantage_profile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hispar;
+
+std::uint64_t csv_digest(const std::vector<core::SiteObservation>& sites) {
+  std::ostringstream csv;
+  core::write_measure_csv(csv, sites);
+  return util::fnv1a(csv.str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "multi-vantage campaign cost",
+      "one US server shapes every absolute number (§3.1, §5.3); N "
+      "vantages cost ~N campaigns and surface the sign flips a single "
+      "vantage hides");
+
+  const std::size_t sites = bench::env_sites(120);
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+
+  core::CampaignConfig base;
+  base.landing_loads = 10;
+  base.jobs = bench::env_jobs();
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_s = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+
+  // Reference: the plain single-vantage campaign.
+  auto started = Clock::now();
+  core::MeasurementCampaign plain(*world.web, base);
+  const auto plain_sites = plain.run(world.h1k);
+  const double plain_s = time_s(started);
+  const std::uint64_t plain_digest = csv_digest(plain_sites);
+  world.metrics.gauge("bench.vantage.single_s") = plain_s;
+
+  util::TextTable table({"runner", "seconds", "s/vantage", "vantage-0 bytes",
+                         "sign-flip metrics"});
+  table.add_row({"plain campaign", util::TextTable::num(plain_s, 3),
+                 util::TextTable::num(plain_s, 3), "reference", "-"});
+
+  for (std::size_t vantages : {1u, 3u, 5u}) {
+    core::VantageCampaignConfig config;
+    config.base = base;
+    config.profiles = net::VantageProfile::default_vantages(vantages);
+    core::VantageCampaign campaign(*world.web, config);
+    started = Clock::now();
+    const core::VantageRunResult result = campaign.run(world.h1k);
+    const double elapsed_s = time_s(started);
+
+    const bool home_identical =
+        csv_digest(result.observations[0]) == plain_digest;
+    const auto disagreement = core::vantage_disagreement(result.observations);
+    std::size_t flipped = 0;
+    for (const auto& line : disagreement.metrics)
+      if (line.sign_flip_fraction > 0.0) ++flipped;
+
+    table.add_row({"vantages " + std::to_string(vantages),
+                   util::TextTable::num(elapsed_s, 3),
+                   util::TextTable::num(elapsed_s / vantages, 3),
+                   home_identical ? "identical" : "DIFFER (BUG)",
+                   std::to_string(flipped) + "/" +
+                       std::to_string(disagreement.metrics.size())});
+    world.metrics.gauge("bench.vantage.v" + std::to_string(vantages) + "_s") =
+        elapsed_s;
+    world.metrics.gauge("bench.vantage.v" + std::to_string(vantages) +
+                        "_flipped") = static_cast<double>(flipped);
+    if (!home_identical)
+      ++world.metrics.counter("bench.vantage.digest_mismatches");
+  }
+
+  std::cout << table;
+  std::cout << "\n(s/vantage should stay flat: the engine is a sequential "
+               "loop over independent campaigns. A sign-flip metric is one "
+               "where landing-vs-internal deltas reverse direction at some "
+               "vantage — invisible to any single-vantage study)\n";
+  world.write_bench_json("vantage");
+  return 0;
+}

@@ -95,6 +95,10 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   if (page.objects.empty())
     throw std::invalid_argument("PageLoader: page has no objects");
 
+  // A cold browser profile (§3.1) opens a fresh DoH connection per
+  // page: the first lookup of this load pays connection setup again.
+  if (env_.doh != nullptr) env_.doh->new_session();
+
   LoadResult result;
   result.har.page_url = page.url.str();
   result.har.entries.reserve(page.objects.size());
@@ -172,7 +176,9 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       if (o.via_cdn) {
         const auto& provider = env_.registry->provider(o.cdn_provider_id);
         hs.server_region =
-            env_.registry->nearest_edge(provider, env_.vantage, *env_.latency);
+            env_.edge_pin ? *env_.edge_pin
+                          : env_.registry->nearest_edge(provider, env_.vantage,
+                                                        *env_.latency);
       } else {
         hs.server_region = o.origin_region;
       }
@@ -331,8 +337,12 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
           }
         }
         if (fate == net::FaultKind::kNone) {
-          const auto lookup = env_.resolver->resolve(
-              dns_record_for(o), options.start_time_s + t / 1000.0, rng);
+          const double query_time_s = options.start_time_s + t / 1000.0;
+          const auto lookup =
+              env_.doh != nullptr
+                  ? env_.doh->resolve(dns_record_for(o), query_time_s, rng)
+                  : env_.resolver->resolve(dns_record_for(o), query_time_s,
+                                           rng);
           entry.timings.dns += lookup.latency_ms;
           t += lookup.latency_ms;
           hs.dns_done = true;

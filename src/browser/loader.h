@@ -24,6 +24,7 @@
 #include "cdn/hierarchy.h"
 #include "net/connection.h"
 #include "net/dns.h"
+#include "net/doh.h"
 #include "net/faults.h"
 #include "obs/obs.h"
 #include "util/rng.h"
@@ -42,6 +43,17 @@ struct LoaderEnv {
   // Observability never draws from `rng` and never moves `t`, so a
   // load's simulated results are identical with or without it.
   obs::ShardObs obs{};
+  // DNS-over-HTTPS wrapper around `resolver`. When set, every lookup
+  // routes through it (paying the DoH connection/query overheads) and
+  // each load opens a fresh DoH session — the cold-profile browser of
+  // §3.1 does not reuse the previous page's DoH connection. Null keeps
+  // plain resolver lookups (historical behaviour).
+  net::DohResolver* doh = nullptr;
+  // Pin CDN-served objects to one edge region regardless of proximity.
+  // Must agree with the CdnHierarchy's own edge_pin so the RTT the
+  // client pays and the cache the request lands in describe the same
+  // PoP; MeasurementCampaign wires both from one config field.
+  std::optional<net::Region> edge_pin;
 };
 
 struct LoadOptions {

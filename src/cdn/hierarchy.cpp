@@ -43,7 +43,9 @@ CdnResponse CdnHierarchy::serve(const CdnProvider& provider,
                                 const CdnRequest& request, util::Rng& rng) {
   ++requests_;
   const net::Region edge =
-      registry_->nearest_edge(provider, request.client, *latency_);
+      config_.edge_pin
+          ? *config_.edge_pin
+          : registry_->nearest_edge(provider, request.client, *latency_);
 
   CdnResponse response;
   response.edge_region = edge;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -78,6 +79,11 @@ struct CdnHierarchyConfig {
   // Deterministic per-edge LRU capacity for this simulation's own
   // requests.
   std::size_t edge_lru_bytes = 256ull * 1024 * 1024;
+  // Pin every cacheable request to this edge region instead of routing
+  // to the nearest one — models anycast mis-routing and vantage
+  // profiles whose traffic lands on a fixed PoP. nullopt keeps
+  // nearest-edge routing (historical behaviour).
+  std::optional<net::Region> edge_pin;
 };
 
 class CdnHierarchy {

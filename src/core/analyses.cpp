@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <ostream>
 #include <stdexcept>
 
 namespace hispar::core {
@@ -252,6 +254,141 @@ std::vector<double> plt_delta_for_category(
     out.push_back(delta / 1000.0);  // seconds, as the paper plots
   }
   return out;
+}
+
+// --- Cross-vantage disagreement ---
+
+namespace {
+
+// Sign of a landing-vs-internal delta: the direction the paper's
+// headline claims are about. Exact zero is its own class so a vantage
+// that sees no difference disagrees with one that sees either
+// direction.
+int delta_sign(double delta) {
+  if (delta > 0.0) return 1;
+  if (delta < 0.0) return -1;
+  return 0;
+}
+
+// Positions of the sites usable at every vantage, plus a size check —
+// the one structural error a caller can make is handing observation
+// lists from different HisparLists.
+std::vector<std::size_t> compared_positions(
+    const std::vector<std::vector<SiteObservation>>& per_vantage) {
+  if (per_vantage.empty())
+    throw std::invalid_argument("vantage_disagreement: no vantages");
+  const std::size_t n_sites = per_vantage.front().size();
+  for (const auto& observations : per_vantage)
+    if (observations.size() != n_sites)
+      throw std::invalid_argument(
+          "vantage_disagreement: vantage observation lists have different "
+          "lengths (different lists?)");
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    bool everywhere = true;
+    for (const auto& observations : per_vantage)
+      if (!usable_site(observations[i])) {
+        everywhere = false;
+        break;
+      }
+    if (everywhere) positions.push_back(i);
+  }
+  return positions;
+}
+
+// Per-vantage deltas of one metric at one site position.
+std::vector<double> site_deltas(
+    const std::vector<std::vector<SiteObservation>>& per_vantage,
+    std::size_t position, double (*fn)(const PageMetrics&)) {
+  std::vector<double> deltas;
+  deltas.reserve(per_vantage.size());
+  for (const auto& observations : per_vantage) {
+    const SiteObservation& site = observations[position];
+    deltas.push_back(fn(site.landing) - site.internal_median(fn));
+  }
+  return deltas;
+}
+
+bool sign_consistent(const std::vector<double>& deltas) {
+  for (std::size_t i = 1; i < deltas.size(); ++i)
+    if (delta_sign(deltas[i]) != delta_sign(deltas.front())) return false;
+  return true;
+}
+
+}  // namespace
+
+const std::vector<ConsensusMetric>& consensus_metrics() {
+  static const std::vector<ConsensusMetric> metrics = {
+      {"bytes", metric::bytes},
+      {"objects", metric::objects},
+      {"plt_ms", metric::plt_ms},
+      {"speed_index_ms", metric::speed_index_ms},
+      {"cdn_bytes_fraction", metric::cdn_bytes_fraction},
+      {"handshakes", metric::handshakes},
+  };
+  return metrics;
+}
+
+VantageDisagreement vantage_disagreement(
+    const std::vector<std::vector<SiteObservation>>& per_vantage) {
+  const auto positions = compared_positions(per_vantage);
+
+  VantageDisagreement out;
+  out.vantages = per_vantage.size();
+  out.sites_total = per_vantage.front().size();
+  out.sites_compared = positions.size();
+  for (const auto& metric : consensus_metrics()) {
+    VantageSpreadLine line;
+    line.metric = metric.name;
+    std::vector<double> spreads;
+    spreads.reserve(positions.size());
+    std::size_t flips = 0;
+    for (std::size_t position : positions) {
+      const auto deltas = site_deltas(per_vantage, position, metric.fn);
+      const auto [lo, hi] = std::minmax_element(deltas.begin(), deltas.end());
+      spreads.push_back(*hi - *lo);
+      if (!sign_consistent(deltas)) ++flips;
+    }
+    line.max_spread =
+        spreads.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : *std::max_element(spreads.begin(), spreads.end());
+    // NaN when no site compares everywhere — the documented span-API
+    // empty-input policy (and the regression the quantile fix covers).
+    line.median_spread = util::median_inplace(spreads);
+    line.sign_flip_fraction =
+        positions.empty() ? 0.0
+                          : static_cast<double>(flips) /
+                                static_cast<double>(positions.size());
+    out.metrics.push_back(std::move(line));
+  }
+  return out;
+}
+
+void write_vantage_consensus_csv(
+    std::ostream& out,
+    const std::vector<std::vector<SiteObservation>>& per_vantage) {
+  const auto positions = compared_positions(per_vantage);
+
+  out << "domain,rank,vantages";
+  for (const auto& metric : consensus_metrics())
+    out << ',' << metric.name << "_delta_median," << metric.name
+        << "_spread," << metric.name << "_sign_consistent";
+  out << '\n';
+
+  for (std::size_t position : positions) {
+    const SiteObservation& site = per_vantage.front()[position];
+    out << site.domain << ',' << site.bootstrap_rank << ','
+        << per_vantage.size();
+    for (const auto& metric : consensus_metrics()) {
+      auto deltas = site_deltas(per_vantage, position, metric.fn);
+      const auto [lo, hi] = std::minmax_element(deltas.begin(), deltas.end());
+      const double spread = *hi - *lo;
+      const bool consistent = sign_consistent(deltas);
+      out << ',' << util::median_inplace(deltas) << ',' << spread << ','
+          << (consistent ? 1 : 0);
+    }
+    out << '\n';
+  }
 }
 
 }  // namespace hispar::core

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -136,6 +138,61 @@ HbSummary hb_summary(const std::vector<SiteObservation>& sites);
 // one category.
 std::vector<double> plt_delta_for_category(
     const std::vector<SiteObservation>& sites, web::SiteCategory category);
+
+// --- Cross-vantage disagreement (multi-vantage campaigns) ---
+//
+// How much the paper's headline landing-vs-internal deltas depend on
+// where you measure from. Per consensus metric and per site that is
+// usable at *every* vantage, the per-vantage delta is
+// fn(landing) - median over internals of fn; the spread is the max-min
+// range of that delta across vantages, and a sign flip means the
+// landing-vs-internal *direction* itself disagrees between vantages —
+// the strongest form of single-vantage blindness.
+
+// The fixed metric set the consensus analysis covers (name, accessor).
+struct ConsensusMetric {
+  const char* name;
+  double (*fn)(const PageMetrics&);
+};
+// bytes, objects, plt_ms, speed_index_ms, cdn_bytes_fraction,
+// handshakes — in this order everywhere (spread lines, consensus CSV).
+const std::vector<ConsensusMetric>& consensus_metrics();
+
+struct VantageSpreadLine {
+  std::string metric;
+  // Median / max over compared sites of the cross-vantage delta range.
+  // NaN when no site is usable at every vantage (the documented
+  // util::stats empty-input policy).
+  double median_spread = 0.0;
+  double max_spread = 0.0;
+  // Fraction of compared sites whose delta sign differs between
+  // vantages.
+  double sign_flip_fraction = 0.0;
+};
+
+struct VantageDisagreement {
+  std::size_t vantages = 0;
+  std::size_t sites_total = 0;
+  std::size_t sites_compared = 0;  // usable at every vantage
+  std::vector<VantageSpreadLine> metrics;  // consensus_metrics() order
+};
+
+// per_vantage[v] is vantage v's observation list; all lists must be the
+// same length (same HisparList) or std::invalid_argument is thrown.
+// Works for a single vantage too (all spreads 0, no sign flips).
+VantageDisagreement vantage_disagreement(
+    const std::vector<std::vector<SiteObservation>>& per_vantage);
+
+// Per-site consensus CSV: one row per site usable at every vantage,
+// with, per consensus metric, the cross-vantage median delta, the
+// spread, and whether the delta sign agrees at every vantage.
+// Header: domain,rank,vantages then
+// <metric>_delta_median,<metric>_spread,<metric>_sign_consistent per
+// metric. Byte-stable (default double formatting, like
+// write_measure_csv).
+void write_vantage_consensus_csv(
+    std::ostream& out,
+    const std::vector<std::vector<SiteObservation>>& per_vantage);
 
 // Standard metric accessors.
 namespace metric {

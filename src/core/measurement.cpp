@@ -69,14 +69,25 @@ CampaignSummary summarize_campaign(const std::vector<SiteObservation>& sites) {
   return summary;
 }
 
+namespace {
+
+cdn::CdnHierarchyConfig cdn_config_for(const CampaignConfig& config) {
+  cdn::CdnHierarchyConfig hierarchy;
+  hierarchy.edge_pin = config.cdn_edge_pin;
+  return hierarchy;
+}
+
+}  // namespace
+
 MeasurementCampaign::ShardState::ShardState(const web::SyntheticWeb& web,
                                             const CampaignConfig& config,
                                             std::size_t shard_id)
-    : latency(),
-      cdn(web.cdn_registry(), latency),
-      resolver(net::ResolverConfig{"local", 1, 6.0,
-                                   net::Region::kNorthAmerica, 1.0},
-               latency),
+    : latency(config.latency),
+      cdn(web.cdn_registry(), latency, cdn_config_for(config)),
+      resolver(config.resolver, latency),
+      doh(config.use_doh
+              ? std::make_unique<net::DohResolver>(resolver, config.doh)
+              : nullptr),
       metrics(config.observability.enabled
                   ? std::make_unique<obs::MetricsRegistry>()
                   : nullptr),
@@ -86,7 +97,8 @@ MeasurementCampaign::ShardState::ShardState(const web::SyntheticWeb& web,
       shard_id(shard_id),
       loader(browser::LoaderEnv{&latency, &web.cdn_registry(), &cdn,
                                 &resolver, config.vantage,
-                                obs_handle(config)}),
+                                obs_handle(config), doh.get(),
+                                config.cdn_edge_pin}),
       rng(util::Rng(config.seed).fork(static_cast<std::uint64_t>(shard_id))) {
   resolver.set_metrics(metrics.get());
   cdn.set_metrics(metrics.get());
@@ -527,21 +539,64 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
   }
 }
 
-std::uint64_t MeasurementCampaign::checkpoint_digest(
-    const HisparList& list) const {
+namespace {
+
+// Canonical serialization of the per-vantage substrate knobs. Appended
+// to the digest only when it differs from the defaults' key, so every
+// digest computed before the knobs existed — including on-disk
+// checkpoints and the pinned goldens — is reproduced exactly.
+std::string substrate_key(const CampaignConfig& config) {
   std::ostringstream os;
   os.precision(17);
-  const auto& lo = config_.load_options;
-  os << "v1|" << config_.seed << '|' << config_.shards << '|'
-     << config_.landing_loads << '|' << config_.inter_fetch_gap_s << '|'
-     << static_cast<int>(config_.vantage) << '|' << config_.wait_sample_cap
+  for (int from = 0; from < net::kRegionCount; ++from)
+    for (int to = 0; to < net::kRegionCount; ++to)
+      os << config.latency.rtt_ms[from][to] << ',';
+  os << config.latency.jitter_sigma << '|' << config.latency.access_ms << '|'
+     << config.latency.bandwidth_bytes_per_ms << '|' << config.resolver.name
+     << '|' << config.resolver.cache_shards << '|'
+     << config.resolver.client_rtt_ms << '|'
+     << static_cast<int>(config.resolver.resolver_region) << '|'
+     << config.resolver.processing_ms << '|' << config.use_doh << '|'
+     << config.doh.connection_setup_ms << '|'
+     << config.doh.per_query_overhead_ms << '|'
+     << (config.cdn_edge_pin ? static_cast<int>(*config.cdn_edge_pin) : -1);
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t campaign_config_digest(const CampaignConfig& config,
+                                     const HisparList& list) {
+  std::ostringstream os;
+  os.precision(17);
+  const auto& lo = config.load_options;
+  os << "v1|" << config.seed << '|' << config.shards << '|'
+     << config.landing_loads << '|' << config.inter_fetch_gap_s << '|'
+     << static_cast<int>(config.vantage) << '|' << config.wait_sample_cap
      << '|' << lo.use_resource_hints << lo.model_cdn_warmth
      << lo.reuse_connections << '|'
      << (lo.transport_override ? static_cast<int>(*lo.transport_override) : -1)
-     << '|' << config_.fault_profile.str() << '|' << config_.max_page_retries
-     << '|' << config_.retry_backoff_s << '|' << config_.page_timeout_s
+     << '|' << config.fault_profile.str() << '|' << config.max_page_retries
+     << '|' << config.retry_backoff_s << '|' << config.page_timeout_s
      << '|' << util::fnv1a(to_csv(list));
+  const std::string substrate = substrate_key(config);
+  if (substrate != substrate_key(CampaignConfig{}))
+    os << "|sub|" << substrate;
   return util::fnv1a(os.str());
+}
+
+void validate_shard_count(const std::string& context, std::size_t shards,
+                          std::size_t sites) {
+  if (shards > sites)
+    throw std::invalid_argument(
+        context + ": --shards (" + std::to_string(shards) +
+        ") exceeds the site count (" + std::to_string(sites) +
+        "); shards beyond the site count would be empty");
+}
+
+std::uint64_t MeasurementCampaign::checkpoint_digest(
+    const HisparList& list) const {
+  return campaign_config_digest(config_, list);
 }
 
 std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -27,7 +28,9 @@
 #include "browser/loader.h"
 #include "cdn/detection.h"
 #include "core/hispar.h"
+#include "net/doh.h"
 #include "net/faults.h"
+#include "net/latency.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "util/intern.h"
@@ -130,6 +133,18 @@ struct CampaignConfig {
   std::uint64_t seed = 20200312;  // H1K bootstrap date (§3.1)
   double inter_fetch_gap_s = 5.0;
   net::Region vantage = net::Region::kNorthAmerica;
+  // Per-vantage substrate knobs. The defaults reproduce the historical
+  // single-vantage substrate byte for byte (they are exactly what the
+  // campaign used to hardcode); VantageCampaign overrides them per
+  // vantage profile. Non-default values join the checkpoint digest.
+  net::LatencyConfig latency;        // last-mile / inter-region shape
+  net::ResolverConfig resolver;      // ISP-style local resolver
+  bool use_doh = false;              // route lookups through DoH
+  net::DohConfig doh;
+  // Pin CDN traffic to one edge region (anycast mis-routing); wired
+  // into both the CDN hierarchy and the loader so the cache and the
+  // client RTT describe the same PoP.
+  std::optional<net::Region> cdn_edge_pin;
   browser::LoadOptions load_options;  // ablation switches pass through
   std::size_t wait_sample_cap = 60;
   // Worker threads for run(). 0 = one per hardware thread. Results are
@@ -191,10 +206,11 @@ class MeasurementCampaign {
   static PageMetrics median_metrics(const std::vector<PageMetrics>& loads);
 
   // Fingerprint of everything that determines run() output for a given
-  // list (seed, shards, loads, fault profile, retries, ablations, and
-  // the list itself — but never `jobs`, and never the observability
-  // options, which cannot change results). Guards checkpoint resume
-  // against a mismatched campaign.
+  // list (seed, shards, loads, fault profile, retries, ablations,
+  // non-default substrate knobs, and the list itself — but never
+  // `jobs`, and never the observability options, which cannot change
+  // results). Guards checkpoint resume against a mismatched campaign.
+  // Delegates to the free function campaign_config_digest below.
   std::uint64_t checkpoint_digest(const HisparList& list) const;
 
   // Merged telemetry of the last run() (empty/disabled unless
@@ -244,6 +260,9 @@ class MeasurementCampaign {
     net::LatencyModel latency;
     cdn::CdnHierarchy cdn;
     net::CachingResolver resolver;
+    // DoH wrapper around `resolver`; null unless config.use_doh.
+    // Declared before `loader` so the loader env can point at it.
+    std::unique_ptr<net::DohResolver> doh;
     // Shard-private telemetry (null when observability is off); declared
     // before `loader` so the loader env can point into them. The
     // registry/tracer are heap-held so instrumentation pointers stay
@@ -306,5 +325,20 @@ class MeasurementCampaign {
 // than in obs/ because it reads SiteObservation and FaultKind.
 obs::RunReport build_run_report(const std::vector<SiteObservation>& sites,
                                 const obs::RunTelemetry& telemetry);
+
+// Digest of everything that determines MeasurementCampaign::run()
+// output for `config` over `list`. Substrate knobs contribute only
+// when they differ from the defaults, so digests of historical
+// campaigns (and their on-disk checkpoints) are unchanged.
+// VantageCampaign digests each derived per-vantage config through this.
+std::uint64_t campaign_config_digest(const CampaignConfig& config,
+                                     const HisparList& list);
+
+// Fail-fast validation shared by the CLI and tests: a campaign accepts
+// shards > sites, but the partition is then silently degenerate (empty
+// shards), which `hispar` treats as user error. Throws
+// std::invalid_argument with `context` prefixed to the message.
+void validate_shard_count(const std::string& context, std::size_t shards,
+                          std::size_t sites);
 
 }  // namespace hispar::core

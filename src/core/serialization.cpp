@@ -283,6 +283,77 @@ PageMetrics parse_metrics(const std::string& line) {
   return m;
 }
 
+// One site observation as site/metrics/outcome lines — shared by the
+// per-shard and per-vantage checkpoint block formats (byte-identical
+// records in both).
+void write_site_record(std::ostream& out, std::size_t position,
+                       const SiteObservation& o) {
+  const bool has_landing = !o.quarantined;
+  out << "site," << position << ',' << o.domain << ',' << o.bootstrap_rank
+      << ',' << static_cast<unsigned>(o.category) << ','
+      << (o.quarantined ? 1 : 0) << ',' << o.total_retries << ','
+      << o.internals.size() << ',' << o.outcomes.size() << ','
+      << (has_landing ? 1 : 0) << '\n';
+  if (has_landing) write_metrics(out, o.landing);
+  for (const auto& m : o.internals) write_metrics(out, m);
+  for (const auto& outcome : o.outcomes)
+    out << "outcome," << outcome.page_index << ',' << outcome.load_ordinal
+        << ',' << outcome.attempts << ','
+        << static_cast<unsigned>(outcome.status) << ','
+        << static_cast<unsigned>(outcome.failure) << ','
+        << outcome.failed_objects << '\n';
+}
+
+// Parses one site record (site line + metrics + outcomes) starting at
+// lines[i], advancing i through the record. `need` is the caller's
+// bounds-checked accessor (its truncation message names the block
+// kind).
+template <typename Need>
+std::pair<std::size_t, SiteObservation> read_site_record(
+    const std::vector<std::string>& lines, std::size_t& i, Need&& need) {
+  const auto site = util::split(need(i++), ',');
+  if (site.size() != 10 || site[0] != "site")
+    checkpoint_fail("expected site record, got '" + lines[i - 1] + "'");
+  const std::size_t position = parse_u64(site[1], "site position");
+  SiteObservation o;
+  o.domain = site[2];
+  o.bootstrap_rank = parse_u64(site[3], "rank");
+  const std::uint64_t category = parse_u64(site[4], "category");
+  if (category >= web::kSiteCategoryCount)
+    checkpoint_fail("bad category '" + site[4] + "'");
+  o.category = static_cast<web::SiteCategory>(category);
+  o.quarantined = parse_flag(site[5], "quarantined");
+  o.total_retries = parse_int(site[6], "total retries");
+  const std::size_t n_internals = parse_u64(site[7], "internal count");
+  const std::size_t n_outcomes = parse_u64(site[8], "outcome count");
+  const bool has_landing = parse_flag(site[9], "landing flag");
+  if (has_landing) o.landing = parse_metrics(need(i++));
+  o.internals.reserve(n_internals);
+  for (std::size_t k = 0; k < n_internals; ++k)
+    o.internals.push_back(parse_metrics(need(i++)));
+  o.outcomes.reserve(n_outcomes);
+  for (std::size_t k = 0; k < n_outcomes; ++k) {
+    const auto f = util::split(need(i++), ',');
+    if (f.size() != 7 || f[0] != "outcome")
+      checkpoint_fail("bad outcome record '" + lines[i - 1] + "'");
+    FetchOutcome outcome;
+    outcome.page_index = parse_u64(f[1], "page index");
+    outcome.load_ordinal = parse_int(f[2], "load ordinal");
+    outcome.attempts = parse_int(f[3], "attempts");
+    const int status = parse_int(f[4], "status");
+    if (status < 0 || status > 2)
+      checkpoint_fail("bad status '" + f[4] + "'");
+    outcome.status = static_cast<browser::LoadStatus>(status);
+    const int failure = parse_int(f[5], "failure kind");
+    if (failure < 0 || failure >= static_cast<int>(net::kFaultKindCount))
+      checkpoint_fail("bad failure kind '" + f[5] + "'");
+    outcome.failure = static_cast<net::FaultKind>(failure);
+    outcome.failed_objects = parse_int(f[6], "failed objects");
+    o.outcomes.push_back(outcome);
+  }
+  return {position, std::move(o)};
+}
+
 // One shard's telemetry as obscounter/obsgauge/obshist/obsspan/
 // obsdropped lines — shared by the measurement and list-build
 // checkpoint formats so both resume with bit-identical telemetry.
@@ -374,23 +445,8 @@ void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const obs::ShardTelemetry* telemetry) {
   const auto precision = out.precision(17);
   out << "shard," << shard << ',' << positions.size() << '\n';
-  for (std::size_t position : positions) {
-    const SiteObservation& o = observations[position];
-    const bool has_landing = !o.quarantined;
-    out << "site," << position << ',' << o.domain << ',' << o.bootstrap_rank
-        << ',' << static_cast<unsigned>(o.category) << ','
-        << (o.quarantined ? 1 : 0) << ',' << o.total_retries << ','
-        << o.internals.size() << ',' << o.outcomes.size() << ','
-        << (has_landing ? 1 : 0) << '\n';
-    if (has_landing) write_metrics(out, o.landing);
-    for (const auto& m : o.internals) write_metrics(out, m);
-    for (const auto& outcome : o.outcomes)
-      out << "outcome," << outcome.page_index << ',' << outcome.load_ordinal
-          << ',' << outcome.attempts << ','
-          << static_cast<unsigned>(outcome.status) << ','
-          << static_cast<unsigned>(outcome.failure) << ','
-          << outcome.failed_objects << '\n';
-  }
+  for (std::size_t position : positions)
+    write_site_record(out, position, observations[position]);
   if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
   out << "endshard," << shard << '\n';
   out.precision(precision);
@@ -428,50 +484,8 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
     const std::size_t shard_id = parse_u64(shard_fields[1], "shard id");
     const std::size_t n_sites = parse_u64(shard_fields[2], "site count");
 
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      const auto site = util::split(need(i++), ',');
-      if (site.size() != 10 || site[0] != "site")
-        checkpoint_fail("expected site record, got '" + lines[i - 1] + "'");
-      const std::size_t position = parse_u64(site[1], "site position");
-      SiteObservation o;
-      o.domain = site[2];
-      o.bootstrap_rank = parse_u64(site[3], "rank");
-      const std::uint64_t category = parse_u64(site[4], "category");
-      if (category >= web::kSiteCategoryCount)
-        checkpoint_fail("bad category '" + site[4] + "'");
-      o.category = static_cast<web::SiteCategory>(category);
-      o.quarantined = parse_flag(site[5], "quarantined");
-      o.total_retries = parse_int(site[6], "total retries");
-      const std::size_t n_internals = parse_u64(site[7], "internal count");
-      const std::size_t n_outcomes = parse_u64(site[8], "outcome count");
-      const bool has_landing = parse_flag(site[9], "landing flag");
-      if (has_landing) o.landing = parse_metrics(need(i++));
-      o.internals.reserve(n_internals);
-      for (std::size_t k = 0; k < n_internals; ++k)
-        o.internals.push_back(parse_metrics(need(i++)));
-      o.outcomes.reserve(n_outcomes);
-      for (std::size_t k = 0; k < n_outcomes; ++k) {
-        const auto f = util::split(need(i++), ',');
-        if (f.size() != 7 || f[0] != "outcome")
-          checkpoint_fail("bad outcome record '" + lines[i - 1] + "'");
-        FetchOutcome outcome;
-        outcome.page_index = parse_u64(f[1], "page index");
-        outcome.load_ordinal = parse_int(f[2], "load ordinal");
-        outcome.attempts = parse_int(f[3], "attempts");
-        const int status = parse_int(f[4], "status");
-        if (status < 0 || status > 2)
-          checkpoint_fail("bad status '" + f[4] + "'");
-        outcome.status = static_cast<browser::LoadStatus>(status);
-        const int failure = parse_int(f[5], "failure kind");
-        if (failure < 0 ||
-            failure >= static_cast<int>(net::kFaultKindCount))
-          checkpoint_fail("bad failure kind '" + f[5] + "'");
-        outcome.failure = static_cast<net::FaultKind>(failure);
-        outcome.failed_objects = parse_int(f[6], "failed objects");
-        o.outcomes.push_back(outcome);
-      }
-      checkpoint.observations.emplace_back(position, std::move(o));
-    }
+    for (std::size_t s = 0; s < n_sites; ++s)
+      checkpoint.observations.push_back(read_site_record(lines, i, need));
 
     // Optional telemetry block (shards run with observability enabled).
     obs::ShardTelemetry telemetry;
@@ -615,6 +629,93 @@ ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in) {
     checkpoint.weeks.push_back(std::move(record));
   }
   return checkpoint;
+}
+
+// --- Multi-vantage checkpoints ---
+
+void write_vantage_checkpoint_header(std::ostream& out,
+                                     std::uint64_t config_digest) {
+  out << "hispar-vantage,v1," << config_digest << '\n';
+}
+
+void append_vantage_block(std::ostream& out, std::size_t vantage,
+                          const std::vector<SiteObservation>& observations,
+                          const obs::ShardTelemetry* telemetry) {
+  const auto precision = out.precision(17);
+  out << "vantage," << vantage << ',' << observations.size() << '\n';
+  for (std::size_t position = 0; position < observations.size(); ++position)
+    write_site_record(out, position, observations[position]);
+  if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
+  out << "endvantage," << vantage << '\n';
+  out.precision(precision);
+}
+
+VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) checkpoint_fail("missing header");
+  const auto header = util::split(lines[0], ',');
+  if (header.size() != 3 || header[0] != "hispar-vantage" || header[1] != "v1")
+    checkpoint_fail("bad header '" + lines[0] + "'");
+
+  VantageCheckpoint checkpoint;
+  checkpoint.config_digest = parse_u64(header[2], "config digest");
+
+  // Everything after the last endvantage terminator is a block torn by
+  // a killed run: drop it. What remains must parse cleanly.
+  std::size_t end = 1;
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    if (lines[i].rfind("endvantage,", 0) == 0) end = i + 1;
+
+  const auto need = [&](std::size_t i) -> const std::string& {
+    if (i >= end) checkpoint_fail("truncated vantage record");
+    return lines[i];
+  };
+
+  std::size_t i = 1;
+  while (i < end) {
+    const auto vantage_fields = util::split(need(i++), ',');
+    if (vantage_fields.size() != 3 || vantage_fields[0] != "vantage")
+      checkpoint_fail("expected vantage record, got '" + lines[i - 1] + "'");
+    VantageCheckpointBlock block;
+    block.vantage = parse_u64(vantage_fields[1], "vantage id");
+    const std::size_t n_sites = parse_u64(vantage_fields[2], "site count");
+    block.observations.reserve(n_sites);
+    for (std::size_t s = 0; s < n_sites; ++s)
+      block.observations.push_back(read_site_record(lines, i, need));
+    block.has_telemetry = read_obs_lines(lines, i, end, block.telemetry);
+
+    const auto end_fields = util::split(need(i++), ',');
+    if (end_fields.size() != 2 || end_fields[0] != "endvantage" ||
+        parse_u64(end_fields[1], "endvantage id") != block.vantage)
+      checkpoint_fail("unterminated vantage " +
+                      std::to_string(block.vantage));
+    checkpoint.vantages.push_back(std::move(block));
+  }
+  return checkpoint;
+}
+
+// --- CLI checkpoint-path resolution ---
+
+std::string resolve_checkpoint_path(const std::string& context,
+                                    const std::string& checkpoint,
+                                    bool has_resume,
+                                    const std::string& resume) {
+  if (!has_resume) return checkpoint;
+  if (resume.empty())
+    throw std::invalid_argument(
+        context + ": --resume needs a checkpoint file path (use "
+        "--checkpoint FILE to start a new checkpointed run)");
+  if (!checkpoint.empty() && checkpoint != resume)
+    throw std::invalid_argument(context +
+                                ": --checkpoint and --resume disagree (" +
+                                checkpoint + " vs " + resume + ")");
+  std::ifstream probe(resume);
+  if (!probe)
+    throw std::invalid_argument(context + ": --resume file not found: " +
+                                resume);
+  return resume;
 }
 
 }  // namespace hispar::core

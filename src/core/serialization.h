@@ -113,4 +113,57 @@ void append_listbuild_week(std::ostream& out,
                            const ListBuildWeekRecord& record);
 ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in);
 
+// --- Multi-vantage checkpoints ---
+//
+// The same discipline for core::VantageCampaign::run(), at vantage
+// granularity: a vantage either completed — its full observation list
+// and merged telemetry are on disk and splice back in — or re-runs from
+// scratch, so a resumed multi-vantage run is bit-identical to an
+// uninterrupted one. Layout:
+//   hispar-vantage,v1,<config digest>
+//   vantage,<id>,<n sites>
+//     site,<position>,...     (exactly the shard-block site records:
+//     metrics,... outcome,...  one per site, in list order)
+//   obscounter/obsgauge/obshist/obsspan/obsdropped,...   (optional:
+//        the vantage's merged telemetry)
+//   endvantage,<id>
+// The digest covers every derived per-vantage campaign config and the
+// list — never jobs or observability. Torn trailing blocks (killed
+// run) are silently discarded; malformed complete records throw
+// std::runtime_error.
+struct VantageCheckpointBlock {
+  std::size_t vantage = 0;
+  // (position in list.sets, observation); blocks written by
+  // append_vantage_block cover every position.
+  std::vector<std::pair<std::size_t, SiteObservation>> observations;
+  bool has_telemetry = false;
+  obs::ShardTelemetry telemetry;
+};
+
+struct VantageCheckpoint {
+  std::uint64_t config_digest = 0;
+  std::vector<VantageCheckpointBlock> vantages;  // file order
+};
+
+void write_vantage_checkpoint_header(std::ostream& out,
+                                     std::uint64_t config_digest);
+void append_vantage_block(std::ostream& out, std::size_t vantage,
+                          const std::vector<SiteObservation>& observations,
+                          const obs::ShardTelemetry* telemetry = nullptr);
+VantageCheckpoint read_vantage_checkpoint(std::istream& in);
+
+// --- CLI checkpoint-path resolution ---
+//
+// Shared by `hispar measure`/`build` and the regression tests:
+// --checkpoint FILE names the resume file (created if absent);
+// --resume FILE additionally requires it to exist already. A bare
+// `--resume` with no value, a missing resume file, and a conflicting
+// --checkpoint/--resume pair all fail fast with std::invalid_argument,
+// prefixed by `context`. Returns the resolved path ("" = no
+// checkpointing).
+std::string resolve_checkpoint_path(const std::string& context,
+                                    const std::string& checkpoint,
+                                    bool has_resume,
+                                    const std::string& resume);
+
 }  // namespace hispar::core

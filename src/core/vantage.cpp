@@ -1,0 +1,230 @@
+#include "core/vantage.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/analyses.h"
+#include "core/serialization.h"
+#include "util/rng.h"
+
+namespace hispar::core {
+
+namespace {
+
+// Trace thread-id stride between vantages: shard tids are shard id + 1
+// and campaigns run far fewer than a thousand shards, so vantage v's
+// rows land in [v * 1000, v * 1000 + shards] without collision.
+constexpr std::uint32_t kVantageTidStride = 1000;
+
+}  // namespace
+
+net::FaultProfile scale_fault_profile(const net::FaultProfile& profile,
+                                      double scale) {
+  const auto scaled = [scale](double rate) {
+    return std::clamp(rate * scale, 0.0, 1.0);
+  };
+  net::FaultProfile out = profile;
+  out.dns_servfail = scaled(profile.dns_servfail);
+  out.dns_timeout = scaled(profile.dns_timeout);
+  out.connection_reset = scaled(profile.connection_reset);
+  out.tls_failure = scaled(profile.tls_failure);
+  out.http_5xx = scaled(profile.http_5xx);
+  out.stall = scaled(profile.stall);
+  out.truncation = scaled(profile.truncation);
+  return out;
+}
+
+VantageCampaign::VantageCampaign(const web::SyntheticWeb& web,
+                                 VantageCampaignConfig config)
+    : web_(&web), config_(std::move(config)) {
+  if (config_.profiles.empty())
+    throw std::invalid_argument("vantage campaign: no vantage profiles");
+}
+
+CampaignConfig VantageCampaign::vantage_config(std::size_t vantage) const {
+  if (vantage >= config_.profiles.size())
+    throw std::invalid_argument("vantage campaign: vantage index out of range");
+  const net::VantageProfile& profile = config_.profiles[vantage];
+
+  CampaignConfig config = config_.base;
+  // Checkpointing is vantage-granular; the inner campaigns never write
+  // their own resume files.
+  config.checkpoint_path.clear();
+  config.vantage = profile.region;
+  config.latency = profile.latency;
+  config.resolver = profile.resolver;
+  config.use_doh = profile.use_doh;
+  config.doh = profile.doh;
+  config.cdn_edge_pin = profile.edge_pin;
+  config.fault_profile =
+      scale_fault_profile(config_.base.fault_profile, profile.fault_scale);
+  // Each vantage beyond the home one draws from its own seed universe:
+  // a given site must not see correlated faults or load noise across
+  // vantages. Vantage 0 keeps the base seed, which (with an all-default
+  // profile) makes a 1-vantage campaign byte-identical to the
+  // historical single-vantage one.
+  if (vantage > 0)
+    config.seed = util::Rng(config_.base.seed).fork("vantage")
+                      .fork(static_cast<std::uint64_t>(vantage)).next();
+  return config;
+}
+
+std::uint64_t VantageCampaign::checkpoint_digest(const HisparList& list) const {
+  std::ostringstream os;
+  os << "vantage-v1|" << config_.profiles.size();
+  for (std::size_t v = 0; v < config_.profiles.size(); ++v)
+    os << "|v" << v << ':' << campaign_config_digest(vantage_config(v), list);
+  return util::fnv1a(os.str());
+}
+
+VantageRunResult VantageCampaign::run(const HisparList& list) {
+  const std::size_t n = config_.profiles.size();
+  VantageRunResult result;
+  result.observations.assign(n, {});
+  vantage_telemetry_.assign(n, obs::ShardTelemetry{});
+  telemetry_ = obs::RunTelemetry{};
+  telemetry_.enabled = config_.base.observability.enabled;
+
+  // A vantage is the unit of resume: its block holds the complete
+  // observation list (and telemetry) of one inner campaign, so splicing
+  // it back in is bit-identical to re-running it.
+  std::vector<char> vantage_done(n, 0);
+  std::ofstream checkpoint_out;
+  if (!config_.checkpoint_path.empty()) {
+    const std::uint64_t digest = checkpoint_digest(list);
+    std::ifstream existing(config_.checkpoint_path);
+    if (existing) {
+      VantageCheckpoint checkpoint = read_vantage_checkpoint(existing);
+      if (checkpoint.config_digest != digest)
+        throw std::runtime_error(
+            "vantage campaign: checkpoint was written by a different "
+            "campaign (seed/profiles/list changed)");
+      for (auto& block : checkpoint.vantages) {
+        if (block.vantage >= n) continue;
+        auto& observations = result.observations[block.vantage];
+        observations.assign(list.sets.size(), SiteObservation{});
+        for (auto& [position, observation] : block.observations)
+          if (position < observations.size())
+            observations[position] = std::move(observation);
+        if (block.has_telemetry)
+          vantage_telemetry_[block.vantage] = std::move(block.telemetry);
+        vantage_done[block.vantage] = 1;
+      }
+      existing.close();
+    }
+    // (Re)write the file from the parsed state, dropping any torn tail
+    // a killed run left behind.
+    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
+    if (!checkpoint_out)
+      throw std::runtime_error("vantage campaign: cannot open checkpoint " +
+                               config_.checkpoint_path);
+    write_vantage_checkpoint_header(checkpoint_out, digest);
+    for (std::size_t v = 0; v < n; ++v)
+      if (vantage_done[v])
+        append_vantage_block(checkpoint_out, v, result.observations[v],
+                             vantage_telemetry_[v].empty()
+                                 ? nullptr
+                                 : &vantage_telemetry_[v]);
+    checkpoint_out.flush();
+  }
+
+  // Vantages run in order; each inner campaign parallelizes across its
+  // shards with base.jobs, so there is no cross-vantage concurrency to
+  // make deterministic in the first place.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (vantage_done[v]) continue;
+    MeasurementCampaign campaign(*web_, vantage_config(v));
+    result.observations[v] = campaign.run(list);
+    if (config_.base.observability.enabled) {
+      const obs::RunTelemetry& run = campaign.telemetry();
+      vantage_telemetry_[v].metrics = run.metrics;
+      vantage_telemetry_[v].spans = run.spans;
+      vantage_telemetry_[v].spans_dropped = run.spans_dropped;
+    }
+    if (checkpoint_out.is_open()) {
+      append_vantage_block(checkpoint_out, v, result.observations[v],
+                           vantage_telemetry_[v].empty()
+                               ? nullptr
+                               : &vantage_telemetry_[v]);
+      checkpoint_out.flush();
+    }
+  }
+
+  if (config_.base.observability.enabled) {
+    if (n == 1) {
+      // One vantage exports the inner campaign's telemetry untouched —
+      // the byte-identity contract with the single-vantage engine.
+      telemetry_.metrics = vantage_telemetry_[0].metrics;
+      telemetry_.spans = vantage_telemetry_[0].spans;
+      telemetry_.spans_dropped = vantage_telemetry_[0].spans_dropped;
+    } else {
+      // Merge in vantage-id order: counters/histograms sum (each
+      // vantage's merged registry already carries a trace.spans_dropped
+      // counter, so the sum stays consistent), gauges become
+      // "vantage.<v>.<name>", spans keep their per-vantage order with
+      // thread ids shifted into vantage v's tid band.
+      for (std::size_t v = 0; v < n; ++v) {
+        const obs::ShardTelemetry& telemetry = vantage_telemetry_[v];
+        if (telemetry.empty()) continue;
+        telemetry_.metrics.merge_from(
+            telemetry.metrics, "vantage." + std::to_string(v) + ".");
+        for (obs::TraceSpan span : telemetry.spans) {
+          span.tid += static_cast<std::uint32_t>(v) * kVantageTidStride;
+          telemetry_.spans.push_back(std::move(span));
+        }
+        telemetry_.spans_dropped += telemetry.spans_dropped;
+      }
+    }
+  }
+  return result;
+}
+
+obs::VantageReport build_vantage_report(
+    const std::vector<std::vector<SiteObservation>>& per_vantage,
+    const std::vector<net::VantageProfile>& profiles,
+    const obs::RunTelemetry& telemetry) {
+  if (per_vantage.size() != profiles.size())
+    throw std::invalid_argument(
+        "build_vantage_report: one observation list per profile required");
+  const VantageDisagreement disagreement = vantage_disagreement(per_vantage);
+
+  obs::VantageReport report;
+  report.vantages = disagreement.vantages;
+  report.sites_total = disagreement.sites_total;
+  report.sites_compared = disagreement.sites_compared;
+
+  for (std::size_t v = 0; v < profiles.size(); ++v) {
+    const CampaignSummary summary = summarize_campaign(per_vantage[v]);
+    obs::VantageReport::VantageLine line;
+    line.vantage = v;
+    line.name = profiles[v].name;
+    line.region = std::string(net::to_string(profiles[v].region));
+    line.sites_ok = summary.sites_ok;
+    line.sites_degraded = summary.sites_degraded;
+    line.sites_quarantined = summary.sites_quarantined;
+    line.failed_fetches = summary.failed_fetches;
+    report.vantage_lines.push_back(std::move(line));
+  }
+
+  for (const auto& metric : disagreement.metrics) {
+    obs::VantageReport::MetricLine line;
+    line.metric = metric.metric;
+    line.has_spread = disagreement.sites_compared > 0;
+    line.median_spread = line.has_spread ? metric.median_spread : 0.0;
+    line.max_spread = line.has_spread ? metric.max_spread : 0.0;
+    line.sign_flip_fraction = metric.sign_flip_fraction;
+    report.metric_lines.push_back(std::move(line));
+  }
+
+  report.telemetry = telemetry.enabled;
+  if (telemetry.enabled) {
+    report.trace_spans = telemetry.spans.size();
+    report.trace_spans_dropped = telemetry.spans_dropped;
+  }
+  return report;
+}
+
+}  // namespace hispar::core

@@ -1,0 +1,105 @@
+// Multi-vantage-point measurement campaigns.
+//
+// The paper measures from one vantage point and repeatedly flags that as
+// a threat to validity (§3.1, §5.3, the Fig. 10c World-category PLT
+// reversal). A VantageCampaign runs the existing MeasurementCampaign
+// once per net::VantageProfile: each vantage derives its own
+// CampaignConfig (client region, RTT shape, resolver model, optional
+// DoH, CDN edge pinning, scaled fault profile, forked seed) and runs the
+// full §3.1 fetch protocol over the same list. Everything stays under
+// the determinism contract — each artifact is bit-identical for any
+// --jobs value and across kill + resume — so cross-vantage differences
+// are attributable to the vantage profile alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hispar.h"
+#include "core/measurement.h"
+#include "net/vantage_profile.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+
+namespace hispar::core {
+
+struct VantageCampaignConfig {
+  // Template campaign: every vantage inherits its list-independent
+  // settings (loads, shards, retries, ablations, observability, base
+  // fault profile). base.checkpoint_path is ignored — multi-vantage
+  // checkpointing is vantage-granular, via checkpoint_path below.
+  CampaignConfig base;
+  // One profile per vantage, run in index order. Index 0 with an
+  // all-default profile reproduces the single-vantage campaign byte for
+  // byte.
+  std::vector<net::VantageProfile> profiles;
+  // When non-empty, run() appends each completed vantage's observations
+  // (and telemetry) to this file and resumes from it like the
+  // single-campaign checkpoint: completed vantages splice back in, only
+  // the rest re-run, and the output is bit-identical to an
+  // uninterrupted run.
+  std::string checkpoint_path;
+};
+
+struct VantageRunResult {
+  // observations[v][i] is vantage v's observation of list.sets[i].
+  std::vector<std::vector<SiteObservation>> observations;
+};
+
+class VantageCampaign {
+ public:
+  VantageCampaign(const web::SyntheticWeb& web, VantageCampaignConfig config);
+
+  // Run the full campaign at every vantage, in vantage order (each
+  // inner campaign parallelizes across its shards with base.jobs).
+  VantageRunResult run(const HisparList& list);
+
+  // The CampaignConfig vantage v runs under: the base config with the
+  // profile's substrate knobs applied, a fault profile scaled by the
+  // profile's fault_scale, and (for v > 0) a seed forked from the base
+  // seed by vantage index. Vantage 0 of an all-default profile is the
+  // base config itself, which is what makes a 1-vantage campaign
+  // byte-identical to the historical single-vantage one.
+  CampaignConfig vantage_config(std::size_t vantage) const;
+
+  // Fingerprint of everything that determines run() output: every
+  // derived per-vantage config (through campaign_config_digest) and the
+  // list — never jobs or observability. Guards resume.
+  std::uint64_t checkpoint_digest(const HisparList& list) const;
+
+  // Merged telemetry of the last run(). One vantage exports its
+  // telemetry untouched (byte-identical to the single campaign's);
+  // several merge in vantage-id order — counters/histograms sum, each
+  // vantage's gauges are prefixed "vantage.<v>." and its span thread
+  // ids shifted by v * 1000, so every vantage renders as its own row
+  // group in the Perfetto UI.
+  const obs::RunTelemetry& telemetry() const { return telemetry_; }
+
+  // Per-vantage telemetry of the last run() (parallel to profiles).
+  const std::vector<obs::ShardTelemetry>& vantage_telemetry() const {
+    return vantage_telemetry_;
+  }
+
+ private:
+  const web::SyntheticWeb* web_;
+  VantageCampaignConfig config_;
+  obs::RunTelemetry telemetry_;
+  std::vector<obs::ShardTelemetry> vantage_telemetry_;
+};
+
+// Scale every fault rate by `scale`, clamping each to [0, 1]. scale = 1
+// returns the profile unchanged; scale = 0 disables faults entirely.
+net::FaultProfile scale_fault_profile(const net::FaultProfile& profile,
+                                      double scale);
+
+// Assembles the structured multi-vantage report (schema
+// "hispar-vantage-report-v1") from a run's per-vantage observations,
+// the profiles they were measured under (one per observation list),
+// and the merged telemetry.
+obs::VantageReport build_vantage_report(
+    const std::vector<std::vector<SiteObservation>>& per_vantage,
+    const std::vector<net::VantageProfile>& profiles,
+    const obs::RunTelemetry& telemetry);
+
+}  // namespace hispar::core

@@ -1,0 +1,168 @@
+#include "net/vantage_profile.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hispar::net {
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& what) {
+  throw std::invalid_argument("vantage profile: " + what);
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    spec_fail("bad value for " + key + ": '" + value + "'");
+  }
+  if (consumed != value.size())
+    spec_fail("bad value for " + key + ": '" + value + "'");
+  return out;
+}
+
+// The anycast public-resolver model of §5.3: many frontends that do not
+// share a cache (the Google effect), a touch farther away than the ISP
+// resolver on the default route.
+ResolverConfig public_resolver(Region region) {
+  ResolverConfig config;
+  config.name = "public";
+  config.cache_shards = 32;
+  config.client_rtt_ms = 12.0;
+  config.resolver_region = region;
+  return config;
+}
+
+ResolverConfig isp_resolver(Region region) {
+  ResolverConfig config;  // the historical local resolver
+  config.resolver_region = region;
+  return config;
+}
+
+}  // namespace
+
+Region region_from_token(const std::string& token) {
+  if (token == "na") return Region::kNorthAmerica;
+  if (token == "eu") return Region::kEurope;
+  if (token == "as") return Region::kAsia;
+  if (token == "sa") return Region::kSouthAmerica;
+  if (token == "oc") return Region::kOceania;
+  spec_fail("unknown region '" + token + "' (expected na|eu|as|sa|oc)");
+}
+
+std::string region_token(Region region) {
+  switch (region) {
+    case Region::kNorthAmerica: return "na";
+    case Region::kEurope: return "eu";
+    case Region::kAsia: return "as";
+    case Region::kSouthAmerica: return "sa";
+    case Region::kOceania: return "oc";
+  }
+  return "na";
+}
+
+std::string VantageProfile::str() const {
+  const VantageProfile defaults;
+  std::ostringstream os;
+  os.precision(17);
+  os << name;
+  if (region != defaults.region) os << ":region=" << region_token(region);
+  if (resolver.cache_shards > 1) os << ":resolver=public";
+  if (use_doh) os << ":doh=1";
+  if (edge_pin) os << ":edge=" << region_token(*edge_pin);
+  if (latency.access_ms != defaults.latency.access_ms)
+    os << ":access_ms=" << latency.access_ms;
+  if (latency.bandwidth_bytes_per_ms != defaults.latency.bandwidth_bytes_per_ms)
+    os << ":bandwidth=" << latency.bandwidth_bytes_per_ms;
+  if (fault_scale != defaults.fault_scale) os << ":faults=" << fault_scale;
+  return os.str();
+}
+
+VantageProfile VantageProfile::parse(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(spec);
+  while (std::getline(in, part, ':')) parts.push_back(part);
+  if (parts.empty() || parts.front().empty())
+    spec_fail("empty profile name in '" + spec + "'");
+  if (parts.front().find('=') != std::string::npos)
+    spec_fail("profile must start with a name, got '" + parts.front() + "'");
+
+  VantageProfile profile;
+  profile.name = parts.front();
+  bool resolver_public = false;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto eq = parts[i].find('=');
+    if (eq == std::string::npos)
+      spec_fail("expected key=value, got '" + parts[i] + "'");
+    const std::string key = parts[i].substr(0, eq);
+    const std::string value = parts[i].substr(eq + 1);
+    if (key == "region") {
+      profile.region = region_from_token(value);
+    } else if (key == "resolver") {
+      if (value == "public") resolver_public = true;
+      else if (value == "isp") resolver_public = false;
+      else spec_fail("resolver must be isp or public, got '" + value + "'");
+    } else if (key == "doh") {
+      if (value == "1") profile.use_doh = true;
+      else if (value == "0") profile.use_doh = false;
+      else spec_fail("doh must be 0 or 1, got '" + value + "'");
+    } else if (key == "edge") {
+      profile.edge_pin = region_from_token(value);
+    } else if (key == "access_ms") {
+      const double v = parse_number(key, value);
+      if (v < 0.0) spec_fail("access_ms must be >= 0");
+      profile.latency.access_ms = v;
+    } else if (key == "bandwidth") {
+      const double v = parse_number(key, value);
+      if (v <= 0.0) spec_fail("bandwidth must be > 0");
+      profile.latency.bandwidth_bytes_per_ms = v;
+    } else if (key == "faults") {
+      const double v = parse_number(key, value);
+      if (v < 0.0) spec_fail("faults scale must be >= 0");
+      profile.fault_scale = v;
+    } else {
+      spec_fail("unknown key '" + key + "'");
+    }
+  }
+  profile.resolver = resolver_public ? public_resolver(profile.region)
+                                     : isp_resolver(profile.region);
+  return profile;
+}
+
+std::vector<VantageProfile> VantageProfile::parse_list(
+    const std::string& spec) {
+  std::vector<VantageProfile> profiles;
+  std::string part;
+  std::istringstream in(spec);
+  while (std::getline(in, part, ';')) profiles.push_back(parse(part));
+  if (profiles.empty()) spec_fail("empty profile list");
+  return profiles;
+}
+
+std::vector<VantageProfile> VantageProfile::default_vantages(std::size_t n) {
+  // Index 0 must stay the exact historical substrate: every field at
+  // its default. The rest are plausible, deliberately diverse vantage
+  // points exercising each knob.
+  std::vector<VantageProfile> table(5);
+  table[0].name = "us-home";
+  table[1] = parse("eu-isp:region=eu");
+  table[2] = parse("as-public-doh:region=as:resolver=public:doh=1");
+  table[3] = parse("sa-lossy:region=sa:resolver=public:access_ms=12:faults=2");
+  table[4] = parse("oc-pinned:region=oc:edge=na");
+
+  std::vector<VantageProfile> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    VantageProfile profile = table[i % table.size()];
+    if (i >= table.size())
+      profile.name += "-" + std::to_string(i / table.size() + 1);
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+}  // namespace hispar::net

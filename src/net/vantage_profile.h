@@ -1,0 +1,81 @@
+// Vantage-point profiles for multi-vantage campaigns.
+//
+// The paper measures from a single vantage point (a server in the US,
+// §3.1) and repeatedly cautions that its absolute numbers are shaped by
+// where that server sits — the Fig. 10c "World category" PLT reversal
+// is explained by origins and CDN front-ends being far from it, and
+// §5.3's resolver hit rates differ between the local ISP resolver and
+// Google's fragmented public one. A VantageProfile bundles everything
+// that distinguishes one vantage point's substrate:
+//  * the client region (which end of the RTT matrix it sits on),
+//  * its resolver (ISP-style single cache vs. anycast public resolver
+//    with fragmented shards, optionally reached over DoH),
+//  * its last-mile shape (access latency / bandwidth),
+//  * CDN edge pinning (anycast mis-routing onto a fixed PoP), and
+//  * a fault-rate multiplier (an unreliable last mile fails more
+//    loads).
+// core::VantageCampaign derives one CampaignConfig per profile and runs
+// the existing campaign engine under each.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/dns.h"
+#include "net/doh.h"
+#include "net/latency.h"
+
+namespace hispar::net {
+
+struct VantageProfile {
+  std::string name = "v0";
+  Region region = Region::kNorthAmerica;
+  // Default-constructed ResolverConfig is the ISP-style local resolver
+  // the single-vantage campaign always used; public-resolver profiles
+  // fragment the cache across anycast frontends (the Google effect,
+  // §5.3).
+  ResolverConfig resolver;
+  bool use_doh = false;
+  DohConfig doh;
+  // Last-mile shape of this vantage; the inter-region RTT matrix itself
+  // is shared physics and stays at its defaults.
+  LatencyConfig latency;
+  // Pin all CDN traffic to one edge region (anycast mis-routing).
+  std::optional<Region> edge_pin;
+  // Multiplier applied to the campaign's base fault profile at this
+  // vantage (each rate scales and clamps to [0, 1]).
+  double fault_scale = 1.0;
+
+  // Canonical spec string; parse(str()) round-trips for any profile
+  // expressible in the spec grammar (defaults are omitted).
+  std::string str() const;
+
+  // "name[:key=value[:key=value...]]". Keys:
+  //   region=na|eu|as|sa|oc       client region (default na)
+  //   resolver=isp|public         cache topology (default isp)
+  //   doh=0|1                     DNS-over-HTTPS (default 0)
+  //   edge=na|eu|as|sa|oc         CDN edge pin (default: nearest-edge)
+  //   access_ms=<float>           last-mile latency (default 4)
+  //   bandwidth=<float>           downlink bytes/ms (default 6250)
+  //   faults=<float>              fault-rate multiplier (default 1)
+  // Throws std::invalid_argument on unknown keys or bad values.
+  static VantageProfile parse(const std::string& spec);
+
+  // Parse a ';'-separated list of profile specs (at least one).
+  static std::vector<VantageProfile> parse_list(const std::string& spec);
+
+  // N deterministic built-in vantages. Index 0 is always the home
+  // vantage — the exact substrate the single-vantage campaign hardcodes
+  // — so a 1-vantage campaign is byte-identical to the historical one.
+  // Further indices cycle a fixed table of plausible vantage points
+  // (EU ISP, Asia public+DoH, South America lossy, Oceania edge-pinned).
+  static std::vector<VantageProfile> default_vantages(std::size_t n);
+};
+
+// Short region tokens used by the spec grammar ("na", "eu", ...).
+Region region_from_token(const std::string& token);
+std::string region_token(Region region);
+
+}  // namespace hispar::net

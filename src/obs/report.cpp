@@ -250,4 +250,82 @@ void write_listbuild_report_json(std::ostream& out,
       << "},\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
 }
 
+std::string vantage_summary_line(const VantageReport& report) {
+  std::size_t flipping = 0;
+  for (const auto& metric : report.metric_lines)
+    if (metric.sign_flip_fraction > 0.0) ++flipping;
+  std::ostringstream os;
+  os << "vantages: " << report.vantages << " vantage points over "
+     << report.sites_total << " sites, " << report.sites_compared
+     << " compared everywhere; " << flipping << " sign-flip metrics";
+  return os.str();
+}
+
+std::string render_vantage_report_text(const VantageReport& report) {
+  std::ostringstream os;
+  os << "vantage report:\n";
+  os << "  coverage: " << report.vantages << " vantage points, "
+     << report.sites_total << " sites, " << report.sites_compared
+     << " usable at every vantage\n";
+  for (const auto& line : report.vantage_lines) {
+    os << "  vantage " << line.vantage << " (" << line.name << ", "
+       << line.region << "): " << line.sites_ok << " ok, "
+       << line.sites_degraded << " degraded, " << line.sites_quarantined
+       << " quarantined, " << line.failed_fetches << " failed fetches\n";
+  }
+  if (!report.metric_lines.empty()) {
+    os << "  disagreement (median spread / max spread / sign flips):\n";
+    for (const auto& metric : report.metric_lines) {
+      os << "    " << metric.metric << ": ";
+      if (metric.has_spread)
+        os << json_number(metric.median_spread) << " / "
+           << json_number(metric.max_spread);
+      else
+        os << "n/a / n/a";
+      os << " / " << pct(metric.sign_flip_fraction) << '\n';
+    }
+  }
+  if (report.telemetry)
+    os << "  trace: " << report.trace_spans << " spans kept, "
+       << report.trace_spans_dropped << " dropped\n";
+  return os.str();
+}
+
+void write_vantage_report_json(std::ostream& out,
+                               const VantageReport& report) {
+  out << "{\"schema\":\"hispar-vantage-report-v1\",\"coverage\":{"
+      << "\"vantages\":" << report.vantages
+      << ",\"sites_total\":" << report.sites_total
+      << ",\"sites_compared\":" << report.sites_compared
+      << "},\"vantage_lines\":[";
+  for (std::size_t i = 0; i < report.vantage_lines.size(); ++i) {
+    const auto& line = report.vantage_lines[i];
+    if (i) out << ',';
+    out << "{\"vantage\":" << line.vantage << ",\"name\":\""
+        << json_escape(line.name) << "\",\"region\":\""
+        << json_escape(line.region)
+        << "\",\"sites_ok\":" << line.sites_ok
+        << ",\"sites_degraded\":" << line.sites_degraded
+        << ",\"sites_quarantined\":" << line.sites_quarantined
+        << ",\"failed_fetches\":" << line.failed_fetches << '}';
+  }
+  out << "],\"disagreement\":[";
+  for (std::size_t i = 0; i < report.metric_lines.size(); ++i) {
+    const auto& metric = report.metric_lines[i];
+    if (i) out << ',';
+    out << "{\"metric\":\"" << json_escape(metric.metric)
+        << "\",\"median_spread\":";
+    if (metric.has_spread) out << json_number(metric.median_spread);
+    else out << "null";
+    out << ",\"max_spread\":";
+    if (metric.has_spread) out << json_number(metric.max_spread);
+    else out << "null";
+    out << ",\"sign_flip_fraction\":"
+        << json_number(metric.sign_flip_fraction) << '}';
+  }
+  out << "],\"trace\":{\"spans\":" << report.trace_spans
+      << ",\"spans_dropped\":" << report.trace_spans_dropped
+      << "},\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
+}
+
 }  // namespace hispar::obs

@@ -162,4 +162,62 @@ std::string render_listbuild_report_text(const ListBuildReport& report);
 void write_listbuild_report_json(std::ostream& out,
                                  const ListBuildReport& report);
 
+// --- Multi-vantage reports ---
+//
+// The same idea for multi-vantage campaigns: per-vantage coverage plus
+// the cross-vantage disagreement statistics (core::vantage_disagreement
+// fills the metric lines), so the single report answers "would the
+// paper's landing-vs-internal conclusions survive a different vantage
+// point?". Built from observations and merged telemetry only —
+// bit-identical for any --jobs value and across checkpoint resume.
+struct VantageReport {
+  std::uint64_t vantages = 0;
+  std::uint64_t sites_total = 0;
+  // Sites usable at every vantage — the cross-vantage comparison set.
+  std::uint64_t sites_compared = 0;
+
+  struct VantageLine {
+    std::uint64_t vantage = 0;
+    std::string name;    // profile name
+    std::string region;  // net::to_string(Region)
+    std::uint64_t sites_ok = 0;
+    std::uint64_t sites_degraded = 0;
+    std::uint64_t sites_quarantined = 0;
+    std::uint64_t failed_fetches = 0;
+    bool operator==(const VantageLine&) const = default;
+  };
+  std::vector<VantageLine> vantage_lines;  // ascending vantage id
+
+  struct MetricLine {
+    std::string metric;
+    // Spread stats are undefined when no site is usable at every
+    // vantage (JSON renders null, like WeekLine churn).
+    bool has_spread = false;
+    double median_spread = 0.0;
+    double max_spread = 0.0;
+    double sign_flip_fraction = 0.0;
+    bool operator==(const MetricLine&) const = default;
+  };
+  std::vector<MetricLine> metric_lines;  // core consensus-metric order
+
+  // --- telemetry-backed (zero when telemetry is off) ---
+  bool telemetry = false;
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_spans_dropped = 0;
+
+  bool operator==(const VantageReport&) const = default;
+};
+
+// One-line summary `hispar measure --vantages N` prints:
+// "vantages: N vantage points over S sites, C compared everywhere;
+//  F sign-flip metrics"
+std::string vantage_summary_line(const VantageReport& report);
+
+// Multi-line human-readable report. Ends with '\n'.
+std::string render_vantage_report_text(const VantageReport& report);
+
+// {"schema":"hispar-vantage-report-v1",...}; byte-stable.
+void write_vantage_report_json(std::ostream& out,
+                               const VantageReport& report);
+
 }  // namespace hispar::obs

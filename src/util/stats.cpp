@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace hispar::util {
+
+namespace {
+
+// Partition NaNs past the finite values and sort the finite prefix;
+// returns that prefix. Every sorting path in this file funnels through
+// here: std::sort on data containing NaN violates the strict-weak-
+// ordering contract (the misordered results are then silently wrong).
+std::span<double> sort_finite(std::span<double> values) {
+  const auto mid = std::partition(values.begin(), values.end(),
+                                  [](double x) { return !std::isnan(x); });
+  auto finite =
+      values.first(static_cast<std::size_t>(mid - values.begin()));
+  std::sort(finite.begin(), finite.end());
+  return finite;
+}
+
+}  // namespace
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("mean: empty sample");
@@ -36,8 +54,12 @@ double geometric_mean(std::span<const double> xs) {
 }
 
 double quantile_sorted(std::span<const double> sorted, double q) {
-  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  // NaNs sort to the tail (sort_finite guarantees it); treat them as
+  // missing and take the order statistics over the finite prefix.
+  while (!sorted.empty() && std::isnan(sorted.back()))
+    sorted = sorted.first(sorted.size() - 1);
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   const double h = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(h));
   const auto hi = static_cast<std::size_t>(std::ceil(h));
@@ -45,14 +67,13 @@ double quantile_sorted(std::span<const double> sorted, double q) {
 }
 
 double median_inplace(std::span<double> values) {
-  std::sort(values.begin(), values.end());
-  return quantile_sorted(values, 0.5);
+  return quantile_sorted(sort_finite(values), 0.5);
 }
 
 double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
   std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  return quantile_sorted(sorted, q);
+  return quantile_sorted(sort_finite(sorted), q);
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
@@ -124,16 +145,20 @@ EmpiricalCdf Accumulator::cdf() const { return EmpiricalCdf(values_); }
 std::vector<double> rank_bin_medians(std::span<const double> per_site_delta,
                                      std::size_t bins) {
   if (bins == 0) throw std::invalid_argument("rank_bin_medians: bins == 0");
-  if (per_site_delta.size() < bins)
-    throw std::invalid_argument("rank_bin_medians: fewer sites than bins");
   std::vector<double> medians;
   medians.reserve(bins);
+  // With fewer sites than bins per_bin is 0: the leading bins have an
+  // empty range and report NaN, the final bin absorbs the whole sample
+  // — the degenerate-input policy from stats.h, not an error.
   const std::size_t per_bin = per_site_delta.size() / bins;
+  std::vector<double> scratch;
   for (std::size_t b = 0; b < bins; ++b) {
     const std::size_t lo = b * per_bin;
     const std::size_t hi =
         (b + 1 == bins) ? per_site_delta.size() : lo + per_bin;
-    medians.push_back(median(per_site_delta.subspan(lo, hi - lo)));
+    const auto bin = per_site_delta.subspan(lo, hi - lo);
+    scratch.assign(bin.begin(), bin.end());
+    medians.push_back(median_inplace(scratch));
   }
   return medians;
 }

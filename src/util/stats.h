@@ -4,6 +4,23 @@
 // and internal pages, take differences or ratios, and report CDFs,
 // medians, percentiles and geometric means. This header provides those
 // primitives for the analysis pipeline and the benches.
+//
+// Empty/NaN policy — two tiers:
+//  * The strict copying API (mean, variance, stddev, geometric_mean,
+//    quantile, median, fraction_below, EmpiricalCdf, Accumulator)
+//    throws std::invalid_argument / std::logic_error on empty input:
+//    a caller asking for the mean of nothing has a logic error.
+//  * The span API used by aggregation pipelines (quantile_sorted,
+//    median_inplace, rank_bin_medians) is total: an empty sample — or a
+//    bin/sample holding only NaN — yields quiet NaN instead of
+//    throwing, because multi-vantage aggregation legitimately produces
+//    degenerate cells (a vantage where every load of a site failed, a
+//    rank bin with fewer sites than bins). NaN inputs are treated as
+//    missing values and excluded before the order statistics are taken;
+//    they are never fed to std::sort, whose comparator contract NaN
+//    violates.
+// Out-of-range q throws in every tier — that is a caller bug, not a
+// data property.
 #pragma once
 
 #include <cstddef>
@@ -26,9 +43,11 @@ double quantile(std::span<const double> xs, double q);
 double median(std::span<const double> xs);
 
 // Allocation-free variants for hot paths. `quantile_sorted` requires
-// `sorted` ascending (it is the single home of the type-7 math; the
-// copying overloads above delegate to it). `median_inplace` sorts
-// `values` in place — callers own a scratch buffer they refill anyway.
+// `sorted` ascending with any NaNs at the tail (it is the single home
+// of the type-7 math; the copying overloads above delegate to it).
+// `median_inplace` reorders `values` in place — callers own a scratch
+// buffer they refill anyway. Both return quiet NaN when no finite
+// values remain (see the empty/NaN policy above).
 double quantile_sorted(std::span<const double> sorted, double q);
 double median_inplace(std::span<double> values);
 
@@ -76,7 +95,9 @@ class Accumulator {
 
 // Per-rank-bin medians, as used throughout Appendix A (Figs. 9 & 10):
 // split `per_site_delta` (ordered by site rank) into `bins` equal bins and
-// return the median delta in each bin.
+// return the median delta in each bin. Bins whose range is empty (fewer
+// sites than bins) and bins containing only NaN deltas report NaN;
+// bins == 0 throws.
 std::vector<double> rank_bin_medians(std::span<const double> per_site_delta,
                                      std::size_t bins);
 

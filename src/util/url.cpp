@@ -30,6 +30,24 @@ bool ends_with_label(std::string_view host, std::string_view suffix) {
          host[host.size() - suffix.size() - 1] == '.';
 }
 
+// IPv4 dotted-quads and IPv6 literals have no registrable domain; the
+// whole address is the site identity (RFC 6265 treats them host-only).
+// Without this, "192.168.0.1" would "register" as "0.1" and two
+// unrelated addresses sharing a low octet pair would count first-party.
+bool is_ip_literal(std::string_view host) {
+  if (host.empty()) return false;
+  if (host.front() == '[' || host.find(':') != std::string_view::npos)
+    return true;  // IPv6 (bracketed or bare)
+  bool saw_digit = false;
+  for (char c : host) {
+    if (c >= '0' && c <= '9')
+      saw_digit = true;
+    else if (c != '.')
+      return false;
+  }
+  return saw_digit;
+}
+
 }  // namespace
 
 std::string_view to_string(Scheme s) {
@@ -74,8 +92,14 @@ std::optional<Url> parse_url(std::string_view raw) {
 }
 
 std::string registrable_domain(std::string_view host_raw) {
-  const std::string host = to_lower(host_raw);
+  std::string host = to_lower(host_raw);
+  // DNS allows the fully-qualified form with a trailing root dot
+  // ("example.com."); canonicalize so both spellings of one host map to
+  // the same registrable domain instead of the dotted one keeping the
+  // dot and comparing unequal.
+  while (!host.empty() && host.back() == '.') host.pop_back();
   if (host.empty()) return host;
+  if (is_ip_literal(host)) return host;
 
   // Number of labels in the effective TLD: 2 for known multi-label
   // suffixes, 1 otherwise.

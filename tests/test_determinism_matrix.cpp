@@ -23,6 +23,8 @@
 #include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
+#include "core/vantage.h"
+#include "net/vantage_profile.h"
 #include "obs/trace.h"
 
 namespace {
@@ -164,6 +166,55 @@ TEST_F(DeterminismMatrixTest, ListBuildJobsNeverChangeAnyArtifactByte) {
         EXPECT_EQ(reference.trace, other.trace)
             << "trace JSON differs: " << cell;
       }
+    }
+  }
+}
+
+// The vantage axis: the multi-vantage engine wraps the campaign in a
+// sequential outer loop, so the jobs contract must survive it for every
+// vantage count — including the degenerate 1-vantage case that must
+// stay byte-identical to the historical engine.
+TEST_F(DeterminismMatrixTest, JobsNeverChangeMultiVantageArtifactBytes) {
+  const std::size_t vantage_counts[] = {1, 3};
+  const std::size_t jobs[] = {1, 8};
+
+  const auto run_vantages = [&](std::size_t vantages, std::size_t jobs_n) {
+    core::VantageCampaignConfig config;
+    config.base.landing_loads = 3;
+    config.base.jobs = jobs_n;
+    config.base.shards = 4;
+    config.base.fault_profile = net::FaultProfile::parse("uniform:0.05");
+    config.base.observability.enabled = true;
+    config.profiles = net::VantageProfile::default_vantages(vantages);
+    core::VantageCampaign campaign(web_, config);
+    const auto result = campaign.run(list_);
+
+    RunBytes bytes;
+    for (const auto& observations : result.observations) {
+      std::ostringstream csv;
+      core::write_measure_csv(csv, observations);
+      bytes.csv += csv.str();
+    }
+    std::ostringstream metrics;
+    campaign.telemetry().metrics.write_json(metrics);
+    bytes.metrics = metrics.str();
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace, campaign.telemetry().spans);
+    bytes.trace = trace.str();
+    return bytes;
+  };
+
+  for (const std::size_t vantages : vantage_counts) {
+    const RunBytes reference = run_vantages(vantages, jobs[0]);
+    for (std::size_t i = 1; i < std::size(jobs); ++i) {
+      const RunBytes other = run_vantages(vantages, jobs[i]);
+      const std::string cell = std::to_string(vantages) + " vantages, jobs " +
+                               std::to_string(jobs[i]) + " vs 1";
+      EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
+      EXPECT_EQ(reference.metrics, other.metrics)
+          << "metrics JSON differs: " << cell;
+      EXPECT_EQ(reference.trace, other.trace)
+          << "trace JSON differs: " << cell;
     }
   }
 }

@@ -30,7 +30,10 @@
 #include "core/hispar.h"
 #include "core/list_build.h"
 #include "core/measurement.h"
+#include "core/analyses.h"
 #include "core/serialization.h"
+#include "core/vantage.h"
+#include "net/vantage_profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -285,6 +288,131 @@ TEST(GoldenArtifacts, ListBuildOutputsArePinned) {
   EXPECT_EQ(artifacts.churn.rfind("week_from,week_to,", 0), 0u);
   EXPECT_NE(artifacts.report.find("\"hispar-listbuild-report-v1\""),
             std::string::npos);
+}
+
+// --- Multi-vantage pipeline goldens ---
+//
+// Same discipline for the multi-vantage engine: digests of every
+// artifact of `hispar measure --universe 600 --sites 24 --loads 4
+// --vantages 3 --jobs 1 --seed 42` plus the consensus CSV, the
+// hispar-vantage-report-v1 JSON and the vantage-granular checkpoint.
+// The digests pin the cross-vantage seed forking, the substrate
+// derivation per profile, the merged telemetry layout and the
+// checkpoint stream all at once.
+constexpr std::uint64_t kGoldenVantageCsv = 0x4afc148967473853ull;
+constexpr std::uint64_t kGoldenVantageMetrics = 0x1151ed15038a7a4ull;
+constexpr std::uint64_t kGoldenVantageTrace = 0x3e7e63752cdc689dull;
+constexpr std::uint64_t kGoldenVantageConsensus = 0x8330f483b415d3ull;
+constexpr std::uint64_t kGoldenVantageReport = 0xa77ced31b87353deull;
+constexpr std::uint64_t kGoldenVantageCheckpoint = 0x7959b2b2e3d84826ull;
+
+struct VantageArtifacts {
+  std::string csv;  // all vantages, concatenated in vantage order
+  std::string metrics;
+  std::string trace;
+  std::string consensus;
+  std::string report;
+  std::string checkpoint;
+};
+
+VantageArtifacts run_vantage_pipeline() {
+  web::SyntheticWebConfig web_config;
+  web_config.site_count = 600;
+  web_config.seed = 42;
+  web::SyntheticWeb web(web_config);
+  toplist::TopListFactory toplists(web);
+  search::SearchEngine engine(web);
+
+  core::HisparBuilder builder(web, toplists, engine);
+  core::HisparConfig list_config;
+  list_config.name = "H24";
+  list_config.target_sites = 24;
+  list_config.urls_per_site = 20;
+  list_config.min_internal_results = 5;
+  const core::HisparList list = builder.build(list_config, /*week=*/0);
+
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "hispar_golden_vantage_ckpt.txt";
+  std::remove(checkpoint_path.c_str());
+
+  core::VantageCampaignConfig config;
+  config.base.landing_loads = 4;
+  config.base.jobs = 1;
+  config.base.observability.enabled = true;
+  config.profiles = net::VantageProfile::default_vantages(3);
+  config.checkpoint_path = checkpoint_path;
+  core::VantageCampaign campaign(web, config);
+  const auto result = campaign.run(list);
+
+  VantageArtifacts artifacts;
+  for (const auto& observations : result.observations) {
+    std::ostringstream csv;
+    core::write_measure_csv(csv, observations);
+    artifacts.csv += csv.str();
+  }
+  std::ostringstream metrics;
+  campaign.telemetry().metrics.write_json(metrics);
+  artifacts.metrics = metrics.str();
+  std::ostringstream trace;
+  obs::write_chrome_trace(trace, campaign.telemetry().spans);
+  artifacts.trace = trace.str();
+  std::ostringstream consensus;
+  core::write_vantage_consensus_csv(consensus, result.observations);
+  artifacts.consensus = consensus.str();
+  std::ostringstream report;
+  obs::write_vantage_report_json(
+      report, core::build_vantage_report(result.observations, config.profiles,
+                                         campaign.telemetry()));
+  artifacts.report = report.str();
+  std::ifstream checkpoint(checkpoint_path);
+  std::ostringstream checkpoint_bytes;
+  checkpoint_bytes << checkpoint.rdbuf();
+  artifacts.checkpoint = checkpoint_bytes.str();
+  std::remove(checkpoint_path.c_str());
+  return artifacts;
+}
+
+TEST(GoldenArtifacts, MultiVantageOutputsArePinned) {
+  const VantageArtifacts artifacts = run_vantage_pipeline();
+  const std::uint64_t csv = util::fnv1a(artifacts.csv);
+  const std::uint64_t metrics = util::fnv1a(artifacts.metrics);
+  const std::uint64_t trace = util::fnv1a(artifacts.trace);
+  const std::uint64_t consensus = util::fnv1a(artifacts.consensus);
+  const std::uint64_t report = util::fnv1a(artifacts.report);
+  const std::uint64_t checkpoint = util::fnv1a(artifacts.checkpoint);
+
+  if (std::getenv("HISPAR_UPDATE_GOLDENS") != nullptr) {
+    std::printf(
+        "constexpr std::uint64_t kGoldenVantageCsv = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenVantageMetrics = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenVantageTrace = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenVantageConsensus = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenVantageReport = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenVantageCheckpoint = 0x%llxull;\n",
+        static_cast<unsigned long long>(csv),
+        static_cast<unsigned long long>(metrics),
+        static_cast<unsigned long long>(trace),
+        static_cast<unsigned long long>(consensus),
+        static_cast<unsigned long long>(report),
+        static_cast<unsigned long long>(checkpoint));
+    GTEST_SKIP() << "HISPAR_UPDATE_GOLDENS set: printed digests, not "
+                    "comparing";
+  }
+
+  EXPECT_EQ(csv, kGoldenVantageCsv) << "per-vantage CSV bytes changed";
+  EXPECT_EQ(metrics, kGoldenVantageMetrics) << "metrics JSON bytes changed";
+  EXPECT_EQ(trace, kGoldenVantageTrace) << "trace JSON bytes changed";
+  EXPECT_EQ(consensus, kGoldenVantageConsensus)
+      << "consensus CSV bytes changed";
+  EXPECT_EQ(report, kGoldenVantageReport)
+      << "vantage report JSON bytes changed";
+  EXPECT_EQ(checkpoint, kGoldenVantageCheckpoint)
+      << "vantage checkpoint bytes changed";
+
+  EXPECT_EQ(artifacts.consensus.rfind("domain,rank,vantages,", 0), 0u);
+  EXPECT_NE(artifacts.report.find("\"hispar-vantage-report-v1\""),
+            std::string::npos);
+  EXPECT_EQ(artifacts.checkpoint.rfind("hispar-vantage,v1,", 0), 0u);
 }
 
 }  // namespace

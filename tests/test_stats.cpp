@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -135,11 +137,70 @@ TEST(RankBinMedians, LastBinAbsorbsRemainder) {
   EXPECT_DOUBLE_EQ(bins[1], 9.0);
 }
 
-TEST(RankBinMedians, RejectsBadArguments) {
+TEST(RankBinMedians, RejectsZeroBins) {
   EXPECT_THROW(rank_bin_medians(std::vector<double>{1.0}, 0),
                std::invalid_argument);
-  EXPECT_THROW(rank_bin_medians(std::vector<double>{1.0}, 2),
+}
+
+TEST(RankBinMedians, FewerSitesThanBinsYieldsNaNBins) {
+  // Degenerate aggregation input (a vantage where almost every site was
+  // quarantined) must not throw: empty bins report NaN, the last bin
+  // absorbs the whole sample.
+  const auto bins = rank_bin_medians(std::vector<double>{1.0}, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_TRUE(std::isnan(bins[0]));
+  EXPECT_DOUBLE_EQ(bins[1], 1.0);
+}
+
+TEST(RankBinMedians, NaNDeltasAreExcludedPerBin) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> deltas = {nan, 2.0, 4.0, nan, nan, nan};
+  const auto bins = rank_bin_medians(deltas, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 3.0);   // {nan, 2, 4} -> median of {2, 4}
+  EXPECT_TRUE(std::isnan(bins[1]));  // all-NaN bin
+}
+
+TEST(QuantileSorted, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(quantile_sorted(std::span<const double>{}, 0.5)));
+}
+
+TEST(QuantileSorted, RejectsBadQEvenWhenEmpty) {
+  EXPECT_THROW(quantile_sorted(std::span<const double>{}, -0.1),
                std::invalid_argument);
+}
+
+TEST(QuantileSorted, IgnoresTrailingNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, nan, nan};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 3.0);
+}
+
+TEST(MedianInplace, EmptyIsNaN) {
+  std::vector<double> values;
+  EXPECT_TRUE(std::isnan(median_inplace(values)));
+}
+
+TEST(MedianInplace, FiltersNaNBeforeSorting) {
+  // std::sort with NaN present is UB (broken comparator); the fixed
+  // implementation partitions NaNs out first.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> values = {nan, 2.0, nan, 1.0, 3.0, nan};
+  EXPECT_DOUBLE_EQ(median_inplace(values), 2.0);
+  std::vector<double> all_nan = {nan, nan};
+  EXPECT_TRUE(std::isnan(median_inplace(all_nan)));
+}
+
+TEST(Quantile, AllNaNSampleIsNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(quantile(std::vector<double>{nan, nan}, 0.5)));
+}
+
+TEST(Quantile, NaNValuesAreExcluded) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs = {nan, 5.0, 1.0, nan, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
 }
 
 class QuantileSweep : public ::testing::TestWithParam<double> {};

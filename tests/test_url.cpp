@@ -70,7 +70,19 @@ INSTANTIATE_TEST_SUITE_P(
                       DomainCase{"shop.example.com.au", "example.com.au"},
                       DomainCase{"WWW.UPPER.COM", "upper.com"},
                       DomainCase{"localhost", "localhost"},
-                      DomainCase{"co.uk", "co.uk"}));
+                      DomainCase{"co.uk", "co.uk"},
+                      // Fully-qualified (trailing root dot) spellings
+                      // canonicalize to the same registrable domain.
+                      DomainCase{"example.com.", "example.com"},
+                      DomainCase{"www.example.com.", "example.com"},
+                      DomainCase{"www.bbc.co.uk.", "bbc.co.uk"},
+                      DomainCase{"localhost.", "localhost"},
+                      // IP literals have no registrable domain; the
+                      // whole address is the identity.
+                      DomainCase{"192.168.0.1", "192.168.0.1"},
+                      DomainCase{"10.0.0.1.", "10.0.0.1"},
+                      DomainCase{"2001:db8::1", "2001:db8::1"},
+                      DomainCase{"[2001:db8::1]", "[2001:db8::1]"}));
 
 TEST(ThirdParty, SameSldIsFirstParty) {
   // The paper's example: images.guardian.com is first-party to
@@ -83,6 +95,20 @@ TEST(ThirdParty, PublicSuffixAware) {
   // tesco.co.uk must be third-party to bbc.co.uk (§6.2).
   EXPECT_TRUE(is_third_party("www.bbc.co.uk", "tesco.co.uk"));
   EXPECT_FALSE(is_third_party("www.bbc.co.uk", "static.bbc.co.uk"));
+}
+
+TEST(ThirdParty, TrailingDotIsFirstParty) {
+  // Regression: an object served from the fully-qualified spelling of
+  // the page's own host used to count as third-party.
+  EXPECT_FALSE(is_third_party("www.example.com", "example.com."));
+  EXPECT_FALSE(is_third_party("example.com.", "cdn.example.com"));
+  EXPECT_TRUE(is_third_party("www.example.com", "cdn.akamai.com."));
+}
+
+TEST(ThirdParty, IpLiteralsCompareWhole) {
+  // Regression: both used to "register" as "0.1" and compare equal.
+  EXPECT_TRUE(is_third_party("192.168.0.1", "10.99.0.1"));
+  EXPECT_FALSE(is_third_party("192.168.0.1", "192.168.0.1"));
 }
 
 }  // namespace

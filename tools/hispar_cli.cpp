@@ -30,6 +30,12 @@
 //            --checkpoint FILE (append per-shard progress; resumes
 //            automatically when FILE exists) --resume FILE (like
 //            --checkpoint but FILE must already exist)
+//            --vantages N | --vantage-profile SPEC[;SPEC...] (run the
+//            campaign from N vantage points; vantage 0 writes --out,
+//            vantage k writes FILE-v<k>.csv, checkpointing becomes
+//            vantage-granular, --report-out switches to the
+//            multi-vantage report) --consensus-out FILE (per-site
+//            cross-vantage consensus CSV)
 //            --metrics-out FILE --trace-out FILE --report-out FILE
 //            (observability artifacts; any of them enables telemetry)
 //            --quiet (suppress the multi-line run report)
@@ -48,6 +54,8 @@
 #include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
+#include "core/vantage.h"
+#include "net/vantage_profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "search/crawler.h"
@@ -112,33 +120,37 @@ std::unique_ptr<std::ofstream> open_artifact(const char* cmd,
   return out;
 }
 
-// Resolve the shared --checkpoint / --resume pair (resume additionally
-// requires the file to exist already).
+// Resolve the shared --checkpoint / --resume pair. A bare --resume, a
+// missing resume file and a conflicting --checkpoint all fail fast in
+// core::resolve_checkpoint_path before any campaign work starts.
 std::string checkpoint_path_from(const char* cmd, const util::Args& args) {
-  std::string path = args.get("checkpoint", "");
-  if (args.has("resume")) {
-    const std::string resume = args.get("resume", "");
-    if (!std::ifstream(resume))
-      throw std::invalid_argument(std::string(cmd) +
-                                  ": --resume file not found: " + resume);
-    if (!path.empty() && path != resume)
-      throw std::invalid_argument(std::string(cmd) +
-                                  ": --resume and --checkpoint disagree");
-    path = resume;
-  }
-  return path;
+  return core::resolve_checkpoint_path(cmd, args.get("checkpoint", ""),
+                                       args.has("resume"),
+                                       args.get("resume", ""));
+}
+
+// "hispar.csv" + "-w3" -> "hispar-w3.csv"; suffix lands before the
+// extension unless the basename has none.
+std::string suffixed_csv_path(const std::string& base,
+                              const std::string& suffix) {
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
 // Per-week output path: "hispar.csv" -> "hispar-w3.csv". Single-week
 // builds keep the path untouched (legacy behaviour).
 std::string week_csv_path(const std::string& base, std::uint64_t week) {
-  const std::size_t slash = base.find_last_of('/');
-  const std::size_t dot = base.rfind('.');
-  const std::string suffix = "-w" + std::to_string(week);
-  if (dot == std::string::npos ||
-      (slash != std::string::npos && dot < slash))
-    return base + suffix;
-  return base.substr(0, dot) + suffix + base.substr(dot);
+  return suffixed_csv_path(base, "-w" + std::to_string(week));
+}
+
+// Per-vantage metrics path: "metrics.csv" -> "metrics-v2.csv" (vantage
+// 0 keeps the base path — it is the home vantage).
+std::string vantage_csv_path(const std::string& base, std::size_t vantage) {
+  return suffixed_csv_path(base, "-v" + std::to_string(vantage));
 }
 
 int cmd_build(World& world, const util::Args& args) {
@@ -161,6 +173,8 @@ int cmd_build(World& world, const util::Args& args) {
       args.get_int("shards", static_cast<long>(config.shards)));
   if (config.shards == 0)
     throw std::invalid_argument("build: --shards must be >= 1");
+  core::validate_shard_count("build", config.shards,
+                             config.list.target_sites);
   config.fault_profile =
       net::SearchFaultProfile::parse(args.get("fault-profile", "none"));
   config.max_query_retries = static_cast<int>(
@@ -309,13 +323,43 @@ int cmd_measure(World& world, const util::Args& args) {
       args.get_int("shards", static_cast<long>(config.shards)));
   if (config.shards == 0)
     throw std::invalid_argument("measure: --shards must be >= 1");
+  core::validate_shard_count("measure", config.shards, list.sets.size());
   config.fault_profile =
       net::FaultProfile::parse(args.get("fault-profile", "none"));
   config.max_page_retries =
       static_cast<int>(args.get_int("max-retries", config.max_page_retries));
   config.page_timeout_s =
       args.get_double("page-timeout-s", config.page_timeout_s);
-  config.checkpoint_path = checkpoint_path_from("measure", args);
+  const std::string checkpoint_path = checkpoint_path_from("measure", args);
+
+  // Vantage mode: any vantage flag routes the run through the
+  // multi-vantage engine (a single vantage through it is byte-identical
+  // to the plain campaign; only the checkpoint format differs).
+  const bool vantage_mode =
+      args.has("vantages") || args.has("vantage-profile");
+  std::vector<net::VantageProfile> profiles;
+  if (vantage_mode) {
+    const std::string spec = args.get("vantage-profile", "");
+    if (!spec.empty()) {
+      profiles = net::VantageProfile::parse_list(spec);
+      if (args.has("vantages") &&
+          static_cast<std::size_t>(
+              args.get_int("vantages", static_cast<long>(profiles.size()))) !=
+              profiles.size())
+        throw std::invalid_argument(
+            "measure: --vantages disagrees with the --vantage-profile count");
+    } else {
+      const long vantages = args.get_int("vantages", 1);
+      if (vantages < 1)
+        throw std::invalid_argument("measure: --vantages must be >= 1");
+      profiles = net::VantageProfile::default_vantages(
+          static_cast<std::size_t>(vantages));
+    }
+  }
+  const std::string consensus_out = args.get("consensus-out", "");
+  if (!consensus_out.empty() && !vantage_mode)
+    throw std::invalid_argument(
+        "measure: --consensus-out needs --vantages or --vantage-profile");
 
   // Observability: any artifact flag enables telemetry.
   const std::string metrics_out = args.get("metrics-out", "");
@@ -324,40 +368,86 @@ int cmd_measure(World& world, const util::Args& args) {
   const bool quiet = args.get_bool("quiet");
   config.observability.enabled =
       !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
-  std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os;
+  std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os,
+      consensus_os;
   if (!metrics_out.empty())
     metrics_os = open_artifact("measure", "metrics-out", metrics_out);
   if (!trace_out.empty())
     trace_os = open_artifact("measure", "trace-out", trace_out);
   if (!report_out.empty())
     report_os = open_artifact("measure", "report-out", report_out);
+  if (!consensus_out.empty())
+    consensus_os = open_artifact("measure", "consensus-out", consensus_out);
 
-  core::MeasurementCampaign campaign(*world.web, config);
-  const auto sites = campaign.run(list);
+  std::unique_ptr<core::MeasurementCampaign> single;
+  std::unique_ptr<core::VantageCampaign> multi;
+  std::vector<std::vector<core::SiteObservation>> per_vantage;
+  if (vantage_mode) {
+    core::VantageCampaignConfig vantage_config;
+    vantage_config.base = config;
+    vantage_config.profiles = profiles;
+    vantage_config.checkpoint_path = checkpoint_path;
+    multi = std::make_unique<core::VantageCampaign>(*world.web,
+                                                    std::move(vantage_config));
+    per_vantage = multi->run(list).observations;
+  } else {
+    config.checkpoint_path = checkpoint_path;
+    single = std::make_unique<core::MeasurementCampaign>(*world.web, config);
+    per_vantage.push_back(single->run(list));
+  }
+  const obs::RunTelemetry& telemetry =
+      vantage_mode ? multi->telemetry() : single->telemetry();
+  const auto& sites = per_vantage.front();
 
   const std::string out = args.get("out", "metrics.csv");
   std::ofstream os(out);
   core::write_measure_csv(os, sites);
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
+  for (std::size_t v = 1; v < per_vantage.size(); ++v) {
+    const std::string path = vantage_csv_path(out, v);
+    auto vantage_os = open_artifact("measure", "out", path);
+    core::write_measure_csv(*vantage_os, per_vantage[v]);
+    std::cout << "vantage " << v << " (" << profiles[v].name << ") -> "
+              << path << "\n";
+  }
 
-  // All run accounting flows through the structured report; the summary
-  // line it renders is byte-identical to the historical one.
-  const obs::RunReport report =
-      core::build_run_report(sites, campaign.telemetry());
-  std::cout << obs::summary_line(report) << "\n";
-  if (campaign.telemetry().enabled && !quiet)
-    std::cout << obs::render_report_text(report);
+  // All run accounting flows through a structured report; in the
+  // single-vantage case the summary line it renders is byte-identical
+  // to the historical one, and the artifact print order (metrics,
+  // trace, report) is the legacy order.
+  std::unique_ptr<obs::RunReport> run_report;
+  std::unique_ptr<obs::VantageReport> vantage_report;
+  if (per_vantage.size() == 1) {
+    run_report = std::make_unique<obs::RunReport>(
+        core::build_run_report(sites, telemetry));
+    std::cout << obs::summary_line(*run_report) << "\n";
+    if (telemetry.enabled && !quiet)
+      std::cout << obs::render_report_text(*run_report);
+  } else {
+    vantage_report = std::make_unique<obs::VantageReport>(
+        core::build_vantage_report(per_vantage, profiles, telemetry));
+    std::cout << obs::vantage_summary_line(*vantage_report) << "\n";
+    if (telemetry.enabled && !quiet)
+      std::cout << obs::render_vantage_report_text(*vantage_report);
+  }
   if (metrics_os != nullptr) {
-    campaign.telemetry().metrics.write_json(*metrics_os);
+    telemetry.metrics.write_json(*metrics_os);
     std::cout << "metrics -> " << metrics_out << "\n";
   }
   if (trace_os != nullptr) {
-    obs::write_chrome_trace(*trace_os, campaign.telemetry().spans);
+    obs::write_chrome_trace(*trace_os, telemetry.spans);
     std::cout << "trace -> " << trace_out << "\n";
   }
   if (report_os != nullptr) {
-    obs::write_report_json(*report_os, report);
+    if (run_report != nullptr)
+      obs::write_report_json(*report_os, *run_report);
+    else
+      obs::write_vantage_report_json(*report_os, *vantage_report);
     std::cout << "report -> " << report_out << "\n";
+  }
+  if (consensus_os != nullptr) {
+    core::write_vantage_consensus_csv(*consensus_os, per_vantage);
+    std::cout << "consensus -> " << consensus_out << "\n";
   }
 
   const auto size = core::compare_metric(sites, core::metric::bytes);
@@ -437,6 +527,16 @@ void print_help(std::ostream& out, const std::string& program) {
          "  --checkpoint FILE   append per-shard progress; resumes\n"
          "                      automatically when FILE exists\n"
          "  --resume FILE       like --checkpoint, FILE must exist\n"
+         "  --vantages N        run from N vantage points (deterministic\n"
+         "                      built-in profiles; vantage 0 is the home\n"
+         "                      vantage and writes --out, vantage k writes\n"
+         "                      FILE-v<k>.csv; checkpoints become\n"
+         "                      vantage-granular)\n"
+         "  --vantage-profile P ';'-separated profile specs, e.g.\n"
+         "                      \"us-home;eu:region=eu:resolver=public\"\n"
+         "                      (keys: region, resolver, doh, edge,\n"
+         "                      access_ms, bandwidth, faults)\n"
+         "  --consensus-out F   per-site cross-vantage consensus CSV\n"
          "  --metrics-out FILE  merged metrics registry as JSON\n"
          "  --trace-out FILE    virtual-clock Chrome trace JSON\n"
          "                      (open in ui.perfetto.dev)\n"

@@ -199,6 +199,60 @@ void check_listbuild_report(const JsonValue& doc) {
   member(doc, "telemetry", JsonValue::Type::kBool, "report");
 }
 
+// The multi-vantage report (`hispar measure --vantages --report-out`):
+// per-vantage coverage lines and the cross-vantage disagreement table
+// (spread cells null when no site is usable at every vantage).
+void check_vantage_report(const JsonValue& doc) {
+  const JsonValue& coverage =
+      member(doc, "coverage", JsonValue::Type::kObject, "report");
+  const double vantages =
+      member(coverage, "vantages", JsonValue::Type::kNumber, "coverage")
+          .number;
+  member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage");
+  member(coverage, "sites_compared", JsonValue::Type::kNumber, "coverage");
+
+  const JsonValue& lines =
+      member(doc, "vantage_lines", JsonValue::Type::kArray, "report");
+  require(static_cast<double>(lines.array.size()) == vantages,
+          "report: vantage_lines count disagrees with coverage.vantages");
+  for (const JsonValue& line : lines.array) {
+    member(line, "vantage", JsonValue::Type::kNumber, "report vantage");
+    member(line, "name", JsonValue::Type::kString, "report vantage");
+    member(line, "region", JsonValue::Type::kString, "report vantage");
+    member(line, "sites_ok", JsonValue::Type::kNumber, "report vantage");
+    member(line, "sites_degraded", JsonValue::Type::kNumber, "report vantage");
+    member(line, "sites_quarantined", JsonValue::Type::kNumber,
+           "report vantage");
+    member(line, "failed_fetches", JsonValue::Type::kNumber, "report vantage");
+  }
+
+  const JsonValue& disagreement =
+      member(doc, "disagreement", JsonValue::Type::kArray, "report");
+  for (const JsonValue& metric : disagreement.array) {
+    member(metric, "metric", JsonValue::Type::kString, "report metric");
+    for (const char* spread : {"median_spread", "max_spread"}) {
+      const JsonValue* cell = metric.find(spread);
+      require(cell != nullptr,
+              std::string("report metric: missing \"") + spread + "\"");
+      require(cell->is(JsonValue::Type::kNumber) ||
+                  cell->is(JsonValue::Type::kNull),
+              std::string("report metric: \"") + spread +
+                  "\" is neither number nor null");
+    }
+    const double flips = member(metric, "sign_flip_fraction",
+                                JsonValue::Type::kNumber, "report metric")
+                             .number;
+    require(flips >= 0.0 && flips <= 1.0,
+            "report metric: sign_flip_fraction out of [0, 1]");
+  }
+
+  const JsonValue& trace =
+      member(doc, "trace", JsonValue::Type::kObject, "report");
+  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
+  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
+  member(doc, "telemetry", JsonValue::Type::kBool, "report");
+}
+
 void check_report(const std::string& path) {
   const JsonValue doc = load(path);
   require(doc.is(JsonValue::Type::kObject), "report: not an object");
@@ -208,6 +262,8 @@ void check_report(const std::string& path) {
     check_measure_report(doc);
   else if (schema == "hispar-listbuild-report-v1")
     check_listbuild_report(doc);
+  else if (schema == "hispar-vantage-report-v1")
+    check_vantage_report(doc);
   else
     fail("report: unknown schema \"" + schema + "\"");
 }
