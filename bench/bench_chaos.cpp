@@ -1,0 +1,138 @@
+// Cost of the chaos engine and its defense layer.
+//
+// The chaos contract has two halves with a price tag each:
+//  * an *empty* schedule must be free — same bytes, and no measurable
+//    slowdown, as a campaign built before chaos support existed;
+//  * an *active* schedule pays for window lookups, strike draws,
+//    breaker bookkeeping and hedged lookups on every fetch, and that
+//    overhead must stay a small multiple of the plain campaign (the
+//    soak harness asserts correctness; this bench watches the cost).
+//
+// Rows: the plain campaign (reference), the same campaign with
+// chaos parsed from "none" (must be byte-identical), a single-origin
+// incident, and the full multi-scope storm. Columns report wall time,
+// the slowdown against plain, byte identity where it is required, and
+// how the campaign degraded (ok/degraded/quarantined sites) so a
+// defense regression (breakers stop saving sites) is visible next to
+// its cost.
+//
+// HISPAR_SITES scales the list (default 120); HISPAR_JOBS the worker
+// threads of the campaigns.
+#include <chrono>
+#include <sstream>
+
+#include "common.h"
+#include "core/serialization.h"
+#include "net/outage.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hispar;
+
+std::uint64_t csv_digest(const std::vector<core::SiteObservation>& sites) {
+  std::ostringstream csv;
+  core::write_measure_csv(csv, sites);
+  return util::fnv1a(csv.str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "chaos engine cost",
+      "correlated outages (CDN incidents, resolver flakes) are the "
+      "failure mode a weekly campaign actually meets; the defenses that "
+      "survive them must cost nothing when disarmed");
+
+  const std::size_t sites = bench::env_sites(120);
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+  const std::string victim = world.h1k.sets.front().domain;
+
+  core::CampaignConfig base;
+  base.landing_loads = 10;
+  base.jobs = bench::env_jobs();
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_s = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+
+  struct Row {
+    const char* name;
+    std::string profile;
+    bool must_match_plain;
+  };
+  const Row rows[] = {
+      {"chaos \"none\"", "none", true},
+      {"origin incident",
+       "origin:domain=" + victim + ",start_s=0,dur_s=600,kind=http_5xx,sev=0.9",
+       false},
+      {"multi-scope storm",
+       "origin:domain=" + victim +
+           ",mtbf_s=200,mttr_s=100,kind=truncation,sev=0.8;"
+           "resolver:mtbf_s=240,mttr_s=60,kind=dns_timeout,sev=0.7;"
+           "cdn:provider=0,start_s=30,dur_s=600,kind=stall,sev=0.9;"
+           "cdn:provider=1,mtbf_s=300,mttr_s=120,kind=connection_reset,"
+           "sev=0.6",
+       false},
+  };
+
+  auto started = Clock::now();
+  core::MeasurementCampaign plain(*world.web, base);
+  const auto plain_sites = plain.run(world.h1k);
+  const double plain_s = time_s(started);
+  const std::uint64_t plain_digest = csv_digest(plain_sites);
+  world.metrics.gauge("bench.chaos.plain_s") = plain_s;
+
+  util::TextTable table(
+      {"campaign", "seconds", "vs plain", "bytes", "ok/degr/quar"});
+  {
+    const core::CampaignSummary summary =
+        core::summarize_campaign(plain_sites);
+    table.add_row({"plain campaign", util::TextTable::num(plain_s, 3),
+                   "1.00x", "reference",
+                   std::to_string(summary.sites_ok) + "/" +
+                       std::to_string(summary.sites_degraded) + "/" +
+                       std::to_string(summary.sites_quarantined)});
+  }
+
+  for (const Row& row : rows) {
+    core::CampaignConfig config = base;
+    config.chaos = net::OutageSchedule::parse(row.profile);
+    started = Clock::now();
+    core::MeasurementCampaign campaign(*world.web, config);
+    const auto observed = campaign.run(world.h1k);
+    const double elapsed_s = time_s(started);
+    const std::uint64_t digest = csv_digest(observed);
+    const core::CampaignSummary summary = core::summarize_campaign(observed);
+
+    std::string bytes = "-";
+    if (row.must_match_plain)
+      bytes = digest == plain_digest ? "identical" : "DIFFER (BUG)";
+    table.add_row({row.name, util::TextTable::num(elapsed_s, 3),
+                   util::TextTable::num(elapsed_s / plain_s, 2) + "x", bytes,
+                   std::to_string(summary.sites_ok) + "/" +
+                       std::to_string(summary.sites_degraded) + "/" +
+                       std::to_string(summary.sites_quarantined)});
+
+    const std::string key =
+        row.must_match_plain
+            ? "off"
+            : (row.profile.find(';') == std::string::npos ? "incident"
+                                                          : "storm");
+    world.metrics.gauge("bench.chaos." + key + "_s") = elapsed_s;
+    world.metrics.gauge("bench.chaos." + key + "_quarantined") =
+        static_cast<double>(summary.sites_quarantined);
+    if (row.must_match_plain && digest != plain_digest)
+      ++world.metrics.counter("bench.chaos.digest_mismatches");
+  }
+
+  std::cout << table;
+  std::cout << "\n(chaos \"none\" must stay at ~1.00x and byte-identical: "
+               "the whole defense layer is gated on an armed schedule. "
+               "Storm overhead buys per-stage oracle consults, breaker "
+               "bookkeeping and hedged lookups on every fetch)\n";
+  world.write_bench_json("chaos");
+  return 0;
+}

@@ -27,6 +27,14 @@ constexpr double kWarmCwndSegments = 40.0;
 constexpr double kDnsServfailMs = 80.0;
 constexpr double kDnsTimeoutMs = 5000.0;
 constexpr double kObjectRetryBackoffMs = 250.0;
+// Retry backoff doubles per attempt but never past this ceiling (and
+// the exponent itself is clamped: `1 << attempt` would be undefined
+// behaviour once --max-retries pushes attempt >= 31).
+constexpr double kMaxObjectBackoffMs = 8000.0;
+// Hedged DNS fires the second query once the primary has been out this
+// long — the deterministic P95 of the resolver model's uncached path
+// (cold lookups walk the hierarchy; warm ones answer in a few ms).
+constexpr double kDnsHedgeDelayMs = 250.0;
 
 // State the browser keeps per remote host during one page load.
 struct HostState {
@@ -147,8 +155,15 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       options.transport_override.value_or(page.transport);
   // Faults disabled => all failure paths below are dead code and every
   // operation (RNG draws, resolver/CDN calls) matches a fault-free
-  // loader exactly.
+  // loader exactly. The chaos oracle carries the same contract: null
+  // means no branch below consumes extra randomness.
   const bool faulty = options.faults != nullptr;
+  const bool chaotic = options.chaos != nullptr;
+  // Campaign virtual clock for an in-load offset (chaos windows and
+  // breakers live on campaign time, not per-load time).
+  const auto clock_s = [&](double in_load_ms) {
+    return options.start_time_s + in_load_ms / 1000.0;
+  };
 
   // Object-fetch trace spans ride the virtual clock: the load's start
   // offset plus the object's in-load window, in microseconds.
@@ -298,8 +313,10 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     entry.dns_cname = o.dns_cname;
 
     // Page-level watchdog: fetches that would start after the abort
-    // deadline never happen (Firefox kills hung loads at ~60 s).
-    if (faulty && ready_at > options.page_timeout_ms) {
+    // deadline never happen (Firefox kills hung loads at ~60 s). The
+    // deadline holds whether or not faults are being injected — a
+    // fault-free pathological page must not run unbounded either.
+    if (ready_at > options.page_timeout_ms) {
       entry.status = 0;
       entry.error = "page-watchdog-abort";
       entry.body_size = 0.0;
@@ -310,11 +327,47 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       continue;  // children were never discovered
     }
 
+    // Circuit breakers: a scope that has been failing consecutively is
+    // not worth burning the page budget on. Non-root objects check the
+    // origin breaker (and the CDN-provider breaker when CDN-served)
+    // before fetching; a denial fails the entry fast, degrading the
+    // load instead of quarantining the site. The root document always
+    // goes through — without it there is nothing to degrade to.
+    if (options.breakers != nullptr && index != 0) {
+      const double at_s = clock_s(ready_at);
+      const bool origin_ok =
+          options.breakers->at("origin:" + o.host).allow(at_s);
+      const bool cdn_ok =
+          !o.via_cdn ||
+          options.breakers->at("cdn:" + std::to_string(o.cdn_provider_id))
+              .allow(at_s);
+      if (!origin_ok || !cdn_ok) {
+        entry.status = 0;
+        entry.error = "breaker-open";
+        entry.body_size = 0.0;
+        ++result.breaker_denials;
+        ++result.failed_objects;
+        record_span(entry, ready_at, ready_at);
+        result.har.entries.push_back(std::move(entry));
+        continue;  // children were never discovered
+      }
+    }
+
+    // Deadline-budget propagation: an object starting near the page
+    // deadline gets only the remaining page budget, not the full
+    // per-object allowance — stalled transfers can no longer drag one
+    // object far past the watchdog line.
+    const double object_budget_ms =
+        options.deadline_budget
+            ? std::min(options.object_timeout_ms,
+                       std::max(0.0, options.page_timeout_ms - ready_at))
+            : options.object_timeout_ms;
+
     double t = ready_at;
     net::FaultKind fate = net::FaultKind::kNone;
     bool warm_transfer = false;
     const int max_attempts =
-        faulty ? 1 + std::max(0, options.max_object_retries) : 1;
+        (faulty || chaotic) ? 1 + std::max(0, options.max_object_retries) : 1;
 
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       fate = net::FaultKind::kNone;
@@ -322,27 +375,48 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       std::size_t conn_index = 0;
       warm_transfer = false;
 
-      // DNS.
+      // DNS. Background faults strike first; an active resolver outage
+      // window strikes lookups the base profile spared.
       if (!hs.dns_done) {
-        if (faulty) {
-          const net::FaultKind dns_fate = options.faults->dns_fault();
-          if (dns_fate == net::FaultKind::kDnsServfail) {
-            entry.timings.dns += kDnsServfailMs;
-            t += kDnsServfailMs;
-            fate = dns_fate;
-          } else if (dns_fate == net::FaultKind::kDnsTimeout) {
-            entry.timings.dns += kDnsTimeoutMs;
-            t += kDnsTimeoutMs;
-            fate = dns_fate;
-          }
+        net::FaultKind dns_fate = net::FaultKind::kNone;
+        if (faulty) dns_fate = options.faults->dns_fault();
+        if (dns_fate == net::FaultKind::kNone && chaotic)
+          dns_fate = options.chaos->dns_fault(clock_s(t), o.host);
+        if (dns_fate == net::FaultKind::kDnsServfail) {
+          entry.timings.dns += kDnsServfailMs;
+          t += kDnsServfailMs;
+          fate = dns_fate;
+        } else if (dns_fate == net::FaultKind::kDnsTimeout) {
+          entry.timings.dns += kDnsTimeoutMs;
+          t += kDnsTimeoutMs;
+          fate = dns_fate;
         }
         if (fate == net::FaultKind::kNone) {
           const double query_time_s = options.start_time_s + t / 1000.0;
-          const auto lookup =
+          auto lookup =
               env_.doh != nullptr
                   ? env_.doh->resolve(dns_record_for(o), query_time_s, rng)
                   : env_.resolver->resolve(dns_record_for(o), query_time_s,
                                            rng);
+          if (options.hedge_dns && lookup.latency_ms > kDnsHedgeDelayMs) {
+            // Hedged lookup: a second query goes out once the primary
+            // has been out for the P95 delay; the first answer wins.
+            // The primary's walk has warmed the resolver by then, so
+            // the hedge usually answers fast and caps the tail near
+            // kDnsHedgeDelayMs. Both draws come from the load's own
+            // keyed stream — deterministic for any --jobs and resume.
+            const auto hedged =
+                env_.doh != nullptr
+                    ? env_.doh->resolve(dns_record_for(o), query_time_s, rng)
+                    : env_.resolver->resolve(dns_record_for(o), query_time_s,
+                                             rng);
+            ++result.dns_hedges;
+            const double hedged_ms = kDnsHedgeDelayMs + hedged.latency_ms;
+            if (hedged_ms < lookup.latency_ms) {
+              lookup.latency_ms = hedged_ms;
+              ++result.dns_hedge_wins;
+            }
+          }
           entry.timings.dns += lookup.latency_ms;
           t += lookup.latency_ms;
           hs.dns_done = true;
@@ -365,21 +439,25 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
              *std::min_element(hs.connection_free.begin(),
                                hs.connection_free.end()) > t)) {
           // Open a fresh connection.
-          if (faulty) {
-            const net::FaultKind connect_fate = options.faults->connect_fault(
-                transport != net::TransportProtocol::kCleartextHttp);
-            if (connect_fate == net::FaultKind::kConnectionReset) {
-              // SYN out, RST back: one round trip burned, no connection.
-              entry.timings.connect += hs.rtt_ms;
-              t += hs.rtt_ms;
-              fate = connect_fate;
-            } else if (connect_fate == net::FaultKind::kTlsFailure) {
-              // TCP connects, the TLS handshake dies one round trip in.
-              entry.timings.connect += hs.rtt_ms;
-              entry.timings.ssl += hs.rtt_ms;
-              t += 2.0 * hs.rtt_ms;
-              fate = connect_fate;
-            }
+          const bool tls_handshake =
+              transport != net::TransportProtocol::kCleartextHttp;
+          net::FaultKind connect_fate = net::FaultKind::kNone;
+          if (faulty) connect_fate = options.faults->connect_fault(tls_handshake);
+          if (connect_fate == net::FaultKind::kNone && chaotic)
+            connect_fate =
+                options.chaos->connect_fault(clock_s(t), o.host, tls_handshake,
+                                             o.via_cdn, o.cdn_provider_id);
+          if (connect_fate == net::FaultKind::kConnectionReset) {
+            // SYN out, RST back: one round trip burned, no connection.
+            entry.timings.connect += hs.rtt_ms;
+            t += hs.rtt_ms;
+            fate = connect_fate;
+          } else if (connect_fate == net::FaultKind::kTlsFailure) {
+            // TCP connects, the TLS handshake dies one round trip in.
+            entry.timings.connect += hs.rtt_ms;
+            entry.timings.ssl += hs.rtt_ms;
+            t += 2.0 * hs.rtt_ms;
+            fate = connect_fate;
           }
           if (fate == net::FaultKind::kNone) {
             const auto cost = net::handshake_cost(transport, hs.session_seen);
@@ -417,6 +495,9 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
         t += 0.5 * hs.rtt_ms;
 
         if (faulty) fate = options.faults->response_fault();
+        if (fate == net::FaultKind::kNone && chaotic)
+          fate = options.chaos->response_fault(clock_s(t), o.host, o.via_cdn,
+                                               o.cdn_provider_id);
         if (fate == net::FaultKind::kHttp5xx) {
           // The request reached the server; an error page came straight
           // back after origin think time, with no usable body. The
@@ -463,19 +544,30 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
 
           // Receive: slow-start rounds + serialization — unless the
           // transfer stalls out or the connection dies mid-body.
-          const net::FaultKind transfer_fate =
+          net::FaultKind transfer_fate =
               faulty ? options.faults->transfer_fault() : net::FaultKind::kNone;
+          bool chaos_transfer = false;
+          if (transfer_fate == net::FaultKind::kNone && chaotic) {
+            transfer_fate = options.chaos->transfer_fault(
+                clock_s(t), o.host, o.via_cdn, o.cdn_provider_id);
+            chaos_transfer = transfer_fate != net::FaultKind::kNone;
+          }
           if (transfer_fate == net::FaultKind::kStalledTransfer) {
             // The body hangs; the browser abandons the object once its
             // fetch budget is burned.
             const double give_up =
-                std::max(0.0, options.object_timeout_ms - (t - ready_at));
+                std::max(0.0, object_budget_ms - (t - ready_at));
             entry.timings.receive += give_up;
             entry.body_size = 0.0;
             t += give_up;
             fate = transfer_fate;
           } else if (transfer_fate == net::FaultKind::kTruncatedTransfer) {
-            const double fraction = options.faults->truncated_fraction();
+            // A chaos-struck truncation has no FaultInjector to draw
+            // the surviving fraction from; the load's own stream is
+            // just as deterministic.
+            const double fraction = chaos_transfer
+                                        ? rng.uniform(0.05, 0.95)
+                                        : options.faults->truncated_fraction();
             const double bytes = o.size_bytes * fraction;
             const double rounds = transfer_rounds(bytes, warm_transfer);
             const double receive_ms =
@@ -498,11 +590,15 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       if (fate == net::FaultKind::kNone) break;  // attempt succeeded
 
       // Failed attempt: bounded retry with exponential backoff, unless
-      // the object's fetch budget is already burned.
-      if (attempt + 1 < max_attempts &&
-          (t - ready_at) < options.object_timeout_ms) {
+      // the object's fetch budget is already burned. exp2 on a clamped
+      // double replaces the old `1 << attempt`, whose shift is
+      // undefined behaviour once --max-retries pushes attempt >= 31;
+      // the ceiling bounds the pause either way.
+      if (attempt + 1 < max_attempts && (t - ready_at) < object_budget_ms) {
         const double backoff =
-            kObjectRetryBackoffMs * static_cast<double>(1 << attempt);
+            std::min(kMaxObjectBackoffMs,
+                     kObjectRetryBackoffMs *
+                         std::exp2(static_cast<double>(std::min(attempt, 62))));
         entry.timings.blocked += backoff;
         t += backoff;
         ++result.object_retries;
@@ -512,6 +608,28 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     }
 
     finish[index] = t;
+
+    // Breaker feedback: the final verdict of this object (after its
+    // retries) teaches the scope's breakers. Root objects bypass the
+    // admission gate above but still report — an origin that cannot
+    // even serve its document should trip fast.
+    if (options.breakers != nullptr) {
+      const double at_s = clock_s(t);
+      net::CircuitBreaker& origin_breaker =
+          options.breakers->at("origin:" + o.host);
+      if (fate != net::FaultKind::kNone)
+        origin_breaker.record_failure(at_s);
+      else
+        origin_breaker.record_success(at_s);
+      if (o.via_cdn) {
+        net::CircuitBreaker& cdn_breaker =
+            options.breakers->at("cdn:" + std::to_string(o.cdn_provider_id));
+        if (fate != net::FaultKind::kNone)
+          cdn_breaker.record_failure(at_s);
+        else
+          cdn_breaker.record_success(at_s);
+      }
+    }
 
     if (fate != net::FaultKind::kNone) {
       entry.status = fate == net::FaultKind::kHttp5xx ? 503 : 0;

@@ -26,6 +26,7 @@
 #include "net/dns.h"
 #include "net/doh.h"
 #include "net/faults.h"
+#include "net/outage.h"
 #include "obs/obs.h"
 #include "util/rng.h"
 #include "web/page.h"
@@ -72,6 +73,27 @@ struct LoadOptions {
   // injector is mutated (its stream advances per decision); the caller
   // provides one per load attempt, keyed as net/faults.h documents.
   net::FaultInjector* faults = nullptr;
+  // Correlated-outage oracle (net/outage.h). Null models a substrate
+  // with no incident windows; like `faults`, the null case is a true
+  // no-op — no branch consumes extra randomness — so chaos-free loads
+  // are bit-identical to loads on a loader without this feature. The
+  // caller provides one injector per load attempt, keyed like `faults`.
+  net::ChaosInjector* chaos = nullptr;
+  // Defense layer (inert when null/false; campaigns enable it together
+  // with chaos so defended and historical fault-only runs never mix):
+  //  * breakers: per-shard circuit breakers consulted before every
+  //    non-root object fetch ("origin:<host>" and, for CDN-served
+  //    objects, "cdn:<provider>"); a denied fetch fails fast with a
+  //    "breaker-open" HAR entry and degrades the load instead of
+  //    burning its budget against a known-bad scope.
+  //  * hedge_dns: fire a second resolver query at a deterministic P95
+  //    delay when the primary lookup runs long; first answer wins.
+  //  * deadline_budget: propagate the page watchdog budget into each
+  //    object's fetch budget (an object starting near the deadline gets
+  //    only the remaining time, not the full object_timeout_ms).
+  net::BreakerSet* breakers = nullptr;
+  bool hedge_dns = false;
+  bool deadline_budget = false;
   // Per-object bounded retry with exponential backoff (browsers retry
   // transient network errors a couple of times before surfacing them).
   int max_object_retries = 2;
@@ -110,6 +132,11 @@ struct LoadResult {
   int failed_objects = 0;   // entries that never completed
   int object_retries = 0;   // in-load re-attempts that were needed
   bool watchdog_abort = false;
+  // Defense-layer accounting (all zero unless LoadOptions enables the
+  // corresponding defense).
+  int breaker_denials = 0;  // fetches an open breaker failed fast
+  int dns_hedges = 0;       // hedged lookups fired
+  int dns_hedge_wins = 0;   // hedges that beat the primary answer
 };
 
 class PageLoader {

@@ -1,6 +1,7 @@
 #include "core/list_build.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -21,6 +22,11 @@ namespace {
 // run starts at k * one-week offsets so the trace rows don't overlap
 // and resumed weeks need no clock restoration.
 constexpr double kWeekSeconds = 604800.0;
+
+// Retry backoff doubles per attempt but is capped at this multiple of
+// retry_backoff_s; computed with exp2 on a clamped exponent so a large
+// --max-retries can never shift into undefined behaviour.
+constexpr double kMaxRetryBackoffScale = 32.0;
 
 }  // namespace
 
@@ -62,7 +68,10 @@ obs::ShardTelemetry ListBuildCampaign::ShardWeekState::take_telemetry() {
 ListBuildCampaign::ListBuildCampaign(const web::SyntheticWeb& web,
                                      const toplist::TopListFactory& toplists,
                                      ListBuildConfig config)
-    : web_(&web), toplists_(&toplists), config_(std::move(config)) {}
+    : web_(&web),
+      toplists_(&toplists),
+      config_(std::move(config)),
+      chaos_plan_(config_.chaos, config_.seed) {}
 
 std::size_t ListBuildCampaign::wave_size() const {
   if (config_.wave_size != 0) return config_.wave_size;
@@ -90,6 +99,9 @@ std::uint64_t ListBuildCampaign::checkpoint_digest() const {
      << config_.retry_backoff_s << '|' << config_.query_latency_s << '|'
      << config_.timeout_latency_s << '|' << web_->config().seed << '|'
      << web_->site_count();
+  // Appended only when set, so chaos-free checkpoints keep their
+  // historical digests.
+  if (config_.chaos.enabled()) os << "|chaos|" << config_.chaos.str();
   return util::fnv1a(os.str());
 }
 
@@ -102,15 +114,62 @@ SiteCandidate ListBuildCampaign::examine_rank(ShardWeekState& state,
   candidate.domain = bootstrap.domain_at(rank);
   const double start_s = state.clock_s;
   const bool faulty = config_.fault_profile.enabled();
+  const bool chaotic = chaos_plan_.enabled();
   const int max_attempts =
-      faulty ? 1 + std::max(0, config_.max_query_retries) : 1;
+      (faulty || chaotic) ? 1 + std::max(0, config_.max_query_retries) : 1;
 
   search::SiteQueryOutcome outcome;
   int attempts = 0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0)  // backoff gap before the retry, on the shard clock
       state.clock_s +=
-          config_.retry_backoff_s * static_cast<double>(1 << (attempt - 1));
+          config_.retry_backoff_s *
+          std::min(kMaxRetryBackoffScale,
+                   std::exp2(static_cast<double>(std::min(attempt - 1, 62))));
+
+    // An open search breaker fast-fails the attempt: no API call, no
+    // billed query, no randomness. The backoff gap above still runs on
+    // the shard clock, so the breaker's cooldown can elapse mid-site.
+    if (chaotic && !state.breakers.at("search").allow(state.clock_s)) {
+      outcome = search::SiteQueryOutcome{};
+      outcome.ok = false;
+      outcome.failure = state.last_failure_kind;
+      attempts = attempt + 1;
+      continue;
+    }
+
+    // Correlated outages strike before the query is issued — a struck
+    // attempt models the API call itself failing, so it bills nothing.
+    // The oracle draws only while a search-scope window is active
+    // (activity is a pure function of virtual time), from a per-attempt
+    // stream, so streams stay aligned for any --jobs value.
+    std::optional<net::ChaosInjector> chaos_injector;
+    if (chaotic)
+      chaos_injector.emplace(
+          chaos_plan_, util::Rng(config_.seed)
+                           .fork("listbuild-chaos")
+                           .fork(week)
+                           .fork(static_cast<std::uint64_t>(state.shard_id))
+                           .fork(candidate.domain)
+                           .fork(static_cast<std::uint64_t>(attempt)));
+    const net::SearchFaultKind chaos_strike =
+        chaos_injector ? chaos_injector->search_fault(state.clock_s)
+                       : net::SearchFaultKind::kNone;
+    if (chaos_strike != net::SearchFaultKind::kNone) {
+      if (state.metrics != nullptr)
+        ++state.metrics->counter(
+            "chaos.injected." +
+            std::string(net::to_string(chaos_strike)));
+      outcome = search::SiteQueryOutcome{};
+      outcome.ok = false;
+      outcome.failure = chaos_strike;
+      attempts = attempt + 1;
+      state.last_failure_kind = chaos_strike;
+      state.breakers.at("search").record_failure(state.clock_s);
+      if (chaos_strike == net::SearchFaultKind::kQueryTimeout)
+        state.clock_s += config_.timeout_latency_s;
+      continue;
+    }
 
     // Fault decisions come from their own stream, keyed by everything
     // that identifies this query attempt and nothing that depends on
@@ -146,7 +205,15 @@ SiteCandidate ListBuildCampaign::examine_rank(ShardWeekState& state,
               injected[static_cast<std::size_t>(kind)];
     }
 
+    if (chaotic) {
+      if (outcome.ok)
+        state.breakers.at("search").record_success(state.clock_s);
+      else
+        state.breakers.at("search").record_failure(state.clock_s);
+    }
     if (outcome.ok) break;
+    if (outcome.failure != net::SearchFaultKind::kNone)
+      state.last_failure_kind = outcome.failure;
     if (outcome.failure == net::SearchFaultKind::kQueryTimeout)
       state.clock_s += config_.timeout_latency_s;
   }
@@ -338,6 +405,18 @@ ListBuildWeekRecord ListBuildCampaign::build_week(std::uint64_t week) {
             static_cast<double>(state.candidates.size());
         state.metrics->gauge("queries") =
             static_cast<double>(state.engine.queries_issued());
+        // Breaker counters exist only under a chaos schedule, so
+        // chaos-free metrics artifacts keep their historical bytes.
+        if (!state.breakers.empty()) {
+          state.metrics->gauge("breaker.scopes") =
+              static_cast<double>(state.breakers.records().size());
+          if (state.breakers.total_times_opened() > 0)
+            state.metrics->counter("breaker.opened") =
+                state.breakers.total_times_opened();
+          if (state.breakers.total_denials() > 0)
+            state.metrics->counter("breaker.denials") =
+                state.breakers.total_denials();
+        }
       }
       if (state.tracer != nullptr) {
         obs::TraceSpan span;

@@ -42,6 +42,7 @@
 
 #include "core/hispar.h"
 #include "net/faults.h"
+#include "net/outage.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "search/engine.h"
@@ -118,6 +119,13 @@ struct ListBuildConfig {
   // outputs are bit-identical to a build without fault support).
   // Decisions are keyed by (seed, week, shard, domain, attempt).
   net::SearchFaultProfile fault_profile;
+  // Correlated-outage chaos schedule (default: empty — a true no-op;
+  // the checkpoint digest gains a |chaos| component only when set).
+  // Only search-scope rules affect the build — page scopes are inert
+  // here. Strike decisions draw from per-attempt streams keyed by
+  // (seed, week, shard, domain, attempt); an open per-shard "search"
+  // circuit breaker fast-fails attempts without billing a query.
+  net::OutageSchedule chaos;
   // Failed query attempts are retried up to this many times with an
   // exponential backoff gap on the shard's virtual clock; a site whose
   // attempts all fail is quarantined for the week.
@@ -197,6 +205,15 @@ class ListBuildCampaign {
     double clock_start_s = 0.0;
     double clock_s = 0.0;
     std::vector<SiteCandidate> candidates;
+    // Per-shard defenses, touched only under a chaos schedule. Weeks
+    // are the checkpoint unit and shard state is rebuilt per week, so
+    // breaker state never needs serializing here (unlike the
+    // measurement campaign's shard breakers).
+    net::BreakerSet breakers;
+    // Root cause charged to breaker-denied quarantines: the failure
+    // kind that most recently tripped this shard's search breaker.
+    net::SearchFaultKind last_failure_kind =
+        net::SearchFaultKind::kQueryTimeout;
 
     obs::ShardTelemetry take_telemetry();
   };
@@ -211,6 +228,7 @@ class ListBuildCampaign {
   const web::SyntheticWeb* web_;
   const toplist::TopListFactory* toplists_;
   ListBuildConfig config_;
+  net::OutagePlan chaos_plan_;   // materialized once; shared read-only
   obs::RunTelemetry telemetry_;  // merged by the last run()
 };
 

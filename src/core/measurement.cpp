@@ -71,6 +71,11 @@ CampaignSummary summarize_campaign(const std::vector<SiteObservation>& sites) {
 
 namespace {
 
+// Page-retry backoff doubles per attempt but never past this multiple
+// of retry_backoff_s (and the exponent is clamped before exp2 — the
+// old `1 << attempt` was undefined behaviour at attempt >= 31).
+constexpr double kMaxRetryBackoffScale = 32.0;
+
 cdn::CdnHierarchyConfig cdn_config_for(const CampaignConfig& config) {
   cdn::CdnHierarchyConfig hierarchy;
   hierarchy.edge_pin = config.cdn_edge_pin;
@@ -131,6 +136,7 @@ MeasurementCampaign::MeasurementCampaign(const web::SyntheticWeb& web,
       adblock_(browser::AdBlocker::easylist_lite()),
       hb_(browser::HbDetector::standard()),
       detector_(web.cdn_registry()),
+      chaos_plan_(config_.chaos, config_.seed),
       local_(web, config_, 0) {}
 
 const web::WebSite& MeasurementCampaign::require_site(
@@ -150,7 +156,9 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
   // another (site, index) can evict it.
   const web::WebPage& page = state.pages.get(site, page_index);
   const bool faulty = config_.fault_profile.enabled();
-  const int max_attempts = faulty ? 1 + std::max(0, config_.max_page_retries) : 1;
+  const bool chaotic = chaos_plan_.enabled();
+  const int max_attempts =
+      (faulty || chaotic) ? 1 + std::max(0, config_.max_page_retries) : 1;
 
   PageFetch fetch;
   fetch.outcome.page_index = page_index;
@@ -159,6 +167,10 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     browser::LoadOptions options = config_.load_options;
     options.start_time_s = state.clock_s;
+    // The page watchdog applies to every fetch — a fault-free
+    // pathological page must not run unbounded (goldens are unaffected:
+    // their synthetic pages finish well inside the default 60 s).
+    options.page_timeout_ms = config_.page_timeout_s * 1000.0;
     state.clock_s += config_.inter_fetch_gap_s;
 
     // Attempt 0 uses exactly the pre-fault RNG keying, so a fault-free
@@ -183,7 +195,23 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
               .fork(static_cast<std::uint64_t>(load_ordinal))
               .fork(static_cast<std::uint64_t>(attempt)));
       options.faults = &*injector;
-      options.page_timeout_ms = config_.page_timeout_s * 1000.0;
+    }
+    // Chaos strike decisions get their own per-attempt stream, keyed
+    // exactly like fault decisions (so --jobs / resume determinism
+    // holds), and the defense layer is armed alongside the oracle.
+    std::optional<net::ChaosInjector> chaos_injector;
+    if (chaotic) {
+      chaos_injector.emplace(
+          chaos_plan_,
+          state.rng.fork("chaos-roll")
+              .fork(site.domain())
+              .fork(page_index)
+              .fork(static_cast<std::uint64_t>(load_ordinal))
+              .fork(static_cast<std::uint64_t>(attempt)));
+      options.chaos = &*chaos_injector;
+      options.breakers = &state.breakers;
+      options.hedge_dns = true;
+      options.deadline_budget = true;
     }
 
     const browser::LoadResult result = state.loader.load(page, load_rng, options);
@@ -191,6 +219,7 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
     fetch.outcome.status = result.status;
     fetch.outcome.failure = result.root_failure;
     fetch.outcome.failed_objects = result.failed_objects;
+    fetch.outcome.breaker_denials = result.breaker_denials;
 
     if (state.metrics != nullptr) {
       obs::MetricsRegistry& reg = *state.metrics;
@@ -218,6 +247,26 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
                             static_cast<net::FaultKind>(kind)))) +=
                 injected[static_cast<std::size_t>(kind)];
       }
+      // Chaos-off runs must leave the metrics artifact untouched, so
+      // every defense counter appears only when it actually fired.
+      if (chaos_injector) {
+        const auto& injected = chaos_injector->injected();
+        for (int kind = 1; kind < net::kFaultKindCount; ++kind)
+          if (injected[static_cast<std::size_t>(kind)] > 0)
+            reg.counter("chaos.injected." +
+                        std::string(net::to_string(
+                            static_cast<net::FaultKind>(kind)))) +=
+                injected[static_cast<std::size_t>(kind)];
+      }
+      if (result.breaker_denials > 0)
+        reg.counter("breaker.denials") +=
+            static_cast<std::uint64_t>(result.breaker_denials);
+      if (result.dns_hedges > 0)
+        reg.counter("dns.hedge.fired") +=
+            static_cast<std::uint64_t>(result.dns_hedges);
+      if (result.dns_hedge_wins > 0)
+        reg.counter("dns.hedge.won") +=
+            static_cast<std::uint64_t>(result.dns_hedge_wins);
     }
     if (state.tracer != nullptr) {
       obs::TraceSpan span;
@@ -240,9 +289,14 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
       return fetch;
     }
     // Failed load: back off on the shard clock before re-fetching.
+    // exp2 on a clamped double replaces the old `1 << attempt` (UB for
+    // attempt >= 31 once --max-retries is cranked up); the 32x ceiling
+    // bounds the pause either way.
     if (attempt + 1 < max_attempts)
-      state.clock_s +=
-          config_.retry_backoff_s * static_cast<double>(1 << attempt);
+      state.clock_s += config_.retry_backoff_s *
+                       std::min(kMaxRetryBackoffScale,
+                                std::exp2(static_cast<double>(
+                                    std::min(attempt, 62))));
   }
   return fetch;  // permanently failed (usable == false)
 }
@@ -536,6 +590,15 @@ void MeasurementCampaign::run_shard(ShardState& state, const HisparList& list,
     state.metrics->gauge("sites") = static_cast<double>(positions.size());
     state.metrics->gauge("fetches") = static_cast<double>(fetches);
     state.metrics->counter("cdn.lru_evictions") = state.cdn.lru_evictions();
+    // Breaker end state, only under chaos (the set stays empty
+    // otherwise, keeping chaos-off metrics artifacts byte-identical).
+    if (!state.breakers.empty()) {
+      state.metrics->gauge("breaker.scopes") =
+          static_cast<double>(state.breakers.records().size());
+      if (state.breakers.total_times_opened() > 0)
+        state.metrics->counter("breaker.opened") =
+            state.breakers.total_times_opened();
+    }
   }
 }
 
@@ -582,6 +645,10 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config,
   const std::string substrate = substrate_key(config);
   if (substrate != substrate_key(CampaignConfig{}))
     os << "|sub|" << substrate;
+  // Chaos joins the digest only when a schedule is set, so every digest
+  // computed before the chaos engine existed — including on-disk
+  // checkpoints and the pinned goldens — is reproduced exactly.
+  if (config.chaos.enabled()) os << "|chaos|" << config.chaos.str();
   return util::fnv1a(os.str());
 }
 
@@ -607,6 +674,12 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
   // needed beyond the for_each_shard joins) and is merged in shard-id
   // order below, so the merged artifacts are --jobs independent.
   std::vector<obs::ShardTelemetry> shard_telemetry(shard_count);
+  // Final breaker states per shard, captured under a chaos schedule for
+  // checkpoint blocks (informational — a shard either completed or
+  // re-runs from scratch — but re-emitted verbatim on resume so the
+  // rewritten file stays byte-identical to an uninterrupted one).
+  std::vector<std::vector<net::BreakerSet::Record>> shard_breakers(
+      shard_count);
   telemetry_ = obs::RunTelemetry{};
   telemetry_.enabled = config_.observability.enabled;
 
@@ -638,6 +711,8 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
       for (auto& [shard, telemetry] : checkpoint.telemetry)
         if (shard < shard_count)
           shard_telemetry[shard] = std::move(telemetry);
+      for (auto& [shard, records] : checkpoint.breakers)
+        if (shard < shard_count) shard_breakers[shard] = std::move(records);
       existing.close();
     }
     // (Re)write the file from the parsed state: a resume drops the torn
@@ -654,7 +729,10 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
                                 observations,
                                 shard_telemetry[shard].empty()
                                     ? nullptr
-                                    : &shard_telemetry[shard]);
+                                    : &shard_telemetry[shard],
+                                shard_breakers[shard].empty()
+                                    ? nullptr
+                                    : &shard_breakers[shard]);
     checkpoint_out.flush();
   }
 
@@ -668,6 +746,8 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
       run_shard(state, list, shards[shard], observations);
       if (config_.observability.enabled)
         shard_telemetry[shard] = state.take_telemetry();
+      if (!state.breakers.empty())
+        shard_breakers[shard] = state.breakers.records();
     }
     if (checkpoint_out.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mutex);
@@ -675,7 +755,10 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
                               observations,
                               shard_telemetry[shard].empty()
                                   ? nullptr
-                                  : &shard_telemetry[shard]);
+                                  : &shard_telemetry[shard],
+                              shard_breakers[shard].empty()
+                                  ? nullptr
+                                  : &shard_breakers[shard]);
       checkpoint_out.flush();
     }
   });
@@ -764,12 +847,30 @@ obs::RunReport build_run_report(const std::vector<SiteObservation>& sites,
     for (const auto& outcome : site.outcomes)
       if (outcome.status == browser::LoadStatus::kFailed)
         ++failures[static_cast<std::size_t>(outcome.failure)];
+  // Quarantine root causes: a site is quarantined when every landing
+  // load failed, so charge it to the modal failure kind among its
+  // landing outcomes (ties to the lower kind — a fixed order keeps the
+  // report deterministic).
+  std::array<std::uint64_t, net::kFaultKindCount> quarantined_by{};
+  for (const auto& site : sites) {
+    if (!site.quarantined) continue;
+    std::array<std::uint64_t, net::kFaultKindCount> counts{};
+    for (const auto& outcome : site.outcomes)
+      if (outcome.page_index == 0 &&
+          outcome.status == browser::LoadStatus::kFailed)
+        ++counts[static_cast<std::size_t>(outcome.failure)];
+    std::size_t modal = 0;
+    for (std::size_t kind = 1; kind < net::kFaultKindCount; ++kind)
+      if (counts[kind] > counts[modal]) modal = kind;
+    if (counts[modal] > 0) ++quarantined_by[modal];
+  }
   for (int kind = 1; kind < net::kFaultKindCount; ++kind) {
     obs::RunReport::FaultLine line;
     line.kind = std::string(net::to_string(static_cast<net::FaultKind>(kind)));
     line.failed_fetches = failures[static_cast<std::size_t>(kind)];
     line.injected =
         telemetry.metrics.counter_or("faults.injected." + line.kind);
+    line.sites_quarantined = quarantined_by[static_cast<std::size_t>(kind)];
     report.faults.push_back(std::move(line));
   }
 

@@ -31,6 +31,7 @@
 #include "net/doh.h"
 #include "net/faults.h"
 #include "net/latency.h"
+#include "net/outage.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "util/intern.h"
@@ -84,6 +85,9 @@ struct FetchOutcome {
   browser::LoadStatus status = browser::LoadStatus::kOk;  // final attempt
   net::FaultKind failure = net::FaultKind::kNone;  // root cause when failed
   int failed_objects = 0;  // in the load that was kept
+  // Objects an open circuit breaker failed fast (0 unless the campaign
+  // runs under a chaos profile; see CampaignConfig::chaos).
+  int breaker_denials = 0;
 
   bool operator==(const FetchOutcome&) const = default;
 };
@@ -162,11 +166,22 @@ struct CampaignConfig {
   // page, ordinal, attempt), so the determinism guarantee above holds
   // under faults too.
   net::FaultProfile fault_profile;
+  // Correlated-outage chaos schedule (default: empty, a true no-op —
+  // outputs are bit-identical to a campaign without chaos support).
+  // When non-empty, the campaign materializes the schedule against
+  // `seed` (windows keyed by (seed, scope, window_ordinal)), consults
+  // the resulting oracle per fetch stage, and arms the defense layer:
+  // per-shard circuit breakers, hedged DNS lookups and deadline-budget
+  // propagation. Strike decisions are keyed like fault decisions, so
+  // the --jobs / kill+resume determinism guarantees hold under chaos.
+  net::OutageSchedule chaos;
   // Failed page loads are re-fetched up to this many times, with an
-  // exponential backoff gap on the shard clock between attempts.
+  // exponential backoff gap on the shard clock between attempts
+  // (doubling, capped at 32x the base).
   int max_page_retries = 2;
   double retry_backoff_s = 15.0;  // base gap; doubles per retry
-  // Page-level watchdog handed to the loader when faults are enabled.
+  // Page-level watchdog handed to the loader on every fetch (faulty or
+  // not — a fault-free pathological page must not run unbounded).
   double page_timeout_s = 60.0;
   // When non-empty, run() appends each completed shard's observations
   // to this file and, if the file already exists, resumes from it:
@@ -273,6 +288,10 @@ class MeasurementCampaign {
     browser::PageLoader loader;
     util::Rng rng;
     double clock_s = 0.0;
+    // Defense-layer circuit breakers, one per blast radius this shard
+    // touched. Untouched (and never consulted) unless the campaign runs
+    // under a chaos schedule, so chaos-free runs stay bit-identical.
+    net::BreakerSet breakers;
     // Page materialization cache and detector memos. Both are pure
     // caches: attaching or clearing them never changes campaign output.
     // The page cache is deliberately NOT wired into the shard's metrics
@@ -316,6 +335,9 @@ class MeasurementCampaign {
   browser::AdBlocker adblock_;
   browser::HbDetector hb_;
   cdn::CdnDetector detector_;
+  // config_.chaos materialized against config_.seed once per campaign;
+  // shared read-only by every shard (window activity queries are pure).
+  net::OutagePlan chaos_plan_;
   obs::RunTelemetry telemetry_;  // merged by the last run()
   ShardState local_;  // measure_site() state
 };

@@ -296,12 +296,18 @@ void write_site_record(std::ostream& out, std::size_t position,
       << (has_landing ? 1 : 0) << '\n';
   if (has_landing) write_metrics(out, o.landing);
   for (const auto& m : o.internals) write_metrics(out, m);
-  for (const auto& outcome : o.outcomes)
+  for (const auto& outcome : o.outcomes) {
     out << "outcome," << outcome.page_index << ',' << outcome.load_ordinal
         << ',' << outcome.attempts << ','
         << static_cast<unsigned>(outcome.status) << ','
         << static_cast<unsigned>(outcome.failure) << ','
-        << outcome.failed_objects << '\n';
+        << outcome.failed_objects;
+    // Optional eighth field: written only when a breaker actually
+    // denied fetches, so chaos-free checkpoints keep the historical
+    // seven-field byte layout.
+    if (outcome.breaker_denials > 0) out << ',' << outcome.breaker_denials;
+    out << '\n';
+  }
 }
 
 // Parses one site record (site line + metrics + outcomes) starting at
@@ -334,7 +340,7 @@ std::pair<std::size_t, SiteObservation> read_site_record(
   o.outcomes.reserve(n_outcomes);
   for (std::size_t k = 0; k < n_outcomes; ++k) {
     const auto f = util::split(need(i++), ',');
-    if (f.size() != 7 || f[0] != "outcome")
+    if ((f.size() != 7 && f.size() != 8) || f[0] != "outcome")
       checkpoint_fail("bad outcome record '" + lines[i - 1] + "'");
     FetchOutcome outcome;
     outcome.page_index = parse_u64(f[1], "page index");
@@ -349,9 +355,45 @@ std::pair<std::size_t, SiteObservation> read_site_record(
       checkpoint_fail("bad failure kind '" + f[5] + "'");
     outcome.failure = static_cast<net::FaultKind>(failure);
     outcome.failed_objects = parse_int(f[6], "failed objects");
+    if (f.size() == 8)
+      outcome.breaker_denials = parse_int(f[7], "breaker denials");
     o.outcomes.push_back(outcome);
   }
   return {position, std::move(o)};
+}
+
+// One shard's final circuit-breaker states as breaker lines (chaos
+// campaigns only; breaker keys never contain commas).
+void write_breaker_records(
+    std::ostream& out, const std::vector<net::BreakerSet::Record>& records) {
+  for (const auto& r : records)
+    out << "breaker," << r.key << ',' << static_cast<unsigned>(r.state) << ','
+        << r.consecutive_failures << ',' << r.opened_at_s << ','
+        << r.times_opened << ',' << r.denials << '\n';
+}
+
+// Consumes consecutive breaker lines starting at lines[i] (bounded by
+// `end`), advancing i.
+std::vector<net::BreakerSet::Record> read_breaker_lines(
+    const std::vector<std::string>& lines, std::size_t& i, std::size_t end) {
+  std::vector<net::BreakerSet::Record> records;
+  while (i < end && lines[i].rfind("breaker,", 0) == 0) {
+    const auto f = util::split(lines[i++], ',');
+    if (f.size() != 7)
+      checkpoint_fail("bad breaker record '" + lines[i - 1] + "'");
+    net::BreakerSet::Record record;
+    record.key = f[1];
+    const int state = parse_int(f[2], "breaker state");
+    if (state < 0 || state > 2)
+      checkpoint_fail("bad breaker state '" + f[2] + "'");
+    record.state = static_cast<net::BreakerState>(state);
+    record.consecutive_failures = parse_int(f[3], "breaker failures");
+    record.opened_at_s = parse_double(f[4], "breaker opened at");
+    record.times_opened = parse_u64(f[5], "breaker times opened");
+    record.denials = parse_u64(f[6], "breaker denials");
+    records.push_back(std::move(record));
+  }
+  return records;
 }
 
 // One shard's telemetry as obscounter/obsgauge/obshist/obsspan/
@@ -442,11 +484,14 @@ void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest) {
 void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const std::vector<std::size_t>& positions,
                              const std::vector<SiteObservation>& observations,
-                             const obs::ShardTelemetry* telemetry) {
+                             const obs::ShardTelemetry* telemetry,
+                             const std::vector<net::BreakerSet::Record>*
+                                 breakers) {
   const auto precision = out.precision(17);
   out << "shard," << shard << ',' << positions.size() << '\n';
   for (std::size_t position : positions)
     write_site_record(out, position, observations[position]);
+  if (breakers != nullptr) write_breaker_records(out, *breakers);
   if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
   out << "endshard," << shard << '\n';
   out.precision(precision);
@@ -486,6 +531,12 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
 
     for (std::size_t s = 0; s < n_sites; ++s)
       checkpoint.observations.push_back(read_site_record(lines, i, need));
+
+    // Optional breaker block (shards run under a chaos schedule).
+    std::vector<net::BreakerSet::Record> breakers =
+        read_breaker_lines(lines, i, end);
+    if (!breakers.empty())
+      checkpoint.breakers.emplace(shard_id, std::move(breakers));
 
     // Optional telemetry block (shards run with observability enabled).
     obs::ShardTelemetry telemetry;

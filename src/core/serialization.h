@@ -56,7 +56,14 @@ void write_measure_csv(std::ostream& out,
 //     site,<position>,<domain>,<rank>,<category>,<quarantined>,
 //          <total retries>,<n internals>,<n outcomes>,<has landing>
 //     metrics,...            (landing if present, then the internals)
-//     outcome,...            (one per attempted page fetch)
+//     outcome,...            (one per attempted page fetch; a trailing
+//          eighth field records breaker denials and is present only
+//          when nonzero, so chaos-free files keep the historical bytes)
+//   breaker,<key>,<state>,<consecutive failures>,<opened at>,
+//          <times opened>,<denials>   (optional: the shard's final
+//        circuit-breaker states under a chaos schedule; informational —
+//        a shard either completed or re-runs from scratch — but
+//        re-emitted verbatim so resumed files stay byte-identical)
 //   obscounter/obsgauge/obshist/obsspan/obsdropped,...   (optional:
 //        the shard's telemetry, so a resumed campaign's metrics/trace
 //        exports stay bit-identical to an uninterrupted run)
@@ -76,13 +83,18 @@ struct CampaignCheckpoint {
   // Telemetry of completed shards, present only for shards that ran
   // with observability enabled.
   std::map<std::size_t, obs::ShardTelemetry> telemetry;
+  // Final breaker states of completed shards, present only for shards
+  // that ran under a chaos schedule and touched at least one scope.
+  std::map<std::size_t, std::vector<net::BreakerSet::Record>> breakers;
 };
 
 void write_checkpoint_header(std::ostream& out, std::uint64_t config_digest);
 void append_checkpoint_shard(std::ostream& out, std::size_t shard,
                              const std::vector<std::size_t>& positions,
                              const std::vector<SiteObservation>& observations,
-                             const obs::ShardTelemetry* telemetry = nullptr);
+                             const obs::ShardTelemetry* telemetry = nullptr,
+                             const std::vector<net::BreakerSet::Record>*
+                                 breakers = nullptr);
 CampaignCheckpoint read_checkpoint(std::istream& in);
 
 // --- List-build checkpoints ---

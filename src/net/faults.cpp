@@ -59,8 +59,10 @@ constexpr std::array<std::pair<std::string_view, SearchField>, 4>
 double parse_rate(const std::string& text, const std::string& where) {
   char* end = nullptr;
   const double rate = std::strtod(text.c_str(), &end);
-  if (text.empty() || end == nullptr || *end != '\0' || rate < 0.0 ||
-      rate > 1.0)
+  // The negated comparison rejects NaN too (it fails every ordering);
+  // "rate < 0.0 || rate > 1.0" would wave NaN through.
+  if (text.empty() || end == nullptr || *end != '\0' ||
+      !(rate >= 0.0 && rate <= 1.0))
     throw std::invalid_argument("fault profile: bad rate '" + text + "' in " +
                                 where);
   return rate;
@@ -75,27 +77,35 @@ Profile parse_profile(const std::string& spec, const Fields& fields) {
   if (spec.empty())
     throw std::invalid_argument(
         "fault profile: empty spec (use \"none\" for no faults)");
-  if (spec.rfind("uniform:", 0) == 0) return Profile::uniform(
-      parse_rate(spec.substr(8), spec));
   Profile profile;
-  for (const std::string& part : util::split(spec, ',')) {
-    const auto eq = part.find('=');
-    if (eq == std::string::npos)
-      throw std::invalid_argument("fault profile: expected key=rate, got '" +
-                                  part + "'");
-    const std::string key = part.substr(0, eq);
-    bool known = false;
-    for (const auto& [name, field] : fields) {
-      if (key == name) {
-        profile.*field = parse_rate(part.substr(eq + 1), spec);
-        known = true;
-        break;
+  if (spec.rfind("uniform:", 0) == 0) {
+    profile = Profile::uniform(parse_rate(spec.substr(8), spec));
+  } else {
+    for (const std::string& part : util::split(spec, ',')) {
+      const auto eq = part.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument("fault profile: expected key=rate, got '" +
+                                    part + "'");
+      const std::string key = part.substr(0, eq);
+      bool known = false;
+      for (const auto& [name, field] : fields) {
+        if (key == name) {
+          profile.*field = parse_rate(part.substr(eq + 1), spec);
+          known = true;
+          break;
+        }
       }
+      if (!known)
+        throw std::invalid_argument("fault profile: unknown fault class '" +
+                                    key + "'");
     }
-    if (!known)
-      throw std::invalid_argument("fault profile: unknown fault class '" +
-                                  key + "'");
   }
+  // A spec whose class rates sum past 1 cannot describe per-fetch
+  // probabilities; fail fast instead of letting stage cascades
+  // silently saturate.
+  if (profile.total_rate() > 1.0)
+    throw std::invalid_argument("fault profile: total rate exceeds 1 in '" +
+                                spec + "'");
   return profile;
 }
 
@@ -124,7 +134,7 @@ double FaultProfile::total_rate() const {
 }
 
 FaultProfile FaultProfile::uniform(double rate) {
-  if (rate < 0.0 || rate > 1.0)
+  if (!(rate >= 0.0 && rate <= 1.0))  // negated to reject NaN as well
     throw std::invalid_argument("fault profile: uniform rate out of [0,1]");
   FaultProfile profile;
   for (const auto& [name, field] : kFields) profile.*field = rate;
@@ -146,7 +156,7 @@ double SearchFaultProfile::total_rate() const {
 }
 
 SearchFaultProfile SearchFaultProfile::uniform(double rate) {
-  if (rate < 0.0 || rate > 1.0)
+  if (!(rate >= 0.0 && rate <= 1.0))  // negated to reject NaN as well
     throw std::invalid_argument("fault profile: uniform rate out of [0,1]");
   SearchFaultProfile profile;
   for (const auto& [name, field] : kSearchFields) profile.*field = rate;

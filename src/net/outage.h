@@ -1,0 +1,290 @@
+// Correlated-outage chaos engine: incident windows with a blast radius.
+//
+// The per-fetch Bernoulli faults in net/faults.h model background noise;
+// real campaign-killers are *correlated*: a CDN provider has an incident
+// window, a resolver flakes for minutes, an origin is overloaded for a
+// whole visit, the search API rate-limits everyone at once. An
+// OutageSchedule describes such incidents as rules, each scoped to a
+// blast radius (one CDN provider, the configured resolver, one origin
+// domain, or the search API) with a FaultKind and a severity (the
+// probability that a fetch inside the window is struck).
+//
+// Windows live on the *virtual* clock. A rule is either explicit
+// (start_s/dur_s: one window) or Markov-modulated (mtbf_s/mttr_s: the
+// scope alternates between an up state with exponential(mtbf_s) holding
+// time and a down state with exponential(mttr_s) holding time, over
+// [0, horizon_s)). Markov windows are drawn from RNG streams keyed by
+// (seed, scope, window_ordinal) — never from the campaign's own
+// streams — so the schedule is identical for any --jobs value and
+// across kill + resume, and rules that share a scope share the same
+// incident clock.
+//
+// Determinism contract (mirrors net/faults.h): an empty schedule is a
+// true no-op — no branch of the load path consumes extra randomness —
+// so every PR-6 golden digest stays byte-identical. Under a nonzero
+// schedule, each strike decision is drawn from a ChaosInjector stream
+// the campaign keys per attempt, so outputs are byte-identical for any
+// --jobs value and across kill + resume.
+//
+// This header also hosts the defense layer the chaos engine exists to
+// exercise: deterministic circuit breakers (CircuitBreaker/BreakerSet)
+// that open on consecutive failures over virtual time and deny
+// non-essential fetches while open, turning a would-be quarantine into
+// a degraded-but-reported measurement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/faults.h"
+#include "util/rng.h"
+
+namespace hispar::net {
+
+// Blast radius of one outage rule.
+enum class OutageScope : std::uint8_t {
+  kCdnProvider = 0,  // every object served by one CDN provider id
+  kResolver,         // every DNS lookup (the vantage's resolver)
+  kOriginDomain,     // one origin domain and its subdomains
+  kSearchApi,        // the list builder's metered search API
+};
+
+std::string_view to_string(OutageScope scope);
+
+// Markov rules stop generating windows at this virtual-time horizon
+// unless the rule overrides horizon_s. Four hours comfortably covers
+// every campaign in the repo (shard clocks end well under an hour).
+inline constexpr double kDefaultChaosHorizonS = 14400.0;
+
+// One incident rule of an OutageSchedule.
+struct OutageRule {
+  OutageScope scope = OutageScope::kOriginDomain;
+  int provider = -1;    // cdn scope: CdnRegistry provider id
+  std::string domain;   // origin scope: registrable domain or host
+
+  // What a strike inside a window does. Page scopes use kind; the
+  // search scope uses search_kind.
+  FaultKind kind = FaultKind::kHttp5xx;
+  SearchFaultKind search_kind = SearchFaultKind::kQueryTimeout;
+  // Probability that a fetch decision inside an active window is
+  // struck; in (0, 1].
+  double severity = 1.0;
+
+  // Exactly one window shape per rule:
+  //  * explicit: start_s >= 0 and dur_s > 0 — one window;
+  //  * Markov:   mtbf_s > 0 and mttr_s > 0 — alternating up/down
+  //    holding times drawn per window ordinal, over [0, horizon_s).
+  double start_s = -1.0;
+  double dur_s = 0.0;
+  double mtbf_s = 0.0;
+  double mttr_s = 0.0;
+  double horizon_s = kDefaultChaosHorizonS;
+
+  bool markov() const { return mtbf_s > 0.0; }
+  // Stable identity of the blast radius ("cdn:2", "resolver",
+  // "origin:example.com", "search"); keys the window RNG stream.
+  std::string scope_key() const;
+};
+
+// Half-open interval of virtual seconds during which a rule is active.
+struct OutageWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+// Parsed --chaos-profile spec: an ordered list of rules.
+//
+// Grammar:  "none" | rule (';' rule)*
+//           rule   = scope ':' key '=' value (',' key '=' value)*
+//           scope  = "cdn" | "resolver" | "origin" | "search"
+// Keys: provider= (cdn, required), domain= (origin, required),
+// kind= (fault-profile field names: http_5xx, dns_timeout, ... for page
+// scopes; query_timeout, rate_limited, ... for search), sev= in (0,1]
+// (default 1), and either start_s=/dur_s= or mtbf_s=/mttr_s=
+// [,horizon_s=]. Example from the issue:
+//   cdn:provider=2,start_s=120,dur_s=300,kind=http_5xx,sev=0.9
+// parse() fails fast (std::invalid_argument) on unknown scopes/keys,
+// NaN or negative numbers, severities outside (0,1], and rules missing
+// a window shape — never a silent clamp.
+class OutageSchedule {
+ public:
+  OutageSchedule() = default;
+
+  static OutageSchedule parse(const std::string& spec);
+  // Canonical spec string; parse(str()) round-trips. Feeds checkpoint
+  // config digests, so it must stay byte-stable.
+  std::string str() const;
+
+  bool enabled() const { return !rules_.empty(); }
+  const std::vector<OutageRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<OutageRule> rules_;
+};
+
+// A schedule materialized against a campaign seed: every rule's windows
+// are pre-generated, so activity queries are pure functions of virtual
+// time. Built once per campaign and shared read-only across shards.
+class OutagePlan {
+ public:
+  struct PlannedRule {
+    OutageRule rule;
+    std::vector<OutageWindow> windows;  // in time order, non-overlapping
+    bool active(double now_s) const;
+  };
+
+  OutagePlan() = default;
+  OutagePlan(const OutageSchedule& schedule, std::uint64_t seed);
+
+  bool enabled() const { return !rules_.empty(); }
+  const std::vector<PlannedRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<PlannedRule> rules_;
+};
+
+// Chaos oracle for one page-load (or query) attempt. Mirrors
+// FaultInjector: the loader asks it, in fetch order, whether an active
+// outage strikes each stage; answers consume randomness only from the
+// injector's own keyed stream, and only when a matching rule's window
+// is active (window activity is itself deterministic), so streams stay
+// aligned for any --jobs value and across resume.
+class ChaosInjector {
+ public:
+  ChaosInjector(const OutagePlan& plan, util::Rng stream);
+
+  const OutagePlan& plan() const { return *plan_; }
+
+  // Stage decisions for the next object fetch attempt. `now_s` is the
+  // campaign virtual clock; `host` the object's host; `via_cdn` and
+  // `provider` identify the serving CDN provider if any.
+  FaultKind dns_fault(double now_s, std::string_view host);
+  FaultKind connect_fault(double now_s, std::string_view host, bool tls,
+                          bool via_cdn, int provider);
+  FaultKind response_fault(double now_s, std::string_view host, bool via_cdn,
+                           int provider);
+  FaultKind transfer_fault(double now_s, std::string_view host, bool via_cdn,
+                           int provider);
+
+  // Decision for the next search-API result page (search scope only).
+  SearchFaultKind search_fault(double now_s);
+
+  // Strikes dealt so far, indexed by kind (slot 0 stays 0). Reading
+  // never advances the stream.
+  const std::array<std::uint64_t, kFaultKindCount>& injected() const {
+    return injected_;
+  }
+  const std::array<std::uint64_t, kSearchFaultKindCount>& search_injected()
+      const {
+    return search_injected_;
+  }
+
+ private:
+  // The fetch stage a page FaultKind strikes (matches FaultInjector's
+  // stage methods).
+  enum class Stage : std::uint8_t { kDns, kConnect, kResponse, kTransfer };
+
+  FaultKind stage_fault(Stage stage, double now_s, std::string_view host,
+                        bool tls, bool via_cdn, int provider);
+
+  const OutagePlan* plan_ = nullptr;
+  util::Rng stream_;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+  std::array<std::uint64_t, kSearchFaultKindCount> search_injected_{};
+};
+
+// ---------------------------------------------------------------------
+// Circuit breakers.
+//
+// Deterministic by construction: transitions depend only on the
+// sequence of record_success/record_failure calls and the virtual
+// clock — no RNG, no wall time — so a shard replays to the same
+// breaker trajectory on every run.
+
+struct BreakerConfig {
+  // Consecutive failures that trip a closed breaker open.
+  int failure_threshold = 5;
+  // Virtual seconds an open breaker holds before admitting a probe.
+  double cooldown_s = 30.0;
+  // Consecutive probe successes that close a half-open breaker.
+  int half_open_successes = 1;
+};
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view to_string(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  // Effective state at `now_s` (an open breaker past its cooldown
+  // reports half-open without mutating).
+  BreakerState state(double now_s) const;
+
+  // Gate one request. Closed: admit. Open: deny (counted) until the
+  // cooldown elapses, then transition to half-open and admit the
+  // probe. Half-open: admit.
+  bool allow(double now_s);
+
+  // Outcome feedback for an admitted request.
+  void record_success(double now_s);
+  void record_failure(double now_s);
+
+  // Introspection / serialization.
+  int consecutive_failures() const { return consecutive_failures_; }
+  double opened_at_s() const { return opened_at_s_; }
+  std::uint64_t times_opened() const { return times_opened_; }
+  std::uint64_t denials() const { return denials_; }
+  // Restore a serialized end state (checkpoint splice re-emit).
+  void restore(BreakerState state, int consecutive_failures,
+               double opened_at_s, std::uint64_t times_opened,
+               std::uint64_t denials);
+
+ private:
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  double opened_at_s_ = 0.0;
+  std::uint64_t times_opened_ = 0;
+  std::uint64_t denials_ = 0;
+};
+
+// One shard's breakers, keyed by blast-radius identity ("origin:<host>"
+// or "cdn:<provider>"; the list builder uses "search"). std::map keeps
+// records() in key order, so serialized breaker lines are byte-stable.
+class BreakerSet {
+ public:
+  explicit BreakerSet(BreakerConfig config = {});
+
+  // The breaker for `key`, created closed on first use.
+  CircuitBreaker& at(const std::string& key);
+
+  bool empty() const { return breakers_.empty(); }
+
+  // Serialized view of every breaker this shard touched, in key order.
+  struct Record {
+    std::string key;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_s = 0.0;
+    std::uint64_t times_opened = 0;
+    std::uint64_t denials = 0;
+  };
+  std::vector<Record> records() const;
+
+  // Aggregate counters for telemetry.
+  std::uint64_t total_denials() const;
+  std::uint64_t total_times_opened() const;
+
+ private:
+  BreakerConfig config_;
+  std::map<std::string, CircuitBreaker> breakers_;
+};
+
+}  // namespace hispar::net

@@ -49,6 +49,19 @@ std::string summary_line(const RunReport& report) {
      << " degraded, " << report.sites_quarantined << " quarantined; "
      << report.total_retries << " retries, " << report.failed_fetches
      << " failed fetches, " << report.degraded_fetches << " partial loads";
+  bool any_cause = false;
+  for (const auto& fault : report.faults)
+    any_cause = any_cause || fault.sites_quarantined > 0;
+  if (any_cause) {
+    os << "; quarantined by:";
+    bool first = true;
+    for (const auto& fault : report.faults) {
+      if (fault.sites_quarantined == 0) continue;
+      os << (first ? " " : ", ") << fault.kind << ' '
+         << fault.sites_quarantined;
+      first = false;
+    }
+  }
   return os.str();
 }
 
@@ -63,14 +76,25 @@ std::string render_report_text(const RunReport& report) {
      << " partial), " << report.internal_pages_measured
      << " internal pages measured\n";
   bool any_fault = false;
-  for (const auto& fault : report.faults)
-    any_fault = any_fault || fault.failed_fetches > 0 || fault.injected > 0;
+  bool any_cause = false;
+  for (const auto& fault : report.faults) {
+    any_fault = any_fault || fault.failed_fetches > 0 || fault.injected > 0 ||
+                fault.sites_quarantined > 0;
+    any_cause = any_cause || fault.sites_quarantined > 0;
+  }
   if (any_fault) {
-    os << "  faults (injected / fetches lost):\n";
+    // The third column appears only when some root cause is known, so
+    // quarantine-free reports keep the historical bytes.
+    os << (any_cause ? "  faults (injected / fetches lost / sites lost):\n"
+                     : "  faults (injected / fetches lost):\n");
     for (const auto& fault : report.faults) {
-      if (fault.failed_fetches == 0 && fault.injected == 0) continue;
+      if (fault.failed_fetches == 0 && fault.injected == 0 &&
+          fault.sites_quarantined == 0)
+        continue;
       os << "    " << fault.kind << ": " << fault.injected << " / "
-         << fault.failed_fetches << '\n';
+         << fault.failed_fetches;
+      if (any_cause) os << " / " << fault.sites_quarantined;
+      os << '\n';
     }
   }
   if (report.telemetry) {
@@ -108,7 +132,10 @@ void write_report_json(std::ostream& out, const RunReport& report) {
     if (i) out << ',';
     out << "{\"kind\":\"" << json_escape(fault.kind)
         << "\",\"failed_fetches\":" << fault.failed_fetches
-        << ",\"injected\":" << fault.injected << '}';
+        << ",\"injected\":" << fault.injected;
+    if (fault.sites_quarantined > 0)
+      out << ",\"sites_quarantined\":" << fault.sites_quarantined;
+    out << '}';
   }
   out << "],\"caches\":{\"dns_queries\":" << report.dns_queries
       << ",\"dns_cache_hits\":" << report.dns_cache_hits

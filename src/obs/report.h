@@ -40,6 +40,11 @@ struct RunReport {
     std::string kind;                  // net::to_string(FaultKind)
     std::uint64_t failed_fetches = 0;  // outcomes whose root cause this was
     std::uint64_t injected = 0;        // injector decisions (telemetry only)
+    // Quarantined sites whose modal landing-page failure this kind was
+    // (ties to the lower kind) — "why did we lose these sites". JSON
+    // emits the member only when nonzero so fault-free reports keep the
+    // historical bytes.
+    std::uint64_t sites_quarantined = 0;
     bool operator==(const FaultLine&) const = default;
   };
   std::vector<FaultLine> faults;  // fixed FaultKind order, kNone excluded
@@ -79,6 +84,9 @@ struct RunReport {
 // Exactly the historical summary line, byte for byte:
 // "campaign: X ok, Y degraded, Z quarantined; R retries, F failed
 //  fetches, D partial loads"
+// When quarantine root causes are known (some fault line has
+// sites_quarantined > 0) a "; quarantined by: kind N, ..." suffix is
+// appended; cause-free reports keep the historical bytes.
 std::string summary_line(const RunReport& report);
 
 // Multi-line human-readable report (coverage, faults, cache hit rates,

@@ -1,0 +1,635 @@
+// Chaos engine contract tests.
+//
+// Four layers, mirroring src/net/outage.h:
+//  * grammar — the --chaos-profile spec parses field-for-field, the
+//    canonical str() round-trips (it feeds checkpoint digests), and
+//    every malformed spec fails fast instead of clamping;
+//  * windows — explicit rules yield exactly their window, Markov rules
+//    draw the same windows for the same (seed, scope, ordinal) keys on
+//    every run, and rules sharing a scope share one incident clock;
+//  * breakers — the closed/open/half-open state machine transitions on
+//    the documented thresholds over virtual time, with no RNG;
+//  * campaigns — an empty schedule is a true no-op (same bytes, same
+//    checkpoint digest), while an armed schedule keeps the --jobs and
+//    kill+resume byte-identity guarantees and surfaces its strikes in
+//    telemetry.
+//
+// The retry-budget edge (`--max-retries 0` means exactly one attempt,
+// fault or chaos notwithstanding) lives here too, for both the measure
+// and list-build campaigns.
+#include "net/outage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hispar.h"
+#include "core/list_build.h"
+#include "core/measurement.h"
+#include "core/serialization.h"
+#include "net/faults.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace hispar;
+using net::BreakerConfig;
+using net::BreakerSet;
+using net::BreakerState;
+using net::CircuitBreaker;
+using net::FaultKind;
+using net::OutagePlan;
+using net::OutageRule;
+using net::OutageSchedule;
+using net::OutageScope;
+using net::SearchFaultKind;
+
+// --- Grammar ---
+
+TEST(ChaosGrammarTest, NoneParsesToAnEmptySchedule) {
+  const OutageSchedule none = OutageSchedule::parse("none");
+  EXPECT_FALSE(none.enabled());
+  EXPECT_TRUE(none.rules().empty());
+  EXPECT_EQ(none.str(), "none");
+  EXPECT_EQ(OutageSchedule().str(), "none");
+}
+
+TEST(ChaosGrammarTest, IssueExampleParsesFieldForField) {
+  const OutageSchedule schedule = OutageSchedule::parse(
+      "cdn:provider=2,start_s=120,dur_s=300,kind=http_5xx,sev=0.9");
+  ASSERT_EQ(schedule.rules().size(), 1u);
+  const OutageRule& rule = schedule.rules()[0];
+  EXPECT_EQ(rule.scope, OutageScope::kCdnProvider);
+  EXPECT_EQ(rule.provider, 2);
+  EXPECT_EQ(rule.kind, FaultKind::kHttp5xx);
+  EXPECT_DOUBLE_EQ(rule.severity, 0.9);
+  EXPECT_DOUBLE_EQ(rule.start_s, 120.0);
+  EXPECT_DOUBLE_EQ(rule.dur_s, 300.0);
+  EXPECT_FALSE(rule.markov());
+  EXPECT_EQ(rule.scope_key(), "cdn:2");
+}
+
+TEST(ChaosGrammarTest, MultiRuleSpecRoundTripsThroughStr) {
+  const std::string spec =
+      "origin:domain=example.com,mtbf_s=200,mttr_s=100,kind=truncation,"
+      "sev=0.8;"
+      "resolver:start_s=0,dur_s=60,kind=dns_timeout,sev=0.7;"
+      "search:mtbf_s=600,mttr_s=120,kind=rate_limited,sev=0.5";
+  const OutageSchedule schedule = OutageSchedule::parse(spec);
+  ASSERT_EQ(schedule.rules().size(), 3u);
+  EXPECT_EQ(schedule.rules()[0].scope_key(), "origin:example.com");
+  EXPECT_TRUE(schedule.rules()[0].markov());
+  EXPECT_EQ(schedule.rules()[1].scope_key(), "resolver");
+  EXPECT_EQ(schedule.rules()[1].kind, FaultKind::kDnsTimeout);
+  EXPECT_EQ(schedule.rules()[2].scope_key(), "search");
+  EXPECT_EQ(schedule.rules()[2].search_kind, SearchFaultKind::kRateLimited);
+  // parse(str()) is the identity on the canonical form — the canonical
+  // string joins checkpoint config digests, so it must be stable.
+  const std::string canonical = schedule.str();
+  EXPECT_EQ(OutageSchedule::parse(canonical).str(), canonical);
+}
+
+TEST(ChaosGrammarTest, MalformedSpecsFailFast) {
+  const char* bad[] = {
+      "",                                             // empty (use "none")
+      "origin",                                       // no rule body
+      "meteor:start_s=0,dur_s=5",                     // unknown scope
+      "resolver:start_s=0,dur_s=5,color=red",         // unknown key
+      "resolver:start_s=0,dur_s=5,kind",              // key without value
+      "resolver:start_s=0,dur_s=5,kind=http_5xx",     // non-DNS resolver kind
+      "resolver:start_s=0,dur_s=5,kind=bogus",        // unknown kind
+      "search:start_s=0,dur_s=5,kind=http_5xx",       // page kind on search
+      "cdn:start_s=0,dur_s=5",                        // cdn without provider
+      "cdn:provider=1.5,start_s=0,dur_s=5",           // fractional provider
+      "cdn:provider=-1,start_s=0,dur_s=5",            // negative provider
+      "origin:start_s=0,dur_s=5",                     // origin without domain
+      "origin:domain=,start_s=0,dur_s=5",             // empty domain
+      "cdn:provider=0,domain=a.com,start_s=0,dur_s=5",  // domain on cdn
+      "resolver:kind=dns_timeout",                    // no window shape
+      "resolver:start_s=0,dur_s=5,mtbf_s=9,mttr_s=3",  // both shapes
+      "resolver:start_s=-5,dur_s=5",                  // negative start
+      "resolver:start_s=0,dur_s=0",                   // zero duration
+      "resolver:start_s=0,dur_s=-3",                  // negative duration
+      "resolver:mtbf_s=10",                           // mtbf without mttr
+      "resolver:mtbf_s=-10,mttr_s=5",                 // negative mtbf
+      "resolver:mtbf_s=10,mttr_s=5,horizon_s=-1",     // negative horizon
+      "resolver:mtbf_s=10,mttr_s=5,horizon_s=nan",    // NaN horizon
+      "resolver:start_s=nan,dur_s=5",                 // NaN number
+      "resolver:start_s=inf,dur_s=5",                 // infinite number
+      "resolver:start_s=abc,dur_s=5",                 // unparsable number
+      "resolver:start_s=5x,dur_s=5",                  // trailing garbage
+      "resolver:start_s=0,dur_s=5,sev=0",             // sev outside (0,1]
+      "resolver:start_s=0,dur_s=5,sev=1.5",
+      "resolver:start_s=0,dur_s=5,sev=-0.1",
+      "resolver:start_s=0,dur_s=5,sev=nan",
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW(OutageSchedule::parse(spec), std::invalid_argument)
+        << "accepted: '" << spec << "'";
+}
+
+// Satellite: the base fault profiles share the fail-fast philosophy. A
+// profile whose per-class rates sum past 1 cannot be a probability
+// split over one fetch, so parse() must reject it (along with NaN,
+// which fails every ordering and would otherwise slip through
+// range checks written as `rate < 0 || rate > 1`).
+TEST(ChaosGrammarTest, FaultProfilesRejectOverUnityTotalRateAndNaN) {
+  EXPECT_THROW(net::FaultProfile::parse("dns_timeout=0.6,http_5xx=0.6"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      net::SearchFaultProfile::parse("query_timeout=0.7,rate_limited=0.5"),
+      std::invalid_argument);
+  EXPECT_THROW(net::FaultProfile::parse("dns_timeout=nan"),
+               std::invalid_argument);
+  EXPECT_THROW(net::SearchFaultProfile::parse("query_timeout=nan"),
+               std::invalid_argument);
+  // A total of exactly 1.0 is a legal certain-failure profile.
+  EXPECT_NO_THROW(net::FaultProfile::parse("dns_timeout=0.5,http_5xx=0.5"));
+}
+
+// --- Windows ---
+
+TEST(ChaosWindowTest, ExplicitRuleYieldsExactlyItsHalfOpenWindow) {
+  const OutagePlan plan(
+      OutageSchedule::parse("resolver:start_s=120,dur_s=300,kind=dns_timeout"),
+      /*seed=*/7);
+  ASSERT_EQ(plan.rules().size(), 1u);
+  const auto& rule = plan.rules()[0];
+  ASSERT_EQ(rule.windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rule.windows[0].start_s, 120.0);
+  EXPECT_DOUBLE_EQ(rule.windows[0].end_s, 420.0);
+  EXPECT_FALSE(rule.active(119.9));
+  EXPECT_TRUE(rule.active(120.0));
+  EXPECT_TRUE(rule.active(419.9));
+  EXPECT_FALSE(rule.active(420.0));  // half-open: end excluded
+  EXPECT_FALSE(rule.active(1e9));
+}
+
+TEST(ChaosWindowTest, MarkovWindowsAreKeyedBySeedOrderedAndBounded) {
+  const OutageSchedule schedule = OutageSchedule::parse(
+      "origin:domain=a.com,mtbf_s=300,mttr_s=60,kind=http_5xx,"
+      "horizon_s=7200");
+  const OutagePlan first(schedule, 42);
+  const OutagePlan again(schedule, 42);
+  const OutagePlan other(schedule, 43);
+
+  ASSERT_EQ(first.rules().size(), 1u);
+  const auto& windows = first.rules()[0].windows;
+  ASSERT_FALSE(windows.empty()) << "7200s horizon with mtbf 300 drew nothing";
+
+  // Ordered, non-overlapping, positive-length, starting inside the
+  // horizon (a window may *end* past it — incidents do not stop at
+  // midnight).
+  double previous_end = 0.0;
+  for (const auto& window : windows) {
+    EXPECT_GE(window.start_s, previous_end);
+    EXPECT_GT(window.end_s, window.start_s);
+    EXPECT_LT(window.start_s, 7200.0);
+    previous_end = window.end_s;
+  }
+
+  // Same seed: byte-equal schedule. Different seed: a different one.
+  ASSERT_EQ(again.rules()[0].windows.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.rules()[0].windows[i].start_s, windows[i].start_s);
+    EXPECT_DOUBLE_EQ(again.rules()[0].windows[i].end_s, windows[i].end_s);
+  }
+  const auto& shifted = other.rules()[0].windows;
+  bool any_difference = shifted.size() != windows.size();
+  for (std::size_t i = 0; !any_difference && i < windows.size(); ++i)
+    any_difference = shifted[i].start_s != windows[i].start_s;
+  EXPECT_TRUE(any_difference) << "seed does not key the Markov windows";
+}
+
+TEST(ChaosWindowTest, RulesSharingAScopeShareOneIncidentClock) {
+  // Two rules, same blast radius, different strike kinds: the windows
+  // must coincide — one incident clock per scope, not per rule.
+  const OutagePlan plan(
+      OutageSchedule::parse(
+          "origin:domain=a.com,mtbf_s=240,mttr_s=60,kind=http_5xx;"
+          "origin:domain=a.com,mtbf_s=240,mttr_s=60,kind=stall"),
+      /*seed=*/11);
+  ASSERT_EQ(plan.rules().size(), 2u);
+  const auto& a = plan.rules()[0].windows;
+  const auto& b = plan.rules()[1].windows;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].start_s, b[i].start_s);
+    EXPECT_DOUBLE_EQ(a[i].end_s, b[i].end_s);
+  }
+}
+
+// --- Circuit breakers ---
+
+TEST(CircuitBreakerTest, OpensOnConsecutiveFailuresAndCoolsDown) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_s = 30.0;
+  CircuitBreaker breaker(config);
+
+  // Interleaved successes reset the consecutive count: no trip.
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  breaker.record_success(3.0);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.state(3.0), BreakerState::kClosed);
+
+  // Three consecutive failures trip it open at the third.
+  breaker.record_failure(4.0);
+  breaker.record_failure(5.0);
+  EXPECT_TRUE(breaker.allow(5.5));  // still closed at two failures
+  breaker.record_failure(6.0);
+  EXPECT_EQ(breaker.state(6.0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_DOUBLE_EQ(breaker.opened_at_s(), 6.0);
+
+  // While open, allow() denies and counts.
+  EXPECT_FALSE(breaker.allow(10.0));
+  EXPECT_FALSE(breaker.allow(35.9));
+  EXPECT_EQ(breaker.denials(), 2u);
+
+  // Past the cooldown the next allow() admits a half-open probe.
+  EXPECT_EQ(breaker.state(36.0), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(36.0));
+  // The probe fails: back to open, cooldown restarts from now.
+  breaker.record_failure(36.5);
+  EXPECT_EQ(breaker.state(36.5), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.allow(60.0));  // old deadline would have passed
+
+  // Second probe succeeds: closed, failure count cleared.
+  EXPECT_TRUE(breaker.allow(70.0));
+  breaker.record_success(70.5);
+  EXPECT_EQ(breaker.state(70.5), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // One lone failure after recovery does not re-trip.
+  breaker.record_failure(71.0);
+  EXPECT_EQ(breaker.state(71.0), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, BreakerSetRecordsInKeyOrderAndRestores) {
+  BreakerSet set;
+  set.at("origin:b.com").record_failure(1.0);
+  for (int i = 0; i < 5; ++i) set.at("cdn:1").record_failure(double(i));
+  EXPECT_FALSE(set.at("cdn:1").allow(5.0));
+  set.at("search");  // created closed, still serialized
+
+  const auto records = set.records();
+  ASSERT_EQ(records.size(), 3u);  // std::map: lexicographic key order
+  EXPECT_EQ(records[0].key, "cdn:1");
+  EXPECT_EQ(records[0].state, BreakerState::kOpen);
+  EXPECT_EQ(records[0].times_opened, 1u);
+  EXPECT_EQ(records[0].denials, 1u);
+  EXPECT_EQ(records[1].key, "origin:b.com");
+  EXPECT_EQ(records[1].consecutive_failures, 1);
+  EXPECT_EQ(records[2].key, "search");
+  EXPECT_EQ(records[2].state, BreakerState::kClosed);
+  EXPECT_EQ(set.total_times_opened(), 1u);
+  EXPECT_EQ(set.total_denials(), 1u);
+
+  // restore() round-trips through records(): the spliced breaker makes
+  // the same decisions as the original.
+  BreakerSet revived;
+  for (const auto& record : records)
+    revived.at(record.key).restore(record.state, record.consecutive_failures,
+                                   record.opened_at_s, record.times_opened,
+                                   record.denials);
+  const auto echoed = revived.records();
+  ASSERT_EQ(echoed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(echoed[i].key, records[i].key);
+    EXPECT_EQ(echoed[i].state, records[i].state);
+    EXPECT_EQ(echoed[i].consecutive_failures, records[i].consecutive_failures);
+    EXPECT_EQ(echoed[i].opened_at_s, records[i].opened_at_s);
+    EXPECT_EQ(echoed[i].times_opened, records[i].times_opened);
+    EXPECT_EQ(echoed[i].denials, records[i].denials);
+  }
+  EXPECT_FALSE(revived.at("cdn:1").allow(5.0));  // still open, still denying
+}
+
+// --- Campaign-level contracts ---
+
+class ChaosCampaignTest : public ::testing::Test {
+ protected:
+  ChaosCampaignTest()
+      : web_({150, 37, 300, false}), toplists_(web_), engine_(web_) {}
+
+  core::HisparList build_list(std::size_t sites) {
+    core::HisparBuilder builder(web_, toplists_, engine_);
+    core::HisparConfig config;
+    config.target_sites = sites;
+    config.urls_per_site = 6;  // small sets keep the test fast
+    config.min_internal_results = 4;
+    return builder.build(config, 0);
+  }
+
+  // A storm touching every page-scope blast radius; `victim` anchors
+  // the origin rule on a domain the campaign actually visits. The
+  // origin and resolver windows open at t=0 so small test campaigns
+  // (whose shard clocks end after a few tens of virtual seconds) are
+  // guaranteed strikes; the Markov CDN rule adds coverage of drawn
+  // windows without the test depending on one landing early.
+  static std::string storm_spec(const std::string& victim) {
+    return "origin:domain=" + victim +
+           ",start_s=0,dur_s=1e6,kind=truncation,sev=0.8;"
+           "resolver:start_s=2,dur_s=20,kind=dns_timeout,sev=0.6;"
+           "cdn:provider=0,mtbf_s=20,mttr_s=10,kind=stall,sev=0.9";
+  }
+
+  struct RunBytes {
+    std::string csv;
+    std::string metrics;
+    std::string trace;
+  };
+
+  RunBytes run(const core::HisparList& list, core::CampaignConfig config) {
+    config.observability.enabled = true;
+    core::MeasurementCampaign campaign(web_, config);
+    const auto sites = campaign.run(list);
+    RunBytes bytes;
+    std::ostringstream csv;
+    core::write_measure_csv(csv, sites);
+    bytes.csv = csv.str();
+    std::ostringstream metrics;
+    campaign.telemetry().metrics.write_json(metrics);
+    bytes.metrics = metrics.str();
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace, campaign.telemetry().spans);
+    bytes.trace = trace.str();
+    return bytes;
+  }
+
+  static std::string temp_path(const char* name) {
+    return std::string("/tmp/hispar_chaos_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + name;
+  }
+
+  web::SyntheticWeb web_;
+  toplist::TopListFactory toplists_;
+  search::SearchEngine engine_;
+};
+
+TEST_F(ChaosCampaignTest, EmptyScheduleIsATrueNoOp) {
+  const auto list = build_list(8);
+  core::CampaignConfig plain;
+  plain.landing_loads = 2;
+  core::CampaignConfig disarmed = plain;
+  disarmed.chaos = OutageSchedule::parse("none");
+
+  const RunBytes a = run(list, plain);
+  const RunBytes b = run(list, disarmed);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace, b.trace);
+  // No chaos or breaker telemetry leaks into a chaos-free run, and the
+  // checkpoint digest gains its |chaos| component only when armed.
+  EXPECT_EQ(a.metrics.find("chaos."), std::string::npos);
+  EXPECT_EQ(a.metrics.find("breaker."), std::string::npos);
+  core::CampaignConfig armed = plain;
+  armed.chaos =
+      OutageSchedule::parse("resolver:start_s=0,dur_s=60,kind=dns_timeout");
+  const auto digest_of = [&](const core::CampaignConfig& config) {
+    return core::MeasurementCampaign(web_, config).checkpoint_digest(list);
+  };
+  EXPECT_EQ(digest_of(plain), digest_of(disarmed));
+  EXPECT_NE(digest_of(armed), digest_of(plain));
+}
+
+TEST_F(ChaosCampaignTest, StrikesAndDefensesSurfaceInTelemetry) {
+  const auto list = build_list(10);
+  core::CampaignConfig config;
+  config.landing_loads = 2;
+  config.chaos = OutageSchedule::parse(storm_spec(list.sets.front().domain));
+
+  const RunBytes chaotic = run(list, config);
+  core::CampaignConfig plain;
+  plain.landing_loads = 2;
+  const RunBytes calm = run(list, plain);
+
+  EXPECT_NE(chaotic.csv, calm.csv) << "storm changed nothing";
+  EXPECT_NE(chaotic.metrics.find("chaos.injected."), std::string::npos);
+  // The defense layer is armed whenever the schedule is: every fetch
+  // outcome feeds a breaker, so the scope gauge is always exported.
+  EXPECT_NE(chaotic.metrics.find("breaker.scopes"), std::string::npos);
+}
+
+TEST_F(ChaosCampaignTest, JobsNeverChangeArtifactBytesUnderChaos) {
+  const auto list = build_list(10);
+  core::CampaignConfig config;
+  config.landing_loads = 2;
+  config.shards = 4;
+  config.fault_profile = net::FaultProfile::uniform(0.03);
+  config.chaos = OutageSchedule::parse(storm_spec(list.sets.front().domain));
+
+  config.jobs = 1;
+  const RunBytes reference = run(list, config);
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    config.jobs = jobs;
+    const RunBytes other = run(list, config);
+    EXPECT_EQ(reference.csv, other.csv) << "CSV differs at jobs " << jobs;
+    EXPECT_EQ(reference.metrics, other.metrics)
+        << "metrics differ at jobs " << jobs;
+    EXPECT_EQ(reference.trace, other.trace) << "trace differs at jobs " << jobs;
+  }
+}
+
+TEST_F(ChaosCampaignTest, ResumeFromKilledCampaignIsIdenticalUnderChaos) {
+  const auto list = build_list(10);
+  core::CampaignConfig config;
+  config.landing_loads = 2;
+  config.shards = 4;
+  config.chaos = OutageSchedule::parse(storm_spec(list.sets.front().domain));
+
+  const RunBytes uninterrupted = run(list, config);
+
+  // Write a full checkpoint, then tear it mid-block the way a kill
+  // would: header + first complete shard + half a line of the second.
+  const std::string full_path = temp_path("full");
+  std::remove(full_path.c_str());
+  config.checkpoint_path = full_path;
+  run(list, config);
+
+  std::ifstream full(full_path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(full, line);) lines.push_back(line);
+  full.close();
+  std::size_t first_end = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (lines[i].rfind("endshard,", 0) == 0) {
+      first_end = i;
+      break;
+    }
+  ASSERT_GT(first_end, 0u) << "campaign wrote no complete shard";
+  ASSERT_GT(lines.size(), first_end + 2) << "need a second block to tear";
+
+  const std::string torn_path = temp_path("torn");
+  {
+    std::ofstream torn(torn_path);
+    for (std::size_t i = 0; i <= first_end + 1; ++i) torn << lines[i] << '\n';
+    torn << lines[first_end + 2].substr(0, lines[first_end + 2].size() / 2);
+  }
+
+  config.checkpoint_path = torn_path;
+  const RunBytes resumed = run(list, config);
+  EXPECT_EQ(uninterrupted.csv, resumed.csv);
+  EXPECT_EQ(uninterrupted.metrics, resumed.metrics);
+  EXPECT_EQ(uninterrupted.trace, resumed.trace);
+
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
+}
+
+TEST_F(ChaosCampaignTest, MaxRetriesZeroMeansExactlyOneAttempt) {
+  const auto list = build_list(6);
+  core::CampaignConfig config;
+  config.landing_loads = 2;
+  config.max_page_retries = 0;
+  config.fault_profile.dns_timeout = 1.0;
+  core::MeasurementCampaign campaign(web_, config);
+  const auto sites = campaign.run(list);
+  for (const auto& site : sites) {
+    EXPECT_TRUE(site.quarantined);
+    EXPECT_EQ(site.total_retries, 0);
+    for (const auto& outcome : site.outcomes) {
+      EXPECT_EQ(outcome.attempts, 1);
+      EXPECT_EQ(outcome.status, browser::LoadStatus::kFailed);
+    }
+  }
+  // The same budget under chaos instead of base faults: still exactly
+  // one attempt per fetch, no backoff stream consumed.
+  core::CampaignConfig chaotic;
+  chaotic.landing_loads = 2;
+  chaotic.max_page_retries = 0;
+  chaotic.chaos =
+      OutageSchedule::parse("resolver:start_s=0,dur_s=1e6,kind=dns_timeout");
+  core::MeasurementCampaign storm(web_, chaotic);
+  for (const auto& site : storm.run(list)) {
+    EXPECT_EQ(site.total_retries, 0);
+    for (const auto& outcome : site.outcomes) EXPECT_EQ(outcome.attempts, 1);
+  }
+}
+
+// --- List-build campaign under search-scope chaos ---
+
+class ChaosListBuildTest : public ChaosCampaignTest {
+ protected:
+  core::ListBuildConfig build_config() {
+    core::ListBuildConfig config;
+    config.list.target_sites = 10;
+    config.list.urls_per_site = 6;
+    config.list.min_internal_results = 4;
+    config.weeks = 2;
+    config.shards = 4;
+    return config;
+  }
+
+  struct BuildBytes {
+    std::string lists;
+    std::string metrics;
+    core::ListBuildResult result;
+  };
+
+  BuildBytes run_build(core::ListBuildConfig config) {
+    config.observability.enabled = true;
+    core::ListBuildCampaign campaign(web_, toplists_, config);
+    BuildBytes bytes;
+    bytes.result = campaign.run();
+    for (const auto& list : bytes.result.lists)
+      bytes.lists += core::to_csv(list);
+    std::ostringstream metrics;
+    campaign.telemetry().metrics.write_json(metrics);
+    bytes.metrics = metrics.str();
+    return bytes;
+  }
+};
+
+TEST_F(ChaosListBuildTest, CertainSearchOutageQuarantinesWithoutBilling) {
+  core::ListBuildConfig config = build_config();
+  config.chaos =
+      OutageSchedule::parse("search:start_s=0,dur_s=1e7,kind=rate_limited");
+
+  const BuildBytes bytes = run_build(config);
+  for (const auto& week : bytes.result.weeks) {
+    EXPECT_EQ(week.sites_accepted, 0u);
+    EXPECT_GT(week.sites_quarantined, 0u);
+    // Chaos strikes (and breaker fast-fails) precede the engine call:
+    // an outage that kills every query must bill none.
+    EXPECT_EQ(week.queries_billed, 0u);
+    // Every quarantine is attributed to the striking kind.
+    EXPECT_EQ(week.quarantined_by[static_cast<std::size_t>(
+                  SearchFaultKind::kRateLimited)],
+              week.sites_quarantined);
+  }
+  EXPECT_NE(bytes.metrics.find("chaos.injected."), std::string::npos);
+  EXPECT_NE(bytes.metrics.find("breaker."), std::string::npos);
+}
+
+TEST_F(ChaosListBuildTest, JobsNeverChangeBuildBytesUnderChaos) {
+  core::ListBuildConfig config = build_config();
+  config.chaos = OutageSchedule::parse(
+      "search:start_s=0,dur_s=1e6,kind=query_timeout,sev=0.5");
+
+  config.jobs = 1;
+  const BuildBytes reference = run_build(config);
+  EXPECT_NE(reference.metrics.find("chaos.injected."), std::string::npos)
+      << "chaos profile injected nothing; the cell tests nothing";
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    config.jobs = jobs;
+    const BuildBytes other = run_build(config);
+    EXPECT_EQ(reference.lists, other.lists) << "lists differ at jobs " << jobs;
+    EXPECT_EQ(reference.metrics, other.metrics)
+        << "metrics differ at jobs " << jobs;
+  }
+}
+
+TEST_F(ChaosListBuildTest, CheckpointExtensionIsIdenticalUnderChaos) {
+  core::ListBuildConfig config = build_config();
+  config.chaos = OutageSchedule::parse(
+      "search:start_s=0,dur_s=1e6,kind=query_timeout,sev=0.5");
+
+  const BuildBytes uninterrupted = run_build(config);
+
+  // Week 1 runs to a checkpoint; the "resumed" campaign extends the
+  // same file to week 2. Splice + extension must reproduce the
+  // uninterrupted bytes — breaker and chaos state are rebuilt per
+  // week, never carried across the checkpoint boundary.
+  const std::string path = temp_path("weekly");
+  std::remove(path.c_str());
+  core::ListBuildConfig first = config;
+  first.weeks = 1;
+  first.checkpoint_path = path;
+  run_build(first);
+
+  core::ListBuildConfig second = config;
+  second.checkpoint_path = path;
+  const BuildBytes resumed = run_build(second);
+  EXPECT_EQ(uninterrupted.lists, resumed.lists);
+  EXPECT_EQ(uninterrupted.metrics, resumed.metrics);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosListBuildTest, MaxQueryRetriesZeroMeansExactlyOneAttempt) {
+  core::ListBuildConfig config = build_config();
+  config.max_query_retries = 0;
+  config.chaos =
+      OutageSchedule::parse("search:start_s=0,dur_s=1e7,kind=quota_exceeded");
+  const BuildBytes bytes = run_build(config);
+  for (const auto& week : bytes.result.weeks) {
+    EXPECT_EQ(week.retries, 0u);
+    EXPECT_GT(week.sites_quarantined, 0u);
+  }
+  // And with base faults instead of chaos: same single-attempt budget.
+  core::ListBuildConfig faulty = build_config();
+  faulty.max_query_retries = 0;
+  faulty.fault_profile = net::SearchFaultProfile::uniform(0.1);
+  for (const auto& week : run_build(faulty).result.weeks)
+    EXPECT_EQ(week.retries, 0u);
+}
+
+}  // namespace

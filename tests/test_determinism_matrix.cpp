@@ -24,6 +24,7 @@
 #include "core/measurement.h"
 #include "core/serialization.h"
 #include "core/vantage.h"
+#include "net/outage.h"
 #include "net/vantage_profile.h"
 #include "obs/trace.h"
 
@@ -50,12 +51,14 @@ class DeterminismMatrixTest : public ::testing::Test {
   }
 
   RunBytes run(std::uint64_t seed, std::size_t jobs,
-               const std::string& fault_profile) {
+               const std::string& fault_profile,
+               const std::string& chaos_profile = "none") {
     core::CampaignConfig config;
     config.landing_loads = 3;
     config.seed = seed;
     config.jobs = jobs;
     config.fault_profile = net::FaultProfile::parse(fault_profile);
+    config.chaos = net::OutageSchedule::parse(chaos_profile);
     config.observability.enabled = true;
     core::MeasurementCampaign campaign(web_, config);
     const auto sites = campaign.run(list_);
@@ -101,6 +104,46 @@ TEST_F(DeterminismMatrixTest, JobsNeverChangeAnyArtifactByte) {
         const RunBytes other = run(seed, jobs[i], profile);
         const std::string cell = "seed " + std::to_string(seed) + ", " +
                                  profile + ", jobs " +
+                                 std::to_string(jobs[i]) + " vs 1";
+        EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
+        EXPECT_EQ(reference.metrics, other.metrics)
+            << "metrics JSON differs: " << cell;
+        EXPECT_EQ(reference.trace, other.trace)
+            << "trace JSON differs: " << cell;
+      }
+    }
+  }
+}
+
+// The chaos axis: a correlated-outage schedule arms the whole defense
+// layer (per-shard breakers, hedged lookups, deadline budgets), all of
+// which must stay keyed off the virtual clock and the campaign seed —
+// never off scheduling — so `jobs` still changes no artifact byte.
+// Runs both alone and stacked on background faults (the soak harness's
+// hardest cell: chaos strikes only where the base fault didn't).
+TEST_F(DeterminismMatrixTest, JobsNeverChangeAnyArtifactByteUnderChaos) {
+  const std::uint64_t seeds[] = {20200312u, 7u};
+  const std::size_t jobs[] = {1, 2, 8};
+  const std::string profiles[] = {"none", "uniform:0.05"};
+  // Explicit windows open at t=0 so these short campaigns (shard
+  // clocks end after tens of virtual seconds) are guaranteed strikes;
+  // the Markov CDN rule exercises drawn windows without the cell
+  // depending on one landing early.
+  const std::string chaos =
+      "origin:domain=" + list_.sets.front().domain +
+      ",start_s=0,dur_s=1e6,kind=truncation,sev=0.8;"
+      "resolver:start_s=2,dur_s=20,kind=dns_timeout,sev=0.6;"
+      "cdn:provider=0,mtbf_s=20,mttr_s=10,kind=stall,sev=0.9";
+
+  for (const std::uint64_t seed : seeds) {
+    for (const std::string& profile : profiles) {
+      const RunBytes reference = run(seed, jobs[0], profile, chaos);
+      EXPECT_NE(reference.metrics.find("chaos.injected."), std::string::npos)
+          << "seed " << seed << ": chaos schedule struck nothing";
+      for (std::size_t i = 1; i < std::size(jobs); ++i) {
+        const RunBytes other = run(seed, jobs[i], profile, chaos);
+        const std::string cell = "seed " + std::to_string(seed) + ", " +
+                                 profile + " + chaos, jobs " +
                                  std::to_string(jobs[i]) + " vs 1";
         EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
         EXPECT_EQ(reference.metrics, other.metrics)

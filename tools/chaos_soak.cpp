@@ -1,0 +1,428 @@
+// chaos_soak — deterministic soak harness for the chaos engine.
+//
+// Drives the measurement campaign through an escalating sequence of
+// --chaos-profile stages (no chaos, one origin incident, a Markov
+// resolver flake, a two-provider CDN storm, then everything at once)
+// and asserts, per stage, the invariants the chaos engine promises:
+//
+//  * watchdog    — every campaign run finishes within --watchdog-s of
+//                  wall clock (a hang is reported and the process hard
+//                  exits, so CI cannot wedge);
+//  * clocks      — every shard's final virtual clock is finite and
+//                  non-negative, and no artifact contains nan/inf;
+//  * breakers    — checkpointed circuit-breaker records are legal
+//                  (denials only while open, non-closed states imply an
+//                  opening, no negative counters);
+//  * determinism — --jobs 1 and --jobs 8 produce byte-identical
+//                  metrics CSV and run report, and the same checkpoint
+//                  content (shard blocks are appended in completion
+//                  order, so they are compared sorted); a second
+//                  --jobs 1 run reproduces the same bytes; and a
+//                  torn-tail checkpoint (simulated kill) resumes to
+//                  the same bytes, rewriting the same checkpoint.
+//
+// The stage results are written as a JSON invariant report
+// (--report FILE) for CI artifact upload. Exit status: 0 when every
+// invariant held, 1 on any violation, 2 on a watchdog hang.
+//
+// Scale flags (--universe/--sites/--loads/--stages) exist so sanitizer
+// CI can run a reduced soak; defaults are the full local soak.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hispar.h"
+#include "core/measurement.h"
+#include "core/serialization.h"
+#include "net/outage.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "search/engine.h"
+#include "toplist/providers.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "web/generator.h"
+
+namespace {
+
+using namespace hispar;
+
+struct Stage {
+  std::string name;
+  std::string profile;  // OutageSchedule spec ("" = empty schedule)
+};
+
+struct StageResult {
+  std::string name;
+  std::string profile;
+  int runs = 0;
+  std::vector<std::string> violations;
+};
+
+// Everything one campaign run produces that the invariants inspect.
+struct RunArtifacts {
+  std::string csv;
+  std::string report;
+  std::string checkpoint;
+  std::vector<std::pair<std::string, double>> clock_gauges;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Runs `fn` on a worker thread and waits up to `seconds` of wall
+// clock. A campaign that outlives the watchdog is exactly the hang the
+// soak exists to catch: report, flush, and hard-exit (the worker
+// cannot be joined).
+void write_report_file(const std::string& path,
+                       const std::vector<StageResult>& stages);
+
+class Watchdog {
+ public:
+  Watchdog(double seconds, std::string report_path,
+           const std::vector<StageResult>* stages)
+      : seconds_(seconds),
+        report_path_(std::move(report_path)),
+        stages_(stages) {}
+
+  template <typename F>
+  void run(const std::string& what, F&& fn) {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+    std::thread worker([&] {
+      try {
+        fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        done = true;
+      }
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!cv.wait_for(lock, std::chrono::duration<double>(seconds_),
+                     [&] { return done; })) {
+      worker.detach();
+      std::cerr << "chaos_soak: WATCHDOG: " << what << " still running after "
+                << seconds_ << " s\n";
+      if (!report_path_.empty() && stages_ != nullptr)
+        write_report_file(report_path_, *stages_);
+      std::_Exit(2);
+    }
+    worker.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  double seconds_;
+  std::string report_path_;
+  const std::vector<StageResult>* stages_;
+};
+
+RunArtifacts run_campaign(const web::SyntheticWeb& web,
+                          const core::HisparList& list,
+                          core::CampaignConfig config,
+                          const std::string& checkpoint_path) {
+  config.checkpoint_path = checkpoint_path;
+  config.observability.enabled = true;
+  core::MeasurementCampaign campaign(web, config);
+  const auto sites = campaign.run(list);
+
+  RunArtifacts artifacts;
+  std::ostringstream csv;
+  core::write_measure_csv(csv, sites);
+  artifacts.csv = csv.str();
+  std::ostringstream report;
+  obs::write_report_json(
+      report, core::build_run_report(sites, campaign.telemetry()));
+  artifacts.report = report.str();
+  artifacts.checkpoint = slurp(checkpoint_path);
+  for (const auto& [name, value] : campaign.telemetry().metrics.gauges())
+    if (name.size() > 12 &&
+        name.compare(name.size() - 12, 12, ".clock_end_s") == 0)
+      artifacts.clock_gauges.emplace_back(name, value);
+  return artifacts;
+}
+
+void check_clocks(const RunArtifacts& run, const std::string& label,
+                  StageResult& stage) {
+  for (const auto& [name, value] : run.clock_gauges)
+    if (!std::isfinite(value) || value < 0.0)
+      stage.violations.push_back(label + ": virtual clock " + name +
+                                 " is not finite and non-negative");
+  for (const char* needle : {"nan", "inf"})
+    if (run.csv.find(needle) != std::string::npos)
+      stage.violations.push_back(label + ": metrics CSV contains '" +
+                                 needle + "'");
+}
+
+void check_breakers(const RunArtifacts& run, const std::string& label,
+                    bool chaos_enabled, StageResult& stage) {
+  std::istringstream in(run.checkpoint);
+  core::CampaignCheckpoint checkpoint;
+  try {
+    checkpoint = core::read_checkpoint(in);
+  } catch (const std::exception& error) {
+    stage.violations.push_back(label + ": checkpoint unreadable: " +
+                               error.what());
+    return;
+  }
+  if (!chaos_enabled && !checkpoint.breakers.empty())
+    stage.violations.push_back(
+        label + ": breaker records present without a chaos schedule");
+  for (const auto& [shard, records] : checkpoint.breakers) {
+    for (const auto& record : records) {
+      const std::string where =
+          label + ": shard " + std::to_string(shard) + " breaker '" +
+          record.key + "'";
+      if (record.consecutive_failures < 0)
+        stage.violations.push_back(where + " has negative failure count");
+      if (!std::isfinite(record.opened_at_s) || record.opened_at_s < 0.0)
+        stage.violations.push_back(where + " has an illegal opened_at_s");
+      // Denials are only dealt by an open breaker, and any non-closed
+      // end state implies the breaker opened at least once.
+      if (record.denials > 0 && record.times_opened == 0)
+        stage.violations.push_back(where + " denied without ever opening");
+      if (record.state != net::BreakerState::kClosed &&
+          record.times_opened == 0)
+        stage.violations.push_back(where +
+                                   " is non-closed but never opened");
+    }
+  }
+}
+
+// Shard blocks are appended in completion order, which legitimately
+// varies with --jobs (resume rewrites the file in shard-id order).
+// Canonicalize by sorting the blocks before comparing, so the check
+// covers content without tripping on append order.
+std::string canonical_checkpoint(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::string line, header;
+  std::vector<std::string> blocks;
+  std::string current;
+  while (std::getline(in, line)) {
+    if (header.empty()) {
+      header = line;
+      continue;
+    }
+    current += line;
+    current += '\n';
+    if (line.rfind("endshard,", 0) == 0) {
+      blocks.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::string out = header + '\n';
+  for (const auto& block : blocks) out += block;
+  out += current;  // torn tail, if any — must compare equal too
+  return out;
+}
+
+void check_identical(const RunArtifacts& a, const RunArtifacts& b,
+                     const std::string& what, StageResult& stage,
+                     bool exact_checkpoint) {
+  if (a.csv != b.csv)
+    stage.violations.push_back(what + ": metrics CSV bytes differ");
+  if (a.report != b.report)
+    stage.violations.push_back(what + ": run report bytes differ");
+  const bool checkpoints_match =
+      exact_checkpoint
+          ? a.checkpoint == b.checkpoint
+          : canonical_checkpoint(a.checkpoint) ==
+                canonical_checkpoint(b.checkpoint);
+  if (!checkpoints_match)
+    stage.violations.push_back(what + ": checkpoint bytes differ");
+}
+
+// Simulated kill: keep the header and the first completed shard block,
+// then tear mid-record. read_checkpoint must discard the torn tail and
+// the resumed campaign must rebuild byte-identical artifacts.
+std::string torn_prefix(const std::string& checkpoint) {
+  const std::size_t first_end = checkpoint.find("\nendshard,");
+  if (first_end == std::string::npos) return checkpoint;
+  const std::size_t block_end = checkpoint.find('\n', first_end + 1);
+  if (block_end == std::string::npos) return checkpoint;
+  // Keep one complete block plus half of the next block's first line.
+  const std::size_t tear =
+      std::min(checkpoint.size(), block_end + 1 + 30);
+  return checkpoint.substr(0, tear);
+}
+
+void write_report_file(const std::string& path,
+                       const std::vector<StageResult>& stages) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "chaos_soak: cannot write --report file: " << path << "\n";
+    return;
+  }
+  std::size_t total = 0;
+  for (const auto& stage : stages) total += stage.violations.size();
+  out << "{\"schema\":\"hispar-chaos-soak-v1\",\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageResult& stage = stages[i];
+    if (i) out << ',';
+    out << "{\"name\":\"" << obs::json_escape(stage.name)
+        << "\",\"profile\":\"" << obs::json_escape(stage.profile)
+        << "\",\"runs\":" << stage.runs << ",\"violations\":[";
+    for (std::size_t v = 0; v < stage.violations.size(); ++v) {
+      if (v) out << ',';
+      out << '"' << obs::json_escape(stage.violations[v]) << '"';
+    }
+    out << "]}";
+  }
+  out << "],\"total_violations\":" << total << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = util::Args::parse(argc, argv);
+    const auto universe =
+        static_cast<std::size_t>(args.get_int("universe", 900));
+    const auto target_sites =
+        static_cast<std::size_t>(args.get_int("sites", 48));
+    const int loads = static_cast<int>(args.get_int("loads", 4));
+    const double watchdog_s = args.get_double("watchdog-s", 120.0);
+    const std::string report_path = args.get("report", "");
+    const auto max_stages =
+        static_cast<std::size_t>(args.get_int("stages", 99));
+
+    // One small world shared by every stage.
+    web::SyntheticWebConfig web_config;
+    web_config.site_count = universe;
+    web::SyntheticWeb web(web_config);
+    toplist::TopListFactory toplists(web);
+    search::SearchEngine engine(web);
+    core::HisparBuilder builder(web, toplists, engine);
+    core::HisparConfig list_config;
+    list_config.name = "soak";
+    list_config.target_sites = target_sites;
+    list_config.urls_per_site = 8;
+    list_config.min_internal_results = 3;
+    const core::HisparList list = builder.build(list_config, /*week=*/0);
+    if (list.sets.empty())
+      throw std::runtime_error("chaos_soak: built an empty list");
+    const std::string victim = list.sets.front().domain;
+
+    const std::vector<Stage> all_stages = {
+        {"baseline", ""},
+        {"origin-incident",
+         "origin:domain=" + victim +
+             ",start_s=0,dur_s=600,kind=http_5xx,sev=0.9"},
+        {"resolver-flake",
+         "resolver:mtbf_s=240,mttr_s=60,kind=dns_timeout,sev=0.7"},
+        {"cdn-storm",
+         "cdn:provider=0,start_s=30,dur_s=600,kind=stall,sev=0.9;"
+         "cdn:provider=1,mtbf_s=300,mttr_s=120,kind=connection_reset,"
+         "sev=0.6"},
+        {"everything",
+         "origin:domain=" + victim +
+             ",mtbf_s=200,mttr_s=100,kind=truncation,sev=0.8;"
+             "resolver:mtbf_s=240,mttr_s=60,kind=dns_timeout,sev=0.7;"
+             "cdn:provider=0,start_s=30,dur_s=600,kind=stall,sev=0.9;"
+             "cdn:provider=1,mtbf_s=300,mttr_s=120,kind=connection_reset,"
+             "sev=0.6"}};
+
+    const std::string tmp =
+        (std::filesystem::temp_directory_path() /
+         ("chaos-soak-" + std::to_string(static_cast<unsigned>(
+                              util::fnv1a(report_path) & 0xffffu))))
+            .string();
+    std::filesystem::create_directories(tmp);
+
+    std::vector<StageResult> results;
+    Watchdog watchdog(watchdog_s, report_path, &results);
+
+    for (std::size_t s = 0; s < all_stages.size() && s < max_stages; ++s) {
+      const Stage& spec = all_stages[s];
+      StageResult stage;
+      stage.name = spec.name;
+      stage.profile = spec.profile;
+
+      core::CampaignConfig config;
+      config.landing_loads = loads;
+      config.shards = 6;
+      if (!spec.profile.empty())
+        config.chaos = net::OutageSchedule::parse(spec.profile);
+
+      const std::string cp = tmp + "/" + spec.name;
+      const auto fresh = [&](const std::string& path) {
+        std::filesystem::remove(path);
+        return path;
+      };
+
+      RunArtifacts jobs1, jobs8, again, resumed;
+      config.jobs = 1;
+      watchdog.run(spec.name + " --jobs 1", [&] {
+        jobs1 = run_campaign(web, list, config, fresh(cp + "-j1.ckpt"));
+      });
+      config.jobs = 8;
+      watchdog.run(spec.name + " --jobs 8", [&] {
+        jobs8 = run_campaign(web, list, config, fresh(cp + "-j8.ckpt"));
+      });
+      config.jobs = 1;
+      watchdog.run(spec.name + " re-run", [&] {
+        again = run_campaign(web, list, config, fresh(cp + "-again.ckpt"));
+      });
+      // Simulated kill + resume from a torn checkpoint tail.
+      const std::string resume_path = fresh(cp + "-resume.ckpt");
+      {
+        std::ofstream torn(resume_path, std::ios::binary | std::ios::trunc);
+        torn << torn_prefix(jobs1.checkpoint);
+      }
+      watchdog.run(spec.name + " resume", [&] {
+        resumed = run_campaign(web, list, config, resume_path);
+      });
+      stage.runs = 4;
+
+      check_clocks(jobs1, "jobs 1", stage);
+      check_clocks(jobs8, "jobs 8", stage);
+      check_breakers(jobs1, "jobs 1", !spec.profile.empty(), stage);
+      check_breakers(jobs8, "jobs 8", !spec.profile.empty(), stage);
+      check_identical(jobs1, jobs8, "jobs 1 vs jobs 8", stage,
+                      /*exact_checkpoint=*/false);
+      check_identical(jobs1, again, "re-run", stage,
+                      /*exact_checkpoint=*/true);
+      check_identical(jobs1, resumed, "kill + resume", stage,
+                      /*exact_checkpoint=*/true);
+
+      std::cout << "stage " << spec.name << ": " << stage.runs << " runs, "
+                << stage.violations.size() << " violations\n";
+      for (const auto& violation : stage.violations)
+        std::cout << "  VIOLATION: " << violation << "\n";
+      results.push_back(std::move(stage));
+    }
+
+    std::size_t total = 0;
+    for (const auto& stage : results) total += stage.violations.size();
+    if (!report_path.empty()) write_report_file(report_path, results);
+    std::filesystem::remove_all(tmp);
+    std::cout << "chaos_soak: " << results.size() << " stages, " << total
+              << " violations\n";
+    return total == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "chaos_soak: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -10,6 +10,8 @@
 //            identical for every --jobs value)
 //            --fault-profile none|uniform:R|query_timeout=R,... (inject
 //            search-API faults) --max-retries N
+//            --chaos-profile SPEC (correlated search-API outage windows;
+//            see DESIGN.md "Chaos engine")
 //            --checkpoint FILE --resume FILE (week-granular resume)
 //            --churn-out FILE --ledger-out FILE (§3 churn CSV, §7 cost
 //            ledger) --metrics-out/--trace-out/--report-out FILE --quiet
@@ -26,6 +28,10 @@
 //            S *does* affect results — see DESIGN.md "Concurrency model")
 //            --fault-profile none|uniform:R|dns_servfail=R,... (inject
 //            substrate faults; see DESIGN.md "Failure model")
+//            --chaos-profile SPEC (correlated outage windows with a blast
+//            radius, e.g. "cdn:provider=2,start_s=120,dur_s=300,
+//            kind=http_5xx,sev=0.9"; enables circuit breakers, hedged
+//            DNS and deadline budgets — see DESIGN.md "Chaos engine")
 //            --max-retries N --page-timeout-s T (failure handling)
 //            --checkpoint FILE (append per-shard progress; resumes
 //            automatically when FILE exists) --resume FILE (like
@@ -177,6 +183,7 @@ int cmd_build(World& world, const util::Args& args) {
                              config.list.target_sites);
   config.fault_profile =
       net::SearchFaultProfile::parse(args.get("fault-profile", "none"));
+  config.chaos = net::OutageSchedule::parse(args.get("chaos-profile", "none"));
   config.max_query_retries = static_cast<int>(
       args.get_int("max-retries", config.max_query_retries));
   config.checkpoint_path = checkpoint_path_from("build", args);
@@ -326,6 +333,7 @@ int cmd_measure(World& world, const util::Args& args) {
   core::validate_shard_count("measure", config.shards, list.sets.size());
   config.fault_profile =
       net::FaultProfile::parse(args.get("fault-profile", "none"));
+  config.chaos = net::OutageSchedule::parse(args.get("chaos-profile", "none"));
   config.max_page_retries =
       static_cast<int>(args.get_int("max-retries", config.max_page_retries));
   config.page_timeout_s =
@@ -495,6 +503,10 @@ void print_help(std::ostream& out, const std::string& program) {
          "                      shard, so S affects faulty runs (default 8)\n"
          "  --fault-profile P   none|uniform:R|query_timeout=R,\n"
          "                      empty_page=R,quota_exceeded=R,rate_limited=R\n"
+         "  --chaos-profile C   correlated outage windows, e.g.\n"
+         "                      \"search:mtbf_s=600,mttr_s=120,\n"
+         "                      kind=rate_limited,sev=0.8\" (only search-\n"
+         "                      scope rules affect the build)\n"
          "  --max-retries N     query attempts beyond the first (default 2)\n"
          "  --checkpoint FILE   append completed weeks; resumes\n"
          "                      automatically when FILE exists\n"
@@ -523,6 +535,13 @@ void print_help(std::ostream& out, const std::string& program) {
          "  --shards S          cache-warmth domains; S *does* affect\n"
          "                      results (default 8)\n"
          "  --fault-profile P   none|uniform:R|dns_servfail=R,...\n"
+         "  --chaos-profile C   ';'-separated correlated outage rules:\n"
+         "                      scope cdn|resolver|origin|search, keys\n"
+         "                      provider=/domain=/kind=/sev= and either\n"
+         "                      start_s=/dur_s= or mtbf_s=/mttr_s=, e.g.\n"
+         "                      \"cdn:provider=2,start_s=120,dur_s=300,\n"
+         "                      kind=http_5xx,sev=0.9\"; enables circuit\n"
+         "                      breakers, hedged DNS, deadline budgets\n"
          "  --max-retries N --page-timeout-s T\n"
          "  --checkpoint FILE   append per-shard progress; resumes\n"
          "                      automatically when FILE exists\n"

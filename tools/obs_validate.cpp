@@ -114,6 +114,15 @@ void check_measure_report(const JsonValue& doc) {
     member(fault, "kind", JsonValue::Type::kString, "report fault");
     member(fault, "failed_fetches", JsonValue::Type::kNumber, "report fault");
     member(fault, "injected", JsonValue::Type::kNumber, "report fault");
+    // Quarantine root causes are emitted only when nonzero (fault-free
+    // reports keep the historical bytes), so the member is optional —
+    // but when present it must be a positive count.
+    if (const JsonValue* quarantined = fault.find("sites_quarantined")) {
+      require(quarantined->is(JsonValue::Type::kNumber),
+              "report fault: \"sites_quarantined\" has wrong type");
+      require(quarantined->number > 0.0,
+              "report fault: \"sites_quarantined\" present but not positive");
+    }
   }
   member(doc, "caches", JsonValue::Type::kObject, "report");
   member(doc, "loader", JsonValue::Type::kObject, "report");
