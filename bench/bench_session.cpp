@@ -1,0 +1,129 @@
+// Cost and payoff of warm browsing-session replay (§5.1 cacheability).
+//
+// Runs the session engine's two arms over the same list — the cold
+// control (every page a fresh profile, the paper's §3.1 protocol) and
+// the warm replay (landing + internals through one per-session browser
+// cache, warm DNS and keep-alive) — and reports wall-clock cost per
+// arm, the warm-hit ratio, and the payoff: how much of the internal
+// pages' PLT the within-session cache buys back. A plain campaign is
+// timed alongside as the overhead reference: with sessions off the
+// loader takes the exact same code path as before the feature, so the
+// cold arm's per-page cost must stay at ~1.00x the plain campaign's.
+//
+// HISPAR_SITES scales the list (default 120); HISPAR_JOBS the worker
+// threads of each campaign.
+#include <chrono>
+
+#include "common.h"
+#include "core/session.h"
+
+namespace {
+
+using namespace hispar;
+
+double pages_loaded(const std::vector<core::SiteObservation>& sites) {
+  double pages = 0.0;
+  for (const auto& site : sites)
+    for (const auto& outcome : site.outcomes)
+      pages += outcome.status != browser::LoadStatus::kFailed;
+  return pages;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "browsing-session replay cost",
+      "landing pages carry more non-cacheable objects than internal "
+      "pages (§5.1, Fig. 4a), so a warm within-session cache pays off "
+      "mostly on internal pages and narrows the landing-internal gap");
+
+  const std::size_t sites = bench::env_sites(120);
+  bench::BenchWorld world(/*run_campaign=*/false, sites);
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_s = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+
+  // Overhead reference: the plain campaign's per-page cost. Sessions
+  // off is a null-pointer branch in the loader, so the session engine's
+  // cold arm must not be measurably slower per page.
+  core::CampaignConfig base;
+  base.landing_loads = 3;
+  base.jobs = bench::env_jobs();
+  auto started = Clock::now();
+  core::MeasurementCampaign plain(*world.web, base);
+  const auto plain_sites = plain.run(world.h1k);
+  const double plain_s = time_s(started);
+  const double plain_pages = pages_loaded(plain_sites);
+
+  core::SessionConfig session_base;
+  session_base.base = base;
+  session_base.session_len = 5;
+
+  auto cold_config = session_base;
+  cold_config.warm = false;
+  core::SessionCampaign cold_campaign(*world.web, cold_config);
+  started = Clock::now();
+  const auto cold = cold_campaign.run(world.h1k);
+  const double cold_s = time_s(started);
+  const double cold_pages = pages_loaded(cold);
+
+  core::SessionCampaign warm_campaign(*world.web, session_base);
+  started = Clock::now();
+  const auto warm = warm_campaign.run(world.h1k);
+  const double warm_s = time_s(started);
+
+  browser::CacheStats total;
+  for (const auto& stats : warm_campaign.cache_stats()) {
+    total.lookups += stats.lookups;
+    total.fresh_hits += stats.fresh_hits;
+    total.revalidations += stats.revalidations;
+    total.misses += stats.misses;
+  }
+  const double hit_ratio =
+      total.lookups == 0
+          ? 0.0
+          : static_cast<double>(total.fresh_hits) /
+                static_cast<double>(total.lookups);
+
+  const auto delta = core::cold_warm_delta(cold, warm);
+  double internal_speedup = 0.0;
+  for (const auto& line : delta.metrics)
+    if (line.metric == "plt_ms" && line.has_values &&
+        line.warm_internal_median > 0.0)
+      internal_speedup = line.cold_internal_median / line.warm_internal_median;
+
+  const double off_overhead_x =
+      plain_s <= 0.0 || cold_pages <= 0.0 || plain_pages <= 0.0
+          ? 0.0
+          : (cold_s / cold_pages) / (plain_s / plain_pages);
+
+  util::TextTable table(
+      {"arm", "seconds", "pages", "warm-hit ratio", "internal PLT x"});
+  table.add_row({"plain campaign", util::TextTable::num(plain_s, 3),
+                 util::TextTable::num(plain_pages, 0), "-", "-"});
+  table.add_row({"cold replay", util::TextTable::num(cold_s, 3),
+                 util::TextTable::num(cold_pages, 0), "0.0%", "1.00"});
+  table.add_row({"warm replay", util::TextTable::num(warm_s, 3),
+                 util::TextTable::num(pages_loaded(warm), 0),
+                 util::TextTable::pct(hit_ratio),
+                 util::TextTable::num(internal_speedup)});
+  std::cout << table;
+  std::cout << "\n(internal PLT x = cold/warm median internal-page PLT: what "
+               "one warm within-session cache buys back. sessions-off "
+               "overhead "
+            << util::TextTable::num(off_overhead_x)
+            << "x should stay at ~1.00x: with no SessionState the loader "
+               "takes the pre-session code path)\n";
+
+  world.metrics.gauge("bench.session.plain_s") = plain_s;
+  world.metrics.gauge("bench.session.cold_s") = cold_s;
+  world.metrics.gauge("bench.session.warm_s") = warm_s;
+  world.metrics.gauge("bench.session.warm_hit_ratio") = hit_ratio;
+  world.metrics.gauge("bench.session.internal_plt_speedup") = internal_speedup;
+  world.metrics.gauge("bench.session.off_overhead_x") = off_overhead_x;
+  world.write_bench_json("session");
+  return 0;
+}

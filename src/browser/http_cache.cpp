@@ -1,0 +1,65 @@
+#include "browser/http_cache.h"
+
+namespace hispar::browser {
+
+CacheOutcome HttpCache::lookup(const std::string& key, double now_s) {
+  ++stats_.lookups;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return CacheOutcome::kMiss;
+  }
+  if (now_s < it->second->expires_s) {
+    ++stats_.fresh_hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return CacheOutcome::kFresh;
+  }
+  return CacheOutcome::kStale;
+}
+
+void HttpCache::insert(const std::string& key, std::size_t size_bytes,
+                       double now_s, double freshness_lifetime_s) {
+  if (size_bytes > capacity_) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_ -= it->second->size;
+      order_.erase(it->second);
+      index_.erase(it);
+      ++stats_.evictions;
+    }
+    return;
+  }
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    used_ -= it->second->size;
+    it->second->size = size_bytes;
+    it->second->expires_s = now_s + freshness_lifetime_s;
+    used_ += size_bytes;
+    order_.splice(order_.begin(), order_, it->second);
+  } else {
+    order_.push_front(Entry{key, size_bytes, now_s + freshness_lifetime_s});
+    index_[key] = order_.begin();
+    used_ += size_bytes;
+    ++stats_.insertions;
+  }
+  while (used_ > capacity_) evict_one();
+}
+
+void HttpCache::revalidated(const std::string& key, double now_s,
+                            double freshness_lifetime_s) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  ++stats_.revalidations;
+  it->second->expires_s = now_s + freshness_lifetime_s;
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void HttpCache::evict_one() {
+  const Entry& victim = order_.back();
+  used_ -= victim.size;
+  index_.erase(victim.key);
+  order_.pop_back();
+  ++stats_.evictions;
+}
+
+}  // namespace hispar::browser

@@ -1,0 +1,109 @@
+// Per-client HTTP browser cache with standards-style semantics.
+//
+// The measurement pipeline's CDN layer models *shared* caches; this is
+// the private cache a real browser carries between the pages of one
+// browsing session (§5: the landing-vs-internal cacheability contrast
+// is conditioned on users reaching internal pages *through* the landing
+// page with a warm cache). Entries are keyed by web::WebObject::
+// cache_key and carry an absolute expiry derived from the object's
+// deterministic freshness lifetime:
+//
+//   lookup() == kFresh  within the lifetime — served locally, no
+//                       network, no fault-injector attempt consumed;
+//   lookup() == kStale  past the lifetime — the loader revalidates
+//                       over the network (304-style: headers move,
+//                       the body does not) and revalidated() renews
+//                       the entry;
+//   lookup() == kMiss   absent — full fetch, then insert().
+//
+// Byte-capacity LRU eviction mirrors cdn::LruCache (fresh hits and
+// revalidations refresh recency; oversized updates evict). Everything
+// is a pure function of the call sequence — no RNG, no wall clock — so
+// session replay inherits the campaign's byte-identity contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace hispar::browser {
+
+enum class CacheOutcome : std::uint8_t { kMiss = 0, kFresh, kStale };
+
+// Lifetime telemetry of one cache; merged into the session report.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t fresh_hits = 0;
+  std::uint64_t revalidations = 0;  // stale lookups later renewed
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  bool operator==(const CacheStats&) const = default;
+};
+
+class HttpCache {
+ public:
+  explicit HttpCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {
+    if (capacity_ == 0) throw std::invalid_argument("HttpCache: capacity 0");
+  }
+
+  // Classify `key` at virtual time `now_s`. Fresh hits refresh recency;
+  // stale entries stay resident awaiting revalidated() or eviction.
+  CacheOutcome lookup(const std::string& key, double now_s);
+
+  // Store a freshly fetched object. Oversized objects are not admitted;
+  // an oversized update evicts the resident entry (cdn::LruCache
+  // semantics).
+  void insert(const std::string& key, std::size_t size_bytes, double now_s,
+              double freshness_lifetime_s);
+
+  // A 304-style revalidation succeeded: renew the entry's lifetime and
+  // recency. A no-op if the entry was evicted since lookup().
+  void revalidated(const std::string& key, double now_s,
+                   double freshness_lifetime_s);
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t entries() const { return index_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::size_t size = 0;
+    double expires_s = 0.0;
+  };
+
+  void evict_one();
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  CacheStats stats_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+// The client state a browsing session threads across its page loads:
+// the private HTTP cache, warm DNS answers, and per-origin connection
+// keep-alive. std::map keeps iteration deterministic (serialization
+// and debugging never depend on hash order).
+struct SessionState {
+  explicit SessionState(std::size_t cache_capacity_bytes)
+      : cache(cache_capacity_bytes) {}
+
+  HttpCache cache;
+  // host -> absolute virtual expiry of the cached DNS answer.
+  std::map<std::string, double> dns_expiry_s;
+  // host -> virtual time the origin's connection pool was last used;
+  // within the keep-alive window the next page starts with a warm
+  // connection instead of a fresh handshake.
+  std::map<std::string, double> origin_last_used_s;
+};
+
+}  // namespace hispar::browser

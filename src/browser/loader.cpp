@@ -36,6 +36,17 @@ constexpr double kMaxObjectBackoffMs = 8000.0;
 // (cold lookups walk the hierarchy; warm ones answer in a few ms).
 constexpr double kDnsHedgeDelayMs = 250.0;
 
+// Browsing-session model (LoadOptions::session). A browser-cache fresh
+// hit is served from local disk/memory: a fixed lookup cost plus a
+// size-proportional read, no network at all. A 304-style revalidation
+// moves only headers on the wire regardless of body size. Origin
+// connection pools survive between the pages of one session for the
+// keep-alive window (Apache/nginx-style idle timeout).
+constexpr double kCacheReadBaseMs = 0.2;
+constexpr double kCacheReadPerByteMs = 2.0e-6;
+constexpr double kRevalidateBytes = 512.0;
+constexpr double kKeepAliveS = 115.0;
+
 // State the browser keeps per remote host during one page load.
 struct HostState {
   bool dns_done = false;
@@ -159,6 +170,10 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   // means no branch below consumes extra randomness.
   const bool faulty = options.faults != nullptr;
   const bool chaotic = options.chaos != nullptr;
+  // Browsing-session state. Null (the cold profile of §3.1) keeps every
+  // session branch below dead and draw-free, so sessions-off loads are
+  // bit-identical to loads on a loader without this feature.
+  SessionState* const session = options.session;
   // Campaign virtual clock for an in-load offset (chaos windows and
   // breakers live on campaign time, not per-load time).
   const auto clock_s = [&](double in_load_ms) {
@@ -199,6 +214,24 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       }
       hs.rtt_ms = env_.latency->rtt(env_.vantage, hs.server_region, rng);
       hs.resolved_region = true;
+      if (session != nullptr) {
+        // Session carry-over, applied on the first touch of this host:
+        // a still-fresh DNS answer from an earlier page skips the
+        // lookup (the same mechanism dns-prefetch uses), and an origin
+        // used within the keep-alive window starts with one idle
+        // connection and a resumable TLS session. No RNG draws — the
+        // load's draw order is untouched.
+        const auto dns_it = session->dns_expiry_s.find(o.host);
+        if (dns_it != session->dns_expiry_s.end() &&
+            dns_it->second > options.start_time_s)
+          hs.dns_done = true;
+        const auto conn_it = session->origin_last_used_s.find(o.host);
+        if (conn_it != session->origin_last_used_s.end() &&
+            conn_it->second + kKeepAliveS >= options.start_time_s) {
+          hs.session_seen = true;
+          hs.connection_free.push_back(0.0);
+        }
+      }
     }
     return hs;
   };
@@ -295,6 +328,35 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
   double blocking_main_thread_ms = 0.0;
   std::vector<PaintEvent> paint_events;
 
+  // Success tail shared by the network path and the browser-cache fresh
+  // hit: render-blocking bookkeeping, paint scheduling, telemetry, and
+  // child discovery.
+  const auto complete_object = [&](std::size_t index, const web::WebObject& o,
+                                   HarEntry& entry, double ready_at, double t) {
+    if (o.render_blocking || index == 0) {
+      first_paint_gate = std::max(first_paint_gate, t);
+      blocking_main_thread_ms +=
+          o.mime == web::MimeCategory::kJavaScript
+              ? 4.0 + o.size_bytes * 3.0e-4   // parse + execute
+              : 2.0 + o.size_bytes * 1.0e-4;  // parse + style calc
+    }
+    if (web::is_visual(o.mime))
+      paint_events.push_back(PaintEvent{t + 16.0, o.size_bytes});
+
+    if (wait_hist_ != nullptr) wait_hist_->observe(entry.timings.wait);
+    record_span(entry, ready_at, t);
+    result.har.entries.push_back(std::move(entry));
+
+    // Children become ready after this object is parsed.
+    for (std::size_t c = scratch.child_offsets[index];
+         c < scratch.child_offsets[index + 1]; ++c) {
+      const std::size_t child = scratch.child_items[c];
+      const double parse_delay = rng.uniform(3.0, 15.0);
+      ready[child] = t + parse_delay;
+      heap_push(ready[child], child);
+    }
+  };
+
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
     const auto [ready_at, index] = heap.back();
@@ -326,6 +388,31 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       result.har.entries.push_back(std::move(entry));
       continue;  // children were never discovered
     }
+
+    // Browser-cache consult (session replay only). A fresh hit is
+    // served locally: no DNS, no connection, no breaker admission or
+    // feedback, and no fault/chaos decision — local reads cannot trip
+    // network defenses or consume a fault-injector draw. Stale entries
+    // and misses fall through to the network path below.
+    CacheOutcome cache_outcome = CacheOutcome::kMiss;
+    bool cache_managed = false;
+    if (session != nullptr && !o.cache_key.empty()) {
+      cache_managed = true;
+      cache_outcome = session->cache.lookup(o.cache_key, clock_s(ready_at));
+      if (cache_outcome == CacheOutcome::kFresh) {
+        const double read_ms =
+            kCacheReadBaseMs + o.size_bytes * kCacheReadPerByteMs;
+        entry.timings.receive += read_ms;
+        const double t_done = ready_at + read_ms;
+        finish[index] = t_done;
+        ++result.cache_fresh_hits;
+        complete_object(index, o, entry, ready_at, t_done);
+        continue;
+      }
+      if (cache_outcome == CacheOutcome::kMiss) ++result.cache_misses;
+    }
+    const bool revalidate =
+        cache_managed && cache_outcome == CacheOutcome::kStale;
 
     // Circuit breakers: a scope that has been failing consecutively is
     // not worth burning the page budget on. Non-root objects check the
@@ -366,12 +453,13 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
     double t = ready_at;
     net::FaultKind fate = net::FaultKind::kNone;
     bool warm_transfer = false;
+    bool used_connection = false;
     const int max_attempts =
         (faulty || chaotic) ? 1 + std::max(0, options.max_object_retries) : 1;
 
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       fate = net::FaultKind::kNone;
-      bool used_connection = false;
+      used_connection = false;
       std::size_t conn_index = 0;
       warm_transfer = false;
 
@@ -420,6 +508,13 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
           entry.timings.dns += lookup.latency_ms;
           t += lookup.latency_ms;
           hs.dns_done = true;
+          // The OS resolver cache outlives this page: a later page in
+          // the same session skips the lookup until the record's TTL
+          // runs out. The TTL is a pure hash of the host (see
+          // dns_record_for), so no draw happens here.
+          if (session != nullptr)
+            session->dns_expiry_s[o.host] =
+                query_time_s + dns_record_for(o).ttl_s;
           ++result.dns_lookups;
           result.dns_time_ms += lookup.latency_ms;
         }
@@ -577,9 +672,14 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
             t += receive_ms;
             fate = transfer_fate;
           } else {
-            const double rounds = transfer_rounds(o.size_bytes, warm_transfer);
+            // A revalidation answered 304: only headers crossed the
+            // wire; the body the renderer gets (entry.body_size) is the
+            // cached one.
+            const double wire_bytes =
+                revalidate ? kRevalidateBytes : o.size_bytes;
+            const double rounds = transfer_rounds(wire_bytes, warm_transfer);
             const double receive_ms = rounds * hs.rtt_ms * 0.8 +
-                                      env_.latency->transfer_ms(o.size_bytes);
+                                      env_.latency->transfer_ms(wire_bytes);
             entry.timings.receive += receive_ms;
             t += receive_ms;
           }
@@ -652,28 +752,29 @@ LoadResult PageLoader::load(const web::WebPage& page, util::Rng rng,
       continue;  // children were never discovered
     }
 
-    if (o.render_blocking || index == 0) {
-      first_paint_gate = std::max(first_paint_gate, t);
-      blocking_main_thread_ms +=
-          o.mime == web::MimeCategory::kJavaScript
-              ? 4.0 + o.size_bytes * 3.0e-4   // parse + execute
-              : 2.0 + o.size_bytes * 1.0e-4;  // parse + style calc
+    if (session != nullptr) {
+      // The fetch ended cleanly: renew the stale entry (the 304 path)
+      // or admit the freshly fetched body, and stamp the origin's
+      // keep-alive clock so the session's next page can start with a
+      // warm connection.
+      if (cache_managed) {
+        if (revalidate) {
+          session->cache.revalidated(o.cache_key, clock_s(t),
+                                     o.freshness_lifetime_s);
+          ++result.cache_revalidations;
+        } else {
+          session->cache.insert(o.cache_key,
+                                static_cast<std::size_t>(o.size_bytes),
+                                clock_s(t), o.freshness_lifetime_s);
+        }
+      }
+      if (used_connection) {
+        double& last_used_s = session->origin_last_used_s[o.host];
+        last_used_s = std::max(last_used_s, clock_s(t));
+      }
     }
-    if (web::is_visual(o.mime))
-      paint_events.push_back(PaintEvent{t + 16.0, o.size_bytes});
 
-    if (wait_hist_ != nullptr) wait_hist_->observe(entry.timings.wait);
-    record_span(entry, ready_at, t);
-    result.har.entries.push_back(std::move(entry));
-
-    // Children become ready after this object is parsed.
-    for (std::size_t c = scratch.child_offsets[index];
-         c < scratch.child_offsets[index + 1]; ++c) {
-      const std::size_t child = scratch.child_items[c];
-      const double parse_delay = rng.uniform(3.0, 15.0);
-      ready[child] = t + parse_delay;
-      heap_push(ready[child], child);
-    }
+    complete_object(index, o, entry, ready_at, t);
   }
 
   if (result.failed_objects > 0 || result.watchdog_abort)

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "browser/har.h"
+#include "browser/http_cache.h"
 #include "cdn/hierarchy.h"
 #include "net/connection.h"
 #include "net/dns.h"
@@ -94,6 +95,14 @@ struct LoadOptions {
   net::BreakerSet* breakers = nullptr;
   bool hedge_dns = false;
   bool deadline_budget = false;
+  // Browsing-session client state (http_cache.h): the private HTTP
+  // cache, warm DNS answers and per-origin keep-alive a session threads
+  // across its page loads. Null models the paper's cold profile (§3.1)
+  // and is a true no-op — no branch draws randomness or moves `t` — so
+  // sessions-off loads are bit-identical to loads on a loader without
+  // this feature. The pointee is mutated (entries admitted/renewed,
+  // expiries recorded); the caller owns it across the session's pages.
+  SessionState* session = nullptr;
   // Per-object bounded retry with exponential backoff (browsers retry
   // transient network errors a couple of times before surfacing them).
   int max_object_retries = 2;
@@ -137,6 +146,13 @@ struct LoadResult {
   int breaker_denials = 0;  // fetches an open breaker failed fast
   int dns_hedges = 0;       // hedged lookups fired
   int dns_hedge_wins = 0;   // hedges that beat the primary answer
+  // Browser-cache accounting (all zero unless LoadOptions.session is
+  // set). Fresh hits were served locally with no network activity;
+  // revalidations moved only headers (304-style); misses fetched and
+  // then admitted the body.
+  int cache_fresh_hits = 0;
+  int cache_revalidations = 0;
+  int cache_misses = 0;
 };
 
 class PageLoader {

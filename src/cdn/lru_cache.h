@@ -32,9 +32,19 @@ class LruCache {
   bool contains(const std::string& key) const { return index_.count(key); }
 
   // Inserts `key` with `size` bytes, evicting LRU entries as needed.
-  // Objects larger than the capacity are not admitted.
+  // Objects larger than the capacity are not admitted; growing an
+  // existing entry past the capacity evicts it (keeping the old bytes
+  // would misstate what the cache holds).
   void insert(const std::string& key, std::size_t size) {
-    if (size > capacity_) return;
+    if (size > capacity_) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        used_ -= it->second->size;
+        order_.erase(it->second);
+        index_.erase(it);
+      }
+      return;
+    }
     auto it = index_.find(key);
     if (it != index_.end()) {
       used_ -= it->second->size;

@@ -391,4 +391,67 @@ void write_vantage_consensus_csv(
   }
 }
 
+ColdWarmDelta cold_warm_delta(const std::vector<SiteObservation>& cold,
+                              const std::vector<SiteObservation>& warm) {
+  if (cold.size() != warm.size())
+    throw std::invalid_argument(
+        "cold_warm_delta: observation lists cover different lists");
+
+  ColdWarmDelta out;
+  out.sites_total = cold.size();
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    if (usable_site(cold[i]) && usable_site(warm[i])) positions.push_back(i);
+  out.sites_compared = positions.size();
+
+  std::vector<double> scratch;
+  scratch.reserve(positions.size());
+  const auto median_over = [&](const std::vector<SiteObservation>& sites,
+                               double (*fn)(const PageMetrics&),
+                               bool landing) {
+    scratch.clear();
+    for (std::size_t position : positions) {
+      const SiteObservation& site = sites[position];
+      scratch.push_back(landing ? fn(site.landing)
+                                : site.internal_median(fn));
+    }
+    return util::median_inplace(scratch);  // NaN when nothing compares
+  };
+
+  for (const auto& metric : consensus_metrics()) {
+    ColdWarmMetricLine line;
+    line.metric = metric.name;
+    line.has_values = !positions.empty();
+    if (line.has_values) {
+      line.cold_landing_median = median_over(cold, metric.fn, true);
+      line.cold_internal_median = median_over(cold, metric.fn, false);
+      line.warm_landing_median = median_over(warm, metric.fn, true);
+      line.warm_internal_median = median_over(warm, metric.fn, false);
+    }
+    out.metrics.push_back(std::move(line));
+  }
+  return out;
+}
+
+void write_warm_hits_csv(std::ostream& out,
+                         const std::vector<SiteObservation>& sites,
+                         const std::vector<browser::CacheStats>& stats) {
+  if (sites.size() != stats.size())
+    throw std::invalid_argument(
+        "write_warm_hits_csv: sites and cache stats differ in length");
+  out << "domain,rank,lookups,fresh_hits,revalidations,misses,insertions,"
+         "evictions,warm_hit_ratio\n";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteObservation& site = sites[i];
+    const browser::CacheStats& s = stats[i];
+    const double ratio =
+        s.lookups == 0 ? 0.0
+                       : static_cast<double>(s.fresh_hits) /
+                             static_cast<double>(s.lookups);
+    out << site.domain << ',' << site.bootstrap_rank << ',' << s.lookups
+        << ',' << s.fresh_hits << ',' << s.revalidations << ',' << s.misses
+        << ',' << s.insertions << ',' << s.evictions << ',' << ratio << '\n';
+  }
+}
+
 }  // namespace hispar::core

@@ -194,6 +194,48 @@ void write_vantage_consensus_csv(
     std::ostream& out,
     const std::vector<std::vector<SiteObservation>>& per_vantage);
 
+// --- Cold-vs-warm browsing-session contrast ---
+//
+// The paper measures every page with a cold profile (§3.1) but frames
+// the landing/internal cacheability gap around users who reach internal
+// pages *through* the landing page with a warm browser cache (§5.1).
+// This analysis quantifies exactly that: per consensus metric, the
+// landing-minus-internal-median gap under the cold regime and under
+// warm session replay, as medians over the sites usable in both runs.
+
+struct ColdWarmMetricLine {
+  std::string metric;
+  bool has_values = false;  // some site usable in both regimes
+  double cold_landing_median = 0.0;
+  double cold_internal_median = 0.0;
+  double warm_landing_median = 0.0;
+  double warm_internal_median = 0.0;
+
+  double cold_gap() const { return cold_landing_median - cold_internal_median; }
+  double warm_gap() const { return warm_landing_median - warm_internal_median; }
+};
+
+struct ColdWarmDelta {
+  std::size_t sites_total = 0;
+  std::size_t sites_compared = 0;  // usable in both regimes
+  std::vector<ColdWarmMetricLine> metrics;  // consensus_metrics() order
+};
+
+// `cold` and `warm` are observation lists over the same HisparList
+// (same length and site order) or std::invalid_argument is thrown.
+ColdWarmDelta cold_warm_delta(const std::vector<SiteObservation>& cold,
+                              const std::vector<SiteObservation>& warm);
+
+// Per-site browser-cache CSV for a session campaign: one row per site,
+// in list order, with the session's cache counters and warm-hit ratio.
+// Header: domain,rank,lookups,fresh_hits,revalidations,misses,
+// insertions,evictions,warm_hit_ratio. `stats` is parallel to `sites`
+// (std::invalid_argument otherwise). Byte-stable (default double
+// formatting, like write_measure_csv).
+void write_warm_hits_csv(std::ostream& out,
+                         const std::vector<SiteObservation>& sites,
+                         const std::vector<browser::CacheStats>& stats);
+
 // Standard metric accessors.
 namespace metric {
 inline double bytes(const PageMetrics& m) { return m.bytes; }

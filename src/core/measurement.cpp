@@ -301,12 +301,16 @@ MeasurementCampaign::PageFetch MeasurementCampaign::fetch_page(
   return fetch;  // permanently failed (usable == false)
 }
 
-PageMetrics MeasurementCampaign::extract_metrics(
-    ShardState& state, const web::WebPage& page,
-    const browser::LoadResult& result) const {
+PageMetrics extract_page_metrics(const web::WebPage& page,
+                                 const browser::LoadResult& result,
+                                 DetectionScratch& scratch,
+                                 const browser::AdBlocker& adblock,
+                                 const browser::HbDetector& hb,
+                                 const cdn::CdnDetector& detector,
+                                 std::size_t wait_sample_cap,
+                                 obs::MetricsRegistry* metrics) {
   const browser::HarLog& har = result.har;
-  DetectionScratch& d = state.detect;
-  obs::MetricsRegistry* metrics = state.metrics.get();
+  DetectionScratch& d = scratch;
 
   PageMetrics m;
   m.bytes = har.total_bytes();
@@ -358,7 +362,7 @@ PageMetrics MeasurementCampaign::extract_metrics(
     if (fetch_id == d.via_cdn.size()) {
       const cdn::ObservedFetch fetch{entry.host, entry.dns_cname,
                                      entry.response_headers};
-      d.via_cdn.push_back(detector_.classify(fetch).via_cdn ? 1 : 0);
+      d.via_cdn.push_back(detector.classify(fetch).via_cdn ? 1 : 0);
     }
     if (d.via_cdn[fetch_id] != 0) cdn_bytes += entry.body_size;
     // Third parties by registrable domain (§6.2), host memoized.
@@ -371,8 +375,8 @@ PageMetrics MeasurementCampaign::extract_metrics(
     const std::uint32_t url_id = d.urls.intern(entry.url);
     if (url_id == d.url_flags.size()) {
       std::uint8_t flags = 0;
-      if (adblock_.matches(entry.url)) flags |= 1;
-      const auto [exchange, creative] = hb_.classify_url(entry.url);
+      if (adblock.matches(entry.url)) flags |= 1;
+      const auto [exchange, creative] = hb.classify_url(entry.url);
       if (exchange) flags |= 2;
       if (creative) flags |= 4;
       d.url_flags.push_back(flags);
@@ -383,7 +387,7 @@ PageMetrics MeasurementCampaign::extract_metrics(
     if ((flags & 4) != 0) d.hb_urls.push_back(entry.url);
     // Per-object wait phase (§5.6, Fig. 7); memory-capped, see
     // PageMetrics::wait_samples_ms.
-    if (m.wait_samples_ms.size() < config_.wait_sample_cap)
+    if (m.wait_samples_ms.size() < wait_sample_cap)
       m.wait_samples_ms.push_back(entry.timings.wait);
   }
   if (metrics != nullptr && har.entries.size() > m.wait_samples_ms.size())
@@ -416,6 +420,14 @@ PageMetrics MeasurementCampaign::extract_metrics(
   m.header_bidding = d.hb_hosts.size() >= 2;
   m.hb_ad_slots = static_cast<double>(d.hb_urls.size());
   return m;
+}
+
+PageMetrics MeasurementCampaign::extract_metrics(
+    ShardState& state, const web::WebPage& page,
+    const browser::LoadResult& result) const {
+  return extract_page_metrics(page, result, state.detect, adblock_, hb_,
+                              detector_, config_.wait_sample_cap,
+                              state.metrics.get());
 }
 
 PageMetrics MeasurementCampaign::median_metrics(

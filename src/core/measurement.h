@@ -197,6 +197,48 @@ struct CampaignConfig {
   obs::ObsOptions observability;
 };
 
+// Memoization tables for the HAR detectors (CDN classification,
+// EasyList matching, HB patterns, registrable domains). Profiling a
+// campaign shows the glob scans dominating its CPU (~75 pattern walks
+// per HAR entry); every detector is a pure function of the fields the
+// memo key captures, so replaying a cached verdict is result-identical
+// to re-running the scan. Tables live per worker — like the resolver
+// cache — and their size is bounded by the worker's distinct
+// URLs/hosts/header tuples.
+struct DetectionScratch {
+  // (host, CNAME, headers) tuple -> CdnDetector::classify().via_cdn.
+  // Keys are built in `key_buf` (reused) as newline-joined fields; a
+  // present CNAME is prefixed '@' so "no CNAME" and "empty CNAME"
+  // cannot collide.
+  util::SymbolTable fetch_keys;
+  std::vector<char> via_cdn;
+  std::string key_buf;
+  // URL -> {EasyList block, HB exchange, HB ad creative} bit flags.
+  util::SymbolTable urls;
+  std::vector<std::uint8_t> url_flags;
+  // Host -> registrable domain.
+  util::SymbolTable hosts;
+  std::vector<std::string> registrable;
+  // Per-load distinct-host / distinct-URL buffers replicating
+  // HbDetector::analyze()'s aggregation (views into the HAR).
+  std::vector<std::string_view> hb_hosts;
+  std::vector<std::string_view> hb_urls;
+};
+
+// Derives every PageMetrics field from one load's HAR + timing data,
+// memoizing detector verdicts in `scratch`. Shared by the measurement
+// and session campaigns (both must classify HARs identically for the
+// cold-vs-warm contrast to be apples-to-apples). `metrics` (nullable)
+// receives the wait-samples-dropped counter when observability is on.
+PageMetrics extract_page_metrics(const web::WebPage& page,
+                                 const browser::LoadResult& result,
+                                 DetectionScratch& scratch,
+                                 const browser::AdBlocker& adblock,
+                                 const browser::HbDetector& hb,
+                                 const cdn::CdnDetector& detector,
+                                 std::size_t wait_sample_cap,
+                                 obs::MetricsRegistry* metrics);
+
 class MeasurementCampaign {
  public:
   MeasurementCampaign(const web::SyntheticWeb& web, CampaignConfig config = {});
@@ -234,34 +276,6 @@ class MeasurementCampaign {
   const obs::RunTelemetry& telemetry() const { return telemetry_; }
 
  private:
-  // Memoization tables for the HAR detectors (CDN classification,
-  // EasyList matching, HB patterns, registrable domains). Profiling a
-  // campaign shows the glob scans dominating its CPU (~75 pattern walks
-  // per HAR entry); every detector is a pure function of the fields the
-  // memo key captures, so replaying a cached verdict is result-identical
-  // to re-running the scan. Tables live per shard — like the resolver
-  // cache — and their size is bounded by the shard's distinct
-  // URLs/hosts/header tuples.
-  struct DetectionScratch {
-    // (host, CNAME, headers) tuple -> CdnDetector::classify().via_cdn.
-    // Keys are built in `key_buf` (reused) as newline-joined fields; a
-    // present CNAME is prefixed '@' so "no CNAME" and "empty CNAME"
-    // cannot collide.
-    util::SymbolTable fetch_keys;
-    std::vector<char> via_cdn;
-    std::string key_buf;
-    // URL -> {EasyList block, HB exchange, HB ad creative} bit flags.
-    util::SymbolTable urls;
-    std::vector<std::uint8_t> url_flags;
-    // Host -> registrable domain.
-    util::SymbolTable hosts;
-    std::vector<std::string> registrable;
-    // Per-load distinct-host / distinct-URL buffers replicating
-    // HbDetector::analyze()'s aggregation (views into the HAR).
-    std::vector<std::string_view> hb_hosts;
-    std::vector<std::string_view> hb_urls;
-  };
-
   // Everything one worker mutates while measuring its shard: the full
   // network/CDN simulation substrate, a virtual clock, and an RNG forked
   // from the campaign seed by shard id. One shard models one vantage

@@ -747,6 +747,87 @@ VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
   return checkpoint;
 }
 
+// --- Browsing-session checkpoints ---
+
+void write_session_checkpoint_header(std::ostream& out,
+                                     std::uint64_t config_digest) {
+  out << "hispar-session,v1," << config_digest << '\n';
+}
+
+void append_session_block(std::ostream& out, std::size_t position,
+                          const SiteObservation& observation,
+                          const browser::CacheStats& cache,
+                          const obs::ShardTelemetry* telemetry) {
+  const auto precision = out.precision(17);
+  out << "session," << position << '\n';
+  write_site_record(out, position, observation);
+  out << "cachestats," << cache.lookups << ',' << cache.fresh_hits << ','
+      << cache.revalidations << ',' << cache.misses << ','
+      << cache.insertions << ',' << cache.evictions << '\n';
+  if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
+  out << "endsession," << position << '\n';
+  out.precision(precision);
+}
+
+SessionCheckpoint read_session_checkpoint(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) checkpoint_fail("missing header");
+  const auto header = util::split(lines[0], ',');
+  if (header.size() != 3 || header[0] != "hispar-session" || header[1] != "v1")
+    checkpoint_fail("bad header '" + lines[0] + "'");
+
+  SessionCheckpoint checkpoint;
+  checkpoint.config_digest = parse_u64(header[2], "config digest");
+
+  // Everything after the last endsession terminator is a block torn by
+  // a killed run: drop it. What remains must parse cleanly.
+  std::size_t end = 1;
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    if (lines[i].rfind("endsession,", 0) == 0) end = i + 1;
+
+  const auto need = [&](std::size_t i) -> const std::string& {
+    if (i >= end) checkpoint_fail("truncated session record");
+    return lines[i];
+  };
+
+  std::size_t i = 1;
+  while (i < end) {
+    const auto session_fields = util::split(need(i++), ',');
+    if (session_fields.size() != 2 || session_fields[0] != "session")
+      checkpoint_fail("expected session record, got '" + lines[i - 1] + "'");
+    SessionCheckpointBlock block;
+    block.position = parse_u64(session_fields[1], "session position");
+    auto [position, observation] = read_site_record(lines, i, need);
+    if (position != block.position)
+      checkpoint_fail("session/site position mismatch at session " +
+                      std::to_string(block.position));
+    block.observation = std::move(observation);
+
+    const auto cache_fields = util::split(need(i++), ',');
+    if (cache_fields.size() != 7 || cache_fields[0] != "cachestats")
+      checkpoint_fail("bad cachestats record '" + lines[i - 1] + "'");
+    block.cache.lookups = parse_u64(cache_fields[1], "cache lookups");
+    block.cache.fresh_hits = parse_u64(cache_fields[2], "cache fresh hits");
+    block.cache.revalidations =
+        parse_u64(cache_fields[3], "cache revalidations");
+    block.cache.misses = parse_u64(cache_fields[4], "cache misses");
+    block.cache.insertions = parse_u64(cache_fields[5], "cache insertions");
+    block.cache.evictions = parse_u64(cache_fields[6], "cache evictions");
+
+    block.has_telemetry = read_obs_lines(lines, i, end, block.telemetry);
+
+    const auto end_fields = util::split(need(i++), ',');
+    if (end_fields.size() != 2 || end_fields[0] != "endsession" ||
+        parse_u64(end_fields[1], "endsession position") != block.position)
+      checkpoint_fail("unterminated session " +
+                      std::to_string(block.position));
+    checkpoint.sessions.push_back(std::move(block));
+  }
+  return checkpoint;
+}
+
 // --- CLI checkpoint-path resolution ---
 
 std::string resolve_checkpoint_path(const std::string& context,

@@ -164,6 +164,45 @@ void append_vantage_block(std::ostream& out, std::size_t vantage,
                           const obs::ShardTelemetry* telemetry = nullptr);
 VantageCheckpoint read_vantage_checkpoint(std::istream& in);
 
+// --- Browsing-session checkpoints ---
+//
+// The same discipline for core::SessionCampaign::run(), at session
+// granularity: one session is one site's landing -> internal replay
+// over private browser-cache/DNS/connection state, so it is also the
+// unit of isolated state and of resume — a session either completed
+// (its observation, cache counters and telemetry are on disk and
+// splice back in) or re-runs from scratch. Layout:
+//   hispar-session,v1,<config digest>
+//   session,<position>
+//     site,<position>,...      (exactly the shard-block site record)
+//     cachestats,<lookups>,<fresh hits>,<revalidations>,<misses>,
+//                <insertions>,<evictions>
+//     obscounter/obsgauge/obshist/obsspan/obsdropped,...   (optional:
+//          the session's telemetry)
+//   endsession,<position>
+// Torn trailing blocks (killed run) are silently discarded; malformed
+// complete records throw std::runtime_error.
+struct SessionCheckpointBlock {
+  std::size_t position = 0;  // index into list.sets
+  SiteObservation observation;
+  browser::CacheStats cache;
+  bool has_telemetry = false;
+  obs::ShardTelemetry telemetry;
+};
+
+struct SessionCheckpoint {
+  std::uint64_t config_digest = 0;
+  std::vector<SessionCheckpointBlock> sessions;  // file order
+};
+
+void write_session_checkpoint_header(std::ostream& out,
+                                     std::uint64_t config_digest);
+void append_session_block(std::ostream& out, std::size_t position,
+                          const SiteObservation& observation,
+                          const browser::CacheStats& cache,
+                          const obs::ShardTelemetry* telemetry = nullptr);
+SessionCheckpoint read_session_checkpoint(std::istream& in);
+
 // --- CLI checkpoint-path resolution ---
 //
 // Shared by `hispar measure`/`build` and the regression tests:

@@ -355,4 +355,90 @@ void write_vantage_report_json(std::ostream& out,
       << "},\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
 }
 
+double SessionReport::warm_hit_ratio() const {
+  return ratio(cache_fresh_hits, cache_lookups);
+}
+
+std::string session_summary_line(const SessionReport& report) {
+  std::ostringstream os;
+  os << "sessions: " << report.sessions_ok << " ok, "
+     << report.sessions_degraded << " degraded, "
+     << report.sessions_quarantined << " quarantined over "
+     << report.sites_total << " sites; " << report.pages_loaded
+     << " pages, warm-hit ratio " << pct(report.warm_hit_ratio());
+  return os.str();
+}
+
+std::string render_session_report_text(const SessionReport& report) {
+  std::ostringstream os;
+  os << "session report:\n";
+  os << "  coverage: " << report.sites_total << " sessions ("
+     << report.sessions_ok << " ok, " << report.sessions_degraded
+     << " degraded, " << report.sessions_quarantined << " quarantined), "
+     << report.pages_loaded << " pages loaded, " << report.session_len
+     << " internal pages per session\n";
+  os << "  browser cache: " << report.cache_lookups << " lookups, "
+     << report.cache_fresh_hits << " fresh hits ("
+     << pct(report.warm_hit_ratio()) << "), " << report.cache_revalidations
+     << " revalidations, " << report.cache_misses << " misses, "
+     << report.cache_insertions << " insertions, " << report.cache_evictions
+     << " evictions\n";
+  if (!report.metric_lines.empty()) {
+    os << "  cold-vs-warm landing-internal gap (cold / warm):\n";
+    for (const auto& metric : report.metric_lines) {
+      os << "    " << metric.metric << ": ";
+      if (metric.has_values)
+        os << json_number(metric.cold_landing_median -
+                          metric.cold_internal_median)
+           << " / "
+           << json_number(metric.warm_landing_median -
+                          metric.warm_internal_median);
+      else
+        os << "n/a / n/a";
+      os << '\n';
+    }
+  }
+  if (report.telemetry)
+    os << "  trace: " << report.trace_spans << " spans kept, "
+       << report.trace_spans_dropped << " dropped\n";
+  return os.str();
+}
+
+void write_session_report_json(std::ostream& out,
+                               const SessionReport& report) {
+  out << "{\"schema\":\"hispar-session-report-v1\",\"coverage\":{"
+      << "\"sites_total\":" << report.sites_total
+      << ",\"sessions_ok\":" << report.sessions_ok
+      << ",\"sessions_degraded\":" << report.sessions_degraded
+      << ",\"sessions_quarantined\":" << report.sessions_quarantined
+      << ",\"pages_loaded\":" << report.pages_loaded
+      << ",\"session_len\":" << report.session_len
+      << "},\"browser_cache\":{\"lookups\":" << report.cache_lookups
+      << ",\"fresh_hits\":" << report.cache_fresh_hits
+      << ",\"revalidations\":" << report.cache_revalidations
+      << ",\"misses\":" << report.cache_misses
+      << ",\"insertions\":" << report.cache_insertions
+      << ",\"evictions\":" << report.cache_evictions
+      << ",\"warm_hit_ratio\":" << json_number(report.warm_hit_ratio())
+      << "},\"cold_vs_warm\":[";
+  for (std::size_t i = 0; i < report.metric_lines.size(); ++i) {
+    const auto& metric = report.metric_lines[i];
+    if (i) out << ',';
+    out << "{\"metric\":\"" << json_escape(metric.metric) << '"';
+    const auto field = [&](const char* name, double value) {
+      out << ",\"" << name << "\":";
+      if (metric.has_values) out << json_number(value);
+      else out << "null";
+    };
+    field("cold_landing_median", metric.cold_landing_median);
+    field("cold_internal_median", metric.cold_internal_median);
+    field("warm_landing_median", metric.warm_landing_median);
+    field("warm_internal_median", metric.warm_internal_median);
+    out << '}';
+  }
+  out << "],\"trace\":{\"spans\":" << report.trace_spans
+      << ",\"spans_dropped\":" << report.trace_spans_dropped
+      << "},\"telemetry\":" << (report.telemetry ? "true" : "false") << '}';
+}
+
 }  // namespace hispar::obs

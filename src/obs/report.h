@@ -228,4 +228,67 @@ std::string render_vantage_report_text(const VantageReport& report);
 void write_vantage_report_json(std::ostream& out,
                                const VantageReport& report);
 
+// --- Browsing-session reports ---
+//
+// The same idea for browsing-session campaigns (`hispar measure
+// --sessions`): per-session coverage, the aggregated browser-cache
+// behaviour, and the cold-vs-warm landing-vs-internal contrast — the
+// single report answers "how much of the landing/internal gap survives
+// a warm within-session cache?". Built from observations, per-session
+// cache counters and merged telemetry only — bit-identical for any
+// --jobs value and across checkpoint resume.
+struct SessionReport {
+  std::uint64_t sites_total = 0;  // one session per site
+  std::uint64_t sessions_ok = 0;
+  std::uint64_t sessions_degraded = 0;
+  std::uint64_t sessions_quarantined = 0;  // landing never loaded
+  std::uint64_t pages_loaded = 0;          // usable page loads
+  std::uint64_t session_len = 0;           // internal pages per session
+
+  // --- browser cache, summed over sessions ---
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_fresh_hits = 0;
+  std::uint64_t cache_revalidations = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+
+  // --- cold-vs-warm contrast, core consensus-metric order ---
+  // Per metric: the landing-minus-internal-median gap under the cold
+  // (fresh profile per page) and warm (session replay) regimes, as
+  // medians over the sites usable in both runs.
+  struct MetricLine {
+    std::string metric;
+    bool has_values = false;  // some site usable in both regimes
+    double cold_landing_median = 0.0;
+    double cold_internal_median = 0.0;
+    double warm_landing_median = 0.0;
+    double warm_internal_median = 0.0;
+    bool operator==(const MetricLine&) const = default;
+  };
+  std::vector<MetricLine> metric_lines;
+
+  // --- telemetry-backed (zero when telemetry is off) ---
+  bool telemetry = false;
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_spans_dropped = 0;
+
+  // Fraction of cache lookups answered locally without any network.
+  double warm_hit_ratio() const;
+
+  bool operator==(const SessionReport&) const = default;
+};
+
+// One-line summary `hispar measure --sessions` prints:
+// "sessions: X ok, Y degraded, Z quarantined over S sites; P pages,
+//  warm-hit ratio R%"
+std::string session_summary_line(const SessionReport& report);
+
+// Multi-line human-readable report. Ends with '\n'.
+std::string render_session_report_text(const SessionReport& report);
+
+// {"schema":"hispar-session-report-v1",...}; byte-stable.
+void write_session_report_json(std::ostream& out,
+                               const SessionReport& report);
+
 }  // namespace hispar::obs

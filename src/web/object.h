@@ -55,6 +55,18 @@ struct WebObject {
   // in the document head).
   bool render_blocking = false;
 
+  // --- browser-cache identity (derived post-pass; no RNG draws) ---
+  // Site-common first-party assets (logos, stylesheets, app bundles)
+  // recur across the site's pages; page-specific assets do not.
+  bool site_shared = false;
+  // Stable identity in a per-client browser cache; empty for
+  // non-cacheable objects. Site-shared and third-party assets collapse
+  // onto per-host slots so a session revisiting the site can hit.
+  std::string cache_key;
+  // Standards-style freshness lifetime (max-age analogue, seconds);
+  // 0 for non-cacheable objects.
+  double freshness_lifetime_s = 0.0;
+
   bool is_first_party() const { return third_party_id < 0; }
   bool is_https() const { return scheme == util::Scheme::kHttps; }
 };

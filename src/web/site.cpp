@@ -90,6 +90,33 @@ double tp_object_size(MimeCategory mime, util::Rng& rng) {
                                 std::min(cs.sigma, 0.7)));
 }
 
+// Standards-style freshness lifetime (a max-age analogue, seconds) for
+// a cacheable object. Pure function of the object's cache identity and
+// the site profile — no RNG, so generation draw order is untouched and
+// sessions-off artifacts keep their bytes.
+double freshness_lifetime_for(const WebObject& o, const SiteProfile& profile) {
+  double base_s;
+  switch (o.mime) {
+    case MimeCategory::kJson:
+    case MimeCategory::kData:
+      base_s = 60.0;  // API-ish payloads revalidate quickly
+      break;
+    case MimeCategory::kHtmlCss:
+      base_s = 600.0;  // stylesheets and fragments
+      break;
+    default:
+      base_s = 3600.0;  // static assets: images, fonts, scripts, media
+      break;
+  }
+  // Sites serving mostly cacheable content publish longer lifetimes.
+  const double site_factor =
+      std::clamp(1.5 - profile.internal_noncacheable_frac, 0.5, 1.5);
+  // Deterministic per-object jitter in [0.5, 1.5), keyed by identity.
+  const double jitter =
+      0.5 + static_cast<double>(util::fnv1a(o.cache_key) % 1000) / 1000.0;
+  return base_s * site_factor * jitter;
+}
+
 }  // namespace
 
 WebSite::WebSite(std::string domain, SiteProfile profile,
@@ -467,6 +494,7 @@ void WebSite::build_objects(WebPage& page, const PageTargets& targets,
     // many pages and inherit the site's aggregate rate; page-specific
     // assets (article images) only see this page's traffic.
     const bool site_common = rng.chance(0.45);
+    o.site_shared = site_common;
     o.request_rate = site_common ? site_rate_us * rng.uniform(0.3, 0.8)
                                  : page_rate_us * rng.uniform(0.6, 1.0);
     o.origin_think_ms = std::max(2.0, rng.lognormal(std::log(18.0), 0.6));
@@ -680,6 +708,30 @@ void WebSite::build_objects(WebPage& page, const PageTargets& targets,
       page.objects[index].cacheable = !need_more;
       current += need_more ? 1 : -1;
     }
+  }
+
+  // --- browser-cache identity + freshness (deterministic post-pass) ---
+  // Runs after every pass that can flip cacheability and draws no RNG.
+  // Generated URLs embed the page index, so raw URLs never repeat
+  // across pages; site-shared first-party assets and third-party
+  // libraries instead collapse onto per-host slots, which is what lets
+  // a browsing session revisiting the site hit on them. Page-specific
+  // cacheable assets keep their URL as identity (same-page reloads).
+  for (WebObject& o : page.objects) {
+    if (!o.cacheable) continue;
+    if (o.is_first_party()) {
+      if (o.site_shared)
+        o.cache_key = o.host + "|s|" +
+                      std::to_string(static_cast<int>(o.mime)) + "|" +
+                      std::to_string(util::fnv1a(o.url) % 24);
+      else
+        o.cache_key = o.url;
+    } else {
+      o.cache_key = o.host + "|t|" + std::to_string(o.third_party_id) + "|" +
+                    std::to_string(static_cast<int>(o.mime)) + "|" +
+                    std::to_string(util::fnv1a(o.url) % 8);
+    }
+    o.freshness_lifetime_s = freshness_lifetime_for(o, profile_);
   }
 }
 

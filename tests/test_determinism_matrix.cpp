@@ -19,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "core/analyses.h"
 #include "core/hispar.h"
 #include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
+#include "core/session.h"
 #include "core/vantage.h"
 #include "net/outage.h"
 #include "net/vantage_profile.h"
@@ -258,6 +260,65 @@ TEST_F(DeterminismMatrixTest, JobsNeverChangeMultiVantageArtifactBytes) {
           << "metrics JSON differs: " << cell;
       EXPECT_EQ(reference.trace, other.trace)
           << "trace JSON differs: " << cell;
+    }
+  }
+}
+
+// The sessions axis: the warm browsing-session replay threads mutable
+// client state (HTTP cache, DNS answers, keep-alive clocks) across a
+// site's pages, but that state is session-private and every
+// fault/chaos/load stream stays keyed by (seed, domain, page, attempt)
+// — so `jobs` still changes no artifact byte, with faults and chaos
+// stacked on. Covers the warm-hits CSV alongside the shared artifacts.
+TEST_F(DeterminismMatrixTest, JobsNeverChangeSessionArtifactBytes) {
+  const std::uint64_t seeds[] = {20200312u, 7u};
+  const std::size_t jobs[] = {1, 2, 8};
+  const std::string chaos_specs[] = {
+      "none", "resolver:start_s=2,dur_s=20,kind=dns_timeout,sev=0.6"};
+
+  const auto run_sessions = [&](std::uint64_t seed, std::size_t jobs_n,
+                                const std::string& chaos) {
+    core::SessionConfig config;
+    config.base.seed = seed;
+    config.base.jobs = jobs_n;
+    config.base.fault_profile = net::FaultProfile::parse("uniform:0.05");
+    config.base.chaos = net::OutageSchedule::parse(chaos);
+    config.base.observability.enabled = true;
+    config.session_len = 3;
+    core::SessionCampaign campaign(web_, config);
+    const auto sites = campaign.run(list_);
+
+    RunBytes bytes;
+    std::ostringstream csv;
+    core::write_measure_csv(csv, sites);
+    core::write_warm_hits_csv(csv, sites, campaign.cache_stats());
+    bytes.csv = csv.str();
+    std::ostringstream metrics;
+    campaign.telemetry().metrics.write_json(metrics);
+    bytes.metrics = metrics.str();
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace, campaign.telemetry().spans);
+    bytes.trace = trace.str();
+    return bytes;
+  };
+
+  for (const std::uint64_t seed : seeds) {
+    for (const std::string& chaos : chaos_specs) {
+      const RunBytes reference = run_sessions(seed, jobs[0], chaos);
+      EXPECT_NE(reference.metrics.find("faults.injected"), std::string::npos)
+          << "seed " << seed << ": fault profile injected nothing";
+      for (std::size_t i = 1; i < std::size(jobs); ++i) {
+        const RunBytes other = run_sessions(seed, jobs[i], chaos);
+        const std::string cell = "seed " + std::to_string(seed) +
+                                 ", chaos " + chaos + ", jobs " +
+                                 std::to_string(jobs[i]) + " vs 1";
+        EXPECT_EQ(reference.csv, other.csv)
+            << "session CSVs differ: " << cell;
+        EXPECT_EQ(reference.metrics, other.metrics)
+            << "metrics JSON differs: " << cell;
+        EXPECT_EQ(reference.trace, other.trace)
+            << "trace JSON differs: " << cell;
+      }
     }
   }
 }

@@ -32,6 +32,7 @@
 #include "core/measurement.h"
 #include "core/analyses.h"
 #include "core/serialization.h"
+#include "core/session.h"
 #include "core/vantage.h"
 #include "net/vantage_profile.h"
 #include "obs/report.h"
@@ -413,6 +414,142 @@ TEST(GoldenArtifacts, MultiVantageOutputsArePinned) {
   EXPECT_NE(artifacts.report.find("\"hispar-vantage-report-v1\""),
             std::string::npos);
   EXPECT_EQ(artifacts.checkpoint.rfind("hispar-vantage,v1,", 0), 0u);
+}
+
+// --- Browsing-session pipeline goldens ---
+//
+// Same discipline for the browsing-session engine: digests of every
+// artifact of `hispar measure --universe 600 --sites 24 --loads 4
+// --sessions --session-len 5 --jobs 1 --seed 42` — the warm session
+// CSV, the per-site warm-hits CSV, the merged telemetry, the
+// hispar-session-report-v1 JSON (whose cold arm is the regular
+// campaign over the same list) and the session-granular checkpoint.
+// The digests pin the per-session seed forking, the visit-order
+// shuffle, the browser-cache hit/revalidate/miss classification and
+// the warm DNS/connection carryover all at once.
+constexpr std::uint64_t kGoldenSessionCsv = 0xad4f9187625b0606ull;
+constexpr std::uint64_t kGoldenSessionWarmHits = 0x4573332e8b782ae3ull;
+constexpr std::uint64_t kGoldenSessionMetrics = 0xfb077f813d6fd0fbull;
+constexpr std::uint64_t kGoldenSessionTrace = 0xaeb3129f8c3bd7bfull;
+constexpr std::uint64_t kGoldenSessionReport = 0x3773e4caa2e599ceull;
+constexpr std::uint64_t kGoldenSessionCheckpoint = 0x8d12309446c06b61ull;
+
+struct SessionArtifacts {
+  std::string csv;        // warm session observations
+  std::string warm_hits;  // per-site cache counters
+  std::string metrics;
+  std::string trace;
+  std::string report;
+  std::string checkpoint;
+};
+
+SessionArtifacts run_session_pipeline() {
+  web::SyntheticWebConfig web_config;
+  web_config.site_count = 600;
+  web_config.seed = 42;
+  web::SyntheticWeb web(web_config);
+  toplist::TopListFactory toplists(web);
+  search::SearchEngine engine(web);
+
+  core::HisparBuilder builder(web, toplists, engine);
+  core::HisparConfig list_config;
+  list_config.name = "H24";
+  list_config.target_sites = 24;
+  list_config.urls_per_site = 20;
+  list_config.min_internal_results = 5;
+  const core::HisparList list = builder.build(list_config, /*week=*/0);
+
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "hispar_golden_session_ckpt.txt";
+  std::remove(checkpoint_path.c_str());
+
+  core::SessionConfig config;
+  config.base.landing_loads = 4;
+  config.base.jobs = 1;
+  config.base.observability.enabled = true;
+  config.session_len = 5;
+  config.checkpoint_path = checkpoint_path;
+  core::SessionCampaign campaign(web, config);
+  const auto warm = campaign.run(list);
+
+  // The cold arm of the report is the regular campaign over the same
+  // list (exactly what `hispar measure --sessions` runs first).
+  core::CampaignConfig cold_config = config.base;
+  cold_config.observability.enabled = false;
+  core::MeasurementCampaign cold_campaign(web, cold_config);
+  const auto cold = cold_campaign.run(list);
+
+  SessionArtifacts artifacts;
+  std::ostringstream csv;
+  core::write_measure_csv(csv, warm);
+  artifacts.csv = csv.str();
+  std::ostringstream warm_hits;
+  core::write_warm_hits_csv(warm_hits, warm, campaign.cache_stats());
+  artifacts.warm_hits = warm_hits.str();
+  std::ostringstream metrics;
+  campaign.telemetry().metrics.write_json(metrics);
+  artifacts.metrics = metrics.str();
+  std::ostringstream trace;
+  obs::write_chrome_trace(trace, campaign.telemetry().spans);
+  artifacts.trace = trace.str();
+  std::ostringstream report;
+  obs::write_session_report_json(
+      report,
+      core::build_session_report(cold, warm, campaign.cache_stats(),
+                                 campaign.telemetry(), config.session_len));
+  artifacts.report = report.str();
+  std::ifstream checkpoint(checkpoint_path);
+  std::ostringstream checkpoint_bytes;
+  checkpoint_bytes << checkpoint.rdbuf();
+  artifacts.checkpoint = checkpoint_bytes.str();
+  std::remove(checkpoint_path.c_str());
+  return artifacts;
+}
+
+TEST(GoldenArtifacts, BrowsingSessionOutputsArePinned) {
+  const SessionArtifacts artifacts = run_session_pipeline();
+  const std::uint64_t csv = util::fnv1a(artifacts.csv);
+  const std::uint64_t warm_hits = util::fnv1a(artifacts.warm_hits);
+  const std::uint64_t metrics = util::fnv1a(artifacts.metrics);
+  const std::uint64_t trace = util::fnv1a(artifacts.trace);
+  const std::uint64_t report = util::fnv1a(artifacts.report);
+  const std::uint64_t checkpoint = util::fnv1a(artifacts.checkpoint);
+
+  if (std::getenv("HISPAR_UPDATE_GOLDENS") != nullptr) {
+    std::printf(
+        "constexpr std::uint64_t kGoldenSessionCsv = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenSessionWarmHits = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenSessionMetrics = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenSessionTrace = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenSessionReport = 0x%llxull;\n"
+        "constexpr std::uint64_t kGoldenSessionCheckpoint = 0x%llxull;\n",
+        static_cast<unsigned long long>(csv),
+        static_cast<unsigned long long>(warm_hits),
+        static_cast<unsigned long long>(metrics),
+        static_cast<unsigned long long>(trace),
+        static_cast<unsigned long long>(report),
+        static_cast<unsigned long long>(checkpoint));
+    GTEST_SKIP() << "HISPAR_UPDATE_GOLDENS set: printed digests, not "
+                    "comparing";
+  }
+
+  EXPECT_EQ(csv, kGoldenSessionCsv) << "session CSV bytes changed";
+  EXPECT_EQ(warm_hits, kGoldenSessionWarmHits)
+      << "warm-hits CSV bytes changed";
+  EXPECT_EQ(metrics, kGoldenSessionMetrics) << "metrics JSON bytes changed";
+  EXPECT_EQ(trace, kGoldenSessionTrace) << "trace JSON bytes changed";
+  EXPECT_EQ(report, kGoldenSessionReport)
+      << "session report JSON bytes changed";
+  EXPECT_EQ(checkpoint, kGoldenSessionCheckpoint)
+      << "session checkpoint bytes changed";
+
+  EXPECT_EQ(artifacts.warm_hits.rfind("domain,rank,lookups,", 0), 0u);
+  EXPECT_NE(artifacts.report.find("\"hispar-session-report-v1\""),
+            std::string::npos);
+  EXPECT_EQ(artifacts.checkpoint.rfind("hispar-session,v1,", 0), 0u);
+  // The engine's reason to exist: the warm cache must actually hit.
+  EXPECT_EQ(artifacts.report.find("\"cache_fresh_hits\":0,"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -53,6 +53,17 @@ TEST(LruCacheTest, ReinsertUpdatesSize) {
   EXPECT_EQ(cache.entries(), 1u);
 }
 
+TEST(LruCacheTest, OversizedUpdateEvictsStaleEntry) {
+  // Regression: growing an existing key past the capacity used to
+  // return early and leave the old-sized entry resident.
+  LruCache cache(100);
+  cache.insert("a", 10);
+  cache.insert("a", 200);
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
 TEST(LruCacheTest, EvictsMultipleToFit) {
   LruCache cache(30);
   cache.insert("a", 10);

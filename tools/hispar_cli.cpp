@@ -42,6 +42,14 @@
 //            vantage-granular, --report-out switches to the
 //            multi-vantage report) --consensus-out FILE (per-site
 //            cross-vantage consensus CSV)
+//            --sessions (additionally replay one warm browsing session
+//            per site — landing page then --session-len internal pages
+//            through a private browser cache; the cold artifacts above
+//            are unchanged, the warm CSV goes to --session-out,
+//            per-site cache counters to --warm-hits-out, checkpointing
+//            gains a FILE-sessions companion and --report-out switches
+//            to the session report) --session-len K --session-out FILE
+//            --warm-hits-out FILE
 //            --metrics-out FILE --trace-out FILE --report-out FILE
 //            (observability artifacts; any of them enables telemetry)
 //            --quiet (suppress the multi-line run report)
@@ -60,6 +68,7 @@
 #include "core/list_build.h"
 #include "core/measurement.h"
 #include "core/serialization.h"
+#include "core/session.h"
 #include "core/vantage.h"
 #include "net/vantage_profile.h"
 #include "obs/report.h"
@@ -369,6 +378,33 @@ int cmd_measure(World& world, const util::Args& args) {
     throw std::invalid_argument(
         "measure: --consensus-out needs --vantages or --vantage-profile");
 
+  // Session mode: replay one warm browsing session per site after the
+  // cold campaign. The cold artifacts stay byte-identical to a run
+  // without --sessions; the warm CSV, cache counters, checkpoint
+  // companion and the session report are new files.
+  const bool session_mode = args.get_bool("sessions");
+  const std::string session_out_flag = args.get("session-out", "");
+  const std::string warm_hits_out = args.get("warm-hits-out", "");
+  if (!session_mode &&
+      (args.has("session-len") || !session_out_flag.empty() ||
+       !warm_hits_out.empty()))
+    throw std::invalid_argument(
+        "measure: --session-len/--session-out/--warm-hits-out need "
+        "--sessions");
+  if (session_mode && vantage_mode)
+    throw std::invalid_argument(
+        "measure: --sessions cannot be combined with --vantages or "
+        "--vantage-profile");
+  const long session_len = args.get_int("session-len", 5);
+  if (session_mode && session_len < 1)
+    throw std::invalid_argument(
+        "measure: --session-len must be >= 1 (a session without internal "
+        "pages measures nothing)");
+  const std::string out = args.get("out", "metrics.csv");
+  const std::string session_out = session_out_flag.empty()
+                                      ? suffixed_csv_path(out, "-sessions")
+                                      : session_out_flag;
+
   // Observability: any artifact flag enables telemetry.
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string trace_out = args.get("trace-out", "");
@@ -377,7 +413,7 @@ int cmd_measure(World& world, const util::Args& args) {
   config.observability.enabled =
       !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
   std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os,
-      consensus_os;
+      consensus_os, session_os, warm_hits_os;
   if (!metrics_out.empty())
     metrics_os = open_artifact("measure", "metrics-out", metrics_out);
   if (!trace_out.empty())
@@ -386,6 +422,11 @@ int cmd_measure(World& world, const util::Args& args) {
     report_os = open_artifact("measure", "report-out", report_out);
   if (!consensus_out.empty())
     consensus_os = open_artifact("measure", "consensus-out", consensus_out);
+  if (session_mode) {
+    session_os = open_artifact("measure", "session-out", session_out);
+    if (!warm_hits_out.empty())
+      warm_hits_os = open_artifact("measure", "warm-hits-out", warm_hits_out);
+  }
 
   std::unique_ptr<core::MeasurementCampaign> single;
   std::unique_ptr<core::VantageCampaign> multi;
@@ -403,11 +444,34 @@ int cmd_measure(World& world, const util::Args& args) {
     single = std::make_unique<core::MeasurementCampaign>(*world.web, config);
     per_vantage.push_back(single->run(list));
   }
+
+  // The warm replay runs after the cold campaign so the two share a
+  // list and substrate configuration; its checkpoint is a companion
+  // file (FILE-sessions) at session granularity.
+  std::unique_ptr<core::SessionCampaign> session_campaign;
+  std::vector<core::SiteObservation> warm_sites;
+  if (session_mode) {
+    core::SessionConfig session_config;
+    session_config.base = config;
+    session_config.base.checkpoint_path.clear();
+    session_config.session_len = static_cast<std::size_t>(session_len);
+    if (!checkpoint_path.empty())
+      session_config.checkpoint_path =
+          suffixed_csv_path(checkpoint_path, "-sessions");
+    session_campaign = std::make_unique<core::SessionCampaign>(
+        *world.web, std::move(session_config));
+    warm_sites = session_campaign->run(list);
+  }
+
+  // In session mode the observability artifacts describe the warm
+  // replay (the cold campaign's telemetry is byte-identical to a
+  // sessions-off run and can be exported by one).
   const obs::RunTelemetry& telemetry =
-      vantage_mode ? multi->telemetry() : single->telemetry();
+      vantage_mode ? multi->telemetry()
+                   : (session_mode ? session_campaign->telemetry()
+                                   : single->telemetry());
   const auto& sites = per_vantage.front();
 
-  const std::string out = args.get("out", "metrics.csv");
   std::ofstream os(out);
   core::write_measure_csv(os, sites);
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
@@ -418,6 +482,15 @@ int cmd_measure(World& world, const util::Args& args) {
     std::cout << "vantage " << v << " (" << profiles[v].name << ") -> "
               << path << "\n";
   }
+  if (session_os != nullptr) {
+    core::write_measure_csv(*session_os, warm_sites);
+    std::cout << "sessions -> " << session_out << "\n";
+  }
+  if (warm_hits_os != nullptr) {
+    core::write_warm_hits_csv(*warm_hits_os, warm_sites,
+                              session_campaign->cache_stats());
+    std::cout << "warm hits -> " << warm_hits_out << "\n";
+  }
 
   // All run accounting flows through a structured report; in the
   // single-vantage case the summary line it renders is byte-identical
@@ -425,11 +498,12 @@ int cmd_measure(World& world, const util::Args& args) {
   // trace, report) is the legacy order.
   std::unique_ptr<obs::RunReport> run_report;
   std::unique_ptr<obs::VantageReport> vantage_report;
+  std::unique_ptr<obs::SessionReport> session_report;
   if (per_vantage.size() == 1) {
     run_report = std::make_unique<obs::RunReport>(
-        core::build_run_report(sites, telemetry));
+        core::build_run_report(sites, single->telemetry()));
     std::cout << obs::summary_line(*run_report) << "\n";
-    if (telemetry.enabled && !quiet)
+    if (!session_mode && telemetry.enabled && !quiet)
       std::cout << obs::render_report_text(*run_report);
   } else {
     vantage_report = std::make_unique<obs::VantageReport>(
@@ -437,6 +511,15 @@ int cmd_measure(World& world, const util::Args& args) {
     std::cout << obs::vantage_summary_line(*vantage_report) << "\n";
     if (telemetry.enabled && !quiet)
       std::cout << obs::render_vantage_report_text(*vantage_report);
+  }
+  if (session_mode) {
+    session_report = std::make_unique<obs::SessionReport>(
+        core::build_session_report(sites, warm_sites,
+                                   session_campaign->cache_stats(), telemetry,
+                                   static_cast<std::size_t>(session_len)));
+    std::cout << obs::session_summary_line(*session_report) << "\n";
+    if (telemetry.enabled && !quiet)
+      std::cout << obs::render_session_report_text(*session_report);
   }
   if (metrics_os != nullptr) {
     telemetry.metrics.write_json(*metrics_os);
@@ -447,7 +530,9 @@ int cmd_measure(World& world, const util::Args& args) {
     std::cout << "trace -> " << trace_out << "\n";
   }
   if (report_os != nullptr) {
-    if (run_report != nullptr)
+    if (session_report != nullptr)
+      obs::write_session_report_json(*report_os, *session_report);
+    else if (run_report != nullptr)
       obs::write_report_json(*report_os, *run_report);
     else
       obs::write_vantage_report_json(*report_os, *vantage_report);
@@ -469,6 +554,18 @@ int cmd_measure(World& world, const util::Args& args) {
             << " of sites; landing faster for "
             << util::TextTable::pct(1.0 - plt.fraction_landing_greater())
             << "\n";
+  if (session_report != nullptr) {
+    for (const auto& line : session_report->metric_lines) {
+      if (line.metric != "plt_ms" || !line.has_values) continue;
+      const double cold_gap =
+          line.cold_landing_median - line.cold_internal_median;
+      const double warm_gap =
+          line.warm_landing_median - line.warm_internal_median;
+      std::cout << "PLT landing-internal gap: cold "
+                << util::TextTable::num(cold_gap, 1) << " ms vs warm "
+                << util::TextTable::num(warm_gap, 1) << " ms\n";
+    }
+  }
   return 0;
 }
 
@@ -556,6 +653,18 @@ void print_help(std::ostream& out, const std::string& program) {
          "                      (keys: region, resolver, doh, edge,\n"
          "                      access_ms, bandwidth, faults)\n"
          "  --consensus-out F   per-site cross-vantage consensus CSV\n"
+         "  --sessions          after the cold campaign, replay one warm\n"
+         "                      browsing session per site (landing page\n"
+         "                      then internal pages through a private\n"
+         "                      HTTP cache + warm DNS + keep-alive); the\n"
+         "                      cold artifacts are unchanged, telemetry\n"
+         "                      artifacts describe the warm replay, and\n"
+         "                      --report-out becomes the session report\n"
+         "  --session-len K     internal pages per session, >= 1\n"
+         "                      (default 5; needs --sessions)\n"
+         "  --session-out FILE  warm per-session CSV (default: --out\n"
+         "                      with a -sessions suffix)\n"
+         "  --warm-hits-out F   per-site browser-cache counter CSV\n"
          "  --metrics-out FILE  merged metrics registry as JSON\n"
          "  --trace-out FILE    virtual-clock Chrome trace JSON\n"
          "                      (open in ui.perfetto.dev)\n"

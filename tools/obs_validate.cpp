@@ -262,6 +262,81 @@ void check_vantage_report(const JsonValue& doc) {
   member(doc, "telemetry", JsonValue::Type::kBool, "report");
 }
 
+// The browsing-session report (`hispar measure --sessions
+// --report-out`): session coverage, the browser-cache accounting
+// bound (lookup outcomes never exceed lookups, warm-hit ratio in
+// [0, 1]) and the cold-vs-warm contrast table (cells null when no site
+// is usable in both regimes).
+void check_session_report(const JsonValue& doc) {
+  const JsonValue& coverage =
+      member(doc, "coverage", JsonValue::Type::kObject, "report");
+  const double total =
+      member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage")
+          .number;
+  const double accounted =
+      member(coverage, "sessions_ok", JsonValue::Type::kNumber, "coverage")
+          .number +
+      member(coverage, "sessions_degraded", JsonValue::Type::kNumber,
+             "coverage")
+          .number +
+      member(coverage, "sessions_quarantined", JsonValue::Type::kNumber,
+             "coverage")
+          .number;
+  require(total == accounted, "report: coverage counts do not add up");
+  member(coverage, "pages_loaded", JsonValue::Type::kNumber, "coverage");
+  member(coverage, "session_len", JsonValue::Type::kNumber, "coverage");
+
+  const JsonValue& cache =
+      member(doc, "browser_cache", JsonValue::Type::kObject, "report");
+  const double lookups =
+      member(cache, "lookups", JsonValue::Type::kNumber, "browser_cache")
+          .number;
+  const double classified =
+      member(cache, "fresh_hits", JsonValue::Type::kNumber, "browser_cache")
+          .number +
+      member(cache, "revalidations", JsonValue::Type::kNumber,
+             "browser_cache")
+          .number +
+      member(cache, "misses", JsonValue::Type::kNumber, "browser_cache")
+          .number;
+  // Not an equality: a stale lookup whose revalidation transfer failed
+  // is counted in lookups but in none of the outcome buckets.
+  require(classified <= lookups,
+          "report: browser_cache fresh_hits + revalidations + misses "
+          "exceed lookups");
+  member(cache, "insertions", JsonValue::Type::kNumber, "browser_cache");
+  member(cache, "evictions", JsonValue::Type::kNumber, "browser_cache");
+  const double ratio =
+      member(cache, "warm_hit_ratio", JsonValue::Type::kNumber,
+             "browser_cache")
+          .number;
+  require(ratio >= 0.0 && ratio <= 1.0,
+          "report: warm_hit_ratio out of [0, 1]");
+
+  const JsonValue& contrast =
+      member(doc, "cold_vs_warm", JsonValue::Type::kArray, "report");
+  for (const JsonValue& metric : contrast.array) {
+    member(metric, "metric", JsonValue::Type::kString, "report metric");
+    for (const char* cell_name :
+         {"cold_landing_median", "cold_internal_median",
+          "warm_landing_median", "warm_internal_median"}) {
+      const JsonValue* cell = metric.find(cell_name);
+      require(cell != nullptr,
+              std::string("report metric: missing \"") + cell_name + "\"");
+      require(cell->is(JsonValue::Type::kNumber) ||
+                  cell->is(JsonValue::Type::kNull),
+              std::string("report metric: \"") + cell_name +
+                  "\" is neither number nor null");
+    }
+  }
+
+  const JsonValue& trace =
+      member(doc, "trace", JsonValue::Type::kObject, "report");
+  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
+  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
+  member(doc, "telemetry", JsonValue::Type::kBool, "report");
+}
+
 void check_report(const std::string& path) {
   const JsonValue doc = load(path);
   require(doc.is(JsonValue::Type::kObject), "report: not an object");
@@ -273,6 +348,8 @@ void check_report(const std::string& path) {
     check_listbuild_report(doc);
   else if (schema == "hispar-vantage-report-v1")
     check_vantage_report(doc);
+  else if (schema == "hispar-session-report-v1")
+    check_session_report(doc);
   else
     fail("report: unknown schema \"" + schema + "\"");
 }
