@@ -1,0 +1,138 @@
+// Throughput baseline for the property-testing kit (ISSUE 9): what one
+// generated case costs per layer, so CI iteration budgets (50 configs
+// per engine in test_properties.cpp, 10k fuzz iterations in the
+// fuzz-smoke job) can be sized against measured cost instead of
+// guesses. Reports cases/second for the generators, the byte mutator,
+// the reference-model oracles, and one full jobs-identity oracle case
+// (the expensive end: two engine runs per case).
+//
+// HISPAR_BENCH_JSON exports the timings as BENCH_testkit.json through
+// the usual metrics registry.
+#include <chrono>
+
+#include "common.h"
+#include "testkit/oracles.h"
+#include "testkit/property.h"
+
+namespace {
+
+using namespace hispar;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "property-testkit throughput",
+      "cost per generated case, per layer: spec/config generators and "
+      "byte mutation are near-free, model oracles are cheap, engine "
+      "oracles pay for two full campaign runs per case");
+
+  obs::MetricsRegistry metrics;
+  util::TextTable table({"layer", "cases", "wall s", "cases/s"});
+  const auto report = [&](const char* layer, int cases, double elapsed_s) {
+    table.add_row({layer, std::to_string(cases),
+                   util::TextTable::num(elapsed_s, 3),
+                   util::TextTable::num(cases / elapsed_s, 1)});
+    metrics.gauge("bench.testkit." + std::string(layer) + ".cases_per_s") =
+        cases / elapsed_s;
+  };
+
+  {
+    const int cases = 20000;
+    const auto start = Clock::now();
+    std::size_t sink = 0;
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(1, i), 10 + i % 40);
+      sink += testkit::gen_fault_spec(gen).size();
+      sink += testkit::gen_chaos_spec(gen).size();
+      sink += testkit::gen_vantage_list_spec(gen).size();
+    }
+    report("spec-generators", cases, seconds_since(start));
+    if (sink == 0) return 1;  // keep the loop observable
+  }
+
+  {
+    const int cases = 20000;
+    const auto start = Clock::now();
+    std::size_t sink = 0;
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(2, i), 10 + i % 40);
+      sink += testkit::gen_campaign_config(gen).shards;
+      sink += testkit::gen_session_config(gen).session_len;
+    }
+    report("config-generators", cases, seconds_since(start));
+    if (sink == 0) return 1;
+  }
+
+  {
+    const std::string artifact =
+        "hispar-checkpoint,v1,42\nshard,0,2\nsite,0,a.example,1,News,0,0,1,"
+        "2,1\nendshard,0\n";
+    const int cases = 20000;
+    const auto start = Clock::now();
+    std::size_t sink = 0;
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(3, i), 10 + i % 40);
+      sink += testkit::mutate(gen, artifact).size();
+    }
+    report("byte-mutation", cases, seconds_since(start));
+    if (sink == 0) return 1;
+  }
+
+  {
+    const int cases = 500;
+    const auto start = Clock::now();
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(4, i), 10 + i % 40);
+      if (auto violation = testkit::check_lru_model(gen)) {
+        std::cerr << "lru model violation: " << *violation << "\n";
+        return 1;
+      }
+    }
+    report("lru-model-oracle", cases, seconds_since(start));
+  }
+
+  {
+    const int cases = 500;
+    const auto start = Clock::now();
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(5, i), 10 + i % 40);
+      if (auto violation = testkit::check_breaker_model(gen)) {
+        std::cerr << "breaker model violation: " << *violation << "\n";
+        return 1;
+      }
+    }
+    report("breaker-model-oracle", cases, seconds_since(start));
+  }
+
+  {
+    // The expensive end: one jobs-identity case = two campaign runs
+    // over a pooled world (world construction amortized across cases).
+    testkit::WorldPool pool;
+    const int cases = 10;
+    const auto start = Clock::now();
+    for (int i = 0; i < cases; ++i) {
+      testkit::Gen gen(testkit::case_seed(6, i), 30);
+      const auto& world = pool.pick(gen);
+      auto config = testkit::gen_campaign_config(gen);
+      if (auto violation = testkit::check_measure_jobs_identity(
+              world, config, 2 + gen.index(7))) {
+        std::cerr << "jobs-identity violation: " << *violation << "\n";
+        return 1;
+      }
+    }
+    report("measure-jobs-oracle", cases, seconds_since(start));
+  }
+
+  std::cout << table;
+  std::cout << "\nbudget rule of thumb: the CI property suite spends ~50 "
+               "cases on each engine oracle and hundreds on the cheap "
+               "layers; this table is the per-case price list.\n";
+  bench::write_bench_json(metrics, "testkit");
+  return 0;
+}

@@ -49,9 +49,11 @@ HisparList read_csv(std::istream& in, std::string name) {
       throw std::runtime_error("hispar csv: wrong field count at line " +
                                std::to_string(line_number));
     const std::string& domain = fields[0];
+    // strtoul stops at the first NUL, so require that it consumed the
+    // whole field: "3\0junk" must be rejected, not silently truncated.
     char* end = nullptr;
     const unsigned long rank = std::strtoul(fields[1].c_str(), &end, 10);
-    if (fields[1].empty() || end == nullptr || *end != '\0')
+    if (fields[1].empty() || end != fields[1].c_str() + fields[1].size())
       throw std::runtime_error("hispar csv: bad rank at line " +
                                std::to_string(line_number));
     const bool is_landing = fields[2] == "landing";
@@ -59,7 +61,7 @@ HisparList read_csv(std::istream& in, std::string name) {
       throw std::runtime_error("hispar csv: bad kind at line " +
                                std::to_string(line_number));
     const unsigned long page_index = std::strtoul(fields[3].c_str(), &end, 10);
-    if (fields[3].empty() || end == nullptr || *end != '\0')
+    if (fields[3].empty() || end != fields[3].c_str() + fields[3].size())
       throw std::runtime_error("hispar csv: bad page index at line " +
                                std::to_string(line_number));
     if (!util::parse_url(fields[4]).has_value())
@@ -163,10 +165,18 @@ namespace {
   throw std::runtime_error("checkpoint: " + what);
 }
 
+// The strtoX family stops at the first NUL, so a field like "5\0junk"
+// would parse as 5 under a bare *end == '\0' check. Require the parse
+// to consume the field's full length: embedded NUL bytes (and any
+// other trailing garbage) are rejected with the same clean error.
+bool consumed(const std::string& s, const char* end) {
+  return !s.empty() && end == s.c_str() + s.size();
+}
+
 std::uint64_t parse_u64(const std::string& s, const char* what) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (s.empty() || end == nullptr || *end != '\0')
+  if (!consumed(s, end))
     checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
   return static_cast<std::uint64_t>(v);
 }
@@ -174,7 +184,7 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
 int parse_int(const std::string& s, const char* what) {
   char* end = nullptr;
   const long v = std::strtol(s.c_str(), &end, 10);
-  if (s.empty() || end == nullptr || *end != '\0')
+  if (!consumed(s, end))
     checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
   return static_cast<int>(v);
 }
@@ -182,7 +192,7 @@ int parse_int(const std::string& s, const char* what) {
 double parse_double(const std::string& s, const char* what) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (s.empty() || end == nullptr || *end != '\0')
+  if (!consumed(s, end))
     checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
   return v;
 }
@@ -190,9 +200,22 @@ double parse_double(const std::string& s, const char* what) {
 std::int64_t parse_i64(const std::string& s, const char* what) {
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (s.empty() || end == nullptr || *end != '\0')
+  if (!consumed(s, end))
     checkpoint_fail(std::string("bad ") + what + " '" + s + "'");
   return static_cast<std::int64_t>(v);
+}
+
+// A length field read from the file feeds reserve() before the
+// records it promises are parsed; an adversarial count like 10^18
+// must fail as a bad checkpoint, not as std::length_error/bad_alloc
+// from the allocator. Every promised record occupies at least one
+// line, so the total line count is a sound upper bound.
+std::size_t parse_count(const std::string& s, const char* what,
+                        std::size_t line_bound) {
+  const std::uint64_t v = parse_u64(s, what);
+  if (v > line_bound)
+    checkpoint_fail(std::string("oversize ") + what + " '" + s + "'");
+  return static_cast<std::size_t>(v);
 }
 
 // Telemetry strings (span names, arg values) go into a comma/semicolon
@@ -330,8 +353,10 @@ std::pair<std::size_t, SiteObservation> read_site_record(
   o.category = static_cast<web::SiteCategory>(category);
   o.quarantined = parse_flag(site[5], "quarantined");
   o.total_retries = parse_int(site[6], "total retries");
-  const std::size_t n_internals = parse_u64(site[7], "internal count");
-  const std::size_t n_outcomes = parse_u64(site[8], "outcome count");
+  const std::size_t n_internals =
+      parse_count(site[7], "internal count", lines.size());
+  const std::size_t n_outcomes =
+      parse_count(site[8], "outcome count", lines.size());
   const bool has_landing = parse_flag(site[9], "landing flag");
   if (has_landing) o.landing = parse_metrics(need(i++));
   o.internals.reserve(n_internals);
@@ -527,7 +552,8 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
     if (shard_fields.size() != 3 || shard_fields[0] != "shard")
       checkpoint_fail("expected shard record, got '" + lines[i - 1] + "'");
     const std::size_t shard_id = parse_u64(shard_fields[1], "shard id");
-    const std::size_t n_sites = parse_u64(shard_fields[2], "site count");
+    const std::size_t n_sites =
+        parse_count(shard_fields[2], "site count", lines.size());
 
     for (std::size_t s = 0; s < n_sites; ++s)
       checkpoint.observations.push_back(read_site_record(lines, i, need));
@@ -618,7 +644,8 @@ ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in) {
     record.week = parse_u64(week_fields[1], "week");
     record.list.week = record.week;
     record.stats.week = record.week;
-    const std::size_t n_sets = parse_u64(week_fields[2], "set count");
+    const std::size_t n_sets =
+        parse_count(week_fields[2], "set count", lines.size());
 
     record.list.sets.reserve(n_sets);
     for (std::size_t s = 0; s < n_sets; ++s) {
@@ -628,7 +655,8 @@ ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in) {
       UrlSet set;
       set.domain = set_fields[1];
       set.bootstrap_rank = parse_u64(set_fields[2], "rank");
-      const std::size_t n_urls = parse_u64(set_fields[3], "url count");
+      const std::size_t n_urls =
+          parse_count(set_fields[3], "url count", lines.size());
       set.urls.reserve(n_urls);
       set.page_indices.reserve(n_urls);
       for (std::size_t u = 0; u < n_urls; ++u) {
@@ -731,7 +759,8 @@ VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
       checkpoint_fail("expected vantage record, got '" + lines[i - 1] + "'");
     VantageCheckpointBlock block;
     block.vantage = parse_u64(vantage_fields[1], "vantage id");
-    const std::size_t n_sites = parse_u64(vantage_fields[2], "site count");
+    const std::size_t n_sites =
+        parse_count(vantage_fields[2], "site count", lines.size());
     block.observations.reserve(n_sites);
     for (std::size_t s = 0; s < n_sites; ++s)
       block.observations.push_back(read_site_record(lines, i, need));

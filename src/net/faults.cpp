@@ -59,9 +59,11 @@ constexpr std::array<std::pair<std::string_view, SearchField>, 4>
 double parse_rate(const std::string& text, const std::string& where) {
   char* end = nullptr;
   const double rate = std::strtod(text.c_str(), &end);
-  // The negated comparison rejects NaN too (it fails every ordering);
-  // "rate < 0.0 || rate > 1.0" would wave NaN through.
-  if (text.empty() || end == nullptr || *end != '\0' ||
+  // Full-length consumption rejects trailing garbage and embedded NUL
+  // bytes ("0.5\0x" stops strtod at the NUL). The negated comparison
+  // rejects NaN too (it fails every ordering); "rate < 0.0 || rate >
+  // 1.0" would wave NaN through.
+  if (text.empty() || end != text.c_str() + text.size() ||
       !(rate >= 0.0 && rate <= 1.0))
     throw std::invalid_argument("fault profile: bad rate '" + text + "' in " +
                                 where);

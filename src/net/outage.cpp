@@ -61,7 +61,10 @@ constexpr std::array<std::pair<std::string_view, SearchFaultKind>, 4>
 double parse_chaos_num(const std::string& text, const std::string& key) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (text.empty() || end == nullptr || *end != '\0' || !std::isfinite(value))
+  // Full-length consumption (not *end == '\0') so embedded NUL bytes
+  // count as garbage rather than a terminator.
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(value))
     chaos_fail("bad number '" + text + "' for " + key);
   return value;
 }
@@ -128,7 +131,10 @@ OutageRule parse_rule(const std::string& text) {
       if (rule.scope != OutageScope::kCdnProvider)
         chaos_fail("provider= only applies to cdn rules");
       const double provider = parse_chaos_num(value, key);
-      if (provider < 0.0 || provider != std::floor(provider))
+      // Bound before the int cast: a value past INT_MAX would be UB
+      // (float-cast overflow), and no deployment has 10^6 providers.
+      if (provider < 0.0 || provider != std::floor(provider) ||
+          provider > 1000000.0)
         chaos_fail("provider must be a non-negative integer, got '" + value +
                    "'");
       rule.provider = static_cast<int>(provider);

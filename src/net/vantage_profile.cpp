@@ -1,5 +1,6 @@
 #include "net/vantage_profile.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,7 +20,9 @@ double parse_number(const std::string& key, const std::string& value) {
   } catch (const std::exception&) {
     spec_fail("bad value for " + key + ": '" + value + "'");
   }
-  if (consumed != value.size())
+  // "nan" and "inf" are valid stod tokens but never valid knob values:
+  // NaN slips past every one-sided range check below, so reject here.
+  if (consumed != value.size() || !std::isfinite(out))
     spec_fail("bad value for " + key + ": '" + value + "'");
   return out;
 }

@@ -60,6 +60,11 @@ class Parser {
   }
 
  private:
+  // parse_value recurses per nesting level, so an adversarial input of
+  // a few hundred kilobytes of '[' would otherwise walk off the stack.
+  // Our own writers emit at most ~6 levels; 200 is far beyond any real
+  // artifact while keeping worst-case stack use a few hundred frames.
+  static constexpr int kMaxDepth = 200;
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("json: " + what + " at offset " +
                              std::to_string(pos_));
@@ -145,6 +150,11 @@ class Parser {
   JsonValue parse_value() {
     skip_ws();
     if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{++depth_};
     const char c = peek();
     JsonValue value;
     if (c == '{') {
@@ -224,6 +234,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,28 @@
+// Structural validation of the observability artifacts (the schema
+// checks behind tools/obs_validate).
+//
+// Each validator parses `text` and walks the document against its
+// schema, throwing std::runtime_error with a pointed message ("metrics:
+// missing \"counters\"", "report: coverage counts do not add up") on
+// the first violation. Living in the library rather than the tool keeps
+// the checks directly unit-testable (tests/test_obs_validate.cpp feeds
+// them per-field corruptions of every report flavour); the tool is a
+// thin file-loading wrapper that maps a throw to exit 1.
+#pragma once
+
+#include <string_view>
+
+namespace hispar::obs {
+
+// --metrics artifact: schema hispar-metrics-v1.
+void validate_metrics_json(std::string_view text);
+
+// --trace artifact: Chrome trace with M/X events only.
+void validate_trace_json(std::string_view text);
+
+// --report artifact: dispatches on the document's "schema" member
+// (hispar-report-v1 / hispar-listbuild-report-v1 /
+// hispar-vantage-report-v1 / hispar-session-report-v1).
+void validate_report_json(std::string_view text);
+
+}  // namespace hispar::obs

@@ -1,0 +1,110 @@
+#include "testkit/property.h"
+
+#include <algorithm>
+
+namespace hispar::testkit {
+
+std::uint64_t case_seed(std::uint64_t seed, int iter) {
+  return util::Rng(seed).fork(static_cast<std::uint64_t>(iter)).next();
+}
+
+namespace {
+
+std::optional<std::string> run_case(const Property& property,
+                                    std::uint64_t seed, int size) {
+  Gen gen(seed, size);
+  return property(gen);
+}
+
+std::string replay_line(const PropertyConfig& config,
+                        const Counterexample& failure) {
+  return "property '" + config.name + "' failed: replay with seed=" +
+         std::to_string(failure.case_seed) +
+         " size=" + std::to_string(failure.size) + " (iteration " +
+         std::to_string(failure.iteration) + " of master seed " +
+         std::to_string(config.seed) + ")";
+}
+
+}  // namespace
+
+Counterexample check(const PropertyConfig& config, const Property& property) {
+  const int iters = std::max(1, config.iters);
+  const int min_size = std::max(1, config.min_size);
+  const int max_size = std::max(min_size, config.max_size);
+
+  for (int iter = 0; iter < iters; ++iter) {
+    // Linear size ramp across the run (iters == 1 runs at max).
+    const int size =
+        iters == 1 ? max_size
+                   : min_size + static_cast<int>(
+                                    (static_cast<long long>(max_size -
+                                                            min_size) *
+                                     iter) /
+                                    (iters - 1));
+    const std::uint64_t seed = case_seed(config.seed, iter);
+    auto violation = run_case(property, seed, size);
+    if (!violation) continue;
+
+    Counterexample failure;
+    failure.failed = true;
+    failure.case_seed = seed;
+    failure.size = size;
+    failure.iteration = iter;
+    failure.message = *violation;
+
+    // Shrink: halve the size while the same case seed still fails,
+    // then walk down linearly to the exact boundary.
+    int best = size;
+    for (int candidate = size / 2; candidate >= min_size; candidate /= 2) {
+      auto shrunk = run_case(property, seed, candidate);
+      if (!shrunk) break;
+      best = candidate;
+      failure.message = *shrunk;
+      if (candidate == min_size) break;
+    }
+    for (int candidate = best - 1; candidate >= min_size; --candidate) {
+      auto shrunk = run_case(property, seed, candidate);
+      if (!shrunk) break;
+      best = candidate;
+      failure.message = *shrunk;
+    }
+    failure.size = best;
+    failure.replay = replay_line(config, failure);
+    return failure;
+  }
+  return {};
+}
+
+std::string minimize_bytes(
+    std::string input,
+    const std::function<bool(const std::string&)>& still_fails,
+    int max_calls) {
+  int calls = 0;
+  const auto fails = [&](const std::string& candidate) {
+    if (calls >= max_calls) return false;
+    ++calls;
+    return still_fails(candidate);
+  };
+
+  // ddmin-lite: repeatedly try deleting chunks, halving the chunk size
+  // whenever a full pass removes nothing.
+  std::size_t chunk = std::max<std::size_t>(1, input.size() / 2);
+  while (chunk >= 1 && calls < max_calls) {
+    bool removed = false;
+    for (std::size_t at = 0; at < input.size() && calls < max_calls;) {
+      std::string candidate = input;
+      candidate.erase(at, chunk);
+      if (candidate.size() < input.size() && fails(candidate)) {
+        input = std::move(candidate);
+        removed = true;  // same offset now holds the next chunk
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1 && !removed) break;
+    if (!removed) chunk /= 2;
+  }
+  return input;
+}
+
+}  // namespace hispar::testkit

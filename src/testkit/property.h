@@ -1,0 +1,66 @@
+// Property runner: iterate a seeded property, shrink failures, and
+// print a replayable seed line.
+//
+// A property is a function of one Gen; it returns std::nullopt on
+// success or a human-readable violation message. The runner derives an
+// independent case seed per iteration (forked from the master seed, so
+// one master seed reproduces the whole run) and ramps the Gen size from
+// min_size to max_size across iterations — early iterations are small
+// and cheap, later ones reach deeper.
+//
+// On failure the runner shrinks by the size parameter: it re-runs the
+// *same* case seed at smaller sizes and keeps the smallest size that
+// still fails. Because every generator draws monotonically less at
+// smaller sizes, this is the classic "generate smaller" shrink without
+// per-type shrinkers. The resulting Counterexample carries a replay
+// line ("seed=... size=...") that reconstructs the minimal failing Gen
+// exactly; tests and the fuzz tool print it verbatim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testkit/gen.h"
+
+namespace hispar::testkit {
+
+struct PropertyConfig {
+  std::string name;
+  std::uint64_t seed = 1;
+  int iters = 100;
+  int min_size = 4;
+  int max_size = 50;
+};
+
+struct Counterexample {
+  bool failed = false;
+  std::uint64_t case_seed = 0;  // Gen(case_seed, size) reproduces it
+  int size = 0;
+  int iteration = -1;           // which iteration of the master seed
+  std::string message;          // the property's violation message
+  std::string replay;           // one-line replay recipe
+
+  explicit operator bool() const { return failed; }
+};
+
+using Property = std::function<std::optional<std::string>(Gen&)>;
+
+// The case seed iteration `iter` of master seed `seed` runs under.
+std::uint64_t case_seed(std::uint64_t seed, int iter);
+
+// Runs `property` config.iters times; returns the first (shrunk)
+// failure, or a default Counterexample (failed = false).
+Counterexample check(const PropertyConfig& config, const Property& property);
+
+// Greedy ddmin-style chunk deletion: returns the smallest input found
+// for which `still_fails` stays true (it must be true for `input`
+// itself). Bounded by `max_calls` predicate evaluations, so it is safe
+// on expensive predicates.
+std::string minimize_bytes(std::string input,
+                           const std::function<bool(const std::string&)>&
+                               still_fails,
+                           int max_calls = 256);
+
+}  // namespace hispar::testkit

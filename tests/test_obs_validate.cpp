@@ -1,0 +1,188 @@
+// Schema coverage for the obs_validate checks (obs/validate.h — the
+// library behind tools/obs_validate.cpp). For each supported report
+// schema a minimal valid document passes, and corrupting one required
+// field flips validation to a std::runtime_error whose message points
+// at the corrupted field — the "pointed message" contract the CLI
+// relays verbatim with exit code 1 (ISSUE 9).
+#include "obs/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+// One string replacement = one corrupted field.
+std::string corrupt(std::string doc, const std::string& from,
+                    const std::string& to) {
+  const std::size_t at = doc.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  if (at != std::string::npos) doc.replace(at, from.size(), to);
+  return doc;
+}
+
+void expect_rejects(const std::string& doc, const char* message) {
+  try {
+    hispar::obs::validate_report_json(doc);
+    ADD_FAILURE() << "accepted, expected '" << message << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(message), std::string::npos)
+        << "got '" << e.what() << "'";
+  }
+}
+
+const char* kMeasureReport =
+    R"({"schema":"hispar-report-v1",)"
+    R"("coverage":{"sites_total":3,"sites_ok":2,"sites_degraded":1,)"
+    R"("sites_quarantined":0},)"
+    R"("faults":[{"kind":"stall","failed_fetches":1,"injected":2}],)"
+    R"("caches":{},"loader":{},"trace":{},)"
+    R"("shards":[{"shard":0,"clock_end_s":12.5}],)"
+    R"("shard_skew_s":0,"telemetry":true})";
+
+TEST(ObsValidateTest, MeasureReportMinimalDocPasses) {
+  EXPECT_NO_THROW(hispar::obs::validate_report_json(kMeasureReport));
+}
+
+TEST(ObsValidateTest, MeasureReportCorruptionsReject) {
+  // The coverage identity: total must equal ok + degraded + quarantined.
+  expect_rejects(corrupt(kMeasureReport, R"("sites_ok":2)", R"("sites_ok":7)"),
+                 "coverage counts do not add up");
+  expect_rejects(
+      corrupt(kMeasureReport, R"("sites_total":3)", R"("sites_totl":3)"),
+      "missing \"sites_total\"");
+  expect_rejects(
+      corrupt(kMeasureReport, R"("shard_skew_s":0)", R"("shard_skew_s":"0")"),
+      "\"shard_skew_s\" has wrong type");
+  expect_rejects(corrupt(kMeasureReport, R"("kind":"stall")", R"("kind":7)"),
+                 "report fault");
+}
+
+const char* kListBuildReport =
+    R"({"schema":"hispar-listbuild-report-v1",)"
+    R"("coverage":{"sites_examined":4,"sites_accepted":2,"sites_dropped":1,)"
+    R"("sites_missing":1,"sites_quarantined":0,"weeks":1},)"
+    R"("billing":{"queries_billed":9,"speculative_queries":1,"retries":0,)"
+    R"("providers":[{"provider":"searchco","query_price_usd":0.003,)"
+    R"("spend_usd":0.027}]},)"
+    R"("weeks":[{"week":0,"sites_accepted":2,"queries_billed":9,)"
+    R"("site_churn":null,"internal_url_churn":null}],)"
+    R"("faults":[],"trace":{"spans":0,"spans_dropped":0},"telemetry":false})";
+
+TEST(ObsValidateTest, ListBuildReportMinimalDocPasses) {
+  EXPECT_NO_THROW(hispar::obs::validate_report_json(kListBuildReport));
+}
+
+TEST(ObsValidateTest, ListBuildReportCorruptionsReject) {
+  expect_rejects(corrupt(kListBuildReport, R"("sites_accepted":2,"sites_dropped":1)",
+                         R"("sites_accepted":9,"sites_dropped":1)"),
+                 "coverage counts do not add up");
+  // §7 billing is the report's point: an empty provider table is a bug.
+  expect_rejects(corrupt(kListBuildReport,
+                         R"([{"provider":"searchco","query_price_usd":0.003,)"
+                         R"("spend_usd":0.027}])",
+                         "[]"),
+                 "no billing providers");
+  expect_rejects(corrupt(kListBuildReport, R"("site_churn":null)",
+                         R"("site_churn":"n/a")"),
+                 "\"site_churn\" is neither number nor null");
+  expect_rejects(
+      corrupt(kListBuildReport, R"("spans_dropped":0)", R"("dropped":0)"),
+      "missing \"spans_dropped\"");
+}
+
+const char* kVantageReport =
+    R"({"schema":"hispar-vantage-report-v1",)"
+    R"("coverage":{"vantages":1,"sites_total":2,"sites_compared":2},)"
+    R"("vantage_lines":[{"vantage":0,"name":"v0","region":"na",)"
+    R"("sites_ok":2,"sites_degraded":0,"sites_quarantined":0,)"
+    R"("failed_fetches":0}],)"
+    R"("disagreement":[{"metric":"plt_ms","median_spread":null,)"
+    R"("max_spread":null,"sign_flip_fraction":0}],)"
+    R"("trace":{"spans":0,"spans_dropped":0},"telemetry":false})";
+
+TEST(ObsValidateTest, VantageReportMinimalDocPasses) {
+  EXPECT_NO_THROW(hispar::obs::validate_report_json(kVantageReport));
+}
+
+TEST(ObsValidateTest, VantageReportCorruptionsReject) {
+  // One line per vantage, cross-checked against coverage.vantages.
+  expect_rejects(
+      corrupt(kVantageReport, R"("vantages":1)", R"("vantages":2)"),
+      "vantage_lines count disagrees with coverage.vantages");
+  expect_rejects(
+      corrupt(kVantageReport, R"("sign_flip_fraction":0)",
+              R"("sign_flip_fraction":1.5)"),
+      "sign_flip_fraction out of [0, 1]");
+  expect_rejects(corrupt(kVantageReport, R"("region":"na")", R"("rgion":"na")"),
+                 "missing \"region\"");
+}
+
+const char* kSessionReport =
+    R"({"schema":"hispar-session-report-v1",)"
+    R"("coverage":{"sites_total":2,"sessions_ok":2,"sessions_degraded":0,)"
+    R"("sessions_quarantined":0,"pages_loaded":10,"session_len":4},)"
+    R"("browser_cache":{"lookups":10,"fresh_hits":4,"revalidations":2,)"
+    R"("misses":4,"insertions":6,"evictions":0,"warm_hit_ratio":0.4},)"
+    R"("cold_vs_warm":[{"metric":"plt_ms","cold_landing_median":900,)"
+    R"("cold_internal_median":700,"warm_landing_median":850,)"
+    R"("warm_internal_median":400}],)"
+    R"("trace":{"spans":0,"spans_dropped":0},"telemetry":true})";
+
+TEST(ObsValidateTest, SessionReportMinimalDocPasses) {
+  EXPECT_NO_THROW(hispar::obs::validate_report_json(kSessionReport));
+}
+
+TEST(ObsValidateTest, SessionReportCorruptionsReject) {
+  // Lookup outcomes can never exceed lookups.
+  expect_rejects(
+      corrupt(kSessionReport, R"("fresh_hits":4)", R"("fresh_hits":40)"),
+      "exceed lookups");
+  expect_rejects(corrupt(kSessionReport, R"("warm_hit_ratio":0.4)",
+                         R"("warm_hit_ratio":1.4)"),
+                 "warm_hit_ratio out of [0, 1]");
+  expect_rejects(corrupt(kSessionReport, R"("sessions_ok":2)",
+                         R"("sessions_ok":1)"),
+                 "coverage counts do not add up");
+  expect_rejects(corrupt(kSessionReport, R"("cold_landing_median":900)",
+                         R"("cold_landing_median":"fast")"),
+                 "\"cold_landing_median\" is neither number nor null");
+}
+
+TEST(ObsValidateTest, UnknownSchemaRejects) {
+  expect_rejects(R"({"schema":"hispar-report-v9"})", "unknown schema");
+  expect_rejects(R"([1,2,3])", "not an object");
+}
+
+TEST(ObsValidateTest, MetricsDocPassesAndCorruptionRejects) {
+  const char* metrics =
+      R"({"schema":"hispar-metrics-v1","counters":{"pages":4},"gauges":{},)"
+      R"("histograms":{"plt_ms":{"bounds":[100,500],"buckets":[1,2,1],)"
+      R"("count":4,"sum":1200}}})";
+  EXPECT_NO_THROW(hispar::obs::validate_metrics_json(metrics));
+  try {
+    hispar::obs::validate_metrics_json(
+        corrupt(metrics, "\"buckets\":[1,2,1]", "\"buckets\":[1,2]"));
+    ADD_FAILURE() << "bucket/bound mismatch accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bucket/bound count mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsValidateTest, TraceDocPassesAndCorruptionRejects) {
+  const char* trace =
+      R"({"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"shard",)"
+      R"("ts":0,"dur":5}]})";
+  EXPECT_NO_THROW(hispar::obs::validate_trace_json(trace));
+  try {
+    hispar::obs::validate_trace_json(corrupt(trace, "\"dur\":5", "\"dur\":-5"));
+    ADD_FAILURE() << "negative span duration accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("negative span duration"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// The property-oracle suite: every determinism contract the repo
+// ships, checked over *generated* configs instead of hand-picked ones
+// (ISSUE 9 — the paper's landing-page lesson applied to the test
+// suite). Each test plugs an oracle from testkit/oracles.h plus a
+// generator from testkit/gen.h into testkit::check(); a failure prints
+// the oracle's first-divergence message and a replayable seed line.
+//
+// CI-smoke budget: the jobs-identity properties run 50 generated
+// configs per engine (the ISSUE 9 acceptance floor); the expensive
+// resume properties (three engine runs per case) run fewer; the cheap
+// grammar and model oracles run hundreds.
+#include "testkit/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "net/vantage_profile.h"
+#include "testkit/property.h"
+
+namespace {
+
+using hispar::testkit::Counterexample;
+using hispar::testkit::Gen;
+using hispar::testkit::Property;
+using hispar::testkit::PropertyConfig;
+
+hispar::testkit::WorldPool& pool() {
+  static hispar::testkit::WorldPool instance;
+  return instance;
+}
+
+void expect_holds(const char* name, int iters, const Property& property) {
+  PropertyConfig config;
+  config.name = name;
+  config.seed = 1;
+  config.iters = iters;
+  const Counterexample cx = hispar::testkit::check(config, property);
+  EXPECT_FALSE(cx.failed) << cx.message << "\n  " << cx.replay;
+}
+
+hispar::core::VantageCampaignConfig gen_vantage_campaign(Gen& gen) {
+  hispar::core::VantageCampaignConfig config;
+  config.base = hispar::testkit::gen_campaign_config(gen);
+  config.base.landing_loads = 1;  // vantage runs the campaign per profile
+  config.profiles = hispar::net::VantageProfile::parse_list(
+      hispar::testkit::gen_vantage_list_spec(gen));
+  return config;
+}
+
+std::string scratch(const char* name) {
+  return ::testing::TempDir() + "properties_" + name + ".ckpt";
+}
+
+// --- Jobs identity: >= 50 generated configs per engine ---
+
+TEST(PropertySuite, MeasureJobsIdentity) {
+  expect_holds("measure-jobs-identity", 50,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_campaign_config(gen);
+                 const std::size_t alt_jobs = 2 + gen.index(7);
+                 return hispar::testkit::check_measure_jobs_identity(
+                     world, config, alt_jobs);
+               });
+}
+
+TEST(PropertySuite, ListBuildJobsIdentity) {
+  expect_holds("listbuild-jobs-identity", 50,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_listbuild_config(gen);
+                 const std::size_t alt_jobs = 2 + gen.index(7);
+                 return hispar::testkit::check_listbuild_jobs_identity(
+                     world, config, alt_jobs);
+               });
+}
+
+TEST(PropertySuite, VantageJobsIdentity) {
+  expect_holds("vantage-jobs-identity", 50,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = gen_vantage_campaign(gen);
+                 const std::size_t alt_jobs = 2 + gen.index(7);
+                 return hispar::testkit::check_vantage_jobs_identity(
+                     world, config, alt_jobs);
+               });
+}
+
+TEST(PropertySuite, SessionJobsIdentity) {
+  expect_holds("session-jobs-identity", 50,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_session_config(gen);
+                 const std::size_t alt_jobs = 2 + gen.index(7);
+                 return hispar::testkit::check_session_jobs_identity(
+                     world, config, alt_jobs);
+               });
+}
+
+// --- Kill + resume identity (three engine runs per case, so fewer) ---
+
+TEST(PropertySuite, MeasureResumeIdentity) {
+  expect_holds("measure-resume-identity", 10,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_campaign_config(gen);
+                 return hispar::testkit::check_measure_resume_identity(
+                     world, config, scratch("measure"));
+               });
+}
+
+TEST(PropertySuite, ListBuildResumeIdentity) {
+  expect_holds("listbuild-resume-identity", 10,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_listbuild_config(gen);
+                 return hispar::testkit::check_listbuild_resume_identity(
+                     world, config, scratch("listbuild"));
+               });
+}
+
+TEST(PropertySuite, VantageResumeIdentity) {
+  expect_holds("vantage-resume-identity", 8,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = gen_vantage_campaign(gen);
+                 return hispar::testkit::check_vantage_resume_identity(
+                     world, config, scratch("vantage"));
+               });
+}
+
+TEST(PropertySuite, SessionResumeIdentity) {
+  expect_holds("session-resume-identity", 10,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_session_config(gen);
+                 return hispar::testkit::check_session_resume_identity(
+                     world, config, scratch("session"));
+               });
+}
+
+// --- Feature-off passthrough + fresh-run determinism ---
+
+TEST(PropertySuite, MeasureObservabilityPassthrough) {
+  expect_holds("measure-obs-passthrough", 20,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_campaign_config(gen);
+                 return hispar::testkit::check_measure_obs_passthrough(world,
+                                                                       config);
+               });
+}
+
+TEST(PropertySuite, SessionObservabilityPassthrough) {
+  expect_holds("session-obs-passthrough", 15,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_session_config(gen);
+                 return hispar::testkit::check_session_obs_passthrough(world,
+                                                                       config);
+               });
+}
+
+TEST(PropertySuite, MeasureFreshRunDeterminism) {
+  expect_holds("measure-run-determinism", 20,
+               [](Gen& gen) -> std::optional<std::string> {
+                 const auto& world = pool().pick(gen);
+                 auto config = hispar::testkit::gen_campaign_config(gen);
+                 return hispar::testkit::check_measure_run_determinism(world,
+                                                                       config);
+               });
+}
+
+// --- Grammar round-trips: parse(str(x)) == x ---
+
+TEST(PropertySuite, FaultGrammarRoundTrip) {
+  expect_holds("fault-roundtrip", 200,
+               [](Gen& gen) -> std::optional<std::string> {
+                 return hispar::testkit::check_fault_roundtrip(
+                     hispar::testkit::gen_fault_spec(gen));
+               });
+}
+
+TEST(PropertySuite, SearchFaultGrammarRoundTrip) {
+  expect_holds("search-fault-roundtrip", 200,
+               [](Gen& gen) -> std::optional<std::string> {
+                 return hispar::testkit::check_search_fault_roundtrip(
+                     hispar::testkit::gen_search_fault_spec(gen));
+               });
+}
+
+TEST(PropertySuite, ChaosGrammarRoundTrip) {
+  expect_holds("chaos-roundtrip", 200,
+               [](Gen& gen) -> std::optional<std::string> {
+                 return hispar::testkit::check_chaos_roundtrip(
+                     hispar::testkit::gen_chaos_spec(gen));
+               });
+}
+
+TEST(PropertySuite, VantageGrammarRoundTrip) {
+  expect_holds("vantage-roundtrip", 200,
+               [](Gen& gen) -> std::optional<std::string> {
+                 return hispar::testkit::check_vantage_roundtrip(
+                     hispar::testkit::gen_vantage_spec(gen));
+               });
+}
+
+// --- Reference-model state machines ---
+
+TEST(PropertySuite, LruCacheMatchesModel) {
+  expect_holds("lru-model", 300, [](Gen& gen) {
+    return hispar::testkit::check_lru_model(gen);
+  });
+}
+
+TEST(PropertySuite, HttpCacheMatchesModel) {
+  expect_holds("http-cache-model", 300, [](Gen& gen) {
+    return hispar::testkit::check_http_cache_model(gen);
+  });
+}
+
+TEST(PropertySuite, CircuitBreakerMatchesModel) {
+  expect_holds("breaker-model", 300, [](Gen& gen) {
+    return hispar::testkit::check_breaker_model(gen);
+  });
+}
+
+}  // namespace

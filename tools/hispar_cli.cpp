@@ -63,6 +63,7 @@
 #include <memory>
 
 #include "core/analyses.h"
+#include "core/cli_checks.h"
 #include "core/hardening.h"
 #include "core/hispar.h"
 #include "core/list_build.h"
@@ -124,16 +125,8 @@ struct World {
 };
 
 // Artifact files are opened before a campaign runs so an unwritable
-// path fails in milliseconds, not after the work.
-std::unique_ptr<std::ofstream> open_artifact(const char* cmd,
-                                             const char* flag,
-                                             const std::string& path) {
-  auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
-  if (!*out)
-    throw std::invalid_argument(std::string(cmd) + ": cannot write --" +
-                                flag + " file: " + path);
-  return out;
-}
+// path fails in milliseconds, not after the work (core/cli_checks).
+using core::open_artifact;
 
 // Resolve the shared --checkpoint / --resume pair. A bare --resume, a
 // missing resume file and a conflicting --checkpoint all fail fast in
@@ -181,15 +174,11 @@ int cmd_build(World& world, const util::Args& args) {
   config.engine = world.engine->config();
   config.start_week = static_cast<std::uint64_t>(args.get_int("week", 0));
   config.weeks = static_cast<std::uint64_t>(args.get_int("weeks", 1));
-  if (config.weeks == 0)
-    throw std::invalid_argument("build: --weeks must be >= 1");
   config.jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
   config.shards = static_cast<std::size_t>(
       args.get_int("shards", static_cast<long>(config.shards)));
-  if (config.shards == 0)
-    throw std::invalid_argument("build: --shards must be >= 1");
-  core::validate_shard_count("build", config.shards,
-                             config.list.target_sites);
+  core::validate_build_flags(
+      {config.weeks, config.shards, config.list.target_sites});
   config.fault_profile =
       net::SearchFaultProfile::parse(args.get("fault-profile", "none"));
   config.chaos = net::OutageSchedule::parse(args.get("chaos-profile", "none"));
@@ -337,9 +326,6 @@ int cmd_measure(World& world, const util::Args& args) {
   config.jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
   config.shards = static_cast<std::size_t>(
       args.get_int("shards", static_cast<long>(config.shards)));
-  if (config.shards == 0)
-    throw std::invalid_argument("measure: --shards must be >= 1");
-  core::validate_shard_count("measure", config.shards, list.sets.size());
   config.fault_profile =
       net::FaultProfile::parse(args.get("fault-profile", "none"));
   config.chaos = net::OutageSchedule::parse(args.get("chaos-profile", "none"));
@@ -347,59 +333,41 @@ int cmd_measure(World& world, const util::Args& args) {
       static_cast<int>(args.get_int("max-retries", config.max_page_retries));
   config.page_timeout_s =
       args.get_double("page-timeout-s", config.page_timeout_s);
+
+  // The whole flag-combination matrix (shard bounds, vantage mode,
+  // session mode and their conflicts) is validated in one place so the
+  // tests can drive it table-style (core/cli_checks).
+  const std::string session_out_flag = args.get("session-out", "");
+  const std::string warm_hits_out = args.get("warm-hits-out", "");
+  const std::string consensus_out = args.get("consensus-out", "");
+  const long session_len = args.get_int("session-len", 5);
+  core::MeasureFlags flag_view;
+  flag_view.shards = config.shards;
+  flag_view.list_sites = list.sets.size();
+  flag_view.has_vantages = args.has("vantages");
+  if (flag_view.has_vantages) flag_view.vantages = args.get_int("vantages", 1);
+  flag_view.vantage_profile = args.get("vantage-profile", "");
+  flag_view.consensus_out = consensus_out;
+  flag_view.sessions = args.get_bool("sessions");
+  flag_view.has_session_flags = args.has("session-len") ||
+                                !session_out_flag.empty() ||
+                                !warm_hits_out.empty();
+  flag_view.session_len = session_len;
+  const core::MeasurePlan plan = core::validate_measure_flags(flag_view);
+
   const std::string checkpoint_path = checkpoint_path_from("measure", args);
 
   // Vantage mode: any vantage flag routes the run through the
   // multi-vantage engine (a single vantage through it is byte-identical
   // to the plain campaign; only the checkpoint format differs).
-  const bool vantage_mode =
-      args.has("vantages") || args.has("vantage-profile");
-  std::vector<net::VantageProfile> profiles;
-  if (vantage_mode) {
-    const std::string spec = args.get("vantage-profile", "");
-    if (!spec.empty()) {
-      profiles = net::VantageProfile::parse_list(spec);
-      if (args.has("vantages") &&
-          static_cast<std::size_t>(
-              args.get_int("vantages", static_cast<long>(profiles.size()))) !=
-              profiles.size())
-        throw std::invalid_argument(
-            "measure: --vantages disagrees with the --vantage-profile count");
-    } else {
-      const long vantages = args.get_int("vantages", 1);
-      if (vantages < 1)
-        throw std::invalid_argument("measure: --vantages must be >= 1");
-      profiles = net::VantageProfile::default_vantages(
-          static_cast<std::size_t>(vantages));
-    }
-  }
-  const std::string consensus_out = args.get("consensus-out", "");
-  if (!consensus_out.empty() && !vantage_mode)
-    throw std::invalid_argument(
-        "measure: --consensus-out needs --vantages or --vantage-profile");
+  const bool vantage_mode = plan.vantage_mode;
+  const std::vector<net::VantageProfile>& profiles = plan.profiles;
 
   // Session mode: replay one warm browsing session per site after the
   // cold campaign. The cold artifacts stay byte-identical to a run
   // without --sessions; the warm CSV, cache counters, checkpoint
   // companion and the session report are new files.
-  const bool session_mode = args.get_bool("sessions");
-  const std::string session_out_flag = args.get("session-out", "");
-  const std::string warm_hits_out = args.get("warm-hits-out", "");
-  if (!session_mode &&
-      (args.has("session-len") || !session_out_flag.empty() ||
-       !warm_hits_out.empty()))
-    throw std::invalid_argument(
-        "measure: --session-len/--session-out/--warm-hits-out need "
-        "--sessions");
-  if (session_mode && vantage_mode)
-    throw std::invalid_argument(
-        "measure: --sessions cannot be combined with --vantages or "
-        "--vantage-profile");
-  const long session_len = args.get_int("session-len", 5);
-  if (session_mode && session_len < 1)
-    throw std::invalid_argument(
-        "measure: --session-len must be >= 1 (a session without internal "
-        "pages measures nothing)");
+  const bool session_mode = plan.session_mode;
   const std::string out = args.get("out", "metrics.csv");
   const std::string session_out = session_out_flag.empty()
                                       ? suffixed_csv_path(out, "-sessions")
@@ -412,6 +380,10 @@ int cmd_measure(World& world, const util::Args& args) {
   const bool quiet = args.get_bool("quiet");
   config.observability.enabled =
       !metrics_out.empty() || !trace_out.empty() || !report_out.empty();
+  // The primary CSV opens up front like every secondary artifact: an
+  // unwritable --out must fail before the campaign runs, not silently
+  // drop the results after it (a fuzz-era CLI-drive find).
+  std::unique_ptr<std::ofstream> out_os = open_artifact("measure", "out", out);
   std::unique_ptr<std::ofstream> metrics_os, trace_os, report_os,
       consensus_os, session_os, warm_hits_os;
   if (!metrics_out.empty())
@@ -472,8 +444,7 @@ int cmd_measure(World& world, const util::Args& args) {
                                    : single->telemetry());
   const auto& sites = per_vantage.front();
 
-  std::ofstream os(out);
-  core::write_measure_csv(os, sites);
+  core::write_measure_csv(*out_os, sites);
   std::cout << "measured " << sites.size() << " sites -> " << out << "\n";
   for (std::size_t v = 1; v < per_vantage.size(); ++v) {
     const std::string path = vantage_csv_path(out, v);

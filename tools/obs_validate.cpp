@@ -7,6 +7,10 @@
 // schema-drifted artifact fails the build instead of surfacing when
 // someone loads the trace in Perfetto weeks later.
 //
+// The schema checks themselves live in obs/validate.h (so the tests
+// can corrupt individual fields against them directly); this tool only
+// loads the files and maps a validation throw to exit 1.
+//
 // Usage: obs_validate --metrics FILE --trace FILE --report FILE
 // (each flag optional; at least one required). Exit 0 when every given
 // artifact parses and matches its schema, 1 otherwise.
@@ -15,343 +19,17 @@
 #include <sstream>
 #include <string>
 
-#include "obs/json.h"
+#include "obs/validate.h"
 #include "util/args.h"
 
 namespace {
 
-using hispar::obs::JsonValue;
-using hispar::obs::parse_json;
-
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error(what);
-}
-
-JsonValue load(const std::string& path) {
+std::string load(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail("cannot open " + path);
+  if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_json(buffer.str());
-}
-
-void require(bool ok, const std::string& what) {
-  if (!ok) fail(what);
-}
-
-const JsonValue& member(const JsonValue& value, const std::string& key,
-                        JsonValue::Type type, const std::string& where) {
-  const JsonValue* found = value.find(key);
-  require(found != nullptr, where + ": missing \"" + key + "\"");
-  require(found->is(type), where + ": \"" + key + "\" has wrong type");
-  return *found;
-}
-
-void check_metrics(const std::string& path) {
-  const JsonValue doc = load(path);
-  require(doc.is(JsonValue::Type::kObject), "metrics: not an object");
-  require(member(doc, "schema", JsonValue::Type::kString, "metrics").string ==
-              "hispar-metrics-v1",
-          "metrics: wrong schema");
-  member(doc, "counters", JsonValue::Type::kObject, "metrics");
-  member(doc, "gauges", JsonValue::Type::kObject, "metrics");
-  const JsonValue& histograms =
-      member(doc, "histograms", JsonValue::Type::kObject, "metrics");
-  for (const auto& [name, histogram] : histograms.object) {
-    const std::string where = "metrics histogram " + name;
-    const auto& bounds =
-        member(histogram, "bounds", JsonValue::Type::kArray, where);
-    const auto& buckets =
-        member(histogram, "buckets", JsonValue::Type::kArray, where);
-    require(buckets.array.size() == bounds.array.size() + 1,
-            where + ": bucket/bound count mismatch");
-    member(histogram, "count", JsonValue::Type::kNumber, where);
-    member(histogram, "sum", JsonValue::Type::kNumber, where);
-  }
-}
-
-void check_trace(const std::string& path) {
-  const JsonValue doc = load(path);
-  require(doc.is(JsonValue::Type::kObject), "trace: not an object");
-  const JsonValue& events =
-      member(doc, "traceEvents", JsonValue::Type::kArray, "trace");
-  for (const JsonValue& event : events.array) {
-    require(event.is(JsonValue::Type::kObject), "trace: event not an object");
-    const std::string phase =
-        member(event, "ph", JsonValue::Type::kString, "trace event").string;
-    require(phase == "M" || phase == "X",
-            "trace: unexpected event phase '" + phase + "'");
-    member(event, "pid", JsonValue::Type::kNumber, "trace event");
-    member(event, "tid", JsonValue::Type::kNumber, "trace event");
-    if (phase == "X") {
-      member(event, "name", JsonValue::Type::kString, "trace event");
-      member(event, "ts", JsonValue::Type::kNumber, "trace event");
-      const double duration =
-          member(event, "dur", JsonValue::Type::kNumber, "trace event").number;
-      require(duration >= 0.0, "trace: negative span duration");
-    }
-  }
-}
-
-void check_measure_report(const JsonValue& doc) {
-  const JsonValue& coverage =
-      member(doc, "coverage", JsonValue::Type::kObject, "report");
-  const double total =
-      member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage")
-          .number;
-  const double accounted =
-      member(coverage, "sites_ok", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sites_degraded", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sites_quarantined", JsonValue::Type::kNumber,
-             "coverage")
-          .number;
-  require(total == accounted, "report: coverage counts do not add up");
-  const JsonValue& faults =
-      member(doc, "faults", JsonValue::Type::kArray, "report");
-  for (const JsonValue& fault : faults.array) {
-    member(fault, "kind", JsonValue::Type::kString, "report fault");
-    member(fault, "failed_fetches", JsonValue::Type::kNumber, "report fault");
-    member(fault, "injected", JsonValue::Type::kNumber, "report fault");
-    // Quarantine root causes are emitted only when nonzero (fault-free
-    // reports keep the historical bytes), so the member is optional —
-    // but when present it must be a positive count.
-    if (const JsonValue* quarantined = fault.find("sites_quarantined")) {
-      require(quarantined->is(JsonValue::Type::kNumber),
-              "report fault: \"sites_quarantined\" has wrong type");
-      require(quarantined->number > 0.0,
-              "report fault: \"sites_quarantined\" present but not positive");
-    }
-  }
-  member(doc, "caches", JsonValue::Type::kObject, "report");
-  member(doc, "loader", JsonValue::Type::kObject, "report");
-  member(doc, "trace", JsonValue::Type::kObject, "report");
-  const JsonValue& shards =
-      member(doc, "shards", JsonValue::Type::kArray, "report");
-  for (const JsonValue& shard : shards.array) {
-    member(shard, "shard", JsonValue::Type::kNumber, "report shard");
-    member(shard, "clock_end_s", JsonValue::Type::kNumber, "report shard");
-  }
-  member(doc, "shard_skew_s", JsonValue::Type::kNumber, "report");
-  member(doc, "telemetry", JsonValue::Type::kBool, "report");
-}
-
-// The weekly list-refresh report (`hispar build --report-out`): the
-// scan coverage identity, §7 billing per provider, per-week churn
-// cells (null when undefined) and the fault taxonomy.
-void check_listbuild_report(const JsonValue& doc) {
-  const JsonValue& coverage =
-      member(doc, "coverage", JsonValue::Type::kObject, "report");
-  const double examined =
-      member(coverage, "sites_examined", JsonValue::Type::kNumber, "coverage")
-          .number;
-  const double accounted =
-      member(coverage, "sites_accepted", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sites_dropped", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sites_missing", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sites_quarantined", JsonValue::Type::kNumber,
-             "coverage")
-          .number;
-  require(examined == accounted, "report: coverage counts do not add up");
-  member(coverage, "weeks", JsonValue::Type::kNumber, "coverage");
-
-  const JsonValue& billing =
-      member(doc, "billing", JsonValue::Type::kObject, "report");
-  member(billing, "queries_billed", JsonValue::Type::kNumber, "billing");
-  member(billing, "speculative_queries", JsonValue::Type::kNumber, "billing");
-  member(billing, "retries", JsonValue::Type::kNumber, "billing");
-  const JsonValue& providers =
-      member(billing, "providers", JsonValue::Type::kArray, "billing");
-  require(!providers.array.empty(), "report: no billing providers");
-  for (const JsonValue& provider : providers.array) {
-    member(provider, "provider", JsonValue::Type::kString, "report provider");
-    member(provider, "query_price_usd", JsonValue::Type::kNumber,
-           "report provider");
-    member(provider, "spend_usd", JsonValue::Type::kNumber,
-           "report provider");
-  }
-
-  const JsonValue& weeks =
-      member(doc, "weeks", JsonValue::Type::kArray, "report");
-  for (const JsonValue& week : weeks.array) {
-    member(week, "week", JsonValue::Type::kNumber, "report week");
-    member(week, "sites_accepted", JsonValue::Type::kNumber, "report week");
-    member(week, "queries_billed", JsonValue::Type::kNumber, "report week");
-    for (const char* churn : {"site_churn", "internal_url_churn"}) {
-      const JsonValue* cell = week.find(churn);
-      require(cell != nullptr,
-              std::string("report week: missing \"") + churn + "\"");
-      require(cell->is(JsonValue::Type::kNumber) ||
-                  cell->is(JsonValue::Type::kNull),
-              std::string("report week: \"") + churn +
-                  "\" is neither number nor null");
-    }
-  }
-
-  const JsonValue& faults =
-      member(doc, "faults", JsonValue::Type::kArray, "report");
-  for (const JsonValue& fault : faults.array) {
-    member(fault, "kind", JsonValue::Type::kString, "report fault");
-    member(fault, "injected", JsonValue::Type::kNumber, "report fault");
-    member(fault, "sites_quarantined", JsonValue::Type::kNumber,
-           "report fault");
-  }
-
-  const JsonValue& trace =
-      member(doc, "trace", JsonValue::Type::kObject, "report");
-  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
-  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
-  member(doc, "telemetry", JsonValue::Type::kBool, "report");
-}
-
-// The multi-vantage report (`hispar measure --vantages --report-out`):
-// per-vantage coverage lines and the cross-vantage disagreement table
-// (spread cells null when no site is usable at every vantage).
-void check_vantage_report(const JsonValue& doc) {
-  const JsonValue& coverage =
-      member(doc, "coverage", JsonValue::Type::kObject, "report");
-  const double vantages =
-      member(coverage, "vantages", JsonValue::Type::kNumber, "coverage")
-          .number;
-  member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage");
-  member(coverage, "sites_compared", JsonValue::Type::kNumber, "coverage");
-
-  const JsonValue& lines =
-      member(doc, "vantage_lines", JsonValue::Type::kArray, "report");
-  require(static_cast<double>(lines.array.size()) == vantages,
-          "report: vantage_lines count disagrees with coverage.vantages");
-  for (const JsonValue& line : lines.array) {
-    member(line, "vantage", JsonValue::Type::kNumber, "report vantage");
-    member(line, "name", JsonValue::Type::kString, "report vantage");
-    member(line, "region", JsonValue::Type::kString, "report vantage");
-    member(line, "sites_ok", JsonValue::Type::kNumber, "report vantage");
-    member(line, "sites_degraded", JsonValue::Type::kNumber, "report vantage");
-    member(line, "sites_quarantined", JsonValue::Type::kNumber,
-           "report vantage");
-    member(line, "failed_fetches", JsonValue::Type::kNumber, "report vantage");
-  }
-
-  const JsonValue& disagreement =
-      member(doc, "disagreement", JsonValue::Type::kArray, "report");
-  for (const JsonValue& metric : disagreement.array) {
-    member(metric, "metric", JsonValue::Type::kString, "report metric");
-    for (const char* spread : {"median_spread", "max_spread"}) {
-      const JsonValue* cell = metric.find(spread);
-      require(cell != nullptr,
-              std::string("report metric: missing \"") + spread + "\"");
-      require(cell->is(JsonValue::Type::kNumber) ||
-                  cell->is(JsonValue::Type::kNull),
-              std::string("report metric: \"") + spread +
-                  "\" is neither number nor null");
-    }
-    const double flips = member(metric, "sign_flip_fraction",
-                                JsonValue::Type::kNumber, "report metric")
-                             .number;
-    require(flips >= 0.0 && flips <= 1.0,
-            "report metric: sign_flip_fraction out of [0, 1]");
-  }
-
-  const JsonValue& trace =
-      member(doc, "trace", JsonValue::Type::kObject, "report");
-  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
-  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
-  member(doc, "telemetry", JsonValue::Type::kBool, "report");
-}
-
-// The browsing-session report (`hispar measure --sessions
-// --report-out`): session coverage, the browser-cache accounting
-// bound (lookup outcomes never exceed lookups, warm-hit ratio in
-// [0, 1]) and the cold-vs-warm contrast table (cells null when no site
-// is usable in both regimes).
-void check_session_report(const JsonValue& doc) {
-  const JsonValue& coverage =
-      member(doc, "coverage", JsonValue::Type::kObject, "report");
-  const double total =
-      member(coverage, "sites_total", JsonValue::Type::kNumber, "coverage")
-          .number;
-  const double accounted =
-      member(coverage, "sessions_ok", JsonValue::Type::kNumber, "coverage")
-          .number +
-      member(coverage, "sessions_degraded", JsonValue::Type::kNumber,
-             "coverage")
-          .number +
-      member(coverage, "sessions_quarantined", JsonValue::Type::kNumber,
-             "coverage")
-          .number;
-  require(total == accounted, "report: coverage counts do not add up");
-  member(coverage, "pages_loaded", JsonValue::Type::kNumber, "coverage");
-  member(coverage, "session_len", JsonValue::Type::kNumber, "coverage");
-
-  const JsonValue& cache =
-      member(doc, "browser_cache", JsonValue::Type::kObject, "report");
-  const double lookups =
-      member(cache, "lookups", JsonValue::Type::kNumber, "browser_cache")
-          .number;
-  const double classified =
-      member(cache, "fresh_hits", JsonValue::Type::kNumber, "browser_cache")
-          .number +
-      member(cache, "revalidations", JsonValue::Type::kNumber,
-             "browser_cache")
-          .number +
-      member(cache, "misses", JsonValue::Type::kNumber, "browser_cache")
-          .number;
-  // Not an equality: a stale lookup whose revalidation transfer failed
-  // is counted in lookups but in none of the outcome buckets.
-  require(classified <= lookups,
-          "report: browser_cache fresh_hits + revalidations + misses "
-          "exceed lookups");
-  member(cache, "insertions", JsonValue::Type::kNumber, "browser_cache");
-  member(cache, "evictions", JsonValue::Type::kNumber, "browser_cache");
-  const double ratio =
-      member(cache, "warm_hit_ratio", JsonValue::Type::kNumber,
-             "browser_cache")
-          .number;
-  require(ratio >= 0.0 && ratio <= 1.0,
-          "report: warm_hit_ratio out of [0, 1]");
-
-  const JsonValue& contrast =
-      member(doc, "cold_vs_warm", JsonValue::Type::kArray, "report");
-  for (const JsonValue& metric : contrast.array) {
-    member(metric, "metric", JsonValue::Type::kString, "report metric");
-    for (const char* cell_name :
-         {"cold_landing_median", "cold_internal_median",
-          "warm_landing_median", "warm_internal_median"}) {
-      const JsonValue* cell = metric.find(cell_name);
-      require(cell != nullptr,
-              std::string("report metric: missing \"") + cell_name + "\"");
-      require(cell->is(JsonValue::Type::kNumber) ||
-                  cell->is(JsonValue::Type::kNull),
-              std::string("report metric: \"") + cell_name +
-                  "\" is neither number nor null");
-    }
-  }
-
-  const JsonValue& trace =
-      member(doc, "trace", JsonValue::Type::kObject, "report");
-  member(trace, "spans", JsonValue::Type::kNumber, "report trace");
-  member(trace, "spans_dropped", JsonValue::Type::kNumber, "report trace");
-  member(doc, "telemetry", JsonValue::Type::kBool, "report");
-}
-
-void check_report(const std::string& path) {
-  const JsonValue doc = load(path);
-  require(doc.is(JsonValue::Type::kObject), "report: not an object");
-  const std::string& schema =
-      member(doc, "schema", JsonValue::Type::kString, "report").string;
-  if (schema == "hispar-report-v1")
-    check_measure_report(doc);
-  else if (schema == "hispar-listbuild-report-v1")
-    check_listbuild_report(doc);
-  else if (schema == "hispar-vantage-report-v1")
-    check_vantage_report(doc);
-  else if (schema == "hispar-session-report-v1")
-    check_session_report(doc);
-  else
-    fail("report: unknown schema \"" + schema + "\"");
+  return buffer.str();
 }
 
 }  // namespace
@@ -367,9 +45,9 @@ int main(int argc, char** argv) {
                    "[--report FILE]\n";
       return 2;
     }
-    if (!metrics.empty()) check_metrics(metrics);
-    if (!trace.empty()) check_trace(trace);
-    if (!report.empty()) check_report(report);
+    if (!metrics.empty()) hispar::obs::validate_metrics_json(load(metrics));
+    if (!trace.empty()) hispar::obs::validate_trace_json(load(trace));
+    if (!report.empty()) hispar::obs::validate_report_json(load(report));
     std::cout << "obs_validate: ok\n";
     return 0;
   } catch (const std::exception& error) {
