@@ -466,14 +466,17 @@ ListBuildResult ListBuildCampaign::run() {
       }
       existing.close();
     }
-    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
+    // Rewrite through a temp file + atomic rename — truncating in
+    // place had a kill window that lost already-durable week blocks.
+    std::ostringstream rewritten;
+    write_listbuild_checkpoint_header(rewritten, digest);
+    for (const auto& [week, record] : resumed)
+      append_listbuild_week(rewritten, record);
+    replace_file_atomically(config_.checkpoint_path, rewritten.str());
+    checkpoint_out.open(config_.checkpoint_path, std::ios::app);
     if (!checkpoint_out)
       throw std::runtime_error("list build: cannot open checkpoint " +
                                config_.checkpoint_path);
-    write_listbuild_checkpoint_header(checkpoint_out, digest);
-    for (const auto& [week, record] : resumed)
-      append_listbuild_week(checkpoint_out, record);
-    checkpoint_out.flush();
   }
 
   std::vector<ListBuildWeekRecord> records;

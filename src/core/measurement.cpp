@@ -729,15 +729,14 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
     }
     // (Re)write the file from the parsed state: a resume drops the torn
     // tail a kill may have left, so the file stays cleanly resumable no
-    // matter how many times the campaign is interrupted.
-    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
-    if (!checkpoint_out)
-      throw std::runtime_error("campaign: cannot open checkpoint " +
-                               config_.checkpoint_path);
-    write_checkpoint_header(checkpoint_out, digest);
+    // matter how many times the campaign is interrupted. Written to a
+    // temp file and renamed over the original — truncating in place
+    // had a kill window that lost already-durable shard blocks.
+    std::ostringstream rewritten;
+    write_checkpoint_header(rewritten, digest);
     for (std::size_t shard = 0; shard < shard_count; ++shard)
       if (shard_done[shard])
-        append_checkpoint_shard(checkpoint_out, shard, shards[shard],
+        append_checkpoint_shard(rewritten, shard, shards[shard],
                                 observations,
                                 shard_telemetry[shard].empty()
                                     ? nullptr
@@ -745,7 +744,11 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
                                 shard_breakers[shard].empty()
                                     ? nullptr
                                     : &shard_breakers[shard]);
-    checkpoint_out.flush();
+    replace_file_atomically(config_.checkpoint_path, rewritten.str());
+    checkpoint_out.open(config_.checkpoint_path, std::ios::app);
+    if (!checkpoint_out)
+      throw std::runtime_error("campaign: cannot open checkpoint " +
+                               config_.checkpoint_path);
   }
 
   // Each worker builds its shard's state on its own thread and writes
@@ -753,14 +756,10 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
   // beyond the joins in for_each_shard (and the checkpoint file mutex).
   for_each_shard(shard_count, config_.jobs, [&](std::size_t shard) {
     if (shard_done[shard]) return;
-    if (!shards[shard].empty()) {
-      ShardState state(*web_, config_, shard);
-      run_shard(state, list, shards[shard], observations);
-      if (config_.observability.enabled)
-        shard_telemetry[shard] = state.take_telemetry();
-      if (!state.breakers.empty())
-        shard_breakers[shard] = state.breakers.records();
-    }
+    ShardRun result =
+        run_one_shard(shard, list, shards[shard], observations);
+    shard_telemetry[shard] = std::move(result.telemetry);
+    shard_breakers[shard] = std::move(result.breakers);
     if (checkpoint_out.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mutex);
       append_checkpoint_shard(checkpoint_out, shard, shards[shard],
@@ -775,34 +774,50 @@ std::vector<SiteObservation> MeasurementCampaign::run(const HisparList& list) {
     }
   });
 
-  if (config_.observability.enabled) {
-    // Merge in shard-id order: counters/histograms sum, gauges become
-    // "shard.<id>.<name>", spans concatenate behind one campaign-level
-    // span whose duration is the slowest shard's virtual clock.
-    double campaign_end_s = 0.0;
-    for (std::size_t shard = 0; shard < shard_count; ++shard) {
-      const obs::ShardTelemetry& telemetry = shard_telemetry[shard];
-      if (telemetry.empty()) continue;
-      telemetry_.metrics.merge_from(
-          telemetry.metrics, "shard." + std::to_string(shard) + ".");
-      telemetry_.spans.insert(telemetry_.spans.end(),
-                              telemetry.spans.begin(), telemetry.spans.end());
-      telemetry_.spans_dropped += telemetry.spans_dropped;
-      campaign_end_s = std::max(campaign_end_s,
-                                telemetry.metrics.gauge_or("clock_end_s"));
-    }
-    obs::TraceSpan campaign_span;
-    campaign_span.name = "campaign";
-    campaign_span.cat = "campaign";
-    campaign_span.ts_us = 0;
-    campaign_span.dur_us = obs::to_trace_us(campaign_end_s);
-    campaign_span.tid = 0;
-    telemetry_.spans.insert(telemetry_.spans.begin(),
-                            std::move(campaign_span));
-    telemetry_.metrics.counter("trace.spans_dropped") =
-        telemetry_.spans_dropped;
-  }
+  if (config_.observability.enabled)
+    merge_campaign_telemetry(telemetry_, shard_telemetry);
   return observations;
+}
+
+MeasurementCampaign::ShardRun MeasurementCampaign::run_one_shard(
+    std::size_t shard, const HisparList& list,
+    const std::vector<std::size_t>& positions,
+    std::vector<SiteObservation>& observations) {
+  ShardRun result;
+  if (positions.empty()) return result;
+  ShardState state(*web_, config_, shard);
+  run_shard(state, list, positions, observations);
+  if (config_.observability.enabled) result.telemetry = state.take_telemetry();
+  if (!state.breakers.empty()) result.breakers = state.breakers.records();
+  return result;
+}
+
+void merge_campaign_telemetry(obs::RunTelemetry& telemetry,
+                              const std::vector<obs::ShardTelemetry>& shards) {
+  // Merge in shard-id order: counters/histograms sum, gauges become
+  // "shard.<id>.<name>", spans concatenate behind one campaign-level
+  // span whose duration is the slowest shard's virtual clock.
+  double campaign_end_s = 0.0;
+  for (std::size_t shard = 0; shard < shards.size(); ++shard) {
+    const obs::ShardTelemetry& shard_telemetry = shards[shard];
+    if (shard_telemetry.empty()) continue;
+    telemetry.metrics.merge_from(shard_telemetry.metrics,
+                                 "shard." + std::to_string(shard) + ".");
+    telemetry.spans.insert(telemetry.spans.end(),
+                           shard_telemetry.spans.begin(),
+                           shard_telemetry.spans.end());
+    telemetry.spans_dropped += shard_telemetry.spans_dropped;
+    campaign_end_s = std::max(
+        campaign_end_s, shard_telemetry.metrics.gauge_or("clock_end_s"));
+  }
+  obs::TraceSpan campaign_span;
+  campaign_span.name = "campaign";
+  campaign_span.cat = "campaign";
+  campaign_span.ts_us = 0;
+  campaign_span.dur_us = obs::to_trace_us(campaign_end_s);
+  campaign_span.tid = 0;
+  telemetry.spans.insert(telemetry.spans.begin(), std::move(campaign_span));
+  telemetry.metrics.counter("trace.spans_dropped") = telemetry.spans_dropped;
 }
 
 SiteObservation MeasurementCampaign::measure_site(

@@ -275,6 +275,26 @@ class MeasurementCampaign {
   // and span lists are folded in shard-id order.
   const obs::RunTelemetry& telemetry() const { return telemetry_; }
 
+  // What one shard hands back to an external scheduler: its drained
+  // telemetry (empty when observability is off) and final breaker
+  // records (empty unless a chaos schedule armed them).
+  struct ShardRun {
+    obs::ShardTelemetry telemetry;
+    std::vector<net::BreakerSet::Record> breakers;
+  };
+
+  // One shard-granular slice of run(), for schedulers that interleave
+  // shards of several campaigns (the multi-vantage (vantage, shard)
+  // pool): builds the shard's isolated state on the calling thread,
+  // runs the §3.1 fetch protocol over `positions` (as produced by
+  // shard_indices for this shard), and writes each result into
+  // observations[position]. Safe to call concurrently for distinct
+  // shards of the same campaign — workers only read the shared
+  // detectors/config and write disjoint output slots.
+  ShardRun run_one_shard(std::size_t shard, const HisparList& list,
+                         const std::vector<std::size_t>& positions,
+                         std::vector<SiteObservation>& observations);
+
  private:
   // Everything one worker mutates while measuring its shard: the full
   // network/CDN simulation substrate, a virtual clock, and an RNG forked
@@ -355,6 +375,17 @@ class MeasurementCampaign {
   obs::RunTelemetry telemetry_;  // merged by the last run()
   ShardState local_;  // measure_site() state
 };
+
+// Folds per-shard telemetry (indexed by shard id) into `telemetry`
+// exactly as MeasurementCampaign::run() merges its workers:
+// counters/histograms sum, gauges are prefixed "shard.<id>.", spans
+// concatenate behind one campaign-level span whose duration is the
+// slowest shard's virtual clock, and the span-drop count lands in the
+// "trace.spans_dropped" counter. Shared with VantageCampaign so a
+// vantage's telemetry assembled from (vantage, shard) units is
+// byte-identical to the inner campaign's own merge.
+void merge_campaign_telemetry(obs::RunTelemetry& telemetry,
+                              const std::vector<obs::ShardTelemetry>& shards);
 
 // Assembles the structured run report from a campaign's observations
 // and (possibly disabled/empty) merged telemetry. Lives here rather

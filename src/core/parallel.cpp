@@ -22,36 +22,36 @@ std::vector<std::vector<std::size_t>> shard_indices(const HisparList& list,
   return shards;
 }
 
-void for_each_shard(std::size_t shard_count, std::size_t jobs,
-                    const std::function<void(std::size_t)>& fn) {
-  if (shard_count == 0) return;
+void for_each_unit(std::size_t unit_count, std::size_t jobs,
+                   const std::function<void(std::size_t)>& fn) {
+  if (unit_count == 0) return;
   if (jobs == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs = hw > 0 ? hw : 1;
   }
-  jobs = std::min(jobs, shard_count);
+  jobs = std::min(jobs, unit_count);
 
   if (jobs <= 1) {
-    for (std::size_t shard = 0; shard < shard_count; ++shard) fn(shard);
+    for (std::size_t unit = 0; unit < unit_count; ++unit) fn(unit);
     return;
   }
 
-  // Work stealing over shard ids: shards can be wildly unbalanced (a
+  // Work stealing over unit ids: units can be wildly unbalanced (a
   // domain hash puts whole sites, not loads, into a shard), so threads
-  // pull the next unclaimed shard instead of owning a fixed range.
+  // pull the next unclaimed unit instead of owning a fixed range.
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(shard_count);
+  std::vector<std::exception_ptr> errors(unit_count);
   std::vector<std::thread> workers;
   workers.reserve(jobs);
   for (std::size_t w = 0; w < jobs; ++w) {
     workers.emplace_back([&] {
       while (true) {
-        const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
-        if (shard >= shard_count) return;
+        const std::size_t unit = next.fetch_add(1, std::memory_order_relaxed);
+        if (unit >= unit_count) return;
         try {
-          fn(shard);
+          fn(unit);
         } catch (...) {
-          errors[shard] = std::current_exception();
+          errors[unit] = std::current_exception();
         }
       }
     });
@@ -59,6 +59,11 @@ void for_each_shard(std::size_t shard_count, std::size_t jobs,
   for (auto& worker : workers) worker.join();
   for (auto& error : errors)
     if (error) std::rethrow_exception(error);
+}
+
+void for_each_shard(std::size_t shard_count, std::size_t jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  for_each_unit(shard_count, jobs, fn);
 }
 
 }  // namespace hispar::core

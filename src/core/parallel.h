@@ -32,12 +32,19 @@ std::size_t shard_of(std::string_view domain, std::size_t shard_count);
 std::vector<std::vector<std::size_t>> shard_indices(const HisparList& list,
                                                     std::size_t shard_count);
 
-// Run `fn(shard)` for every shard in [0, shard_count) on up to `jobs`
+// Run `fn(unit)` for every unit in [0, unit_count) on up to `jobs`
 // threads (jobs == 0 means one per hardware thread; jobs is capped at
-// shard_count). fn must only touch shard-local state or write to
-// disjoint output slots. Exceptions thrown by fn are collected and the
-// one from the lowest shard id is rethrown after all workers join, so
-// error reporting is deterministic too.
+// unit_count). A "unit" is any independently runnable slice of work —
+// one shard of a single campaign, or one (vantage, shard) cell of a
+// multi-vantage campaign. fn must only touch unit-local state or write
+// to disjoint output slots. Exceptions thrown by fn are collected and
+// the one from the lowest unit id is rethrown after all workers join,
+// so error reporting is deterministic too.
+void for_each_unit(std::size_t unit_count, std::size_t jobs,
+                   const std::function<void(std::size_t)>& fn);
+
+// Shard-flavoured alias of for_each_unit, kept for call sites that
+// schedule exactly one campaign's shards.
 void for_each_shard(std::size_t shard_count, std::size_t jobs,
                     const std::function<void(std::size_t)>& fn);
 

@@ -1,5 +1,6 @@
 #include "core/serialization.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -729,6 +730,22 @@ void append_vantage_block(std::ostream& out, std::size_t vantage,
   out.precision(precision);
 }
 
+void append_vantage_shard_block(std::ostream& out, std::size_t vantage,
+                                std::size_t shard,
+                                const std::vector<std::size_t>& positions,
+                                const std::vector<SiteObservation>&
+                                    observations,
+                                const obs::ShardTelemetry* telemetry) {
+  const auto precision = out.precision(17);
+  out << "vshard," << vantage << ',' << shard << ',' << positions.size()
+      << '\n';
+  for (const std::size_t position : positions)
+    write_site_record(out, position, observations[position]);
+  if (telemetry != nullptr) write_obs_telemetry(out, *telemetry);
+  out << "endvshard," << vantage << ',' << shard << '\n';
+  out.precision(precision);
+}
+
 VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
   std::vector<std::string> lines;
   std::string line;
@@ -741,11 +758,14 @@ VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
   VantageCheckpoint checkpoint;
   checkpoint.config_digest = parse_u64(header[2], "config digest");
 
-  // Everything after the last endvantage terminator is a block torn by
-  // a killed run: drop it. What remains must parse cleanly.
+  // Everything after the last terminator (of either block kind) is a
+  // block torn by a killed run: drop it. What remains must parse
+  // cleanly.
   std::size_t end = 1;
   for (std::size_t i = 1; i < lines.size(); ++i)
-    if (lines[i].rfind("endvantage,", 0) == 0) end = i + 1;
+    if (lines[i].rfind("endvantage,", 0) == 0 ||
+        lines[i].rfind("endvshard,", 0) == 0)
+      end = i + 1;
 
   const auto need = [&](std::size_t i) -> const std::string& {
     if (i >= end) checkpoint_fail("truncated vantage record");
@@ -754,13 +774,39 @@ VantageCheckpoint read_vantage_checkpoint(std::istream& in) {
 
   std::size_t i = 1;
   while (i < end) {
-    const auto vantage_fields = util::split(need(i++), ',');
-    if (vantage_fields.size() != 3 || vantage_fields[0] != "vantage")
+    const auto head_fields = util::split(need(i), ',');
+    if (head_fields[0] == "vshard") {
+      ++i;
+      if (head_fields.size() != 4)
+        checkpoint_fail("bad vshard record '" + lines[i - 1] + "'");
+      VantageShardBlock block;
+      block.vantage = parse_u64(head_fields[1], "vshard vantage id");
+      block.shard = parse_u64(head_fields[2], "vshard shard id");
+      const std::size_t n_sites =
+          parse_count(head_fields[3], "site count", lines.size());
+      block.observations.reserve(n_sites);
+      for (std::size_t s = 0; s < n_sites; ++s)
+        block.observations.push_back(read_site_record(lines, i, need));
+      block.has_telemetry = read_obs_lines(lines, i, end, block.telemetry);
+
+      const auto end_fields = util::split(need(i++), ',');
+      if (end_fields.size() != 3 || end_fields[0] != "endvshard" ||
+          parse_u64(end_fields[1], "endvshard vantage id") != block.vantage ||
+          parse_u64(end_fields[2], "endvshard shard id") != block.shard)
+        checkpoint_fail("unterminated vshard (" +
+                        std::to_string(block.vantage) + ", " +
+                        std::to_string(block.shard) + ")");
+      checkpoint.shards.push_back(std::move(block));
+      continue;
+    }
+
+    ++i;
+    if (head_fields.size() != 3 || head_fields[0] != "vantage")
       checkpoint_fail("expected vantage record, got '" + lines[i - 1] + "'");
     VantageCheckpointBlock block;
-    block.vantage = parse_u64(vantage_fields[1], "vantage id");
+    block.vantage = parse_u64(head_fields[1], "vantage id");
     const std::size_t n_sites =
-        parse_count(vantage_fields[2], "site count", lines.size());
+        parse_count(head_fields[2], "site count", lines.size());
     block.observations.reserve(n_sites);
     for (std::size_t s = 0; s < n_sites; ++s)
       block.observations.push_back(read_site_record(lines, i, need));
@@ -855,6 +901,22 @@ SessionCheckpoint read_session_checkpoint(std::istream& in) {
     checkpoint.sessions.push_back(std::move(block));
   }
   return checkpoint;
+}
+
+// --- Atomic file replacement ---
+
+void replace_file_atomically(const std::string& path,
+                             const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) checkpoint_fail("cannot open temp file " + tmp);
+    out << contents;
+    out.flush();
+    if (!out) checkpoint_fail("cannot write temp file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    checkpoint_fail("cannot rename " + tmp + " over " + path);
 }
 
 // --- CLI checkpoint-path resolution ---

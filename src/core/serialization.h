@@ -127,22 +127,33 @@ ListBuildCheckpoint read_listbuild_checkpoint(std::istream& in);
 
 // --- Multi-vantage checkpoints ---
 //
-// The same discipline for core::VantageCampaign::run(), at vantage
-// granularity: a vantage either completed — its full observation list
-// and merged telemetry are on disk and splice back in — or re-runs from
-// scratch, so a resumed multi-vantage run is bit-identical to an
-// uninterrupted one. Layout:
+// The same discipline for core::VantageCampaign::run(), at two
+// granularities. The durable unit during a run is one (vantage, shard)
+// cell of the 2-D scheduler — a cell either completed (its shard
+// observations and telemetry are on disk and splice back in) or
+// re-runs from scratch, so a resumed multi-vantage run is bit-identical
+// to an uninterrupted one at any --jobs. Once every cell of every
+// vantage has landed, the campaign compacts the file to whole-vantage
+// blocks — the historical v1 layout, byte-identical to what the
+// sequential engine wrote (tests/test_golden.cpp pins it). Layout:
 //   hispar-vantage,v1,<config digest>
-//   vantage,<id>,<n sites>
+//   vantage,<id>,<n sites>          (a completed vantage)
 //     site,<position>,...     (exactly the shard-block site records:
 //     metrics,... outcome,...  one per site, in list order)
 //   obscounter/obsgauge/obshist/obsspan/obsdropped,...   (optional:
 //        the vantage's merged telemetry)
 //   endvantage,<id>
+//   vshard,<vantage>,<shard>,<n sites>   (one completed scheduler cell;
+//     site,...                 only that shard's positions, in shard
+//     metrics,... outcome,...  order)
+//   obscounter/...,...        (optional: the cell's raw per-shard
+//        telemetry, pre-merge)
+//   endvshard,<vantage>,<shard>
 // The digest covers every derived per-vantage campaign config and the
-// list — never jobs or observability. Torn trailing blocks (killed
-// run) are silently discarded; malformed complete records throw
-// std::runtime_error.
+// list — never jobs or observability — so files written by the
+// sequential engine resume under the 2-D scheduler and vice versa.
+// Torn trailing blocks (killed run) are silently discarded; malformed
+// complete records throw std::runtime_error.
 struct VantageCheckpointBlock {
   std::size_t vantage = 0;
   // (position in list.sets, observation); blocks written by
@@ -152,9 +163,21 @@ struct VantageCheckpointBlock {
   obs::ShardTelemetry telemetry;
 };
 
+// One durable (vantage, shard) scheduler cell. Its telemetry is the
+// shard's *raw* telemetry — the vantage-level merge happens once all of
+// a vantage's cells are in, via core::merge_campaign_telemetry.
+struct VantageShardBlock {
+  std::size_t vantage = 0;
+  std::size_t shard = 0;
+  std::vector<std::pair<std::size_t, SiteObservation>> observations;
+  bool has_telemetry = false;
+  obs::ShardTelemetry telemetry;
+};
+
 struct VantageCheckpoint {
   std::uint64_t config_digest = 0;
   std::vector<VantageCheckpointBlock> vantages;  // file order
+  std::vector<VantageShardBlock> shards;         // file order
 };
 
 void write_vantage_checkpoint_header(std::ostream& out,
@@ -162,6 +185,12 @@ void write_vantage_checkpoint_header(std::ostream& out,
 void append_vantage_block(std::ostream& out, std::size_t vantage,
                           const std::vector<SiteObservation>& observations,
                           const obs::ShardTelemetry* telemetry = nullptr);
+void append_vantage_shard_block(std::ostream& out, std::size_t vantage,
+                                std::size_t shard,
+                                const std::vector<std::size_t>& positions,
+                                const std::vector<SiteObservation>&
+                                    observations,
+                                const obs::ShardTelemetry* telemetry = nullptr);
 VantageCheckpoint read_vantage_checkpoint(std::istream& in);
 
 // --- Browsing-session checkpoints ---
@@ -202,6 +231,19 @@ void append_session_block(std::ostream& out, std::size_t position,
                           const browser::CacheStats& cache,
                           const obs::ShardTelemetry* telemetry = nullptr);
 SessionCheckpoint read_session_checkpoint(std::istream& in);
+
+// --- Atomic file replacement ---
+//
+// Writes `contents` to `path + ".tmp"` and renames it over `path`. The
+// rename is atomic on POSIX, so a kill at any point leaves either the
+// old complete file or the new one — never a truncated mix. Checkpoint
+// engines use this for the resume rewrite (dropping a torn tail) and
+// the final compaction; rewriting in place with std::ios::trunc had a
+// kill window that silently lost blocks that were already durable.
+// Throws std::runtime_error when the temp file cannot be written or
+// renamed; a stale .tmp from an earlier kill is simply overwritten.
+void replace_file_atomically(const std::string& path,
+                             const std::string& contents);
 
 // --- CLI checkpoint-path resolution ---
 //

@@ -375,20 +375,23 @@ std::vector<SiteObservation> SessionCampaign::run(const HisparList& list) {
     }
     // (Re)write the file from the parsed state: a resume drops the torn
     // tail a kill may have left, so the file stays cleanly resumable no
-    // matter how many times the campaign is interrupted.
-    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
-    if (!checkpoint_out)
-      throw std::runtime_error("session campaign: cannot open checkpoint " +
-                               config_.checkpoint_path);
-    write_session_checkpoint_header(checkpoint_out, digest);
+    // matter how many times the campaign is interrupted. Written to a
+    // temp file and renamed over the original — truncating in place
+    // had a kill window that lost already-durable session blocks.
+    std::ostringstream rewritten;
+    write_session_checkpoint_header(rewritten, digest);
     for (std::size_t position = 0; position < observations.size(); ++position)
       if (session_done[position])
-        append_session_block(checkpoint_out, position, observations[position],
+        append_session_block(rewritten, position, observations[position],
                              cache_stats_[position],
                              session_telemetry[position].empty()
                                  ? nullptr
                                  : &session_telemetry[position]);
-    checkpoint_out.flush();
+    replace_file_atomically(config_.checkpoint_path, rewritten.str());
+    checkpoint_out.open(config_.checkpoint_path, std::ios::app);
+    if (!checkpoint_out)
+      throw std::runtime_error("session campaign: cannot open checkpoint " +
+                               config_.checkpoint_path);
   }
 
   // Sessions are embarrassingly parallel (no shared mutable state at

@@ -2,24 +2,29 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/analyses.h"
+#include "core/parallel.h"
 #include "core/serialization.h"
 #include "util/rng.h"
 
 namespace hispar::core {
 
-namespace {
-
-// Trace thread-id stride between vantages: shard tids are shard id + 1
-// and campaigns run far fewer than a thousand shards, so vantage v's
-// rows land in [v * 1000, v * 1000 + shards] without collision.
-constexpr std::uint32_t kVantageTidStride = 1000;
-
-}  // namespace
+std::uint32_t vantage_tid_stride(std::size_t shards) {
+  // 1000 is the historical stride; every campaign under a thousand
+  // shards keeps its existing trace bytes. Beyond that the band must
+  // widen: vantage v's rows span [v * stride, v * stride + shards]
+  // (tid 0 is the campaign span, shard tids are shard id + 1), so the
+  // stride has to exceed the shard count or bands collide.
+  constexpr std::uint32_t kHistoricalStride = 1000;
+  if (shards < kHistoricalStride) return kHistoricalStride;
+  return static_cast<std::uint32_t>(shards) + 1;
+}
 
 net::FaultProfile scale_fault_profile(const net::FaultProfile& profile,
                                       double scale) {
@@ -34,6 +39,22 @@ net::FaultProfile scale_fault_profile(const net::FaultProfile& profile,
   out.http_5xx = scaled(profile.http_5xx);
   out.stall = scaled(profile.stall);
   out.truncation = scaled(profile.truncation);
+  // Per-rate clamping alone can leave the *total* above 1 — the
+  // invariant FaultProfile::parse rejects, because one fetch draws at
+  // most one fault. Renormalize so relative rates survive and the
+  // total lands just under 1 (the slack keeps the floating-point sum
+  // of the divided rates from creeping back over the bound).
+  const double total = out.total_rate();
+  if (total > 1.0) {
+    const double denom = total * (1.0 + 1e-12);
+    out.dns_servfail /= denom;
+    out.dns_timeout /= denom;
+    out.connection_reset /= denom;
+    out.tls_failure /= denom;
+    out.http_5xx /= denom;
+    out.stall /= denom;
+    out.truncation /= denom;
+  }
   return out;
 }
 
@@ -82,19 +103,33 @@ std::uint64_t VantageCampaign::checkpoint_digest(const HisparList& list) const {
 
 VantageRunResult VantageCampaign::run(const HisparList& list) {
   const std::size_t n = config_.profiles.size();
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, config_.base.shards);
   VantageRunResult result;
-  result.observations.assign(n, {});
+  result.observations.assign(
+      n, std::vector<SiteObservation>(list.sets.size()));
   vantage_telemetry_.assign(n, obs::ShardTelemetry{});
   telemetry_ = obs::RunTelemetry{};
   telemetry_.enabled = config_.base.observability.enabled;
 
-  // A vantage is the unit of resume: its block holds the complete
-  // observation list (and telemetry) of one inner campaign, so splicing
-  // it back in is bit-identical to re-running it.
+  // The durable unit of the 2-D scheduler is one (vantage, shard) cell:
+  // shard state is fully vantage-isolated, so a cell either completed
+  // (its observations and raw telemetry are on disk and splice back in)
+  // or re-runs from scratch, and a resumed run is bit-identical to an
+  // uninterrupted one at any --jobs. A whole-vantage block (the layout
+  // the sequential engine wrote, and what the finished file compacts
+  // to) marks every cell of that vantage done.
   std::vector<char> vantage_done(n, 0);
+  std::vector<std::vector<char>> cell_done(
+      n, std::vector<char>(shard_count, 0));
+  std::vector<std::vector<obs::ShardTelemetry>> cell_telemetry(
+      n, std::vector<obs::ShardTelemetry>(shard_count));
+  const auto shards = shard_indices(list, shard_count);
+
+  std::uint64_t digest = 0;
   std::ofstream checkpoint_out;
   if (!config_.checkpoint_path.empty()) {
-    const std::uint64_t digest = checkpoint_digest(list);
+    digest = checkpoint_digest(list);
     std::ifstream existing(config_.checkpoint_path);
     if (existing) {
       VantageCheckpoint checkpoint = read_vantage_checkpoint(existing);
@@ -105,7 +140,6 @@ VantageRunResult VantageCampaign::run(const HisparList& list) {
       for (auto& block : checkpoint.vantages) {
         if (block.vantage >= n) continue;
         auto& observations = result.observations[block.vantage];
-        observations.assign(list.sets.size(), SiteObservation{});
         for (auto& [position, observation] : block.observations)
           if (position < observations.size())
             observations[position] = std::move(observation);
@@ -113,44 +147,112 @@ VantageRunResult VantageCampaign::run(const HisparList& list) {
           vantage_telemetry_[block.vantage] = std::move(block.telemetry);
         vantage_done[block.vantage] = 1;
       }
+      for (auto& block : checkpoint.shards) {
+        if (block.vantage >= n || block.shard >= shard_count) continue;
+        if (vantage_done[block.vantage]) continue;
+        auto& observations = result.observations[block.vantage];
+        for (auto& [position, observation] : block.observations)
+          if (position < observations.size())
+            observations[position] = std::move(observation);
+        if (block.has_telemetry)
+          cell_telemetry[block.vantage][block.shard] =
+              std::move(block.telemetry);
+        cell_done[block.vantage][block.shard] = 1;
+      }
       existing.close();
     }
-    // (Re)write the file from the parsed state, dropping any torn tail
-    // a killed run left behind.
-    checkpoint_out.open(config_.checkpoint_path, std::ios::trunc);
-    if (!checkpoint_out)
-      throw std::runtime_error("vantage campaign: cannot open checkpoint " +
-                               config_.checkpoint_path);
-    write_vantage_checkpoint_header(checkpoint_out, digest);
+    // Rewrite the parsed state — dropping any torn tail a killed run
+    // left — through a temp file + atomic rename. Truncating the file
+    // in place had a kill window between the truncation and the
+    // re-append in which every block that was already durable on disk
+    // was silently lost.
+    std::ostringstream rewritten;
+    write_vantage_checkpoint_header(rewritten, digest);
     for (std::size_t v = 0; v < n; ++v)
       if (vantage_done[v])
-        append_vantage_block(checkpoint_out, v, result.observations[v],
+        append_vantage_block(rewritten, v, result.observations[v],
                              vantage_telemetry_[v].empty()
                                  ? nullptr
                                  : &vantage_telemetry_[v]);
-    checkpoint_out.flush();
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t s = 0; s < shard_count; ++s)
+        if (!vantage_done[v] && cell_done[v][s])
+          append_vantage_shard_block(rewritten, v, s, shards[s],
+                                     result.observations[v],
+                                     cell_telemetry[v][s].empty()
+                                         ? nullptr
+                                         : &cell_telemetry[v][s]);
+    replace_file_atomically(config_.checkpoint_path, rewritten.str());
+    checkpoint_out.open(config_.checkpoint_path, std::ios::app);
+    if (!checkpoint_out)
+      throw std::runtime_error("vantage campaign: cannot open checkpoint " +
+                               config_.checkpoint_path);
   }
 
-  // Vantages run in order; each inner campaign parallelizes across its
-  // shards with base.jobs, so there is no cross-vantage concurrency to
-  // make deterministic in the first place.
+  // Build one inner campaign per pending vantage (cheap, deterministic,
+  // main thread) and enumerate the pending cells in (vantage, shard)
+  // order. Workers pull cells: a cell touches only vantage-local shard
+  // state and writes observation/telemetry slots disjoint from every
+  // other cell, so the merged artifacts are --jobs independent by
+  // construction — the merge below reads the slots in (vantage, shard)
+  // order exactly as the sequential engine did.
+  std::vector<std::unique_ptr<MeasurementCampaign>> campaigns(n);
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
   for (std::size_t v = 0; v < n; ++v) {
     if (vantage_done[v]) continue;
-    MeasurementCampaign campaign(*web_, vantage_config(v));
-    result.observations[v] = campaign.run(list);
-    if (config_.base.observability.enabled) {
-      const obs::RunTelemetry& run = campaign.telemetry();
-      vantage_telemetry_[v].metrics = run.metrics;
-      vantage_telemetry_[v].spans = run.spans;
-      vantage_telemetry_[v].spans_dropped = run.spans_dropped;
-    }
+    campaigns[v] =
+        std::make_unique<MeasurementCampaign>(*web_, vantage_config(v));
+    for (std::size_t s = 0; s < shard_count; ++s)
+      if (!cell_done[v][s]) cells.emplace_back(v, s);
+  }
+
+  std::mutex checkpoint_mutex;
+  for_each_unit(cells.size(), config_.base.jobs, [&](std::size_t unit) {
+    const auto [v, s] = cells[unit];
+    MeasurementCampaign::ShardRun cell =
+        campaigns[v]->run_one_shard(s, list, shards[s],
+                                    result.observations[v]);
+    cell_telemetry[v][s] = std::move(cell.telemetry);
     if (checkpoint_out.is_open()) {
-      append_vantage_block(checkpoint_out, v, result.observations[v],
+      const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      append_vantage_shard_block(checkpoint_out, v, s, shards[s],
+                                 result.observations[v],
+                                 cell_telemetry[v][s].empty()
+                                     ? nullptr
+                                     : &cell_telemetry[v][s]);
+      checkpoint_out.flush();
+    }
+  });
+
+  // Fold each pending vantage's cells into its vantage-level telemetry,
+  // through the same merge the inner campaign's own run() uses — the
+  // merged bytes must match the sequential engine's exactly.
+  if (config_.base.observability.enabled) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (vantage_done[v]) continue;
+      obs::RunTelemetry merged;
+      merged.enabled = true;
+      merge_campaign_telemetry(merged, cell_telemetry[v]);
+      vantage_telemetry_[v].metrics = std::move(merged.metrics);
+      vantage_telemetry_[v].spans = std::move(merged.spans);
+      vantage_telemetry_[v].spans_dropped = merged.spans_dropped;
+    }
+  }
+
+  if (checkpoint_out.is_open()) {
+    // Every cell has landed: compact the file to whole-vantage blocks —
+    // the historical layout, byte-identical to the sequential engine's
+    // final file at any --jobs and any interrupt history. Atomic again:
+    // a kill mid-compaction leaves the complete cell-granular file.
+    checkpoint_out.close();
+    std::ostringstream compacted;
+    write_vantage_checkpoint_header(compacted, digest);
+    for (std::size_t v = 0; v < n; ++v)
+      append_vantage_block(compacted, v, result.observations[v],
                            vantage_telemetry_[v].empty()
                                ? nullptr
                                : &vantage_telemetry_[v]);
-      checkpoint_out.flush();
-    }
+    replace_file_atomically(config_.checkpoint_path, compacted.str());
   }
 
   if (config_.base.observability.enabled) {
@@ -166,13 +268,14 @@ VantageRunResult VantageCampaign::run(const HisparList& list) {
       // counter, so the sum stays consistent), gauges become
       // "vantage.<v>.<name>", spans keep their per-vantage order with
       // thread ids shifted into vantage v's tid band.
+      const std::uint32_t stride = vantage_tid_stride(shard_count);
       for (std::size_t v = 0; v < n; ++v) {
         const obs::ShardTelemetry& telemetry = vantage_telemetry_[v];
         if (telemetry.empty()) continue;
         telemetry_.metrics.merge_from(
             telemetry.metrics, "vantage." + std::to_string(v) + ".");
         for (obs::TraceSpan span : telemetry.spans) {
-          span.tid += static_cast<std::uint32_t>(v) * kVantageTidStride;
+          span.tid += static_cast<std::uint32_t>(v) * stride;
           telemetry_.spans.push_back(std::move(span));
         }
         telemetry_.spans_dropped += telemetry.spans_dropped;
@@ -215,7 +318,10 @@ obs::VantageReport build_vantage_report(
     line.has_spread = disagreement.sites_compared > 0;
     line.median_spread = line.has_spread ? metric.median_spread : 0.0;
     line.max_spread = line.has_spread ? metric.max_spread : 0.0;
-    line.sign_flip_fraction = metric.sign_flip_fraction;
+    // Guarded like the spreads: with no compared sites there are no
+    // per-site deltas, so any nonzero (or non-finite) fraction computed
+    // upstream must not leak into the deterministic JSON writer.
+    line.sign_flip_fraction = line.has_spread ? metric.sign_flip_fraction : 0.0;
     report.metric_lines.push_back(std::move(line));
   }
 

@@ -27,18 +27,22 @@ namespace hispar::core {
 struct VantageCampaignConfig {
   // Template campaign: every vantage inherits its list-independent
   // settings (loads, shards, retries, ablations, observability, base
-  // fault profile). base.checkpoint_path is ignored — multi-vantage
-  // checkpointing is vantage-granular, via checkpoint_path below.
+  // fault profile). base.jobs sizes the cross-vantage (vantage, shard)
+  // worker pool — it never changes result bytes. base.checkpoint_path
+  // is ignored — multi-vantage checkpointing is cell-granular, via
+  // checkpoint_path below.
   CampaignConfig base;
   // One profile per vantage, run in index order. Index 0 with an
   // all-default profile reproduces the single-vantage campaign byte for
   // byte.
   std::vector<net::VantageProfile> profiles;
-  // When non-empty, run() appends each completed vantage's observations
-  // (and telemetry) to this file and resumes from it like the
-  // single-campaign checkpoint: completed vantages splice back in, only
-  // the rest re-run, and the output is bit-identical to an
-  // uninterrupted run.
+  // When non-empty, run() appends each completed (vantage, shard) cell
+  // to this file and resumes from it like the single-campaign
+  // checkpoint: completed cells splice back in, only the rest re-run,
+  // and the output is bit-identical to an uninterrupted run. A finished
+  // run compacts the file to whole-vantage blocks — the layout the
+  // sequential engine wrote, so old files resume and new files are
+  // byte-identical to old ones.
   std::string checkpoint_path;
 };
 
@@ -51,8 +55,12 @@ class VantageCampaign {
  public:
   VantageCampaign(const web::SyntheticWeb& web, VantageCampaignConfig config);
 
-  // Run the full campaign at every vantage, in vantage order (each
-  // inner campaign parallelizes across its shards with base.jobs).
+  // Run the full campaign at every vantage. Work is scheduled as a 2-D
+  // (vantage, shard) pool on up to base.jobs threads: shard state is
+  // fully vantage-isolated, so N vantages x S shards saturate the cores
+  // instead of serializing on each vantage's tail shard, and results
+  // stay byte-identical to the sequential engine for every --jobs value
+  // (observations and telemetry merge in (vantage, shard) order).
   VantageRunResult run(const HisparList& list);
 
   // The CampaignConfig vantage v runs under: the base config with the
@@ -72,8 +80,8 @@ class VantageCampaign {
   // telemetry untouched (byte-identical to the single campaign's);
   // several merge in vantage-id order — counters/histograms sum, each
   // vantage's gauges are prefixed "vantage.<v>." and its span thread
-  // ids shifted by v * 1000, so every vantage renders as its own row
-  // group in the Perfetto UI.
+  // ids shifted by v * vantage_tid_stride(shards), so every vantage
+  // renders as its own row group in the Perfetto UI.
   const obs::RunTelemetry& telemetry() const { return telemetry_; }
 
   // Per-vantage telemetry of the last run() (parallel to profiles).
@@ -88,8 +96,20 @@ class VantageCampaign {
   std::vector<obs::ShardTelemetry> vantage_telemetry_;
 };
 
-// Scale every fault rate by `scale`, clamping each to [0, 1]. scale = 1
-// returns the profile unchanged; scale = 0 disables faults entirely.
+// Trace thread-id stride between vantage tid bands. Vantage v's rows
+// span [v * stride, v * stride + shards] (tid 0 is the campaign span,
+// shard tids are shard id + 1), so the stride must exceed the shard
+// count or adjacent bands collide and Perfetto rows interleave across
+// vantages. Campaigns under 1000 shards keep the historical stride of
+// 1000 (and their existing trace bytes); larger shard counts widen the
+// band to shards + 1.
+std::uint32_t vantage_tid_stride(std::size_t shards);
+
+// Scale every fault rate by `scale`, clamping each to [0, 1]; if the
+// clamped rates still sum above 1 — the invariant FaultProfile::parse
+// rejects — the whole profile is renormalized so relative rates
+// survive and the total stays within [0, 1]. scale = 1 returns any
+// valid profile unchanged; scale = 0 disables faults entirely.
 net::FaultProfile scale_fault_profile(const net::FaultProfile& profile,
                                       double scale);
 

@@ -171,6 +171,7 @@ void check_vantage_report(const JsonValue& doc) {
       member(doc, "disagreement", JsonValue::Type::kArray, "report");
   for (const JsonValue& metric : disagreement.array) {
     member(metric, "metric", JsonValue::Type::kString, "report metric");
+    bool has_spread = true;
     for (const char* spread : {"median_spread", "max_spread"}) {
       const JsonValue* cell = metric.find(spread);
       require(cell != nullptr,
@@ -179,12 +180,17 @@ void check_vantage_report(const JsonValue& doc) {
                   cell->is(JsonValue::Type::kNull),
               std::string("report metric: \"") + spread +
                   "\" is neither number nor null");
+      if (cell->is(JsonValue::Type::kNull)) has_spread = false;
     }
     const double flips = member(metric, "sign_flip_fraction",
                                 JsonValue::Type::kNumber, "report metric")
                              .number;
     require(flips >= 0.0 && flips <= 1.0,
             "report metric: sign_flip_fraction out of [0, 1]");
+    // Null spread cells mean no site compared at every vantage — then
+    // there are no per-site deltas and the flip fraction must be 0.
+    require(has_spread || flips == 0.0,
+            "report metric: sign_flip_fraction nonzero with null spreads");
   }
 
   const JsonValue& trace =

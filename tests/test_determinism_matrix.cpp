@@ -215,20 +215,31 @@ TEST_F(DeterminismMatrixTest, ListBuildJobsNeverChangeAnyArtifactByte) {
   }
 }
 
-// The vantage axis: the multi-vantage engine wraps the campaign in a
-// sequential outer loop, so the jobs contract must survive it for every
-// vantage count — including the degenerate 1-vantage case that must
-// stay byte-identical to the historical engine.
+// The vantage axis: the multi-vantage engine schedules (vantage, shard)
+// cells on a shared worker pool, so the jobs contract must survive
+// cross-vantage concurrency for every vantage count — including the
+// degenerate 1-vantage case that must stay byte-identical to the
+// historical engine — with and without a chaos schedule arming the
+// defense layer inside every cell.
 TEST_F(DeterminismMatrixTest, JobsNeverChangeMultiVantageArtifactBytes) {
   const std::size_t vantage_counts[] = {1, 3};
-  const std::size_t jobs[] = {1, 8};
+  const std::size_t jobs[] = {1, 2, 8};
+  // Explicit windows open at t=0 so strikes are guaranteed in these
+  // short campaigns (see the chaos axis above).
+  const std::string chaos_specs[] = {
+      "", "origin:domain=" + list_.sets.front().domain +
+              ",start_s=0,dur_s=1e6,kind=truncation,sev=0.8;"
+              "cdn:provider=0,mtbf_s=20,mttr_s=10,kind=stall,sev=0.9"};
 
-  const auto run_vantages = [&](std::size_t vantages, std::size_t jobs_n) {
+  const auto run_vantages = [&](std::size_t vantages, std::size_t jobs_n,
+                                const std::string& chaos) {
     core::VantageCampaignConfig config;
     config.base.landing_loads = 3;
     config.base.jobs = jobs_n;
     config.base.shards = 4;
     config.base.fault_profile = net::FaultProfile::parse("uniform:0.05");
+    if (!chaos.empty())
+      config.base.chaos = net::OutageSchedule::parse(chaos);
     config.base.observability.enabled = true;
     config.profiles = net::VantageProfile::default_vantages(vantages);
     core::VantageCampaign campaign(web_, config);
@@ -250,16 +261,25 @@ TEST_F(DeterminismMatrixTest, JobsNeverChangeMultiVantageArtifactBytes) {
   };
 
   for (const std::size_t vantages : vantage_counts) {
-    const RunBytes reference = run_vantages(vantages, jobs[0]);
-    for (std::size_t i = 1; i < std::size(jobs); ++i) {
-      const RunBytes other = run_vantages(vantages, jobs[i]);
-      const std::string cell = std::to_string(vantages) + " vantages, jobs " +
-                               std::to_string(jobs[i]) + " vs 1";
-      EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
-      EXPECT_EQ(reference.metrics, other.metrics)
-          << "metrics JSON differs: " << cell;
-      EXPECT_EQ(reference.trace, other.trace)
-          << "trace JSON differs: " << cell;
+    for (const std::string& chaos : chaos_specs) {
+      const RunBytes reference = run_vantages(vantages, jobs[0], chaos);
+      if (!chaos.empty()) {
+        EXPECT_NE(reference.metrics.find("chaos.injected."),
+                  std::string::npos)
+            << vantages << " vantages: chaos schedule struck nothing";
+      }
+      for (std::size_t i = 1; i < std::size(jobs); ++i) {
+        const RunBytes other = run_vantages(vantages, jobs[i], chaos);
+        const std::string cell =
+            std::to_string(vantages) + " vantages, " +
+            (chaos.empty() ? "no chaos" : "chaos") + ", jobs " +
+            std::to_string(jobs[i]) + " vs 1";
+        EXPECT_EQ(reference.csv, other.csv) << "CSV differs: " << cell;
+        EXPECT_EQ(reference.metrics, other.metrics)
+            << "metrics JSON differs: " << cell;
+        EXPECT_EQ(reference.trace, other.trace)
+            << "trace JSON differs: " << cell;
+      }
     }
   }
 }

@@ -115,6 +115,13 @@ TEST(ObsValidateTest, VantageReportCorruptionsReject) {
       corrupt(kVantageReport, R"("sign_flip_fraction":0)",
               R"("sign_flip_fraction":1.5)"),
       "sign_flip_fraction out of [0, 1]");
+  // Null spreads mean no site was compared on this metric, so a nonzero
+  // flip fraction is self-contradictory (the bug fixed in the report
+  // builder: sign_flip_fraction leaked through the has_spread guard).
+  expect_rejects(
+      corrupt(kVantageReport, R"("sign_flip_fraction":0)",
+              R"("sign_flip_fraction":0.5)"),
+      "sign_flip_fraction nonzero with null spreads");
   expect_rejects(corrupt(kVantageReport, R"("region":"na")", R"("rgion":"na")"),
                  "missing \"region\"");
 }

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <optional>
 #include <string>
 
@@ -181,6 +182,56 @@ TEST(PropertySuite, FaultGrammarRoundTrip) {
                  return hispar::testkit::check_fault_roundtrip(
                      hispar::testkit::gen_fault_spec(gen));
                });
+}
+
+// scale_fault_profile over generated profiles x scales: the scaled
+// profile must always stay inside the parser's budget (total <= 1 —
+// the bug was clamping each rate independently, letting the sum
+// escape), must re-parse through the checkpoint grammar, and must be
+// exactly proportional whenever no clamp or renormalization fires.
+TEST(PropertySuite, ScaleFaultProfileStaysParseable) {
+  expect_holds(
+      "scale-fault-budget", 300,
+      [](Gen& gen) -> std::optional<std::string> {
+        namespace net = hispar::net;
+        const std::string spec = hispar::testkit::gen_fault_spec(gen);
+        const net::FaultProfile base = net::FaultProfile::parse(spec);
+        const double scale = gen.in_range(0.0, 4.0);
+        const net::FaultProfile scaled =
+            hispar::core::scale_fault_profile(base, scale);
+
+        const double total = scaled.total_rate();
+        if (total > 1.0)
+          return "total " + std::to_string(total) + " > 1 for spec '" +
+                 spec + "' x " + std::to_string(scale);
+        try {
+          net::FaultProfile::parse(scaled.str());
+        } catch (const std::exception& err) {
+          return "scaled profile rejected by parser: " +
+                 std::string(err.what());
+        }
+
+        const double raw_total = base.total_rate() * scale;
+        if (raw_total <= 1.0) {
+          const double pairs[][2] = {
+              {base.dns_servfail, scaled.dns_servfail},
+              {base.dns_timeout, scaled.dns_timeout},
+              {base.connection_reset, scaled.connection_reset},
+              {base.tls_failure, scaled.tls_failure},
+              {base.http_5xx, scaled.http_5xx},
+              {base.stall, scaled.stall},
+              {base.truncation, scaled.truncation}};
+          for (const auto& pair : pairs) {
+            const double want = pair[0] * scale;
+            if (std::abs(pair[1] - want) > 1e-12)
+              return "rate not proportional under spec '" + spec + "' x " +
+                     std::to_string(scale) + ": got " +
+                     std::to_string(pair[1]) + " want " +
+                     std::to_string(want);
+          }
+        }
+        return std::nullopt;
+      });
 }
 
 TEST(PropertySuite, SearchFaultGrammarRoundTrip) {

@@ -5,7 +5,9 @@
 // multi-vantage report, and the CLI-shared fail-fast validators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,6 +19,7 @@
 #include "core/analyses.h"
 #include "core/hispar.h"
 #include "core/measurement.h"
+#include "core/parallel.h"
 #include "core/serialization.h"
 #include "core/vantage.h"
 #include "net/vantage_profile.h"
@@ -126,18 +129,34 @@ TEST(VantageProfile, DefaultVantagesCycleWithSuffixedNames) {
 
 // --- Fault-profile scaling ---
 
-TEST(ScaleFaultProfile, ScalesAndClamps) {
+TEST(ScaleFaultProfile, ScalesWithinTheTotalRateBudget) {
   net::FaultProfile base;
-  base.dns_servfail = 0.2;
-  base.http_5xx = 0.6;
+  base.dns_servfail = 0.1;
+  base.http_5xx = 0.3;
   const auto doubled = core::scale_fault_profile(base, 2.0);
-  EXPECT_DOUBLE_EQ(doubled.dns_servfail, 0.4);
-  EXPECT_DOUBLE_EQ(doubled.http_5xx, 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(doubled.dns_servfail, 0.2);
+  EXPECT_DOUBLE_EQ(doubled.http_5xx, 0.6);
   const auto off = core::scale_fault_profile(base, 0.0);
   EXPECT_FALSE(off.enabled());
   const auto same = core::scale_fault_profile(base, 1.0);
   EXPECT_DOUBLE_EQ(same.dns_servfail, base.dns_servfail);
   EXPECT_DOUBLE_EQ(same.http_5xx, base.http_5xx);
+}
+
+TEST(ScaleFaultProfile, RenormalizesWhenScaledTotalExceedsOne) {
+  // Per-rate clamping alone used to build profiles whose *total* rate
+  // exceeded 1 — the invariant FaultProfile::parse rejects. The scaled
+  // profile must stay parseable, with relative rates preserved.
+  net::FaultProfile base;
+  base.dns_servfail = 0.2;
+  base.http_5xx = 0.6;
+  const auto doubled = core::scale_fault_profile(base, 2.0);
+  EXPECT_LE(doubled.total_rate(), 1.0);
+  EXPECT_NEAR(doubled.total_rate(), 1.0, 1e-9);
+  // http_5xx clamps to 1.0 and dns_servfail to 0.4 before the
+  // renormalization, so the surviving ratio is 1.0 : 0.4.
+  EXPECT_NEAR(doubled.http_5xx / doubled.dns_servfail, 2.5, 1e-9);
+  EXPECT_NO_THROW(net::FaultProfile::parse(doubled.str()));
 }
 
 // --- CLI-shared fail-fast validators (regressions for the flag bugs) ---
@@ -469,9 +488,15 @@ TEST_F(VantageCampaignTest, VantageConfigDerivation) {
   EXPECT_GT(asia.resolver.cache_shards, 1);
   EXPECT_NE(asia.seed, config.base.seed);
 
-  // Vantage 3 (sa-lossy, faults=2) doubles the base fault rates.
+  // Vantage 3 (sa-lossy, faults=2) doubles the base fault rates —
+  // renormalized back under the total-rate budget, because seven rates
+  // of 0.2 would sum to 1.4. Relative rates stay uniform.
   const auto lossy = campaign.vantage_config(3);
-  EXPECT_DOUBLE_EQ(lossy.fault_profile.http_5xx, 0.2);
+  EXPECT_GT(lossy.fault_profile.http_5xx, config.base.fault_profile.http_5xx);
+  EXPECT_DOUBLE_EQ(lossy.fault_profile.http_5xx,
+                   lossy.fault_profile.dns_timeout);
+  EXPECT_LE(lossy.fault_profile.total_rate(), 1.0);
+  EXPECT_NEAR(lossy.fault_profile.total_rate(), 1.0, 1e-9);
 
   EXPECT_THROW(campaign.vantage_config(4), std::invalid_argument);
 }
@@ -562,6 +587,209 @@ TEST_F(VantageCampaignTest, ReportCountsEveryVantage) {
   EXPECT_THROW(core::build_vantage_report(result.observations, {},
                                           campaign.telemetry()),
                std::invalid_argument);
+}
+
+TEST(VantageCheckpoint, VshardBlocksRoundTripAlongsideVantageBlocks) {
+  // The 2-D scheduler's durable unit: (vantage, shard) cell blocks mix
+  // with whole-vantage blocks in one file, and both round-trip.
+  std::vector<core::SiteObservation> observations = {
+      make_site("a.com", 15.0, {10.0}), make_site("b.com", 8.0, {9.0})};
+  obs::ShardTelemetry telemetry;
+  telemetry.metrics.counter("fetches") = 4;
+
+  std::ostringstream out;
+  core::write_vantage_checkpoint_header(out, 0x1234ull);
+  core::append_vantage_block(out, 0, observations, nullptr);
+  core::append_vantage_shard_block(out, 1, 2, {1}, observations, &telemetry);
+  core::append_vantage_shard_block(out, 1, 3, {0}, observations, nullptr);
+
+  std::istringstream in(out.str());
+  const auto checkpoint = core::read_vantage_checkpoint(in);
+  EXPECT_EQ(checkpoint.config_digest, 0x1234ull);
+  ASSERT_EQ(checkpoint.vantages.size(), 1u);
+  ASSERT_EQ(checkpoint.shards.size(), 2u);
+  EXPECT_EQ(checkpoint.shards[0].vantage, 1u);
+  EXPECT_EQ(checkpoint.shards[0].shard, 2u);
+  ASSERT_EQ(checkpoint.shards[0].observations.size(), 1u);
+  EXPECT_EQ(checkpoint.shards[0].observations[0].first, 1u);
+  EXPECT_EQ(checkpoint.shards[0].observations[0].second.domain, "b.com");
+  EXPECT_TRUE(checkpoint.shards[0].has_telemetry);
+  EXPECT_FALSE(checkpoint.shards[1].has_telemetry);
+  EXPECT_EQ(checkpoint.shards[1].shard, 3u);
+
+  // A torn cell block (kill mid-append) is discarded like a torn
+  // vantage block.
+  std::ostringstream torn;
+  core::append_vantage_shard_block(torn, 2, 0, {0}, observations, nullptr);
+  std::istringstream torn_in(out.str() +
+                             torn.str().substr(0, torn.str().size() / 2));
+  const auto survived = core::read_vantage_checkpoint(torn_in);
+  EXPECT_EQ(survived.vantages.size(), 1u);
+  EXPECT_EQ(survived.shards.size(), 2u);
+}
+
+// --- Checkpoint rewrite atomicity (the std::ios::trunc kill window) ---
+
+TEST(ReplaceFileAtomically, KillBeforeRenameLeavesTheOriginalIntact) {
+  const std::string path = ::testing::TempDir() + "atomic_rewrite.txt";
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path);
+    out << "durable blocks\n";
+  }
+  // A kill between the temp write and the rename leaves exactly this
+  // state: a partial temp file next to the untouched original. The old
+  // truncate-in-place rewrite instead left the *original* partial.
+  {
+    std::ofstream tmp(path + ".tmp");
+    tmp << "partial rewr";
+  }
+  std::ifstream original(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(original, line));
+  EXPECT_EQ(line, "durable blocks");
+  original.close();
+
+  // The next rewrite overwrites the stale temp and lands atomically.
+  core::replace_file_atomically(path, "rewritten\n");
+  std::ifstream rewritten(path);
+  ASSERT_TRUE(std::getline(rewritten, line));
+  EXPECT_EQ(line, "rewritten");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST_F(VantageCampaignTest, ResumeSurvivesAStaleTempFromAKilledRewrite) {
+  const std::string path = ::testing::TempDir() + "vantage_atomic_ckpt.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  const Artifacts uninterrupted = run_vantages(2, 2, path);
+
+  // Simulate a run killed twice: once mid-append (torn tail) and once
+  // mid-rewrite on the following resume (stale temp file). The durable
+  // blocks in the original file must survive both.
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  const std::string bytes = buffer.str();
+  {
+    std::ofstream torn(path, std::ios::trunc);
+    torn << bytes.substr(0, bytes.size() * 2 / 3);
+  }
+  {
+    std::ofstream stale(path + ".tmp");
+    stale << "hispar-vantage,v1,0\ngarbage from a killed rewrite";
+  }
+
+  const Artifacts resumed = run_vantages(2, 2, path);
+  EXPECT_EQ(resumed.csv, uninterrupted.csv);
+  EXPECT_EQ(resumed.metrics, uninterrupted.metrics);
+  EXPECT_EQ(resumed.trace, uninterrupted.trace);
+  // The completed run's compaction renamed the temp away.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST_F(VantageCampaignTest, CellGranularCheckpointResumesByteIdentically) {
+  // Hand-build the file a run killed mid-flight leaves behind: a
+  // header plus two completed (vantage 0, shard) cells. The resume must
+  // splice them in and reproduce the uninterrupted artifacts.
+  const std::string path = ::testing::TempDir() + "vantage_cell_ckpt.txt";
+  std::remove(path.c_str());
+  const Artifacts uninterrupted = run_vantages(2, 1);
+
+  core::VantageCampaignConfig config;
+  config.base = base_config();
+  config.profiles = net::VantageProfile::default_vantages(2);
+  core::VantageCampaign campaign(web_, config);
+  core::MeasurementCampaign inner(web_, campaign.vantage_config(0));
+  const auto shards = core::shard_indices(list_, config.base.shards);
+  std::vector<core::SiteObservation> observations(list_.sets.size());
+  {
+    std::ofstream out(path);
+    core::write_vantage_checkpoint_header(out,
+                                          campaign.checkpoint_digest(list_));
+    for (std::size_t s = 0; s < 2; ++s) {
+      const auto cell = inner.run_one_shard(s, list_, shards[s], observations);
+      core::append_vantage_shard_block(
+          out, 0, s, shards[s], observations,
+          cell.telemetry.empty() ? nullptr : &cell.telemetry);
+    }
+  }
+
+  const Artifacts resumed = run_vantages(2, 2, path);
+  EXPECT_EQ(resumed.csv, uninterrupted.csv);
+  EXPECT_EQ(resumed.metrics, uninterrupted.metrics);
+  EXPECT_EQ(resumed.trace, uninterrupted.trace);
+  std::remove(path.c_str());
+}
+
+TEST_F(VantageCampaignTest, FinalCheckpointBytesAreJobsInvariant) {
+  // The mid-run file orders cell blocks by completion, but the finished
+  // file is compacted to whole-vantage blocks — byte-identical at any
+  // --jobs, which is also what keeps it byte-compatible with files the
+  // sequential engine wrote (the golden digest pins that layout).
+  const std::string serial_path =
+      ::testing::TempDir() + "vantage_jobs1_ckpt.txt";
+  const std::string threaded_path =
+      ::testing::TempDir() + "vantage_jobs8_ckpt.txt";
+  std::remove(serial_path.c_str());
+  std::remove(threaded_path.c_str());
+  run_vantages(3, 1, serial_path);
+  run_vantages(3, 8, threaded_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string serial = slurp(serial_path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, slurp(threaded_path));
+  std::remove(serial_path.c_str());
+  std::remove(threaded_path.c_str());
+}
+
+// --- Vantage trace tid bands (the >= 1000 shard collision) ---
+
+TEST(VantageTidStride, WidensWithTheShardCount) {
+  EXPECT_EQ(core::vantage_tid_stride(0), 1000u);
+  EXPECT_EQ(core::vantage_tid_stride(4), 1000u);
+  EXPECT_EQ(core::vantage_tid_stride(999), 1000u);
+  // Shard 999's row is tid 1000 — the historical constant stride put
+  // vantage 1's campaign row on the same tid.
+  EXPECT_EQ(core::vantage_tid_stride(1000), 1001u);
+  EXPECT_EQ(core::vantage_tid_stride(5000), 5001u);
+}
+
+TEST_F(VantageCampaignTest, TidBandsStayApartAtTheShardBoundary) {
+  core::VantageCampaignConfig config;
+  config.base = base_config();
+  // The engine accepts shards > sites (the CLI validator rejects it,
+  // the library runs the empty shards as no-ops), which is exactly how
+  // a 1000-shard campaign reaches the old stride's collision.
+  config.base.shards = 1000;
+  config.profiles = net::VantageProfile::default_vantages(2);
+  core::VantageCampaign campaign(web_, config);
+  campaign.run(list_);
+
+  const auto& v0 = campaign.vantage_telemetry()[0].spans;
+  const auto& v1 = campaign.vantage_telemetry()[1].spans;
+  const auto& merged = campaign.telemetry().spans;
+  ASSERT_EQ(merged.size(), v0.size() + v1.size());
+  std::uint32_t v0_max = 0;
+  for (std::size_t i = 0; i < v0.size(); ++i)
+    v0_max = std::max(v0_max, merged[i].tid);
+  std::uint32_t v1_min = ~0u;
+  for (std::size_t i = v0.size(); i < merged.size(); ++i)
+    v1_min = std::min(v1_min, merged[i].tid);
+  // Vantage 0's band tops out at tid 1000 (shard 999); vantage 1 must
+  // start strictly above it. With the old constant stride of 1000,
+  // v1_min was 1000 — inside vantage 0's band.
+  EXPECT_EQ(v1_min, core::vantage_tid_stride(1000));
+  EXPECT_LT(v0_max, v1_min);
 }
 
 TEST_F(VantageCampaignTest, MergedTelemetryKeepsVantageRowsApart) {

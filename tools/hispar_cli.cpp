@@ -39,9 +39,10 @@
 //            --vantages N | --vantage-profile SPEC[;SPEC...] (run the
 //            campaign from N vantage points; vantage 0 writes --out,
 //            vantage k writes FILE-v<k>.csv, checkpointing becomes
-//            vantage-granular, --report-out switches to the
-//            multi-vantage report) --consensus-out FILE (per-site
-//            cross-vantage consensus CSV)
+//            (vantage, shard)-granular, --jobs schedules the cross-
+//            vantage (vantage x shard) work pool, --report-out switches
+//            to the multi-vantage report) --consensus-out FILE
+//            (per-site cross-vantage consensus CSV)
 //            --sessions (additionally replay one warm browsing session
 //            per site — landing page then --session-len internal pages
 //            through a private browser cache; the cold artifacts above
@@ -617,8 +618,9 @@ void print_help(std::ostream& out, const std::string& program) {
          "  --vantages N        run from N vantage points (deterministic\n"
          "                      built-in profiles; vantage 0 is the home\n"
          "                      vantage and writes --out, vantage k writes\n"
-         "                      FILE-v<k>.csv; checkpoints become\n"
-         "                      vantage-granular)\n"
+         "                      FILE-v<k>.csv; --jobs threads pull\n"
+         "                      (vantage, shard) units, checkpoints become\n"
+         "                      (vantage, shard)-granular)\n"
          "  --vantage-profile P ';'-separated profile specs, e.g.\n"
          "                      \"us-home;eu:region=eu:resolver=public\"\n"
          "                      (keys: region, resolver, doh, edge,\n"
